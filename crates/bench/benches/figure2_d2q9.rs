@@ -1,0 +1,63 @@
+//! Figure 2 bench: wall time per timestep of the three propagation
+//! patterns on the D2Q9 lattice, over a range of problem sizes.
+//!
+//! The substrate's wall-clock MFLUPS is CPU-bound and not comparable to the
+//! paper's GPU numbers; the *ratios* between patterns reflect arithmetic
+//! and access-structure differences, while the bandwidth-bound projection
+//! printed by `reproduce figure2` reflects the paper's memory argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::efficiency::Pattern;
+use gpu_sim::DeviceSpec;
+use lbm_bench::{bench_geometry_2d, TAU};
+use lbm_core::collision::Bgk;
+use lbm_gpu::{MrScheme, MrSim2D, StSim};
+use lbm_lattice::D2Q9;
+
+fn bench_pattern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_d2q9");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &(nx, ny) in &[(128usize, 64usize), (256, 128)] {
+        let nodes = (nx * (ny - 2)) as u64;
+        group.throughput(Throughput::Elements(nodes));
+        for pattern in [
+            Pattern::Standard,
+            Pattern::MomentProjective,
+            Pattern::MomentRecursive,
+        ] {
+            let id = BenchmarkId::new(pattern.label(), format!("{nx}x{ny}"));
+            match pattern {
+                Pattern::Standard => {
+                    let mut sim: StSim<D2Q9, _> =
+                        StSim::new(DeviceSpec::v100(), bench_geometry_2d(nx, ny), Bgk::new(TAU));
+                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                }
+                Pattern::MomentProjective => {
+                    let mut sim: MrSim2D<D2Q9> = MrSim2D::new(
+                        DeviceSpec::v100(),
+                        bench_geometry_2d(nx, ny),
+                        MrScheme::projective(),
+                        TAU,
+                    );
+                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                }
+                Pattern::MomentRecursive => {
+                    let mut sim: MrSim2D<D2Q9> = MrSim2D::new(
+                        DeviceSpec::v100(),
+                        bench_geometry_2d(nx, ny),
+                        MrScheme::recursive::<D2Q9>(),
+                        TAU,
+                    );
+                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern);
+criterion_main!(benches);

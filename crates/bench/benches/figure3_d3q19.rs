@@ -1,0 +1,61 @@
+//! Figure 3 bench: wall time per timestep of the three propagation
+//! patterns on the D3Q19 lattice. See `figure2_d2q9.rs` for caveats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::efficiency::Pattern;
+use gpu_sim::DeviceSpec;
+use lbm_bench::{bench_geometry_3d, TAU};
+use lbm_core::collision::Bgk;
+use lbm_gpu::{MrScheme, MrSim3D, StSim};
+use lbm_lattice::D3Q19;
+
+fn bench_pattern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3_d3q19");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &(nx, ny, nz) in &[(32usize, 16usize, 16usize), (48, 32, 32)] {
+        let nodes = (nx * (ny - 2) * (nz - 2)) as u64;
+        group.throughput(Throughput::Elements(nodes));
+        for pattern in [
+            Pattern::Standard,
+            Pattern::MomentProjective,
+            Pattern::MomentRecursive,
+        ] {
+            let id = BenchmarkId::new(pattern.label(), format!("{nx}x{ny}x{nz}"));
+            match pattern {
+                Pattern::Standard => {
+                    let mut sim: StSim<D3Q19, _> = StSim::new(
+                        DeviceSpec::v100(),
+                        bench_geometry_3d(nx, ny, nz),
+                        Bgk::new(TAU),
+                    );
+                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                }
+                Pattern::MomentProjective => {
+                    let mut sim: MrSim3D<D3Q19> = MrSim3D::new(
+                        DeviceSpec::v100(),
+                        bench_geometry_3d(nx, ny, nz),
+                        MrScheme::projective(),
+                        TAU,
+                    );
+                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                }
+                Pattern::MomentRecursive => {
+                    let mut sim: MrSim3D<D3Q19> = MrSim3D::new(
+                        DeviceSpec::v100(),
+                        bench_geometry_3d(nx, ny, nz),
+                        MrScheme::recursive::<D3Q19>(),
+                        TAU,
+                    );
+                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern);
+criterion_main!(benches);

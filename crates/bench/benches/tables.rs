@@ -1,0 +1,48 @@
+//! Table benches: time the B/F measurement harness (Tables 1–4 are
+//! regenerated for real by `cargo run -p lbm-bench --bin reproduce`), and
+//! print the derived tables once so a `cargo bench` log carries them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::efficiency::Pattern;
+use gpu_sim::roofline::{bytes_per_flup_mr, bytes_per_flup_st, mflups_max_on};
+use gpu_sim::DeviceSpec;
+use lbm_bench::{run_2d, run_3d};
+
+fn bench_tables(c: &mut Criterion) {
+    // Print Table 2/3 numbers into the bench log.
+    let st2 = run_2d(DeviceSpec::v100(), Pattern::Standard, 64, 32, 2);
+    let mr2 = run_2d(DeviceSpec::v100(), Pattern::MomentProjective, 64, 32, 2);
+    let st3 = run_3d(DeviceSpec::v100(), Pattern::Standard, 16, 12, 12, 2);
+    let mr3 = run_3d(DeviceSpec::v100(), Pattern::MomentProjective, 16, 12, 12, 2);
+    eprintln!(
+        "[table2] measured B/F: ST D2Q9 {:.1} (paper 144), MR D2Q9 {:.1} (96), ST D3Q19 {:.1} (304), MR D3Q19 {:.1} (160)",
+        st2.measured_bpf, mr2.measured_bpf, st3.measured_bpf, mr3.measured_bpf
+    );
+    let v = DeviceSpec::v100();
+    let m = DeviceSpec::mi100();
+    eprintln!(
+        "[table3] roofline MFLUPS: V100 ST {:.0}/{:.0}, MR {:.0}/{:.0}; MI100 ST {:.0}/{:.0}, MR {:.0}/{:.0}",
+        mflups_max_on(&v, bytes_per_flup_st(9)),
+        mflups_max_on(&v, bytes_per_flup_st(19)),
+        mflups_max_on(&v, bytes_per_flup_mr(6)),
+        mflups_max_on(&v, bytes_per_flup_mr(10)),
+        mflups_max_on(&m, bytes_per_flup_st(9)),
+        mflups_max_on(&m, bytes_per_flup_st(19)),
+        mflups_max_on(&m, bytes_per_flup_mr(6)),
+        mflups_max_on(&m, bytes_per_flup_mr(10)),
+    );
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("table2_bpf_measurement_2d", |b| {
+        b.iter(|| run_2d(DeviceSpec::v100(), Pattern::MomentProjective, 48, 24, 1))
+    });
+    group.bench_function("table2_bpf_measurement_3d", |b| {
+        b.iter(|| run_3d(DeviceSpec::v100(), Pattern::MomentProjective, 12, 8, 8, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

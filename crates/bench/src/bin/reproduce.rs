@@ -1,0 +1,441 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|all]
+//!           [--quick]
+//! ```
+//!
+//! With `--quick` the measurement domains are smaller (CI-friendly). Every
+//! section prints the paper's reference numbers next to the reproduced
+//! ones; `EXPERIMENTS.md` records a captured run.
+
+use gpu_sim::efficiency::{bandwidth_fraction, modeled_bandwidth_gbps, Pattern};
+use gpu_sim::roofline::{bytes_per_flup_mr, bytes_per_flup_st, mflups_max_on};
+use gpu_sim::DeviceSpec;
+use lbm_bench::{figure_sizes, run_2d, run_3d, run_3d_q27, run_3d_q39_st, RunResult};
+use lbm_gpu::footprint::footprint_table;
+
+fn devices() -> [DeviceSpec; 2] {
+    [DeviceSpec::v100(), DeviceSpec::mi100()]
+}
+
+const PATTERNS: [Pattern; 3] = [
+    Pattern::Standard,
+    Pattern::MomentProjective,
+    Pattern::MomentRecursive,
+];
+
+fn table1() {
+    println!("== Table 1: device features =========================================");
+    println!("{:<16} {:>16} {:>16}", "", "NVIDIA V100", "AMD MI100");
+    let [v, m] = devices();
+    let rows: Vec<(&str, String, String)> = vec![
+        ("Frequency", format!("{} MHz", v.frequency_mhz), format!("{} MHz", m.frequency_mhz)),
+        ("CUDA/HIP cores", v.cores.to_string(), m.cores.to_string()),
+        ("SM/CU count", v.sm_count.to_string(), m.sm_count.to_string()),
+        (
+            "Shared mem",
+            format!("{} KB/SM", v.shared_mem_per_sm / 1024),
+            format!("{} KB/CU", m.shared_mem_per_sm / 1024),
+        ),
+        (
+            "L1",
+            format!("{} KB/SM", v.l1_per_sm / 1024),
+            format!("{} KB/CU", m.l1_per_sm / 1024),
+        ),
+        (
+            "L2 (unified)",
+            format!("{} KB", v.l2_bytes / 1024),
+            format!("{} KB", m.l2_bytes / 1024),
+        ),
+        (
+            "Memory",
+            format!("HBM2 {} GB", v.memory_bytes >> 30),
+            format!("HBM2 {} GB", m.memory_bytes >> 30),
+        ),
+        (
+            "Bandwidth",
+            format!("{} GB/s", v.bandwidth_gbps),
+            format!("{} GB/s", m.bandwidth_gbps),
+        ),
+        ("Compiler", v.compiler.to_string(), m.compiler.to_string()),
+    ];
+    for (k, a, b) in rows {
+        println!("{k:<16} {a:>16} {b:>16}");
+    }
+    println!();
+}
+
+/// Measure B/F for every pattern/lattice on moderate domains.
+fn measure_all(quick: bool) -> Vec<RunResult> {
+    let (n2, s2) = if quick { ((96, 48), 2) } else { ((192, 96), 3) };
+    let (n3, s3) = if quick { ((24, 16, 16), 2) } else { ((48, 24, 24), 3) };
+    let mut out = Vec::new();
+    for pattern in PATTERNS {
+        // B/F is device-independent; measure once, reuse for both devices.
+        out.push(run_2d(DeviceSpec::v100(), pattern, n2.0, n2.1, s2));
+        out.push(run_3d(DeviceSpec::v100(), pattern, n3.0, n3.1, n3.2, s3));
+    }
+    out
+}
+
+fn find<'a>(results: &'a [RunResult], p: Pattern, lattice: &str) -> &'a RunResult {
+    results
+        .iter()
+        .find(|r| r.pattern == p && r.lattice == lattice)
+        .expect("missing measurement")
+}
+
+fn table2(results: &[RunResult]) {
+    println!("== Table 2: bytes per fluid lattice update (B/F) ====================");
+    println!(
+        "{:<8} {:>14} {:>10} {:>10} {:>12} {:>12}",
+        "pattern", "model", "D2Q9", "D3Q19", "meas. D2Q9", "meas. D3Q19"
+    );
+    let st2 = find(results, Pattern::Standard, "D2Q9").measured_bpf;
+    let st3 = find(results, Pattern::Standard, "D3Q19").measured_bpf;
+    let mr2 = find(results, Pattern::MomentProjective, "D2Q9").measured_bpf;
+    let mr3 = find(results, Pattern::MomentProjective, "D3Q19").measured_bpf;
+    println!(
+        "{:<8} {:>14} {:>10} {:>10} {:>12.1} {:>12.1}",
+        "ST",
+        "2Q*double",
+        bytes_per_flup_st(9),
+        bytes_per_flup_st(19),
+        st2,
+        st3
+    );
+    println!(
+        "{:<8} {:>14} {:>10} {:>10} {:>12.1} {:>12.1}",
+        "MR",
+        "2M*double",
+        bytes_per_flup_mr(6),
+        bytes_per_flup_mr(10),
+        mr2,
+        mr3
+    );
+    println!("(measured = DRAM bytes from the traffic ledger; halo re-reads hit the modeled L2)");
+    println!();
+}
+
+fn table3() {
+    println!("== Table 3: roofline MFLUPS (eq. 15) ================================");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "model", "V100 D2Q9", "V100 D3Q19", "MI100 D2Q9", "MI100 D3Q19"
+    );
+    let [v, m] = devices();
+    println!(
+        "{:<8} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+        "ST",
+        mflups_max_on(&v, 144.0),
+        mflups_max_on(&v, 304.0),
+        mflups_max_on(&m, 144.0),
+        mflups_max_on(&m, 304.0),
+    );
+    println!(
+        "{:<8} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+        "MR",
+        mflups_max_on(&v, 96.0),
+        mflups_max_on(&v, 160.0),
+        mflups_max_on(&m, 96.0),
+        mflups_max_on(&m, 160.0),
+    );
+    println!("(paper: ST 6250/2960 and 8533/4042; MR 9375/5625 and 12800/7680)");
+    println!();
+}
+
+fn table4() {
+    println!("== Table 4: sustained bandwidth (GB/s, modeled at 16M nodes) ========");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "model", "V100 D2Q9", "V100 D3Q19", "MI100 D2Q9", "MI100 D3Q19"
+    );
+    let n = 16_000_000;
+    for (label, p) in [
+        ("ST", Pattern::Standard),
+        ("MR-P", Pattern::MomentProjective),
+        ("MR-R", Pattern::MomentRecursive),
+    ] {
+        let [v, m] = devices();
+        println!(
+            "{:<8} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+            label,
+            modeled_bandwidth_gbps(&v, p, 2, n),
+            modeled_bandwidth_gbps(&v, p, 3, n),
+            modeled_bandwidth_gbps(&m, p, 2, n),
+            modeled_bandwidth_gbps(&m, p, 3, n),
+        );
+    }
+    println!("(paper §4.2–4.3: V100 ST ≈ 790, MR ≈ 664 GB/s in 2D; MI100 ST ≈ 665, MR ≈ 614)");
+    println!();
+}
+
+fn figure(results: &[RunResult], dim: usize) {
+    let (lat, fig) = if dim == 2 { ("D2Q9", 2) } else { ("D3Q19", 3) };
+    println!("== Figure {fig}: {lat} MFLUPS vs problem size =========================");
+    for dev in devices() {
+        println!("-- {} --", dev.name);
+        print!("{:>12}", "nodes");
+        for p in PATTERNS {
+            print!(" {:>10}", p.label());
+        }
+        println!(" {:>12} {:>12}", "roof ST", "roof MR");
+        let roof_st = mflups_max_on(&dev, bytes_per_flup_st(if dim == 2 { 9 } else { 19 }));
+        let roof_mr = mflups_max_on(&dev, bytes_per_flup_mr(if dim == 2 { 6 } else { 10 }));
+        for n in figure_sizes() {
+            print!("{n:>12}");
+            for p in PATTERNS {
+                let r = find(results, p, lat);
+                print!(" {:>10.0}", r.modeled_mflups(&dev, n));
+            }
+            println!(" {roof_st:>12.0} {roof_mr:>12.0}");
+        }
+        // Wall-clock MFLUPS of the substrate (measured, CPU-bound).
+        print!("{:>12}", "substrate");
+        for p in PATTERNS {
+            let r = find(results, p, lat);
+            print!(" {:>10.2}", r.wall_mflups);
+        }
+        println!("  (CPU wall-clock of the simulated kernels; not GPU-comparable)");
+    }
+    if dim == 2 {
+        println!("(paper sustained: V100 ST≈5300, MR-P≈7000; MI100 ST≈6200, MR-P≈8600; MR-R ≈ MR-P)");
+    } else {
+        println!("(paper sustained: V100 ST≈2600, MR-P≈3800, MR-R≈3000; MI100 ST≈2800, MR-P≈3200, MR-R≈2500)");
+    }
+    println!();
+}
+
+fn footprint() {
+    println!("== §4.1: memory footprint for 15M fluid nodes =======================");
+    const GIB: f64 = (1u64 << 30) as f64;
+    println!(
+        "{:<8} {:>10} {:>15} {:>16} {:>12} {:>12}",
+        "lattice", "ST (GiB)", "MR paper (GiB)", "MR single (GiB)", "paper red.", "single red."
+    );
+    for r in footprint_table(15_000_000) {
+        println!(
+            "{:<8} {:>10.2} {:>15.2} {:>16.2} {:>11.1}% {:>11.1}%",
+            r.lattice,
+            r.st_bytes as f64 / GIB,
+            r.mr_paper_bytes as f64 / GIB,
+            r.mr_single_bytes as f64 / GIB,
+            100.0 * r.paper_reduction(),
+            100.0 * r.single_reduction(),
+        );
+    }
+    println!("(paper: 2 GB vs 1.3 GB (~35% less) in 2D; 4.2 GB vs 2.23 GB (~47% less) in 3D)");
+    println!();
+}
+
+fn speedups(results: &[RunResult]) {
+    println!("== §5: MR-P vs ST speedups at 16M nodes =============================");
+    let n = 16_000_000;
+    println!("{:<12} {:>8} {:>10} {:>8}", "device", "lattice", "speedup", "paper");
+    let paper = [
+        ("NVIDIA V100", "D2Q9", 1.32),
+        ("AMD MI100", "D2Q9", 1.38),
+        ("NVIDIA V100", "D3Q19", 1.46),
+        ("AMD MI100", "D3Q19", 1.14),
+    ];
+    for dev in devices() {
+        for lat in ["D2Q9", "D3Q19"] {
+            let st = find(results, Pattern::Standard, lat);
+            let mr = find(results, Pattern::MomentProjective, lat);
+            let s = mr.modeled_mflups(&dev, n) / st.modeled_mflups(&dev, n);
+            let p = paper
+                .iter()
+                .find(|(d, l, _)| *d == dev.name && *l == lat)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(f64::NAN);
+            println!("{:<12} {:>8} {:>10.2} {:>8.2}", dev.name, lat, s, p);
+        }
+    }
+    println!();
+}
+
+fn future_work(quick: bool) {
+    println!("== §5 future work: D3Q27 through the same kernels ===================");
+    let (nx, ny, nz, steps) = if quick { (16, 12, 12, 2) } else { (32, 16, 16, 2) };
+    let st = run_3d_q27(DeviceSpec::v100(), Pattern::Standard, nx, ny, nz, steps);
+    let mrp = run_3d_q27(DeviceSpec::v100(), Pattern::MomentProjective, nx, ny, nz, steps);
+    let mrr = run_3d_q27(DeviceSpec::v100(), Pattern::MomentRecursive, nx, ny, nz, steps);
+    println!(
+        "measured B/F: ST {:.1} (model 2Q·8 = 432), MR-P {:.1} (2M·8 = 160), MR-R {:.1}",
+        st.measured_bpf, mrp.measured_bpf, mrr.measured_bpf
+    );
+    let [v, m] = devices();
+    for dev in [&v, &m] {
+        let roof_st = mflups_max_on(dev, st.measured_bpf);
+        let roof_mr = mflups_max_on(dev, mrp.measured_bpf);
+        println!(
+            "{:<12} roofline: ST {:>5.0} vs MR {:>5.0} MFLUPS → potential ×{:.2} (D3Q19 was ×1.90)",
+            dev.name,
+            roof_st,
+            roof_mr,
+            roof_mr / roof_st
+        );
+    }
+    println!("(the paper cites D3Q27's runtime cost as a reason it is avoided; MR closes most of the gap)");
+
+    // Multi-speed D3Q39: ST measured for real; MR projected (the sliding
+    // window needs reach-1 streaming, so MR-D3Q39 remains future work here
+    // too — but the traffic argument is what the paper points at).
+    let q39 = run_3d_q39_st(DeviceSpec::v100(), if quick { 12 } else { 20 }, 2);
+    let mr_bpf_q39 = 2.0 * 10.0 * 8.0;
+    println!(
+        "D3Q39 (multi-speed, c_s² = 2/3): measured ST B/F {:.1} (model 624); MR would need {:.0}",
+        q39.measured_bpf, mr_bpf_q39
+    );
+    for dev in devices() {
+        println!(
+            "{:<12} roofline: ST {:>5.0} vs MR {:>5.0} MFLUPS → potential ×{:.2}",
+            dev.name,
+            mflups_max_on(&dev, q39.measured_bpf),
+            mflups_max_on(&dev, mr_bpf_q39),
+            mflups_max_on(&dev, mr_bpf_q39) / mflups_max_on(&dev, q39.measured_bpf)
+        );
+    }
+    // Table 3's rooflines assume *direct* addressing; the indirect
+    // (fluid-compacted) alternative of refs [4]/[15] pays for its links.
+    println!("-- direct vs indirect addressing (ST, measured B/F) --");
+    {
+        use lbm_bench::bench_geometry_2d;
+        use lbm_core::collision::Bgk;
+        use lbm_gpu::StSparseSim;
+        use lbm_lattice::D2Q9;
+        let n = if quick { (48, 24) } else { (96, 48) };
+        let mut sp: StSparseSim<D2Q9, _> =
+            StSparseSim::new(DeviceSpec::v100(), bench_geometry_2d(n.0, n.1), Bgk::new(lbm_bench::TAU));
+        sp.run(2);
+        println!(
+            "D2Q9 indirect B/F {:.1} (direct 144; the Q·4 B link penalty) → roofline {:.0} vs {:.0} MFLUPS on the V100",
+            sp.measured_bpf(),
+            mflups_max_on(&DeviceSpec::v100(), sp.measured_bpf()),
+            mflups_max_on(&DeviceSpec::v100(), 144.0),
+        );
+    }
+
+    // §5 also points at emerging architectures with larger caches.
+    println!("-- emerging devices (roofline projections only; no calibration exists) --");
+    for dev in [DeviceSpec::a100(), DeviceSpec::mi250x_gcd()] {
+        let st19 = mflups_max_on(&dev, 304.0);
+        let mr19 = mflups_max_on(&dev, 160.0);
+        println!(
+            "{:<18} L2 {:>3} MB, {:>6.0} GB/s: D3Q19 roofline ST {:>5.0} vs MR {:>5.0} MFLUPS",
+            dev.name,
+            dev.l2_bytes / (1024 * 1024),
+            dev.bandwidth_gbps,
+            st19,
+            mr19
+        );
+    }
+    println!();
+}
+
+fn profile(quick: bool) {
+    println!("== Kernel profile (nvvp/rocprof analog) =============================");
+    use lbm_bench::{bench_geometry_2d, bench_geometry_3d, TAU};
+    use lbm_core::collision::Bgk;
+    use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim};
+    use lbm_lattice::{D2Q9, D3Q19};
+    let prof = std::sync::Arc::new(gpu_sim::profiler::Profiler::new());
+    let (n2, n3) = if quick { ((48, 24), (16, 12, 12)) } else { ((96, 48), (32, 16, 16)) };
+    let mut st: StSim<D2Q9, _> =
+        StSim::new(DeviceSpec::v100(), Geometry::channel_2d(n2.0, n2.1, 0.04), Bgk::new(TAU))
+            .with_profiler(prof.clone());
+    st.run(2);
+    let mut mr: MrSim2D<D2Q9> = MrSim2D::new(
+        DeviceSpec::v100(),
+        bench_geometry_2d(n2.0, n2.1),
+        MrScheme::projective(),
+        TAU,
+    )
+    .with_profiler(prof.clone());
+    mr.run(2);
+    let mut mr3: MrSim3D<D3Q19> = MrSim3D::new(
+        DeviceSpec::v100(),
+        bench_geometry_3d(n3.0, n3.1, n3.2),
+        MrScheme::recursive::<D3Q19>(),
+        TAU,
+    )
+    .with_profiler(prof.clone());
+    mr3.run(2);
+    print!("{}", prof.report());
+    use lbm_core::Geometry;
+    println!();
+}
+
+fn occupancy_report() {
+    println!("== §3.2: MR shared memory and occupancy =============================");
+    for dev in devices() {
+        // 2D: column width 32, tile height 1 → 32·3·9 doubles shared.
+        let sh2 = 32 * 3 * 9 * 8;
+        let o2 = gpu_sim::occupancy::occupancy(&dev, 34, sh2);
+        // 3D: 8×8 footprint → 8·8·3·19 doubles shared.
+        let sh3 = 8 * 8 * 3 * 19 * 8;
+        let o3 = gpu_sim::occupancy::occupancy(&dev, 100, sh3);
+        println!(
+            "{:<12} 2D: {:>6} B shared, {} blocks/SM ({:?})   3D: {:>6} B shared, {} blocks/SM ({:?})",
+            dev.name, sh2, o2.blocks_per_sm, o2.limiter, sh3, o3.blocks_per_sm, o3.limiter
+        );
+    }
+    println!("(the paper's guidance: two or more thread blocks per SM)");
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let needs_measure = matches!(
+        what.as_str(),
+        "all" | "table2" | "figure2" | "figure3" | "speedups"
+    );
+    let results = if needs_measure {
+        eprintln!("measuring B/F on the substrate (this runs real kernels)...");
+        measure_all(quick)
+    } else {
+        Vec::new()
+    };
+
+    match what.as_str() {
+        "table1" => table1(),
+        "table2" => table2(&results),
+        "table3" => table3(),
+        "table4" => table4(),
+        "figure2" => figure(&results, 2),
+        "figure3" => figure(&results, 3),
+        "footprint" => footprint(),
+        "speedups" => speedups(&results),
+        "occupancy" => occupancy_report(),
+        "profile" => profile(quick),
+        "futurework" => future_work(quick),
+        "all" => {
+            table1();
+            table2(&results);
+            table3();
+            table4();
+            figure(&results, 2);
+            figure(&results, 3);
+            footprint();
+            speedups(&results);
+            occupancy_report();
+            profile(quick);
+            future_work(quick);
+            let [v, _] = devices();
+            debug_assert!(bandwidth_fraction(&v, Pattern::Standard, 2) > 0.0);
+        }
+        other => {
+            eprintln!("unknown section '{other}'");
+            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|all] [--quick]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Closed-form flow solutions used by validation tests and examples.
+
+use std::f64::consts::PI;
+
+/// Plane-Poiseuille streamwise velocity at lattice row `y` in a channel of
+/// `ny` rows whose walls are halfway-bounce-back planes at `y = −1/2` and
+/// `y = ny − 1/2`… more precisely, with halfway bounce-back the no-slip
+/// plane sits half a lattice spacing outside the outermost *wall* nodes at
+/// `y = 0` and `y = ny−1`, i.e. at `y = 1/2` and `y = ny − 3/2`.
+///
+/// Returns `u_max · 4 s (1 − s)` with `s` the normalized wall distance.
+pub fn poiseuille_profile(y: usize, ny: usize, u_max: f64) -> f64 {
+    // Effective channel: from y=0.5 to y=ny-1.5 (distance between no-slip
+    // planes), width H = ny - 2.
+    let h = (ny as f64) - 2.0;
+    let s = (y as f64 - 0.5) / h;
+    if !(0.0..=1.0).contains(&s) {
+        return 0.0;
+    }
+    u_max * 4.0 * s * (1.0 - s)
+}
+
+/// The 2D Taylor–Green vortex on a `[0, nx) × [0, ny)` periodic box:
+/// initial velocity field at node `(x, y)` with amplitude `u0`.
+pub fn taylor_green_velocity(x: usize, y: usize, nx: usize, ny: usize, u0: f64) -> [f64; 3] {
+    let kx = 2.0 * PI / nx as f64;
+    let ky = 2.0 * PI / ny as f64;
+    let (fx, fy) = (kx * x as f64, ky * y as f64);
+    // Divergence-free: u = u0 [cos(kx x) sin(ky y) kx-normalized pair].
+    let norm = (ky / kx).sqrt();
+    [
+        u0 * norm * fx.cos() * fy.sin(),
+        -u0 / norm * fx.sin() * fy.cos(),
+        0.0,
+    ]
+}
+
+/// Taylor–Green kinetic-energy decay factor after `t` steps:
+/// `E(t)/E(0) = exp(−2 ν (k_x² + k_y²) t)`.
+pub fn taylor_green_decay(nx: usize, ny: usize, nu: f64, t: f64) -> f64 {
+    let kx = 2.0 * PI / nx as f64;
+    let ky = 2.0 * PI / ny as f64;
+    (-2.0 * nu * (kx * kx + ky * ky) * t).exp()
+}
+
+/// Pressure (density) field of the Taylor–Green vortex at `t = 0`:
+/// `ρ = ρ0 (1 − u0²/(4 c_s²) (cos 2kx x · ky/kx + cos 2ky y · kx/ky))`.
+pub fn taylor_green_density(x: usize, y: usize, nx: usize, ny: usize, u0: f64, rho0: f64) -> f64 {
+    let kx = 2.0 * PI / nx as f64;
+    let ky = 2.0 * PI / ny as f64;
+    let cs2 = 1.0 / 3.0;
+    let a = (ky / kx) * (2.0 * kx * x as f64).cos() + (kx / ky) * (2.0 * ky * y as f64).cos();
+    rho0 * (1.0 - u0 * u0 / (4.0 * cs2) * a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poiseuille_is_symmetric_and_peaked() {
+        let ny = 34;
+        let u = |y| poiseuille_profile(y, ny, 0.1);
+        for y in 1..ny - 1 {
+            let ym = ny - 1 - y;
+            assert!((u(y) - u(ym)).abs() < 1e-12, "asymmetry at {y}");
+        }
+        // Peak near the centerline, close to u_max.
+        let peak = (1..ny - 1).map(u).fold(0.0f64, f64::max);
+        assert!(peak <= 0.1 + 1e-12);
+        assert!(peak > 0.099);
+        // Vanishes at the no-slip planes (just outside the fluid rows).
+        assert!(u(1) > 0.0);
+        assert_eq!(u(0), 0.0 * u(0)); // wall row: still finite but tiny
+    }
+
+    #[test]
+    fn taylor_green_is_divergence_free_discretely() {
+        let (nx, ny) = (32, 32);
+        // Central-difference divergence should vanish to O(k²·roundoff of
+        // the trig identities) — the field is exactly divergence-free in the
+        // continuum; discretely it is small.
+        let mut max_div: f64 = 0.0;
+        for y in 0..ny {
+            for x in 0..nx {
+                let xp = taylor_green_velocity((x + 1) % nx, y, nx, ny, 0.05);
+                let xm = taylor_green_velocity((x + nx - 1) % nx, y, nx, ny, 0.05);
+                let yp = taylor_green_velocity(x, (y + 1) % ny, nx, ny, 0.05);
+                let ym = taylor_green_velocity(x, (y + ny - 1) % ny, nx, ny, 0.05);
+                let div = (xp[0] - xm[0]) / 2.0 + (yp[1] - ym[1]) / 2.0;
+                max_div = max_div.max(div.abs());
+            }
+        }
+        assert!(max_div < 1e-3, "max discrete divergence {max_div}");
+    }
+
+    #[test]
+    fn decay_factor_monotone() {
+        let d1 = taylor_green_decay(32, 32, 0.01, 100.0);
+        let d2 = taylor_green_decay(32, 32, 0.01, 200.0);
+        assert!(d1 > d2);
+        assert!(d1 < 1.0);
+        assert!((taylor_green_decay(32, 32, 0.01, 0.0) - 1.0).abs() < 1e-15);
+    }
+}

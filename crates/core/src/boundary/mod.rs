@@ -1,0 +1,19 @@
+//! Boundary conditions.
+//!
+//! The paper's channel flows use two kinds of boundaries (§4):
+//!
+//! * **halfway bounce-back** at the channel walls — implemented during
+//!   streaming by both representations ([`bounce_back`] provides the shared
+//!   moving-wall momentum correction);
+//! * **finite-difference velocity/pressure conditions** at the inlet and
+//!   outlet (Latt et al. 2008, ref. \[6\]) — implemented in moment space
+//!   ([`inlet_outlet`]), which is precisely why they compose naturally with
+//!   the moment representation: the boundary node's state is *defined* by
+//!   `{ρ, u, Π}` with `Π^neq` estimated from finite-difference velocity
+//!   gradients.
+
+pub mod bounce_back;
+pub mod inlet_outlet;
+
+pub use bounce_back::moving_wall_gain;
+pub use inlet_outlet::boundary_node_moments;

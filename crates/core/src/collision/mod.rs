@@ -1,0 +1,361 @@
+//! Collision operators.
+//!
+//! Three operators, matching the paper's evaluation matrix:
+//!
+//! * [`Bgk`] — the standard single-relaxation-time operator (eq. 6), used by
+//!   the ST reference implementation.
+//! * [`Projective`] — projective regularization (Latt & Chopard 2006,
+//!   eqs. 8–11): the non-equilibrium part is projected onto the second-order
+//!   Hermite moment before relaxation ("MR-P" when run in the moment
+//!   representation).
+//! * [`Recursive`] — recursive regularization (Malaspinas 2015,
+//!   eqs. 12–14): third- and fourth-order Hermite coefficients are rebuilt
+//!   recursively from `{ρ, u, Π^neq}` ("MR-R").
+//!
+//! The moment-space forms used by the moment-representation GPU kernels —
+//! [`collide_pi`] (eq. 10) and the collide-and-map routines — live here too,
+//! and the distribution-space operators are implemented *on top of them*, so
+//! the ST and MR code paths share the same arithmetic by construction.
+
+mod bgk;
+mod projective;
+mod recursive;
+
+pub use bgk::Bgk;
+pub use projective::Projective;
+pub use recursive::Recursive;
+
+use lbm_lattice::equilibrium::{f_from_moments, f_from_moments_recursive};
+use lbm_lattice::gram::HigherBasis;
+use lbm_lattice::moments::Moments;
+use lbm_lattice::recursion;
+use lbm_lattice::{Lattice, PAIRS};
+
+/// Maximum number of stored higher-order components across supported
+/// lattices (D3Q27 has 7 third-order components).
+pub const MAX_HO: usize = 8;
+
+/// A collision operator applied at a single lattice node.
+///
+/// `collide` transforms pre-collision populations into post-collision
+/// populations in place; `reconstruct` builds the post-collision populations
+/// directly from a *pre-collision* moment state (used by the regularized
+/// inlet/outlet boundary condition and by cross-representation tests).
+pub trait Collision<L: Lattice>: Send + Sync {
+    /// Short identifier used in reports ("BGK", "REG-P", "REG-R").
+    fn name(&self) -> &'static str;
+
+    /// Relaxation time τ.
+    fn tau(&self) -> f64;
+
+    /// In-place collision on one node's populations (`f.len() == Q`).
+    fn collide(&self, f: &mut [f64]);
+
+    /// Post-collision populations from a pre-collision moment state.
+    fn reconstruct(&self, m: &Moments, out: &mut [f64]);
+}
+
+/// Moment-space collision, eq. (10): `Π* = Π^eq + (1 − 1/τ) Π^neq`,
+/// performed in place on the canonical Π array. Density and momentum are
+/// conserved and untouched.
+#[inline]
+pub fn collide_pi(rho: f64, u: [f64; 3], pi: &mut [f64; 6], d: usize, tau: f64) {
+    let omega = 1.0 - 1.0 / tau;
+    for (k, &(a, b)) in PAIRS.iter().enumerate() {
+        if b >= d {
+            continue;
+        }
+        let eq = rho * u[a] * u[b];
+        pi[k] = eq + omega * (pi[k] - eq);
+    }
+}
+
+/// Projective collide-and-map: from a pre-collision moment state, produce
+/// the post-collision distribution (eqs. 10 + 11). This is the inner loop of
+/// the MR-P kernel and of the [`Projective`] operator.
+#[inline]
+pub fn collide_and_map_projective<L: Lattice>(m: &Moments, tau: f64, out: &mut [f64]) {
+    let mut pi = m.pi;
+    collide_pi(m.rho, m.u, &mut pi, L::D, tau);
+    f_from_moments::<L>(m.rho, m.u, &pi, out);
+}
+
+/// Recursive collide-and-map: additionally derives the higher-order Hermite
+/// coefficients from the recursion relations, relaxes them (eqs. 12–13), and
+/// reconstructs with eq. (14). Inner loop of the MR-R kernel and of the
+/// [`Recursive`] operator.
+#[inline]
+pub fn collide_and_map_recursive<L: Lattice>(
+    m: &Moments,
+    tau: f64,
+    basis: &HigherBasis,
+    out: &mut [f64],
+) {
+    let omega = 1.0 - 1.0 / tau;
+    let pi_neq = m.pi_neq(L::D);
+
+    // Post-collision second-order moment (eq. 10).
+    let mut pi_star = m.pi;
+    collide_pi(m.rho, m.u, &mut pi_star, L::D, tau);
+
+    // Higher-order coefficients: a* = a_eq + (1 − 1/τ) a_neq (eqs. 12–13),
+    // with a_neq from the recursion relations on {ρ, u, Π^neq}.
+    let mut a3 = [0.0f64; MAX_HO];
+    for (k, &(idx, _)) in L::H3_COMPONENTS.iter().enumerate() {
+        let eq = recursion::a3_eq(m.rho, m.u, idx);
+        let neq = recursion::a3_neq(L::D, m.u, &pi_neq, idx);
+        a3[k] = eq + omega * neq;
+    }
+    let mut a4 = [0.0f64; MAX_HO];
+    for (k, &(idx, _)) in L::H4_COMPONENTS.iter().enumerate() {
+        let eq = recursion::a4_eq(m.rho, m.u, idx);
+        let neq = recursion::a4_neq(L::D, m.u, &pi_neq, idx);
+        a4[k] = eq + omega * neq;
+    }
+
+    f_from_moments_recursive::<L>(
+        m.rho,
+        m.u,
+        &pi_star,
+        &a3[..L::H3_COMPONENTS.len()],
+        &a4[..L::H4_COMPONENTS.len()],
+        basis,
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_lattice::equilibrium::equilibrium;
+    use lbm_lattice::{D2Q9, D3Q19};
+
+    fn perturbed_state<L: Lattice>() -> Vec<f64> {
+        let mut f = vec![0.0; L::Q];
+        equilibrium::<L>(1.02, [0.04, -0.02, 0.01], &mut f);
+        // Deterministic perturbation that leaves f positive.
+        for (i, v) in f.iter_mut().enumerate() {
+            *v *= 1.0 + 0.05 * ((i as f64 * 1.7).sin());
+        }
+        f
+    }
+
+    /// All operators conserve mass and momentum exactly.
+    #[test]
+    fn operators_conserve() {
+        fn check<L: Lattice>(op: &dyn Collision<L>) {
+            let mut f = perturbed_state::<L>();
+            let before = Moments::from_f::<L>(&f);
+            op.collide(&mut f);
+            let after = Moments::from_f::<L>(&f);
+            assert!((before.rho - after.rho).abs() < 1e-13, "{} mass", op.name());
+            for a in 0..L::D {
+                assert!(
+                    (before.rho * before.u[a] - after.rho * after.u[a]).abs() < 1e-13,
+                    "{} momentum[{a}]",
+                    op.name()
+                );
+            }
+        }
+        check::<D2Q9>(&Bgk::new(0.8));
+        check::<D2Q9>(&Projective::new(0.8));
+        check::<D2Q9>(&Recursive::new::<D2Q9>(0.8));
+        check::<D3Q19>(&Bgk::new(0.7));
+        check::<D3Q19>(&Projective::new(0.7));
+        check::<D3Q19>(&Recursive::new::<D3Q19>(0.7));
+    }
+
+    /// All operators relax Π toward Π_eq with factor (1 − 1/τ).
+    #[test]
+    fn pi_relaxation_factor() {
+        fn check<L: Lattice>(op: &dyn Collision<L>, tau: f64) {
+            let mut f = perturbed_state::<L>();
+            let before = Moments::from_f::<L>(&f);
+            let pi_neq_before = before.pi_neq(L::D);
+            op.collide(&mut f);
+            let after = Moments::from_f::<L>(&f);
+            let pi_neq_after = after.pi_neq(L::D);
+            let omega = 1.0 - 1.0 / tau;
+            for k in 0..6 {
+                assert!(
+                    (pi_neq_after[k] - omega * pi_neq_before[k]).abs() < 1e-12,
+                    "{} pi_neq[{k}]: {} vs {}",
+                    op.name(),
+                    pi_neq_after[k],
+                    omega * pi_neq_before[k]
+                );
+            }
+        }
+        check::<D2Q9>(&Bgk::new(0.9), 0.9);
+        check::<D2Q9>(&Projective::new(0.9), 0.9);
+        check::<D2Q9>(&Recursive::new::<D2Q9>(0.9), 0.9);
+        check::<D3Q19>(&Projective::new(0.65), 0.65);
+        check::<D3Q19>(&Recursive::new::<D3Q19>(0.65), 0.65);
+    }
+
+    /// At equilibrium every operator is the identity.
+    #[test]
+    fn equilibrium_is_fixed_point() {
+        fn check<L: Lattice>(op: &dyn Collision<L>) {
+            // Velocity restricted to the lattice dimension: a spurious
+            // z-component on D2Q9 would enter |u|² but not the moments.
+            let mut u = [0.05, 0.02, -0.01];
+            for a in L::D..3 {
+                u[a] = 0.0;
+            }
+            let mut f = vec![0.0; L::Q];
+            equilibrium::<L>(1.0, u, &mut f);
+            let orig = f.clone();
+            op.collide(&mut f);
+            for i in 0..L::Q {
+                assert!(
+                    (f[i] - orig[i]).abs() < 1e-13,
+                    "{} dir {i}: {} vs {}",
+                    op.name(),
+                    f[i],
+                    orig[i]
+                );
+            }
+        }
+        check::<D2Q9>(&Bgk::new(0.8));
+        check::<D2Q9>(&Projective::new(0.8));
+        check::<D3Q19>(&Bgk::new(1.1));
+        check::<D3Q19>(&Projective::new(1.1));
+    }
+
+    /// The recursive operator's fixed point is the *extended* equilibrium
+    /// (second-order feq is not fixed — the ρuuu terms are added). One
+    /// application of RR to an equilibrium state lands on the extended
+    /// equilibrium; from there the operator is the identity.
+    #[test]
+    fn recursive_fixed_point_is_extended_equilibrium() {
+        fn check<L: Lattice>(op: &Recursive) {
+            let mut u = [0.05, 0.02, -0.01];
+            for a in L::D..3 {
+                u[a] = 0.0;
+            }
+            let mut f = vec![0.0; L::Q];
+            equilibrium::<L>(1.0, u, &mut f);
+            Collision::<L>::collide(op, &mut f);
+            let once = f.clone();
+            Collision::<L>::collide(op, &mut f);
+            for i in 0..L::Q {
+                assert!(
+                    (f[i] - once[i]).abs() < 1e-14,
+                    "{} dir {i}: {} vs {}",
+                    L::NAME,
+                    f[i],
+                    once[i]
+                );
+            }
+        }
+        check::<D2Q9>(&Recursive::new::<D2Q9>(0.8));
+        check::<D3Q19>(&Recursive::new::<D3Q19>(1.1));
+    }
+
+    /// With τ = 1 BGK and projective regularization both collapse to the
+    /// second-order equilibrium; recursive regularization collapses to the
+    /// *extended* equilibrium (it keeps the ρuuu / ρuuuu Hermite terms), so
+    /// its moments — but not its populations — match.
+    #[test]
+    fn tau_one_collapses_to_equilibrium() {
+        let mut f_b = perturbed_state::<D2Q9>();
+        let mut f_p = f_b.clone();
+        let mut f_r = f_b.clone();
+        Collision::<D2Q9>::collide(&Bgk::new(1.0), &mut f_b);
+        Collision::<D2Q9>::collide(&Projective::new(1.0), &mut f_p);
+        Collision::<D2Q9>::collide(&Recursive::new::<D2Q9>(1.0), &mut f_r);
+        for i in 0..D2Q9::Q {
+            assert!((f_b[i] - f_p[i]).abs() < 1e-13);
+        }
+        let mp = Moments::from_f::<D2Q9>(&f_p);
+        let mr = Moments::from_f::<D2Q9>(&f_r);
+        assert!((mp.rho - mr.rho).abs() < 1e-13);
+        for k in 0..6 {
+            assert!((mp.pi[k] - mr.pi[k]).abs() < 1e-13, "pi[{k}]");
+        }
+        // The recursive populations carry the extra equilibrium terms: they
+        // genuinely differ from the second-order equilibrium.
+        let diff: f64 = f_p.iter().zip(&f_r).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-9, "expected higher-order equilibrium terms");
+    }
+
+    /// The projective operator agrees with the explicit eq. (9) form:
+    /// `f* = f_eq + (1 − 1/τ) ω/(2c_s⁴) H⁽²⁾:Π^neq`.
+    #[test]
+    fn projective_matches_eq9() {
+        use lbm_lattice::{hermite, CS4};
+        let f0 = perturbed_state::<D3Q19>();
+        let tau = 0.77;
+        let m = Moments::from_f::<D3Q19>(&f0);
+        let pi_neq = m.pi_neq(3);
+
+        let mut via_op = f0.clone();
+        Collision::<D3Q19>::collide(&Projective::new(tau), &mut via_op);
+
+        let mut feq = vec![0.0; D3Q19::Q];
+        equilibrium::<D3Q19>(m.rho, m.u, &mut feq);
+        for i in 0..D3Q19::Q {
+            let c = D3Q19::cf(i);
+            let mut h2pi = 0.0;
+            for (k, &(a, b)) in PAIRS.iter().enumerate() {
+                let mult = if a == b { 1.0 } else { 2.0 };
+                h2pi += mult * hermite::h2::<D3Q19>(c, a, b) * pi_neq[k];
+            }
+            let explicit =
+                feq[i] + (1.0 - 1.0 / tau) * D3Q19::W[i] / (2.0 * CS4) * h2pi;
+            assert!(
+                (via_op[i] - explicit).abs() < 1e-13,
+                "dir {i}: {} vs {explicit}",
+                via_op[i]
+            );
+        }
+    }
+
+    /// Collide-and-map from moments agrees with from_f → collide for the
+    /// regularized operators (the MR kernels rely on this identity).
+    #[test]
+    fn collide_and_map_matches_distribution_path() {
+        let f0 = perturbed_state::<D3Q19>();
+        let tau = 0.82;
+        let m = Moments::from_f::<D3Q19>(&f0);
+
+        let mut via_dist = f0.clone();
+        Collision::<D3Q19>::collide(&Projective::new(tau), &mut via_dist);
+        let mut via_mom = vec![0.0; D3Q19::Q];
+        collide_and_map_projective::<D3Q19>(&m, tau, &mut via_mom);
+        for i in 0..D3Q19::Q {
+            assert!((via_dist[i] - via_mom[i]).abs() < 1e-14);
+        }
+
+        let rec = Recursive::new::<D3Q19>(tau);
+        let mut via_dist_r = f0.clone();
+        Collision::<D3Q19>::collide(&rec, &mut via_dist_r);
+        let mut via_mom_r = vec![0.0; D3Q19::Q];
+        collide_and_map_recursive::<D3Q19>(&m, tau, rec.basis(), &mut via_mom_r);
+        for i in 0..D3Q19::Q {
+            assert!((via_dist_r[i] - via_mom_r[i]).abs() < 1e-14);
+        }
+    }
+
+    /// Regularized collisions are idempotent in the information they keep:
+    /// colliding the reconstruction of a node's moments equals
+    /// reconstructing the collided moments.
+    #[test]
+    fn regularization_is_lossless_compression() {
+        let f0 = perturbed_state::<D2Q9>();
+        let tau = 0.71;
+        let m = Moments::from_f::<D2Q9>(&f0);
+        // Path A: collide-and-map, then recompute moments.
+        let mut fa = vec![0.0; D2Q9::Q];
+        collide_and_map_projective::<D2Q9>(&m, tau, &mut fa);
+        let ma = Moments::from_f::<D2Q9>(&fa);
+        // Path B: collide the moments directly.
+        let mut pi_b = m.pi;
+        collide_pi(m.rho, m.u, &mut pi_b, 2, tau);
+        for k in [0usize, 1, 3] {
+            assert!((ma.pi[k] - pi_b[k]).abs() < 1e-13);
+        }
+        assert!((ma.rho - m.rho).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,129 @@
+//! Flow observables used by tests, examples, and the benchmark harness.
+
+use crate::geometry::Geometry;
+
+/// Total kinetic energy `Σ ρ |u|² / 2` over fluid-like nodes.
+pub fn kinetic_energy(geom: &Geometry, rho: &[f64], u: &[[f64; 3]]) -> f64 {
+    let mut e = 0.0;
+    for idx in 0..geom.len() {
+        if geom.node_at(idx).is_fluid_like() {
+            let usq = u[idx][0] * u[idx][0] + u[idx][1] * u[idx][1] + u[idx][2] * u[idx][2];
+            e += 0.5 * rho[idx] * usq;
+        }
+    }
+    e
+}
+
+/// Maximum velocity magnitude over fluid-like nodes.
+pub fn max_velocity(geom: &Geometry, u: &[[f64; 3]]) -> f64 {
+    let mut m: f64 = 0.0;
+    for idx in 0..geom.len() {
+        if geom.node_at(idx).is_fluid_like() {
+            let usq = u[idx][0] * u[idx][0] + u[idx][1] * u[idx][1] + u[idx][2] * u[idx][2];
+            m = m.max(usq);
+        }
+    }
+    m.sqrt()
+}
+
+/// Density extremes over fluid-like nodes — a cheap stability monitor
+/// (density excursions precede blow-up).
+pub fn density_range(geom: &Geometry, rho: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for idx in 0..geom.len() {
+        if geom.node_at(idx).is_fluid_like() {
+            lo = lo.min(rho[idx]);
+            hi = hi.max(rho[idx]);
+        }
+    }
+    (lo, hi)
+}
+
+/// Relative L2 error of a velocity component against a reference function,
+/// over fluid-like nodes: `‖got − want‖₂ / ‖want‖₂`.
+pub fn l2_velocity_error(
+    geom: &Geometry,
+    u: &[[f64; 3]],
+    component: usize,
+    want: impl Fn(usize, usize, usize) -> f64,
+) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for idx in 0..geom.len() {
+        if geom.node_at(idx).is_fluid_like() {
+            let (x, y, z) = geom.coords(idx);
+            let w = want(x, y, z);
+            let d = u[idx][component] - w;
+            num += d * d;
+            den += w * w;
+        }
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// True if any field value is non-finite — the solver has blown up.
+pub fn has_diverged(rho: &[f64], u: &[[f64; 3]]) -> bool {
+    rho.iter().any(|v| !v.is_finite())
+        || u.iter().any(|v| v.iter().any(|c| !c.is_finite()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig() -> (Geometry, Vec<f64>, Vec<[f64; 3]>) {
+        let geom = Geometry::periodic_2d(4, 4);
+        let n = geom.len();
+        let rho = vec![1.0; n];
+        let mut u = vec![[0.0; 3]; n];
+        u[0] = [0.3, 0.4, 0.0]; // |u| = 0.5
+        (geom, rho, u)
+    }
+
+    #[test]
+    fn kinetic_energy_of_single_mover() {
+        let (g, rho, u) = rig();
+        assert!((kinetic_energy(&g, &rho, &u) - 0.5 * 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_velocity_finds_peak() {
+        let (g, _, u) = rig();
+        assert!((max_velocity(&g, &u) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_range_detects_spread() {
+        let (g, mut rho, _) = rig();
+        rho[3] = 1.2;
+        rho[7] = 0.9;
+        let (lo, hi) = density_range(&g, &rho);
+        assert_eq!((lo, hi), (0.9, 1.2));
+    }
+
+    #[test]
+    fn l2_error_zero_on_exact_match() {
+        let (g, _, u) = rig();
+        let err = l2_velocity_error(&g, &u, 0, |x, y, _| {
+            if x == 0 && y == 0 {
+                0.3
+            } else {
+                0.0
+            }
+        });
+        assert!(err < 1e-15);
+    }
+
+    #[test]
+    fn divergence_detector() {
+        let (_, mut rho, u) = rig();
+        assert!(!has_diverged(&rho, &u));
+        rho[1] = f64::NAN;
+        assert!(has_diverged(&rho, &u));
+    }
+}

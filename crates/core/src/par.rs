@@ -1,0 +1,122 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The solvers update disjoint node sets per thread, writing to strided
+//! locations of a shared output lattice (SoA layout: direction-major), so a
+//! slice split is not expressible with safe `split_at_mut`. [`SendPtr`]
+//! carries the raw base pointer across the scope with the usual disjointness
+//! contract; every use site documents why its writes are disjoint.
+
+use std::ops::Range;
+
+/// Number of worker threads: `LBM_THREADS` env override, else the machine's
+/// available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(s) = std::env::var("LBM_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Split `0..n` into `threads` contiguous ranges of near-equal size and run
+/// `body` on each range in parallel. With `threads == 1` the body runs
+/// inline (no spawn), which keeps single-threaded benchmarks clean.
+pub fn parallel_ranges<F>(n: usize, threads: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        body(0..n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let body = &body;
+            s.spawn(move || body(lo..hi));
+        }
+    });
+}
+
+/// A raw mutable pointer that may be shared across scoped threads.
+///
+/// # Safety contract
+/// Callers must guarantee that concurrent users write disjoint elements and
+/// that the pointee outlives the scope (both hold for the solvers: each
+/// thread owns a contiguous range of node indices, and all writes for node
+/// `idx` touch only offsets `dir·n + idx`).
+#[derive(Copy, Clone)]
+pub struct SendPtr<T>(pub *mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Create from a mutable slice; the pointer stays valid while the slice
+    /// borrow is alive in the caller.
+    pub fn new(slice: &mut [T]) -> Self {
+        SendPtr(slice.as_mut_ptr())
+    }
+
+    /// Write `value` at `offset`.
+    ///
+    /// # Safety
+    /// `offset` must be in bounds and not concurrently written by another
+    /// thread.
+    #[inline(always)]
+    pub unsafe fn write(&self, offset: usize, value: T) {
+        unsafe { self.0.add(offset).write(value) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for n in [0usize, 1, 7, 100, 1001] {
+            for threads in [1usize, 2, 3, 8] {
+                let counter = AtomicUsize::new(0);
+                let sum = AtomicUsize::new(0);
+                parallel_ranges(n, threads, |r| {
+                    counter.fetch_add(r.len(), Ordering::Relaxed);
+                    sum.fetch_add(r.sum::<usize>(), Ordering::Relaxed);
+                });
+                assert_eq!(counter.load(Ordering::Relaxed), n);
+                assert_eq!(sum.load(Ordering::Relaxed), n * n.saturating_sub(1) / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn sendptr_disjoint_writes() {
+        let n = 1000;
+        let mut data = vec![0u64; n];
+        let p = SendPtr::new(&mut data);
+        parallel_ranges(n, 4, |r| {
+            for i in r {
+                // Safety: ranges are disjoint.
+                unsafe { p.write(i, i as u64 * 3) };
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

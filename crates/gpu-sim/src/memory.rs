@@ -1,0 +1,323 @@
+//! Global device memory with byte-exact traffic accounting.
+//!
+//! [`GlobalBuffer`] is the substrate's model of GPU global memory: a shared
+//! array that kernels read and write through a per-block [`Tally`], so that
+//! every launch knows exactly how many bytes it moved. This is the quantity
+//! the paper's whole performance analysis rests on (B/F, Table 2), so it is
+//! *measured*, never assumed.
+//!
+//! An optional [`crate::racecheck::RaceChecker`] validates the concurrency
+//! discipline of the kernels (used by the tests for Algorithm 2's circular
+//! array shifting).
+
+use crate::racecheck::{Epoch, RaceChecker};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Per-block access counters, aggregated into
+/// [`crate::exec::LaunchStats`] when a launch completes.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Bytes read from DRAM under the launch-scoped L2 model: the first
+    /// read of a cell in a launch is a DRAM transaction, repeats (e.g.
+    /// halo cells shared between adjacent columns) are L2 hits. Equal to
+    /// `bytes_read` on buffers without touch tracking.
+    pub dram_bytes_read: u64,
+    /// Reads served by the modeled L2 (repeat touches within one launch).
+    pub l2_read_hits: u64,
+}
+
+impl Tally {
+    /// Accumulate another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.dram_bytes_read += other.dram_bytes_read;
+        self.l2_read_hits += other.l2_read_hits;
+    }
+
+    /// Total bytes requested in either direction (including L2 hits).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Bytes that reach DRAM: unique reads plus all writes. This is the
+    /// quantity the paper's B/F model (Table 2) describes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_bytes_read + self.bytes_written
+    }
+
+    /// L2 hit rate over reads.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.l2_read_hits as f64 / self.reads as f64
+        }
+    }
+}
+
+/// A global-memory array shared by all blocks of a launch.
+///
+/// # Concurrency contract
+/// Kernels may access a `GlobalBuffer` from many blocks concurrently; the
+/// *algorithm* must guarantee that no cell is written by two blocks in one
+/// launch, and that no block reads a cell another block writes in the same
+/// lockstep phase. Enable the race checker (in tests) to verify this
+/// dynamically; release-path accesses are unchecked for speed, exactly like
+/// real global memory.
+pub struct GlobalBuffer<T = f64> {
+    cells: Box<[UnsafeCell<T>]>,
+    race: Option<RaceChecker>,
+    /// Launch id of the last read per cell, for the launch-scoped L2 model.
+    touch: Option<Box<[AtomicU32]>>,
+}
+
+// Safety: concurrent access is governed by the documented contract above;
+// the race checker exists to validate it in tests.
+unsafe impl<T: Send> Sync for GlobalBuffer<T> {}
+unsafe impl<T: Send> Send for GlobalBuffer<T> {}
+
+impl<T: Copy + Default> GlobalBuffer<T> {
+    /// Allocate a zero/default-initialized buffer of `len` elements.
+    pub fn new(len: usize) -> Self {
+        Self::from_vec(vec![T::default(); len])
+    }
+}
+
+impl<T: Copy> GlobalBuffer<T> {
+    /// Take ownership of host data.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        GlobalBuffer {
+            cells: v.into_iter().map(UnsafeCell::new).collect(),
+            race: None,
+            touch: None,
+        }
+    }
+
+    /// Enable the launch-scoped L2 model: within one launch, only the first
+    /// read of each cell counts as DRAM traffic; repeats are L2 hits. The
+    /// L2 is assumed cold at each launch boundary (conservative — matches
+    /// the paper's per-step traffic model for problems much larger than L2).
+    pub fn with_touch_tracking(mut self) -> Self {
+        self.touch = Some((0..self.cells.len()).map(|_| AtomicU32::new(0)).collect());
+        self
+    }
+
+    /// Attach a race checker covering every cell (test configurations).
+    pub fn with_racecheck(mut self) -> Self {
+        self.race = Some(RaceChecker::new(self.cells.len()));
+        self
+    }
+
+    /// Attach a *strict* race checker: additionally forbids cross-block
+    /// reads of cells written in an earlier phase of the same launch. Use
+    /// for in-place buffers protected by circular array shifting, where such
+    /// a read means the shift failed to protect old data.
+    pub fn with_racecheck_strict(mut self) -> Self {
+        self.race = Some(RaceChecker::with_mode(self.cells.len(), true));
+        self
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Size of the allocation in bytes (the device-memory footprint).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<T>()
+    }
+
+    /// Kernel-path read: counted and race-checked.
+    #[inline(always)]
+    pub fn read(&self, tally: &mut Tally, epoch: Epoch, i: usize) -> T {
+        if let Some(rc) = &self.race {
+            rc.on_read(epoch, i);
+        }
+        tally.reads += 1;
+        let sz = std::mem::size_of::<T>() as u64;
+        tally.bytes_read += sz;
+        match &self.touch {
+            Some(touch) => {
+                assert!(i < touch.len(), "global read out of bounds: {i}");
+                let prev = touch[i].swap(epoch.launch, Ordering::Relaxed);
+                if prev != epoch.launch {
+                    tally.dram_bytes_read += sz;
+                } else {
+                    tally.l2_read_hits += 1;
+                }
+            }
+            None => tally.dram_bytes_read += sz,
+        }
+        // Safety: in-bounds (indexing panics otherwise is emulated by the
+        // explicit check below); concurrent safety per the type contract.
+        assert!(i < self.cells.len(), "global read out of bounds: {i}");
+        unsafe { *self.cells[i].get() }
+    }
+
+    /// Kernel-path write: counted and race-checked.
+    #[inline(always)]
+    pub fn write(&self, tally: &mut Tally, epoch: Epoch, i: usize, value: T) {
+        if let Some(rc) = &self.race {
+            rc.on_write(epoch, i);
+        }
+        tally.writes += 1;
+        tally.bytes_written += std::mem::size_of::<T>() as u64;
+        assert!(i < self.cells.len(), "global write out of bounds: {i}");
+        unsafe { *self.cells[i].get() = value };
+    }
+
+    /// Host-path read (uncounted). Only sound between launches.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        unsafe { *self.cells[i].get() }
+    }
+
+    /// Host-path write (uncounted). Only sound between launches.
+    #[inline]
+    pub fn set(&self, i: usize, value: T) {
+        unsafe { *self.cells[i].get() = value };
+    }
+
+    /// Copy the whole buffer to host memory. Only sound between launches.
+    pub fn snapshot(&self) -> Vec<T> {
+        (0..self.cells.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(block: u32) -> Epoch {
+        Epoch {
+            launch: 1,
+            phase: 0,
+            block,
+        }
+    }
+
+    #[test]
+    fn tally_counts_bytes_exactly() {
+        let b: GlobalBuffer<f64> = GlobalBuffer::new(16);
+        let mut t = Tally::default();
+        for i in 0..10 {
+            b.write(&mut t, ep(0), i, i as f64);
+        }
+        for i in 0..4 {
+            let _ = b.read(&mut t, ep(0), i);
+        }
+        assert_eq!(t.writes, 10);
+        assert_eq!(t.reads, 4);
+        assert_eq!(t.bytes_written, 80);
+        assert_eq!(t.bytes_read, 32);
+        assert_eq!(t.total_bytes(), 112);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Tally {
+            reads: 1,
+            writes: 2,
+            bytes_read: 8,
+            bytes_written: 16,
+            dram_bytes_read: 8,
+            l2_read_hits: 0,
+        };
+        a.merge(&Tally {
+            reads: 10,
+            writes: 20,
+            bytes_read: 80,
+            bytes_written: 160,
+            dram_bytes_read: 80,
+            l2_read_hits: 0,
+        });
+        assert_eq!(a.reads, 11);
+        assert_eq!(a.bytes_written, 176);
+    }
+
+    #[test]
+    fn roundtrip_values() {
+        let b: GlobalBuffer<f64> = GlobalBuffer::from_vec(vec![1.5, 2.5, 3.5]);
+        let mut t = Tally::default();
+        assert_eq!(b.read(&mut t, ep(0), 1), 2.5);
+        b.write(&mut t, ep(0), 1, -7.0);
+        assert_eq!(b.get(1), -7.0);
+        assert_eq!(b.snapshot(), vec![1.5, -7.0, 3.5]);
+        assert_eq!(b.size_bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let b: GlobalBuffer<f64> = GlobalBuffer::new(4);
+        let mut t = Tally::default();
+        let _ = b.read(&mut t, ep(0), 4);
+    }
+
+    #[test]
+    fn touch_tracking_models_l2() {
+        let b: GlobalBuffer<f64> = GlobalBuffer::new(8).with_touch_tracking();
+        let mut t = Tally::default();
+        // First reads: DRAM. Repeats within the same launch: L2 — even from
+        // another block (halo sharing between columns).
+        for i in 0..4 {
+            let _ = b.read(&mut t, ep(0), i);
+        }
+        for i in 0..4 {
+            let _ = b.read(&mut t, ep(1), i);
+        }
+        assert_eq!(t.reads, 8);
+        assert_eq!(t.dram_bytes_read, 32);
+        assert_eq!(t.l2_read_hits, 4);
+        assert!((t.l2_hit_rate() - 0.5).abs() < 1e-12);
+        // A new launch starts with a cold L2.
+        let mut t2 = Tally::default();
+        let _ = b.read(
+            &mut t2,
+            Epoch {
+                launch: 2,
+                phase: 0,
+                block: 0,
+            },
+            0,
+        );
+        assert_eq!(t2.dram_bytes_read, 8);
+        assert_eq!(t2.l2_read_hits, 0);
+    }
+
+    #[test]
+    fn dram_bytes_without_tracking_equals_all_reads() {
+        let b: GlobalBuffer<f64> = GlobalBuffer::new(4);
+        let mut t = Tally::default();
+        let _ = b.read(&mut t, ep(0), 1);
+        let _ = b.read(&mut t, ep(0), 1);
+        b.write(&mut t, ep(0), 2, 1.0);
+        assert_eq!(t.dram_bytes_read, 16);
+        assert_eq!(t.dram_bytes(), 24);
+    }
+
+    #[test]
+    fn generic_element_sizes() {
+        let b: GlobalBuffer<u32> = GlobalBuffer::new(8);
+        let mut t = Tally::default();
+        b.write(&mut t, ep(0), 0, 42);
+        assert_eq!(t.bytes_written, 4);
+        assert_eq!(b.size_bytes(), 32);
+    }
+}

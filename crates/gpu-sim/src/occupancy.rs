@@ -1,0 +1,111 @@
+//! Blocks-per-SM occupancy calculator.
+//!
+//! The paper notes (§3.2) that "optimal performance is achieved with two or
+//! more thread blocks per SM, so the targeted tile size and shared memory
+//! usage per column must be adjusted to account for this". The MR kernel
+//! configuration chooser uses this module to honor that rule.
+
+use crate::device::DeviceSpec;
+
+/// Result of an occupancy query.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM under all limits.
+    pub blocks_per_sm: usize,
+    /// Resident threads per SM (`blocks_per_sm × threads_per_block`).
+    pub threads_per_sm: usize,
+    /// Fraction of the device's maximum resident threads.
+    pub fraction: f64,
+    /// Which resource bound the block count.
+    pub limiter: Limiter,
+}
+
+/// The resource limiting occupancy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    Threads,
+    SharedMemory,
+    BlockSlots,
+}
+
+/// Compute occupancy for a kernel with the given block size and per-block
+/// shared-memory footprint.
+pub fn occupancy(dev: &DeviceSpec, threads_per_block: usize, shared_bytes: usize) -> Occupancy {
+    assert!(threads_per_block >= 1);
+    assert!(threads_per_block <= dev.max_threads_per_block);
+    let by_threads = dev.max_threads_per_sm / threads_per_block;
+    let by_shared = dev
+        .shared_mem_per_sm
+        .checked_div(shared_bytes)
+        .unwrap_or(usize::MAX);
+    let by_slots = dev.max_blocks_per_sm;
+
+    let blocks = by_threads.min(by_shared).min(by_slots);
+    let limiter = if blocks == by_shared && by_shared <= by_threads && by_shared <= by_slots {
+        Limiter::SharedMemory
+    } else if blocks == by_threads && by_threads <= by_slots {
+        Limiter::Threads
+    } else {
+        Limiter::BlockSlots
+    };
+    let threads = blocks * threads_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        threads_per_sm: threads,
+        fraction: threads as f64 / dev.max_threads_per_sm as f64,
+        limiter,
+    }
+}
+
+/// Whether the configuration meets the paper's ≥ 2 blocks/SM guidance.
+pub fn meets_two_block_rule(dev: &DeviceSpec, threads_per_block: usize, shared_bytes: usize) -> bool {
+    occupancy(dev, threads_per_block, shared_bytes).blocks_per_sm >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_limited() {
+        let dev = DeviceSpec::v100();
+        let o = occupancy(&dev, 1024, 0);
+        assert_eq!(o.blocks_per_sm, 2); // 2048 / 1024
+        assert_eq!(o.limiter, Limiter::Threads);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_limited() {
+        let dev = DeviceSpec::v100();
+        // 40 KB per block: only 2 fit in 96 KB.
+        let o = occupancy(&dev, 128, 40 * 1024);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn slot_limited() {
+        let dev = DeviceSpec::v100();
+        let o = occupancy(&dev, 32, 0);
+        assert_eq!(o.blocks_per_sm, 32); // max_blocks_per_sm
+        assert_eq!(o.limiter, Limiter::BlockSlots);
+        assert!((o.fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_block_rule() {
+        let dev = DeviceSpec::mi100();
+        // Whole LDS per block → 1 block/SM → violates the rule.
+        assert!(!meets_two_block_rule(&dev, 256, 64 * 1024));
+        assert!(meets_two_block_rule(&dev, 256, 32 * 1024));
+    }
+
+    #[test]
+    fn mi100_lds_is_smaller() {
+        // The same 40 KB request fits 2 blocks on V100 but only 1 on MI100 —
+        // the cross-vendor asymmetry the paper discusses.
+        assert!(meets_two_block_rule(&DeviceSpec::v100(), 128, 40 * 1024));
+        assert!(!meets_two_block_rule(&DeviceSpec::mi100(), 128, 40 * 1024));
+    }
+}

@@ -1,0 +1,168 @@
+//! Kernel-launch profiling: the substrate's stand-in for nvvp / nsight /
+//! rocprof. Aggregates [`LaunchStats`] per kernel name and renders reports
+//! with bytes-per-update and modeled bandwidth/throughput.
+
+use crate::device::DeviceSpec;
+use crate::efficiency::{self, Pattern};
+use crate::exec::LaunchStats;
+use crate::memory::Tally;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Accumulated statistics for one kernel.
+#[derive(Clone, Debug, Default)]
+pub struct KernelProfile {
+    pub launches: u64,
+    pub tally: Tally,
+    /// Logical work items (fluid-node updates) attributed via
+    /// [`Profiler::record`].
+    pub work_items: u64,
+}
+
+impl KernelProfile {
+    /// Requested bytes per work item (includes reads served by the L2).
+    pub fn bytes_per_item(&self) -> f64 {
+        if self.work_items == 0 {
+            return f64::NAN;
+        }
+        self.tally.total_bytes() as f64 / self.work_items as f64
+    }
+
+    /// DRAM bytes per work item — the paper's B/F (Table 2).
+    pub fn dram_bytes_per_item(&self) -> f64 {
+        if self.work_items == 0 {
+            return f64::NAN;
+        }
+        self.tally.dram_bytes() as f64 / self.work_items as f64
+    }
+}
+
+/// Thread-safe profile aggregator.
+#[derive(Default)]
+pub struct Profiler {
+    profiles: Mutex<BTreeMap<String, KernelProfile>>,
+}
+
+impl Profiler {
+    /// Create an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a launch and the number of logical work items it performed.
+    pub fn record(&self, stats: &LaunchStats, work_items: u64) {
+        let mut map = self.profiles.lock();
+        let p = map.entry(stats.kernel.clone()).or_default();
+        p.launches += 1;
+        p.tally.merge(&stats.tally);
+        p.work_items += work_items;
+    }
+
+    /// Profile for one kernel, if recorded.
+    pub fn get(&self, kernel: &str) -> Option<KernelProfile> {
+        self.profiles.lock().get(kernel).cloned()
+    }
+
+    /// Render a table of all kernels: requested and DRAM traffic, L2 hit
+    /// rate, and bytes per work item (the DRAM column is the paper's B/F).
+    pub fn report(&self) -> String {
+        let map = self.profiles.lock();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>14} {:>14} {:>8} {:>10} {:>12}",
+            "kernel", "launches", "bytes read", "bytes written", "L2 hit", "B/item", "DRAM B/item"
+        );
+        for (name, p) in map.iter() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>14} {:>14} {:>7.1}% {:>10.1} {:>12.1}",
+                name,
+                p.launches,
+                p.tally.bytes_read,
+                p.tally.bytes_written,
+                100.0 * p.tally.l2_hit_rate(),
+                p.bytes_per_item(),
+                p.dram_bytes_per_item()
+            );
+        }
+        out
+    }
+
+    /// Modeled throughput for a kernel on a device (uses the measured B/F).
+    pub fn modeled_mflups(
+        &self,
+        kernel: &str,
+        dev: &DeviceSpec,
+        pattern: Pattern,
+        dim: usize,
+        fluid_nodes: usize,
+    ) -> Option<f64> {
+        let p = self.get(kernel)?;
+        Some(efficiency::modeled_mflups(
+            dev,
+            pattern,
+            dim,
+            p.dram_bytes_per_item(),
+            fluid_nodes,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(kernel: &str, br: u64, bw: u64) -> LaunchStats {
+        LaunchStats {
+            kernel: kernel.to_string(),
+            blocks: 1,
+            threads_per_block: 32,
+            phases: 1,
+            tally: Tally {
+                reads: br / 8,
+                writes: bw / 8,
+                bytes_read: br,
+                bytes_written: bw,
+                dram_bytes_read: br,
+                l2_read_hits: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_across_launches() {
+        let p = Profiler::new();
+        p.record(&stats("k", 800, 800), 10);
+        p.record(&stats("k", 800, 800), 10);
+        let k = p.get("k").unwrap();
+        assert_eq!(k.launches, 2);
+        assert_eq!(k.work_items, 20);
+        assert_eq!(k.bytes_per_item(), 160.0);
+    }
+
+    #[test]
+    fn report_lists_kernels() {
+        let p = Profiler::new();
+        p.record(&stats("alpha", 100, 100), 5);
+        p.record(&stats("beta", 200, 200), 5);
+        let r = p.report();
+        assert!(r.contains("alpha"));
+        assert!(r.contains("beta"));
+        assert!(r.lines().count() >= 3);
+    }
+
+    #[test]
+    fn modeled_mflups_uses_measured_bpf() {
+        let p = Profiler::new();
+        // 160 B/item measured → matches ideal MR 3D.
+        p.record(&stats("mr3", 80 * 16, 80 * 16), 16);
+        let dev = DeviceSpec::v100();
+        let m = p
+            .modeled_mflups("mr3", &dev, Pattern::MomentProjective, 3, 16_000_000)
+            .unwrap();
+        assert!((m - 3800.0).abs() / 3800.0 < 0.03, "{m}");
+        assert!(p.modeled_mflups("nope", &dev, Pattern::Standard, 2, 1).is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! A lightweight dynamic race checker for global memory.
+//!
+//! Algorithm 2 of the paper updates the moment lattice *in place* while
+//! adjacent columns read each other's halos; its safety rests on circular
+//! array time shifting (Dethier et al. 2011) plus the two-layer write lag.
+//! This module makes that argument *checkable*: with a checker attached,
+//! every kernel access records `(launch, phase, block)` and the following
+//! rules are enforced:
+//!
+//! * **double write** — two different blocks writing one cell in the same
+//!   launch is always an error;
+//! * **same-phase read/write overlap** — a cell read and written by
+//!   different blocks in the same lockstep phase is unordered → error;
+//! * **stale read** — reading a cell that a different block overwrote in an
+//!   *earlier* phase of the same launch means the circular shift failed to
+//!   protect the old value → error.
+//!
+//! Reads ordered *before* writes by the phase barrier (read in phase p,
+//! written in phase p′ > p) are the intended data reuse and pass.
+//!
+//! The checker is best-effort (like a thread sanitizer): it uses relaxed
+//! atomics and keeps only the most recent reader per cell, so it can miss
+//! exotic interleavings, but any report it makes is a real violation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of an access: which launch, which lockstep phase, which block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Epoch {
+    pub launch: u32,
+    pub phase: u32,
+    pub block: u32,
+}
+
+/// Packed cell state: `[launch:16][phase:16][block:31][occupied:1]`.
+fn pack(ep: Epoch) -> u64 {
+    ((ep.launch as u64 & 0xffff) << 48)
+        | ((ep.phase as u64 & 0xffff) << 32)
+        | ((ep.block as u64 & 0x7fff_ffff) << 1)
+        | 1
+}
+
+fn unpack(v: u64) -> Option<Epoch> {
+    if v & 1 == 0 {
+        return None;
+    }
+    Some(Epoch {
+        launch: ((v >> 48) & 0xffff) as u32,
+        phase: ((v >> 32) & 0xffff) as u32,
+        block: ((v >> 1) & 0x7fff_ffff) as u32,
+    })
+}
+
+/// Per-cell access history for one buffer.
+pub struct RaceChecker {
+    writer: Box<[AtomicU64]>,
+    reader: Box<[AtomicU64]>,
+    /// Strict mode additionally forbids cross-block reads of cells written
+    /// in an *earlier* phase of the same launch. That pattern is legitimate
+    /// producer/consumer communication in general (ordered by the phase
+    /// barrier), but for an in-place buffer protected by circular array
+    /// shifting it means a reader received new-timestep data in a slot that
+    /// should still have held the old value — the exact failure the shift
+    /// exists to prevent.
+    strict: bool,
+}
+
+impl RaceChecker {
+    /// Create a checker covering `len` cells with the standard rules.
+    pub fn new(len: usize) -> Self {
+        Self::with_mode(len, false)
+    }
+
+    /// Create a checker with explicit strictness (see the `strict` field).
+    pub fn with_mode(len: usize, strict: bool) -> Self {
+        RaceChecker {
+            writer: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            reader: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            strict,
+        }
+    }
+
+    /// Record and validate a read.
+    pub fn on_read(&self, ep: Epoch, i: usize) {
+        if let Some(w) = unpack(self.writer[i].load(Ordering::Relaxed)) {
+            if w.launch == ep.launch && w.block != ep.block {
+                if w.phase == ep.phase {
+                    panic!(
+                        "race: cell {i} read by block {} while written by block {} in phase {} of launch {}",
+                        ep.block, w.block, ep.phase, ep.launch
+                    );
+                } else if w.phase < ep.phase && self.strict {
+                    panic!(
+                        "stale read: cell {i} read by block {} in phase {} was overwritten by block {} in phase {} (launch {}) — circular shift failed to protect it",
+                        ep.block, ep.phase, w.block, w.phase, ep.launch
+                    );
+                }
+            }
+        }
+        self.reader[i].store(pack(ep), Ordering::Relaxed);
+    }
+
+    /// Record and validate a write.
+    pub fn on_write(&self, ep: Epoch, i: usize) {
+        if let Some(w) = unpack(self.writer[i].load(Ordering::Relaxed)) {
+            if w.launch == ep.launch && w.block != ep.block {
+                panic!(
+                    "race: cell {i} written by blocks {} and {} in launch {}",
+                    w.block, ep.block, ep.launch
+                );
+            }
+        }
+        if let Some(r) = unpack(self.reader[i].load(Ordering::Relaxed)) {
+            if r.launch == ep.launch && r.block != ep.block && r.phase == ep.phase {
+                panic!(
+                    "race: cell {i} written by block {} while read by block {} in phase {} of launch {}",
+                    ep.block, r.block, ep.phase, ep.launch
+                );
+            }
+        }
+        self.writer[i].store(pack(ep), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(launch: u32, phase: u32, block: u32) -> Epoch {
+        Epoch {
+            launch,
+            phase,
+            block,
+        }
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let e = ep(7, 300, 123456);
+        assert_eq!(unpack(pack(e)), Some(e));
+        assert_eq!(unpack(0), None);
+    }
+
+    #[test]
+    fn same_block_rw_is_fine() {
+        let rc = RaceChecker::new(4);
+        rc.on_write(ep(1, 0, 5), 2);
+        rc.on_read(ep(1, 1, 5), 2);
+        rc.on_write(ep(1, 2, 5), 2);
+    }
+
+    #[test]
+    fn read_before_later_write_is_fine() {
+        let rc = RaceChecker::new(4);
+        // Block 1 reads in phase 0; block 2 overwrites in phase 1 — ordered
+        // by the barrier, and the reader already consumed the old value.
+        rc.on_read(ep(1, 0, 1), 0);
+        rc.on_write(ep(1, 1, 2), 0);
+    }
+
+    #[test]
+    fn next_launch_resets() {
+        let rc = RaceChecker::new(4);
+        rc.on_write(ep(1, 0, 1), 0);
+        // Different launch: no conflict.
+        rc.on_write(ep(2, 0, 2), 0);
+        rc.on_read(ep(3, 0, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "written by blocks")]
+    fn double_write_detected() {
+        let rc = RaceChecker::new(4);
+        rc.on_write(ep(1, 0, 1), 3);
+        rc.on_write(ep(1, 2, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale read")]
+    fn stale_read_detected_in_strict_mode() {
+        let rc = RaceChecker::with_mode(4, true);
+        rc.on_write(ep(1, 0, 1), 3);
+        rc.on_read(ep(1, 1, 2), 3);
+    }
+
+    #[test]
+    fn cross_phase_read_allowed_in_standard_mode() {
+        let rc = RaceChecker::new(4);
+        rc.on_write(ep(1, 0, 1), 3);
+        rc.on_read(ep(1, 1, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "while written by block")]
+    fn same_phase_read_write_detected() {
+        let rc = RaceChecker::new(4);
+        rc.on_write(ep(1, 1, 1), 3);
+        rc.on_read(ep(1, 1, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "while read by block")]
+    fn same_phase_write_after_read_detected() {
+        let rc = RaceChecker::new(4);
+        rc.on_read(ep(1, 1, 2), 3);
+        rc.on_write(ep(1, 1, 1), 3);
+    }
+}

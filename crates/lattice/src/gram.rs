@@ -1,0 +1,337 @@
+//! Gram-matrix analysis: which Hermite components are representable on a
+//! given lattice?
+//!
+//! Recursive regularization (paper §2.3) expands the distribution on "a
+//! complete Hermite polynomial basis with Q moments". On a finite velocity
+//! set not every continuous Hermite component survives: some vanish
+//! identically (e.g. `H⁽³⁾_xxx` on single-speed lattices, where `c³ = c` and
+//! `c_s² = 1/3`), and some *alias* onto lower-order polynomials (e.g.
+//! `H⁽⁴⁾_xxxx = −H⁽²⁾_xx` on D2Q9) — including those would corrupt the
+//! hydrodynamic moments.
+//!
+//! This module discovers the representable set numerically: it runs a
+//! weighted Gram–Schmidt over the lattice inner product
+//! `⟨g, h⟩ = Σ_i ω_i g(c_i) h(c_i)`, accepting a candidate component only if
+//! its residual after projecting out all lower-order polynomials (and
+//! previously accepted same-order components) has non-negligible norm.
+//! The hand-written tables in [`crate::Lattice::H3_COMPONENTS`] /
+//! [`H4_COMPONENTS`](crate::Lattice::H4_COMPONENTS) are validated against
+//! this analysis in the test suite.
+
+use crate::{hermite, tensor, Lattice};
+
+/// Tolerance below which a residual norm is considered zero.
+const TOL: f64 = 1e-10;
+
+/// Result of the representability analysis for one lattice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Representable {
+    /// Accepted sorted third-order index triples.
+    pub h3: Vec<[usize; 3]>,
+    /// Accepted sorted fourth-order index quadruples.
+    pub h4: Vec<[usize; 4]>,
+}
+
+/// Evaluate a function of the velocity on every lattice direction.
+fn sample<L: Lattice>(f: impl Fn([f64; 3]) -> f64) -> Vec<f64> {
+    (0..L::Q).map(|i| f(L::cf(i))).collect()
+}
+
+/// Weighted inner product `Σ_i ω_i g_i h_i`.
+fn dot<L: Lattice>(g: &[f64], h: &[f64]) -> f64 {
+    (0..L::Q).map(|i| L::W[i] * g[i] * h[i]).sum()
+}
+
+/// Project out `basis` from `v` (modified Gram–Schmidt) and return the
+/// squared norm of the residual, leaving the residual in `v`.
+fn residual_norm2<L: Lattice>(v: &mut [f64], basis: &[Vec<f64>]) -> f64 {
+    for b in basis {
+        let nb = dot::<L>(b, b);
+        if nb < TOL {
+            continue;
+        }
+        let proj = dot::<L>(v, b) / nb;
+        for i in 0..v.len() {
+            v[i] -= proj * b[i];
+        }
+    }
+    dot::<L>(v, v)
+}
+
+/// Run the full analysis for lattice `L`.
+pub fn analyze<L: Lattice>() -> Representable {
+    // Lower-order basis: H0, H1 components, H2 sorted pairs.
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    basis.push(sample::<L>(hermite::h0));
+    for a in 0..L::D {
+        basis.push(sample::<L>(|c| hermite::h1(c, a)));
+    }
+    for p in tensor::sorted_pairs(L::D) {
+        basis.push(sample::<L>(|c| hermite::h2::<L>(c, p[0], p[1])));
+    }
+
+    let mut h3 = Vec::new();
+    for t in tensor::sorted_triples(L::D) {
+        let mut v = sample::<L>(|c| hermite::h3::<L>(c, t[0], t[1], t[2]));
+        let raw = dot::<L>(&v, &v);
+        if raw < TOL {
+            continue; // vanishes identically
+        }
+        if residual_norm2::<L>(&mut v, &basis) > TOL {
+            h3.push(t);
+            basis.push(v);
+        }
+    }
+
+    let mut h4 = Vec::new();
+    for q in tensor::sorted_quads(L::D) {
+        let mut v = sample::<L>(|c| hermite::h4::<L>(c, q[0], q[1], q[2], q[3]));
+        let raw = dot::<L>(&v, &v);
+        if raw < TOL {
+            continue;
+        }
+        if residual_norm2::<L>(&mut v, &basis) > TOL {
+            h4.push(q);
+            basis.push(v);
+        }
+    }
+
+    Representable { h3, h4 }
+}
+
+/// Lattice-orthogonalized third- and fourth-order Hermite basis tables.
+///
+/// On some lattices the raw fourth-order Hermite components are only
+/// *partially* representable: e.g. on D3Q19, `H⁽⁴⁾_xxyy` has a non-zero
+/// projection onto `H⁽²⁾_zz` (the lattice lacks the velocities to carry the
+/// full tensor), so reconstructing with the raw polynomial would corrupt the
+/// stored second-order moment. This table stores each component of
+/// [`Lattice::H3_COMPONENTS`] / [`Lattice::H4_COMPONENTS`] with its
+/// projections onto the hydrodynamic subspace `{H⁽⁰⁾, H⁽¹⁾, H⁽²⁾}` removed.
+/// Together with `{1, c, H⁽²⁾}` these orthogonalized components span exactly
+/// `Q` dimensions — the "complete Hermite polynomial basis with Q moments"
+/// of paper §2.3 (D3Q19: 1 + 3 + 6 + 6 + 3 = 19).
+///
+/// On lattices where the raw components are already orthogonal (D2Q9), the
+/// table reproduces the raw polynomials bit-for-bit up to roundoff, so the
+/// reconstruction is exactly the paper's eq. (14).
+#[derive(Clone, Debug)]
+pub struct HigherBasis {
+    /// `h3[k][i]` = orthogonalized third-order component `k` at direction `i`.
+    pub h3: Vec<Vec<f64>>,
+    /// `h4[k][i]` = orthogonalized fourth-order component `k` at direction `i`.
+    pub h4: Vec<Vec<f64>>,
+}
+
+impl HigherBasis {
+    /// Build the orthogonalized tables for lattice `L`. Cost is
+    /// `O(Q·(n3+n4)·M)` once; solvers construct this at setup time.
+    pub fn new<L: Lattice>() -> Self {
+        // Hydrodynamic subspace to project out. H3 is odd and H2/H0 even, so
+        // only H1 could alias into H3 and only H0/H2 into H4 — but we project
+        // against all of them for uniformity (extra projections are zero).
+        let mut hydro: Vec<Vec<f64>> = Vec::new();
+        hydro.push(sample::<L>(hermite::h0));
+        for a in 0..L::D {
+            hydro.push(sample::<L>(|c| hermite::h1(c, a)));
+        }
+        for p in tensor::sorted_pairs(L::D) {
+            hydro.push(sample::<L>(|c| hermite::h2::<L>(c, p[0], p[1])));
+        }
+
+        let mut h3 = Vec::with_capacity(L::H3_COMPONENTS.len());
+        for &(idx, _) in L::H3_COMPONENTS {
+            let mut v = sample::<L>(|c| hermite::h3::<L>(c, idx[0], idx[1], idx[2]));
+            let n = residual_norm2::<L>(&mut v, &hydro);
+            assert!(n > TOL, "{} H3 {idx:?} is not representable", L::NAME);
+            h3.push(v);
+        }
+        let mut h4 = Vec::with_capacity(L::H4_COMPONENTS.len());
+        for &(idx, _) in L::H4_COMPONENTS {
+            let mut v = sample::<L>(|c| hermite::h4::<L>(c, idx[0], idx[1], idx[2], idx[3]));
+            let n = residual_norm2::<L>(&mut v, &hydro);
+            assert!(n > TOL, "{} H4 {idx:?} is not representable", L::NAME);
+            h4.push(v);
+        }
+        HigherBasis { h3, h4 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{D2Q9, D3Q15, D3Q19, D3Q27};
+
+    fn sorted3(mut v: Vec<[usize; 3]>) -> Vec<[usize; 3]> {
+        v.sort();
+        v
+    }
+    fn sorted4(mut v: Vec<[usize; 4]>) -> Vec<[usize; 4]> {
+        v.sort();
+        v
+    }
+
+    /// The hand-listed recursive-regularization component tables must match
+    /// the numerically derived representable sets exactly.
+    fn table_matches_analysis<L: Lattice>() {
+        let r = analyze::<L>();
+        let table3: Vec<[usize; 3]> = L::H3_COMPONENTS.iter().map(|&(i, _)| i).collect();
+        let table4: Vec<[usize; 4]> = L::H4_COMPONENTS.iter().map(|&(i, _)| i).collect();
+        assert_eq!(sorted3(r.h3), sorted3(table3), "{} H3", L::NAME);
+        assert_eq!(sorted4(r.h4), sorted4(table4), "{} H4", L::NAME);
+    }
+
+    #[test]
+    fn d2q9_tables() {
+        table_matches_analysis::<D2Q9>();
+    }
+
+    #[test]
+    fn d3q19_tables() {
+        table_matches_analysis::<D3Q19>();
+    }
+
+    #[test]
+    fn d3q27_tables() {
+        table_matches_analysis::<D3Q27>();
+    }
+
+    /// The multiplicities in the trait tables must agree with the generic
+    /// permutation count.
+    #[test]
+    fn table_multiplicities() {
+        fn check<L: Lattice>() {
+            for &(idx, mult) in L::H3_COMPONENTS {
+                assert_eq!(mult, tensor::multiplicity(&idx), "{} H3 {idx:?}", L::NAME);
+            }
+            for &(idx, mult) in L::H4_COMPONENTS {
+                assert_eq!(mult, tensor::multiplicity(&idx), "{} H4 {idx:?}", L::NAME);
+            }
+        }
+        check::<D2Q9>();
+        check::<D3Q19>();
+        check::<D3Q27>();
+    }
+
+    /// Expected counts: D2Q9 has 2+1, D3Q19 has 6+3, D3Q27 has 7+6.
+    #[test]
+    fn representable_counts() {
+        let q9 = analyze::<D2Q9>();
+        assert_eq!((q9.h3.len(), q9.h4.len()), (2, 1));
+        let q19 = analyze::<D3Q19>();
+        assert_eq!((q19.h3.len(), q19.h4.len()), (6, 3));
+        let q27 = analyze::<D3Q27>();
+        assert_eq!((q27.h3.len(), q27.h4.len()), (7, 6));
+    }
+
+    /// D3Q15 supports a *different* third-order basis (it has corners but no
+    /// face diagonals); we only assert the analysis runs and returns
+    /// something sensible, since the solver does not use RR on Q15.
+    #[test]
+    fn d3q15_analysis_runs() {
+        let r = analyze::<D3Q15>();
+        // xyz is representable on Q15 (corner velocities exist).
+        assert!(r.h3.contains(&[0, 1, 2]));
+    }
+
+    /// The sequential Gram–Schmidt in `residual_norm2` is exact only if the
+    /// hydrodynamic basis is mutually orthogonal — verify that it is, on
+    /// every lattice we analyze.
+    #[test]
+    fn hydrodynamic_basis_is_mutually_orthogonal() {
+        fn check<L: Lattice>() {
+            let mut basis: Vec<Vec<f64>> = vec![sample::<L>(hermite::h0)];
+            for a in 0..L::D {
+                basis.push(sample::<L>(|c| hermite::h1(c, a)));
+            }
+            for p in tensor::sorted_pairs(L::D) {
+                basis.push(sample::<L>(|c| hermite::h2::<L>(c, p[0], p[1])));
+            }
+            for i in 0..basis.len() {
+                for j in 0..i {
+                    let d = dot::<L>(&basis[i], &basis[j]);
+                    assert!(d.abs() < 1e-13, "{} basis {i} vs {j}: {d}", L::NAME);
+                }
+                assert!(dot::<L>(&basis[i], &basis[i]) > 1e-6);
+            }
+        }
+        check::<D2Q9>();
+        check::<D3Q19>();
+        check::<D3Q27>();
+        check::<D3Q15>();
+    }
+
+    /// On D2Q9 the raw higher-order Hermite components are already
+    /// lattice-orthogonal, so the orthogonalized table must equal the raw
+    /// polynomial values (the reconstruction is then exactly eq. 14).
+    #[test]
+    fn d2q9_higher_basis_equals_raw() {
+        let b = HigherBasis::new::<D2Q9>();
+        for (k, &(idx, _)) in D2Q9::H3_COMPONENTS.iter().enumerate() {
+            for i in 0..D2Q9::Q {
+                let raw = hermite::h3::<D2Q9>(D2Q9::cf(i), idx[0], idx[1], idx[2]);
+                assert!((b.h3[k][i] - raw).abs() < 1e-13);
+            }
+        }
+        for (k, &(idx, _)) in D2Q9::H4_COMPONENTS.iter().enumerate() {
+            for i in 0..D2Q9::Q {
+                let raw = hermite::h4::<D2Q9>(D2Q9::cf(i), idx[0], idx[1], idx[2], idx[3]);
+                assert!((b.h4[k][i] - raw).abs() < 1e-13);
+            }
+        }
+    }
+
+    /// The orthogonalized basis must be invisible to the hydrodynamic
+    /// moments on every lattice — including D3Q19, where the *raw* H⁽⁴⁾
+    /// components alias onto H⁽²⁾.
+    #[test]
+    fn higher_basis_is_hydro_invisible() {
+        fn check<L: Lattice>() {
+            let b = HigherBasis::new::<L>();
+            let mut hydro: Vec<Vec<f64>> = vec![sample::<L>(hermite::h0)];
+            for a in 0..L::D {
+                hydro.push(sample::<L>(|c| hermite::h1(c, a)));
+            }
+            for p in tensor::sorted_pairs(L::D) {
+                hydro.push(sample::<L>(|c| hermite::h2::<L>(c, p[0], p[1])));
+            }
+            for v in b.h3.iter().chain(b.h4.iter()) {
+                for h in &hydro {
+                    assert!(dot::<L>(v, h).abs() < 1e-13, "{}", L::NAME);
+                }
+            }
+        }
+        check::<D2Q9>();
+        check::<D3Q19>();
+        check::<D3Q27>();
+    }
+
+    /// Accepted components must be orthogonal to the hydrodynamic basis:
+    /// adding them to a distribution must not change ρ, u, Π.
+    #[test]
+    fn accepted_components_orthogonal_to_hydrodynamics() {
+        fn check<L: Lattice>() {
+            let r = analyze::<L>();
+            for t in &r.h3 {
+                let v = sample::<L>(|c| hermite::h3::<L>(c, t[0], t[1], t[2]));
+                let h0s = sample::<L>(hermite::h0);
+                assert!(dot::<L>(&v, &h0s).abs() < 1e-12);
+                for a in 0..L::D {
+                    let h1s = sample::<L>(|c| hermite::h1(c, a));
+                    assert!(dot::<L>(&v, &h1s).abs() < 1e-12);
+                    for b in a..L::D {
+                        let h2s = sample::<L>(|c| hermite::h2::<L>(c, a, b));
+                        assert!(
+                            dot::<L>(&v, &h2s).abs() < 1e-12,
+                            "{} H3{t:?} vs H2[{a}{b}]",
+                            L::NAME
+                        );
+                    }
+                }
+            }
+        }
+        check::<D2Q9>();
+        check::<D3Q19>();
+        check::<D3Q27>();
+    }
+}

@@ -1,0 +1,144 @@
+//! Discrete Hermite polynomial tensors evaluated on lattice velocities.
+//!
+//! The tensors are defined with respect to the lattice weight function, with
+//! `c_s² = 1/3`:
+//!
+//! ```text
+//! H⁽⁰⁾          = 1
+//! H⁽¹⁾_α        = c_α
+//! H⁽²⁾_αβ       = c_α c_β − c_s² δ_αβ
+//! H⁽³⁾_αβγ      = c_α c_β c_γ − c_s² (c_α δ_βγ + c_β δ_αγ + c_γ δ_αβ)
+//! H⁽⁴⁾_αβγδ     = c_α c_β c_γ c_δ
+//!                 − c_s² (c_α c_β δ_γδ + … six terms …)
+//!                 + c_s⁴ (δ_αβ δ_γδ + δ_αγ δ_βδ + δ_αδ δ_βγ)
+//! ```
+//!
+//! These satisfy the discrete orthogonality relation
+//! `Σ_i ω_i H⁽ᵐ⁾(c_i) H⁽ⁿ⁾(c_i) = 0` for `m ≠ n` **only for components that
+//! are representable on the lattice** — see [`crate::gram`] for the
+//! machinery that detects which ones are.
+
+use crate::Lattice;
+
+#[inline(always)]
+fn delta(a: usize, b: usize) -> f64 {
+    if a == b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// `H⁽⁰⁾(c) = 1`.
+#[inline(always)]
+pub fn h0(_c: [f64; 3]) -> f64 {
+    1.0
+}
+
+/// `H⁽¹⁾_a(c) = c_a`.
+#[inline(always)]
+pub fn h1(c: [f64; 3], a: usize) -> f64 {
+    c[a]
+}
+
+/// `H⁽²⁾_ab(c) = c_a c_b − c_s² δ_ab`, with `c_s²` from the lattice.
+#[inline(always)]
+pub fn h2<L: Lattice>(c: [f64; 3], a: usize, b: usize) -> f64 {
+    c[a] * c[b] - L::CS2 * delta(a, b)
+}
+
+/// `H⁽³⁾_abg(c)`.
+#[inline(always)]
+pub fn h3<L: Lattice>(c: [f64; 3], a: usize, b: usize, g: usize) -> f64 {
+    c[a] * c[b] * c[g]
+        - L::CS2 * (c[a] * delta(b, g) + c[b] * delta(a, g) + c[g] * delta(a, b))
+}
+
+/// `H⁽⁴⁾_abgd(c)`.
+#[inline(always)]
+pub fn h4<L: Lattice>(c: [f64; 3], a: usize, b: usize, g: usize, d: usize) -> f64 {
+    let cs2 = L::CS2;
+    let cccc = c[a] * c[b] * c[g] * c[d];
+    let cc_d = c[a] * c[b] * delta(g, d)
+        + c[a] * c[g] * delta(b, d)
+        + c[a] * c[d] * delta(b, g)
+        + c[b] * c[g] * delta(a, d)
+        + c[b] * c[d] * delta(a, g)
+        + c[g] * c[d] * delta(a, b);
+    let dd = delta(a, b) * delta(g, d) + delta(a, g) * delta(b, d) + delta(a, d) * delta(b, g);
+    cccc - cs2 * cc_d + cs2 * cs2 * dd
+}
+
+/// Evaluate a Hermite component of arbitrary order 0..=4 given its sorted
+/// index tuple. Convenience entry point for the Gram analysis; the solvers
+/// call the order-specific functions directly.
+pub fn eval<L: Lattice>(c: [f64; 3], indices: &[usize]) -> f64 {
+    match *indices {
+        [] => h0(c),
+        [a] => h1(c, a),
+        [a, b] => h2::<L>(c, a, b),
+        [a, b, g] => h3::<L>(c, a, b, g),
+        [a, b, g, d] => h4::<L>(c, a, b, g, d),
+        _ => panic!("Hermite order {} not supported", indices.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lattice, D2Q9, D3Q19};
+
+    /// The Hermite tensors must be totally symmetric in their indices.
+    #[test]
+    fn symmetry() {
+        let c = [1.0, -1.0, 0.0];
+        assert_eq!(h2::<D2Q9>(c, 0, 1), h2::<D2Q9>(c, 1, 0));
+        assert_eq!(h3::<D3Q19>(c, 0, 1, 2), h3::<D3Q19>(c, 2, 0, 1));
+        assert_eq!(h3::<D2Q9>(c, 0, 0, 1), h3::<D2Q9>(c, 0, 1, 0));
+        assert_eq!(h4::<D2Q9>(c, 0, 0, 1, 1), h4::<D2Q9>(c, 1, 0, 1, 0));
+        assert_eq!(h4::<D3Q19>(c, 0, 1, 2, 2), h4::<D3Q19>(c, 2, 2, 1, 0));
+    }
+
+    /// Weighted zeroth moments: Σ ω H⁽ⁿ⁾ = 0 for n ≥ 1 (orthogonality with
+    /// H⁽⁰⁾).
+    #[test]
+    fn zero_mean() {
+        fn run<L: Lattice>() {
+            for a in 0..L::D {
+                let s1: f64 = (0..L::Q).map(|i| L::W[i] * h1(L::cf(i), a)).sum();
+                assert!(s1.abs() < 1e-14);
+                for b in 0..L::D {
+                    let s2: f64 = (0..L::Q).map(|i| L::W[i] * h2::<L>(L::cf(i), a, b)).sum();
+                    assert!(s2.abs() < 1e-14, "{} H2[{a}{b}]", L::NAME);
+                }
+            }
+        }
+        run::<D2Q9>();
+        run::<D3Q19>();
+    }
+
+    /// H⁽³⁾_xxx vanishes identically on single-speed lattices
+    /// (c³ = c and c_s² = 1/3 ⟹ c³ − 3·(1/3)·c = 0).
+    #[test]
+    fn aliased_components_vanish() {
+        for i in 0..D2Q9::Q {
+            let c = D2Q9::cf(i);
+            assert!(h3::<D2Q9>(c, 0, 0, 0).abs() < 1e-15);
+            assert!(h3::<D2Q9>(c, 1, 1, 1).abs() < 1e-15);
+        }
+        // H3_xyz vanishes on D3Q19 (no corner velocities).
+        for i in 0..D3Q19::Q {
+            assert!(h3::<D3Q19>(D3Q19::cf(i), 0, 1, 2).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn eval_dispatches_by_order() {
+        let c = [1.0, 1.0, 0.0];
+        assert_eq!(eval::<D2Q9>(c, &[]), 1.0);
+        assert_eq!(eval::<D2Q9>(c, &[0]), h1(c, 0));
+        assert_eq!(eval::<D2Q9>(c, &[0, 1]), h2::<D2Q9>(c, 0, 1));
+        assert_eq!(eval::<D2Q9>(c, &[0, 0, 1]), h3::<D2Q9>(c, 0, 0, 1));
+        assert_eq!(eval::<D2Q9>(c, &[0, 0, 1, 1]), h4::<D2Q9>(c, 0, 0, 1, 1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Recursion relations for the higher-order Hermite coefficients used by
+//! recursive regularization (paper §2.3, Malaspinas 2015).
+//!
+//! Only `{ρ, u, Π^neq}` are needed: to first order in Chapman–Enskog,
+//!
+//! ```text
+//! a⁽³⁾_neq,αβγ  = u_α Π^neq_βγ + u_β Π^neq_αγ + u_γ Π^neq_αβ
+//! a⁽⁴⁾_neq,αβγδ = Σ over the 6 index pairings  u u Π^neq
+//! ```
+//!
+//! together with the equilibrium coefficients `a⁽³⁾_eq = ρ u u u` and
+//! `a⁽⁴⁾_eq = ρ u u u u`. The collision then relaxes each coefficient with
+//! the same `(1 − 1/τ)` factor as `Π` (eqs. 12–13).
+
+use crate::moments::pair_index_3d;
+
+/// Equilibrium third-order Hermite coefficient `a⁽³⁾_eq = ρ u_α u_β u_γ`.
+#[inline(always)]
+pub fn a3_eq(rho: f64, u: [f64; 3], idx: [usize; 3]) -> f64 {
+    rho * u[idx[0]] * u[idx[1]] * u[idx[2]]
+}
+
+/// Non-equilibrium third-order coefficient from the recursion relation.
+/// `pi_neq` is in canonical [`crate::PAIRS`] order.
+#[inline(always)]
+pub fn a3_neq(d: usize, u: [f64; 3], pi_neq: &[f64; 6], idx: [usize; 3]) -> f64 {
+    let [a, b, g] = idx;
+    u[a] * pi_neq[pair_index_3d(d, b, g)]
+        + u[b] * pi_neq[pair_index_3d(d, a, g)]
+        + u[g] * pi_neq[pair_index_3d(d, a, b)]
+}
+
+/// Equilibrium fourth-order Hermite coefficient `a⁽⁴⁾_eq = ρ u u u u`.
+#[inline(always)]
+pub fn a4_eq(rho: f64, u: [f64; 3], idx: [usize; 4]) -> f64 {
+    rho * u[idx[0]] * u[idx[1]] * u[idx[2]] * u[idx[3]]
+}
+
+/// Non-equilibrium fourth-order coefficient: symmetrized `u u Π^neq` over
+/// the six distinct pairings of four indices.
+#[inline(always)]
+pub fn a4_neq(d: usize, u: [f64; 3], pi_neq: &[f64; 6], idx: [usize; 4]) -> f64 {
+    let [a, b, g, e] = idx;
+    u[a] * u[b] * pi_neq[pair_index_3d(d, g, e)]
+        + u[a] * u[g] * pi_neq[pair_index_3d(d, b, e)]
+        + u[a] * u[e] * pi_neq[pair_index_3d(d, b, g)]
+        + u[b] * u[g] * pi_neq[pair_index_3d(d, a, e)]
+        + u[b] * u[e] * pi_neq[pair_index_3d(d, a, g)]
+        + u[g] * u[e] * pi_neq[pair_index_3d(d, a, b)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 2D closed forms from Malaspinas (2015), eqs. for D2Q9:
+    /// `a³_xxy = 2 u_x Π_xy + u_y Π_xx`, `a³_xyy = 2 u_y Π_xy + u_x Π_yy`,
+    /// `a⁴_xxyy = u_y² Π_xx + u_x² Π_yy + 4 u_x u_y Π_xy`.
+    #[test]
+    fn matches_malaspinas_2d_forms() {
+        let u = [0.11, -0.07, 0.0];
+        // Canonical 3D PAIRS order: xx, xy, xz, yy, yz, zz.
+        let pi = [0.5, -0.3, 0.0, 0.2, 0.0, 0.0];
+        let (pxx, pxy, pyy) = (pi[0], pi[1], pi[3]);
+
+        let got_xxy = a3_neq(2, u, &pi, [0, 0, 1]);
+        assert!((got_xxy - (2.0 * u[0] * pxy + u[1] * pxx)).abs() < 1e-15);
+
+        let got_xyy = a3_neq(2, u, &pi, [0, 1, 1]);
+        assert!((got_xyy - (2.0 * u[1] * pxy + u[0] * pyy)).abs() < 1e-15);
+
+        let got_xxyy = a4_neq(2, u, &pi, [0, 0, 1, 1]);
+        let want = u[1] * u[1] * pxx + u[0] * u[0] * pyy + 4.0 * u[0] * u[1] * pxy;
+        assert!((got_xxyy - want).abs() < 1e-15);
+    }
+
+    /// Coefficients are symmetric under index permutation (they only depend
+    /// on the multiset of indices).
+    #[test]
+    fn index_symmetry() {
+        let u = [0.03, 0.05, -0.02];
+        let pi = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        // Summation order differs between permutations, so compare with a
+        // roundoff tolerance rather than bitwise.
+        let d3 = a3_neq(3, u, &pi, [0, 1, 2]) - a3_neq(3, u, &pi, [2, 0, 1]);
+        assert!(d3.abs() < 1e-15);
+        let d4 = a4_neq(3, u, &pi, [0, 0, 1, 2]) - a4_neq(3, u, &pi, [1, 0, 2, 0]);
+        assert!(d4.abs() < 1e-15);
+        assert_eq!(a3_eq(1.1, u, [0, 1, 2]), a3_eq(1.1, u, [2, 1, 0]));
+        assert_eq!(a4_eq(1.1, u, [0, 1, 1, 2]), a4_eq(1.1, u, [1, 2, 1, 0]));
+    }
+
+    /// Zero Π^neq gives zero non-equilibrium coefficients.
+    #[test]
+    fn vanishes_at_equilibrium() {
+        let u = [0.1, 0.2, 0.3];
+        let pi = [0.0; 6];
+        assert_eq!(a3_neq(3, u, &pi, [0, 0, 1]), 0.0);
+        assert_eq!(a4_neq(3, u, &pi, [0, 0, 1, 1]), 0.0);
+    }
+
+    /// Zero velocity kills the equilibrium coefficients and reduces
+    /// a³_neq to zero while a⁴_neq survives only through the uu terms
+    /// (also zero).
+    #[test]
+    fn zero_velocity() {
+        let pi = [0.7, 0.1, 0.0, -0.4, 0.0, 0.2];
+        assert_eq!(a3_eq(1.0, [0.0; 3], [0, 0, 1]), 0.0);
+        assert_eq!(a3_neq(3, [0.0; 3], &pi, [0, 0, 1]), 0.0);
+        assert_eq!(a4_neq(3, [0.0; 3], &pi, [0, 0, 1, 1]), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Small helpers for symmetric tensor index bookkeeping.
+//!
+//! Recursive regularization contracts symmetric rank-3 and rank-4 tensors
+//! against Hermite polynomials; rather than storing every permutation, the
+//! solvers keep one value per sorted index tuple and fold the permutation
+//! count into a multiplicity factor. The helpers here generate those sorted
+//! tuples and multiplicities, and are also used by the Gram analysis to
+//! enumerate *candidate* components before deciding which are representable.
+
+/// All sorted index pairs `(a ≤ b)` in dimension `d`.
+pub fn sorted_pairs(d: usize) -> Vec<[usize; 2]> {
+    let mut out = Vec::new();
+    for a in 0..d {
+        for b in a..d {
+            out.push([a, b]);
+        }
+    }
+    out
+}
+
+/// All sorted index triples `(a ≤ b ≤ g)` in dimension `d`.
+pub fn sorted_triples(d: usize) -> Vec<[usize; 3]> {
+    let mut out = Vec::new();
+    for a in 0..d {
+        for b in a..d {
+            for g in b..d {
+                out.push([a, b, g]);
+            }
+        }
+    }
+    out
+}
+
+/// All sorted index quadruples in dimension `d`.
+pub fn sorted_quads(d: usize) -> Vec<[usize; 4]> {
+    let mut out = Vec::new();
+    for a in 0..d {
+        for b in a..d {
+            for g in b..d {
+                for e in g..d {
+                    out.push([a, b, g, e]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of distinct permutations of a sorted index tuple
+/// (`n! / Π mult_k!`): the symmetric multiplicity used when contracting a
+/// fully symmetric tensor stored with one value per sorted tuple.
+pub fn multiplicity(indices: &[usize]) -> f64 {
+    let n = indices.len();
+    let mut fact = 1usize;
+    for k in 2..=n {
+        fact *= k;
+    }
+    // Divide by the factorial of each repeated-run length.
+    let mut i = 0;
+    while i < n {
+        let mut run = 1;
+        while i + run < n && indices[i + run] == indices[i] {
+            run += 1;
+        }
+        for k in 2..=run {
+            fact /= k;
+        }
+        i += run;
+    }
+    fact as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_counts() {
+        assert_eq!(sorted_pairs(2).len(), 3);
+        assert_eq!(sorted_pairs(3).len(), 6);
+        assert_eq!(sorted_triples(2).len(), 4);
+        assert_eq!(sorted_triples(3).len(), 10);
+        assert_eq!(sorted_quads(2).len(), 5);
+        assert_eq!(sorted_quads(3).len(), 15);
+    }
+
+    #[test]
+    fn multiplicities() {
+        assert_eq!(multiplicity(&[0, 0]), 1.0);
+        assert_eq!(multiplicity(&[0, 1]), 2.0);
+        assert_eq!(multiplicity(&[0, 0, 1]), 3.0);
+        assert_eq!(multiplicity(&[0, 1, 2]), 6.0);
+        assert_eq!(multiplicity(&[0, 0, 1, 1]), 6.0);
+        assert_eq!(multiplicity(&[0, 0, 0, 1]), 4.0);
+        assert_eq!(multiplicity(&[0, 0, 1, 2]), 12.0);
+        assert_eq!(multiplicity(&[0, 0, 0, 0]), 1.0);
+    }
+
+    /// Multiplicities over all sorted tuples must sum to dⁿ (every raw index
+    /// tuple is counted exactly once).
+    #[test]
+    fn multiplicities_partition_index_space() {
+        for d in [2usize, 3] {
+            let s3: f64 = sorted_triples(d).iter().map(|t| multiplicity(t)).sum();
+            assert_eq!(s3, (d * d * d) as f64);
+            let s4: f64 = sorted_quads(d).iter().map(|t| multiplicity(t)).sum();
+            assert_eq!(s4, (d * d * d * d) as f64);
+        }
+    }
+}

@@ -1,0 +1,788 @@
+//! The 2D moment-representation kernel — Algorithm 2 of the paper.
+//!
+//! The domain is decomposed into *columns* parallel to the y-axis, one
+//! thread block per column (Figure 1). Each column is processed bottom-up
+//! in tiles of `tile_h` rows; per tile the block
+//!
+//! 1. reads the moments `{ρ, u, Π}` of the tile rows **and a one-node halo
+//!    in x** from global memory (halo re-reads hit the modeled L2, so the
+//!    DRAM traffic stays at `M` doubles per node),
+//! 2. performs collision in moment space (eq. 10; for MR-R also the
+//!    recursive higher-order coefficients, eqs. 12–13),
+//! 3. maps to distribution space (eq. 11 / 14) and *streams by scatter*
+//!    into a shared-memory sliding window of `tile_h + 2` rows, resolving
+//!    wall bounce-back on the fly; populations leaving the column are not
+//!    stored — the neighbor column computes them from its own halo,
+//! 4. after the implicit block barrier, recomputes the moments of the rows
+//!    that just became complete (the two-row write lag) and writes them
+//!    back to global memory at the circularly shifted slot for `t + 1`.
+//!
+//! The in-place global update is protected by the downward circular shift
+//! (see [`crate::moment_lattice`]); under the substrate's lockstep tile
+//! phases the strict race checker proves no old value is clobbered before
+//! its last read.
+
+use crate::boundary::{boundary_nodes, stencil_coords, MacroCache};
+use crate::moment_lattice::MomentLattice;
+use crate::scheme::MrScheme;
+use gpu_sim::exec::{BlockCtx, Kernel, Launch, PhasedKernel};
+use gpu_sim::memory::Tally;
+use gpu_sim::{DeviceSpec, Gpu};
+use lbm_core::boundary::{boundary_node_moments, moving_wall_gain};
+use lbm_core::geometry::{Geometry, NodeType};
+use lbm_lattice::moments::Moments;
+use lbm_lattice::Lattice;
+use std::marker::PhantomData;
+
+const MAX_Q: usize = 48;
+
+/// Pick the largest column width ≤ `max` that divides `nx`.
+pub fn pick_column_width(nx: usize, max: usize) -> usize {
+    for w in (1..=max.min(nx)).rev() {
+        if nx.is_multiple_of(w) {
+            return w;
+        }
+    }
+    1
+}
+
+struct Mr2dKernel<'a, L: Lattice> {
+    /// Moment lattice read at time `t` (equal to `mom_out` for the in-place
+    /// circular-shift variant).
+    mom_in: &'a MomentLattice,
+    /// Moment lattice written at time `t + 1`.
+    mom_out: &'a MomentLattice,
+    geom: &'a Geometry,
+    scheme: &'a MrScheme,
+    tau: f64,
+    t: u64,
+    col_w: usize,
+    tile_h: usize,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice> PhasedKernel for Mr2dKernel<'_, L> {
+    fn name(&self) -> &str {
+        match self.scheme {
+            MrScheme::Projective => "mr2d-p",
+            MrScheme::Recursive(_) => "mr2d-r",
+        }
+    }
+
+    fn phases(&self) -> usize {
+        self.geom.ny / self.tile_h
+    }
+
+    fn run_phase(&self, k: usize, ctx: &mut BlockCtx) {
+        let (nx, ny) = (self.geom.nx, self.geom.ny);
+        let (w, h) = (self.col_w, self.tile_h);
+        let win = h + 2;
+        let x0 = ctx.block_id * w;
+        let y_lo = k * h;
+        let y_hi = y_lo + h;
+        let periodic_x = self.geom.periodic[0];
+        let mut f_star = [0.0f64; MAX_Q];
+
+        // --- Collide tile rows + x halo, stream into shared memory. ---
+        for y in y_lo..y_hi {
+            for xi in -1..=(w as i64) {
+                let mut xs = x0 as i64 + xi;
+                if xs < 0 || xs >= nx as i64 {
+                    if periodic_x {
+                        xs = xs.rem_euclid(nx as i64);
+                    } else {
+                        continue;
+                    }
+                }
+                let x = xs as usize;
+                let idx = self.geom.idx(x, y, 0);
+                if self.geom.node_at(idx).is_solid() {
+                    continue;
+                }
+                let m = self.mom_in.read_moments::<L>(ctx, self.t, idx);
+                self.scheme
+                    .collide_and_map::<L>(&m, self.tau, &mut f_star[..L::Q]);
+
+                let src_in_col = x >= x0 && x < x0 + w;
+                for i in 0..L::Q {
+                    let c = L::C[i];
+                    let mut xd = xs + c[0] as i64;
+                    let yd = y as i64 + c[1] as i64;
+                    if xd < 0 || xd >= nx as i64 {
+                        if periodic_x {
+                            xd = xd.rem_euclid(nx as i64);
+                        } else {
+                            // Leaves the domain through an x face; the
+                            // inlet/outlet kernel rebuilds those nodes.
+                            continue;
+                        }
+                    }
+                    if yd < 0 || yd >= ny as i64 {
+                        continue; // beyond a wall-terminated y face
+                    }
+                    let (xd, yd) = (xd as usize, yd as usize);
+                    let dest = self.geom.node(xd, yd, 0);
+                    if dest.is_solid() {
+                        // Halfway bounce-back: the population returns to its
+                        // source node in the opposite direction (push form).
+                        if src_in_col {
+                            let gain = match dest {
+                                NodeType::MovingWall(uw) => {
+                                    moving_wall_gain::<L>(L::OPP[i], uw, 1.0)
+                                }
+                                _ => 0.0,
+                            };
+                            let slot = ((x - x0) * win + y % win) * L::Q + L::OPP[i];
+                            ctx.shared()[slot] = f_star[i] + gain;
+                        }
+                        continue;
+                    }
+                    if xd >= x0 && xd < x0 + w {
+                        let slot = ((xd - x0) * win + yd % win) * L::Q + i;
+                        ctx.shared()[slot] = f_star[i];
+                    }
+                }
+            }
+        }
+
+        // --- Finalize the rows completed by this tile (two-row lag):    ---
+        // --- rows [k·h − 1, k·h + h − 2] have received every population. ---
+        let f_lo = (y_lo as i64 - 1).max(0) as usize;
+        let f_hi = y_lo + h - 1; // exclusive upper bound
+        let mut f_loc = [0.0f64; MAX_Q];
+        for y in f_lo..f_hi {
+            for xl in 0..w {
+                let x = x0 + xl;
+                let idx = self.geom.idx(x, y, 0);
+                if self.geom.node_at(idx).is_solid() {
+                    continue;
+                }
+                {
+                    let sh = ctx.shared();
+                    for (i, f) in f_loc[..L::Q].iter_mut().enumerate() {
+                        *f = sh[(xl * win + y % win) * L::Q + i];
+                    }
+                }
+                let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
+                self.mom_out.write_moments::<L>(ctx, self.t + 1, idx, &mnew);
+            }
+        }
+    }
+}
+
+/// Inlet/outlet kernel for the moment representation: the FD condition is
+/// *native* to moment space — the node's new state is written directly as
+/// moments.
+pub(crate) struct MrBcKernel<'a, L: Lattice> {
+    pub mom: &'a MomentLattice,
+    pub geom: &'a Geometry,
+    pub tau: f64,
+    pub t_next: u64,
+    pub nodes: &'a [(usize, usize, usize)],
+    pub block_size: usize,
+    pub _l: PhantomData<L>,
+}
+
+impl<L: Lattice> MrBcKernel<'_, L> {
+    fn read_macro(&self, ctx: &mut BlockCtx, x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
+        let idx = self.geom.idx(x, y, z);
+        let rho = self.mom.read(ctx, self.t_next, idx, 0);
+        let mut u = [0.0; 3];
+        for (a, ua) in u.iter_mut().enumerate().take(L::D) {
+            *ua = self.mom.read(ctx, self.t_next, idx, 1 + a);
+        }
+        (rho, u)
+    }
+}
+
+impl<L: Lattice> Kernel for MrBcKernel<'_, L> {
+    fn name(&self) -> &str {
+        "mr-bc"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx) {
+        let base = ctx.block_id * self.block_size;
+        for tid in 0..self.block_size {
+            let Some(&(x, y, z)) = self.nodes.get(base + tid) else {
+                break;
+            };
+            let mut cache = MacroCache::new();
+            for (sx, sy, sz) in stencil_coords(self.geom, x, y, z) {
+                let (rho, u) = self.read_macro(ctx, sx, sy, sz);
+                cache.insert((sx, sy, sz), rho, u);
+            }
+            let m = boundary_node_moments::<L>(self.geom, x, y, z, self.tau, &|qx, qy, qz| {
+                cache.lookup(qx, qy, qz)
+            });
+            let idx = self.geom.idx(x, y, z);
+            self.mom.write_moments::<L>(ctx, self.t_next, idx, &m);
+        }
+    }
+}
+
+/// Driver for a 2D moment-representation simulation (MR-P or MR-R).
+pub struct MrSim2D<L: Lattice> {
+    gpu: Gpu,
+    geom: Geometry,
+    mom: MomentLattice,
+    /// Second lattice for the double-buffered ablation variant; `None` for
+    /// the single-lattice circular-shift design of Algorithm 2.
+    mom2: Option<MomentLattice>,
+    cur: usize,
+    scheme: MrScheme,
+    tau: f64,
+    col_w: usize,
+    tile_h: usize,
+    boundary: Vec<(usize, usize, usize)>,
+    t: u64,
+    accum: Tally,
+    profiler: Option<std::sync::Arc<gpu_sim::profiler::Profiler>>,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice> MrSim2D<L> {
+    /// Build an MR simulation over a channel-type geometry: walls at
+    /// `y = 0` and `y = ny−1` are mandatory (the sliding window relies on
+    /// them); the x faces may be periodic or inlet/outlet.
+    pub fn new(device: DeviceSpec, geom: Geometry, scheme: MrScheme, tau: f64) -> Self {
+        Self::with_config(device, geom, scheme, tau, 0, 1, 1)
+    }
+
+    /// Full configuration: `col_w` (0 = auto), tile height, and the
+    /// circular shift in rows per step (must be ≥ `tile_h − 1`; 0 means
+    /// in-place, valid for 1-row tiles under lockstep).
+    pub fn with_config(
+        device: DeviceSpec,
+        geom: Geometry,
+        scheme: MrScheme,
+        tau: f64,
+        col_w: usize,
+        tile_h: usize,
+        shift_rows: usize,
+    ) -> Self {
+        assert_eq!(geom.nz, 1, "MrSim2D requires a 2D domain");
+        assert_eq!(L::REACH, 1, "the MR sliding window requires unit streaming reach");
+        assert!(!geom.periodic[1], "MR requires wall-terminated y faces");
+        for x in 0..geom.nx {
+            assert!(
+                geom.node(x, 0, 0).is_solid() && geom.node(x, geom.ny - 1, 0).is_solid(),
+                "MR requires walls at y = 0 and y = ny−1"
+            );
+        }
+        let col_w = if col_w == 0 {
+            pick_column_width(geom.nx, 32)
+        } else {
+            col_w
+        };
+        assert!(geom.nx.is_multiple_of(col_w), "column width must divide nx");
+        assert!(tile_h >= 1 && geom.ny.is_multiple_of(tile_h), "tile height must divide ny");
+        assert!(
+            shift_rows + 1 >= tile_h,
+            "circular shift of {shift_rows} rows cannot protect a {tile_h}-row tile"
+        );
+        let boundary = boundary_nodes(&geom);
+        if !boundary.is_empty() {
+            assert!(geom.nx >= 5, "FD boundaries need nx ≥ 5");
+        }
+        let n = geom.len();
+        let pad = (shift_rows + 1) * geom.nx;
+        let mom = MomentLattice::new(n, L::M, shift_rows * geom.nx, pad).with_touch_tracking();
+        let mut sim = MrSim2D {
+            gpu: Gpu::new(device),
+            geom,
+            mom,
+            mom2: None,
+            cur: 0,
+            scheme,
+            tau,
+            col_w,
+            tile_h,
+            boundary,
+            t: 0,
+            accum: Tally::default(),
+            profiler: None,
+            _l: PhantomData,
+        };
+        sim.init_with(|_, _, _| (1.0, [0.0; 3]));
+        sim
+    }
+
+    /// Limit the CPU worker threads backing the substrate.
+    pub fn with_cpu_threads(mut self, n: usize) -> Self {
+        self.gpu = self.gpu.with_cpu_threads(n);
+        self
+    }
+
+    /// Record every kernel launch into a shared profiler (the substrate's
+    /// nvvp/rocprof analog): per-kernel byte counts and B/F.
+    pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
+        self.profiler = Some(p);
+        self
+    }
+
+    /// Enable strict race checking on the moment lattice (tests). Must be
+    /// called before the first step.
+    pub fn with_racecheck_strict(mut self) -> Self {
+        assert_eq!(self.t, 0, "attach the race checker before stepping");
+        let dummy = MomentLattice::new(1, L::M, 0, 0);
+        let old = std::mem::replace(&mut self.mom, dummy);
+        self.mom = old.with_racecheck_strict();
+        self
+    }
+
+    /// Switch to the double-buffered ablation variant: two moment lattices
+    /// (`2M` doubles per node — the capacity the paper's §4.1 figures
+    /// correspond to) and no circular shifting. Must be called before the
+    /// first step.
+    pub fn with_double_buffer(mut self) -> Self {
+        assert_eq!(self.t, 0, "switch storage before stepping");
+        let n = self.geom.len();
+        // Rebuild both lattices without shift.
+        self.mom = MomentLattice::new(n, L::M, 0, 0).with_touch_tracking();
+        self.mom2 = Some(MomentLattice::new(n, L::M, 0, 0).with_touch_tracking());
+        self.cur = 0;
+        self.init_with(|_, _, _| (1.0, [0.0; 3]));
+        self
+    }
+
+    #[inline]
+    fn lattice_pair(&self) -> (&MomentLattice, &MomentLattice) {
+        match &self.mom2 {
+            None => (&self.mom, &self.mom),
+            Some(m2) => {
+                if self.cur == 0 {
+                    (&self.mom, m2)
+                } else {
+                    (m2, &self.mom)
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn current_lattice(&self) -> &MomentLattice {
+        let (input, _) = self.lattice_pair();
+        input
+    }
+
+    /// Initialize every node's moments from a macroscopic field (moments
+    /// are `{ρ, u, Π_eq}` — an equilibrium start, matching the ST init).
+    pub fn init_with(&mut self, field: impl Fn(usize, usize, usize) -> (f64, [f64; 3])) {
+        self.t = 0;
+        self.cur = 0;
+        for idx in 0..self.geom.len() {
+            let (x, y, z) = self.geom.coords(idx);
+            let (rho, u) = match self.geom.node_at(idx) {
+                NodeType::Inlet(u_bc) => (field(x, y, z).0, u_bc),
+                NodeType::Outlet(rho_bc) => (rho_bc, field(x, y, z).1),
+                _ => field(x, y, z),
+            };
+            let m = Moments {
+                rho,
+                u,
+                pi: Moments::pi_eq(rho, u, L::D),
+            };
+            self.current_lattice().set_moments::<L>(0, idx, &m);
+        }
+        self.accum = Tally::default();
+    }
+
+    /// Advance one timestep: the lockstep column kernel, then the boundary
+    /// kernel.
+    pub fn step(&mut self) {
+        let blocks = self.geom.nx / self.col_w;
+        let threads = (self.col_w + 2) * self.tile_h;
+        let shared = self.col_w * (self.tile_h + 2) * L::Q;
+        let mut step_tally = Tally::default();
+        let (mom_in, mom_out) = self.lattice_pair();
+        let stats = self.gpu.launch_lockstep(
+            &Launch {
+                blocks,
+                threads_per_block: threads,
+                shared_doubles: shared,
+                scratch_doubles: 0,
+            },
+            &Mr2dKernel::<L> {
+                mom_in,
+                mom_out,
+                geom: &self.geom,
+                scheme: &self.scheme,
+                tau: self.tau,
+                t: self.t,
+                col_w: self.col_w,
+                tile_h: self.tile_h,
+                _l: PhantomData,
+            },
+        );
+        step_tally.merge(&stats.tally);
+        if let Some(p) = &self.profiler {
+            p.record(&stats, self.geom.fluid_count() as u64);
+        }
+
+        if !self.boundary.is_empty() {
+            let bs = 64;
+            let stats = self.gpu.launch(
+                &Launch::simple(self.boundary.len().div_ceil(bs), bs),
+                &MrBcKernel::<L> {
+                    mom: mom_out,
+                    geom: &self.geom,
+                    tau: self.tau,
+                    t_next: self.t + 1,
+                    nodes: &self.boundary,
+                    block_size: bs,
+                    _l: PhantomData,
+                },
+            );
+            step_tally.merge(&stats.tally);
+            if let Some(p) = &self.profiler {
+                p.record(&stats, self.boundary.len() as u64);
+            }
+        }
+
+        self.accum.merge(&step_tally);
+        self.t += 1;
+        if self.mom2.is_some() {
+            self.cur ^= 1;
+        }
+    }
+
+    /// Advance `steps` timesteps.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Completed timesteps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Domain geometry.
+    pub fn geom(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// The collision scheme.
+    pub fn scheme(&self) -> &MrScheme {
+        &self.scheme
+    }
+
+    /// Column/tile configuration `(column width, tile height)`.
+    pub fn config(&self) -> (usize, usize) {
+        (self.col_w, self.tile_h)
+    }
+
+    /// Aggregate traffic over all steps so far.
+    pub fn traffic(&self) -> Tally {
+        self.accum
+    }
+
+    /// Measured DRAM bytes per fluid lattice update (Table 2's B/F).
+    pub fn measured_bpf(&self) -> f64 {
+        let updates = self.geom.fluid_count() as u64 * self.t;
+        self.accum.dram_bytes() as f64 / updates as f64
+    }
+
+    /// Device-memory footprint of the moment storage (one lattice plus
+    /// padding, or two for the double-buffered variant).
+    pub fn footprint_bytes(&self) -> usize {
+        self.mom.size_bytes() + self.mom2.as_ref().map_or(0, |m| m.size_bytes())
+    }
+
+    /// Moments of a node at the current time (pre-collision state).
+    pub fn moments_at(&self, x: usize, y: usize, z: usize) -> Moments {
+        self.current_lattice()
+            .get_moments::<L>(self.t, self.geom.idx(x, y, z))
+    }
+
+    /// Velocity field (solid nodes report zero).
+    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+        let n = self.geom.len();
+        let mut out = vec![[0.0; 3]; n];
+        for idx in 0..n {
+            if self.geom.node_at(idx).is_fluid_like() {
+                out[idx] = self.current_lattice().get_moments::<L>(self.t, idx).u;
+            }
+        }
+        out
+    }
+
+    /// Density field (solid nodes report zero).
+    pub fn density_field(&self) -> Vec<f64> {
+        let n = self.geom.len();
+        let mut out = vec![0.0; n];
+        for idx in 0..n {
+            if self.geom.node_at(idx).is_fluid_like() {
+                out[idx] = self.current_lattice().get_moments::<L>(self.t, idx).rho;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_core::collision::{Projective, Recursive};
+    use lbm_core::Solver;
+    use lbm_lattice::D2Q9;
+
+    fn assert_fields_close(
+        a: &[[f64; 3]],
+        b: &[[f64; 3]],
+        ra: &[f64],
+        rb: &[f64],
+        tol: f64,
+        what: &str,
+    ) {
+        for (i, (ua, ub)) in a.iter().zip(b).enumerate() {
+            for k in 0..3 {
+                assert!(
+                    (ua[k] - ub[k]).abs() < tol,
+                    "{what}: u[{i}][{k}] {} vs {}",
+                    ua[k],
+                    ub[k]
+                );
+            }
+        }
+        for (i, (x, y)) in ra.iter().zip(rb).enumerate() {
+            assert!((x - y).abs() < tol, "{what}: rho[{i}] {x} vs {y}");
+        }
+    }
+
+    /// MR-P must reproduce the reference projective solver on a channel —
+    /// the moment representation is lossless.
+    #[test]
+    fn mr_p_matches_reference_channel() {
+        let geom = Geometry::channel_2d_poiseuille(16, 8, 0.05);
+        let mut mr: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(4);
+        let mut st: Solver<D2Q9, _> = Solver::new(geom, Projective::new(0.8)).with_threads(2);
+        mr.run(20);
+        st.run(20);
+        assert_fields_close(
+            &mr.velocity_field(),
+            &st.velocity_field(),
+            &mr.density_field(),
+            &st.density_field(),
+            1e-10,
+            "MR-P vs REG-P",
+        );
+    }
+
+    /// MR-R likewise matches the reference recursive solver.
+    #[test]
+    fn mr_r_matches_reference_channel() {
+        let geom = Geometry::channel_2d(16, 8, 0.04);
+        let mut mr: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::mi100(),
+            geom.clone(),
+            MrScheme::recursive::<D2Q9>(),
+            0.75,
+        )
+        .with_cpu_threads(4);
+        let mut st: Solver<D2Q9, _> =
+            Solver::new(geom, Recursive::new::<D2Q9>(0.75)).with_threads(2);
+        mr.run(20);
+        st.run(20);
+        assert_fields_close(
+            &mr.velocity_field(),
+            &st.velocity_field(),
+            &mr.density_field(),
+            &st.density_field(),
+            1e-10,
+            "MR-R vs REG-R",
+        );
+    }
+
+    /// Periodic-x channel (no boundary kernel): the two representations
+    /// agree to strict roundoff, and the circular shift passes the strict
+    /// race checker.
+    #[test]
+    fn periodic_x_equivalence_with_racecheck() {
+        let init = |x: usize, y: usize, _z: usize| {
+            (
+                1.0,
+                [
+                    0.03 * (y as f64 * 0.5).sin(),
+                    0.01 * (x as f64 * 0.7).cos(),
+                    0.0,
+                ],
+            )
+        };
+        let geom = Geometry::walls_y_periodic_x(12, 8);
+        let mut mr: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.9,
+        )
+        .with_cpu_threads(4)
+        .with_racecheck_strict();
+        mr.init_with(init);
+        let mut st: Solver<D2Q9, _> = Solver::new(geom, Projective::new(0.9)).with_threads(2);
+        st.init_with(init);
+        mr.run(15);
+        st.run(15);
+        assert_fields_close(
+            &mr.velocity_field(),
+            &st.velocity_field(),
+            &mr.density_field(),
+            &st.density_field(),
+            1e-12,
+            "periodic-x",
+        );
+    }
+
+    /// Measured B/F reproduces Table 2: 2M·8 = 96 for D2Q9 (halo re-reads
+    /// are L2 hits, not DRAM).
+    #[test]
+    fn measured_bpf_matches_table2() {
+        let geom = Geometry::walls_y_periodic_x(32, 16);
+        let mut mr: MrSim2D<D2Q9> =
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8)
+                .with_cpu_threads(2);
+        mr.run(3);
+        let bpf = mr.measured_bpf();
+        assert!((bpf - 96.0).abs() < 2.0, "B/F = {bpf}");
+    }
+
+    /// The single-lattice footprint beats ST's two lattices by far more
+    /// than the paper's 33 % (Algorithm 2 stores M, not 2M, doubles).
+    #[test]
+    fn footprint_is_single_lattice() {
+        let geom = Geometry::walls_y_periodic_x(32, 16);
+        let mr: MrSim2D<D2Q9> =
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
+        let st_bytes = 2 * 9 * 32 * 16 * 8;
+        assert!(mr.footprint_bytes() < st_bytes / 2);
+    }
+
+    /// Tile heights > 1 produce identical physics (the sliding window and
+    /// shift generalize) and stay race-free.
+    #[test]
+    fn taller_tiles_match_reference() {
+        let geom = Geometry::walls_y_periodic_x(12, 8);
+        let init =
+            |_x: usize, y: usize, _z: usize| (1.0, [0.02 * (y as f64 * 0.9).sin(), 0.0, 0.0]);
+        let mut mr: MrSim2D<D2Q9> = MrSim2D::with_config(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+            4, // col_w
+            2, // tile_h
+            2, // shift_rows ≥ tile_h − 1
+        )
+        .with_cpu_threads(4)
+        .with_racecheck_strict();
+        mr.init_with(init);
+        let mut st: Solver<D2Q9, _> = Solver::new(geom, Projective::new(0.8)).with_threads(2);
+        st.init_with(init);
+        mr.run(10);
+        st.run(10);
+        assert_fields_close(
+            &mr.velocity_field(),
+            &st.velocity_field(),
+            &mr.density_field(),
+            &st.density_field(),
+            1e-12,
+            "tile_h=2",
+        );
+    }
+
+    /// In-place update (shift 0) is also safe under lockstep with 1-row
+    /// tiles — the ablation baseline.
+    #[test]
+    fn inplace_no_shift_is_lockstep_safe() {
+        let geom = Geometry::walls_y_periodic_x(12, 8);
+        let mut mr: MrSim2D<D2Q9> = MrSim2D::with_config(
+            DeviceSpec::v100(),
+            geom,
+            MrScheme::projective(),
+            0.8,
+            4,
+            1,
+            0, // in-place
+        )
+        .with_cpu_threads(4)
+        .with_racecheck_strict();
+        mr.init_with(|_, y, _| (1.0, [0.02 * (y as f64).sin(), 0.0, 0.0]));
+        mr.run(5); // the race checker panics on any violation
+        assert!(mr.velocity_field().iter().all(|u| u[0].is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "wall-terminated y")]
+    fn rejects_missing_walls() {
+        let geom = Geometry::periodic_2d(8, 8);
+        let _ = MrSim2D::<D2Q9>::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
+    }
+
+    #[test]
+    fn column_width_picker() {
+        assert_eq!(pick_column_width(64, 32), 32);
+        assert_eq!(pick_column_width(48, 32), 24);
+        assert_eq!(pick_column_width(7, 32), 7);
+        assert_eq!(pick_column_width(13, 4), 1);
+    }
+
+    /// The double-buffered ablation variant produces the identical
+    /// trajectory at twice the footprint.
+    #[test]
+    fn double_buffer_matches_single() {
+        let init = |x: usize, y: usize, _z: usize| {
+            (
+                1.0,
+                [0.02 * (y as f64 * 0.7).sin(), 0.01 * (x as f64 * 0.5).cos(), 0.0],
+            )
+        };
+        let geom = Geometry::walls_y_periodic_x(16, 8);
+        let mut single: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2);
+        single.init_with(init);
+        let mut double: MrSim2D<D2Q9> =
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8)
+                .with_cpu_threads(2)
+                .with_double_buffer();
+        double.init_with(init);
+        single.run(12);
+        double.run(12);
+        let (us, ud) = (single.velocity_field(), double.velocity_field());
+        for (a, b) in us.iter().zip(&ud) {
+            for k in 0..3 {
+                assert_eq!(a[k], b[k], "storage layout changed the arithmetic");
+            }
+        }
+        assert!(double.footprint_bytes() > 2 * single.footprint_bytes() / 2);
+        assert!(double.footprint_bytes() >= 2 * 6 * 16 * 8 * 8);
+        // Same traffic either way.
+        assert!((single.measured_bpf() - double.measured_bpf()).abs() < 1e-9);
+    }
+
+    /// Mass conservation on the periodic-x channel.
+    #[test]
+    fn conserves_mass() {
+        let geom = Geometry::walls_y_periodic_x(16, 8);
+        let mut mr: MrSim2D<D2Q9> =
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8)
+                .with_cpu_threads(2);
+        mr.init_with(|x, y, _| (1.0 + 0.01 * ((x + y) as f64).sin(), [0.0; 3]));
+        let mass = |s: &MrSim2D<D2Q9>| -> f64 { s.density_field().iter().sum() };
+        let m0 = mass(&mr);
+        mr.run(20);
+        let m1 = mass(&mr);
+        assert!((m0 - m1).abs() < 1e-9 * m0, "mass drift {}", m1 - m0);
+    }
+}

@@ -1,0 +1,579 @@
+//! The standard distribution representation (ST) on the GPU substrate —
+//! Algorithm 1 of the paper.
+//!
+//! Two full SoA lattices in global memory (`f[dir · n + node]`), pull
+//! scheme, one thread per lattice node, 1D grid of 1D blocks. Per fluid
+//! node and step the kernel reads `Q` and writes `Q` doubles: the measured
+//! B/F reproduces Table 2's `2Q·8` (144 for D2Q9, 304 for D3Q19) up to the
+//! small inlet/outlet kernel contribution.
+
+use crate::boundary::{boundary_nodes, stencil_coords, MacroCache};
+use gpu_sim::exec::{BlockCtx, Kernel, Launch};
+use gpu_sim::memory::Tally;
+use gpu_sim::{DeviceSpec, GlobalBuffer, Gpu};
+use lbm_core::boundary::{boundary_node_moments, moving_wall_gain};
+use lbm_core::collision::Collision;
+use lbm_core::geometry::{Geometry, NodeType};
+use lbm_lattice::moments::Moments;
+use lbm_lattice::Lattice;
+use std::marker::PhantomData;
+
+const MAX_Q: usize = 48;
+
+/// Bulk update kernel: pull + collide over all fluid nodes.
+struct StBulkKernel<'a, L: Lattice, C: Collision<L>> {
+    src: &'a GlobalBuffer<f64>,
+    dst: &'a GlobalBuffer<f64>,
+    geom: &'a Geometry,
+    collision: &'a C,
+    block_size: usize,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> Kernel for StBulkKernel<'_, L, C> {
+    fn name(&self) -> &str {
+        "st-bulk"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx) {
+        let n = self.geom.len();
+        let base = ctx.block_id * self.block_size;
+        let mut f_loc = [0.0f64; MAX_Q];
+        for tid in 0..self.block_size {
+            let idx = base + tid;
+            if idx >= n {
+                break;
+            }
+            if !matches!(self.geom.node_at(idx), NodeType::Fluid) {
+                continue;
+            }
+            let (x, y, z) = self.geom.coords(idx);
+            // Streaming by gather (Algorithm 1, lines 3–10), with halfway
+            // bounce-back resolved against solid neighbors.
+            for i in 0..L::Q {
+                let c = L::C[i];
+                f_loc[i] = match self.geom.neighbor(x, y, z, [-c[0], -c[1], -c[2]]) {
+                    Some((px, py, pz)) => {
+                        let nidx = self.geom.idx(px, py, pz);
+                        match self.geom.node_at(nidx) {
+                            t if t.is_fluid_like() => ctx.read(self.src, i * n + nidx),
+                            NodeType::Wall => ctx.read(self.src, L::OPP[i] * n + idx),
+                            NodeType::MovingWall(uw) => {
+                                ctx.read(self.src, L::OPP[i] * n + idx)
+                                    + moving_wall_gain::<L>(i, uw, 1.0)
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                    None => ctx.read(self.src, L::OPP[i] * n + idx),
+                };
+            }
+            // Macroscopics + collision (lines 11–26).
+            self.collision.collide(&mut f_loc[..L::Q]);
+            for i in 0..L::Q {
+                ctx.write(self.dst, i * n + idx, f_loc[i]);
+            }
+        }
+    }
+}
+
+/// Streaming scheme of the ST pattern (paper §3.1): *pull* performs
+/// streaming before collision by gathering from neighbors (the fastest GPU
+/// configuration, used by default); *push* collides first and scatters
+/// post-collision populations to the neighbors. Both move `2Q` doubles per
+/// node; on real GPUs push pays extra for misaligned stores, which is why
+/// the paper's reference uses pull. The push variant exists for the
+/// pull-vs-push ablation bench.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum StStream {
+    #[default]
+    Pull,
+    Push,
+}
+
+/// Push-scheme bulk kernel: read own pre-collision state, collide, scatter.
+struct StPushKernel<'a, L: Lattice, C: Collision<L>> {
+    src: &'a GlobalBuffer<f64>,
+    dst: &'a GlobalBuffer<f64>,
+    geom: &'a Geometry,
+    collision: &'a C,
+    block_size: usize,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> Kernel for StPushKernel<'_, L, C> {
+    fn name(&self) -> &str {
+        "st-bulk-push"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx) {
+        let n = self.geom.len();
+        let base = ctx.block_id * self.block_size;
+        let mut f_loc = [0.0f64; MAX_Q];
+        for tid in 0..self.block_size {
+            let idx = base + tid;
+            if idx >= n {
+                break;
+            }
+            if !matches!(self.geom.node_at(idx), NodeType::Fluid) {
+                continue;
+            }
+            let (x, y, z) = self.geom.coords(idx);
+            for i in 0..L::Q {
+                f_loc[i] = ctx.read(self.src, i * n + idx);
+            }
+            self.collision.collide(&mut f_loc[..L::Q]);
+            // Scatter (streaming by push); solid destinations reflect back
+            // into this node's opposite slot.
+            for i in 0..L::Q {
+                let c = L::C[i];
+                match self.geom.neighbor(x, y, z, c) {
+                    Some((dx, dy, dz)) => {
+                        let didx = self.geom.idx(dx, dy, dz);
+                        match self.geom.node_at(didx) {
+                            t if t.is_fluid_like() => {
+                                ctx.write(self.dst, i * n + didx, f_loc[i])
+                            }
+                            NodeType::Wall => {
+                                ctx.write(self.dst, L::OPP[i] * n + idx, f_loc[i])
+                            }
+                            NodeType::MovingWall(uw) => ctx.write(
+                                self.dst,
+                                L::OPP[i] * n + idx,
+                                f_loc[i] + moving_wall_gain::<L>(L::OPP[i], uw, 1.0),
+                            ),
+                            _ => unreachable!(),
+                        }
+                    }
+                    None => ctx.write(self.dst, L::OPP[i] * n + idx, f_loc[i]),
+                }
+            }
+        }
+    }
+}
+
+/// Inlet/outlet rebuild kernel (runs after the bulk kernel).
+struct StBcKernel<'a, L: Lattice, C: Collision<L>> {
+    dst: &'a GlobalBuffer<f64>,
+    geom: &'a Geometry,
+    collision: &'a C,
+    nodes: &'a [(usize, usize, usize)],
+    block_size: usize,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> StBcKernel<'_, L, C> {
+    fn read_macro(&self, ctx: &mut BlockCtx, x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
+        let n = self.geom.len();
+        let idx = self.geom.idx(x, y, z);
+        let mut rho = 0.0;
+        let mut j = [0.0f64; 3];
+        for i in 0..L::Q {
+            let fi = ctx.read(self.dst, i * n + idx);
+            let c = L::cf(i);
+            rho += fi;
+            j[0] += c[0] * fi;
+            j[1] += c[1] * fi;
+            j[2] += c[2] * fi;
+        }
+        (rho, [j[0] / rho, j[1] / rho, j[2] / rho])
+    }
+}
+
+impl<L: Lattice, C: Collision<L>> Kernel for StBcKernel<'_, L, C> {
+    fn name(&self) -> &str {
+        "st-bc"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx) {
+        let n = self.geom.len();
+        let base = ctx.block_id * self.block_size;
+        let tau = self.collision.tau();
+        for tid in 0..self.block_size {
+            let Some(&(x, y, z)) = self.nodes.get(base + tid) else {
+                break;
+            };
+            let mut cache = MacroCache::new();
+            for (sx, sy, sz) in stencil_coords(self.geom, x, y, z) {
+                let (rho, u) = self.read_macro(ctx, sx, sy, sz);
+                cache.insert((sx, sy, sz), rho, u);
+            }
+            let m = boundary_node_moments::<L>(self.geom, x, y, z, tau, &|qx, qy, qz| {
+                cache.lookup(qx, qy, qz)
+            });
+            let mut out = [0.0f64; MAX_Q];
+            self.collision.reconstruct(&m, &mut out[..L::Q]);
+            let idx = self.geom.idx(x, y, z);
+            for i in 0..L::Q {
+                ctx.write(self.dst, i * n + idx, out[i]);
+            }
+        }
+    }
+}
+
+/// Driver for an ST simulation on the substrate.
+pub struct StSim<L: Lattice, C: Collision<L>> {
+    gpu: Gpu,
+    geom: Geometry,
+    f: [GlobalBuffer<f64>; 2],
+    cur: usize,
+    collision: C,
+    block_size: usize,
+    stream: StStream,
+    boundary: Vec<(usize, usize, usize)>,
+    steps: u64,
+    accum: Tally,
+    profiler: Option<std::sync::Arc<gpu_sim::profiler::Profiler>>,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> StSim<L, C> {
+    /// Build an ST simulation on `device` over `geom`, initialized to
+    /// equilibrium at rest (inlets at their prescribed velocity).
+    pub fn new(device: DeviceSpec, geom: Geometry, collision: C) -> Self {
+        if L::D == 2 {
+            assert_eq!(geom.nz, 1, "2D lattice on a 3D domain");
+        }
+        let n = geom.len();
+        let boundary = boundary_nodes(&geom);
+        if !boundary.is_empty() {
+            assert!(geom.nx >= 5, "FD boundaries need nx ≥ 5");
+        }
+        let mut sim = StSim {
+            gpu: Gpu::new(device),
+            geom,
+            f: [
+                GlobalBuffer::new(L::Q * n).with_touch_tracking(),
+                GlobalBuffer::new(L::Q * n).with_touch_tracking(),
+            ],
+            cur: 0,
+            collision,
+            block_size: 256,
+            stream: StStream::Pull,
+            boundary,
+            steps: 0,
+            accum: Tally::default(),
+            profiler: None,
+            _l: PhantomData,
+        };
+        sim.init_with(|_, _, _| (1.0, [0.0; 3]));
+        sim
+    }
+
+    /// Limit the CPU worker threads backing the substrate.
+    pub fn with_cpu_threads(mut self, n: usize) -> Self {
+        self.gpu = self.gpu.with_cpu_threads(n);
+        self
+    }
+
+    /// Record every kernel launch into a shared profiler (the substrate's
+    /// nvvp/rocprof analog): per-kernel byte counts and B/F.
+    pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
+        self.profiler = Some(p);
+        self
+    }
+
+    /// Set the thread-block size of the bulk kernel.
+    pub fn with_block_size(mut self, bs: usize) -> Self {
+        assert!(bs >= 1);
+        self.block_size = bs;
+        self
+    }
+
+    /// Select the streaming scheme. The push variant does not support
+    /// inlet/outlet boundaries (its boundary contributions would have to be
+    /// injected *before* the scatter); it exists for the pull-vs-push
+    /// ablation on wall/periodic domains.
+    pub fn with_stream(mut self, stream: StStream) -> Self {
+        if stream == StStream::Push {
+            assert!(
+                self.boundary.is_empty(),
+                "push streaming does not support inlet/outlet boundaries"
+            );
+        }
+        self.stream = stream;
+        self
+    }
+
+    /// Initialize all nodes to the operator-consistent equilibrium of a
+    /// macroscopic field (the collision operator's reconstruction of
+    /// `{ρ, u, Π_eq}` — see the reference solver's `init_with`).
+    pub fn init_with(&mut self, field: impl Fn(usize, usize, usize) -> (f64, [f64; 3])) {
+        let n = self.geom.len();
+        let mut feq = [0.0f64; MAX_Q];
+        for idx in 0..n {
+            let (x, y, z) = self.geom.coords(idx);
+            let (rho, u) = match self.geom.node_at(idx) {
+                NodeType::Inlet(u_bc) => (field(x, y, z).0, u_bc),
+                NodeType::Outlet(rho_bc) => (rho_bc, field(x, y, z).1),
+                _ => field(x, y, z),
+            };
+            let m = Moments {
+                rho,
+                u,
+                pi: Moments::pi_eq(rho, u, L::D),
+            };
+            self.collision.reconstruct(&m, &mut feq[..L::Q]);
+            for i in 0..L::Q {
+                self.f[self.cur].set(i * n + idx, feq[i]);
+            }
+        }
+        self.steps = 0;
+        self.accum = Tally::default();
+    }
+
+    /// Advance one timestep (bulk launch + boundary launch).
+    pub fn step(&mut self) {
+        let n = self.geom.len();
+        let (src, dst) = (&self.f[self.cur], &self.f[self.cur ^ 1]);
+        let blocks = n.div_ceil(self.block_size);
+        let stats = match self.stream {
+            StStream::Pull => self.gpu.launch(
+                &Launch::simple(blocks, self.block_size),
+                &StBulkKernel::<L, C> {
+                    src,
+                    dst,
+                    geom: &self.geom,
+                    collision: &self.collision,
+                    block_size: self.block_size,
+                    _l: PhantomData,
+                },
+            ),
+            StStream::Push => self.gpu.launch(
+                &Launch::simple(blocks, self.block_size),
+                &StPushKernel::<L, C> {
+                    src,
+                    dst,
+                    geom: &self.geom,
+                    collision: &self.collision,
+                    block_size: self.block_size,
+                    _l: PhantomData,
+                },
+            ),
+        };
+        self.accum.merge(&stats.tally);
+        if let Some(p) = &self.profiler {
+            p.record(&stats, self.geom.fluid_count() as u64);
+        }
+
+        if !self.boundary.is_empty() {
+            let bblocks = self.boundary.len().div_ceil(self.block_size);
+            let stats = self.gpu.launch(
+                &Launch::simple(bblocks, self.block_size),
+                &StBcKernel::<L, C> {
+                    dst,
+                    geom: &self.geom,
+                    collision: &self.collision,
+                    nodes: &self.boundary,
+                    block_size: self.block_size,
+                    _l: PhantomData,
+                },
+            );
+            self.accum.merge(&stats.tally);
+            if let Some(p) = &self.profiler {
+                p.record(&stats, self.boundary.len() as u64);
+            }
+        }
+
+        self.cur ^= 1;
+        self.steps += 1;
+    }
+
+    /// Advance `steps` timesteps.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Completed timesteps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Domain geometry.
+    pub fn geom(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// Aggregate traffic over all steps so far.
+    pub fn traffic(&self) -> Tally {
+        self.accum
+    }
+
+    /// Measured DRAM bytes per fluid lattice update (Table 2's B/F).
+    pub fn measured_bpf(&self) -> f64 {
+        let updates = self.geom.fluid_count() as u64 * self.steps;
+        self.accum.dram_bytes() as f64 / updates as f64
+    }
+
+    /// Device-memory footprint of the two lattices.
+    pub fn footprint_bytes(&self) -> usize {
+        self.f[0].size_bytes() + self.f[1].size_bytes()
+    }
+
+    /// Distribution at a node (current state).
+    pub fn f_at(&self, x: usize, y: usize, z: usize) -> Vec<f64> {
+        let n = self.geom.len();
+        let idx = self.geom.idx(x, y, z);
+        (0..L::Q).map(|i| self.f[self.cur].get(i * n + idx)).collect()
+    }
+
+    /// Moments at a node (post-collision state).
+    pub fn moments_at(&self, x: usize, y: usize, z: usize) -> Moments {
+        Moments::from_f::<L>(&self.f_at(x, y, z))
+    }
+
+    /// Velocity field (solid nodes report zero).
+    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+        let n = self.geom.len();
+        let mut out = vec![[0.0; 3]; n];
+        for idx in 0..n {
+            if self.geom.node_at(idx).is_fluid_like() {
+                let (x, y, z) = self.geom.coords(idx);
+                out[idx] = self.moments_at(x, y, z).u;
+            }
+        }
+        out
+    }
+
+    /// Density field (solid nodes report zero).
+    pub fn density_field(&self) -> Vec<f64> {
+        let n = self.geom.len();
+        let mut out = vec![0.0; n];
+        for idx in 0..n {
+            if self.geom.node_at(idx).is_fluid_like() {
+                let (x, y, z) = self.geom.coords(idx);
+                out[idx] = self.moments_at(x, y, z).rho;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_core::collision::{Bgk, Projective};
+    use lbm_core::Solver;
+    use lbm_lattice::{D2Q9, D3Q19};
+
+    /// The substrate ST solver must match the reference CPU solver exactly
+    /// (same arithmetic, same order): 2D channel with BGK.
+    #[test]
+    fn matches_reference_2d_channel() {
+        let geom = Geometry::channel_2d(16, 10, 0.04);
+        let mut gpu_sim: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom.clone(), Bgk::new(0.8)).with_cpu_threads(4);
+        let mut reference: Solver<D2Q9, _> = Solver::new(geom, Bgk::new(0.8)).with_threads(2);
+        gpu_sim.run(25);
+        reference.run(25);
+        let (ug, ur) = (gpu_sim.velocity_field(), reference.velocity_field());
+        for (a, b) in ug.iter().zip(&ur) {
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() < 1e-13, "{a:?} vs {b:?}");
+            }
+        }
+        let (rg, rr) = (gpu_sim.density_field(), reference.density_field());
+        for (a, b) in rg.iter().zip(&rr) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    /// Same in 3D with projective regularization.
+    #[test]
+    fn matches_reference_3d_channel() {
+        let geom = Geometry::channel_3d(12, 7, 7, 0.03);
+        let mut gpu_sim: StSim<D3Q19, _> =
+            StSim::new(DeviceSpec::mi100(), geom.clone(), Projective::new(0.7)).with_cpu_threads(4);
+        let mut reference: Solver<D3Q19, _> =
+            Solver::new(geom, Projective::new(0.7)).with_threads(2);
+        gpu_sim.run(15);
+        reference.run(15);
+        let (ug, ur) = (gpu_sim.velocity_field(), reference.velocity_field());
+        for (a, b) in ug.iter().zip(&ur) {
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() < 1e-13);
+            }
+        }
+    }
+
+    /// Measured B/F on a periodic box reproduces Table 2's 2Q·8 exactly
+    /// (no boundary kernel, every read unique).
+    #[test]
+    fn measured_bpf_matches_table2_2d() {
+        let geom = Geometry::periodic_2d(32, 16);
+        let mut sim: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.9)).with_cpu_threads(2);
+        sim.run(3);
+        let bpf = sim.measured_bpf();
+        assert!((bpf - 144.0).abs() < 1e-9, "B/F = {bpf}");
+    }
+
+    #[test]
+    fn measured_bpf_matches_table2_3d() {
+        let geom = Geometry::periodic_3d(12, 8, 8);
+        let mut sim: StSim<D3Q19, _> =
+            StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.9)).with_cpu_threads(2);
+        sim.run(2);
+        let bpf = sim.measured_bpf();
+        assert!((bpf - 304.0).abs() < 1e-9, "B/F = {bpf}");
+    }
+
+    /// Channel B/F: slightly above 2Q·8 because of the boundary kernel, but
+    /// within a few percent at moderate sizes.
+    #[test]
+    fn channel_bpf_near_ideal() {
+        let geom = Geometry::channel_2d(48, 24, 0.04);
+        let mut sim: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8)).with_cpu_threads(2);
+        sim.run(3);
+        let bpf = sim.measured_bpf();
+        assert!(bpf > 130.0 && bpf < 160.0, "B/F = {bpf}");
+    }
+
+    /// Pull and push produce the same macroscopic trajectory (they are the
+    /// same update in a different order) and the same B/F.
+    #[test]
+    fn push_matches_pull() {
+        let init = |x: usize, y: usize, _z: usize| {
+            (
+                1.0,
+                [0.03 * (y as f64 * 0.6).sin(), 0.01 * (x as f64 * 0.4).cos(), 0.0],
+            )
+        };
+        let geom = Geometry::walls_y_periodic_x(16, 10);
+        let mut pull: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8)).with_cpu_threads(2);
+        pull.init_with(init);
+        let mut push: StSim<D2Q9, _> = StSim::new(DeviceSpec::v100(), geom, Projective::new(0.8))
+            .with_stream(StStream::Push)
+            .with_cpu_threads(2);
+        push.init_with(init);
+        pull.run(12);
+        push.run(12);
+        let (up, us) = (pull.velocity_field(), push.velocity_field());
+        for (a, b) in up.iter().zip(&us) {
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() < 1e-12, "{a:?} vs {b:?}");
+            }
+        }
+        assert!((pull.measured_bpf() - push.measured_bpf()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "push streaming does not support")]
+    fn push_rejects_inlet_outlet() {
+        let geom = Geometry::channel_2d(16, 8, 0.03);
+        let _ = StSim::<D2Q9, _>::new(DeviceSpec::v100(), geom, Bgk::new(0.8))
+            .with_stream(StStream::Push);
+    }
+
+    /// Footprint is two full lattices: 2Q doubles per node.
+    #[test]
+    fn footprint_is_two_lattices() {
+        let geom = Geometry::periodic_2d(10, 10);
+        let sim: StSim<D2Q9, _> = StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8));
+        assert_eq!(sim.footprint_bytes(), 2 * 9 * 100 * 8);
+    }
+}

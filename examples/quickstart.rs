@@ -1,0 +1,59 @@
+//! Quickstart: simulate a 2D channel with the moment representation
+//! (projective regularization — the paper's MR-P) on the simulated V100,
+//! and print the measured traffic next to the paper's model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lbm_mr::prelude::*;
+
+fn main() {
+    // A channel with a parabolic inlet at Re ≈ 50.
+    let (nx, ny) = (96, 32);
+    let u_max = 0.05;
+    let tau = units::tau_for_reynolds(50.0, u_max, (ny - 2) as f64);
+    println!("channel {nx}×{ny}, u_max {u_max}, τ = {tau:.4} (ν = {:.5})", units::nu_from_tau(tau));
+
+    let geom = Geometry::channel_2d_poiseuille(nx, ny, u_max);
+    let mut sim: MrSim2D<D2Q9> =
+        MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), tau);
+
+    sim.run(2000);
+
+    // Flow diagnostics.
+    let u = sim.velocity_field();
+    let rho = sim.density_field();
+    let g = sim.geom();
+    println!(
+        "kinetic energy {:.6e}, max |u| {:.4}, density range {:?}",
+        diagnostics::kinetic_energy(g, &rho, &u),
+        diagnostics::max_velocity(g, &u),
+        diagnostics::density_range(g, &rho)
+    );
+
+    // Centerline development.
+    let mid = ny / 2;
+    print!("centerline u_x: ");
+    for x in [1, nx / 4, nx / 2, 3 * nx / 4, nx - 2] {
+        print!("{:.4} ", u[g.idx(x, mid, 0)][0]);
+    }
+    println!();
+
+    // The paper's story: traffic per fluid update.
+    println!(
+        "measured B/F = {:.1} bytes/update (paper Table 2: MR D2Q9 = 96; ST would be 144)",
+        sim.measured_bpf()
+    );
+    println!(
+        "single-lattice footprint: {} KiB (two ST lattices would be {} KiB)",
+        sim.footprint_bytes() / 1024,
+        2 * 9 * g.len() * 8 / 1024
+    );
+    let dev = DeviceSpec::v100();
+    println!(
+        "modeled throughput at 16M nodes on {}: {:.0} MFLUPS",
+        dev.name,
+        efficiency::modeled_mflups(&dev, Pattern::MomentProjective, 2, sim.measured_bpf(), 16_000_000)
+    );
+}

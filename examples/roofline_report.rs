@@ -1,0 +1,67 @@
+//! Performance-model tour: device specs (Table 1), roofline limits
+//! (eq. 15 / Table 3), occupancy for the MR kernel configurations, and the
+//! coalescing analysis behind the SoA layout choice (§3.1).
+//!
+//! ```text
+//! cargo run --release --example roofline_report
+//! ```
+
+use lbm_mr::gpu::coalesce::{aos_report, soa_report};
+use lbm_mr::prelude::*;
+
+fn main() {
+    for dev in [DeviceSpec::v100(), DeviceSpec::mi100()] {
+        println!("=== {} ===", dev.name);
+        println!(
+            "  {} SMs/CUs, {} KB shared per SM, {:.0} GB/s peak bandwidth",
+            dev.sm_count,
+            dev.shared_mem_per_sm / 1024,
+            dev.bandwidth_gbps
+        );
+        for (lat, q, m) in [("D2Q9", 9usize, 6usize), ("D3Q19", 19, 10)] {
+            let st = roofline::mflups_max_on(&dev, roofline::bytes_per_flup_st(q));
+            let mr = roofline::mflups_max_on(&dev, roofline::bytes_per_flup_mr(m));
+            println!(
+                "  {lat}: roofline ST {st:>6.0} MFLUPS ({} B/F)  |  MR {mr:>6.0} MFLUPS ({} B/F)  →  ×{:.2}",
+                2 * q * 8,
+                2 * m * 8,
+                mr / st
+            );
+        }
+        // Occupancy of the MR kernels (§3.2: want ≥ 2 blocks per SM).
+        for (label, threads, shared) in [
+            ("MR 2D, 32-wide columns", 34usize, 32 * 3 * 9 * 8usize),
+            ("MR 3D, 8×8 columns", 100, 8 * 8 * 3 * 19 * 8),
+            ("MR 3D, 16×16 columns", 324, 16 * 16 * 3 * 19 * 8),
+        ] {
+            if shared > dev.shared_mem_per_sm {
+                println!("  {label}: shared request {shared} B exceeds the SM — invalid config");
+                continue;
+            }
+            let o = occupancy::occupancy(&dev, threads, shared);
+            println!(
+                "  {label}: {} blocks/SM (limited by {:?}){}",
+                o.blocks_per_sm,
+                o.limiter,
+                if o.blocks_per_sm >= 2 { "" } else { "  ← violates the 2-block rule" }
+            );
+        }
+        println!();
+    }
+
+    println!("=== Coalescing: why the distribution array is SoA (§3.1) ===");
+    let soa = soa_report(32, 8);
+    println!(
+        "SoA access (lane l → element l): {} sectors/warp, {:.0}% efficient",
+        soa.sectors,
+        100.0 * soa.efficiency
+    );
+    for q in [9u64, 19, 27] {
+        let aos = aos_report(32, 8, q);
+        println!(
+            "AoS access (Q = {q:>2}):            {} sectors/warp, {:.0}% efficient",
+            aos.sectors,
+            100.0 * aos.efficiency
+        );
+    }
+}

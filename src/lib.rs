@@ -1,0 +1,54 @@
+//! # lbm-mr — moment representation of regularized lattice Boltzmann methods
+//!
+//! Facade crate for the workspace reproducing *"Moment Representation of
+//! Regularized Lattice Boltzmann Methods on NVIDIA and AMD GPUs"*
+//! (Valero-Lara, Vetter, Gounley, Randles — SC 2023). It re-exports the
+//! public API of the four member crates:
+//!
+//! * [`lattice`] — velocity sets, Hermite machinery, moment space;
+//! * [`core`] — collision operators, boundaries, reference solvers;
+//! * [`gpu`] — the software-GPU substrate (devices, kernels, traffic
+//!   ledger, roofline/efficiency models);
+//! * [`kernels`] — the ST and MR propagation patterns on that substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lbm_mr::prelude::*;
+//!
+//! // A small 2D channel on the simulated V100, moment representation with
+//! // projective regularization (the paper's MR-P).
+//! let geom = Geometry::channel_2d_poiseuille(32, 16, 0.05);
+//! let mut sim: MrSim2D<D2Q9> =
+//!     MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
+//! sim.run(50);
+//! assert!((sim.measured_bpf() - 96.0).abs() < 10.0); // Table 2: 2M·8 = 96
+//! ```
+
+pub use gpu_sim as gpu;
+pub use lbm_core as core;
+pub use lbm_gpu as kernels;
+pub use lbm_lattice as lattice;
+
+/// Convenient single import for examples and applications.
+pub mod prelude {
+    pub use gpu_sim::efficiency::{self, Pattern};
+    pub use gpu_sim::{occupancy, roofline, DeviceSpec, Gpu};
+    pub use lbm_core::collision::{Bgk, Collision, Projective, Recursive};
+    pub use lbm_core::{analytic, diagnostics, io, units, Geometry, NodeType, Solver};
+    pub use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim, StSparseSim, StStream};
+    pub use lbm_lattice::{Lattice, D2Q9, D3Q15, D3Q19, D3Q27, D3Q39};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let geom = Geometry::channel_2d(16, 8, 0.03);
+        let mut sim: StSim<D2Q9, _> = StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8));
+        sim.run(3);
+        assert_eq!(sim.steps(), 3);
+    }
+}

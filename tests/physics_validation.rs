@@ -1,0 +1,110 @@
+//! End-to-end physics validation of the substrate kernels against analytic
+//! solutions (the reference solver is validated in its own crate; here the
+//! *GPU-substrate* paths are held to the same physics).
+
+use lbm_mr::prelude::*;
+
+/// Poiseuille flow through the MR-P kernel converges to the analytic
+/// parabola.
+#[test]
+fn mr_poiseuille_converges() {
+    let (nx, ny) = (48, 18);
+    let u_max = 0.05;
+    let geom = Geometry::channel_2d_poiseuille(nx, ny, u_max);
+    let mut mr: MrSim2D<D2Q9> =
+        MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
+    mr.run(3000);
+    let u = mr.velocity_field();
+    let g = mr.geom();
+    let err = diagnostics::l2_velocity_error(g, &u, 0, |_x, y, _z| {
+        analytic::poiseuille_profile(y, ny, u_max)
+    });
+    assert!(err < 0.04, "relative L2 error {err}");
+}
+
+/// The ST substrate kernel reproduces the viscous decay of a shear wave
+/// (pins ν = c_s²(τ − ½) through the full GPU code path).
+#[test]
+fn st_substrate_shear_wave_decay() {
+    let tau = 0.9;
+    let ny = 34; // walls at 0 and 33, fluid rows 1..32
+    let geom = Geometry::walls_y_periodic_x(8, ny);
+    let mut sim: StSim<D2Q9, _> = StSim::new(DeviceSpec::v100(), geom, Bgk::new(tau));
+    // A half-wave that vanishes at the no-slip planes y = 1/2, ny − 3/2:
+    // u_x = sin(π (y − 1/2)/(ny − 2)).
+    let k = std::f64::consts::PI / (ny as f64 - 2.0);
+    let u0 = 0.02;
+    sim.init_with(|_x, y, _z| (1.0, [u0 * (k * (y as f64 - 0.5)).sin(), 0.0, 0.0]));
+    let amp = |s: &StSim<D2Q9, Bgk>| {
+        let u = s.velocity_field();
+        let g = s.geom();
+        (1..ny - 1)
+            .map(|y| u[g.idx(4, y, 0)][0] * (k * (y as f64 - 0.5)).sin())
+            .sum::<f64>()
+            * 2.0
+            / (ny as f64 - 2.0)
+    };
+    let a0 = amp(&sim);
+    let steps = 400;
+    sim.run(steps);
+    let a1 = amp(&sim);
+    let nu = units::nu_from_tau(tau);
+    let expect = (-nu * k * k * steps as f64).exp();
+    let got = a1 / a0;
+    assert!(
+        (got - expect).abs() / expect < 0.02,
+        "decay {got:.5} vs {expect:.5}"
+    );
+}
+
+/// Same decay through the MR-R kernel: recursive regularization preserves
+/// the hydrodynamics.
+#[test]
+fn mr_r_shear_wave_decay() {
+    let tau = 0.9;
+    let ny = 26;
+    let geom = Geometry::walls_y_periodic_x(8, ny);
+    let mut sim: MrSim2D<D2Q9> =
+        MrSim2D::new(DeviceSpec::mi100(), geom, MrScheme::recursive::<D2Q9>(), tau);
+    let k = std::f64::consts::PI / (ny as f64 - 2.0);
+    let u0 = 0.02;
+    sim.init_with(|_x, y, _z| (1.0, [u0 * (k * (y as f64 - 0.5)).sin(), 0.0, 0.0]));
+    let amp = |s: &MrSim2D<D2Q9>| {
+        let u = s.velocity_field();
+        let g = s.geom();
+        (1..ny - 1)
+            .map(|y| u[g.idx(4, y, 0)][0] * (k * (y as f64 - 0.5)).sin())
+            .sum::<f64>()
+            * 2.0
+            / (ny as f64 - 2.0)
+    };
+    let a0 = amp(&sim);
+    let steps = 300;
+    sim.run(steps);
+    let a1 = amp(&sim);
+    let nu = units::nu_from_tau(tau);
+    let expect = (-nu * k * k * steps as f64).exp();
+    let got = a1 / a0;
+    assert!(
+        (got - expect).abs() / expect < 0.02,
+        "decay {got:.5} vs {expect:.5}"
+    );
+}
+
+/// 3D duct through MR-P: mass flux settles and no-slip holds at the walls.
+#[test]
+fn mr3d_duct_develops() {
+    let geom = Geometry::channel_3d(24, 10, 10, 0.03);
+    let mut mr: MrSim3D<D3Q19> =
+        MrSim3D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.75);
+    mr.run(400);
+    let u = mr.velocity_field();
+    let g = mr.geom();
+    let center = u[g.idx(12, 5, 5)][0];
+    assert!(center > 0.01, "centerline u_x = {center}");
+    // Near-wall fluid is slower (no-slip through halfway bounce-back).
+    let near_wall = u[g.idx(12, 1, 5)][0];
+    assert!(near_wall < center);
+    // Nothing went non-finite.
+    assert!(!diagnostics::has_diverged(&mr.density_field(), &u));
+}

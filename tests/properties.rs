@@ -1,0 +1,248 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * moment ↔ distribution round-trips are lossless for regularized states,
+//! * every collision operator conserves mass and momentum and relaxes Π by
+//!   exactly `(1 − 1/τ)` for arbitrary admissible states,
+//! * the circular-shift slot map is a bijection at every time,
+//! * streaming conserves mass on periodic domains for random initial data,
+//! * the FD boundary stencil is exact on affine velocity fields.
+
+#![allow(clippy::needless_range_loop)]
+use lbm_mr::prelude::*;
+use lbm_mr::kernels::MomentLattice;
+use lbm_mr::lattice::equilibrium::{equilibrium, f_from_moments};
+use lbm_mr::lattice::moments::Moments;
+use proptest::prelude::*;
+
+/// Strategy: an admissible low-Mach macroscopic state.
+fn macro_state(d: usize) -> impl Strategy<Value = (f64, [f64; 3])> {
+    (
+        0.8f64..1.2,
+        prop::array::uniform3(-0.08f64..0.08),
+    )
+        .prop_map(move |(rho, mut u)| {
+            for a in d..3 {
+                u[a] = 0.0;
+            }
+            (rho, u)
+        })
+}
+
+/// Strategy: a small non-equilibrium Π perturbation (canonical slots).
+fn pi_perturbation(d: usize) -> impl Strategy<Value = [f64; 6]> {
+    prop::array::uniform6(-5e-3f64..5e-3).prop_map(move |mut p| {
+        // Zero the out-of-plane slots in 2D and symmetrize implicitly.
+        if d == 2 {
+            p[2] = 0.0;
+            p[4] = 0.0;
+            p[5] = 0.0;
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Regularized states round-trip losslessly through moment space.
+    #[test]
+    fn moment_roundtrip_d2q9((rho, u) in macro_state(2), dpi in pi_perturbation(2)) {
+        let mut pi = Moments::pi_eq(rho, u, 2);
+        for k in 0..6 { pi[k] += dpi[k]; }
+        let mut f = vec![0.0; 9];
+        f_from_moments::<D2Q9>(rho, u, &pi, &mut f);
+        let m = Moments::from_f::<D2Q9>(&f);
+        prop_assert!((m.rho - rho).abs() < 1e-12);
+        for a in 0..2 { prop_assert!((m.u[a] - u[a]).abs() < 1e-12); }
+        for k in [0usize, 1, 3] { prop_assert!((m.pi[k] - pi[k]).abs() < 1e-12); }
+    }
+
+    /// Same in 3D on D3Q19.
+    #[test]
+    fn moment_roundtrip_d3q19((rho, u) in macro_state(3), dpi in pi_perturbation(3)) {
+        let mut pi = Moments::pi_eq(rho, u, 3);
+        for k in 0..6 { pi[k] += dpi[k]; }
+        let mut f = vec![0.0; 19];
+        f_from_moments::<D3Q19>(rho, u, &pi, &mut f);
+        let m = Moments::from_f::<D3Q19>(&f);
+        prop_assert!((m.rho - rho).abs() < 1e-12);
+        for a in 0..3 { prop_assert!((m.u[a] - u[a]).abs() < 1e-12); }
+        for k in 0..6 { prop_assert!((m.pi[k] - pi[k]).abs() < 1e-12); }
+    }
+
+    /// Conservation + exact Π relaxation for all three operators on random
+    /// admissible states.
+    #[test]
+    fn collision_invariants(
+        (rho, u) in macro_state(2),
+        dpi in pi_perturbation(2),
+        tau in 0.55f64..1.5,
+    ) {
+        let mut pi = Moments::pi_eq(rho, u, 2);
+        for k in 0..6 { pi[k] += dpi[k]; }
+        let mut f0 = vec![0.0; 9];
+        f_from_moments::<D2Q9>(rho, u, &pi, &mut f0);
+
+        let ops: [(&str, Box<dyn Collision<D2Q9>>); 3] = [
+            ("BGK", Box::new(Bgk::new(tau))),
+            ("REG-P", Box::new(Projective::new(tau))),
+            ("REG-R", Box::new(Recursive::new::<D2Q9>(tau))),
+        ];
+        for (name, op) in ops {
+            let mut f = f0.clone();
+            op.collide(&mut f);
+            let before = Moments::from_f::<D2Q9>(&f0);
+            let after = Moments::from_f::<D2Q9>(&f);
+            prop_assert!((before.rho - after.rho).abs() < 1e-12, "{name} mass");
+            for a in 0..2 {
+                prop_assert!(
+                    (before.rho * before.u[a] - after.rho * after.u[a]).abs() < 1e-12,
+                    "{name} momentum"
+                );
+            }
+            let omega = 1.0 - 1.0 / tau;
+            let (bneq, aneq) = (before.pi_neq(2), after.pi_neq(2));
+            for k in [0usize, 1, 3] {
+                prop_assert!(
+                    (aneq[k] - omega * bneq[k]).abs() < 1e-11,
+                    "{name} pi relaxation"
+                );
+            }
+        }
+    }
+
+    /// The circular-shift slot map stays a bijection for random sizes,
+    /// shifts, and times.
+    #[test]
+    fn slot_map_bijective(
+        n in 1usize..400,
+        shift in 0usize..50,
+        pad_extra in 0usize..20,
+        t in 0u64..1000,
+    ) {
+        let pad = shift + pad_extra;
+        let ml = MomentLattice::new(n, 6, shift, pad);
+        let mut seen = vec![false; n + pad];
+        for idx in 0..n {
+            let s = ml.slot(idx, t);
+            prop_assert!(s < n + pad);
+            prop_assert!(!seen[s]);
+            seen[s] = true;
+        }
+    }
+
+    /// Random equilibrium fields on a periodic box: total mass and momentum
+    /// conserved by the full solver for any operator parameters.
+    #[test]
+    fn periodic_conservation(seed in 0u64..1000, tau in 0.6f64..1.2) {
+        let geom = Geometry::periodic_2d(8, 6);
+        let mut s: Solver<D2Q9, _> = Solver::new(geom, Projective::new(tau)).with_threads(1);
+        s.init_with(|x, y, _| {
+            let h = ((x * 7 + y * 13) as f64 + seed as f64) * 0.61803;
+            (1.0 + 0.03 * h.sin(), [0.02 * (h * 1.7).cos(), 0.02 * (h * 2.3).sin(), 0.0])
+        });
+        let rho0: f64 = s.density_field().iter().sum();
+        let mom0: f64 = s
+            .velocity_field()
+            .iter()
+            .zip(s.density_field())
+            .map(|(u, r)| u[0] * r)
+            .sum();
+        s.run(8);
+        let rho1: f64 = s.density_field().iter().sum();
+        let mom1: f64 = s
+            .velocity_field()
+            .iter()
+            .zip(s.density_field())
+            .map(|(u, r)| u[0] * r)
+            .sum();
+        prop_assert!((rho0 - rho1).abs() < 1e-10 * rho0);
+        prop_assert!((mom0 - mom1).abs() < 1e-10);
+    }
+
+    /// The boundary stencil is exact for affine velocity fields
+    /// u(x, y) = a + b·x + c·y: Π^neq = −2ρc_s²τ·S with S from the exact
+    /// gradients.
+    #[test]
+    fn fd_boundary_exact_on_affine_fields(
+        a in -0.02f64..0.02,
+        b in -1e-3f64..1e-3,
+        c in -1e-3f64..1e-3,
+        tau in 0.6f64..1.2,
+    ) {
+        use lbm_mr::core::boundary::boundary_node_moments;
+        let ny = 10;
+        let mut geom = Geometry::channel_2d(12, ny, 0.0);
+        // Prescribe the affine field at the inlet nodes so tangential
+        // differencing sees it.
+        for y in 1..ny - 1 {
+            let u = [a + c * y as f64, 0.0, 0.0];
+            geom.set(0, y, 0, NodeType::Inlet(u));
+        }
+        let macro_at = |x: usize, y: usize, _z: usize| {
+            (1.0, [a + b * x as f64 + c * y as f64, 0.0, 0.0])
+        };
+        let y = 5;
+        let m = boundary_node_moments::<D2Q9>(&geom, 0, y, 0, tau, &macro_at);
+        // ∂x u_x = b, ∂y u_x = c exactly (stencils are second order).
+        let pi_eq = Moments::pi_eq(m.rho, m.u, 2);
+        let cs2 = 1.0 / 3.0;
+        let want_xx = -2.0 * cs2 * tau * b;
+        let want_xy = -2.0 * cs2 * tau * 0.5 * c;
+        prop_assert!(((m.pi[0] - pi_eq[0]) - want_xx).abs() < 1e-12);
+        prop_assert!(((m.pi[1] - pi_eq[1]) - want_xy).abs() < 1e-12);
+    }
+
+    /// Equilibrium populations are strictly positive in the admissible
+    /// velocity envelope.
+    #[test]
+    fn equilibrium_positive((rho, u) in macro_state(3)) {
+        let mut f = vec![0.0; 19];
+        equilibrium::<D3Q19>(rho, u, &mut f);
+        prop_assert!(f.iter().all(|&v| v > 0.0));
+    }
+
+    /// Randomized cross-representation equivalence: random domain sizes,
+    /// random interior obstacles, random smooth initial fields, random τ —
+    /// MR must always match the distribution-representation reference.
+    #[test]
+    fn mr_matches_reference_on_random_scenes(
+        nx_c in 2usize..5,      // columns of width 4
+        ny in 6usize..12,
+        tau in 0.6f64..1.1,
+        seed in 0u64..10_000,
+        obstacle in proptest::bool::ANY,
+    ) {
+        use lbm_mr::kernels::{MrScheme, MrSim2D};
+        let nx = nx_c * 4;
+        let mut geom = Geometry::walls_y_periodic_x(nx, ny);
+        if obstacle && nx >= 8 && ny >= 8 {
+            geom = geom.with_cylinder(
+                (seed % (nx as u64 - 4)) as f64 + 2.0,
+                ny as f64 / 2.0,
+                1.5,
+            );
+        }
+        let s = seed as f64;
+        let init = move |x: usize, y: usize, _z: usize| {
+            let h = (x as f64 * 0.7 + y as f64 * 1.3 + s).sin();
+            (1.0 + 0.02 * h, [0.03 * (y as f64 * 0.8 + s).sin(), 0.02 * h, 0.0])
+        };
+        let mut reference: Solver<D2Q9, _> =
+            Solver::new(geom.clone(), Projective::new(tau)).with_threads(1);
+        reference.init_with(init);
+        let mut mr: MrSim2D<D2Q9> =
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), tau)
+                .with_cpu_threads(1);
+        mr.init_with(init);
+        reference.run(6);
+        mr.run(6);
+        let (ur, um) = (reference.velocity_field(), mr.velocity_field());
+        for (a, b) in ur.iter().zip(&um) {
+            for k in 0..3 {
+                prop_assert!((a[k] - b[k]).abs() < 1e-12,
+                    "representations diverged: {} vs {}", a[k], b[k]);
+            }
+        }
+    }
+}
