@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass offline, with no network access
+# and no dependencies outside the Rust toolchain (the workspace is
+# std-only). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== reproduce smoke (multi-device bitwise + exact halo ratios)"
+cargo run -p lbm-bench --release --bin reproduce -- smoke
+
+echo "CI OK"

@@ -10,16 +10,22 @@
 //!
 //! The SoA-vs-AoS layout ablation is analytic (coalescing sectors); its
 //! numbers are printed into the log.
+//!
+//! Plain `std::time::Instant` timer (`harness = false`); the workspace is
+//! offline and cannot resolve Criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::coalesce::{aos_report, soa_report};
 use gpu_sim::DeviceSpec;
-use lbm_bench::{bench_geometry_2d, TAU};
+use lbm_bench::{bench_geometry_2d, bench_line, time_iters, TAU};
 use lbm_core::collision::Bgk;
 use lbm_gpu::{MrScheme, MrSim2D, StSim, StSparseSim, StStream};
 use lbm_lattice::D2Q9;
 
-fn ablations(c: &mut Criterion) {
+const WARMUP: usize = 2;
+const ITERS: usize = 10;
+const GROUP: &str = "ablations";
+
+fn main() {
     // SoA vs AoS: analytic coalescing report (paper §3.1's layout choice).
     let soa = soa_report(32, 8);
     for q in [9usize, 19, 27] {
@@ -33,12 +39,8 @@ fn ablations(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
-
     let (nx, ny) = (128usize, 64usize);
+    let nodes = nx * (ny - 2);
 
     // Tile height sweep (2D).
     for tile_h in [1usize, 2, 4] {
@@ -51,9 +53,8 @@ fn ablations(c: &mut Criterion) {
             tile_h,
             tile_h, // shift ≥ tile_h − 1
         );
-        group.bench_function(BenchmarkId::new("tile_height", tile_h), |b| {
-            b.iter(|| sim.step())
-        });
+        let s = time_iters(WARMUP, ITERS, || sim.step());
+        bench_line(GROUP, &format!("tile_height/{tile_h}"), nodes, s);
     }
 
     // Circular shift vs in-place.
@@ -67,9 +68,8 @@ fn ablations(c: &mut Criterion) {
             1,
             shift,
         );
-        group.bench_function(BenchmarkId::new("circular_shift", label), |b| {
-            b.iter(|| sim.step())
-        });
+        let s = time_iters(WARMUP, ITERS, || sim.step());
+        bench_line(GROUP, &format!("circular_shift/{label}"), nodes, s);
     }
 
     // Pull vs push streaming for ST (paper §3.1).
@@ -77,9 +77,8 @@ fn ablations(c: &mut Criterion) {
         let mut sim: StSim<D2Q9, _> =
             StSim::new(DeviceSpec::v100(), bench_geometry_2d(nx, ny), Bgk::new(TAU))
                 .with_stream(stream);
-        group.bench_function(BenchmarkId::new("st_stream", label), |b| {
-            b.iter(|| sim.step())
-        });
+        let s = time_iters(WARMUP, ITERS, || sim.step());
+        bench_line(GROUP, &format!("st_stream/{label}"), nodes, s);
     }
 
     // Single-lattice circular shift vs double-buffered MR storage.
@@ -93,9 +92,8 @@ fn ablations(c: &mut Criterion) {
         if double {
             sim = sim.with_double_buffer();
         }
-        group.bench_function(BenchmarkId::new("mr_storage", label), |b| {
-            b.iter(|| sim.step())
-        });
+        let s = time_iters(WARMUP, ITERS, || sim.step());
+        bench_line(GROUP, &format!("mr_storage/{label}"), nodes, s);
     }
 
     // Direct vs indirect addressing for ST (Table 3's "direct addressing"
@@ -104,14 +102,12 @@ fn ablations(c: &mut Criterion) {
     {
         let mut dense: StSim<D2Q9, _> =
             StSim::new(DeviceSpec::v100(), bench_geometry_2d(nx, ny), Bgk::new(TAU));
-        group.bench_function(BenchmarkId::new("st_addressing", "direct"), |b| {
-            b.iter(|| dense.step())
-        });
+        let s = time_iters(WARMUP, ITERS, || dense.step());
+        bench_line(GROUP, "st_addressing/direct", nodes, s);
         let mut sparse: StSparseSim<D2Q9, _> =
             StSparseSim::new(DeviceSpec::v100(), bench_geometry_2d(nx, ny), Bgk::new(TAU));
-        group.bench_function(BenchmarkId::new("st_addressing", "indirect"), |b| {
-            b.iter(|| sparse.step())
-        });
+        let s = time_iters(WARMUP, ITERS, || sparse.step());
+        bench_line(GROUP, "st_addressing/indirect", nodes, s);
     }
 
     // ST block-size sweep.
@@ -119,9 +115,8 @@ fn ablations(c: &mut Criterion) {
         let mut sim: StSim<D2Q9, _> =
             StSim::new(DeviceSpec::v100(), bench_geometry_2d(nx, ny), Bgk::new(TAU))
                 .with_block_size(bs);
-        group.bench_function(BenchmarkId::new("st_block_size", bs), |b| {
-            b.iter(|| sim.step())
-        });
+        let s = time_iters(WARMUP, ITERS, || sim.step());
+        bench_line(GROUP, &format!("st_block_size/{bs}"), nodes, s);
     }
 
     // MR column width sweep (halo overhead ∝ 2/width).
@@ -135,13 +130,7 @@ fn ablations(c: &mut Criterion) {
             1,
             1,
         );
-        group.bench_function(BenchmarkId::new("mr_column_width", w), |b| {
-            b.iter(|| sim.step())
-        });
+        let s = time_iters(WARMUP, ITERS, || sim.step());
+        bench_line(GROUP, &format!("mr_column_width/{w}"), nodes, s);
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, ablations);
-criterion_main!(benches);

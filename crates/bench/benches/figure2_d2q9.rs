@@ -5,35 +5,34 @@
 //! paper's GPU numbers; the *ratios* between patterns reflect arithmetic
 //! and access-structure differences, while the bandwidth-bound projection
 //! printed by `reproduce figure2` reflects the paper's memory argument.
+//!
+//! Plain `std::time::Instant` timer (`harness = false`); the workspace is
+//! offline and cannot resolve Criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_sim::efficiency::Pattern;
 use gpu_sim::DeviceSpec;
-use lbm_bench::{bench_geometry_2d, TAU};
+use lbm_bench::{bench_geometry_2d, bench_line, time_iters, TAU};
 use lbm_core::collision::Bgk;
 use lbm_gpu::{MrScheme, MrSim2D, StSim};
 use lbm_lattice::D2Q9;
 
-fn bench_pattern(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure2_d2q9");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
+const WARMUP: usize = 2;
+const ITERS: usize = 10;
 
+fn main() {
     for &(nx, ny) in &[(128usize, 64usize), (256, 128)] {
-        let nodes = (nx * (ny - 2)) as u64;
-        group.throughput(Throughput::Elements(nodes));
+        let nodes = nx * (ny - 2);
         for pattern in [
             Pattern::Standard,
             Pattern::MomentProjective,
             Pattern::MomentRecursive,
         ] {
-            let id = BenchmarkId::new(pattern.label(), format!("{nx}x{ny}"));
-            match pattern {
+            let id = format!("{}/{nx}x{ny}", pattern.label());
+            let s = match pattern {
                 Pattern::Standard => {
                     let mut sim: StSim<D2Q9, _> =
                         StSim::new(DeviceSpec::v100(), bench_geometry_2d(nx, ny), Bgk::new(TAU));
-                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                    time_iters(WARMUP, ITERS, || sim.step())
                 }
                 Pattern::MomentProjective => {
                     let mut sim: MrSim2D<D2Q9> = MrSim2D::new(
@@ -42,7 +41,7 @@ fn bench_pattern(c: &mut Criterion) {
                         MrScheme::projective(),
                         TAU,
                     );
-                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                    time_iters(WARMUP, ITERS, || sim.step())
                 }
                 Pattern::MomentRecursive => {
                     let mut sim: MrSim2D<D2Q9> = MrSim2D::new(
@@ -51,13 +50,10 @@ fn bench_pattern(c: &mut Criterion) {
                         MrScheme::recursive::<D2Q9>(),
                         TAU,
                     );
-                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                    time_iters(WARMUP, ITERS, || sim.step())
                 }
-            }
+            };
+            bench_line("figure2_d2q9", &id, nodes, s);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pattern);
-criterion_main!(benches);

@@ -1,37 +1,36 @@
 //! Figure 3 bench: wall time per timestep of the three propagation
 //! patterns on the D3Q19 lattice. See `figure2_d2q9.rs` for caveats.
+//!
+//! Plain `std::time::Instant` timer (`harness = false`); the workspace is
+//! offline and cannot resolve Criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_sim::efficiency::Pattern;
 use gpu_sim::DeviceSpec;
-use lbm_bench::{bench_geometry_3d, TAU};
+use lbm_bench::{bench_geometry_3d, bench_line, time_iters, TAU};
 use lbm_core::collision::Bgk;
 use lbm_gpu::{MrScheme, MrSim3D, StSim};
 use lbm_lattice::D3Q19;
 
-fn bench_pattern(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure3_d3q19");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
+const WARMUP: usize = 1;
+const ITERS: usize = 5;
 
+fn main() {
     for &(nx, ny, nz) in &[(32usize, 16usize, 16usize), (48, 32, 32)] {
-        let nodes = (nx * (ny - 2) * (nz - 2)) as u64;
-        group.throughput(Throughput::Elements(nodes));
+        let nodes = nx * (ny - 2) * (nz - 2);
         for pattern in [
             Pattern::Standard,
             Pattern::MomentProjective,
             Pattern::MomentRecursive,
         ] {
-            let id = BenchmarkId::new(pattern.label(), format!("{nx}x{ny}x{nz}"));
-            match pattern {
+            let id = format!("{}/{nx}x{ny}x{nz}", pattern.label());
+            let s = match pattern {
                 Pattern::Standard => {
                     let mut sim: StSim<D3Q19, _> = StSim::new(
                         DeviceSpec::v100(),
                         bench_geometry_3d(nx, ny, nz),
                         Bgk::new(TAU),
                     );
-                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                    time_iters(WARMUP, ITERS, || sim.step())
                 }
                 Pattern::MomentProjective => {
                     let mut sim: MrSim3D<D3Q19> = MrSim3D::new(
@@ -40,7 +39,7 @@ fn bench_pattern(c: &mut Criterion) {
                         MrScheme::projective(),
                         TAU,
                     );
-                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                    time_iters(WARMUP, ITERS, || sim.step())
                 }
                 Pattern::MomentRecursive => {
                     let mut sim: MrSim3D<D3Q19> = MrSim3D::new(
@@ -49,13 +48,10 @@ fn bench_pattern(c: &mut Criterion) {
                         MrScheme::recursive::<D3Q19>(),
                         TAU,
                     );
-                    group.bench_function(id, |b| b.iter(|| sim.step()));
+                    time_iters(WARMUP, ITERS, || sim.step())
                 }
-            }
+            };
+            bench_line("figure3_d3q19", &id, nodes, s);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pattern);
-criterion_main!(benches);

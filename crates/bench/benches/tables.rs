@@ -1,14 +1,16 @@
 //! Table benches: time the B/F measurement harness (Tables 1–4 are
 //! regenerated for real by `cargo run -p lbm-bench --bin reproduce`), and
 //! print the derived tables once so a `cargo bench` log carries them.
+//!
+//! Plain `std::time::Instant` timer (`harness = false`); the workspace is
+//! offline and cannot resolve Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::efficiency::Pattern;
 use gpu_sim::roofline::{bytes_per_flup_mr, bytes_per_flup_st, mflups_max_on};
 use gpu_sim::DeviceSpec;
-use lbm_bench::{run_2d, run_3d};
+use lbm_bench::{bench_line, run_2d, run_3d, time_iters};
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     // Print Table 2/3 numbers into the bench log.
     let st2 = run_2d(DeviceSpec::v100(), Pattern::Standard, 64, 32, 2);
     let mr2 = run_2d(DeviceSpec::v100(), Pattern::MomentProjective, 64, 32, 2);
@@ -32,17 +34,12 @@ fn bench_tables(c: &mut Criterion) {
         mflups_max_on(&m, bytes_per_flup_mr(10)),
     );
 
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("table2_bpf_measurement_2d", |b| {
-        b.iter(|| run_2d(DeviceSpec::v100(), Pattern::MomentProjective, 48, 24, 1))
+    let s = time_iters(1, 5, || {
+        run_2d(DeviceSpec::v100(), Pattern::MomentProjective, 48, 24, 1);
     });
-    group.bench_function("table2_bpf_measurement_3d", |b| {
-        b.iter(|| run_3d(DeviceSpec::v100(), Pattern::MomentProjective, 12, 8, 8, 1))
+    bench_line("tables", "table2_bpf_measurement_2d", 0, s);
+    let s = time_iters(1, 5, || {
+        run_3d(DeviceSpec::v100(), Pattern::MomentProjective, 12, 8, 8, 1);
     });
-    group.finish();
+    bench_line("tables", "table2_bpf_measurement_3d", 0, s);
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

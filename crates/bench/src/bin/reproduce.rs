@@ -1,8 +1,8 @@
 //! Regenerate every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|all]
-//!           [--quick]
+//! reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy
+//!            |profile|futurework|scaling|smoke|all] [--quick]
 //! ```
 //!
 //! With `--quick` the measurement domains are smaller (CI-friendly). Every
@@ -30,9 +30,17 @@ fn table1() {
     println!("{:<16} {:>16} {:>16}", "", "NVIDIA V100", "AMD MI100");
     let [v, m] = devices();
     let rows: Vec<(&str, String, String)> = vec![
-        ("Frequency", format!("{} MHz", v.frequency_mhz), format!("{} MHz", m.frequency_mhz)),
+        (
+            "Frequency",
+            format!("{} MHz", v.frequency_mhz),
+            format!("{} MHz", m.frequency_mhz),
+        ),
         ("CUDA/HIP cores", v.cores.to_string(), m.cores.to_string()),
-        ("SM/CU count", v.sm_count.to_string(), m.sm_count.to_string()),
+        (
+            "SM/CU count",
+            v.sm_count.to_string(),
+            m.sm_count.to_string(),
+        ),
         (
             "Shared mem",
             format!("{} KB/SM", v.shared_mem_per_sm / 1024),
@@ -69,7 +77,11 @@ fn table1() {
 /// Measure B/F for every pattern/lattice on moderate domains.
 fn measure_all(quick: bool) -> Vec<RunResult> {
     let (n2, s2) = if quick { ((96, 48), 2) } else { ((192, 96), 3) };
-    let (n3, s3) = if quick { ((24, 16, 16), 2) } else { ((48, 24, 24), 3) };
+    let (n3, s3) = if quick {
+        ((24, 16, 16), 2)
+    } else {
+        ((48, 24, 24), 3)
+    };
     let mut out = Vec::new();
     for pattern in PATTERNS {
         // B/F is device-independent; measure once, reuse for both devices.
@@ -200,7 +212,9 @@ fn figure(results: &[RunResult], dim: usize) {
         println!("  (CPU wall-clock of the simulated kernels; not GPU-comparable)");
     }
     if dim == 2 {
-        println!("(paper sustained: V100 ST≈5300, MR-P≈7000; MI100 ST≈6200, MR-P≈8600; MR-R ≈ MR-P)");
+        println!(
+            "(paper sustained: V100 ST≈5300, MR-P≈7000; MI100 ST≈6200, MR-P≈8600; MR-R ≈ MR-P)"
+        );
     } else {
         println!("(paper sustained: V100 ST≈2600, MR-P≈3800, MR-R≈3000; MI100 ST≈2800, MR-P≈3200, MR-R≈2500)");
     }
@@ -232,7 +246,10 @@ fn footprint() {
 fn speedups(results: &[RunResult]) {
     println!("== §5: MR-P vs ST speedups at 16M nodes =============================");
     let n = 16_000_000;
-    println!("{:<12} {:>8} {:>10} {:>8}", "device", "lattice", "speedup", "paper");
+    println!(
+        "{:<12} {:>8} {:>10} {:>8}",
+        "device", "lattice", "speedup", "paper"
+    );
     let paper = [
         ("NVIDIA V100", "D2Q9", 1.32),
         ("AMD MI100", "D2Q9", 1.38),
@@ -257,10 +274,28 @@ fn speedups(results: &[RunResult]) {
 
 fn future_work(quick: bool) {
     println!("== §5 future work: D3Q27 through the same kernels ===================");
-    let (nx, ny, nz, steps) = if quick { (16, 12, 12, 2) } else { (32, 16, 16, 2) };
+    let (nx, ny, nz, steps) = if quick {
+        (16, 12, 12, 2)
+    } else {
+        (32, 16, 16, 2)
+    };
     let st = run_3d_q27(DeviceSpec::v100(), Pattern::Standard, nx, ny, nz, steps);
-    let mrp = run_3d_q27(DeviceSpec::v100(), Pattern::MomentProjective, nx, ny, nz, steps);
-    let mrr = run_3d_q27(DeviceSpec::v100(), Pattern::MomentRecursive, nx, ny, nz, steps);
+    let mrp = run_3d_q27(
+        DeviceSpec::v100(),
+        Pattern::MomentProjective,
+        nx,
+        ny,
+        nz,
+        steps,
+    );
+    let mrr = run_3d_q27(
+        DeviceSpec::v100(),
+        Pattern::MomentRecursive,
+        nx,
+        ny,
+        nz,
+        steps,
+    );
     println!(
         "measured B/F: ST {:.1} (model 2Q·8 = 432), MR-P {:.1} (2M·8 = 160), MR-R {:.1}",
         st.measured_bpf, mrp.measured_bpf, mrr.measured_bpf
@@ -306,8 +341,11 @@ fn future_work(quick: bool) {
         use lbm_gpu::StSparseSim;
         use lbm_lattice::D2Q9;
         let n = if quick { (48, 24) } else { (96, 48) };
-        let mut sp: StSparseSim<D2Q9, _> =
-            StSparseSim::new(DeviceSpec::v100(), bench_geometry_2d(n.0, n.1), Bgk::new(lbm_bench::TAU));
+        let mut sp: StSparseSim<D2Q9, _> = StSparseSim::new(
+            DeviceSpec::v100(),
+            bench_geometry_2d(n.0, n.1),
+            Bgk::new(lbm_bench::TAU),
+        );
         sp.run(2);
         println!(
             "D2Q9 indirect B/F {:.1} (direct 144; the Q·4 B link penalty) → roofline {:.0} vs {:.0} MFLUPS on the V100",
@@ -341,10 +379,17 @@ fn profile(quick: bool) {
     use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim};
     use lbm_lattice::{D2Q9, D3Q19};
     let prof = std::sync::Arc::new(gpu_sim::profiler::Profiler::new());
-    let (n2, n3) = if quick { ((48, 24), (16, 12, 12)) } else { ((96, 48), (32, 16, 16)) };
-    let mut st: StSim<D2Q9, _> =
-        StSim::new(DeviceSpec::v100(), Geometry::channel_2d(n2.0, n2.1, 0.04), Bgk::new(TAU))
-            .with_profiler(prof.clone());
+    let (n2, n3) = if quick {
+        ((48, 24), (16, 12, 12))
+    } else {
+        ((96, 48), (32, 16, 16))
+    };
+    let mut st: StSim<D2Q9, _> = StSim::new(
+        DeviceSpec::v100(),
+        Geometry::channel_2d(n2.0, n2.1, 0.04),
+        Bgk::new(TAU),
+    )
+    .with_profiler(prof.clone());
     st.run(2);
     let mut mr: MrSim2D<D2Q9> = MrSim2D::new(
         DeviceSpec::v100(),
@@ -385,6 +430,347 @@ fn occupancy_report() {
     println!();
 }
 
+/// One multi-device measurement: exact halo traffic, overlap, modeled
+/// throughput, multi-roofline, and the deviation from the single-device run.
+struct ScaleRow {
+    n: usize,
+    repr: &'static str,
+    halo_per_step: u64,
+    efficiency: f64,
+    mflups: f64,
+    roofline: f64,
+    diff: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scale_row(
+    n: usize,
+    repr: &'static str,
+    halo_per_step: u64,
+    mg: &gpu_sim::interconnect::MultiGpu,
+    stats: &lbm_multi::OverlapStats,
+    fluid: usize,
+    bpf: f64,
+    diff: f64,
+) -> ScaleRow {
+    use gpu_sim::roofline::mflups_max_multi;
+    let max_link: u64 = mg
+        .links()
+        .iter()
+        .map(|l| l.bytes_total())
+        .max()
+        .unwrap_or(0);
+    let per_link_per_step = max_link as f64 / stats.steps.max(1) as f64;
+    let shard_fluid = (fluid as f64 / n as f64).max(1.0);
+    ScaleRow {
+        n,
+        repr,
+        halo_per_step,
+        efficiency: stats.overlap_efficiency(),
+        mflups: stats.modeled_mflups(fluid),
+        roofline: mflups_max_multi(
+            mg.spec().bandwidth_gbps,
+            bpf,
+            mg.link_spec().bandwidth_gbps,
+            per_link_per_step / shard_fluid,
+        ),
+        diff,
+    }
+}
+
+fn print_scale_rows(rows: &[ScaleRow]) {
+    println!(
+        "{:>3} {:<6} {:>12} {:>9} {:>15} {:>10} {:>18}",
+        "N", "repr", "halo B/step", "overlap", "modeled MFLUPS", "roofline", "max|Δu| vs 1 dev"
+    );
+    for r in rows {
+        println!(
+            "{:>3} {:<6} {:>12} {:>9.2} {:>15.0} {:>10.0} {:>18.1e}",
+            r.n, r.repr, r.halo_per_step, r.efficiency, r.mflups, r.roofline, r.diff
+        );
+    }
+}
+
+/// The wire-traffic half of Table 2: every halo node costs `M·8` bytes in
+/// moment space vs `Q·8` in distribution space, so per-step halo bytes must
+/// relate by exactly `M/Q` on identical geometry.
+fn check_halo_ratio(rows: &[ScaleRow], m: u64, q: u64, lattice: &str) {
+    for n in rows
+        .iter()
+        .map(|r| r.n)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let st = rows.iter().find(|r| r.n == n && r.repr == "ST").unwrap();
+        for mr in rows.iter().filter(|r| r.n == n && r.repr != "ST") {
+            assert_eq!(
+                mr.halo_per_step * q,
+                st.halo_per_step * m,
+                "{lattice} N={n}: {} halo bytes must be exactly M/Q = {m}/{q} of ST's",
+                mr.repr
+            );
+        }
+    }
+    println!(
+        "(halo-byte ratio MR/ST verified byte-exact: {m}/{q} = {}·8/{}·8 B per halo node)",
+        m, q
+    );
+}
+
+fn duct_3d(nx: usize, ny: usize, nz: usize) -> lbm_core::Geometry {
+    use lbm_core::NodeType;
+    let mut g = lbm_core::Geometry::new(nx, ny, nz, [true, false, false]);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if y == 0 || y == ny - 1 || z == 0 || z == nz - 1 {
+                    g.set(x, y, z, NodeType::Wall);
+                }
+            }
+        }
+    }
+    g
+}
+
+fn max_udiff(a: &[[f64; 3]], b: &[[f64; 3]]) -> f64 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| (0..3).map(move |k| (x[k] - y[k]).abs()))
+        .fold(0.0, f64::max)
+}
+
+fn init_2d(x: usize, y: usize, _z: usize) -> (f64, [f64; 3]) {
+    (
+        1.0 + 0.01 * ((x as f64 * 0.37 + y as f64 * 0.61).sin()),
+        [
+            0.02 * (y as f64 * 0.5).sin(),
+            0.01 * (x as f64 * 0.3).cos(),
+            0.0,
+        ],
+    )
+}
+
+fn init_3d(x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
+    (
+        1.0 + 0.01 * ((x as f64 * 0.37 + z as f64 * 0.41).sin()),
+        [
+            0.02 * (y as f64 * 0.5).sin() * (z as f64 * 0.4).cos(),
+            0.01 * (x as f64 * 0.3).cos(),
+            0.01 * (y as f64 * 0.7).sin(),
+        ],
+    )
+}
+
+/// Run all three representations sharded N ways on one 2D geometry and
+/// compare each against its own single-device run.
+fn scale_2d(geom: &lbm_core::Geometry, n: usize, steps: usize) -> Vec<ScaleRow> {
+    use lbm_core::collision::Projective;
+    use lbm_gpu::{MrScheme, MrSim2D, StSim};
+    use lbm_lattice::D2Q9;
+    use lbm_multi::{MultiMrSim2D, MultiStSim};
+    let dev = DeviceSpec::v100();
+    let tau = lbm_bench::TAU;
+    let fluid = geom.fluid_count();
+    let mut rows = Vec::new();
+
+    let mut st: MultiStSim<D2Q9, _> =
+        MultiStSim::new(dev.clone(), geom.clone(), Projective::new(tau), n);
+    st.init_with(init_2d);
+    st.run(steps);
+    let mut st1: StSim<D2Q9, _> = StSim::new(dev.clone(), geom.clone(), Projective::new(tau));
+    st1.init_with(init_2d);
+    st1.run(steps);
+    rows.push(scale_row(
+        n,
+        "ST",
+        st.halo_bytes_per_step(),
+        st.interconnect(),
+        st.stats(),
+        fluid,
+        144.0,
+        max_udiff(&st.velocity_field(), &st1.velocity_field()),
+    ));
+
+    for (label, mk) in [
+        ("MR-P", MrScheme::projective as fn() -> MrScheme),
+        ("MR-R", MrScheme::recursive::<D2Q9>),
+    ] {
+        let mut mr: MultiMrSim2D<D2Q9> = MultiMrSim2D::new(dev.clone(), geom.clone(), mk(), tau, n);
+        mr.init_with(init_2d);
+        mr.run(steps);
+        let mut mr1: MrSim2D<D2Q9> = MrSim2D::new(dev.clone(), geom.clone(), mk(), tau);
+        mr1.init_with(init_2d);
+        mr1.run(steps);
+        rows.push(scale_row(
+            n,
+            label,
+            mr.halo_bytes_per_step(),
+            mr.interconnect(),
+            mr.stats(),
+            fluid,
+            96.0,
+            max_udiff(&mr.velocity_field(), &mr1.velocity_field()),
+        ));
+    }
+    rows
+}
+
+/// Same for 3D on a periodic-x duct.
+fn scale_3d(geom: &lbm_core::Geometry, n: usize, steps: usize) -> Vec<ScaleRow> {
+    use lbm_core::collision::Projective;
+    use lbm_gpu::{MrScheme, MrSim3D, StSim};
+    use lbm_lattice::D3Q19;
+    use lbm_multi::{MultiMrSim3D, MultiStSim};
+    let dev = DeviceSpec::v100();
+    let tau = lbm_bench::TAU;
+    let fluid = geom.fluid_count();
+    let mut rows = Vec::new();
+
+    let mut st: MultiStSim<D3Q19, _> =
+        MultiStSim::new(dev.clone(), geom.clone(), Projective::new(tau), n);
+    st.init_with(init_3d);
+    st.run(steps);
+    let mut st1: StSim<D3Q19, _> = StSim::new(dev.clone(), geom.clone(), Projective::new(tau));
+    st1.init_with(init_3d);
+    st1.run(steps);
+    rows.push(scale_row(
+        n,
+        "ST",
+        st.halo_bytes_per_step(),
+        st.interconnect(),
+        st.stats(),
+        fluid,
+        304.0,
+        max_udiff(&st.velocity_field(), &st1.velocity_field()),
+    ));
+
+    for (label, mk) in [
+        ("MR-P", MrScheme::projective as fn() -> MrScheme),
+        ("MR-R", MrScheme::recursive::<D3Q19>),
+    ] {
+        let mut mr: MultiMrSim3D<D3Q19> =
+            MultiMrSim3D::new(dev.clone(), geom.clone(), mk(), tau, n);
+        mr.init_with(init_3d);
+        mr.run(steps);
+        let mut mr1: MrSim3D<D3Q19> = MrSim3D::new(dev.clone(), geom.clone(), mk(), tau);
+        mr1.init_with(init_3d);
+        mr1.run(steps);
+        rows.push(scale_row(
+            n,
+            label,
+            mr.halo_bytes_per_step(),
+            mr.interconnect(),
+            mr.stats(),
+            fluid,
+            160.0,
+            max_udiff(&mr.velocity_field(), &mr1.velocity_field()),
+        ));
+    }
+    rows
+}
+
+fn scaling(quick: bool) {
+    use lbm_gpu::MrScheme;
+    use lbm_lattice::D2Q9;
+    use lbm_multi::MultiMrSim2D;
+    println!("== Multi-device scaling: moment-space halo exchange =================");
+    let steps = if quick { 4 } else { 10 };
+    let counts = [1usize, 2, 4];
+
+    // Strong scaling: fixed global domain, sharded N ways.
+    let (sx2, sy2) = if quick { (32, 16) } else { (64, 24) };
+    let g2 = lbm_core::Geometry::walls_y_periodic_x(sx2, sy2);
+    println!("-- D2Q9 strong scaling, walls_y_periodic_x {sx2}×{sy2}, {steps} steps --");
+    let rows: Vec<ScaleRow> = counts
+        .iter()
+        .flat_map(|&n| scale_2d(&g2, n, steps))
+        .collect();
+    print_scale_rows(&rows);
+    check_halo_ratio(&rows, 6, 9, "D2Q9");
+    println!();
+
+    let (sx3, sy3, sz3) = if quick { (16, 8, 8) } else { (24, 10, 10) };
+    let g3 = duct_3d(sx3, sy3, sz3);
+    println!("-- D3Q19 strong scaling, periodic-x duct {sx3}×{sy3}×{sz3}, {steps} steps --");
+    let rows: Vec<ScaleRow> = counts
+        .iter()
+        .flat_map(|&n| scale_3d(&g3, n, steps))
+        .collect();
+    print_scale_rows(&rows);
+    check_halo_ratio(&rows, 10, 19, "D3Q19");
+    println!();
+
+    // Weak scaling: constant per-device slab, global domain grows with N.
+    let wx2 = if quick { 8 } else { 16 };
+    println!("-- D2Q9 weak scaling, {wx2}×{sy2} per device, {steps} steps --");
+    let rows: Vec<ScaleRow> = counts
+        .iter()
+        .flat_map(|&n| {
+            scale_2d(
+                &lbm_core::Geometry::walls_y_periodic_x(wx2 * n, sy2),
+                n,
+                steps,
+            )
+        })
+        .collect();
+    print_scale_rows(&rows);
+    check_halo_ratio(&rows, 6, 9, "D2Q9");
+    println!();
+
+    let wx3 = 8;
+    println!("-- D3Q19 weak scaling, {wx3}×{sy3}×{sz3} per device, {steps} steps --");
+    let rows: Vec<ScaleRow> = counts
+        .iter()
+        .flat_map(|&n| scale_3d(&duct_3d(wx3 * n, sy3, sz3), n, steps))
+        .collect();
+    print_scale_rows(&rows);
+    check_halo_ratio(&rows, 10, 19, "D3Q19");
+    println!();
+
+    // Per-link traffic of one representative configuration, from the
+    // interconnect's byte-exact counters.
+    let mut mr: MultiMrSim2D<D2Q9> = MultiMrSim2D::new(
+        DeviceSpec::v100(),
+        g2,
+        MrScheme::projective(),
+        lbm_bench::TAU,
+        4,
+    );
+    mr.init_with(init_2d);
+    mr.run(steps);
+    println!("per-link traffic (MR-P D2Q9, N = 4, {steps} steps):");
+    print!("{}", mr.interconnect().report());
+    println!("(every multi-device max|Δu| above is exactly 0: the sharded runs are bitwise)");
+    println!("(modeled MFLUPS at these domain sizes is link-latency-bound; the roofline");
+    println!(" column is the bandwidth-only bound: eq. 15 min'd with the interconnect term)");
+    println!();
+}
+
+/// Minimal correctness pass for CI: the multi-device bitwise claim and the
+/// exact M/Q halo-byte ratio on tiny domains.
+fn smoke() {
+    let steps = 3;
+    let g2 = lbm_core::Geometry::walls_y_periodic_x(16, 8);
+    let rows: Vec<ScaleRow> = [1usize, 2]
+        .iter()
+        .flat_map(|&n| scale_2d(&g2, n, steps))
+        .collect();
+    check_halo_ratio(&rows, 6, 9, "D2Q9");
+    let g3 = duct_3d(8, 6, 6);
+    let rows3: Vec<ScaleRow> = [1usize, 2]
+        .iter()
+        .flat_map(|&n| scale_3d(&g3, n, steps))
+        .collect();
+    check_halo_ratio(&rows3, 10, 19, "D3Q19");
+    for r in rows.iter().chain(&rows3) {
+        assert_eq!(
+            r.diff, 0.0,
+            "{} N={} deviates from single device",
+            r.repr, r.n
+        );
+    }
+    println!("smoke OK: multi-device runs bitwise-match single device; halo ratios exact");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -417,6 +803,8 @@ fn main() {
         "occupancy" => occupancy_report(),
         "profile" => profile(quick),
         "futurework" => future_work(quick),
+        "scaling" => scaling(quick),
+        "smoke" => smoke(),
         "all" => {
             table1();
             table2(&results);
@@ -429,12 +817,13 @@ fn main() {
             occupancy_report();
             profile(quick);
             future_work(quick);
+            scaling(quick);
             let [v, _] = devices();
             debug_assert!(bandwidth_fraction(&v, Pattern::Standard, 2) > 0.0);
         }
         other => {
             eprintln!("unknown section '{other}'");
-            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|all] [--quick]");
+            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|all] [--quick]");
             std::process::exit(2);
         }
     }

@@ -216,7 +216,15 @@ pub fn run_3d_q39_st(device: DeviceSpec, n: usize, steps: usize) -> RunResult {
     sim.init_with(|_, y, z| (1.0, [0.02 * ((y + z) as f64 * 0.4).sin(), 0.0, 0.0]));
     let t0 = Instant::now();
     sim.run(steps);
-    finish(name, Pattern::Standard, "D3Q39", fluid, steps, sim.measured_bpf(), t0)
+    finish(
+        name,
+        Pattern::Standard,
+        "D3Q39",
+        fluid,
+        steps,
+        sim.measured_bpf(),
+        t0,
+    )
 }
 
 /// The problem-size sweep of Figures 2–3 (fluid nodes).
@@ -224,6 +232,34 @@ pub fn figure_sizes() -> Vec<usize> {
     vec![
         250_000, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 30_000_000,
     ]
+}
+
+/// Time `iters` calls of `f` after `warmup` unmeasured calls; returns
+/// seconds per iteration. The plain-`Instant` replacement for the Criterion
+/// harness (which the offline workspace cannot resolve).
+pub fn time_iters<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Print one bench-log line: per-iteration time and, when `nodes > 0`, the
+/// wall-clock MLUPS it implies.
+pub fn bench_line(group: &str, id: &str, nodes: usize, secs_per_iter: f64) {
+    if nodes > 0 {
+        println!(
+            "[{group}] {id:<28} {:>10.3} ms/iter  {:>8.3} MLUPS",
+            secs_per_iter * 1e3,
+            nodes as f64 / secs_per_iter / 1e6
+        );
+    } else {
+        println!("[{group}] {id:<28} {:>10.3} ms/iter", secs_per_iter * 1e3);
+    }
 }
 
 /// Render a fixed-width table row.
@@ -245,7 +281,12 @@ mod tests {
     fn bpf_is_size_independent_2d() {
         let a = run_2d(DeviceSpec::v100(), Pattern::MomentProjective, 32, 16, 2);
         let b = run_2d(DeviceSpec::v100(), Pattern::MomentProjective, 64, 32, 2);
-        assert!((a.measured_bpf - b.measured_bpf).abs() < 2.0, "{} vs {}", a.measured_bpf, b.measured_bpf);
+        assert!(
+            (a.measured_bpf - b.measured_bpf).abs() < 2.0,
+            "{} vs {}",
+            a.measured_bpf,
+            b.measured_bpf
+        );
     }
 
     #[test]
@@ -255,9 +296,17 @@ mod tests {
         let mr = run_2d(DeviceSpec::v100(), Pattern::MomentProjective, 48, 24, 2);
         assert!((mr.measured_bpf - 96.0).abs() < 2.0, "{}", mr.measured_bpf);
         let st3 = run_3d(DeviceSpec::mi100(), Pattern::Standard, 16, 12, 12, 2);
-        assert!((st3.measured_bpf - 304.0).abs() < 3.0, "{}", st3.measured_bpf);
+        assert!(
+            (st3.measured_bpf - 304.0).abs() < 3.0,
+            "{}",
+            st3.measured_bpf
+        );
         let mr3 = run_3d(DeviceSpec::mi100(), Pattern::MomentRecursive, 16, 12, 12, 2);
-        assert!((mr3.measured_bpf - 160.0).abs() < 4.0, "{}", mr3.measured_bpf);
+        assert!(
+            (mr3.measured_bpf - 160.0).abs() < 4.0,
+            "{}",
+            mr3.measured_bpf
+        );
     }
 
     /// The modeled speedups reproduce the paper's conclusions from the

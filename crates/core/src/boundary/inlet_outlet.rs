@@ -180,7 +180,10 @@ mod tests {
         let ny = 16;
         let geom = Geometry::channel_2d_poiseuille(12, ny, 0.1);
         let macro_at = |_x: usize, y: usize, _z: usize| {
-            (1.0, [crate::analytic::poiseuille_profile(y, ny, 0.1), 0.0, 0.0])
+            (
+                1.0,
+                [crate::analytic::poiseuille_profile(y, ny, 0.1), 0.0, 0.0],
+            )
         };
         let tau = 0.75;
         let y = 5;
@@ -191,10 +194,7 @@ mod tests {
         let pi_eq = Moments::pi_eq(m.rho, m.u, 2);
         let want = -2.0 * CS2 * tau * 0.5 * dudy; // S_xy = dudy/2, ρ = 1
         let got = m.pi[1] - pi_eq[1];
-        assert!(
-            (got - want).abs() < 1e-12,
-            "Π^neq_xy {got} vs {want}"
-        );
+        assert!((got - want).abs() < 1e-12, "Π^neq_xy {got} vs {want}");
     }
 
     #[test]

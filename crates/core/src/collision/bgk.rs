@@ -86,7 +86,11 @@ mod tests {
         let tau = 0.8;
         let mut feq = vec![0.0; D2Q9::Q];
         equilibrium::<D2Q9>(1.0, [0.03, 0.01, 0.0], &mut feq);
-        let mut f: Vec<f64> = feq.iter().enumerate().map(|(i, &v)| v + 1e-3 * (i as f64 - 4.0)).collect();
+        let mut f: Vec<f64> = feq
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + 1e-3 * (i as f64 - 4.0))
+            .collect();
         // Make the perturbation mass/momentum free? Not needed: compare to
         // the *local* equilibrium of f, which shifts with the perturbation.
         let op = Bgk::new(tau);
@@ -97,6 +101,9 @@ mod tests {
         Collision::<D2Q9>::collide(&op, &mut f);
         let after: f64 = f.iter().zip(&feq_local).map(|(a, b)| (a - b).powi(2)).sum();
         let ratio = (after / before).sqrt();
-        assert!((ratio - (1.0 - 1.0 / tau).abs()).abs() < 1e-10, "ratio {ratio}");
+        assert!(
+            (ratio - (1.0 - 1.0 / tau).abs()).abs() < 1e-10,
+            "ratio {ratio}"
+        );
     }
 }

@@ -302,8 +302,7 @@ mod tests {
                 let mult = if a == b { 1.0 } else { 2.0 };
                 h2pi += mult * hermite::h2::<D3Q19>(c, a, b) * pi_neq[k];
             }
-            let explicit =
-                feq[i] + (1.0 - 1.0 / tau) * D3Q19::W[i] / (2.0 * CS4) * h2pi;
+            let explicit = feq[i] + (1.0 - 1.0 / tau) * D3Q19::W[i] / (2.0 * CS4) * h2pi;
             assert!(
                 (via_op[i] - explicit).abs() < 1e-13,
                 "dir {i}: {} vs {explicit}",

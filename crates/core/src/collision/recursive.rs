@@ -115,7 +115,10 @@ mod tests {
         Collision::<D2Q9>::collide(&Recursive::new::<D2Q9>(tau), &mut f_r);
         Collision::<D2Q9>::collide(&super::super::Projective::new(tau), &mut f_p);
         let diff: f64 = f_r.iter().zip(&f_p).map(|(a, b)| (a - b).abs()).sum();
-        assert!(diff > 1e-8, "operators unexpectedly identical (diff {diff})");
+        assert!(
+            diff > 1e-8,
+            "operators unexpectedly identical (diff {diff})"
+        );
     }
 
     #[test]

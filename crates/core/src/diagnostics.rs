@@ -68,8 +68,7 @@ pub fn l2_velocity_error(
 
 /// True if any field value is non-finite — the solver has blown up.
 pub fn has_diverged(rho: &[f64], u: &[[f64; 3]]) -> bool {
-    rho.iter().any(|v| !v.is_finite())
-        || u.iter().any(|v| v.iter().any(|c| !c.is_finite()))
+    rho.iter().any(|v| !v.is_finite()) || u.iter().any(|v| v.iter().any(|c| !c.is_finite()))
 }
 
 #[cfg(test)]
@@ -109,13 +108,18 @@ mod tests {
     #[test]
     fn l2_error_zero_on_exact_match() {
         let (g, _, u) = rig();
-        let err = l2_velocity_error(&g, &u, 0, |x, y, _| {
-            if x == 0 && y == 0 {
-                0.3
-            } else {
-                0.0
-            }
-        });
+        let err = l2_velocity_error(
+            &g,
+            &u,
+            0,
+            |x, y, _| {
+                if x == 0 && y == 0 {
+                    0.3
+                } else {
+                    0.0
+                }
+            },
+        );
         assert!(err < 1e-15);
     }
 

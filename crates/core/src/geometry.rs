@@ -29,7 +29,10 @@ impl NodeType {
     /// Whether populations stream *through* this node normally.
     #[inline]
     pub fn is_fluid_like(self) -> bool {
-        matches!(self, NodeType::Fluid | NodeType::Inlet(_) | NodeType::Outlet(_))
+        matches!(
+            self,
+            NodeType::Fluid | NodeType::Inlet(_) | NodeType::Outlet(_)
+        )
     }
 
     /// Whether this node reflects populations (any kind of wall).
@@ -232,7 +235,11 @@ impl Geometry {
         c: [i32; 3],
     ) -> Option<(usize, usize, usize)> {
         let dims = [self.nx as i64, self.ny as i64, self.nz as i64];
-        let mut p = [x as i64 + c[0] as i64, y as i64 + c[1] as i64, z as i64 + c[2] as i64];
+        let mut p = [
+            x as i64 + c[0] as i64,
+            y as i64 + c[1] as i64,
+            z as i64 + c[2] as i64,
+        ];
         for a in 0..3 {
             if p[a] < 0 || p[a] >= dims[a] {
                 if self.periodic[a] {

@@ -18,7 +18,9 @@ pub fn num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Split `0..n` into `threads` contiguous ranges of near-equal size and run

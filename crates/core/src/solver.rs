@@ -143,8 +143,7 @@ impl<L: Lattice, C: Collision<L>> Solver<L, C> {
                                 t if t.is_fluid_like() => src[i * n + nidx],
                                 NodeType::Wall => src[L::OPP[i] * n + idx],
                                 NodeType::MovingWall(uw) => {
-                                    src[L::OPP[i] * n + idx]
-                                        + moving_wall_gain::<L>(i, uw, 1.0)
+                                    src[L::OPP[i] * n + idx] + moving_wall_gain::<L>(i, uw, 1.0)
                                 }
                                 _ => unreachable!("non-solid, non-fluid node"),
                             }
@@ -167,8 +166,7 @@ impl<L: Lattice, C: Collision<L>> Solver<L, C> {
         // Phase 2: rebuild inlet/outlet nodes from the FD moment state.
         // 2a: compute (reads fluid nodes of dst, no writes).
         let tau = collision.tau();
-        let mut updates: Vec<(usize, [f64; MAX_Q])> =
-            Vec::with_capacity(self.boundary_nodes.len());
+        let mut updates: Vec<(usize, [f64; MAX_Q])> = Vec::with_capacity(self.boundary_nodes.len());
         {
             let dst_ro: &[f64] = dst;
             let macro_at = |x: usize, y: usize, z: usize| -> (f64, [f64; 3]) {
@@ -336,19 +334,17 @@ impl<L: Lattice, C: Collision<L>> Solver<L, C> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != b"LBMR0001" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad checkpoint magic",
+            ));
         }
         let mut u64buf = [0u8; 8];
         let mut read_u64 = |r: &mut R| -> io::Result<u64> {
             r.read_exact(&mut u64buf)?;
             Ok(u64::from_le_bytes(u64buf))
         };
-        let (q, nx, ny, nz) = (
-            read_u64(r)?,
-            read_u64(r)?,
-            read_u64(r)?,
-            read_u64(r)?,
-        );
+        let (q, nx, ny, nz) = (read_u64(r)?, read_u64(r)?, read_u64(r)?, read_u64(r)?);
         if q as usize != L::Q
             || nx as usize != self.geom.nx
             || ny as usize != self.geom.ny
@@ -356,8 +352,13 @@ impl<L: Lattice, C: Collision<L>> Solver<L, C> {
         {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("checkpoint is {q}v {nx}×{ny}×{nz}, solver is {}v {}×{}×{}",
-                    L::Q, self.geom.nx, self.geom.ny, self.geom.nz),
+                format!(
+                    "checkpoint is {q}v {nx}×{ny}×{nz}, solver is {}v {}×{}×{}",
+                    L::Q,
+                    self.geom.nx,
+                    self.geom.ny,
+                    self.geom.nz
+                ),
             ));
         }
         self.steps = read_u64(r)?;
@@ -458,7 +459,11 @@ mod tests {
             .zip(s.density_field())
             .map(|(u, r)| u[0] * r)
             .sum();
-        assert!((mom0 - mom1).abs() < 1e-10, "momentum drift {}", mom1 - mom0);
+        assert!(
+            (mom0 - mom1).abs() < 1e-10,
+            "momentum drift {}",
+            mom1 - mom0
+        );
     }
 
     /// Thread count must not change the trajectory (bitwise determinism of
@@ -539,18 +544,15 @@ mod tests {
     /// Checkpoints validate their header.
     #[test]
     fn checkpoint_rejects_mismatched_domain() {
-        let mut s1: Solver<D2Q9, _> =
-            Solver::new(Geometry::periodic_2d(8, 8), Bgk::new(0.8));
+        let mut s1: Solver<D2Q9, _> = Solver::new(Geometry::periodic_2d(8, 8), Bgk::new(0.8));
         let mut snap = Vec::new();
         s1.save_state(&mut snap).unwrap();
         s1.run(1);
-        let mut s2: Solver<D2Q9, _> =
-            Solver::new(Geometry::periodic_2d(10, 8), Bgk::new(0.8));
+        let mut s2: Solver<D2Q9, _> = Solver::new(Geometry::periodic_2d(10, 8), Bgk::new(0.8));
         assert!(s2.load_state(&mut snap.as_slice()).is_err());
         // Corrupted magic is rejected too.
         snap[0] = b'X';
-        let mut s3: Solver<D2Q9, _> =
-            Solver::new(Geometry::periodic_2d(8, 8), Bgk::new(0.8));
+        let mut s3: Solver<D2Q9, _> = Solver::new(Geometry::periodic_2d(8, 8), Bgk::new(0.8));
         assert!(s3.load_state(&mut snap.as_slice()).is_err());
     }
 

@@ -101,11 +101,17 @@ mod tests {
         let expect = (-nu * k * k * steps as f64).exp();
         let got = a1 / a0;
         let rel = (got - expect).abs() / expect;
-        assert!(rel < 0.03, "Q39 decay {got:.5} vs {expect:.5} (rel {rel:.4})");
+        assert!(
+            rel < 0.03,
+            "Q39 decay {got:.5} vs {expect:.5} (rel {rel:.4})"
+        );
         // Sanity: using the *wrong* (single-speed) viscosity would be far
         // off — the lattice's own c_s² is what matters.
         let wrong = (-crate::units::nu_from_tau(tau) * k * k * steps as f64).exp();
-        assert!((got - wrong).abs() / wrong > 0.05, "test not discriminating");
+        assert!(
+            (got - wrong).abs() / wrong > 0.05,
+            "test not discriminating"
+        );
     }
 
     /// D3Q27 runs the same physics (future-work lattice).

@@ -167,7 +167,9 @@ unsafe impl Sync for CtxPtr<'_> {}
 impl Gpu {
     /// Create a simulated device using all available CPU parallelism.
     pub fn new(device: DeviceSpec) -> Self {
-        let cpu = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cpu = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Gpu {
             device,
             cpu_threads: cpu,

@@ -1,0 +1,328 @@
+//! Simulated device-to-device interconnect: N [`Gpu`] instances joined by
+//! links with byte-exact per-direction traffic counters.
+//!
+//! The paper's performance argument is bandwidth, and the same argument
+//! scales out: a halo node costs `M·8` bytes to exchange in moment space
+//! instead of `Q·8` in distribution space. This module provides the
+//! substrate half of that claim — a [`MultiGpu`] whose links tally every
+//! transferred byte, the inter-device analog of [`crate::memory::Tally`] —
+//! while `lbm-multi` provides the decomposition and exchange schedules.
+//!
+//! Link presets mirror the interconnects the paper's devices ship with:
+//! NVLink 2.0 for the V100 (6 sub-links × 25 GB/s per direction) and
+//! Infinity Fabric for the MI100 (3 links, ~92 GB/s aggregate per
+//! direction). Bandwidths are per direction; links are full duplex.
+
+use crate::device::{DeviceSpec, Vendor};
+use crate::exec::Gpu;
+use crate::profiler::Profiler;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bandwidth/latency description of one link class.
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    pub name: &'static str,
+    /// Peak bandwidth per direction, GB/s (10⁹ bytes per second).
+    pub bandwidth_gbps: f64,
+    /// One-way transfer launch latency, µs.
+    pub latency_us: f64,
+}
+
+impl LinkSpec {
+    /// NVLink 2.0 (V100 generation): 6 sub-links × 25 GB/s per direction.
+    pub fn nvlink2() -> Self {
+        LinkSpec {
+            name: "NVLink2",
+            bandwidth_gbps: 150.0,
+            latency_us: 1.8,
+        }
+    }
+
+    /// Infinity Fabric (MI100 generation): 3 links, ~92 GB/s aggregate
+    /// per direction.
+    pub fn infinity_fabric() -> Self {
+        LinkSpec {
+            name: "InfinityFabric",
+            bandwidth_gbps: 92.0,
+            latency_us: 2.0,
+        }
+    }
+
+    /// The link class a device of this spec would ship with.
+    pub fn preset_for(dev: &DeviceSpec) -> Self {
+        match dev.vendor {
+            Vendor::Nvidia => LinkSpec::nvlink2(),
+            Vendor::Amd => LinkSpec::infinity_fabric(),
+        }
+    }
+
+    /// Peak bandwidth in bytes per second (one direction).
+    #[inline]
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        self.bandwidth_gbps * 1e9
+    }
+
+    /// Modeled one-way time to move `bytes` over the link.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / self.bandwidth_bytes_per_sec()
+    }
+}
+
+/// One bidirectional link between devices `a` and `b`, with independent
+/// per-direction byte/transfer counters (full duplex).
+#[derive(Debug)]
+pub struct Link {
+    pub spec: LinkSpec,
+    pub a: usize,
+    pub b: usize,
+    fwd_bytes: AtomicU64,
+    fwd_transfers: AtomicU64,
+    rev_bytes: AtomicU64,
+    rev_transfers: AtomicU64,
+}
+
+impl Link {
+    fn new(spec: LinkSpec, a: usize, b: usize) -> Self {
+        Link {
+            spec,
+            a,
+            b,
+            fwd_bytes: AtomicU64::new(0),
+            fwd_transfers: AtomicU64::new(0),
+            rev_bytes: AtomicU64::new(0),
+            rev_transfers: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this link joins the (unordered) device pair.
+    fn joins(&self, x: usize, y: usize) -> bool {
+        (self.a == x && self.b == y) || (self.a == y && self.b == x)
+    }
+
+    /// Bytes moved in the `a`→`b` direction.
+    pub fn bytes_fwd(&self) -> u64 {
+        self.fwd_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes moved in the `b`→`a` direction.
+    pub fn bytes_rev(&self) -> u64 {
+        self.rev_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes moved over the link (both directions).
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_fwd() + self.bytes_rev()
+    }
+
+    /// Total transfers issued on the link (both directions).
+    pub fn transfers_total(&self) -> u64 {
+        self.fwd_transfers.load(Ordering::Relaxed) + self.rev_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Modeled time for one exchange step that moves `fwd` and `rev` bytes
+    /// in opposite directions: full duplex, so the directions overlap.
+    pub fn exchange_time_s(&self, fwd: u64, rev: u64) -> f64 {
+        self.spec
+            .transfer_time_s(fwd)
+            .max(self.spec.transfer_time_s(rev))
+    }
+
+    fn record(&self, from: usize, bytes: u64) {
+        if from == self.a {
+            self.fwd_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.fwd_transfers.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.rev_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.rev_transfers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// N simulated devices of one spec joined in a ring (the chain degenerate
+/// case for N = 2, no links for N = 1). Devices are homogeneous, as in the
+/// paper's single-node multi-GPU platforms.
+pub struct MultiGpu {
+    devices: Vec<Gpu>,
+    links: Vec<Link>,
+    spec: DeviceSpec,
+    link_spec: LinkSpec,
+    profiler: Option<Arc<Profiler>>,
+}
+
+impl MultiGpu {
+    /// Build `n` devices joined ring-wise with the vendor's preset link.
+    pub fn ring(spec: DeviceSpec, n: usize) -> Self {
+        assert!(n > 0, "need at least one device");
+        let link_spec = LinkSpec::preset_for(&spec);
+        let devices = (0..n).map(|_| Gpu::new(spec.clone())).collect();
+        // Neighbor pairs: (i, i+1) plus the wrap link for n > 2. For n = 2
+        // the wrap pair equals (0, 1), so one link carries both cuts.
+        let mut links = Vec::new();
+        for i in 0..n.saturating_sub(1) {
+            links.push(Link::new(link_spec.clone(), i, i + 1));
+        }
+        if n > 2 {
+            links.push(Link::new(link_spec.clone(), n - 1, 0));
+        }
+        MultiGpu {
+            devices,
+            links,
+            spec,
+            link_spec,
+            profiler: None,
+        }
+    }
+
+    /// Limit each device's CPU-thread pool (determinism in tests).
+    pub fn with_cpu_threads(mut self, n: usize) -> Self {
+        self.devices = self
+            .devices
+            .drain(..)
+            .map(|g| g.with_cpu_threads(n))
+            .collect();
+        self
+    }
+
+    /// Mirror link traffic into a shared profiler's link section.
+    pub fn with_profiler(mut self, p: Arc<Profiler>) -> Self {
+        self.profiler = Some(p);
+        self
+    }
+
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn device(&self, i: usize) -> &Gpu {
+        &self.devices[i]
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    pub fn link_spec(&self) -> &LinkSpec {
+        &self.link_spec
+    }
+
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The link joining devices `x` and `y`, if they are neighbors.
+    pub fn link_between(&self, x: usize, y: usize) -> Option<&Link> {
+        self.links.iter().find(|l| l.joins(x, y))
+    }
+
+    /// Record one `from`→`to` transfer of `bytes` over the joining link.
+    /// Panics if the devices are not neighbors — the decomposition layer
+    /// must only exchange across cuts that have links.
+    pub fn record_transfer(&self, from: usize, to: usize, bytes: u64) {
+        let link = self
+            .link_between(from, to)
+            .unwrap_or_else(|| panic!("no link between devices {from} and {to}"));
+        link.record(from, bytes);
+        if let Some(p) = &self.profiler {
+            p.record_link(&format!("{}[{from}->{to}]", link.spec.name), bytes, 1);
+        }
+    }
+
+    /// Total bytes moved over all links, both directions.
+    pub fn total_link_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes_total()).sum()
+    }
+
+    /// Per-link traffic table (the interconnect analog of
+    /// [`Profiler::report`]).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>14} {:>14} {:>14}",
+            "link", "xfers", "bytes a->b", "bytes b->a", "total"
+        );
+        for l in &self.links {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>14} {:>14} {:>14}",
+                format!("{}[{}<->{}]", l.spec.name, l.a, l.b),
+                l.transfers_total(),
+                l.bytes_fwd(),
+                l.bytes_rev(),
+                l.bytes_total()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_topology_link_counts() {
+        assert_eq!(MultiGpu::ring(DeviceSpec::v100(), 1).links().len(), 0);
+        assert_eq!(MultiGpu::ring(DeviceSpec::v100(), 2).links().len(), 1);
+        assert_eq!(MultiGpu::ring(DeviceSpec::v100(), 3).links().len(), 3);
+        assert_eq!(MultiGpu::ring(DeviceSpec::v100(), 4).links().len(), 4);
+    }
+
+    #[test]
+    fn vendor_selects_link_class() {
+        let v = MultiGpu::ring(DeviceSpec::v100(), 2);
+        assert_eq!(v.link_spec().name, "NVLink2");
+        let m = MultiGpu::ring(DeviceSpec::mi100(), 2);
+        assert_eq!(m.link_spec().name, "InfinityFabric");
+        assert!(v.link_spec().bandwidth_gbps > m.link_spec().bandwidth_gbps);
+    }
+
+    #[test]
+    fn transfers_are_counted_per_direction() {
+        let mg = MultiGpu::ring(DeviceSpec::v100(), 4);
+        mg.record_transfer(0, 1, 1000);
+        mg.record_transfer(1, 0, 250);
+        mg.record_transfer(3, 0, 64); // wrap link
+        let l01 = mg.link_between(0, 1).unwrap();
+        assert_eq!(l01.bytes_fwd(), 1000);
+        assert_eq!(l01.bytes_rev(), 250);
+        assert_eq!(l01.transfers_total(), 2);
+        let wrap = mg.link_between(3, 0).unwrap();
+        assert_eq!(wrap.bytes_total(), 64);
+        assert_eq!(mg.total_link_bytes(), 1314);
+        assert!(mg.report().contains("NVLink2[0<->1]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no link between")]
+    fn non_neighbor_transfer_panics() {
+        let mg = MultiGpu::ring(DeviceSpec::v100(), 4);
+        mg.record_transfer(0, 2, 8);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let s = LinkSpec::nvlink2();
+        let t = s.transfer_time_s(150_000_000); // 0.15 GB at 150 GB/s = 1 ms
+        assert!((t - (1e-3 + 1.8e-6)).abs() < 1e-12);
+        // Full duplex: opposite directions overlap.
+        let mg = MultiGpu::ring(DeviceSpec::v100(), 2);
+        let l = mg.link_between(0, 1).unwrap();
+        let e = l.exchange_time_s(150_000_000, 75_000_000);
+        assert!((e - t).abs() < 1e-15);
+    }
+
+    #[test]
+    fn profiler_sees_link_traffic() {
+        let p = Arc::new(Profiler::new());
+        let mg = MultiGpu::ring(DeviceSpec::mi100(), 2).with_profiler(p.clone());
+        mg.record_transfer(0, 1, 4096);
+        mg.record_transfer(0, 1, 4096);
+        let l = p.get_link("InfinityFabric[0->1]").unwrap();
+        assert_eq!(l.bytes, 8192);
+        assert_eq!(l.transfers, 2);
+        assert!(p.report().contains("InfinityFabric[0->1]"));
+    }
+}

@@ -27,12 +27,15 @@
 //! * [`efficiency`] — achieved-bandwidth-fraction model calibrated from the
 //!   paper's measurements, mapping measured byte counts to modeled MFLUPS.
 //! * [`profiler`] — per-kernel launch statistics reports.
+//! * [`interconnect`] — N devices joined by byte-counted links (NVLink /
+//!   Infinity Fabric presets), the substrate for multi-device sharding.
 
 #![allow(clippy::needless_range_loop)] // indexed loops are the idiom in stencil kernels
 pub mod coalesce;
 pub mod device;
 pub mod efficiency;
 pub mod exec;
+pub mod interconnect;
 pub mod memory;
 pub mod occupancy;
 pub mod profiler;
@@ -41,4 +44,5 @@ pub mod roofline;
 
 pub use device::DeviceSpec;
 pub use exec::{Gpu, Kernel, Launch, LaunchStats, PhasedKernel};
+pub use interconnect::{Link, LinkSpec, MultiGpu};
 pub use memory::GlobalBuffer;

@@ -58,7 +58,11 @@ pub fn occupancy(dev: &DeviceSpec, threads_per_block: usize, shared_bytes: usize
 }
 
 /// Whether the configuration meets the paper's ≥ 2 blocks/SM guidance.
-pub fn meets_two_block_rule(dev: &DeviceSpec, threads_per_block: usize, shared_bytes: usize) -> bool {
+pub fn meets_two_block_rule(
+    dev: &DeviceSpec,
+    threads_per_block: usize,
+    shared_bytes: usize,
+) -> bool {
     occupancy(dev, threads_per_block, shared_bytes).blocks_per_sm >= 2
 }
 

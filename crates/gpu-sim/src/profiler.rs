@@ -6,9 +6,9 @@ use crate::device::DeviceSpec;
 use crate::efficiency::{self, Pattern};
 use crate::exec::LaunchStats;
 use crate::memory::Tally;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 
 /// Accumulated statistics for one kernel.
 #[derive(Clone, Debug, Default)]
@@ -38,10 +38,18 @@ impl KernelProfile {
     }
 }
 
+/// Accumulated statistics for one interconnect link direction.
+#[derive(Clone, Debug, Default)]
+pub struct LinkProfile {
+    pub transfers: u64,
+    pub bytes: u64,
+}
+
 /// Thread-safe profile aggregator.
 #[derive(Default)]
 pub struct Profiler {
     profiles: Mutex<BTreeMap<String, KernelProfile>>,
+    links: Mutex<BTreeMap<String, LinkProfile>>,
 }
 
 impl Profiler {
@@ -52,22 +60,36 @@ impl Profiler {
 
     /// Record a launch and the number of logical work items it performed.
     pub fn record(&self, stats: &LaunchStats, work_items: u64) {
-        let mut map = self.profiles.lock();
+        let mut map = self.profiles.lock().unwrap();
         let p = map.entry(stats.kernel.clone()).or_default();
         p.launches += 1;
         p.tally.merge(&stats.tally);
         p.work_items += work_items;
     }
 
+    /// Record an interconnect transfer on a named link direction (the
+    /// multi-device analog of `record`; see `gpu_sim::interconnect`).
+    pub fn record_link(&self, link: &str, bytes: u64, transfers: u64) {
+        let mut map = self.links.lock().unwrap();
+        let l = map.entry(link.to_string()).or_default();
+        l.transfers += transfers;
+        l.bytes += bytes;
+    }
+
     /// Profile for one kernel, if recorded.
     pub fn get(&self, kernel: &str) -> Option<KernelProfile> {
-        self.profiles.lock().get(kernel).cloned()
+        self.profiles.lock().unwrap().get(kernel).cloned()
+    }
+
+    /// Profile for one link direction, if recorded.
+    pub fn get_link(&self, link: &str) -> Option<LinkProfile> {
+        self.links.lock().unwrap().get(link).cloned()
     }
 
     /// Render a table of all kernels: requested and DRAM traffic, L2 hit
     /// rate, and bytes per work item (the DRAM column is the paper's B/F).
     pub fn report(&self) -> String {
-        let map = self.profiles.lock();
+        let map = self.profiles.lock().unwrap();
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -86,6 +108,29 @@ impl Profiler {
                 p.bytes_per_item(),
                 p.dram_bytes_per_item()
             );
+        }
+        drop(map);
+        let links = self.links.lock().unwrap();
+        if !links.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>14} {:>14}",
+                "link", "xfers", "bytes", "B/xfer"
+            );
+            for (name, l) in links.iter() {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>8} {:>14} {:>14.1}",
+                    name,
+                    l.transfers,
+                    l.bytes,
+                    if l.transfers == 0 {
+                        f64::NAN
+                    } else {
+                        l.bytes as f64 / l.transfers as f64
+                    }
+                );
+            }
         }
         out
     }
@@ -163,6 +208,8 @@ mod tests {
             .modeled_mflups("mr3", &dev, Pattern::MomentProjective, 3, 16_000_000)
             .unwrap();
         assert!((m - 3800.0).abs() / 3800.0 < 0.03, "{m}");
-        assert!(p.modeled_mflups("nope", &dev, Pattern::Standard, 2, 1).is_none());
+        assert!(p
+            .modeled_mflups("nope", &dev, Pattern::Standard, 2, 1)
+            .is_none());
     }
 }

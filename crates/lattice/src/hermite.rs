@@ -50,8 +50,7 @@ pub fn h2<L: Lattice>(c: [f64; 3], a: usize, b: usize) -> f64 {
 /// `H⁽³⁾_abg(c)`.
 #[inline(always)]
 pub fn h3<L: Lattice>(c: [f64; 3], a: usize, b: usize, g: usize) -> f64 {
-    c[a] * c[b] * c[g]
-        - L::CS2 * (c[a] * delta(b, g) + c[b] * delta(a, g) + c[g] * delta(a, b))
+    c[a] * c[b] * c[g] - L::CS2 * (c[a] * delta(b, g) + c[b] * delta(a, g) + c[g] * delta(a, b))
 }
 
 /// `H⁽⁴⁾_abgd(c)`.

@@ -168,7 +168,11 @@ mod tests {
 
         // Weights are a probability distribution.
         let sum: f64 = L::W.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-14, "{} weights sum to {sum}", L::NAME);
+        assert!(
+            (sum - 1.0).abs() < 1e-14,
+            "{} weights sum to {sum}",
+            L::NAME
+        );
         assert!(L::W.iter().all(|&w| w > 0.0));
 
         // Opposite table is an involution mapping c to -c.
@@ -246,7 +250,11 @@ mod tests {
         assert_eq!(D3Q39::CS2, 2.0 / 3.0);
         assert_eq!(D3Q39::REACH, 3);
         // Streaming reach: the largest velocity component is 3.
-        let max_c = D3Q39::C.iter().flat_map(|c| c.iter()).map(|v| v.abs()).max();
+        let max_c = D3Q39::C
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|v| v.abs())
+            .max();
         assert_eq!(max_c, Some(3));
     }
 

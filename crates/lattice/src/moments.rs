@@ -157,7 +157,12 @@ mod tests {
         let m = Moments::from_f::<L>(&f);
         assert!((m.rho - rho).abs() < 1e-12);
         for a in 0..L::D {
-            assert!((m.u[a] - u[a]).abs() < 1e-12, "u[{a}]: {} vs {}", m.u[a], u[a]);
+            assert!(
+                (m.u[a] - u[a]).abs() < 1e-12,
+                "u[{a}]: {} vs {}",
+                m.u[a],
+                u[a]
+            );
         }
         let pi_eq = Moments::pi_eq(rho, u, L::D);
         for k in 0..6 {

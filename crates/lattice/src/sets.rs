@@ -46,8 +46,7 @@ impl Lattice for D2Q9 {
     // Representable third-order Hermite components on D2Q9. H⁽³⁾_xxx and
     // H⁽³⁾_yyy vanish identically on the lattice (c³ = c for c ∈ {−1,0,1}
     // with c_s² = 1/3), leaving the mixed components.
-    const H3_COMPONENTS: &'static [([usize; 3], f64)] =
-        &[([0, 0, 1], 3.0), ([0, 1, 1], 3.0)];
+    const H3_COMPONENTS: &'static [([usize; 3], f64)] = &[([0, 0, 1], 3.0), ([0, 1, 1], 3.0)];
 
     // H⁽⁴⁾_xxyy is the single non-aliased fourth-order component.
     const H4_COMPONENTS: &'static [([usize; 4], f64)] = &[([0, 0, 1, 1], 6.0)];

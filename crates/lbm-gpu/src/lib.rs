@@ -33,8 +33,8 @@ pub mod sparse;
 pub mod st;
 
 pub use moment_lattice::MomentLattice;
-pub use mr2d::MrSim2D;
-pub use mr3d::MrSim3D;
+pub use mr2d::{launch_mr2d_columns, launch_mr_bc, MrSim2D};
+pub use mr3d::{launch_mr3d_columns, MrSim3D};
 pub use scheme::MrScheme;
 pub use sparse::StSparseSim;
-pub use st::{StSim, StStream};
+pub use st::{launch_st_bc, launch_st_pull_span, StSim, StStream};

@@ -106,13 +106,7 @@ impl MomentLattice {
 
     /// Kernel write of a node's full moment state at time `t`.
     #[inline(always)]
-    pub fn write_moments<L: Lattice>(
-        &self,
-        ctx: &mut BlockCtx,
-        t: u64,
-        idx: usize,
-        mom: &Moments,
-    ) {
+    pub fn write_moments<L: Lattice>(&self, ctx: &mut BlockCtx, t: u64, idx: usize, mom: &Moments) {
         debug_assert_eq!(self.m, L::M);
         let mut flat = [0.0f64; 16];
         mom.pack::<L>(&mut flat[..self.m]);

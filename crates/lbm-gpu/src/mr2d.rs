@@ -25,7 +25,7 @@
 use crate::boundary::{boundary_nodes, stencil_coords, MacroCache};
 use crate::moment_lattice::MomentLattice;
 use crate::scheme::MrScheme;
-use gpu_sim::exec::{BlockCtx, Kernel, Launch, PhasedKernel};
+use gpu_sim::exec::{BlockCtx, Kernel, Launch, LaunchStats, PhasedKernel};
 use gpu_sim::memory::Tally;
 use gpu_sim::{DeviceSpec, Gpu};
 use lbm_core::boundary::{boundary_node_moments, moving_wall_gain};
@@ -58,6 +58,11 @@ struct Mr2dKernel<'a, L: Lattice> {
     t: u64,
     col_w: usize,
     tile_h: usize,
+    /// Left edge of each block's column: block `b` processes
+    /// `[cols[b], cols[b] + col_w)`. The single-device driver passes every
+    /// column; the multi-device drivers pass owned subsets (boundary strips
+    /// vs interior).
+    cols: &'a [usize],
     _l: PhantomData<L>,
 }
 
@@ -77,7 +82,7 @@ impl<L: Lattice> PhasedKernel for Mr2dKernel<'_, L> {
         let (nx, ny) = (self.geom.nx, self.geom.ny);
         let (w, h) = (self.col_w, self.tile_h);
         let win = h + 2;
-        let x0 = ctx.block_id * w;
+        let x0 = self.cols[ctx.block_id];
         let y_lo = k * h;
         let y_hi = y_lo + h;
         let periodic_x = self.geom.periodic[0];
@@ -168,6 +173,78 @@ impl<L: Lattice> PhasedKernel for Mr2dKernel<'_, L> {
             }
         }
     }
+}
+
+/// Launch the MR column kernel over an explicit set of columns: block `b`
+/// processes `[cols[b], cols[b] + col_w)` for all tiles. Reads moments at
+/// time `t` from `mom_in` and writes `t + 1` into `mom_out` — the
+/// multi-device drivers pass two distinct (shift-0) lattices, since
+/// splitting one step across sequential launches would break the in-place
+/// circular shift's read-before-clobber ordering. Per-node arithmetic is
+/// identical to `MrSim2D::step`, so column subsets compose bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_mr2d_columns<L: Lattice>(
+    gpu: &Gpu,
+    mom_in: &MomentLattice,
+    mom_out: &MomentLattice,
+    geom: &Geometry,
+    scheme: &MrScheme,
+    tau: f64,
+    t: u64,
+    col_w: usize,
+    tile_h: usize,
+    cols: &[usize],
+) -> LaunchStats {
+    assert!(!cols.is_empty(), "no columns to launch");
+    for &x0 in cols {
+        assert!(x0 + col_w <= geom.nx, "column {x0} overruns the domain");
+    }
+    gpu.launch_lockstep(
+        &Launch {
+            blocks: cols.len(),
+            threads_per_block: (col_w + 2) * tile_h,
+            shared_doubles: col_w * (tile_h + 2) * L::Q,
+            scratch_doubles: 0,
+        },
+        &Mr2dKernel::<L> {
+            mom_in,
+            mom_out,
+            geom,
+            scheme,
+            tau,
+            t,
+            col_w,
+            tile_h,
+            cols,
+            _l: PhantomData,
+        },
+    )
+}
+
+/// Launch the moment-space inlet/outlet kernel over `nodes`, rebuilding
+/// their `t_next` moments in `mom`. Public for the multi-device drivers.
+pub fn launch_mr_bc<L: Lattice>(
+    gpu: &Gpu,
+    mom: &MomentLattice,
+    geom: &Geometry,
+    tau: f64,
+    t_next: u64,
+    nodes: &[(usize, usize, usize)],
+    block_size: usize,
+) -> LaunchStats {
+    assert!(!nodes.is_empty(), "no boundary nodes");
+    gpu.launch(
+        &Launch::simple(nodes.len().div_ceil(block_size), block_size),
+        &MrBcKernel::<L> {
+            mom,
+            geom,
+            tau,
+            t_next,
+            nodes,
+            block_size,
+            _l: PhantomData,
+        },
+    )
 }
 
 /// Inlet/outlet kernel for the moment representation: the FD condition is
@@ -261,7 +338,11 @@ impl<L: Lattice> MrSim2D<L> {
         shift_rows: usize,
     ) -> Self {
         assert_eq!(geom.nz, 1, "MrSim2D requires a 2D domain");
-        assert_eq!(L::REACH, 1, "the MR sliding window requires unit streaming reach");
+        assert_eq!(
+            L::REACH,
+            1,
+            "the MR sliding window requires unit streaming reach"
+        );
         assert!(!geom.periodic[1], "MR requires wall-terminated y faces");
         for x in 0..geom.nx {
             assert!(
@@ -275,7 +356,10 @@ impl<L: Lattice> MrSim2D<L> {
             col_w
         };
         assert!(geom.nx.is_multiple_of(col_w), "column width must divide nx");
-        assert!(tile_h >= 1 && geom.ny.is_multiple_of(tile_h), "tile height must divide ny");
+        assert!(
+            tile_h >= 1 && geom.ny.is_multiple_of(tile_h),
+            "tile height must divide ny"
+        );
         assert!(
             shift_rows + 1 >= tile_h,
             "circular shift of {shift_rows} rows cannot protect a {tile_h}-row tile"
@@ -390,29 +474,22 @@ impl<L: Lattice> MrSim2D<L> {
     /// Advance one timestep: the lockstep column kernel, then the boundary
     /// kernel.
     pub fn step(&mut self) {
-        let blocks = self.geom.nx / self.col_w;
-        let threads = (self.col_w + 2) * self.tile_h;
-        let shared = self.col_w * (self.tile_h + 2) * L::Q;
+        let cols: Vec<usize> = (0..self.geom.nx / self.col_w)
+            .map(|b| b * self.col_w)
+            .collect();
         let mut step_tally = Tally::default();
         let (mom_in, mom_out) = self.lattice_pair();
-        let stats = self.gpu.launch_lockstep(
-            &Launch {
-                blocks,
-                threads_per_block: threads,
-                shared_doubles: shared,
-                scratch_doubles: 0,
-            },
-            &Mr2dKernel::<L> {
-                mom_in,
-                mom_out,
-                geom: &self.geom,
-                scheme: &self.scheme,
-                tau: self.tau,
-                t: self.t,
-                col_w: self.col_w,
-                tile_h: self.tile_h,
-                _l: PhantomData,
-            },
+        let stats = launch_mr2d_columns::<L>(
+            &self.gpu,
+            mom_in,
+            mom_out,
+            &self.geom,
+            &self.scheme,
+            self.tau,
+            self.t,
+            self.col_w,
+            self.tile_h,
+            &cols,
         );
         step_tally.merge(&stats.tally);
         if let Some(p) = &self.profiler {
@@ -646,8 +723,7 @@ mod tests {
     fn measured_bpf_matches_table2() {
         let geom = Geometry::walls_y_periodic_x(32, 16);
         let mut mr: MrSim2D<D2Q9> =
-            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8)
-                .with_cpu_threads(2);
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8).with_cpu_threads(2);
         mr.run(3);
         let bpf = mr.measured_bpf();
         assert!((bpf - 96.0).abs() < 2.0, "B/F = {bpf}");
@@ -658,8 +734,7 @@ mod tests {
     #[test]
     fn footprint_is_single_lattice() {
         let geom = Geometry::walls_y_periodic_x(32, 16);
-        let mr: MrSim2D<D2Q9> =
-            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
+        let mr: MrSim2D<D2Q9> = MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
         let st_bytes = 2 * 9 * 32 * 16 * 8;
         assert!(mr.footprint_bytes() < st_bytes / 2);
     }
@@ -740,7 +815,11 @@ mod tests {
         let init = |x: usize, y: usize, _z: usize| {
             (
                 1.0,
-                [0.02 * (y as f64 * 0.7).sin(), 0.01 * (x as f64 * 0.5).cos(), 0.0],
+                [
+                    0.02 * (y as f64 * 0.7).sin(),
+                    0.01 * (x as f64 * 0.5).cos(),
+                    0.0,
+                ],
             )
         };
         let geom = Geometry::walls_y_periodic_x(16, 8);
@@ -776,8 +855,7 @@ mod tests {
     fn conserves_mass() {
         let geom = Geometry::walls_y_periodic_x(16, 8);
         let mut mr: MrSim2D<D2Q9> =
-            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8)
-                .with_cpu_threads(2);
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8).with_cpu_threads(2);
         mr.init_with(|x, y, _| (1.0 + 0.01 * ((x + y) as f64).sin(), [0.0; 3]));
         let mass = |s: &MrSim2D<D2Q9>| -> f64 { s.density_field().iter().sum() };
         let m0 = mass(&mr);

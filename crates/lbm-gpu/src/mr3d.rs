@@ -14,7 +14,7 @@ use crate::boundary::boundary_nodes;
 use crate::moment_lattice::MomentLattice;
 use crate::mr2d::MrBcKernel;
 use crate::scheme::MrScheme;
-use gpu_sim::exec::{BlockCtx, Launch, PhasedKernel};
+use gpu_sim::exec::{BlockCtx, Launch, LaunchStats, PhasedKernel};
 use gpu_sim::memory::Tally;
 use gpu_sim::{DeviceSpec, Gpu};
 use lbm_core::boundary::moving_wall_gain;
@@ -36,13 +36,20 @@ pub fn pick_footprint(n: usize, max: usize) -> usize {
 }
 
 struct Mr3dKernel<'a, L: Lattice> {
-    mom: &'a MomentLattice,
+    /// Moment lattice read at time `t` (equal to `mom_out` for the in-place
+    /// circular-shift variant).
+    mom_in: &'a MomentLattice,
+    /// Moment lattice written at time `t + 1`.
+    mom_out: &'a MomentLattice,
     geom: &'a Geometry,
     scheme: &'a MrScheme,
     tau: f64,
     t: u64,
     wx: usize,
     wy: usize,
+    /// Column footprint origins: block `b` processes
+    /// `[cols[b].0, cols[b].0 + wx) × [cols[b].1, cols[b].1 + wy)`.
+    cols: &'a [(usize, usize)],
     _l: PhantomData<L>,
 }
 
@@ -61,15 +68,12 @@ impl<L: Lattice> PhasedKernel for Mr3dKernel<'_, L> {
     fn run_phase(&self, z: usize, ctx: &mut BlockCtx) {
         let (nx, ny, nz) = (self.geom.nx, self.geom.ny, self.geom.nz);
         let (wx, wy) = (self.wx, self.wy);
-        let cols_x = nx / wx;
-        let x0 = (ctx.block_id % cols_x) * wx;
-        let y0 = (ctx.block_id / cols_x) * wy;
+        let (x0, y0) = self.cols[ctx.block_id];
         let periodic_x = self.geom.periodic[0];
         let mut f_star = [0.0f64; MAX_Q];
         // Shared slot: ((xl·wy + yl)·3 + z mod 3)·Q + dir.
-        let sh = |xl: usize, yl: usize, zz: usize, i: usize| {
-            ((xl * wy + yl) * 3 + zz % 3) * L::Q + i
-        };
+        let sh =
+            |xl: usize, yl: usize, zz: usize, i: usize| ((xl * wy + yl) * 3 + zz % 3) * L::Q + i;
 
         // --- Collide layer z of the column + full rectangular halo,     ---
         // --- stream into the shared window.                             ---
@@ -93,7 +97,7 @@ impl<L: Lattice> PhasedKernel for Mr3dKernel<'_, L> {
                 if self.geom.node_at(idx).is_solid() {
                     continue;
                 }
-                let m = self.mom.read_moments::<L>(ctx, self.t, idx);
+                let m = self.mom_in.read_moments::<L>(ctx, self.t, idx);
                 self.scheme
                     .collide_and_map::<L>(&m, self.tau, &mut f_star[..L::Q]);
 
@@ -156,10 +160,59 @@ impl<L: Lattice> PhasedKernel for Mr3dKernel<'_, L> {
                     }
                 }
                 let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
-                self.mom.write_moments::<L>(ctx, self.t + 1, idx, &mnew);
+                self.mom_out.write_moments::<L>(ctx, self.t + 1, idx, &mnew);
             }
         }
     }
+}
+
+/// Launch the 3D MR column kernel over an explicit set of footprint
+/// origins. Reads moments at time `t` from `mom_in` and writes `t + 1` into
+/// `mom_out` — the multi-device drivers pass two distinct (shift-0)
+/// lattices, since splitting one step across sequential launches would
+/// break the in-place circular shift's read-before-clobber ordering.
+/// Per-node arithmetic is identical to `MrSim3D::step`, so column subsets
+/// compose bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_mr3d_columns<L: Lattice>(
+    gpu: &Gpu,
+    mom_in: &MomentLattice,
+    mom_out: &MomentLattice,
+    geom: &Geometry,
+    scheme: &MrScheme,
+    tau: f64,
+    t: u64,
+    wx: usize,
+    wy: usize,
+    cols: &[(usize, usize)],
+) -> LaunchStats {
+    assert!(!cols.is_empty(), "no columns to launch");
+    for &(x0, y0) in cols {
+        assert!(
+            x0 + wx <= geom.nx && y0 + wy <= geom.ny,
+            "column ({x0}, {y0}) overruns the domain"
+        );
+    }
+    gpu.launch_lockstep(
+        &Launch {
+            blocks: cols.len(),
+            threads_per_block: (wx + 2) * (wy + 2),
+            shared_doubles: wx * wy * 3 * L::Q,
+            scratch_doubles: 0,
+        },
+        &Mr3dKernel::<L> {
+            mom_in,
+            mom_out,
+            geom,
+            scheme,
+            tau,
+            t,
+            wx,
+            wy,
+            cols,
+            _l: PhantomData,
+        },
+    )
 }
 
 /// Driver for a 3D moment-representation simulation (MR-P or MR-R).
@@ -196,7 +249,11 @@ impl<L: Lattice> MrSim3D<L> {
         col_wy: usize,
     ) -> Self {
         assert!(geom.nz > 1, "MrSim3D requires a 3D domain");
-        assert_eq!(L::REACH, 1, "the MR sliding window requires unit streaming reach");
+        assert_eq!(
+            L::REACH,
+            1,
+            "the MR sliding window requires unit streaming reach"
+        );
         assert!(
             !geom.periodic[1] && !geom.periodic[2],
             "MR requires wall-terminated y and z faces"
@@ -300,26 +357,22 @@ impl<L: Lattice> MrSim3D<L> {
 
     /// Advance one timestep.
     pub fn step(&mut self) {
-        let blocks = (self.geom.nx / self.wx) * (self.geom.ny / self.wy);
-        let threads = (self.wx + 2) * (self.wy + 2);
-        let shared = self.wx * self.wy * 3 * L::Q;
-        let stats = self.gpu.launch_lockstep(
-            &Launch {
-                blocks,
-                threads_per_block: threads,
-                shared_doubles: shared,
-                scratch_doubles: 0,
-            },
-            &Mr3dKernel::<L> {
-                mom: &self.mom,
-                geom: &self.geom,
-                scheme: &self.scheme,
-                tau: self.tau,
-                t: self.t,
-                wx: self.wx,
-                wy: self.wy,
-                _l: PhantomData,
-            },
+        let cols_x = self.geom.nx / self.wx;
+        let blocks = cols_x * (self.geom.ny / self.wy);
+        let cols: Vec<(usize, usize)> = (0..blocks)
+            .map(|b| ((b % cols_x) * self.wx, (b / cols_x) * self.wy))
+            .collect();
+        let stats = launch_mr3d_columns::<L>(
+            &self.gpu,
+            &self.mom,
+            &self.mom,
+            &self.geom,
+            &self.scheme,
+            self.tau,
+            self.t,
+            self.wx,
+            self.wy,
+            &cols,
         );
         if let Some(p) = &self.profiler {
             p.record(&stats, self.geom.fluid_count() as u64);
@@ -516,8 +569,7 @@ mod tests {
             }
         }
         let mut mr: MrSim3D<D3Q19> =
-            MrSim3D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8)
-                .with_cpu_threads(2);
+            MrSim3D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8).with_cpu_threads(2);
         mr.run(2);
         let bpf = mr.measured_bpf();
         assert!((bpf - 160.0).abs() < 4.0, "B/F = {bpf}");

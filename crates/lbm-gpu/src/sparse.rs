@@ -80,9 +80,7 @@ fn build_neighbor_table<L: Lattice>(geom: &Geometry, index: &FluidIndex) -> Vec<
                 Some((px, py, pz)) => {
                     let nidx = geom.idx(px, py, pz);
                     match geom.node_at(nidx) {
-                        t if t.is_fluid_like() => {
-                            (i * nf + index.compact[nidx]) as u32
-                        }
+                        t if t.is_fluid_like() => (i * nf + index.compact[nidx]) as u32,
                         NodeType::Wall => (L::OPP[i] * nf + cid) as u32,
                         other => panic!("sparse ST does not support {other:?}"),
                     }
@@ -159,8 +157,8 @@ impl<L: Lattice, C: Collision<L>> StSparseSim<L, C> {
         }
         let index = FluidIndex::build(&geom);
         assert!(!index.is_empty(), "no fluid nodes");
-        let table = GlobalBuffer::from_vec(build_neighbor_table::<L>(&geom, &index))
-            .with_touch_tracking();
+        let table =
+            GlobalBuffer::from_vec(build_neighbor_table::<L>(&geom, &index)).with_touch_tracking();
         let nf = index.len();
         let mut sim = StSparseSim {
             gpu: Gpu::new(device),
@@ -302,9 +300,8 @@ mod tests {
     #[test]
     fn matches_dense_reference_with_obstacle() {
         let geom = Geometry::walls_y_periodic_x(16, 10).with_cylinder(6.0, 5.0, 2.0);
-        let init = |_x: usize, y: usize, _z: usize| {
-            (1.0, [0.03 * (y as f64 * 0.6).sin(), 0.0, 0.0])
-        };
+        let init =
+            |_x: usize, y: usize, _z: usize| (1.0, [0.03 * (y as f64 * 0.6).sin(), 0.0, 0.0]);
         let mut sparse: StSparseSim<D2Q9, _> =
             StSparseSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8))
                 .with_cpu_threads(2);
@@ -329,7 +326,11 @@ mod tests {
         let mut s2: StSparseSim<D2Q9, _> =
             StSparseSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8)).with_cpu_threads(2);
         s2.run(3);
-        assert!((s2.measured_bpf() - 180.0).abs() < 1.0, "{}", s2.measured_bpf());
+        assert!(
+            (s2.measured_bpf() - 180.0).abs() < 1.0,
+            "{}",
+            s2.measured_bpf()
+        );
 
         let mut g3 = Geometry::new(10, 8, 8, [true, false, false]);
         for z in 0..8 {
@@ -347,7 +348,11 @@ mod tests {
         let mut s3: StSparseSim<D3Q19, _> =
             StSparseSim::new(DeviceSpec::v100(), g3, Bgk::new(0.8)).with_cpu_threads(2);
         s3.run(2);
-        assert!((s3.measured_bpf() - 380.0).abs() < 1.0, "{}", s3.measured_bpf());
+        assert!(
+            (s3.measured_bpf() - 380.0).abs() < 1.0,
+            "{}",
+            s3.measured_bpf()
+        );
     }
 
     /// Sparse storage beats dense on porous domains: with half the box

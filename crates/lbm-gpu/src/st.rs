@@ -8,7 +8,7 @@
 //! small inlet/outlet kernel contribution.
 
 use crate::boundary::{boundary_nodes, stencil_coords, MacroCache};
-use gpu_sim::exec::{BlockCtx, Kernel, Launch};
+use gpu_sim::exec::{BlockCtx, Kernel, Launch, LaunchStats};
 use gpu_sim::memory::Tally;
 use gpu_sim::{DeviceSpec, GlobalBuffer, Gpu};
 use lbm_core::boundary::{boundary_node_moments, moving_wall_gain};
@@ -19,6 +19,47 @@ use lbm_lattice::Lattice;
 use std::marker::PhantomData;
 
 const MAX_Q: usize = 48;
+
+/// One pull-scheme node update: streaming by gather (Algorithm 1,
+/// lines 3–10) with halfway bounce-back against solid neighbors, then
+/// collision and a write of all `Q` populations. Shared by the bulk kernel
+/// and the multi-device span kernel so both produce bitwise-identical
+/// per-node arithmetic.
+#[inline]
+fn pull_update_node<L: Lattice, C: Collision<L>>(
+    ctx: &mut BlockCtx,
+    src: &GlobalBuffer<f64>,
+    dst: &GlobalBuffer<f64>,
+    geom: &Geometry,
+    collision: &C,
+    idx: usize,
+) {
+    let n = geom.len();
+    let (x, y, z) = geom.coords(idx);
+    let mut f_loc = [0.0f64; MAX_Q];
+    for i in 0..L::Q {
+        let c = L::C[i];
+        f_loc[i] = match geom.neighbor(x, y, z, [-c[0], -c[1], -c[2]]) {
+            Some((px, py, pz)) => {
+                let nidx = geom.idx(px, py, pz);
+                match geom.node_at(nidx) {
+                    t if t.is_fluid_like() => ctx.read(src, i * n + nidx),
+                    NodeType::Wall => ctx.read(src, L::OPP[i] * n + idx),
+                    NodeType::MovingWall(uw) => {
+                        ctx.read(src, L::OPP[i] * n + idx) + moving_wall_gain::<L>(i, uw, 1.0)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            None => ctx.read(src, L::OPP[i] * n + idx),
+        };
+    }
+    // Macroscopics + collision (lines 11–26).
+    collision.collide(&mut f_loc[..L::Q]);
+    for i in 0..L::Q {
+        ctx.write(dst, i * n + idx, f_loc[i]);
+    }
+}
 
 /// Bulk update kernel: pull + collide over all fluid nodes.
 struct StBulkKernel<'a, L: Lattice, C: Collision<L>> {
@@ -38,7 +79,6 @@ impl<L: Lattice, C: Collision<L>> Kernel for StBulkKernel<'_, L, C> {
     fn run_block(&self, ctx: &mut BlockCtx) {
         let n = self.geom.len();
         let base = ctx.block_id * self.block_size;
-        let mut f_loc = [0.0f64; MAX_Q];
         for tid in 0..self.block_size {
             let idx = base + tid;
             if idx >= n {
@@ -47,34 +87,106 @@ impl<L: Lattice, C: Collision<L>> Kernel for StBulkKernel<'_, L, C> {
             if !matches!(self.geom.node_at(idx), NodeType::Fluid) {
                 continue;
             }
-            let (x, y, z) = self.geom.coords(idx);
-            // Streaming by gather (Algorithm 1, lines 3–10), with halfway
-            // bounce-back resolved against solid neighbors.
-            for i in 0..L::Q {
-                let c = L::C[i];
-                f_loc[i] = match self.geom.neighbor(x, y, z, [-c[0], -c[1], -c[2]]) {
-                    Some((px, py, pz)) => {
-                        let nidx = self.geom.idx(px, py, pz);
-                        match self.geom.node_at(nidx) {
-                            t if t.is_fluid_like() => ctx.read(self.src, i * n + nidx),
-                            NodeType::Wall => ctx.read(self.src, L::OPP[i] * n + idx),
-                            NodeType::MovingWall(uw) => {
-                                ctx.read(self.src, L::OPP[i] * n + idx)
-                                    + moving_wall_gain::<L>(i, uw, 1.0)
-                            }
-                            _ => unreachable!(),
-                        }
-                    }
-                    None => ctx.read(self.src, L::OPP[i] * n + idx),
-                };
-            }
-            // Macroscopics + collision (lines 11–26).
-            self.collision.collide(&mut f_loc[..L::Q]);
-            for i in 0..L::Q {
-                ctx.write(self.dst, i * n + idx, f_loc[i]);
-            }
+            pull_update_node::<L, C>(ctx, self.src, self.dst, self.geom, self.collision, idx);
         }
     }
+}
+
+/// Pull + collide over the x-span `[x_lo, x_hi)` of `geom` (all y, z): the
+/// building block for slab-decomposed multi-device ST. Ghost columns
+/// outside the span are read (time t) but never written.
+struct StSpanKernel<'a, L: Lattice, C: Collision<L>> {
+    src: &'a GlobalBuffer<f64>,
+    dst: &'a GlobalBuffer<f64>,
+    geom: &'a Geometry,
+    collision: &'a C,
+    block_size: usize,
+    x_lo: usize,
+    x_hi: usize,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> Kernel for StSpanKernel<'_, L, C> {
+    fn name(&self) -> &str {
+        "st-bulk-span"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx) {
+        let w = self.x_hi - self.x_lo;
+        let span = w * self.geom.ny * self.geom.nz;
+        let base = ctx.block_id * self.block_size;
+        for tid in 0..self.block_size {
+            let q = base + tid;
+            if q >= span {
+                break;
+            }
+            let x = self.x_lo + q % w;
+            let y = (q / w) % self.geom.ny;
+            let z = q / (w * self.geom.ny);
+            let idx = self.geom.idx(x, y, z);
+            if !matches!(self.geom.node_at(idx), NodeType::Fluid) {
+                continue;
+            }
+            pull_update_node::<L, C>(ctx, self.src, self.dst, self.geom, self.collision, idx);
+        }
+    }
+}
+
+/// Launch the pull-scheme update restricted to the x-span `[x_lo, x_hi)`.
+/// Per-node arithmetic is identical to `StSim::step`'s bulk launch, so a
+/// union of span launches covering the domain is bitwise equal to one full
+/// launch.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_st_pull_span<L: Lattice, C: Collision<L>>(
+    gpu: &Gpu,
+    src: &GlobalBuffer<f64>,
+    dst: &GlobalBuffer<f64>,
+    geom: &Geometry,
+    collision: &C,
+    block_size: usize,
+    x_lo: usize,
+    x_hi: usize,
+) -> LaunchStats {
+    assert!(x_lo < x_hi && x_hi <= geom.nx, "bad span {x_lo}..{x_hi}");
+    let span = (x_hi - x_lo) * geom.ny * geom.nz;
+    gpu.launch(
+        &Launch::simple(span.div_ceil(block_size), block_size),
+        &StSpanKernel::<L, C> {
+            src,
+            dst,
+            geom,
+            collision,
+            block_size,
+            x_lo,
+            x_hi,
+            _l: PhantomData,
+        },
+    )
+}
+
+/// Launch the inlet/outlet rebuild kernel over `nodes` (post-bulk state in
+/// `dst`). Public for the multi-device drivers; `StSim::step` uses the same
+/// kernel.
+pub fn launch_st_bc<L: Lattice, C: Collision<L>>(
+    gpu: &Gpu,
+    dst: &GlobalBuffer<f64>,
+    geom: &Geometry,
+    collision: &C,
+    nodes: &[(usize, usize, usize)],
+    block_size: usize,
+) -> LaunchStats {
+    assert!(!nodes.is_empty(), "no boundary nodes");
+    gpu.launch(
+        &Launch::simple(nodes.len().div_ceil(block_size), block_size),
+        &StBcKernel::<L, C> {
+            dst,
+            geom,
+            collision,
+            nodes,
+            block_size,
+            _l: PhantomData,
+        },
+    )
 }
 
 /// Streaming scheme of the ST pattern (paper §3.1): *pull* performs
@@ -131,12 +243,8 @@ impl<L: Lattice, C: Collision<L>> Kernel for StPushKernel<'_, L, C> {
                     Some((dx, dy, dz)) => {
                         let didx = self.geom.idx(dx, dy, dz);
                         match self.geom.node_at(didx) {
-                            t if t.is_fluid_like() => {
-                                ctx.write(self.dst, i * n + didx, f_loc[i])
-                            }
-                            NodeType::Wall => {
-                                ctx.write(self.dst, L::OPP[i] * n + idx, f_loc[i])
-                            }
+                            t if t.is_fluid_like() => ctx.write(self.dst, i * n + didx, f_loc[i]),
+                            NodeType::Wall => ctx.write(self.dst, L::OPP[i] * n + idx, f_loc[i]),
                             NodeType::MovingWall(uw) => ctx.write(
                                 self.dst,
                                 L::OPP[i] * n + idx,
@@ -416,7 +524,9 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
     pub fn f_at(&self, x: usize, y: usize, z: usize) -> Vec<f64> {
         let n = self.geom.len();
         let idx = self.geom.idx(x, y, z);
-        (0..L::Q).map(|i| self.f[self.cur].get(i * n + idx)).collect()
+        (0..L::Q)
+            .map(|i| self.f[self.cur].get(i * n + idx))
+            .collect()
     }
 
     /// Moments at a node (post-collision state).
@@ -539,7 +649,11 @@ mod tests {
         let init = |x: usize, y: usize, _z: usize| {
             (
                 1.0,
-                [0.03 * (y as f64 * 0.6).sin(), 0.01 * (x as f64 * 0.4).cos(), 0.0],
+                [
+                    0.03 * (y as f64 * 0.6).sin(),
+                    0.01 * (x as f64 * 0.4).cos(),
+                    0.0,
+                ],
             )
         };
         let geom = Geometry::walls_y_periodic_x(16, 10);

@@ -1,0 +1,40 @@
+//! Multi-device domain decomposition with moment-space halo exchange.
+//!
+//! Runs one simulation sharded across N simulated GPUs ([`gpu_sim`]'s
+//! [`MultiGpu`](gpu_sim::interconnect::MultiGpu)), extending the paper's
+//! bandwidth argument from device memory to the interconnect: a halo node
+//! costs `M·8` bytes to exchange in moment space instead of `Q·8` in
+//! distribution space — the exact `M/Q` ratio of Table 2 (96/144 for
+//! D2Q9, 160/304 for D3Q19 in two-lattice B/F terms; 80 vs 152 on the
+//! wire per D3Q19 halo node).
+//!
+//! * [`decomp`] — 1D slab decomposition along `x` with one-node ghost
+//!   columns, local geometries that mirror global node types, and exact
+//!   per-column halo accounting.
+//! * [`st`] — sharded standard representation ([`MultiStSim`]):
+//!   distribution-space exchange, `Q·8` bytes per halo node.
+//! * [`mr2d`] / [`mr3d`] — sharded moment representation
+//!   ([`MultiMrSim2D`], [`MultiMrSim3D`]): moment-space exchange, `M·8`
+//!   bytes per halo node, per-shard double-buffered shift-0 moment
+//!   lattices (the in-place circular shift of Algorithm 2 is only safe
+//!   when a whole step is one lockstep launch).
+//! * [`stats`] — the two-phase overlap schedule's timing model
+//!   (`t_step = t_boundary + max(t_interior, t_exchange) + t_bc`) and
+//!   overlap efficiency.
+//!
+//! All three drivers are *bitwise* identical to their single-device
+//! counterparts: ghosts carry exact doubles and every kernel's per-node
+//! arithmetic is decomposition-independent. The test suite asserts
+//! equality with `==`, not a tolerance.
+
+pub mod decomp;
+pub mod mr2d;
+pub mod mr3d;
+pub mod st;
+pub mod stats;
+
+pub use decomp::{Cut, HaloTransfer, Slab, SlabDecomp};
+pub use mr2d::MultiMrSim2D;
+pub use mr3d::MultiMrSim3D;
+pub use st::MultiStSim;
+pub use stats::OverlapStats;

@@ -1,0 +1,493 @@
+//! Multi-device ST: slab-sharded standard representation with
+//! distribution-space halo exchange (`Q·8` bytes per halo node).
+//!
+//! Each shard runs the same pull-scheme update as `StSim` over its owned
+//! span, so the sharded trajectory is *bitwise* identical to the
+//! single-device one. The per-step schedule is the two-phase overlap of
+//! [`crate::stats`]: edge strips first, their freshly computed columns are
+//! exchanged while the interior launch proceeds, then the inlet/outlet
+//! kernel rebuilds the global `x` edges.
+
+use crate::decomp::SlabDecomp;
+use crate::stats::{device_time_s, exchange_time_s, OverlapStats};
+use gpu_sim::interconnect::MultiGpu;
+use gpu_sim::{DeviceSpec, GlobalBuffer};
+use lbm_core::collision::Collision;
+use lbm_core::geometry::{Geometry, NodeType};
+use lbm_gpu::boundary::boundary_nodes;
+use lbm_gpu::st::{launch_st_bc, launch_st_pull_span};
+use lbm_lattice::moments::Moments;
+use lbm_lattice::Lattice;
+use std::marker::PhantomData;
+
+const MAX_Q: usize = 48;
+
+struct StShard {
+    geom: Geometry,
+    f: [GlobalBuffer<f64>; 2],
+    cur: usize,
+    boundary: Vec<(usize, usize, usize)>,
+    owned_lo: usize,
+    owned_hi: usize,
+    ghost_l: bool,
+    ghost_r: bool,
+}
+
+impl StShard {
+    /// Edge-strip spans (the owned columns adjacent to cuts), merged when
+    /// a 1-wide shard's single column is both edges.
+    fn strip_spans(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        if self.ghost_l {
+            out.push((self.owned_lo, self.owned_lo + 1));
+        }
+        if self.ghost_r {
+            let span = (self.owned_hi - 1, self.owned_hi);
+            if out.first() != Some(&span) {
+                out.push(span);
+            }
+        }
+        out
+    }
+
+    /// The owned span not covered by edge strips.
+    fn interior_span(&self) -> Option<(usize, usize)> {
+        let lo = self.owned_lo + self.ghost_l as usize;
+        let hi = self.owned_hi - self.ghost_r as usize;
+        (lo < hi).then_some((lo, hi))
+    }
+}
+
+/// Slab-sharded ST simulation across N simulated devices.
+pub struct MultiStSim<L: Lattice, C: Collision<L>> {
+    mg: MultiGpu,
+    decomp: SlabDecomp,
+    shards: Vec<StShard>,
+    collision: C,
+    block_size: usize,
+    t: u64,
+    stats: OverlapStats,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
+    /// Shard `geom` across `n` devices of one spec, joined ring-wise with
+    /// the vendor's preset link. Initialized to equilibrium at rest.
+    pub fn new(device: DeviceSpec, geom: Geometry, collision: C, n: usize) -> Self {
+        if L::D == 2 {
+            assert_eq!(geom.nz, 1, "2D lattice on a 3D domain");
+        }
+        assert_eq!(L::REACH, 1, "slab ghosts are one column wide");
+        let decomp = SlabDecomp::new(geom, n);
+        check_boundary_widths(&decomp);
+        let mg = MultiGpu::ring(device, n);
+        let shards = (0..n)
+            .map(|r| {
+                let g = decomp.local_geometry(r);
+                let s = decomp.slab(r);
+                let ln = g.len();
+                let boundary = boundary_nodes(&g);
+                StShard {
+                    f: [
+                        GlobalBuffer::new(L::Q * ln).with_touch_tracking(),
+                        GlobalBuffer::new(L::Q * ln).with_touch_tracking(),
+                    ],
+                    cur: 0,
+                    boundary,
+                    owned_lo: s.owned_lo(),
+                    owned_hi: s.owned_hi(),
+                    ghost_l: s.ghost_l,
+                    ghost_r: s.ghost_r,
+                    geom: g,
+                }
+            })
+            .collect();
+        let mut sim = MultiStSim {
+            mg,
+            decomp,
+            shards,
+            collision,
+            block_size: 256,
+            t: 0,
+            stats: OverlapStats::default(),
+            _l: PhantomData,
+        };
+        sim.init_with(|_, _, _| (1.0, [0.0; 3]));
+        sim
+    }
+
+    /// Limit each device's CPU worker threads.
+    pub fn with_cpu_threads(mut self, n: usize) -> Self {
+        self.mg = self.mg.with_cpu_threads(n);
+        self
+    }
+
+    /// Mirror link traffic into a shared profiler.
+    pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
+        self.mg = self.mg.with_profiler(p);
+        self
+    }
+
+    /// Set the thread-block size of the span kernels.
+    pub fn with_block_size(mut self, bs: usize) -> Self {
+        assert!(bs >= 1);
+        self.block_size = bs;
+        self
+    }
+
+    /// Initialize every node — *including ghosts* — from a macroscopic
+    /// field evaluated at **global** coordinates, so ghost columns start
+    /// consistent with their owners and no initial exchange is needed.
+    pub fn init_with(&mut self, field: impl Fn(usize, usize, usize) -> (f64, [f64; 3])) {
+        let mut feq = [0.0f64; MAX_Q];
+        for (r, sh) in self.shards.iter_mut().enumerate() {
+            sh.cur = 0;
+            let ln = sh.geom.len();
+            for idx in 0..ln {
+                let (lx, y, z) = sh.geom.coords(idx);
+                let gx = self.decomp.global_x(r, lx);
+                let (rho, u) = match sh.geom.node_at(idx) {
+                    NodeType::Inlet(u_bc) => (field(gx, y, z).0, u_bc),
+                    NodeType::Outlet(rho_bc) => (rho_bc, field(gx, y, z).1),
+                    _ => field(gx, y, z),
+                };
+                let m = Moments {
+                    rho,
+                    u,
+                    pi: Moments::pi_eq(rho, u, L::D),
+                };
+                self.collision.reconstruct(&m, &mut feq[..L::Q]);
+                for (i, &v) in feq[..L::Q].iter().enumerate() {
+                    sh.f[0].set(i * ln + idx, v);
+                }
+            }
+        }
+        self.t = 0;
+        self.stats = OverlapStats::default();
+    }
+
+    /// Advance one timestep with the two-phase overlap schedule.
+    pub fn step(&mut self) {
+        let n_sh = self.shards.len();
+        let mut boundary_bytes = vec![0u64; n_sh];
+        let mut interior_bytes = vec![0u64; n_sh];
+        let mut bc_bytes = vec![0u64; n_sh];
+
+        // Phase 1: boundary strips — the owned edge columns whose t+1
+        // values the neighbors' ghosts need.
+        for (r, sh) in self.shards.iter().enumerate() {
+            for (lo, hi) in sh.strip_spans() {
+                let stats = launch_st_pull_span::<L, C>(
+                    self.mg.device(r),
+                    &sh.f[sh.cur],
+                    &sh.f[sh.cur ^ 1],
+                    &sh.geom,
+                    &self.collision,
+                    self.block_size,
+                    lo,
+                    hi,
+                );
+                boundary_bytes[r] += stats.tally.dram_bytes();
+            }
+        }
+
+        // Phase 2: halo exchange of the strip results (overlapped with the
+        // interior launch in the timing model).
+        let transfers = self.exchange();
+
+        // Phase 3: interior.
+        for (r, sh) in self.shards.iter().enumerate() {
+            if let Some((lo, hi)) = sh.interior_span() {
+                let stats = launch_st_pull_span::<L, C>(
+                    self.mg.device(r),
+                    &sh.f[sh.cur],
+                    &sh.f[sh.cur ^ 1],
+                    &sh.geom,
+                    &self.collision,
+                    self.block_size,
+                    lo,
+                    hi,
+                );
+                interior_bytes[r] += stats.tally.dram_bytes();
+            }
+        }
+
+        // Phase 4: inlet/outlet rebuild on the shards owning global x edges.
+        for (r, sh) in self.shards.iter().enumerate() {
+            if !sh.boundary.is_empty() {
+                let stats = launch_st_bc::<L, C>(
+                    self.mg.device(r),
+                    &sh.f[sh.cur ^ 1],
+                    &sh.geom,
+                    &self.collision,
+                    &sh.boundary,
+                    self.block_size,
+                );
+                bc_bytes[r] += stats.tally.dram_bytes();
+            }
+        }
+
+        let spec = self.mg.spec().clone();
+        let max_t = |b: &[u64]| device_time_s(&spec, b.iter().copied().max().unwrap_or(0));
+        self.stats.record_step(
+            max_t(&boundary_bytes),
+            max_t(&interior_bytes),
+            exchange_time_s(&self.mg, &transfers),
+            max_t(&bc_bytes),
+        );
+
+        for sh in &mut self.shards {
+            sh.cur ^= 1;
+        }
+        self.t += 1;
+    }
+
+    /// Copy every cut's freshly computed edge columns (in `dst`, time
+    /// `t+1`) into the neighbors' ghost columns, recording link traffic.
+    fn exchange(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for tr in self.decomp.halo_transfers() {
+            let (src, dst) = (&self.shards[tr.from], &self.shards[tr.to]);
+            let (sn, dn) = (src.geom.len(), dst.geom.len());
+            let (sf, df) = (&src.f[src.cur ^ 1], &dst.f[dst.cur ^ 1]);
+            let mut bytes = 0u64;
+            for z in 0..src.geom.nz {
+                for y in 0..src.geom.ny {
+                    if !src.geom.node(tr.src_lx, y, z).is_fluid_like() {
+                        continue;
+                    }
+                    let si = src.geom.idx(tr.src_lx, y, z);
+                    let di = dst.geom.idx(tr.dst_lx, y, z);
+                    for i in 0..L::Q {
+                        df.set(i * dn + di, sf.get(i * sn + si));
+                    }
+                    bytes += (L::Q * 8) as u64;
+                }
+            }
+            self.mg.record_transfer(tr.from, tr.to, bytes);
+            out.push((tr.from, tr.to, bytes));
+        }
+        out
+    }
+
+    /// Advance `steps` timesteps.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Completed timesteps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// The global geometry.
+    pub fn geom(&self) -> &Geometry {
+        self.decomp.global()
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The interconnect (link byte counters, report).
+    pub fn interconnect(&self) -> &MultiGpu {
+        &self.mg
+    }
+
+    /// Modeled overlap-schedule timing.
+    pub fn stats(&self) -> &OverlapStats {
+        &self.stats
+    }
+
+    /// Analytic per-step halo traffic: fluid-like halo nodes × `Q·8`.
+    pub fn halo_bytes_per_step(&self) -> u64 {
+        (self.decomp.halo_nodes_per_step() * L::Q * 8) as u64
+    }
+
+    /// Distribution at a global node (current state, owner shard).
+    pub fn f_at(&self, x: usize, y: usize, z: usize) -> Vec<f64> {
+        let r = self.decomp.owner_of(x);
+        let sh = &self.shards[r];
+        let lx = self.decomp.slab(r).owned_lo() + (x - self.decomp.slab(r).x0);
+        let ln = sh.geom.len();
+        let idx = sh.geom.idx(lx, y, z);
+        (0..L::Q).map(|i| sh.f[sh.cur].get(i * ln + idx)).collect()
+    }
+
+    /// Moments at a global node.
+    pub fn moments_at(&self, x: usize, y: usize, z: usize) -> Moments {
+        Moments::from_f::<L>(&self.f_at(x, y, z))
+    }
+
+    /// Global velocity field (solid nodes report zero), gathered from the
+    /// owning shards.
+    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+        let g = self.decomp.global();
+        let mut out = vec![[0.0; 3]; g.len()];
+        for (idx, o) in out.iter_mut().enumerate() {
+            if g.node_at(idx).is_fluid_like() {
+                let (x, y, z) = g.coords(idx);
+                *o = self.moments_at(x, y, z).u;
+            }
+        }
+        out
+    }
+
+    /// Global density field (solid nodes report zero).
+    pub fn density_field(&self) -> Vec<f64> {
+        let g = self.decomp.global();
+        let mut out = vec![0.0; g.len()];
+        for (idx, o) in out.iter_mut().enumerate() {
+            if g.node_at(idx).is_fluid_like() {
+                let (x, y, z) = g.coords(idx);
+                *o = self.moments_at(x, y, z).rho;
+            }
+        }
+        out
+    }
+}
+
+/// Inlet/outlet domains constrain the decomposition: the FD stencil of an
+/// edge shard reads two columns inward (so edge shards must own ≥ 3), and
+/// no cut-adjacent column may itself be a boundary column (so every shard
+/// must own ≥ 2).
+pub(crate) fn check_boundary_widths(decomp: &SlabDecomp) {
+    if boundary_nodes(decomp.global()).is_empty() || decomp.num_shards() == 1 {
+        return;
+    }
+    let n = decomp.num_shards();
+    for (r, s) in decomp.slabs().iter().enumerate() {
+        if r == 0 || r == n - 1 {
+            assert!(
+                s.width >= 3,
+                "edge shard {r} owns {} columns; FD boundaries need ≥ 3",
+                s.width
+            );
+        } else {
+            assert!(
+                s.width >= 2,
+                "shard {r} owns {} columns; boundary domains need ≥ 2",
+                s.width
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_core::collision::{Bgk, Projective};
+    use lbm_gpu::StSim;
+    use lbm_lattice::{D2Q9, D3Q19};
+
+    fn shear_init(x: usize, y: usize, _z: usize) -> (f64, [f64; 3]) {
+        (
+            1.0 + 0.01 * ((x + 2 * y) as f64 * 0.3).sin(),
+            [
+                0.03 * (y as f64 * 0.6).sin(),
+                0.01 * (x as f64 * 0.4).cos(),
+                0.0,
+            ],
+        )
+    }
+
+    /// Sharded ST is bitwise identical to single-device ST on a periodic-x
+    /// channel — same pull arithmetic, ghosts carry exact doubles.
+    #[test]
+    fn multi_matches_single_bitwise_2d() {
+        let geom = Geometry::walls_y_periodic_x(16, 8);
+        let mut single: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8)).with_cpu_threads(2);
+        single.init_with(shear_init);
+        let mut multi: MultiStSim<D2Q9, _> =
+            MultiStSim::new(DeviceSpec::v100(), geom, Projective::new(0.8), 4).with_cpu_threads(2);
+        multi.init_with(shear_init);
+        single.run(10);
+        multi.run(10);
+        let (us, um) = (single.velocity_field(), multi.velocity_field());
+        for (a, b) in us.iter().zip(&um) {
+            for k in 0..3 {
+                assert_eq!(a[k], b[k], "sharding changed the arithmetic");
+            }
+        }
+    }
+
+    /// Same with an inlet/outlet channel: the BC kernel runs on the edge
+    /// shards only and still matches bitwise.
+    #[test]
+    fn multi_matches_single_bitwise_channel() {
+        let geom = Geometry::channel_2d(20, 10, 0.04);
+        let mut single: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom.clone(), Bgk::new(0.8)).with_cpu_threads(2);
+        let mut multi: MultiStSim<D2Q9, _> =
+            MultiStSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8), 3).with_cpu_threads(2);
+        single.run(12);
+        multi.run(12);
+        let (us, um) = (single.velocity_field(), multi.velocity_field());
+        for (a, b) in us.iter().zip(&um) {
+            for k in 0..3 {
+                assert_eq!(a[k], b[k]);
+            }
+        }
+        let (rs, rm) = (single.density_field(), multi.density_field());
+        for (a, b) in rs.iter().zip(&rm) {
+            assert_eq!(a, b);
+        }
+    }
+
+    /// 3D duct across 2 devices.
+    #[test]
+    fn multi_matches_single_bitwise_3d() {
+        let geom = Geometry::channel_3d(12, 7, 7, 0.03);
+        let mut single: StSim<D3Q19, _> =
+            StSim::new(DeviceSpec::mi100(), geom.clone(), Projective::new(0.7)).with_cpu_threads(2);
+        let mut multi: MultiStSim<D3Q19, _> =
+            MultiStSim::new(DeviceSpec::mi100(), geom, Projective::new(0.7), 2).with_cpu_threads(2);
+        single.run(6);
+        multi.run(6);
+        let (us, um) = (single.velocity_field(), multi.velocity_field());
+        for (a, b) in us.iter().zip(&um) {
+            for k in 0..3 {
+                assert_eq!(a[k], b[k]);
+            }
+        }
+    }
+
+    /// Halo traffic: each direction of each cut carries exactly
+    /// (fluid column nodes)·Q·8 bytes per step.
+    #[test]
+    fn halo_bytes_are_exact() {
+        let geom = Geometry::walls_y_periodic_x(16, 10);
+        let mut multi: MultiStSim<D2Q9, _> =
+            MultiStSim::new(DeviceSpec::v100(), geom, Projective::new(0.8), 2).with_cpu_threads(2);
+        multi.run(5);
+        // n = 2 periodic: 4 transfers/step, 8 fluid nodes per column.
+        let per_step = 4 * 8 * 9 * 8;
+        assert_eq!(multi.halo_bytes_per_step(), per_step as u64);
+        assert_eq!(multi.interconnect().total_link_bytes(), 5 * per_step as u64);
+    }
+
+    /// Overlap stats: interior covers the exchange on a wide domain.
+    #[test]
+    fn overlap_stats_accumulate() {
+        let geom = Geometry::walls_y_periodic_x(64, 16);
+        let mut multi: MultiStSim<D2Q9, _> =
+            MultiStSim::new(DeviceSpec::v100(), geom, Projective::new(0.8), 2).with_cpu_threads(2);
+        multi.run(3);
+        let s = multi.stats();
+        assert_eq!(s.steps, 3);
+        assert!(s.boundary_s > 0.0 && s.interior_s > 0.0 && s.exchange_s > 0.0);
+        assert!(s.total_s >= s.boundary_s + s.interior_s.max(s.exchange_s));
+        assert!(s.overlap_efficiency() > 0.0 && s.overlap_efficiency() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "FD boundaries need ≥ 3")]
+    fn narrow_edge_shards_rejected_for_channels() {
+        let geom = Geometry::channel_2d(8, 6, 0.04);
+        let _ = MultiStSim::<D2Q9, _>::new(DeviceSpec::v100(), geom, Bgk::new(0.8), 4);
+    }
+}

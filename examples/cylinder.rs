@@ -16,9 +16,7 @@ fn main() {
     let u_in = 0.06;
     let re = 40.0;
     let tau = units::tau_for_reynolds(re, u_in, 2.0 * r);
-    println!(
-        "cylinder r = {r} at ({cx},{cy}) in a {nx}×{ny} channel, Re = {re}, τ = {tau:.4}"
-    );
+    println!("cylinder r = {r} at ({cx},{cy}) in a {nx}×{ny} channel, Re = {re}, τ = {tau:.4}");
 
     let geom = Geometry::channel_2d_poiseuille(nx, ny, u_in).with_cylinder(cx, cy, r);
     let mut s: Solver<D2Q9, _> = Solver::new(geom, Projective::new(tau));
@@ -57,7 +55,10 @@ fn main() {
     }
     let cd = avg[0] / norm;
     println!("time-averaged C_d = {cd:.3} (unbounded-domain literature for Re = 40: ≈ 1.5;");
-    println!("blockage D/H = {:.2} raises it)", 2.0 * r / (ny as f64 - 2.0));
+    println!(
+        "blockage D/H = {:.2} raises it)",
+        2.0 * r / (ny as f64 - 2.0)
+    );
     assert!(avg[0] > 0.0, "drag must push downstream");
     assert!(
         avg[1].abs() < 0.2 * avg[0],

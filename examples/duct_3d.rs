@@ -24,8 +24,12 @@ fn main() {
         StSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(tau));
     st.run(steps);
 
-    let mut mrp: MrSim3D<D3Q19> =
-        MrSim3D::new(DeviceSpec::v100(), geom.clone(), MrScheme::projective(), tau);
+    let mut mrp: MrSim3D<D3Q19> = MrSim3D::new(
+        DeviceSpec::v100(),
+        geom.clone(),
+        MrScheme::projective(),
+        tau,
+    );
     mrp.run(steps);
 
     let mut mrr: MrSim3D<D3Q19> = MrSim3D::new(

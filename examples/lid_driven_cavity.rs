@@ -33,11 +33,18 @@ fn main() {
     // benchmark quantities).
     println!("y/N, u_x/u_lid (vertical centerline)");
     for y in (1..n - 1).step_by(4) {
-        println!("{:.3}, {:.4}", y as f64 / n as f64, u[g.idx(n / 2, y, 0)][0] / u_lid);
+        println!(
+            "{:.3}, {:.4}",
+            y as f64 / n as f64,
+            u[g.idx(n / 2, y, 0)][0] / u_lid
+        );
     }
     // The primary vortex makes u_x negative in the lower half.
     let lower = u[g.idx(n / 2, n / 4, 0)][0];
-    assert!(lower < 0.0, "expected return flow in the lower half, got {lower}");
+    assert!(
+        lower < 0.0,
+        "expected return flow in the lower half, got {lower}"
+    );
     println!("return flow at y = N/4: u_x/u_lid = {:.4}", lower / u_lid);
 
     let f = File::create("cavity.vtk").expect("create cavity.vtk");

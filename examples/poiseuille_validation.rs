@@ -22,8 +22,7 @@ fn main() {
     st.run(steps);
 
     // Moment representation, same flow.
-    let mut mr: MrSim2D<D2Q9> =
-        MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), tau);
+    let mut mr: MrSim2D<D2Q9> = MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), tau);
     mr.run(steps);
 
     let g = st.geom().clone();

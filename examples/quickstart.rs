@@ -13,7 +13,10 @@ fn main() {
     let (nx, ny) = (96, 32);
     let u_max = 0.05;
     let tau = units::tau_for_reynolds(50.0, u_max, (ny - 2) as f64);
-    println!("channel {nx}×{ny}, u_max {u_max}, τ = {tau:.4} (ν = {:.5})", units::nu_from_tau(tau));
+    println!(
+        "channel {nx}×{ny}, u_max {u_max}, τ = {tau:.4} (ν = {:.5})",
+        units::nu_from_tau(tau)
+    );
 
     let geom = Geometry::channel_2d_poiseuille(nx, ny, u_max);
     let mut sim: MrSim2D<D2Q9> =
@@ -54,6 +57,12 @@ fn main() {
     println!(
         "modeled throughput at 16M nodes on {}: {:.0} MFLUPS",
         dev.name,
-        efficiency::modeled_mflups(&dev, Pattern::MomentProjective, 2, sim.measured_bpf(), 16_000_000)
+        efficiency::modeled_mflups(
+            &dev,
+            Pattern::MomentProjective,
+            2,
+            sim.measured_bpf(),
+            16_000_000
+        )
     );
 }

@@ -43,7 +43,11 @@ fn main() {
                 "  {label}: {} blocks/SM (limited by {:?}){}",
                 o.blocks_per_sm,
                 o.limiter,
-                if o.blocks_per_sm >= 2 { "" } else { "  ← violates the 2-block rule" }
+                if o.blocks_per_sm >= 2 {
+                    ""
+                } else {
+                    "  ← violates the 2-block rule"
+                }
             );
         }
         println!();

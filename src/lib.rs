@@ -3,13 +3,15 @@
 //! Facade crate for the workspace reproducing *"Moment Representation of
 //! Regularized Lattice Boltzmann Methods on NVIDIA and AMD GPUs"*
 //! (Valero-Lara, Vetter, Gounley, Randles — SC 2023). It re-exports the
-//! public API of the four member crates:
+//! public API of the five member crates:
 //!
 //! * [`lattice`] — velocity sets, Hermite machinery, moment space;
 //! * [`core`] — collision operators, boundaries, reference solvers;
 //! * [`gpu`] — the software-GPU substrate (devices, kernels, traffic
 //!   ledger, roofline/efficiency models);
-//! * [`kernels`] — the ST and MR propagation patterns on that substrate.
+//! * [`kernels`] — the ST and MR propagation patterns on that substrate;
+//! * [`multi`] — multi-device domain decomposition with moment-space
+//!   halo exchange over the simulated interconnect.
 //!
 //! ## Quickstart
 //!
@@ -29,15 +31,18 @@ pub use gpu_sim as gpu;
 pub use lbm_core as core;
 pub use lbm_gpu as kernels;
 pub use lbm_lattice as lattice;
+pub use lbm_multi as multi;
 
 /// Convenient single import for examples and applications.
 pub mod prelude {
     pub use gpu_sim::efficiency::{self, Pattern};
+    pub use gpu_sim::interconnect::{LinkSpec, MultiGpu};
     pub use gpu_sim::{occupancy, roofline, DeviceSpec, Gpu};
     pub use lbm_core::collision::{Bgk, Collision, Projective, Recursive};
     pub use lbm_core::{analytic, diagnostics, io, units, Geometry, NodeType, Solver};
     pub use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim, StSparseSim, StStream};
     pub use lbm_lattice::{Lattice, D2Q9, D3Q15, D3Q19, D3Q27, D3Q39};
+    pub use lbm_multi::{MultiMrSim2D, MultiMrSim3D, MultiStSim, OverlapStats, SlabDecomp};
 }
 
 #[cfg(test)]

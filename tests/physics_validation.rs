@@ -11,8 +11,7 @@ fn mr_poiseuille_converges() {
     let (nx, ny) = (48, 18);
     let u_max = 0.05;
     let geom = Geometry::channel_2d_poiseuille(nx, ny, u_max);
-    let mut mr: MrSim2D<D2Q9> =
-        MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
+    let mut mr: MrSim2D<D2Q9> = MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
     mr.run(3000);
     let u = mr.velocity_field();
     let g = mr.geom();
@@ -64,8 +63,12 @@ fn mr_r_shear_wave_decay() {
     let tau = 0.9;
     let ny = 26;
     let geom = Geometry::walls_y_periodic_x(8, ny);
-    let mut sim: MrSim2D<D2Q9> =
-        MrSim2D::new(DeviceSpec::mi100(), geom, MrScheme::recursive::<D2Q9>(), tau);
+    let mut sim: MrSim2D<D2Q9> = MrSim2D::new(
+        DeviceSpec::mi100(),
+        geom,
+        MrScheme::recursive::<D2Q9>(),
+        tau,
+    );
     let k = std::f64::consts::PI / (ny as f64 - 2.0);
     let u0 = 0.02;
     sim.init_with(|_x, y, _z| (1.0, [u0 * (k * (y as f64 - 0.5)).sin(), 0.0, 0.0]));

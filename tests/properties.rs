@@ -1,4 +1,6 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Property-style tests on the core invariants, driven by a seeded
+//! xorshift generator (deterministic; the offline workspace cannot resolve
+//! proptest):
 //!
 //! * moment ↔ distribution round-trips are lossless for regularized states,
 //! * every collision operator conserves mass and momentum and relaxes Π by
@@ -8,78 +10,131 @@
 //! * the FD boundary stencil is exact on affine velocity fields.
 
 #![allow(clippy::needless_range_loop)]
-use lbm_mr::prelude::*;
 use lbm_mr::kernels::MomentLattice;
 use lbm_mr::lattice::equilibrium::{equilibrium, f_from_moments};
 use lbm_mr::lattice::moments::Moments;
-use proptest::prelude::*;
+use lbm_mr::prelude::*;
 
-/// Strategy: an admissible low-Mach macroscopic state.
-fn macro_state(d: usize) -> impl Strategy<Value = (f64, [f64; 3])> {
-    (
-        0.8f64..1.2,
-        prop::array::uniform3(-0.08f64..0.08),
-    )
-        .prop_map(move |(rho, mut u)| {
-            for a in d..3 {
-                u[a] = 0.0;
-            }
-            (rho, u)
-        })
+/// Minimal deterministic PRNG (xorshift64*) for property sampling.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform f64 in [lo, hi).
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+
+    /// Uniform usize in [lo, hi).
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-/// Strategy: a small non-equilibrium Π perturbation (canonical slots).
-fn pi_perturbation(d: usize) -> impl Strategy<Value = [f64; 6]> {
-    prop::array::uniform6(-5e-3f64..5e-3).prop_map(move |mut p| {
-        // Zero the out-of-plane slots in 2D and symmetrize implicitly.
-        if d == 2 {
-            p[2] = 0.0;
-            p[4] = 0.0;
-            p[5] = 0.0;
-        }
-        p
-    })
+const CASES: u64 = 64;
+
+/// An admissible low-Mach macroscopic state.
+fn macro_state(rng: &mut Rng, d: usize) -> (f64, [f64; 3]) {
+    let rho = rng.f64_in(0.8, 1.2);
+    let mut u = [0.0; 3];
+    for a in 0..d {
+        u[a] = rng.f64_in(-0.08, 0.08);
+    }
+    (rho, u)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A small non-equilibrium Π perturbation (canonical slots).
+fn pi_perturbation(rng: &mut Rng, d: usize) -> [f64; 6] {
+    let mut p = [0.0; 6];
+    for k in 0..6 {
+        p[k] = rng.f64_in(-5e-3, 5e-3);
+    }
+    if d == 2 {
+        p[2] = 0.0;
+        p[4] = 0.0;
+        p[5] = 0.0;
+    }
+    p
+}
 
-    /// Regularized states round-trip losslessly through moment space.
-    #[test]
-    fn moment_roundtrip_d2q9((rho, u) in macro_state(2), dpi in pi_perturbation(2)) {
+/// Regularized states round-trip losslessly through moment space.
+#[test]
+fn moment_roundtrip_d2q9() {
+    for seed in 0..CASES {
+        let rng = &mut Rng::new(seed + 1);
+        let (rho, u) = macro_state(rng, 2);
+        let dpi = pi_perturbation(rng, 2);
         let mut pi = Moments::pi_eq(rho, u, 2);
-        for k in 0..6 { pi[k] += dpi[k]; }
+        for k in 0..6 {
+            pi[k] += dpi[k];
+        }
         let mut f = vec![0.0; 9];
         f_from_moments::<D2Q9>(rho, u, &pi, &mut f);
         let m = Moments::from_f::<D2Q9>(&f);
-        prop_assert!((m.rho - rho).abs() < 1e-12);
-        for a in 0..2 { prop_assert!((m.u[a] - u[a]).abs() < 1e-12); }
-        for k in [0usize, 1, 3] { prop_assert!((m.pi[k] - pi[k]).abs() < 1e-12); }
+        assert!((m.rho - rho).abs() < 1e-12);
+        for a in 0..2 {
+            assert!((m.u[a] - u[a]).abs() < 1e-12);
+        }
+        for k in [0usize, 1, 3] {
+            assert!((m.pi[k] - pi[k]).abs() < 1e-12);
+        }
     }
+}
 
-    /// Same in 3D on D3Q19.
-    #[test]
-    fn moment_roundtrip_d3q19((rho, u) in macro_state(3), dpi in pi_perturbation(3)) {
+/// Same in 3D on D3Q19.
+#[test]
+fn moment_roundtrip_d3q19() {
+    for seed in 0..CASES {
+        let rng = &mut Rng::new(seed + 101);
+        let (rho, u) = macro_state(rng, 3);
+        let dpi = pi_perturbation(rng, 3);
         let mut pi = Moments::pi_eq(rho, u, 3);
-        for k in 0..6 { pi[k] += dpi[k]; }
+        for k in 0..6 {
+            pi[k] += dpi[k];
+        }
         let mut f = vec![0.0; 19];
         f_from_moments::<D3Q19>(rho, u, &pi, &mut f);
         let m = Moments::from_f::<D3Q19>(&f);
-        prop_assert!((m.rho - rho).abs() < 1e-12);
-        for a in 0..3 { prop_assert!((m.u[a] - u[a]).abs() < 1e-12); }
-        for k in 0..6 { prop_assert!((m.pi[k] - pi[k]).abs() < 1e-12); }
+        assert!((m.rho - rho).abs() < 1e-12);
+        for a in 0..3 {
+            assert!((m.u[a] - u[a]).abs() < 1e-12);
+        }
+        for k in 0..6 {
+            assert!((m.pi[k] - pi[k]).abs() < 1e-12);
+        }
     }
+}
 
-    /// Conservation + exact Π relaxation for all three operators on random
-    /// admissible states.
-    #[test]
-    fn collision_invariants(
-        (rho, u) in macro_state(2),
-        dpi in pi_perturbation(2),
-        tau in 0.55f64..1.5,
-    ) {
+/// Conservation + exact Π relaxation for all three operators on random
+/// admissible states.
+#[test]
+fn collision_invariants() {
+    for seed in 0..CASES {
+        let rng = &mut Rng::new(seed + 201);
+        let (rho, u) = macro_state(rng, 2);
+        let dpi = pi_perturbation(rng, 2);
+        let tau = rng.f64_in(0.55, 1.5);
         let mut pi = Moments::pi_eq(rho, u, 2);
-        for k in 0..6 { pi[k] += dpi[k]; }
+        for k in 0..6 {
+            pi[k] += dpi[k];
+        }
         let mut f0 = vec![0.0; 9];
         f_from_moments::<D2Q9>(rho, u, &pi, &mut f0);
 
@@ -93,9 +148,9 @@ proptest! {
             op.collide(&mut f);
             let before = Moments::from_f::<D2Q9>(&f0);
             let after = Moments::from_f::<D2Q9>(&f);
-            prop_assert!((before.rho - after.rho).abs() < 1e-12, "{name} mass");
+            assert!((before.rho - after.rho).abs() < 1e-12, "{name} mass");
             for a in 0..2 {
-                prop_assert!(
+                assert!(
                     (before.rho * before.u[a] - after.rho * after.u[a]).abs() < 1e-12,
                     "{name} momentum"
                 );
@@ -103,43 +158,52 @@ proptest! {
             let omega = 1.0 - 1.0 / tau;
             let (bneq, aneq) = (before.pi_neq(2), after.pi_neq(2));
             for k in [0usize, 1, 3] {
-                prop_assert!(
+                assert!(
                     (aneq[k] - omega * bneq[k]).abs() < 1e-11,
                     "{name} pi relaxation"
                 );
             }
         }
     }
+}
 
-    /// The circular-shift slot map stays a bijection for random sizes,
-    /// shifts, and times.
-    #[test]
-    fn slot_map_bijective(
-        n in 1usize..400,
-        shift in 0usize..50,
-        pad_extra in 0usize..20,
-        t in 0u64..1000,
-    ) {
-        let pad = shift + pad_extra;
+/// The circular-shift slot map stays a bijection for random sizes, shifts,
+/// and times.
+#[test]
+fn slot_map_bijective() {
+    for seed in 0..CASES {
+        let rng = &mut Rng::new(seed + 301);
+        let n = rng.usize_in(1, 400);
+        let shift = rng.usize_in(0, 50);
+        let pad = shift + rng.usize_in(0, 20);
+        let t = rng.next_u64() % 1000;
         let ml = MomentLattice::new(n, 6, shift, pad);
         let mut seen = vec![false; n + pad];
         for idx in 0..n {
             let s = ml.slot(idx, t);
-            prop_assert!(s < n + pad);
-            prop_assert!(!seen[s]);
+            assert!(s < n + pad);
+            assert!(!seen[s]);
             seen[s] = true;
         }
     }
+}
 
-    /// Random equilibrium fields on a periodic box: total mass and momentum
-    /// conserved by the full solver for any operator parameters.
-    #[test]
-    fn periodic_conservation(seed in 0u64..1000, tau in 0.6f64..1.2) {
+/// Random equilibrium fields on a periodic box: total mass and momentum
+/// conserved by the full solver for any operator parameters.
+#[test]
+fn periodic_conservation() {
+    for case in 0..16u64 {
+        let rng = &mut Rng::new(case + 401);
+        let seed = rng.next_u64() % 1000;
+        let tau = rng.f64_in(0.6, 1.2);
         let geom = Geometry::periodic_2d(8, 6);
         let mut s: Solver<D2Q9, _> = Solver::new(geom, Projective::new(tau)).with_threads(1);
         s.init_with(|x, y, _| {
             let h = ((x * 7 + y * 13) as f64 + seed as f64) * 0.61803;
-            (1.0 + 0.03 * h.sin(), [0.02 * (h * 1.7).cos(), 0.02 * (h * 2.3).sin(), 0.0])
+            (
+                1.0 + 0.03 * h.sin(),
+                [0.02 * (h * 1.7).cos(), 0.02 * (h * 2.3).sin(), 0.0],
+            )
         });
         let rho0: f64 = s.density_field().iter().sum();
         let mom0: f64 = s
@@ -156,20 +220,22 @@ proptest! {
             .zip(s.density_field())
             .map(|(u, r)| u[0] * r)
             .sum();
-        prop_assert!((rho0 - rho1).abs() < 1e-10 * rho0);
-        prop_assert!((mom0 - mom1).abs() < 1e-10);
+        assert!((rho0 - rho1).abs() < 1e-10 * rho0);
+        assert!((mom0 - mom1).abs() < 1e-10);
     }
+}
 
-    /// The boundary stencil is exact for affine velocity fields
-    /// u(x, y) = a + b·x + c·y: Π^neq = −2ρc_s²τ·S with S from the exact
-    /// gradients.
-    #[test]
-    fn fd_boundary_exact_on_affine_fields(
-        a in -0.02f64..0.02,
-        b in -1e-3f64..1e-3,
-        c in -1e-3f64..1e-3,
-        tau in 0.6f64..1.2,
-    ) {
+/// The boundary stencil is exact for affine velocity fields
+/// u(x, y) = a + b·x + c·y: Π^neq = −2ρc_s²τ·S with S from the exact
+/// gradients.
+#[test]
+fn fd_boundary_exact_on_affine_fields() {
+    for case in 0..CASES {
+        let rng = &mut Rng::new(case + 501);
+        let a = rng.f64_in(-0.02, 0.02);
+        let b = rng.f64_in(-1e-3, 1e-3);
+        let c = rng.f64_in(-1e-3, 1e-3);
+        let tau = rng.f64_in(0.6, 1.2);
         use lbm_mr::core::boundary::boundary_node_moments;
         let ny = 10;
         let mut geom = Geometry::channel_2d(12, ny, 0.0);
@@ -179,9 +245,8 @@ proptest! {
             let u = [a + c * y as f64, 0.0, 0.0];
             geom.set(0, y, 0, NodeType::Inlet(u));
         }
-        let macro_at = |x: usize, y: usize, _z: usize| {
-            (1.0, [a + b * x as f64 + c * y as f64, 0.0, 0.0])
-        };
+        let macro_at =
+            |x: usize, y: usize, _z: usize| (1.0, [a + b * x as f64 + c * y as f64, 0.0, 0.0]);
         let y = 5;
         let m = boundary_node_moments::<D2Q9>(&geom, 0, y, 0, tau, &macro_at);
         // ∂x u_x = b, ∂y u_x = c exactly (stencils are second order).
@@ -189,59 +254,66 @@ proptest! {
         let cs2 = 1.0 / 3.0;
         let want_xx = -2.0 * cs2 * tau * b;
         let want_xy = -2.0 * cs2 * tau * 0.5 * c;
-        prop_assert!(((m.pi[0] - pi_eq[0]) - want_xx).abs() < 1e-12);
-        prop_assert!(((m.pi[1] - pi_eq[1]) - want_xy).abs() < 1e-12);
+        assert!(((m.pi[0] - pi_eq[0]) - want_xx).abs() < 1e-12);
+        assert!(((m.pi[1] - pi_eq[1]) - want_xy).abs() < 1e-12);
     }
+}
 
-    /// Equilibrium populations are strictly positive in the admissible
-    /// velocity envelope.
-    #[test]
-    fn equilibrium_positive((rho, u) in macro_state(3)) {
+/// Equilibrium populations are strictly positive in the admissible velocity
+/// envelope.
+#[test]
+fn equilibrium_positive() {
+    for seed in 0..CASES {
+        let rng = &mut Rng::new(seed + 601);
+        let (rho, u) = macro_state(rng, 3);
         let mut f = vec![0.0; 19];
         equilibrium::<D3Q19>(rho, u, &mut f);
-        prop_assert!(f.iter().all(|&v| v > 0.0));
+        assert!(f.iter().all(|&v| v > 0.0));
     }
+}
 
-    /// Randomized cross-representation equivalence: random domain sizes,
-    /// random interior obstacles, random smooth initial fields, random τ —
-    /// MR must always match the distribution-representation reference.
-    #[test]
-    fn mr_matches_reference_on_random_scenes(
-        nx_c in 2usize..5,      // columns of width 4
-        ny in 6usize..12,
-        tau in 0.6f64..1.1,
-        seed in 0u64..10_000,
-        obstacle in proptest::bool::ANY,
-    ) {
+/// Randomized cross-representation equivalence: random domain sizes, random
+/// interior obstacles, random smooth initial fields, random τ — MR must
+/// always match the distribution-representation reference.
+#[test]
+fn mr_matches_reference_on_random_scenes() {
+    for case in 0..12u64 {
+        let rng = &mut Rng::new(case + 701);
+        let nx = rng.usize_in(2, 5) * 4; // columns of width 4
+        let ny = rng.usize_in(6, 12);
+        let tau = rng.f64_in(0.6, 1.1);
+        let seed = rng.next_u64() % 10_000;
+        let obstacle = rng.bool();
         use lbm_mr::kernels::{MrScheme, MrSim2D};
-        let nx = nx_c * 4;
         let mut geom = Geometry::walls_y_periodic_x(nx, ny);
         if obstacle && nx >= 8 && ny >= 8 {
-            geom = geom.with_cylinder(
-                (seed % (nx as u64 - 4)) as f64 + 2.0,
-                ny as f64 / 2.0,
-                1.5,
-            );
+            geom = geom.with_cylinder((seed % (nx as u64 - 4)) as f64 + 2.0, ny as f64 / 2.0, 1.5);
         }
         let s = seed as f64;
         let init = move |x: usize, y: usize, _z: usize| {
             let h = (x as f64 * 0.7 + y as f64 * 1.3 + s).sin();
-            (1.0 + 0.02 * h, [0.03 * (y as f64 * 0.8 + s).sin(), 0.02 * h, 0.0])
+            (
+                1.0 + 0.02 * h,
+                [0.03 * (y as f64 * 0.8 + s).sin(), 0.02 * h, 0.0],
+            )
         };
         let mut reference: Solver<D2Q9, _> =
             Solver::new(geom.clone(), Projective::new(tau)).with_threads(1);
         reference.init_with(init);
         let mut mr: MrSim2D<D2Q9> =
-            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), tau)
-                .with_cpu_threads(1);
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), tau).with_cpu_threads(1);
         mr.init_with(init);
         reference.run(6);
         mr.run(6);
         let (ur, um) = (reference.velocity_field(), mr.velocity_field());
         for (a, b) in ur.iter().zip(&um) {
             for k in 0..3 {
-                prop_assert!((a[k] - b[k]).abs() < 1e-12,
-                    "representations diverged: {} vs {}", a[k], b[k]);
+                assert!(
+                    (a[k] - b[k]).abs() < 1e-12,
+                    "representations diverged: {} vs {}",
+                    a[k],
+                    b[k]
+                );
             }
         }
     }
