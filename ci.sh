@@ -17,7 +17,17 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "== reproduce smoke (multi-device bitwise + exact halo ratios)"
-cargo run -p lbm-bench --release --bin reproduce -- smoke
+echo "== reproduce smoke (multi-device bitwise + exact halo ratios + observability)"
+# Smoke fails hard on physics-monitor violations (NaN, mass drift > 1e-10)
+# and on any deviation from Table 2's byte-exact traffic ideals.
+OBS_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_DIR"' EXIT
+cargo run -p lbm-bench --release --bin reproduce -- smoke \
+  "--trace=$OBS_DIR/trace.json" "--metrics=$OBS_DIR/metrics.json"
+
+echo "== validate emitted observability JSON (trace nesting, metrics, BENCH record)"
+test -s BENCH_smoke.json
+cargo run -p obs --release --bin obs-validate -- \
+  "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" BENCH_smoke.json
 
 echo "CI OK"

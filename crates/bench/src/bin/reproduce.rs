@@ -14,6 +14,7 @@ use gpu_sim::roofline::{bytes_per_flup_mr, bytes_per_flup_st, mflups_max_on};
 use gpu_sim::DeviceSpec;
 use lbm_bench::{figure_sizes, run_2d, run_3d, run_3d_q27, run_3d_q39_st, RunResult};
 use lbm_gpu::footprint::footprint_table;
+use std::sync::Arc;
 
 fn devices() -> [DeviceSpec; 2] {
     [DeviceSpec::v100(), DeviceSpec::mi100()]
@@ -745,9 +746,212 @@ fn scaling(quick: bool) {
     println!();
 }
 
-/// Minimal correctness pass for CI: the multi-device bitwise claim and the
-/// exact M/Q halo-byte ratio on tiny domains.
-fn smoke() {
+/// Assert one ideal-pattern run hit Table 2's B/F byte-exactly and its
+/// monitor saw no violations, then publish the profile into the hub and
+/// record a BENCH row.
+#[allow(clippy::too_many_arguments)]
+fn record_ideal_run(
+    hub: &Arc<obs::Obs>,
+    rec: &mut obs::BenchRecord,
+    prof: &gpu_sim::profiler::Profiler,
+    monitor: &obs::PhysicsMonitor,
+    pattern: &'static str,
+    lattice: &'static str,
+    kernel: &'static str,
+    ideal_bpf: f64,
+    bpf: f64,
+    l2_hit_rate: f64,
+    fluid_nodes: usize,
+    steps: u64,
+) {
+    let dev = DeviceSpec::v100();
+    assert!(
+        (bpf - ideal_bpf).abs() < 1e-9,
+        "{pattern}/{lattice}: measured B/F {bpf} != Table 2 ideal {ideal_bpf}"
+    );
+    assert!(
+        monitor.is_ok(),
+        "{pattern}/{lattice} monitor violations: {:?}",
+        monitor.violations()
+    );
+    assert!(
+        monitor.mass_drift() <= 1e-10,
+        "{pattern}/{lattice} mass drift {}",
+        monitor.mass_drift()
+    );
+    prof.publish(
+        &hub.metrics,
+        &[
+            ("pattern", pattern),
+            ("lattice", lattice),
+            ("device", dev.name),
+        ],
+    );
+    let per_kernel = hub
+        .metrics
+        .gauge(
+            "profile_dram_bytes_per_item",
+            &[
+                ("kernel", kernel),
+                ("pattern", pattern),
+                ("lattice", lattice),
+                ("device", dev.name),
+            ],
+        )
+        .expect("bulk kernel profile gauge");
+    assert!(
+        (per_kernel - ideal_bpf).abs() < 1e-9,
+        "{kernel} per-kernel B/item {per_kernel} != ideal {ideal_bpf}"
+    );
+    rec.push(obs::BenchRow {
+        device: dev.name.to_string(),
+        lattice: lattice.to_string(),
+        pattern: pattern.to_string(),
+        fluid_nodes: fluid_nodes as u64,
+        steps,
+        mflups_modeled: mflups_max_on(&dev, bpf),
+        dram_bytes_per_item: bpf,
+        l2_hit_rate,
+        halo_bytes_per_step: 0,
+        overlap_efficiency: 0.0,
+    });
+}
+
+/// Ideal-pattern observability runs: geometries where Table 2's B/F is
+/// byte-exact on the substrate (periodic boxes for ST, wall-bounded bench
+/// domains for MR), each traced, metered, and monitor-verified.
+fn obs_pass(hub: &Arc<obs::Obs>, rec: &mut obs::BenchRecord) {
+    use gpu_sim::profiler::Profiler;
+    use lbm_bench::{bench_geometry_2d, bench_geometry_3d, TAU};
+    use lbm_core::collision::Bgk;
+    use lbm_core::Geometry;
+    use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim};
+    use lbm_lattice::{D2Q9, D3Q19};
+    let dev = DeviceSpec::v100();
+    let cfg = obs::MonitorConfig {
+        cadence: 1,
+        ..Default::default()
+    };
+
+    {
+        let prof = Arc::new(Profiler::new());
+        let geom = Geometry::periodic_2d(32, 16);
+        let fluid = geom.fluid_count();
+        let mut sim: StSim<D2Q9, _> = StSim::new(dev.clone(), geom, Bgk::new(TAU))
+            .with_profiler(prof.clone())
+            .with_obs(hub.clone())
+            .with_monitor(cfg);
+        sim.init_with(init_2d);
+        sim.run(3);
+        let (bpf, l2) = (sim.measured_bpf(), sim.traffic().l2_hit_rate());
+        let mon = sim.monitor().unwrap();
+        record_ideal_run(
+            hub, rec, &prof, mon, "st", "D2Q9", "st-bulk", 144.0, bpf, l2, fluid, 3,
+        );
+    }
+    {
+        let prof = Arc::new(Profiler::new());
+        let geom = Geometry::periodic_3d(12, 8, 8);
+        let fluid = geom.fluid_count();
+        let mut sim: StSim<D3Q19, _> = StSim::new(dev.clone(), geom, Bgk::new(TAU))
+            .with_profiler(prof.clone())
+            .with_obs(hub.clone())
+            .with_monitor(cfg);
+        sim.init_with(init_3d);
+        sim.run(2);
+        let (bpf, l2) = (sim.measured_bpf(), sim.traffic().l2_hit_rate());
+        let mon = sim.monitor().unwrap();
+        record_ideal_run(
+            hub, rec, &prof, mon, "st", "D3Q19", "st-bulk", 304.0, bpf, l2, fluid, 2,
+        );
+    }
+    {
+        let prof = Arc::new(Profiler::new());
+        let geom = bench_geometry_2d(32, 16);
+        let fluid = geom.fluid_count();
+        let mut sim: MrSim2D<D2Q9> = MrSim2D::new(dev.clone(), geom, MrScheme::projective(), TAU)
+            .with_profiler(prof.clone())
+            .with_obs(hub.clone())
+            .with_monitor(cfg);
+        sim.init_with(init_2d);
+        sim.run(3);
+        let (bpf, l2) = (sim.measured_bpf(), sim.traffic().l2_hit_rate());
+        let mon = sim.monitor().unwrap();
+        record_ideal_run(
+            hub, rec, &prof, mon, "mr-p", "D2Q9", "mr2d-p", 96.0, bpf, l2, fluid, 3,
+        );
+    }
+    {
+        let prof = Arc::new(Profiler::new());
+        let geom = bench_geometry_3d(12, 12, 10);
+        let fluid = geom.fluid_count();
+        let mut sim: MrSim3D<D3Q19> = MrSim3D::new(dev.clone(), geom, MrScheme::projective(), TAU)
+            .with_profiler(prof.clone())
+            .with_obs(hub.clone())
+            .with_monitor(cfg);
+        sim.init_with(init_3d);
+        sim.run(2);
+        let (bpf, l2) = (sim.measured_bpf(), sim.traffic().l2_hit_rate());
+        let mon = sim.monitor().unwrap();
+        record_ideal_run(
+            hub, rec, &prof, mon, "mr-p", "D3Q19", "mr3d-p", 160.0, bpf, l2, fluid, 2,
+        );
+    }
+}
+
+/// Wall-clock cost of the physics monitor at its default cadence, as a
+/// fraction of the unmonitored run (best-of-3 each way).
+fn monitor_overhead() -> f64 {
+    use lbm_core::collision::Bgk;
+    use lbm_gpu::StSim;
+    use lbm_lattice::D2Q9;
+    let geom = lbm_core::Geometry::periodic_2d(96, 48);
+    let time = |monitored: bool| -> f64 {
+        (0..3)
+            .map(|_| {
+                let mut sim: StSim<D2Q9, _> =
+                    StSim::new(DeviceSpec::v100(), geom.clone(), Bgk::new(lbm_bench::TAU));
+                if monitored {
+                    sim = sim.with_monitor(obs::MonitorConfig::default());
+                }
+                sim.init_with(init_2d);
+                let t0 = std::time::Instant::now();
+                sim.run(32);
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let plain = time(false);
+    let monitored = time(true);
+    ((monitored - plain) / plain).max(0.0)
+}
+
+/// A multi-device ScaleRow as a BENCH row (halo traffic + overlap columns).
+fn scale_to_bench(r: &ScaleRow, lattice: &str, fluid: usize, steps: usize) -> obs::BenchRow {
+    let bpf = match (lattice, r.repr) {
+        ("D2Q9", "ST") => 144.0,
+        ("D2Q9", _) => 96.0,
+        (_, "ST") => 304.0,
+        _ => 160.0,
+    };
+    obs::BenchRow {
+        device: "NVIDIA V100".to_string(),
+        lattice: lattice.to_string(),
+        pattern: r.repr.to_lowercase(),
+        fluid_nodes: fluid as u64,
+        steps: steps as u64,
+        mflups_modeled: r.mflups,
+        dram_bytes_per_item: bpf,
+        l2_hit_rate: 0.0,
+        halo_bytes_per_step: r.halo_per_step,
+        overlap_efficiency: r.efficiency,
+    }
+}
+
+/// Minimal correctness pass for CI: the multi-device bitwise claim, the
+/// exact M/Q halo-byte ratio, Table 2's B/F byte-exact through the metrics
+/// registry, and monitor-verified conservation — all on tiny domains.
+fn smoke(hub: &Arc<obs::Obs>) {
     let steps = 3;
     let g2 = lbm_core::Geometry::walls_y_periodic_x(16, 8);
     let rows: Vec<ScaleRow> = [1usize, 2]
@@ -768,12 +972,117 @@ fn smoke() {
             r.repr, r.n
         );
     }
+
+    // Observability: byte-exact B/F through tracer + metrics + monitors.
+    let mut rec = obs::BenchRecord::new("smoke");
+    obs_pass(hub, &mut rec);
+
+    // One sharded run with the hub attached so the trace nests
+    // step → kernel spans alongside halo-exchange spans.
+    {
+        use lbm_core::collision::Projective;
+        use lbm_lattice::D2Q9;
+        use lbm_multi::MultiStSim;
+        let mut multi: MultiStSim<D2Q9, _> = MultiStSim::new(
+            DeviceSpec::v100(),
+            g2.clone(),
+            Projective::new(lbm_bench::TAU),
+            2,
+        )
+        .with_obs(hub.clone())
+        .with_monitor(obs::MonitorConfig {
+            cadence: 1,
+            ..Default::default()
+        });
+        multi.init_with(init_2d);
+        multi.run(steps);
+        let mon = multi.monitor().unwrap();
+        assert!(mon.is_ok(), "sharded monitor: {:?}", mon.violations());
+        assert!(mon.mass_drift() <= 1e-10);
+    }
+    for r in rows.iter().filter(|r| r.n == 2) {
+        rec.push(scale_to_bench(r, "D2Q9", g2.fluid_count(), steps));
+    }
+    for r in rows3.iter().filter(|r| r.n == 2) {
+        rec.push(scale_to_bench(r, "D3Q19", g3.fluid_count(), steps));
+    }
+
+    let overhead = monitor_overhead();
+    rec.set_extra("monitor_overhead_frac", obs::json::Value::num(overhead));
+    rec.set_extra("mass_drift_tol", obs::json::Value::num(1e-10));
+    assert!(
+        overhead <= 0.05,
+        "monitor overhead {:.1}% exceeds 5% at the default cadence",
+        overhead * 100.0
+    );
+    let path = rec.write(".").expect("write BENCH_smoke.json");
     println!("smoke OK: multi-device runs bitwise-match single device; halo ratios exact");
+    println!("smoke OK: Table 2 B/F byte-exact through the metrics registry (144/304/96/160);");
+    println!(
+        "          monitors clean (drift <= 1e-10), overhead {:.2}% at cadence 16; wrote {path}",
+        overhead * 100.0
+    );
+}
+
+/// Machine-readable perf records: every headline number as a BENCH row —
+/// byte-exact traffic ideals, the measured sweep on both devices, the
+/// multi-device halo/overlap measurements, and the monitor's cost.
+fn bench_record(quick: bool, results: &[RunResult], hub: &Arc<obs::Obs>) {
+    println!("== bench-record: machine-readable perf records ======================");
+    let mut rec = obs::BenchRecord::new("bench-record");
+    obs_pass(hub, &mut rec);
+
+    let n = 16_000_000;
+    for dev in devices() {
+        for r in results {
+            rec.push(obs::BenchRow {
+                device: dev.name.to_string(),
+                lattice: r.lattice.to_string(),
+                pattern: r.pattern.label().to_lowercase(),
+                fluid_nodes: r.fluid_nodes as u64,
+                steps: r.steps as u64,
+                mflups_modeled: r.modeled_mflups(&dev, n),
+                dram_bytes_per_item: r.measured_bpf,
+                l2_hit_rate: 0.0,
+                halo_bytes_per_step: 0,
+                overlap_efficiency: 0.0,
+            });
+        }
+    }
+
+    let steps = if quick { 3 } else { 6 };
+    let g2 = lbm_core::Geometry::walls_y_periodic_x(32, 16);
+    for row in scale_2d(&g2, 2, steps) {
+        rec.push(scale_to_bench(&row, "D2Q9", g2.fluid_count(), steps));
+    }
+    let g3 = duct_3d(12, 8, 8);
+    for row in scale_3d(&g3, 2, steps) {
+        rec.push(scale_to_bench(&row, "D3Q19", g3.fluid_count(), steps));
+    }
+
+    let overhead = monitor_overhead();
+    rec.set_extra("monitor_overhead_frac", obs::json::Value::num(overhead));
+    let path = rec.write(".").expect("write BENCH record");
+    println!(
+        "wrote {path}: {} rows, monitor overhead {:.2}% at the default cadence",
+        rec.rows().len(),
+        overhead * 100.0
+    );
+    println!();
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let trace_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--trace="))
+        .map(String::from);
+    let metrics_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--metrics="))
+        .map(String::from);
+    let hub = obs::Obs::shared();
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -782,7 +1091,7 @@ fn main() {
 
     let needs_measure = matches!(
         what.as_str(),
-        "all" | "table2" | "figure2" | "figure3" | "speedups"
+        "all" | "table2" | "figure2" | "figure3" | "speedups" | "bench-record"
     );
     let results = if needs_measure {
         eprintln!("measuring B/F on the substrate (this runs real kernels)...");
@@ -804,7 +1113,8 @@ fn main() {
         "profile" => profile(quick),
         "futurework" => future_work(quick),
         "scaling" => scaling(quick),
-        "smoke" => smoke(),
+        "smoke" => smoke(&hub),
+        "bench-record" => bench_record(quick, &results, &hub),
         "all" => {
             table1();
             table2(&results);
@@ -818,13 +1128,23 @@ fn main() {
             profile(quick);
             future_work(quick);
             scaling(quick);
+            bench_record(quick, &results, &hub);
             let [v, _] = devices();
             debug_assert!(bandwidth_fraction(&v, Pattern::Standard, 2) > 0.0);
         }
         other => {
             eprintln!("unknown section '{other}'");
-            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|all] [--quick]");
+            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|bench-record|all] [--quick] [--trace=<path>] [--metrics=<path>]");
             std::process::exit(2);
         }
+    }
+
+    if let Some(p) = &trace_path {
+        hub.tracer.write_chrome_json(p).expect("write trace JSON");
+        eprintln!("wrote Chrome trace to {p} (load in chrome://tracing or Perfetto)");
+    }
+    if let Some(p) = &metrics_path {
+        hub.metrics.write_json(p).expect("write metrics JSON");
+        eprintln!("wrote metrics to {p}");
     }
 }

@@ -21,7 +21,9 @@
 use crate::device::DeviceSpec;
 use crate::memory::{GlobalBuffer, Tally};
 use crate::racecheck::Epoch;
+use obs::Obs;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Launch configuration: grid size, block size, and per-block memory.
 #[derive(Copy, Clone, Debug)]
@@ -157,6 +159,7 @@ pub struct Gpu {
     pub device: DeviceSpec,
     cpu_threads: usize,
     launch_counter: AtomicU32,
+    obs: Option<Arc<Obs>>,
 }
 
 /// Pointer wrapper for disjoint parallel access to the per-block contexts.
@@ -174,6 +177,7 @@ impl Gpu {
             device,
             cpu_threads: cpu,
             launch_counter: AtomicU32::new(0),
+            obs: None,
         }
     }
 
@@ -181,6 +185,24 @@ impl Gpu {
     pub fn with_cpu_threads(mut self, n: usize) -> Self {
         self.cpu_threads = n.max(1);
         self
+    }
+
+    /// Attach an observability hub (builder style): every launch then emits
+    /// a kernel span (with per-phase child spans for lockstep kernels) into
+    /// the tracer and publishes its traffic into the metrics registry.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attach or replace the observability hub after construction.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability hub, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
     }
 
     fn validate(&self, cfg: &Launch) {
@@ -239,7 +261,27 @@ impl Gpu {
 
         let phases = kernel.phases();
         let workers = self.cpu_threads.min(cfg.blocks).max(1);
+        let _kernel_span = self.obs.as_ref().map(|o| {
+            o.tracer.span_args(
+                "kernel",
+                kernel.name(),
+                &[
+                    ("device", self.device.name.to_string()),
+                    ("blocks", cfg.blocks.to_string()),
+                    ("threads_per_block", cfg.threads_per_block.to_string()),
+                    ("phases", phases.to_string()),
+                ],
+            )
+        });
         for phase in 0..phases {
+            let _phase_span = match (&self.obs, phases > 1) {
+                (Some(o), true) => Some(o.tracer.span_args(
+                    "phase",
+                    "phase",
+                    &[("i", phase.to_string())],
+                )),
+                _ => None,
+            };
             let ptr = CtxPtr(ctxs.as_mut_ptr());
             if workers == 1 {
                 for ctx in ctxs.iter_mut() {
@@ -270,19 +312,38 @@ impl Gpu {
                     }
                 });
             }
+            // The grid-wide barrier is the scope join above; mark it so the
+            // lockstep cadence is visible in the trace.
+            if let (Some(o), true) = (&self.obs, phases > 1) {
+                o.tracer
+                    .instant("exec", "barrier", &[("after_phase", phase.to_string())]);
+            }
         }
 
         let mut tally = Tally::default();
         for ctx in &ctxs {
             tally.merge(&ctx.tally);
         }
-        LaunchStats {
+        let stats = LaunchStats {
             kernel: kernel.name().to_string(),
             blocks: cfg.blocks,
             threads_per_block: cfg.threads_per_block,
             phases,
             tally,
+        };
+        if let Some(o) = &self.obs {
+            let labels = [
+                ("kernel", stats.kernel.as_str()),
+                ("device", self.device.name),
+            ];
+            let m = &o.metrics;
+            m.counter_add("launches", &labels, 1);
+            m.counter_add("bytes_read", &labels, stats.tally.bytes_read);
+            m.counter_add("bytes_written", &labels, stats.tally.bytes_written);
+            m.counter_add("dram_bytes_read", &labels, stats.tally.dram_bytes_read);
+            m.counter_add("l2_read_hits", &labels, stats.tally.l2_read_hits);
         }
+        stats
     }
 }
 
@@ -424,6 +485,35 @@ mod tests {
             let next = (b + 1) % blocks;
             assert_eq!(out.get(b), (next * next) as f64);
         }
+    }
+
+    #[test]
+    fn obs_records_kernel_spans_and_launch_metrics() {
+        let obs = obs::Obs::shared();
+        let out: GlobalBuffer<f64> = GlobalBuffer::new(6);
+        let gpu = Gpu::new(DeviceSpec::v100())
+            .with_cpu_threads(2)
+            .with_obs(obs.clone());
+        let cfg = Launch {
+            blocks: 6,
+            threads_per_block: 32,
+            shared_doubles: 0,
+            scratch_doubles: 1,
+        };
+        gpu.launch_lockstep(&cfg, &PhaseProbe { out: &out });
+        // One kernel span + 3 phase spans (B/E each) + 3 barrier instants.
+        let ev = obs.tracer.events();
+        assert_eq!(ev.len(), 2 + 3 * 2 + 3);
+        assert_eq!(ev[0].name, "phase_probe");
+        assert_eq!(ev[0].cat, "kernel");
+        assert!(ev.iter().filter(|e| e.ph == 'i').count() == 3);
+        let labels = [("kernel", "phase_probe"), ("device", "NVIDIA V100")];
+        assert_eq!(obs.metrics.counter("launches", &labels), Some(1));
+        assert_eq!(
+            obs.metrics.counter("bytes_written", &labels),
+            Some(6 * 8),
+            "6 blocks each write one f64"
+        );
     }
 
     #[test]

@@ -149,6 +149,7 @@ pub struct MultiGpu {
     spec: DeviceSpec,
     link_spec: LinkSpec,
     profiler: Option<Arc<Profiler>>,
+    obs: Option<Arc<obs::Obs>>,
 }
 
 impl MultiGpu {
@@ -172,6 +173,7 @@ impl MultiGpu {
             spec,
             link_spec,
             profiler: None,
+            obs: None,
         }
     }
 
@@ -189,6 +191,22 @@ impl MultiGpu {
     pub fn with_profiler(mut self, p: Arc<Profiler>) -> Self {
         self.profiler = Some(p);
         self
+    }
+
+    /// Attach one observability hub to every device and to the link layer:
+    /// kernel launches on any device trace/publish into it, and each
+    /// transfer adds to per-link byte/transfer counters.
+    pub fn with_obs(mut self, obs: Arc<obs::Obs>) -> Self {
+        for g in &mut self.devices {
+            g.set_obs(obs.clone());
+        }
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability hub, if any.
+    pub fn obs(&self) -> Option<&Arc<obs::Obs>> {
+        self.obs.as_ref()
     }
 
     pub fn num_devices(&self) -> usize {
@@ -224,8 +242,14 @@ impl MultiGpu {
             .link_between(from, to)
             .unwrap_or_else(|| panic!("no link between devices {from} and {to}"));
         link.record(from, bytes);
+        let name = format!("{}[{from}->{to}]", link.spec.name);
         if let Some(p) = &self.profiler {
-            p.record_link(&format!("{}[{from}->{to}]", link.spec.name), bytes, 1);
+            p.record_link(&name, bytes, 1);
+        }
+        if let Some(o) = &self.obs {
+            let labels = [("link", name.as_str())];
+            o.metrics.counter_add("link_transfer_bytes", &labels, bytes);
+            o.metrics.counter_add("link_transfer_count", &labels, 1);
         }
     }
 
@@ -312,6 +336,23 @@ mod tests {
         let l = mg.link_between(0, 1).unwrap();
         let e = l.exchange_time_s(150_000_000, 75_000_000);
         assert!((e - t).abs() < 1e-15);
+    }
+
+    #[test]
+    fn obs_sees_link_traffic_and_device_launches() {
+        let obs = obs::Obs::shared();
+        let mg = MultiGpu::ring(DeviceSpec::v100(), 2).with_obs(obs.clone());
+        mg.record_transfer(0, 1, 4096);
+        mg.record_transfer(0, 1, 4096);
+        let labels = [("link", "NVLink2[0->1]")];
+        assert_eq!(
+            obs.metrics.counter("link_transfer_bytes", &labels),
+            Some(8192)
+        );
+        assert_eq!(obs.metrics.counter("link_transfer_count", &labels), Some(2));
+        // Devices inherit the hub.
+        assert!(mg.device(0).obs().is_some());
+        assert!(mg.device(1).obs().is_some());
     }
 
     #[test]

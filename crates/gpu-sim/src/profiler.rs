@@ -60,11 +60,80 @@ impl Profiler {
 
     /// Record a launch and the number of logical work items it performed.
     pub fn record(&self, stats: &LaunchStats, work_items: u64) {
+        debug_assert!(
+            work_items > 0,
+            "kernel '{}' recorded with zero work items — per-item columns \
+             would be undefined; attribute the launch to its fluid-node count",
+            stats.kernel
+        );
         let mut map = self.profiles.lock().unwrap();
         let p = map.entry(stats.kernel.clone()).or_default();
         p.launches += 1;
         p.tally.merge(&stats.tally);
         p.work_items += work_items;
+    }
+
+    /// Clear all kernel and link profiles, keeping the instance shared (the
+    /// `Arc` handles in drivers stay valid across e.g. warmup/measure
+    /// boundaries).
+    pub fn reset(&self) {
+        self.profiles.lock().unwrap().clear();
+        self.links.lock().unwrap().clear();
+    }
+
+    /// Fold another profiler's accumulations into this one (same-named
+    /// kernels and links merge; disjoint names concatenate). Used to combine
+    /// per-run or per-shard profilers into one report.
+    pub fn merge(&self, other: &Profiler) {
+        {
+            let theirs = other.profiles.lock().unwrap();
+            let mut ours = self.profiles.lock().unwrap();
+            for (name, p) in theirs.iter() {
+                let dst = ours.entry(name.clone()).or_default();
+                dst.launches += p.launches;
+                dst.tally.merge(&p.tally);
+                dst.work_items += p.work_items;
+            }
+        }
+        let theirs = other.links.lock().unwrap();
+        let mut ours = self.links.lock().unwrap();
+        for (name, l) in theirs.iter() {
+            let dst = ours.entry(name.clone()).or_default();
+            dst.transfers += l.transfers;
+            dst.bytes += l.bytes;
+        }
+    }
+
+    /// Publish every kernel and link profile into a metrics registry,
+    /// labeling each series with the kernel/link name plus `extra_labels`
+    /// (typically `pattern`/`lattice`/`device`). Gauges carry the derived
+    /// per-item quantities; counters the raw byte tallies.
+    pub fn publish(&self, reg: &obs::MetricsRegistry, extra_labels: &[(&str, &str)]) {
+        let map = self.profiles.lock().unwrap();
+        for (name, p) in map.iter() {
+            let mut labels: Vec<(&str, &str)> = vec![("kernel", name.as_str())];
+            labels.extend_from_slice(extra_labels);
+            reg.counter_add("profile_launches", &labels, p.launches);
+            reg.counter_add("profile_bytes_read", &labels, p.tally.bytes_read);
+            reg.counter_add("profile_bytes_written", &labels, p.tally.bytes_written);
+            reg.counter_add("profile_dram_bytes_read", &labels, p.tally.dram_bytes_read);
+            reg.counter_add("profile_l2_read_hits", &labels, p.tally.l2_read_hits);
+            reg.gauge_set("profile_l2_hit_rate", &labels, p.tally.l2_hit_rate());
+            reg.gauge_set("profile_bytes_per_item", &labels, p.bytes_per_item());
+            reg.gauge_set(
+                "profile_dram_bytes_per_item",
+                &labels,
+                p.dram_bytes_per_item(),
+            );
+        }
+        drop(map);
+        let links = self.links.lock().unwrap();
+        for (name, l) in links.iter() {
+            let mut labels: Vec<(&str, &str)> = vec![("link", name.as_str())];
+            labels.extend_from_slice(extra_labels);
+            reg.counter_add("link_bytes", &labels, l.bytes);
+            reg.counter_add("link_transfers", &labels, l.transfers);
+        }
     }
 
     /// Record an interconnect transfer on a named link direction (the
@@ -96,17 +165,27 @@ impl Profiler {
             "{:<24} {:>8} {:>14} {:>14} {:>8} {:>10} {:>12}",
             "kernel", "launches", "bytes read", "bytes written", "L2 hit", "B/item", "DRAM B/item"
         );
+        // Zero work items would render the per-item columns as NaN; print a
+        // dash instead (record() debug-asserts against it, but release-built
+        // reports must still be readable).
+        let per_item = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                "-".to_string()
+            }
+        };
         for (name, p) in map.iter() {
             let _ = writeln!(
                 out,
-                "{:<24} {:>8} {:>14} {:>14} {:>7.1}% {:>10.1} {:>12.1}",
+                "{:<24} {:>8} {:>14} {:>14} {:>7.1}% {:>10} {:>12}",
                 name,
                 p.launches,
                 p.tally.bytes_read,
                 p.tally.bytes_written,
                 100.0 * p.tally.l2_hit_rate(),
-                p.bytes_per_item(),
-                p.dram_bytes_per_item()
+                per_item(p.bytes_per_item()),
+                per_item(p.dram_bytes_per_item())
             );
         }
         drop(map);
@@ -118,17 +197,15 @@ impl Profiler {
                 "link", "xfers", "bytes", "B/xfer"
             );
             for (name, l) in links.iter() {
+                let b_per_xfer = if l.transfers == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", l.bytes as f64 / l.transfers as f64)
+                };
                 let _ = writeln!(
                     out,
-                    "{:<24} {:>8} {:>14} {:>14.1}",
-                    name,
-                    l.transfers,
-                    l.bytes,
-                    if l.transfers == 0 {
-                        f64::NAN
-                    } else {
-                        l.bytes as f64 / l.transfers as f64
-                    }
+                    "{:<24} {:>8} {:>14} {:>14}",
+                    name, l.transfers, l.bytes, b_per_xfer
                 );
             }
         }
@@ -196,6 +273,76 @@ mod tests {
         assert!(r.contains("alpha"));
         assert!(r.contains("beta"));
         assert!(r.lines().count() >= 3);
+    }
+
+    #[test]
+    fn reset_clears_kernels_and_links() {
+        let p = Profiler::new();
+        p.record(&stats("k", 800, 800), 10);
+        p.record_link("L[0->1]", 4096, 1);
+        p.reset();
+        assert!(p.get("k").is_none());
+        assert!(p.get_link("L[0->1]").is_none());
+        // Still usable after reset.
+        p.record(&stats("k", 80, 80), 1);
+        assert_eq!(p.get("k").unwrap().launches, 1);
+    }
+
+    #[test]
+    fn merge_folds_kernels_and_links() {
+        let a = Profiler::new();
+        a.record(&stats("k", 800, 800), 10);
+        a.record_link("L[0->1]", 100, 1);
+        let b = Profiler::new();
+        b.record(&stats("k", 800, 800), 10);
+        b.record(&stats("other", 80, 80), 1);
+        b.record_link("L[0->1]", 50, 1);
+        a.merge(&b);
+        let k = a.get("k").unwrap();
+        assert_eq!(k.launches, 2);
+        assert_eq!(k.work_items, 20);
+        assert_eq!(k.tally.bytes_read, 1600);
+        assert_eq!(a.get("other").unwrap().launches, 1);
+        let l = a.get_link("L[0->1]").unwrap();
+        assert_eq!(l.bytes, 150);
+        assert_eq!(l.transfers, 2);
+    }
+
+    #[test]
+    fn report_renders_dash_for_zero_transfer_links() {
+        let p = Profiler::new();
+        p.record(&stats("k", 800, 800), 10);
+        p.record_link("idle-link", 0, 0);
+        let r = p.report();
+        let idle_row = r.lines().find(|l| l.contains("idle-link")).unwrap();
+        assert!(idle_row.trim_end().ends_with('-'), "{idle_row:?}");
+        assert!(!r.contains("NaN"), "{r}");
+    }
+
+    #[test]
+    fn publish_exports_labeled_series() {
+        let p = Profiler::new();
+        p.record(&stats("mr2d-p", 960, 0), 10);
+        p.record_link("NVLink2[0->1]", 4096, 2);
+        let reg = obs::MetricsRegistry::new();
+        p.publish(&reg, &[("lattice", "D2Q9"), ("device", "V100")]);
+        let labels = [
+            ("kernel", "mr2d-p"),
+            ("lattice", "D2Q9"),
+            ("device", "V100"),
+        ];
+        assert_eq!(reg.counter("profile_launches", &labels), Some(1));
+        assert_eq!(
+            reg.gauge("profile_dram_bytes_per_item", &labels),
+            Some(96.0)
+        );
+        let link_labels = [
+            ("link", "NVLink2[0->1]"),
+            ("lattice", "D2Q9"),
+            ("device", "V100"),
+        ];
+        assert_eq!(reg.counter("link_bytes", &link_labels), Some(4096));
+        assert_eq!(reg.counter("link_transfers", &link_labels), Some(2));
     }
 
     #[test]

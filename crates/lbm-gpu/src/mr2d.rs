@@ -314,6 +314,8 @@ pub struct MrSim2D<L: Lattice> {
     t: u64,
     accum: Tally,
     profiler: Option<std::sync::Arc<gpu_sim::profiler::Profiler>>,
+    obs: Option<std::sync::Arc<obs::Obs>>,
+    monitor: Option<obs::PhysicsMonitor>,
     _l: PhantomData<L>,
 }
 
@@ -385,6 +387,8 @@ impl<L: Lattice> MrSim2D<L> {
             t: 0,
             accum: Tally::default(),
             profiler: None,
+            obs: None,
+            monitor: None,
             _l: PhantomData,
         };
         sim.init_with(|_, _, _| (1.0, [0.0; 3]));
@@ -402,6 +406,27 @@ impl<L: Lattice> MrSim2D<L> {
     pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
         self.profiler = Some(p);
         self
+    }
+
+    /// Attach an observability hub: the driver emits a `step` span per
+    /// timestep and the device nests kernel/phase spans and publishes
+    /// launch metrics under it.
+    pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.gpu.set_obs(obs.clone());
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attach a physics monitor sampling the macroscopic fields every
+    /// `cfg.cadence` steps (mass/momentum/max-|u|/NaN guards).
+    pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
+        self.monitor = Some(obs::PhysicsMonitor::new(cfg));
+        self
+    }
+
+    /// The attached physics monitor, if any.
+    pub fn monitor(&self) -> Option<&obs::PhysicsMonitor> {
+        self.monitor.as_ref()
     }
 
     /// Enable strict race checking on the moment lattice (tests). Must be
@@ -474,6 +499,11 @@ impl<L: Lattice> MrSim2D<L> {
     /// Advance one timestep: the lockstep column kernel, then the boundary
     /// kernel.
     pub fn step(&mut self) {
+        let obs = self.obs.clone();
+        let _step_span = obs.as_ref().map(|o| {
+            o.tracer
+                .span_args("driver", "step", &[("t", self.t.to_string())])
+        });
         let cols: Vec<usize> = (0..self.geom.nx / self.col_w)
             .map(|b| b * self.col_w)
             .collect();
@@ -520,6 +550,33 @@ impl<L: Lattice> MrSim2D<L> {
         self.t += 1;
         if self.mom2.is_some() {
             self.cur ^= 1;
+        }
+        self.sample_monitor();
+    }
+
+    /// Cadence-gated monitor sampling: field extraction only happens on
+    /// sampling steps.
+    fn sample_monitor(&mut self) {
+        if !self.monitor.as_ref().is_some_and(|m| m.due(self.t)) {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().observe(self.t, &rho, &u);
+        if let Some(o) = &self.obs {
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", "mr2d")], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", "mr2d")], s.max_u);
+            if s.nonfinite > 0 {
+                o.tracer.instant(
+                    "monitor",
+                    "nonfinite",
+                    &[
+                        ("step", s.step.to_string()),
+                        ("count", s.nonfinite.to_string()),
+                    ],
+                );
+            }
         }
     }
 
@@ -573,28 +630,31 @@ impl<L: Lattice> MrSim2D<L> {
             .get_moments::<L>(self.t, self.geom.idx(x, y, z))
     }
 
-    /// Velocity field (solid nodes report zero).
-    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+    /// Density and velocity fields in one pass over the moment lattice
+    /// (solid nodes report zero). This is what the physics monitor samples.
+    pub fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
         let n = self.geom.len();
-        let mut out = vec![[0.0; 3]; n];
+        let lat = self.current_lattice();
+        let mut rho_out = vec![0.0; n];
+        let mut u_out = vec![[0.0; 3]; n];
         for idx in 0..n {
             if self.geom.node_at(idx).is_fluid_like() {
-                out[idx] = self.current_lattice().get_moments::<L>(self.t, idx).u;
+                let m = lat.get_moments::<L>(self.t, idx);
+                rho_out[idx] = m.rho;
+                u_out[idx] = m.u;
             }
         }
-        out
+        (rho_out, u_out)
+    }
+
+    /// Velocity field (solid nodes report zero).
+    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+        self.macro_fields().1
     }
 
     /// Density field (solid nodes report zero).
     pub fn density_field(&self) -> Vec<f64> {
-        let n = self.geom.len();
-        let mut out = vec![0.0; n];
-        for idx in 0..n {
-            if self.geom.node_at(idx).is_fluid_like() {
-                out[idx] = self.current_lattice().get_moments::<L>(self.t, idx).rho;
-            }
-        }
-        out
+        self.macro_fields().0
     }
 }
 
@@ -848,6 +908,39 @@ mod tests {
         assert!(double.footprint_bytes() >= 2 * 6 * 16 * 8 * 8);
         // Same traffic either way.
         assert!((single.measured_bpf() - double.measured_bpf()).abs() < 1e-9);
+    }
+
+    /// Obs integration: step spans nest the lockstep column kernel's phase
+    /// spans, and the monitor confirms conservation on the closed channel.
+    #[test]
+    fn obs_and_monitor_wire_through() {
+        let obs = obs::Obs::shared();
+        let geom = Geometry::walls_y_periodic_x(16, 8);
+        let mut mr: MrSim2D<D2Q9> =
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8)
+                .with_cpu_threads(2)
+                .with_obs(obs.clone())
+                .with_monitor(obs::MonitorConfig {
+                    cadence: 4,
+                    ..Default::default()
+                });
+        mr.init_with(|x, y, _| (1.0 + 0.01 * ((x + y) as f64).sin(), [0.0; 3]));
+        mr.run(8);
+        let ev = obs.tracer.events();
+        assert_eq!(
+            ev.iter()
+                .filter(|e| e.ph == 'B' && e.name == "step")
+                .count(),
+            8
+        );
+        // The column kernel is lockstep (phases > 1) → phase spans nested
+        // inside its kernel span, and barrier instants between phases.
+        assert!(ev.iter().any(|e| e.cat == "phase"));
+        assert!(ev.iter().any(|e| e.ph == 'i' && e.name == "barrier"));
+        let m = mr.monitor().unwrap();
+        assert_eq!(m.samples().len(), 2); // steps 4 and 8
+        assert!(m.is_ok(), "{:?}", m.violations());
+        assert!(m.mass_drift() <= 1e-10);
     }
 
     /// Mass conservation on the periodic-x channel.

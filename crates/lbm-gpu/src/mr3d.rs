@@ -228,6 +228,8 @@ pub struct MrSim3D<L: Lattice> {
     t: u64,
     accum: Tally,
     profiler: Option<std::sync::Arc<gpu_sim::profiler::Profiler>>,
+    obs: Option<std::sync::Arc<obs::Obs>>,
+    monitor: Option<obs::PhysicsMonitor>,
     _l: PhantomData<L>,
 }
 
@@ -307,6 +309,8 @@ impl<L: Lattice> MrSim3D<L> {
             t: 0,
             accum: Tally::default(),
             profiler: None,
+            obs: None,
+            monitor: None,
             _l: PhantomData,
         };
         sim.init_with(|_, _, _| (1.0, [0.0; 3]));
@@ -324,6 +328,27 @@ impl<L: Lattice> MrSim3D<L> {
     pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
         self.profiler = Some(p);
         self
+    }
+
+    /// Attach an observability hub: the driver emits a `step` span per
+    /// timestep and the device nests kernel/phase spans and publishes
+    /// launch metrics under it.
+    pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.gpu.set_obs(obs.clone());
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attach a physics monitor sampling the macroscopic fields every
+    /// `cfg.cadence` steps (mass/momentum/max-|u|/NaN guards).
+    pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
+        self.monitor = Some(obs::PhysicsMonitor::new(cfg));
+        self
+    }
+
+    /// The attached physics monitor, if any.
+    pub fn monitor(&self) -> Option<&obs::PhysicsMonitor> {
+        self.monitor.as_ref()
     }
 
     /// Enable strict race checking on the moment lattice (tests).
@@ -357,6 +382,11 @@ impl<L: Lattice> MrSim3D<L> {
 
     /// Advance one timestep.
     pub fn step(&mut self) {
+        let obs = self.obs.clone();
+        let _step_span = obs.as_ref().map(|o| {
+            o.tracer
+                .span_args("driver", "step", &[("t", self.t.to_string())])
+        });
         let cols_x = self.geom.nx / self.wx;
         let blocks = cols_x * (self.geom.ny / self.wy);
         let cols: Vec<(usize, usize)> = (0..blocks)
@@ -400,6 +430,33 @@ impl<L: Lattice> MrSim3D<L> {
         }
 
         self.t += 1;
+        self.sample_monitor();
+    }
+
+    /// Cadence-gated monitor sampling: field extraction only happens on
+    /// sampling steps.
+    fn sample_monitor(&mut self) {
+        if !self.monitor.as_ref().is_some_and(|m| m.due(self.t)) {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().observe(self.t, &rho, &u);
+        if let Some(o) = &self.obs {
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", "mr3d")], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", "mr3d")], s.max_u);
+            if s.nonfinite > 0 {
+                o.tracer.instant(
+                    "monitor",
+                    "nonfinite",
+                    &[
+                        ("step", s.step.to_string()),
+                        ("count", s.nonfinite.to_string()),
+                    ],
+                );
+            }
+        }
     }
 
     /// Advance `steps` timesteps.
@@ -445,28 +502,30 @@ impl<L: Lattice> MrSim3D<L> {
         self.mom.get_moments::<L>(self.t, self.geom.idx(x, y, z))
     }
 
-    /// Velocity field (solid nodes report zero).
-    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+    /// Density and velocity fields in one pass over the moment lattice
+    /// (solid nodes report zero). This is what the physics monitor samples.
+    pub fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
         let n = self.geom.len();
-        let mut out = vec![[0.0; 3]; n];
+        let mut rho_out = vec![0.0; n];
+        let mut u_out = vec![[0.0; 3]; n];
         for idx in 0..n {
             if self.geom.node_at(idx).is_fluid_like() {
-                out[idx] = self.mom.get_moments::<L>(self.t, idx).u;
+                let m = self.mom.get_moments::<L>(self.t, idx);
+                rho_out[idx] = m.rho;
+                u_out[idx] = m.u;
             }
         }
-        out
+        (rho_out, u_out)
+    }
+
+    /// Velocity field (solid nodes report zero).
+    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+        self.macro_fields().1
     }
 
     /// Density field (solid nodes report zero).
     pub fn density_field(&self) -> Vec<f64> {
-        let n = self.geom.len();
-        let mut out = vec![0.0; n];
-        for idx in 0..n {
-            if self.geom.node_at(idx).is_fluid_like() {
-                out[idx] = self.mom.get_moments::<L>(self.t, idx).rho;
-            }
-        }
-        out
+        self.macro_fields().0
     }
 }
 

@@ -332,6 +332,8 @@ pub struct StSim<L: Lattice, C: Collision<L>> {
     steps: u64,
     accum: Tally,
     profiler: Option<std::sync::Arc<gpu_sim::profiler::Profiler>>,
+    obs: Option<std::sync::Arc<obs::Obs>>,
+    monitor: Option<obs::PhysicsMonitor>,
     _l: PhantomData<L>,
 }
 
@@ -362,6 +364,8 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
             steps: 0,
             accum: Tally::default(),
             profiler: None,
+            obs: None,
+            monitor: None,
             _l: PhantomData,
         };
         sim.init_with(|_, _, _| (1.0, [0.0; 3]));
@@ -379,6 +383,27 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
     pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
         self.profiler = Some(p);
         self
+    }
+
+    /// Attach an observability hub: the driver emits a `step` span per
+    /// timestep and the device nests kernel spans and publishes launch
+    /// metrics under it.
+    pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.gpu.set_obs(obs.clone());
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attach a physics monitor sampling the macroscopic fields every
+    /// `cfg.cadence` steps (mass/momentum/max-|u|/NaN guards).
+    pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
+        self.monitor = Some(obs::PhysicsMonitor::new(cfg));
+        self
+    }
+
+    /// The attached physics monitor, if any.
+    pub fn monitor(&self) -> Option<&obs::PhysicsMonitor> {
+        self.monitor.as_ref()
     }
 
     /// Set the thread-block size of the bulk kernel.
@@ -432,6 +457,11 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
 
     /// Advance one timestep (bulk launch + boundary launch).
     pub fn step(&mut self) {
+        let obs = self.obs.clone();
+        let _step_span = obs.as_ref().map(|o| {
+            o.tracer
+                .span_args("driver", "step", &[("t", self.steps.to_string())])
+        });
         let n = self.geom.len();
         let (src, dst) = (&self.f[self.cur], &self.f[self.cur ^ 1]);
         let blocks = n.div_ceil(self.block_size);
@@ -485,6 +515,33 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
 
         self.cur ^= 1;
         self.steps += 1;
+        self.sample_monitor();
+    }
+
+    /// Cadence-gated monitor sampling: field extraction (the expensive
+    /// part) only happens on sampling steps.
+    fn sample_monitor(&mut self) {
+        if !self.monitor.as_ref().is_some_and(|m| m.due(self.steps)) {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().observe(self.steps, &rho, &u);
+        if let Some(o) = &self.obs {
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", "st")], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", "st")], s.max_u);
+            if s.nonfinite > 0 {
+                o.tracer.instant(
+                    "monitor",
+                    "nonfinite",
+                    &[
+                        ("step", s.step.to_string()),
+                        ("count", s.nonfinite.to_string()),
+                    ],
+                );
+            }
+        }
     }
 
     /// Advance `steps` timesteps.
@@ -534,30 +591,43 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
         Moments::from_f::<L>(&self.f_at(x, y, z))
     }
 
+    /// Density and velocity fields in one pass over the lattice, without
+    /// the per-node `Vec` of [`StSim::f_at`] (solid nodes report zero).
+    /// This is what the physics monitor samples.
+    pub fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
+        let n = self.geom.len();
+        let buf = &self.f[self.cur];
+        let mut rho_out = vec![0.0; n];
+        let mut u_out = vec![[0.0; 3]; n];
+        for idx in 0..n {
+            if !self.geom.node_at(idx).is_fluid_like() {
+                continue;
+            }
+            let mut rho = 0.0;
+            let mut j = [0.0f64; 3];
+            for i in 0..L::Q {
+                let fi = buf.get(i * n + idx);
+                let c = L::cf(i);
+                rho += fi;
+                j[0] += c[0] * fi;
+                j[1] += c[1] * fi;
+                j[2] += c[2] * fi;
+            }
+            let inv_rho = 1.0 / rho;
+            rho_out[idx] = rho;
+            u_out[idx] = [j[0] * inv_rho, j[1] * inv_rho, j[2] * inv_rho];
+        }
+        (rho_out, u_out)
+    }
+
     /// Velocity field (solid nodes report zero).
     pub fn velocity_field(&self) -> Vec<[f64; 3]> {
-        let n = self.geom.len();
-        let mut out = vec![[0.0; 3]; n];
-        for idx in 0..n {
-            if self.geom.node_at(idx).is_fluid_like() {
-                let (x, y, z) = self.geom.coords(idx);
-                out[idx] = self.moments_at(x, y, z).u;
-            }
-        }
-        out
+        self.macro_fields().1
     }
 
     /// Density field (solid nodes report zero).
     pub fn density_field(&self) -> Vec<f64> {
-        let n = self.geom.len();
-        let mut out = vec![0.0; n];
-        for idx in 0..n {
-            if self.geom.node_at(idx).is_fluid_like() {
-                let (x, y, z) = self.geom.coords(idx);
-                out[idx] = self.moments_at(x, y, z).rho;
-            }
-        }
-        out
+        self.macro_fields().0
     }
 }
 
@@ -681,6 +751,72 @@ mod tests {
         let geom = Geometry::channel_2d(16, 8, 0.03);
         let _ = StSim::<D2Q9, _>::new(DeviceSpec::v100(), geom, Bgk::new(0.8))
             .with_stream(StStream::Push);
+    }
+
+    /// Obs integration: step spans nest the device's kernel spans, metrics
+    /// see the launches, and the monitor confirms conservation on a
+    /// periodic box.
+    #[test]
+    fn obs_and_monitor_wire_through() {
+        let obs = obs::Obs::shared();
+        let geom = Geometry::periodic_2d(16, 8);
+        let mut sim: StSim<D2Q9, _> = StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.9))
+            .with_cpu_threads(2)
+            .with_obs(obs.clone())
+            .with_monitor(obs::MonitorConfig {
+                cadence: 2,
+                ..Default::default()
+            });
+        sim.init_with(|x, _, _| (1.0, [0.02 * (x as f64 * 0.5).sin(), 0.0, 0.0]));
+        sim.run(4);
+        // 4 step spans, each nesting one st-bulk kernel span (periodic box →
+        // no bc kernel): B/E pairs in order.
+        let ev = obs.tracer.events();
+        let step_begins = ev
+            .iter()
+            .filter(|e| e.ph == 'B' && e.name == "step")
+            .count();
+        let kernel_begins = ev
+            .iter()
+            .filter(|e| e.ph == 'B' && e.name == "st-bulk")
+            .count();
+        assert_eq!(step_begins, 4);
+        assert_eq!(kernel_begins, 4);
+        assert_eq!(ev[0].name, "step");
+        assert_eq!(ev[1].name, "st-bulk");
+        let labels = [("kernel", "st-bulk"), ("device", "NVIDIA V100")];
+        assert_eq!(obs.metrics.counter("launches", &labels), Some(4));
+        // Monitor sampled at steps 2 and 4; mass is conserved on the
+        // periodic box.
+        let m = sim.monitor().unwrap();
+        assert_eq!(m.samples().len(), 2);
+        assert!(m.is_ok(), "{:?}", m.violations());
+        assert!(m.mass_drift() <= 1e-10);
+        assert!(obs
+            .metrics
+            .gauge("monitor_mass", &[("pattern", "st")])
+            .is_some());
+    }
+
+    /// macro_fields is a single-pass equivalent of the per-node accessors.
+    #[test]
+    fn macro_fields_matches_per_node_accessors() {
+        let geom = Geometry::channel_2d(16, 10, 0.04);
+        let mut sim: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8)).with_cpu_threads(2);
+        sim.run(5);
+        let (rho, u) = sim.macro_fields();
+        for idx in 0..sim.geom().len() {
+            let (x, y, z) = sim.geom().coords(idx);
+            if sim.geom().node_at(idx).is_fluid_like() {
+                let m = sim.moments_at(x, y, z);
+                assert_eq!(rho[idx], m.rho);
+                assert_eq!(u[idx], m.u);
+            } else {
+                assert_eq!(rho[idx], 0.0);
+                assert_eq!(u[idx], [0.0; 3]);
+            }
+        }
     }
 
     /// Footprint is two full lattices: 2Q doubles per node.

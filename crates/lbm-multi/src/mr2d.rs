@@ -70,6 +70,7 @@ pub struct MultiMrSim2D<L: Lattice> {
     tile_h: usize,
     t: u64,
     stats: OverlapStats,
+    monitor: Option<obs::PhysicsMonitor>,
     _l: PhantomData<L>,
 }
 
@@ -131,6 +132,7 @@ impl<L: Lattice> MultiMrSim2D<L> {
             tile_h: 1,
             t: 0,
             stats: OverlapStats::default(),
+            monitor: None,
             _l: PhantomData,
         };
         sim.init_with(|_, _, _| (1.0, [0.0; 3]));
@@ -147,6 +149,24 @@ impl<L: Lattice> MultiMrSim2D<L> {
     pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
         self.mg = self.mg.with_profiler(p);
         self
+    }
+
+    /// Attach an observability hub (tracer + metrics) to every device and
+    /// the interconnect.
+    pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.mg = self.mg.with_obs(obs);
+        self
+    }
+
+    /// Enable per-step physics monitoring (mass, momentum, max |u|, NaN guard).
+    pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
+        self.monitor = Some(obs::PhysicsMonitor::new(cfg));
+        self
+    }
+
+    /// The physics monitor, if enabled.
+    pub fn monitor(&self) -> Option<&obs::PhysicsMonitor> {
+        self.monitor.as_ref()
     }
 
     /// Initialize every node — including ghosts — from a macroscopic field
@@ -176,6 +196,11 @@ impl<L: Lattice> MultiMrSim2D<L> {
 
     /// Advance one timestep with the two-phase overlap schedule.
     pub fn step(&mut self) {
+        let obs = self.mg.obs().cloned();
+        let _step_span = obs.as_ref().map(|o| {
+            o.tracer
+                .span_args("driver", "step", &[("t", self.t.to_string())])
+        });
         let n_sh = self.shards.len();
         let mut boundary_bytes = vec![0u64; n_sh];
         let mut interior_bytes = vec![0u64; n_sh];
@@ -201,7 +226,9 @@ impl<L: Lattice> MultiMrSim2D<L> {
         }
 
         // Phase 2: moment-space halo exchange (overlaps the interior).
+        let _halo_span = obs.as_ref().map(|o| o.tracer.span("halo", "halo-exchange"));
         let transfers = self.exchange();
+        drop(_halo_span);
 
         // Phase 3: interior column blocks.
         for (r, sh) in self.shards.iter().enumerate() {
@@ -251,6 +278,7 @@ impl<L: Lattice> MultiMrSim2D<L> {
             sh.cur ^= 1;
         }
         self.t += 1;
+        self.sample_monitor("multi-mr2d");
     }
 
     /// Copy each cut's freshly computed edge columns — as `M` moments per
@@ -324,30 +352,43 @@ impl<L: Lattice> MultiMrSim2D<L> {
         sh.mom[sh.cur].get_moments::<L>(self.t, sh.geom.idx(lx, y, z))
     }
 
-    /// Global velocity field (solid nodes report zero).
-    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+    /// Global density and velocity in one pass (solid nodes report zero).
+    fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
         let g = self.decomp.global();
-        let mut out = vec![[0.0; 3]; g.len()];
-        for (idx, o) in out.iter_mut().enumerate() {
+        let mut rho = vec![0.0; g.len()];
+        let mut u = vec![[0.0; 3]; g.len()];
+        for idx in 0..g.len() {
             if g.node_at(idx).is_fluid_like() {
                 let (x, y, z) = g.coords(idx);
-                *o = self.moments_at(x, y, z).u;
+                let m = self.moments_at(x, y, z);
+                rho[idx] = m.rho;
+                u[idx] = m.u;
             }
         }
-        out
+        (rho, u)
+    }
+
+    fn sample_monitor(&mut self, pattern: &str) {
+        if !self.monitor.as_ref().is_some_and(|m| m.due(self.t)) {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().observe(self.t, &rho, &u);
+        if let Some(o) = self.mg.obs() {
+            let labels = [("pattern", pattern)];
+            o.metrics.gauge_set("monitor_mass", &labels, s.mass);
+            o.metrics.gauge_set("monitor_max_u", &labels, s.max_u);
+        }
+    }
+
+    /// Global velocity field (solid nodes report zero).
+    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+        self.macro_fields().1
     }
 
     /// Global density field (solid nodes report zero).
     pub fn density_field(&self) -> Vec<f64> {
-        let g = self.decomp.global();
-        let mut out = vec![0.0; g.len()];
-        for (idx, o) in out.iter_mut().enumerate() {
-            if g.node_at(idx).is_fluid_like() {
-                let (x, y, z) = g.coords(idx);
-                *o = self.moments_at(x, y, z).rho;
-            }
-        }
-        out
+        self.macro_fields().0
     }
 }
 
@@ -443,6 +484,47 @@ mod tests {
         let per_step = 4 * 8 * 6 * 8; // 4 transfers × 8 fluid nodes × M·8
         assert_eq!(multi.halo_bytes_per_step(), per_step as u64);
         assert_eq!(multi.interconnect().total_link_bytes(), 4 * per_step as u64);
+    }
+
+    /// Step/halo spans, link metrics, and the physics monitor all flow
+    /// through the sharded MR driver.
+    #[test]
+    fn obs_and_monitor_wire_through() {
+        let hub = obs::Obs::shared();
+        let geom = Geometry::walls_y_periodic_x(16, 8);
+        let mut multi: MultiMrSim2D<D2Q9> =
+            MultiMrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8, 2)
+                .with_cpu_threads(2)
+                .with_obs(hub.clone())
+                .with_monitor(obs::MonitorConfig {
+                    cadence: 2,
+                    ..Default::default()
+                });
+        multi.init_with(|x, y, _| (1.0 + 0.01 * ((x + y) as f64).sin(), [0.0; 3]));
+        multi.run(4);
+
+        let events = hub.tracer.events();
+        let steps = events
+            .iter()
+            .filter(|e| e.ph == 'B' && e.name == "step")
+            .count();
+        assert_eq!(steps, 4);
+        let halos = events
+            .iter()
+            .filter(|e| e.ph == 'B' && e.name == "halo-exchange")
+            .count();
+        assert_eq!(halos, 4);
+        assert!(
+            hub.metrics
+                .counter("link_transfer_bytes", &[("link", "NVLink2[0->1]")])
+                .unwrap_or(0)
+                > 0
+        );
+
+        let mon = multi.monitor().unwrap();
+        assert_eq!(mon.samples().len(), 2);
+        assert!(mon.is_ok(), "violations: {:?}", mon.violations());
+        assert!(mon.mass_drift() <= 1e-10);
     }
 
     /// Mass is conserved across the cuts.

@@ -44,6 +44,7 @@ pub struct MultiMrSim3D<L: Lattice> {
     tau: f64,
     t: u64,
     stats: OverlapStats,
+    monitor: Option<obs::PhysicsMonitor>,
     _l: PhantomData<L>,
 }
 
@@ -123,6 +124,7 @@ impl<L: Lattice> MultiMrSim3D<L> {
             tau,
             t: 0,
             stats: OverlapStats::default(),
+            monitor: None,
             _l: PhantomData,
         };
         sim.init_with(|_, _, _| (1.0, [0.0; 3]));
@@ -139,6 +141,24 @@ impl<L: Lattice> MultiMrSim3D<L> {
     pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
         self.mg = self.mg.with_profiler(p);
         self
+    }
+
+    /// Attach an observability hub (tracer + metrics) to every device and
+    /// the interconnect.
+    pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.mg = self.mg.with_obs(obs);
+        self
+    }
+
+    /// Enable per-step physics monitoring (mass, momentum, max |u|, NaN guard).
+    pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
+        self.monitor = Some(obs::PhysicsMonitor::new(cfg));
+        self
+    }
+
+    /// The physics monitor, if enabled.
+    pub fn monitor(&self) -> Option<&obs::PhysicsMonitor> {
+        self.monitor.as_ref()
     }
 
     /// Initialize every node — including ghosts — from a macroscopic field
@@ -168,6 +188,11 @@ impl<L: Lattice> MultiMrSim3D<L> {
 
     /// Advance one timestep with the two-phase overlap schedule.
     pub fn step(&mut self) {
+        let obs = self.mg.obs().cloned();
+        let _step_span = obs.as_ref().map(|o| {
+            o.tracer
+                .span_args("driver", "step", &[("t", self.t.to_string())])
+        });
         let n_sh = self.shards.len();
         let mut boundary_bytes = vec![0u64; n_sh];
         let mut interior_bytes = vec![0u64; n_sh];
@@ -191,7 +216,9 @@ impl<L: Lattice> MultiMrSim3D<L> {
             }
         }
 
+        let _halo_span = obs.as_ref().map(|o| o.tracer.span("halo", "halo-exchange"));
         let transfers = self.exchange();
+        drop(_halo_span);
 
         for (r, sh) in self.shards.iter().enumerate() {
             if !sh.interior_cols.is_empty() {
@@ -239,6 +266,7 @@ impl<L: Lattice> MultiMrSim3D<L> {
             sh.cur ^= 1;
         }
         self.t += 1;
+        self.sample_monitor("multi-mr3d");
     }
 
     /// Moment-space halo exchange across every cut.
@@ -311,30 +339,43 @@ impl<L: Lattice> MultiMrSim3D<L> {
         sh.mom[sh.cur].get_moments::<L>(self.t, sh.geom.idx(lx, y, z))
     }
 
-    /// Global velocity field (solid nodes report zero).
-    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+    /// Global density and velocity in one pass (solid nodes report zero).
+    fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
         let g = self.decomp.global();
-        let mut out = vec![[0.0; 3]; g.len()];
-        for (idx, o) in out.iter_mut().enumerate() {
+        let mut rho = vec![0.0; g.len()];
+        let mut u = vec![[0.0; 3]; g.len()];
+        for idx in 0..g.len() {
             if g.node_at(idx).is_fluid_like() {
                 let (x, y, z) = g.coords(idx);
-                *o = self.moments_at(x, y, z).u;
+                let m = self.moments_at(x, y, z);
+                rho[idx] = m.rho;
+                u[idx] = m.u;
             }
         }
-        out
+        (rho, u)
+    }
+
+    fn sample_monitor(&mut self, pattern: &str) {
+        if !self.monitor.as_ref().is_some_and(|m| m.due(self.t)) {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().observe(self.t, &rho, &u);
+        if let Some(o) = self.mg.obs() {
+            let labels = [("pattern", pattern)];
+            o.metrics.gauge_set("monitor_mass", &labels, s.mass);
+            o.metrics.gauge_set("monitor_max_u", &labels, s.max_u);
+        }
+    }
+
+    /// Global velocity field (solid nodes report zero).
+    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+        self.macro_fields().1
     }
 
     /// Global density field (solid nodes report zero).
     pub fn density_field(&self) -> Vec<f64> {
-        let g = self.decomp.global();
-        let mut out = vec![0.0; g.len()];
-        for (idx, o) in out.iter_mut().enumerate() {
-            if g.node_at(idx).is_fluid_like() {
-                let (x, y, z) = g.coords(idx);
-                *o = self.moments_at(x, y, z).rho;
-            }
-        }
-        out
+        self.macro_fields().0
     }
 }
 

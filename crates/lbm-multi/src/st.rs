@@ -67,6 +67,7 @@ pub struct MultiStSim<L: Lattice, C: Collision<L>> {
     block_size: usize,
     t: u64,
     stats: OverlapStats,
+    monitor: Option<obs::PhysicsMonitor>,
     _l: PhantomData<L>,
 }
 
@@ -110,6 +111,7 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
             block_size: 256,
             t: 0,
             stats: OverlapStats::default(),
+            monitor: None,
             _l: PhantomData,
         };
         sim.init_with(|_, _, _| (1.0, [0.0; 3]));
@@ -133,6 +135,41 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
         assert!(bs >= 1);
         self.block_size = bs;
         self
+    }
+
+    /// Attach one observability hub to every device and the link layer:
+    /// the driver adds `step` and `halo-exchange` spans, the devices nest
+    /// kernel spans, and transfers publish link metrics.
+    pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.mg = self.mg.with_obs(obs);
+        self
+    }
+
+    /// Attach a physics monitor over the *global* fields every
+    /// `cfg.cadence` steps.
+    pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
+        self.monitor = Some(obs::PhysicsMonitor::new(cfg));
+        self
+    }
+
+    /// The attached physics monitor, if any.
+    pub fn monitor(&self) -> Option<&obs::PhysicsMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Cadence-gated monitor sampling over the gathered global fields.
+    fn sample_monitor(&mut self, pattern: &str) {
+        if !self.monitor.as_ref().is_some_and(|m| m.due(self.t)) {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().observe(self.t, &rho, &u);
+        if let Some(o) = self.mg.obs() {
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", pattern)], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", pattern)], s.max_u);
+        }
     }
 
     /// Initialize every node — *including ghosts* — from a macroscopic
@@ -168,6 +205,11 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
 
     /// Advance one timestep with the two-phase overlap schedule.
     pub fn step(&mut self) {
+        let obs = self.mg.obs().cloned();
+        let _step_span = obs.as_ref().map(|o| {
+            o.tracer
+                .span_args("driver", "step", &[("t", self.t.to_string())])
+        });
         let n_sh = self.shards.len();
         let mut boundary_bytes = vec![0u64; n_sh];
         let mut interior_bytes = vec![0u64; n_sh];
@@ -193,7 +235,9 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
 
         // Phase 2: halo exchange of the strip results (overlapped with the
         // interior launch in the timing model).
+        let _halo_span = obs.as_ref().map(|o| o.tracer.span("halo", "halo-exchange"));
         let transfers = self.exchange();
+        drop(_halo_span);
 
         // Phase 3: interior.
         for (r, sh) in self.shards.iter().enumerate() {
@@ -240,6 +284,7 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
             sh.cur ^= 1;
         }
         self.t += 1;
+        self.sample_monitor("multi-st");
     }
 
     /// Copy every cut's freshly computed edge columns (in `dst`, time
@@ -322,31 +367,50 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
         Moments::from_f::<L>(&self.f_at(x, y, z))
     }
 
+    /// Global density and velocity fields in one pass over the owning
+    /// shards, without the per-node `Vec` of [`MultiStSim::f_at`] (solid
+    /// nodes report zero). This is what the physics monitor samples.
+    pub fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
+        let g = self.decomp.global();
+        let mut rho_out = vec![0.0; g.len()];
+        let mut u_out = vec![[0.0; 3]; g.len()];
+        for (idx, rho_o) in rho_out.iter_mut().enumerate() {
+            if !g.node_at(idx).is_fluid_like() {
+                continue;
+            }
+            let (x, y, z) = g.coords(idx);
+            let r = self.decomp.owner_of(x);
+            let sh = &self.shards[r];
+            let lx = self.decomp.slab(r).owned_lo() + (x - self.decomp.slab(r).x0);
+            let ln = sh.geom.len();
+            let lidx = sh.geom.idx(lx, y, z);
+            let buf = &sh.f[sh.cur];
+            let mut rho = 0.0;
+            let mut j = [0.0f64; 3];
+            for i in 0..L::Q {
+                let fi = buf.get(i * ln + lidx);
+                let c = L::cf(i);
+                rho += fi;
+                j[0] += c[0] * fi;
+                j[1] += c[1] * fi;
+                j[2] += c[2] * fi;
+            }
+            let inv_rho = 1.0 / rho;
+            *rho_o = rho;
+            u_out[idx] = [j[0] * inv_rho, j[1] * inv_rho, j[2] * inv_rho];
+        }
+        (rho_out, u_out)
+    }
+
     /// Global velocity field (solid nodes report zero), gathered from the
     /// owning shards.
     pub fn velocity_field(&self) -> Vec<[f64; 3]> {
-        let g = self.decomp.global();
-        let mut out = vec![[0.0; 3]; g.len()];
-        for (idx, o) in out.iter_mut().enumerate() {
-            if g.node_at(idx).is_fluid_like() {
-                let (x, y, z) = g.coords(idx);
-                *o = self.moments_at(x, y, z).u;
-            }
-        }
-        out
+        self.macro_fields().1
     }
 
     /// Global density field (solid nodes report zero).
     pub fn density_field(&self) -> Vec<f64> {
-        let g = self.decomp.global();
-        let mut out = vec![0.0; g.len()];
-        for (idx, o) in out.iter_mut().enumerate() {
-            if g.node_at(idx).is_fluid_like() {
-                let (x, y, z) = g.coords(idx);
-                *o = self.moments_at(x, y, z).rho;
-            }
-        }
-        out
+        self.macro_fields().0
     }
 }
 
@@ -482,6 +546,48 @@ mod tests {
         assert!(s.boundary_s > 0.0 && s.interior_s > 0.0 && s.exchange_s > 0.0);
         assert!(s.total_s >= s.boundary_s + s.interior_s.max(s.exchange_s));
         assert!(s.overlap_efficiency() > 0.0 && s.overlap_efficiency() <= 1.0);
+    }
+
+    /// Obs integration: step spans nest per-device kernel spans and the
+    /// halo-exchange span; link metrics accumulate; monitor sees a
+    /// conserved global mass.
+    #[test]
+    fn obs_and_monitor_wire_through() {
+        let obs = obs::Obs::shared();
+        let geom = Geometry::walls_y_periodic_x(16, 8);
+        let mut multi: MultiStSim<D2Q9, _> =
+            MultiStSim::new(DeviceSpec::v100(), geom, Projective::new(0.8), 2)
+                .with_cpu_threads(2)
+                .with_obs(obs.clone())
+                .with_monitor(obs::MonitorConfig {
+                    cadence: 2,
+                    ..Default::default()
+                });
+        multi.init_with(shear_init);
+        multi.run(4);
+        let ev = obs.tracer.events();
+        assert_eq!(
+            ev.iter()
+                .filter(|e| e.ph == 'B' && e.name == "step")
+                .count(),
+            4
+        );
+        assert_eq!(
+            ev.iter()
+                .filter(|e| e.ph == 'B' && e.name == "halo-exchange")
+                .count(),
+            4
+        );
+        assert!(ev.iter().any(|e| e.ph == 'B' && e.name == "st-bulk-span"));
+        // Link metrics: n = 2 periodic ring has transfers both ways.
+        assert!(obs
+            .metrics
+            .counter("link_transfer_bytes", &[("link", "NVLink2[0->1]")])
+            .is_some_and(|b| b > 0));
+        let m = multi.monitor().unwrap();
+        assert_eq!(m.samples().len(), 2);
+        assert!(m.is_ok(), "{:?}", m.violations());
+        assert!(m.mass_drift() <= 1e-10);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! CI gate: validate that observability JSON artifacts parse.
+//!
+//! Usage: `obs-validate FILE...` — parses each file with the strict
+//! in-crate JSON parser and, for Chrome traces (a top-level `traceEvents`
+//! array), additionally checks span nesting: on every tid, each `E` must
+//! close an open `B` and none may remain open at the end. Exits non-zero
+//! on the first failure.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn validate(path: &str) -> Result<String, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let v = obs::json::parse(&src).map_err(|e| format!("invalid JSON: {e}"))?;
+    if let Some(events) = v.get("traceEvents") {
+        let mut open: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut last_ts = 0.0f64;
+        for (i, e) in events.items().iter().enumerate() {
+            let ph = e
+                .get("ph")
+                .and_then(|p| p.as_str())
+                .ok_or(format!("event {i} missing ph"))?;
+            let ts = e
+                .get("ts")
+                .and_then(|t| t.as_f64())
+                .ok_or(format!("event {i} missing ts"))?;
+            if ts < last_ts {
+                return Err(format!("event {i}: timestamp {ts} < previous {last_ts}"));
+            }
+            last_ts = ts;
+            let tid = e.get("tid").and_then(|t| t.as_f64()).unwrap_or(0.0) as u64;
+            match ph {
+                "B" => *open.entry(tid).or_insert(0) += 1,
+                "E" => {
+                    let depth = open.entry(tid).or_insert(0);
+                    if *depth == 0 {
+                        return Err(format!("event {i}: 'E' with no open 'B' on tid {tid}"));
+                    }
+                    *depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        if let Some((tid, depth)) = open.iter().find(|(_, &d)| d > 0) {
+            return Err(format!("{depth} span(s) left open on tid {tid}"));
+        }
+        Ok(format!("trace ok ({} events)", events.items().len()))
+    } else if let Some(metrics) = v.get("metrics") {
+        Ok(format!("metrics ok ({} entries)", metrics.items().len()))
+    } else {
+        Ok("json ok".to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: obs-validate FILE...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &args {
+        match validate(path) {
+            Ok(msg) => println!("obs-validate: {path}: {msg}"),
+            Err(msg) => {
+                eprintln!("obs-validate: {path}: FAIL: {msg}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,309 @@
+//! A labeled metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! The substrate's exec, memory-tally, interconnect, and profiler layers
+//! publish here (see `gpu-sim`), keyed by metric name plus a small label
+//! set (`kernel`, `pattern`, `device`, `link`, …). The registry is the
+//! machine-readable counterpart of `Profiler::report()`: everything it
+//! holds exports as deterministic JSON for the bench trajectory.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Metric identity: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// Fixed-bucket histogram: `counts[i]` holds observations `≤ bounds[i]`,
+/// with one overflow bucket at the end.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean of all observations (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// One metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+/// Thread-safe registry of labeled metrics.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to a counter (creating it at zero).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.inner.lock().unwrap();
+        match map.entry(key).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += delta,
+            other => panic!("metric '{name}' is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set a gauge to a value.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.inner.lock().unwrap();
+        match map.entry(key).or_insert(Metric::Gauge(v)) {
+            Metric::Gauge(g) => *g = v,
+            other => panic!("metric '{name}' is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Record one observation into a fixed-bucket histogram. `bounds` is
+    /// only used on first creation; later calls must agree.
+    pub fn histogram_observe(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], v: f64) {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => {
+                assert_eq!(h.bounds, bounds, "histogram '{name}' bounds changed");
+                h.observe(v);
+            }
+            other => panic!("metric '{name}' is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Current counter value, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self
+            .inner
+            .lock()
+            .unwrap()
+            .get(&MetricKey::new(name, labels))
+        {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Current gauge value, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self
+            .inner
+            .lock()
+            .unwrap()
+            .get(&MetricKey::new(name, labels))
+        {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Current histogram, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        match self
+            .inner
+            .lock()
+            .unwrap()
+            .get(&MetricKey::new(name, labels))
+        {
+            Some(Metric::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of every metric, sorted by key.
+    pub fn snapshot(&self) -> Vec<(MetricKey, Metric)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Export as a JSON document: `{"metrics": [{name, labels, type, …}]}`.
+    pub fn to_json(&self) -> String {
+        let metrics: Vec<Value> = self
+            .snapshot()
+            .into_iter()
+            .map(|(k, m)| {
+                let labels = Value::Obj(
+                    k.labels
+                        .iter()
+                        .map(|(lk, lv)| (lk.clone(), Value::str(lv)))
+                        .collect(),
+                );
+                let mut pairs = vec![("name", Value::str(&k.name)), ("labels", labels)];
+                match m {
+                    Metric::Counter(c) => {
+                        pairs.push(("type", Value::str("counter")));
+                        pairs.push(("value", Value::int(c)));
+                    }
+                    Metric::Gauge(g) => {
+                        pairs.push(("type", Value::str("gauge")));
+                        pairs.push(("value", Value::num(g)));
+                    }
+                    Metric::Histogram(h) => {
+                        pairs.push(("type", Value::str("histogram")));
+                        pairs.push((
+                            "bounds",
+                            Value::Arr(h.bounds.iter().map(|&b| Value::num(b)).collect()),
+                        ));
+                        pairs.push((
+                            "counts",
+                            Value::Arr(h.counts.iter().map(|&c| Value::int(c)).collect()),
+                        ));
+                        pairs.push(("sum", Value::num(h.sum)));
+                        pairs.push(("count", Value::int(h.count)));
+                    }
+                }
+                Value::obj(pairs)
+            })
+            .collect();
+        Value::obj(vec![("metrics", Value::Arr(metrics))]).to_json()
+    }
+
+    /// Write the JSON export to a file.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = MetricsRegistry::new();
+        r.counter_add("bytes", &[("kernel", "a")], 10);
+        r.counter_add("bytes", &[("kernel", "a")], 5);
+        r.counter_add("bytes", &[("kernel", "b")], 1);
+        assert_eq!(r.counter("bytes", &[("kernel", "a")]), Some(15));
+        assert_eq!(r.counter("bytes", &[("kernel", "b")]), Some(1));
+        assert_eq!(r.counter("bytes", &[("kernel", "c")]), None);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = MetricsRegistry::new();
+        r.counter_add("x", &[("a", "1"), ("b", "2")], 7);
+        assert_eq!(r.counter("x", &[("b", "2"), ("a", "1")]), Some(7));
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("bpf", &[("kernel", "st-bulk")], 144.0);
+        r.gauge_set("bpf", &[("kernel", "st-bulk")], 96.0);
+        assert_eq!(r.gauge("bpf", &[("kernel", "st-bulk")]), Some(96.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let r = MetricsRegistry::new();
+        let bounds = [1.0, 10.0, 100.0];
+        for v in [0.5, 5.0, 50.0, 500.0, 7.0] {
+            r.histogram_observe("lat", &[], &bounds, v);
+        }
+        let h = r.histogram("lat", &[]).unwrap();
+        assert_eq!(h.counts, vec![1, 2, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert!((h.mean() - 112.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_confusion_panics() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("m", &[], 1.0);
+        r.counter_add("m", &[], 1);
+    }
+
+    #[test]
+    fn json_export_parses_and_is_deterministic() {
+        let r = MetricsRegistry::new();
+        r.counter_add("launches", &[("kernel", "mr2d-p"), ("device", "V100")], 3);
+        r.gauge_set("dram_b_per_item", &[("kernel", "mr2d-p")], 96.0);
+        r.histogram_observe("t", &[], &[1.0], 0.5);
+        let s1 = r.to_json();
+        let s2 = r.to_json();
+        assert_eq!(s1, s2);
+        let v = json::parse(&s1).unwrap();
+        let ms = v.get("metrics").unwrap().items();
+        assert_eq!(ms.len(), 3);
+        let g = ms
+            .iter()
+            .find(|m| m.get("type").unwrap().as_str() == Some("gauge"))
+            .unwrap();
+        assert_eq!(g.get("value").unwrap().as_f64(), Some(96.0));
+    }
+}

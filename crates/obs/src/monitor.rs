@@ -1,0 +1,260 @@
+//! Per-step physics monitors: conservation and divergence guards.
+//!
+//! A [`PhysicsMonitor`] samples the macroscopic fields of a running solver
+//! at a configurable cadence and checks three invariants:
+//!
+//! * **mass conservation** — total mass must stay within a relative
+//!   tolerance of the first sample (valid on closed/periodic domains; raise
+//!   the tolerance for inlet/outlet flows, which exchange mass with the
+//!   boundary by design);
+//! * **velocity bound** — `max |u|` must stay below a configured limit
+//!   (lattice Boltzmann is only valid well below the lattice sound speed,
+//!   and a runaway `|u|` precedes blow-up);
+//! * **finiteness** — any NaN/∞ anywhere in the fields is an immediate
+//!   violation.
+//!
+//! The cadence keeps hot paths hot: drivers call [`PhysicsMonitor::due`]
+//! (one modulo) every step and only extract fields on sampling steps.
+
+use crate::json::Value;
+
+/// Monitor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Sample every `cadence` steps (step numbers divisible by it).
+    pub cadence: u64,
+    /// Relative total-mass drift tolerance vs. the first sample.
+    pub mass_rel_tol: f64,
+    /// Upper bound on `max |u|` (lattice units).
+    pub max_velocity: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            cadence: 16,
+            mass_rel_tol: 1e-10,
+            max_velocity: 0.5,
+        }
+    }
+}
+
+/// One monitor sample.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorSample {
+    pub step: u64,
+    /// Total mass `Σ ρ` over all nodes (solids contribute zero).
+    pub mass: f64,
+    /// Total momentum `Σ ρ u`.
+    pub momentum: [f64; 3],
+    /// Maximum velocity magnitude.
+    pub max_u: f64,
+    /// Count of non-finite field values.
+    pub nonfinite: u64,
+}
+
+/// Accumulating physics monitor.
+#[derive(Clone, Debug, Default)]
+pub struct PhysicsMonitor {
+    cfg: MonitorConfig,
+    baseline_mass: Option<f64>,
+    samples: Vec<MonitorSample>,
+    violations: Vec<String>,
+}
+
+impl PhysicsMonitor {
+    /// Monitor with the default config (cadence 16, mass tol 1e-10,
+    /// `max |u|` limit 0.5).
+    pub fn new(cfg: MonitorConfig) -> Self {
+        assert!(cfg.cadence >= 1, "cadence must be ≥ 1");
+        PhysicsMonitor {
+            cfg,
+            baseline_mass: None,
+            samples: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Whether step `step` is a sampling step.
+    #[inline]
+    pub fn due(&self, step: u64) -> bool {
+        step.is_multiple_of(self.cfg.cadence)
+    }
+
+    /// Ingest one sample of the macroscopic fields. Solid nodes must report
+    /// zero density/velocity (the convention of every solver's
+    /// `density_field`/`velocity_field`), so no mask is needed.
+    pub fn observe(&mut self, step: u64, rho: &[f64], u: &[[f64; 3]]) -> MonitorSample {
+        let mut mass = 0.0;
+        let mut momentum = [0.0f64; 3];
+        let mut max_usq = 0.0f64;
+        let mut nonfinite = 0u64;
+        for (r, uu) in rho.iter().zip(u) {
+            if !r.is_finite() {
+                nonfinite += 1;
+            }
+            mass += r;
+            let mut usq = 0.0;
+            for k in 0..3 {
+                if !uu[k].is_finite() {
+                    nonfinite += 1;
+                }
+                momentum[k] += r * uu[k];
+                usq += uu[k] * uu[k];
+            }
+            max_usq = max_usq.max(usq);
+        }
+        let sample = MonitorSample {
+            step,
+            mass,
+            momentum,
+            max_u: max_usq.sqrt(),
+            nonfinite,
+        };
+
+        if nonfinite > 0 || !mass.is_finite() {
+            self.violations
+                .push(format!("step {step}: {nonfinite} non-finite field values"));
+        }
+        match self.baseline_mass {
+            None => self.baseline_mass = Some(mass),
+            Some(m0) => {
+                let drift = ((mass - m0) / m0).abs();
+                // NaN drift must trip too, hence the explicit is_nan arm.
+                if drift > self.cfg.mass_rel_tol || drift.is_nan() {
+                    self.violations.push(format!(
+                        "step {step}: mass drift {drift:.3e} exceeds {:.1e} (mass {mass} vs baseline {m0})",
+                        self.cfg.mass_rel_tol
+                    ));
+                }
+            }
+        }
+        if sample.max_u > self.cfg.max_velocity || sample.max_u.is_nan() {
+            self.violations.push(format!(
+                "step {step}: max |u| = {} exceeds limit {}",
+                sample.max_u, self.cfg.max_velocity
+            ));
+        }
+
+        self.samples.push(sample);
+        sample
+    }
+
+    /// All samples so far.
+    pub fn samples(&self) -> &[MonitorSample] {
+        &self.samples
+    }
+
+    /// Relative mass drift of the latest sample vs. the baseline (0 before
+    /// two samples exist).
+    pub fn mass_drift(&self) -> f64 {
+        match (self.baseline_mass, self.samples.last()) {
+            (Some(m0), Some(s)) if m0 != 0.0 => ((s.mass - m0) / m0).abs(),
+            _ => 0.0,
+        }
+    }
+
+    /// Whether every sample satisfied every invariant.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Accumulated violation descriptions.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Summary as a JSON value (embedded in bench records).
+    pub fn summary(&self) -> Value {
+        let last = self.samples.last();
+        Value::obj(vec![
+            ("samples", Value::int(self.samples.len() as u64)),
+            ("cadence", Value::int(self.cfg.cadence)),
+            ("mass_drift", Value::num(self.mass_drift())),
+            ("max_u", Value::num(last.map_or(f64::NAN, |s| s.max_u))),
+            (
+                "nonfinite",
+                Value::int(self.samples.iter().map(|s| s.nonfinite).sum()),
+            ),
+            ("ok", Value::Bool(self.is_ok())),
+            (
+                "violations",
+                Value::Arr(self.violations.iter().map(Value::str).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(n: usize, rho0: f64, ux: f64) -> (Vec<f64>, Vec<[f64; 3]>) {
+        (vec![rho0; n], vec![[ux, 0.0, 0.0]; n])
+    }
+
+    #[test]
+    fn conserved_run_is_ok() {
+        let mut m = PhysicsMonitor::new(MonitorConfig::default());
+        let (rho, u) = fields(100, 1.0, 0.05);
+        for step in [0, 16, 32] {
+            assert!(m.due(step));
+            m.observe(step, &rho, &u);
+        }
+        assert!(!m.due(7));
+        assert!(m.is_ok(), "{:?}", m.violations());
+        assert_eq!(m.mass_drift(), 0.0);
+        assert_eq!(m.samples().len(), 3);
+        assert!((m.samples()[0].momentum[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_drift_is_flagged() {
+        let mut m = PhysicsMonitor::new(MonitorConfig::default());
+        let (rho, u) = fields(10, 1.0, 0.0);
+        m.observe(0, &rho, &u);
+        let (rho2, _) = fields(10, 1.0 + 1e-6, 0.0);
+        m.observe(16, &rho2, &u);
+        assert!(!m.is_ok());
+        assert!(m.violations()[0].contains("mass drift"));
+        assert!(m.mass_drift() > 1e-7);
+    }
+
+    #[test]
+    fn nan_is_flagged() {
+        let mut m = PhysicsMonitor::new(MonitorConfig::default());
+        let (mut rho, mut u) = fields(10, 1.0, 0.0);
+        rho[3] = f64::NAN;
+        u[5][1] = f64::INFINITY;
+        m.observe(0, &rho, &u);
+        assert!(!m.is_ok());
+        assert!(m.violations()[0].contains("2 non-finite"));
+    }
+
+    #[test]
+    fn runaway_velocity_is_flagged() {
+        let mut m = PhysicsMonitor::new(MonitorConfig::default());
+        let (rho, u) = fields(10, 1.0, 0.9);
+        m.observe(0, &rho, &u);
+        assert!(!m.is_ok());
+        assert!(m.violations()[0].contains("max |u|"));
+    }
+
+    #[test]
+    fn summary_is_valid_json() {
+        let mut m = PhysicsMonitor::new(MonitorConfig {
+            cadence: 4,
+            ..MonitorConfig::default()
+        });
+        let (rho, u) = fields(10, 1.0, 0.1);
+        m.observe(0, &rho, &u);
+        let v = crate::json::parse(&m.summary().to_json()).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("cadence").unwrap().as_f64(), Some(4.0));
+    }
+}

@@ -1,0 +1,316 @@
+//! Span-based tracing with Chrome `trace_event` export.
+//!
+//! A [`Tracer`] records `B`/`E` (begin/end) duration events and `i` instant
+//! events, each stamped with a microsecond timestamp relative to the
+//! tracer's creation and a small per-thread `tid`. The export format is the
+//! Chrome Trace Event JSON (`{"traceEvents": [...]}`) so a run opens
+//! directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Timestamps are taken *inside* the event-buffer lock, so the recorded
+//! stream is globally monotonic even when many threads trace concurrently —
+//! the property the trace tests assert.
+//!
+//! Nesting is tracked per thread: `end` must match the innermost `begin` on
+//! the same thread. The [`Span`] RAII guard makes that automatic:
+//!
+//! ```
+//! let tracer = obs::Tracer::new();
+//! {
+//!     let _step = tracer.span("driver", "step");
+//!     let _kernel = tracer.span("kernel", "st-bulk");
+//! } // ends in reverse order
+//! assert!(obs::json::parse(&tracer.to_chrome_json()).is_ok());
+//! ```
+
+use crate::json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded trace event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Chrome phase: `'B'` begin, `'E'` end, `'i'` instant.
+    pub ph: char,
+    pub name: String,
+    /// Category (shown as a filterable group in trace viewers).
+    pub cat: String,
+    /// Microseconds since tracer creation.
+    pub ts_us: u64,
+    /// Per-thread id (dense small integers, assigned at first use).
+    pub tid: u64,
+    /// Key/value annotations rendered in the viewer's detail pane.
+    pub args: Vec<(String, String)>,
+}
+
+struct Inner {
+    events: Vec<TraceEvent>,
+    /// Per-tid stack of open span names (for end-matching).
+    open: std::collections::BTreeMap<u64, Vec<String>>,
+}
+
+/// Thread-safe span tracer.
+pub struct Tracer {
+    start: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Dense per-thread id, assigned on first use.
+fn current_tid() -> u64 {
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+impl Tracer {
+    /// Create an empty tracer; timestamps are relative to this call.
+    pub fn new() -> Self {
+        Tracer {
+            start: Instant::now(),
+            inner: Mutex::new(Inner {
+                events: Vec::new(),
+                open: std::collections::BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Begin a span on the current thread. Prefer [`Tracer::span`].
+    pub fn begin(&self, cat: &str, name: &str, args: &[(&str, String)]) {
+        let tid = current_tid();
+        let mut inner = self.inner.lock().unwrap();
+        let ts_us = self.start.elapsed().as_micros() as u64;
+        inner.open.entry(tid).or_default().push(name.to_string());
+        inner.events.push(TraceEvent {
+            ph: 'B',
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts_us,
+            tid,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// End the innermost open span on the current thread.
+    pub fn end(&self) {
+        let tid = current_tid();
+        let mut inner = self.inner.lock().unwrap();
+        let ts_us = self.start.elapsed().as_micros() as u64;
+        let name = inner
+            .open
+            .get_mut(&tid)
+            .and_then(|s| s.pop())
+            .expect("Tracer::end with no open span on this thread");
+        inner.events.push(TraceEvent {
+            ph: 'E',
+            name,
+            cat: String::new(),
+            ts_us,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// RAII span: ends when the guard drops.
+    pub fn span(&self, cat: &str, name: &str) -> Span<'_> {
+        self.begin(cat, name, &[]);
+        Span { tracer: self }
+    }
+
+    /// RAII span with annotations.
+    pub fn span_args(&self, cat: &str, name: &str, args: &[(&str, String)]) -> Span<'_> {
+        self.begin(cat, name, args);
+        Span { tracer: self }
+    }
+
+    /// A zero-duration instant event (markers: transfers, violations).
+    pub fn instant(&self, cat: &str, name: &str, args: &[(&str, String)]) {
+        let tid = current_tid();
+        let mut inner = self.inner.lock().unwrap();
+        let ts_us = self.start.elapsed().as_micros() as u64;
+        inner.events.push(TraceEvent {
+            ph: 'i',
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts_us,
+            tid,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// Serialize as Chrome Trace Event JSON (the object form, loadable by
+    /// `chrome://tracing` and Perfetto).
+    pub fn to_chrome_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let events: Vec<Value> = inner
+            .events
+            .iter()
+            .map(|e| {
+                let mut pairs = vec![
+                    ("name", Value::str(&e.name)),
+                    ("ph", Value::str(e.ph.to_string())),
+                    ("ts", Value::int(e.ts_us)),
+                    ("pid", Value::int(0)),
+                    ("tid", Value::int(e.tid)),
+                ];
+                if !e.cat.is_empty() {
+                    pairs.push(("cat", Value::str(&e.cat)));
+                }
+                if e.ph == 'i' {
+                    // Instant scope: thread.
+                    pairs.push(("s", Value::str("t")));
+                }
+                if !e.args.is_empty() {
+                    pairs.push((
+                        "args",
+                        Value::Obj(
+                            e.args
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::str(v)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                Value::obj(pairs)
+            })
+            .collect();
+        Value::obj(vec![
+            ("traceEvents", Value::Arr(events)),
+            ("displayTimeUnit", Value::str("ms")),
+        ])
+        .to_json()
+    }
+
+    /// Write the Chrome trace to a file.
+    pub fn write_chrome_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`]; ends the span on drop.
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.tracer.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("driver", "step");
+            {
+                let _b = t.span_args("kernel", "bulk", &[("blocks", "8".into())]);
+            }
+            t.instant("halo", "transfer", &[("bytes", "4096".into())]);
+        }
+        let ev = t.events();
+        assert_eq!(
+            ev.iter().map(|e| e.ph).collect::<String>(),
+            "BBEiE",
+            "expected step(B) bulk(B/E) instant step(E)"
+        );
+        assert_eq!(
+            ev[2].name, "bulk",
+            "E carries the name of the span it closes"
+        );
+        assert_eq!(ev[4].name, "step");
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let t = Tracer::new();
+        for _ in 0..100 {
+            let _s = t.span("x", "s");
+        }
+        let ev = t.events();
+        for w in ev.windows(2) {
+            assert!(w[0].ts_us <= w[1].ts_us);
+        }
+    }
+
+    #[test]
+    fn chrome_export_parses_and_has_required_fields() {
+        let t = Tracer::new();
+        let _s = t.span("driver", "weird \"name\"\n");
+        drop(_s);
+        let v = json::parse(&t.to_chrome_json()).unwrap();
+        let events = v.get("traceEvents").unwrap().items();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert!(e.get("name").is_some());
+            assert!(e.get("ts").is_some());
+            assert!(e.get("pid").is_some());
+            assert!(e.get("tid").is_some());
+        }
+        assert_eq!(events[0].get("ph").unwrap().as_str().unwrap(), "B");
+        assert_eq!(events[1].get("ph").unwrap().as_str().unwrap(), "E");
+    }
+
+    #[test]
+    #[should_panic(expected = "no open span")]
+    fn unmatched_end_panics() {
+        Tracer::new().end();
+    }
+
+    #[test]
+    fn concurrent_threads_get_distinct_tids() {
+        let t = std::sync::Arc::new(Tracer::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let _sp = t.span("w", "work");
+                    }
+                });
+            }
+        });
+        let ev = t.events();
+        assert_eq!(ev.len(), 4 * 50 * 2);
+        // Global monotonicity holds across threads (ts taken under the lock).
+        for w in ev.windows(2) {
+            assert!(w[0].ts_us <= w[1].ts_us);
+        }
+        let tids: std::collections::BTreeSet<u64> = ev.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4);
+    }
+}

@@ -32,6 +32,7 @@ pub use lbm_core as core;
 pub use lbm_gpu as kernels;
 pub use lbm_lattice as lattice;
 pub use lbm_multi as multi;
+pub use obs;
 
 /// Convenient single import for examples and applications.
 pub mod prelude {
@@ -43,6 +44,9 @@ pub mod prelude {
     pub use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim, StSparseSim, StStream};
     pub use lbm_lattice::{Lattice, D2Q9, D3Q15, D3Q19, D3Q27, D3Q39};
     pub use lbm_multi::{MultiMrSim2D, MultiMrSim3D, MultiStSim, OverlapStats, SlabDecomp};
+    pub use obs::{
+        BenchRecord, BenchRow, MetricsRegistry, MonitorConfig, Obs, PhysicsMonitor, Tracer,
+    };
 }
 
 #[cfg(test)]

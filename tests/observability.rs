@@ -1,0 +1,202 @@
+//! Integration checks on the observability layer: the Chrome trace export
+//! must be loadable (well-formed, balanced, monotonic) even with concurrent
+//! block execution underneath, the metrics registry must carry the
+//! substrate's byte-exact tallies end to end, and the physics monitors must
+//! catch real violations without perturbing the solvers.
+
+use lbm_mr::obs::json;
+use lbm_mr::prelude::*;
+
+fn shear(_x: usize, y: usize, _z: usize) -> (f64, [f64; 3]) {
+    (1.0, [0.04 * (y as f64 * 0.37).sin(), 0.0, 0.0])
+}
+
+/// Drive a sharded run (CPU worker threads per device, lockstep column
+/// kernels, halo exchange) with the tracer attached, and return the hub.
+fn traced_multi_run() -> std::sync::Arc<Obs> {
+    let hub = Obs::shared();
+    let geom = Geometry::walls_y_periodic_x(24, 10);
+    let mut sim: MultiMrSim2D<D2Q9> =
+        MultiMrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8, 2)
+            .with_cpu_threads(4)
+            .with_obs(hub.clone())
+            .with_monitor(MonitorConfig {
+                cadence: 1,
+                ..Default::default()
+            });
+    sim.init_with(shear);
+    sim.run(5);
+    let mon = sim.monitor().unwrap();
+    assert!(mon.is_ok(), "{:?}", mon.violations());
+    hub
+}
+
+/// The exported trace parses as strict JSON and has the trace_event shape
+/// Perfetto expects: a traceEvents array of B/E/i records.
+#[test]
+fn chrome_trace_is_well_formed_json() {
+    let hub = traced_multi_run();
+    let v = json::parse(&hub.tracer.to_chrome_json()).expect("trace must parse");
+    let events = v.get("traceEvents").expect("traceEvents key").items();
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        assert!(matches!(ph, "B" | "E" | "i"), "unexpected phase {ph}");
+        assert!(e.get("ts").unwrap().as_f64().is_some());
+        assert!(e.get("tid").unwrap().as_f64().is_some());
+        if ph != "E" {
+            assert!(e.get("name").unwrap().as_str().is_some());
+        }
+    }
+}
+
+/// Every `E` closes a `B` on the same thread, and nothing is left open:
+/// the span stack discipline survives concurrent block execution.
+#[test]
+fn chrome_trace_spans_are_balanced_and_nested() {
+    let hub = traced_multi_run();
+    let v = json::parse(&hub.tracer.to_chrome_json()).unwrap();
+    let mut open: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for e in v.get("traceEvents").unwrap().items() {
+        let tid = e.get("tid").unwrap().as_f64().unwrap() as u64;
+        match e.get("ph").unwrap().as_str().unwrap() {
+            "B" => *open.entry(tid).or_insert(0) += 1,
+            "E" => {
+                let n = open.get_mut(&tid).expect("E without B");
+                assert!(*n > 0, "E without matching B on tid {tid}");
+                *n -= 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(open.values().all(|&n| n == 0), "unclosed spans: {open:?}");
+}
+
+/// Timestamps are globally monotonic (taken under the tracer's lock), so
+/// the exported trace never renders out of order.
+#[test]
+fn chrome_trace_timestamps_are_monotonic() {
+    let hub = traced_multi_run();
+    let events = hub.tracer.events();
+    assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    // Driver-level nesting: the first step span opens before the first
+    // kernel span, which closes before the step's end.
+    let step_b = events
+        .iter()
+        .position(|e| e.ph == 'B' && e.name == "step")
+        .unwrap();
+    let kernel_b = events
+        .iter()
+        .position(|e| e.ph == 'B' && e.cat == "kernel")
+        .unwrap();
+    assert!(step_b < kernel_b, "step span must open before the kernel's");
+}
+
+/// Launch metrics flow from the executor through the registry with kernel
+/// and device labels, and link counters carry the interconnect traffic.
+#[test]
+fn metrics_carry_launch_and_link_traffic() {
+    let hub = traced_multi_run();
+    let labels = [("kernel", "mr2d-p"), ("device", "NVIDIA V100")];
+    let launches = hub.metrics.counter("launches", &labels).unwrap();
+    assert!(launches > 0);
+    assert!(hub.metrics.counter("bytes_read", &labels).unwrap() > 0);
+    let link = [("link", "NVLink2[0->1]")];
+    assert!(hub.metrics.counter("link_transfer_bytes", &link).unwrap() > 0);
+    assert_eq!(
+        hub.metrics.counter("link_transfer_count", &link),
+        Some(5 * 2) // 5 steps × 2 cuts in each direction of the 2-shard ring
+    );
+    // Monitor gauges are published under the driver's pattern label.
+    assert!(hub
+        .metrics
+        .gauge("monitor_mass", &[("pattern", "multi-mr2d")])
+        .is_some());
+}
+
+/// The monitor flags NaN and mass drift, and a clean run stays clean.
+#[test]
+fn monitor_catches_violations() {
+    let mut m = PhysicsMonitor::new(MonitorConfig {
+        cadence: 1,
+        ..Default::default()
+    });
+    m.observe(1, &[1.0, 1.0], &[[0.0; 3], [0.1, 0.0, 0.0]]);
+    assert!(m.is_ok());
+    m.observe(2, &[1.0, f64::NAN], &[[0.0; 3], [0.0; 3]]);
+    assert!(!m.is_ok(), "NaN must be a violation");
+
+    let mut drift = PhysicsMonitor::new(MonitorConfig {
+        cadence: 1,
+        ..Default::default()
+    });
+    drift.observe(1, &[1.0, 1.0], &[[0.0; 3]; 2]);
+    drift.observe(2, &[1.0, 1.5], &[[0.0; 3]; 2]);
+    assert!(!drift.is_ok(), "mass drift must be a violation");
+}
+
+/// Profiler lifecycle through the facade: reset clears, merge folds two
+/// profilers' kernels and links into one.
+#[test]
+fn profiler_reset_and_merge_compose() {
+    use lbm_mr::gpu::profiler::Profiler;
+    let a = std::sync::Arc::new(Profiler::new());
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mut sim: MrSim2D<D2Q9> = MrSim2D::new(
+        DeviceSpec::v100(),
+        geom.clone(),
+        MrScheme::projective(),
+        0.8,
+    )
+    .with_profiler(a.clone());
+    sim.run(2);
+    let launches = a.get("mr2d-p").unwrap().launches;
+    assert!(launches > 0);
+
+    let b = Profiler::new();
+    b.merge(&a);
+    b.merge(&a);
+    assert_eq!(b.get("mr2d-p").unwrap().launches, 2 * launches);
+    // Merging preserves the per-item traffic (bytes and items both double).
+    let bpi_a = a.get("mr2d-p").unwrap().dram_bytes_per_item();
+    let bpi_b = b.get("mr2d-p").unwrap().dram_bytes_per_item();
+    assert!((bpi_a - bpi_b).abs() < 1e-12);
+
+    b.reset();
+    assert!(b.get("mr2d-p").is_none());
+    assert!(!b.report().contains("mr2d-p"));
+}
+
+/// The monitor does not perturb the solution: a monitored run's fields are
+/// bitwise identical to an unmonitored one.
+#[test]
+fn monitor_is_nonintrusive() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mut plain: MrSim2D<D2Q9> = MrSim2D::new(
+        DeviceSpec::v100(),
+        geom.clone(),
+        MrScheme::projective(),
+        0.8,
+    );
+    plain.init_with(shear);
+    plain.run(6);
+    let mut monitored: MrSim2D<D2Q9> =
+        MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8).with_monitor(
+            MonitorConfig {
+                cadence: 2,
+                ..Default::default()
+            },
+        );
+    monitored.init_with(shear);
+    monitored.run(6);
+    assert_eq!(monitored.monitor().unwrap().samples().len(), 3);
+    for (a, b) in plain
+        .velocity_field()
+        .iter()
+        .zip(&monitored.velocity_field())
+    {
+        for k in 0..3 {
+            assert_eq!(a[k], b[k], "monitoring changed the physics");
+        }
+    }
+}
