@@ -30,4 +30,10 @@ test -s BENCH_smoke.json
 cargo run -p obs --release --bin obs-validate -- \
   "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" BENCH_smoke.json
 
+echo "== bench wall-clock smoke (pooled executor + span paths, measured MFLUPS)"
+# Asserts 1-thread vs 8-thread tallies are identical, then times the kernels;
+# emits measured_mflups / speedup_vs_st rows into BENCH_bench.json.
+cargo run -p lbm-bench --release --bin reproduce -- --section=bench --steps=small
+test -s BENCH_bench.json
+
 echo "CI OK"

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy
-//!            |profile|futurework|scaling|smoke|all] [--quick]
+//!            |profile|futurework|scaling|smoke|bench|bench-record|all]
+//!           [--quick] [--steps=small|full] [--section=<name>]
+//!           [--trace=<path>] [--metrics=<path>]
 //! ```
 //!
-//! With `--quick` the measurement domains are smaller (CI-friendly). Every
-//! section prints the paper's reference numbers next to the reproduced
-//! ones; `EXPERIMENTS.md` records a captured run.
+//! With `--quick` (alias `--steps=small`) the measurement domains are
+//! smaller (CI-friendly). Every section prints the paper's reference
+//! numbers next to the reproduced ones; `EXPERIMENTS.md` records a captured
+//! run. The `bench` section measures genuine wall-clock MFLUPS of the
+//! software substrate (pooled executor + span memory paths) and appends
+//! `measured_mflups` / `speedup_vs_st` rows to `BENCH_bench.json`.
 
 use gpu_sim::efficiency::{bandwidth_fraction, modeled_bandwidth_gbps, Pattern};
 use gpu_sim::roofline::{bytes_per_flup_mr, bytes_per_flup_st, mflups_max_on};
@@ -814,6 +819,7 @@ fn record_ideal_run(
         l2_hit_rate,
         halo_bytes_per_step: 0,
         overlap_efficiency: 0.0,
+        ..Default::default()
     });
 }
 
@@ -945,6 +951,7 @@ fn scale_to_bench(r: &ScaleRow, lattice: &str, fluid: usize, steps: usize) -> ob
         l2_hit_rate: 0.0,
         halo_bytes_per_step: r.halo_per_step,
         overlap_efficiency: r.efficiency,
+        ..Default::default()
     }
 }
 
@@ -1046,6 +1053,7 @@ fn bench_record(quick: bool, results: &[RunResult], hub: &Arc<obs::Obs>) {
                 l2_hit_rate: 0.0,
                 halo_bytes_per_step: 0,
                 overlap_efficiency: 0.0,
+                ..Default::default()
             });
         }
     }
@@ -1071,9 +1079,146 @@ fn bench_record(quick: bool, results: &[RunResult], hub: &Arc<obs::Obs>) {
     println!();
 }
 
+/// Wall-clock bench of the software substrate itself: steady-state step
+/// timing (warmup + min-of-k repetitions on the monotonic clock) for ST,
+/// MR-P, and MR-R on the smoke lattice, reported as *measured* MFLUPS with
+/// the per-pattern speedup over ST. Before timing, each pattern is run
+/// under 1 and 8 CPU threads and the two traffic tallies are asserted
+/// byte-identical — the release-build guard that the pooled, span-staged
+/// executor is transparent to the accounting.
+fn bench_wallclock(quick: bool) {
+    use gpu_sim::memory::Tally;
+    use lbm_bench::{bench_geometry_2d, time_min_of, TAU};
+    use lbm_core::collision::Bgk;
+    use lbm_gpu::{MrScheme, MrSim2D, StSim};
+    use lbm_lattice::D2Q9;
+
+    println!("== bench: wall-clock MFLUPS of the software substrate ==============");
+    let (nx, ny) = if quick { (64, 32) } else { (128, 64) };
+    let steps_per_rep = if quick { 20 } else { 40 };
+    let reps = if quick { 3 } else { 5 };
+    let geom = bench_geometry_2d(nx, ny);
+    let fluid = geom.fluid_count();
+
+    /// One pattern: tally-equality check (1 vs 8 threads), then min-of-k
+    /// steady-state timing on the 8-thread sim. Returns (best seconds per
+    /// rep, measured B/F, L2 hit rate).
+    fn measure<S>(
+        mk: impl Fn(usize) -> S,
+        step: impl Fn(&mut S, usize),
+        tally: impl Fn(&S) -> Tally,
+        steps_per_rep: usize,
+        reps: usize,
+        fluid: usize,
+    ) -> (f64, f64, f64) {
+        let mut s1 = mk(1);
+        step(&mut s1, steps_per_rep);
+        let mut s8 = mk(8);
+        step(&mut s8, steps_per_rep); // doubles as warmup
+        let (t1, t8) = (tally(&s1), tally(&s8));
+        assert_eq!(
+            t1, t8,
+            "pooled span execution changed the traffic tally vs single-threaded"
+        );
+        let best = time_min_of(0, reps, || step(&mut s8, steps_per_rep));
+        let bpf = t8.dram_bytes() as f64 / (fluid * steps_per_rep) as f64;
+        (best, bpf, t8.l2_hit_rate())
+    }
+
+    let mut rec = obs::BenchRecord::new("bench");
+    for dev in devices() {
+        let mut st_mflups = 0.0;
+        for pattern in ["st", "mr-p", "mr-r"] {
+            let (best, bpf, l2) = match pattern {
+                "st" => measure(
+                    |threads| {
+                        StSim::<D2Q9, _>::new(dev.clone(), geom.clone(), Bgk::new(TAU))
+                            .with_cpu_threads(threads)
+                    },
+                    |s, k| s.run(k),
+                    |s| s.traffic(),
+                    steps_per_rep,
+                    reps,
+                    fluid,
+                ),
+                "mr-p" => measure(
+                    |threads| {
+                        MrSim2D::<D2Q9>::new(dev.clone(), geom.clone(), MrScheme::projective(), TAU)
+                            .with_cpu_threads(threads)
+                    },
+                    |s, k| s.run(k),
+                    |s| s.traffic(),
+                    steps_per_rep,
+                    reps,
+                    fluid,
+                ),
+                _ => measure(
+                    |threads| {
+                        MrSim2D::<D2Q9>::new(
+                            dev.clone(),
+                            geom.clone(),
+                            MrScheme::recursive::<D2Q9>(),
+                            TAU,
+                        )
+                        .with_cpu_threads(threads)
+                    },
+                    |s, k| s.run(k),
+                    |s| s.traffic(),
+                    steps_per_rep,
+                    reps,
+                    fluid,
+                ),
+            };
+            let mflups = fluid as f64 * steps_per_rep as f64 / best / 1e6;
+            assert!(
+                mflups > 0.0 && mflups.is_finite(),
+                "wall-clock MFLUPS must be positive, got {mflups}"
+            );
+            if pattern == "st" {
+                st_mflups = mflups;
+            }
+            let speedup = mflups / st_mflups;
+            println!(
+                "{:<12} {:<6} {:>8} nodes  {:>9.3} ms/step  {:>8.3} MFLUPS  {:>6.2}x vs ST",
+                dev.name,
+                pattern,
+                fluid,
+                best * 1e3 / steps_per_rep as f64,
+                mflups,
+                speedup
+            );
+            rec.push(obs::BenchRow {
+                device: dev.name.to_string(),
+                lattice: "D2Q9".to_string(),
+                pattern: pattern.to_string(),
+                fluid_nodes: fluid as u64,
+                steps: steps_per_rep as u64,
+                mflups_modeled: mflups_max_on(&dev, bpf),
+                dram_bytes_per_item: bpf,
+                l2_hit_rate: l2,
+                measured_mflups: mflups,
+                speedup_vs_st: speedup,
+                ..Default::default()
+            });
+        }
+    }
+    let path = rec.write(".").expect("write BENCH_bench.json");
+    println!("wrote {path}");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let quick = match args.iter().find_map(|a| a.strip_prefix("--steps=")) {
+        Some("small") => true,
+        Some("full") => false,
+        Some(other) => {
+            eprintln!("unknown --steps value '{other}' (expected small|full)");
+            std::process::exit(2);
+        }
+        None => quick,
+    };
     let trace_path = args
         .iter()
         .find_map(|a| a.strip_prefix("--trace="))
@@ -1085,8 +1230,14 @@ fn main() {
     let hub = obs::Obs::shared();
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .find_map(|a| a.strip_prefix("--section="))
+        .map(String::from)
+        .or_else(|| args.iter().find(|a| !a.starts_with("--")).cloned())
+        .or_else(|| {
+            args.iter()
+                .any(|a| a == "--bench-wallclock")
+                .then(|| "bench".to_string())
+        })
         .unwrap_or_else(|| "all".to_string());
 
     let needs_measure = matches!(
@@ -1114,6 +1265,7 @@ fn main() {
         "futurework" => future_work(quick),
         "scaling" => scaling(quick),
         "smoke" => smoke(&hub),
+        "bench" => bench_wallclock(quick),
         "bench-record" => bench_record(quick, &results, &hub),
         "all" => {
             table1();
@@ -1128,13 +1280,14 @@ fn main() {
             profile(quick);
             future_work(quick);
             scaling(quick);
+            bench_wallclock(quick);
             bench_record(quick, &results, &hub);
             let [v, _] = devices();
             debug_assert!(bandwidth_fraction(&v, Pattern::Standard, 2) > 0.0);
         }
         other => {
             eprintln!("unknown section '{other}'");
-            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|bench-record|all] [--quick] [--trace=<path>] [--metrics=<path>]");
+            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|bench|bench-record|all] [--quick] [--steps=small|full] [--section=<name>] [--bench-wallclock] [--trace=<path>] [--metrics=<path>]");
             std::process::exit(2);
         }
     }

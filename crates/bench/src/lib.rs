@@ -248,6 +248,23 @@ pub fn time_iters<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> f64 {
     t0.elapsed().as_secs_f64() / iters as f64
 }
 
+/// Steady-state wall-clock timing: `warmup` unmeasured calls of `f`, then
+/// `reps` individually timed repetitions on the monotonic clock, returning
+/// the fastest one in seconds. Min-of-k is the standard "how fast can this
+/// go" estimator — robust to scheduler noise, unlike a mean.
+pub fn time_min_of<F: FnMut()>(warmup: usize, reps: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Print one bench-log line: per-iteration time and, when `nodes > 0`, the
 /// wall-clock MLUPS it implies.
 pub fn bench_line(group: &str, id: &str, nodes: usize, secs_per_iter: f64) {

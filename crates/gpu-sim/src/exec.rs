@@ -17,13 +17,20 @@
 //! `__syncthreads()` barrier corresponds to finishing one `for tid` loop and
 //! starting the next (threads of a block execute sequentially, so every
 //! barrier-delimited region is trivially ordered).
+//!
+//! Block scheduling is backed by a persistent [`WorkerPool`] owned by the
+//! [`Gpu`]: threads are spawned once and woken per phase, and blocks are
+//! claimed through a shared atomic cursor (dynamic load balancing — no
+//! static chunking). Per-block shared/scratch slabs are recycled through a
+//! slab arena on the `Gpu`, so steady-state launches allocate nothing.
 
 use crate::device::DeviceSpec;
 use crate::memory::{GlobalBuffer, Tally};
+use crate::pool::WorkerPool;
 use crate::racecheck::Epoch;
 use obs::Obs;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Launch configuration: grid size, block size, and per-block memory.
 #[derive(Copy, Clone, Debug)]
@@ -87,6 +94,7 @@ pub struct BlockCtx<'a> {
     pub device: &'a DeviceSpec,
     launch_id: u32,
     phase: u32,
+    exclusive: bool,
     pub tally: Tally,
     shared: Vec<f64>,
     scratch: Vec<f64>,
@@ -100,6 +108,7 @@ impl<'a> BlockCtx<'a> {
             launch: self.launch_id,
             phase: self.phase,
             block: self.block_id as u32,
+            exclusive: self.exclusive,
         }
     }
 
@@ -115,6 +124,81 @@ impl<'a> BlockCtx<'a> {
     pub fn write<T: Copy>(&mut self, buf: &GlobalBuffer<T>, i: usize, v: T) {
         let ep = self.epoch();
         buf.write(&mut self.tally, ep, i, v)
+    }
+
+    /// Bulk-counted read of `out.len()` consecutive cells starting at
+    /// `start`. Byte-identical tallies to element-wise reads; see
+    /// [`GlobalBuffer::read_span`].
+    #[inline(always)]
+    pub fn read_span<T: Copy>(&mut self, buf: &GlobalBuffer<T>, start: usize, out: &mut [T]) {
+        let ep = self.epoch();
+        buf.read_span(&mut self.tally, ep, start, out)
+    }
+
+    /// Bulk-counted write of `src.len()` consecutive cells starting at
+    /// `start`.
+    #[inline(always)]
+    pub fn write_span<T: Copy>(&mut self, buf: &GlobalBuffer<T>, start: usize, src: &[T]) {
+        let ep = self.epoch();
+        buf.write_span(&mut self.tally, ep, start, src)
+    }
+
+    /// Bulk-counted read of `len` consecutive cells into the block's
+    /// shared-memory slab at `shared_off` (the coalesced tile-fill path).
+    #[inline(always)]
+    pub fn copy_span_to_shared(
+        &mut self,
+        buf: &GlobalBuffer<f64>,
+        start: usize,
+        shared_off: usize,
+        len: usize,
+    ) {
+        let ep = self.epoch();
+        buf.read_span(
+            &mut self.tally,
+            ep,
+            start,
+            &mut self.shared[shared_off..shared_off + len],
+        )
+    }
+
+    /// Bulk-counted read of `len` consecutive cells into the block's
+    /// private scratch at `scratch_off` (the staging path used by the span
+    /// kernel ports).
+    #[inline(always)]
+    pub fn read_span_to_scratch(
+        &mut self,
+        buf: &GlobalBuffer<f64>,
+        start: usize,
+        scratch_off: usize,
+        len: usize,
+    ) {
+        let ep = self.epoch();
+        buf.read_span(
+            &mut self.tally,
+            ep,
+            start,
+            &mut self.scratch[scratch_off..scratch_off + len],
+        )
+    }
+
+    /// Bulk-counted write of `len` doubles from the block's private scratch
+    /// at `scratch_off` into `len` consecutive cells starting at `start`.
+    #[inline(always)]
+    pub fn write_span_from_scratch(
+        &mut self,
+        buf: &GlobalBuffer<f64>,
+        start: usize,
+        scratch_off: usize,
+        len: usize,
+    ) {
+        let ep = self.epoch();
+        buf.write_span(
+            &mut self.tally,
+            ep,
+            start,
+            &self.scratch[scratch_off..scratch_off + len],
+        )
     }
 
     /// The block's shared-memory slab.
@@ -154,12 +238,37 @@ pub trait PhasedKernel: Sync {
     fn run_phase(&self, phase: usize, ctx: &mut BlockCtx);
 }
 
-/// The simulated device: owns the spec and the CPU worker configuration.
+/// Recycled per-block slab pair; see the arena on [`Gpu`].
+#[derive(Default)]
+struct BlockSlab {
+    shared: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+/// The simulated device: owns the spec, the CPU worker configuration, the
+/// persistent worker pool, and the per-block slab arena.
+/// Default for [`Gpu::with_parallel_threshold`]: launches (or lockstep
+/// phases) with fewer than this many work items (`blocks ×
+/// threads_per_block`) run inline on the submitting thread. Dispatching a
+/// phase to the pool costs a few microseconds of wakeup latency; below this
+/// size that overhead exceeds the work being distributed (measured on the
+/// bench lattices — a 2-block smoke phase is ~40% faster inline).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
+
 pub struct Gpu {
     pub device: DeviceSpec,
     cpu_threads: usize,
+    parallel_threshold: usize,
     launch_counter: AtomicU32,
     obs: Option<Arc<Obs>>,
+    /// Lazily-spawned persistent pool of `cpu_threads − 1` worker threads
+    /// (the launching thread is the remaining participant).
+    pool: OnceLock<WorkerPool>,
+    /// Recycled per-block shared/scratch slabs: taken at launch entry,
+    /// returned after the tallies are merged. Slabs are cleared and
+    /// zero-resized on reuse, so kernels still observe zero-initialized
+    /// shared and scratch memory every launch.
+    arena: Mutex<Vec<BlockSlab>>,
 }
 
 /// Pointer wrapper for disjoint parallel access to the per-block contexts.
@@ -176,14 +285,30 @@ impl Gpu {
         Gpu {
             device,
             cpu_threads: cpu,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             launch_counter: AtomicU32::new(0),
             obs: None,
+            pool: OnceLock::new(),
+            arena: Mutex::new(Vec::new()),
         }
     }
 
-    /// Override the CPU worker count (builder style).
+    /// Override the CPU worker count (builder style). Drops any existing
+    /// pool; the next launch spawns a fresh one sized to `n`.
     pub fn with_cpu_threads(mut self, n: usize) -> Self {
         self.cpu_threads = n.max(1);
+        self.pool = OnceLock::new();
+        self
+    }
+
+    /// Override the minimum launch size (`blocks × threads_per_block`)
+    /// dispatched to the worker pool (builder style). Smaller launches run
+    /// inline on the submitting thread — results and tallies are identical
+    /// either way (the executor-determinism guarantee); only wall-clock
+    /// changes. `0` forces pooling for every multi-block launch (used by
+    /// tests that exercise the pool itself).
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.parallel_threshold = items;
         self
     }
 
@@ -203,6 +328,12 @@ impl Gpu {
     /// The attached observability hub, if any.
     pub fn obs(&self) -> Option<&Arc<Obs>> {
         self.obs.as_ref()
+    }
+
+    /// The persistent worker pool, spawned on first parallel launch.
+    fn pool(&self) -> &WorkerPool {
+        self.pool
+            .get_or_init(|| WorkerPool::new(self.cpu_threads.saturating_sub(1)))
     }
 
     fn validate(&self, cfg: &Launch) {
@@ -245,22 +376,39 @@ impl Gpu {
     pub fn launch_lockstep<K: PhasedKernel>(&self, cfg: &Launch, kernel: &K) -> LaunchStats {
         self.validate(cfg);
         let launch_id = self.launch_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let use_pool = self.cpu_threads > 1
+            && cfg.blocks > 1
+            && cfg.blocks * cfg.threads_per_block >= self.parallel_threshold;
 
-        let mut ctxs: Vec<BlockCtx> = (0..cfg.blocks)
-            .map(|b| BlockCtx {
-                block_id: b,
-                threads: cfg.threads_per_block,
-                device: &self.device,
-                launch_id,
-                phase: 0,
-                tally: Tally::default(),
-                shared: vec![0.0; cfg.shared_doubles],
-                scratch: vec![0.0; cfg.scratch_doubles],
+        // Take recycled slabs from the arena (allocation-free in steady
+        // state); clear + zero-resize preserves the zero-init contract.
+        let mut slabs = std::mem::take(&mut *self.arena.lock().unwrap());
+        if slabs.len() < cfg.blocks {
+            slabs.resize_with(cfg.blocks, BlockSlab::default);
+        }
+        let mut ctxs: Vec<BlockCtx> = slabs[..cfg.blocks]
+            .iter_mut()
+            .enumerate()
+            .map(|(b, s)| {
+                s.shared.clear();
+                s.shared.resize(cfg.shared_doubles, 0.0);
+                s.scratch.clear();
+                s.scratch.resize(cfg.scratch_doubles, 0.0);
+                BlockCtx {
+                    block_id: b,
+                    threads: cfg.threads_per_block,
+                    device: &self.device,
+                    launch_id,
+                    phase: 0,
+                    exclusive: !use_pool,
+                    tally: Tally::default(),
+                    shared: std::mem::take(&mut s.shared),
+                    scratch: std::mem::take(&mut s.scratch),
+                }
             })
             .collect();
 
         let phases = kernel.phases();
-        let workers = self.cpu_threads.min(cfg.blocks).max(1);
         let _kernel_span = self.obs.as_ref().map(|o| {
             o.tracer.span_args(
                 "kernel",
@@ -273,6 +421,20 @@ impl Gpu {
                 ],
             )
         });
+        // Scheduler visibility: one `pool` span per pooled launch, nested
+        // inside the kernel span (declared after, so it drops first).
+        let _pool_span = match (&self.obs, use_pool) {
+            (Some(o), true) => Some(o.tracer.span_args(
+                "pool",
+                "dispatch",
+                &[
+                    ("workers", (self.pool().workers() + 1).to_string()),
+                    ("blocks", cfg.blocks.to_string()),
+                ],
+            )),
+            _ => None,
+        };
+        let mut stolen = 0u64;
         for phase in 0..phases {
             let _phase_span = match (&self.obs, phases > 1) {
                 (Some(o), true) => Some(o.tracer.span_args(
@@ -282,37 +444,27 @@ impl Gpu {
                 )),
                 _ => None,
             };
-            let ptr = CtxPtr(ctxs.as_mut_ptr());
-            if workers == 1 {
+            if !use_pool {
                 for ctx in ctxs.iter_mut() {
                     ctx.phase = phase as u32;
                     kernel.run_phase(phase, ctx);
                 }
             } else {
-                let nblocks = cfg.blocks;
-                let chunk = nblocks.div_ceil(workers);
-                std::thread::scope(|s| {
-                    for w in 0..workers {
-                        let lo = w * chunk;
-                        let hi = ((w + 1) * chunk).min(nblocks);
-                        if lo >= hi {
-                            break;
-                        }
-                        let ptr = &ptr;
-                        let kernel = &kernel;
-                        s.spawn(move || {
-                            for b in lo..hi {
-                                // Safety: each block index belongs to
-                                // exactly one worker's range.
-                                let ctx = unsafe { &mut *ptr.0.add(b) };
-                                ctx.phase = phase as u32;
-                                kernel.run_phase(phase, ctx);
-                            }
-                        });
-                    }
-                });
+                let ptr = CtxPtr(ctxs.as_mut_ptr());
+                // Capture the Sync wrapper by reference (not its raw-pointer
+                // field) so the closure itself is Sync.
+                let ptr = &ptr;
+                let task = move |b: usize| {
+                    // Safety: the pool's atomic cursor hands each block
+                    // index to exactly one participant, so the per-block
+                    // contexts are accessed disjointly.
+                    let ctx = unsafe { &mut *ptr.0.add(b) };
+                    ctx.phase = phase as u32;
+                    kernel.run_phase(phase, ctx);
+                };
+                stolen += self.pool().run(cfg.blocks, &task);
             }
-            // The grid-wide barrier is the scope join above; mark it so the
+            // The grid-wide barrier is the pool drain above; mark it so the
             // lockstep cadence is visible in the trace.
             if let (Some(o), true) = (&self.obs, phases > 1) {
                 o.tracer
@@ -323,6 +475,17 @@ impl Gpu {
         let mut tally = Tally::default();
         for ctx in &ctxs {
             tally.merge(&ctx.tally);
+        }
+        // Return the slabs to the arena for the next launch.
+        for (s, ctx) in slabs.iter_mut().zip(ctxs) {
+            s.shared = ctx.shared;
+            s.scratch = ctx.scratch;
+        }
+        {
+            let mut arena = self.arena.lock().unwrap();
+            if arena.len() < slabs.len() {
+                *arena = slabs;
+            }
         }
         let stats = LaunchStats {
             kernel: kernel.name().to_string(),
@@ -342,6 +505,9 @@ impl Gpu {
             m.counter_add("bytes_written", &labels, stats.tally.bytes_written);
             m.counter_add("dram_bytes_read", &labels, stats.tally.dram_bytes_read);
             m.counter_add("l2_read_hits", &labels, stats.tally.l2_read_hits);
+            if use_pool {
+                m.counter_add("exec_block_steal", &labels, stolen);
+            }
         }
         stats
     }
@@ -440,6 +606,27 @@ mod tests {
         }
     }
 
+    /// The arena recycles slabs across launches but kernels still see
+    /// zero-initialized scratch every time (a second launch must not
+    /// observe the first's leftovers).
+    #[test]
+    fn arena_reuse_preserves_zero_init() {
+        let out: GlobalBuffer<f64> = GlobalBuffer::new(6);
+        let gpu = Gpu::new(DeviceSpec::v100()).with_cpu_threads(3);
+        let cfg = Launch {
+            blocks: 6,
+            threads_per_block: 32,
+            shared_doubles: 4,
+            scratch_doubles: 1,
+        };
+        for _ in 0..3 {
+            gpu.launch_lockstep(&cfg, &PhaseProbe { out: &out });
+            for b in 0..6 {
+                assert_eq!(out.get(b), 6.0, "stale scratch leaked across launches");
+            }
+        }
+    }
+
     /// Lockstep really barriers between phases: phase 1 reads what *other*
     /// blocks wrote in phase 0.
     struct NeighborProbe<'b> {
@@ -471,7 +658,9 @@ mod tests {
         let blocks = 16;
         let a: GlobalBuffer<f64> = GlobalBuffer::new(blocks).with_racecheck();
         let out: GlobalBuffer<f64> = GlobalBuffer::new(blocks);
-        let gpu = Gpu::new(DeviceSpec::v100()).with_cpu_threads(8);
+        let gpu = Gpu::new(DeviceSpec::v100())
+            .with_cpu_threads(8)
+            .with_parallel_threshold(0);
         let cfg = Launch::simple(blocks, 32);
         gpu.launch_lockstep(
             &cfg,
@@ -487,12 +676,77 @@ mod tests {
         }
     }
 
+    /// Regression for the seed's static-chunking pathology: on a ragged
+    /// grid (`blocks % workers != 0`) every block must still execute
+    /// exactly once and produce its result.
+    #[test]
+    fn ragged_grid_all_blocks_execute() {
+        for (blocks, threads) in [(7usize, 3usize), (5, 8), (13, 4), (9, 2)] {
+            let n = blocks * 16;
+            let a = GlobalBuffer::from_vec((0..n).map(|i| i as f64).collect());
+            let b = GlobalBuffer::from_vec(vec![1.0; n]);
+            let out: GlobalBuffer<f64> = GlobalBuffer::new(n);
+            let gpu = Gpu::new(DeviceSpec::v100())
+                .with_cpu_threads(threads)
+                .with_parallel_threshold(0);
+            let stats = gpu.launch(
+                &Launch::simple(blocks, 16),
+                &VecAdd {
+                    a: &a,
+                    b: &b,
+                    out: &out,
+                    span: 16,
+                },
+            );
+            assert_eq!(
+                stats.tally.writes, n as u64,
+                "{blocks} blocks / {threads} workers"
+            );
+            for i in 0..n {
+                assert_eq!(out.get(i), i as f64 + 1.0);
+            }
+        }
+    }
+
+    /// Results and merged tallies are bitwise-identical across worker
+    /// counts: the pool only reorders which thread runs a block, never the
+    /// per-block accounting.
+    #[test]
+    fn tallies_identical_across_worker_counts() {
+        let n = 504; // ragged against every worker count below
+        let run = |threads: usize| {
+            let a = GlobalBuffer::from_vec((0..n).map(|i| (i as f64).sin()).collect());
+            let b = GlobalBuffer::from_vec(vec![2.5; n]);
+            let out: GlobalBuffer<f64> = GlobalBuffer::new(n).with_touch_tracking();
+            let gpu = Gpu::new(DeviceSpec::v100())
+                .with_cpu_threads(threads)
+                .with_parallel_threshold(0);
+            let stats = gpu.launch(
+                &Launch::simple(9, 56),
+                &VecAdd {
+                    a: &a,
+                    b: &b,
+                    out: &out,
+                    span: 56,
+                },
+            );
+            (stats.tally, out.snapshot())
+        };
+        let (t1, f1) = run(1);
+        for threads in [3, 8] {
+            let (t, f) = run(threads);
+            assert_eq!(t, t1, "tally diverged at {threads} threads");
+            assert_eq!(f, f1, "fields diverged at {threads} threads");
+        }
+    }
+
     #[test]
     fn obs_records_kernel_spans_and_launch_metrics() {
         let obs = obs::Obs::shared();
         let out: GlobalBuffer<f64> = GlobalBuffer::new(6);
         let gpu = Gpu::new(DeviceSpec::v100())
             .with_cpu_threads(2)
+            .with_parallel_threshold(0)
             .with_obs(obs.clone());
         let cfg = Launch {
             blocks: 6,
@@ -501,11 +755,14 @@ mod tests {
             scratch_doubles: 1,
         };
         gpu.launch_lockstep(&cfg, &PhaseProbe { out: &out });
-        // One kernel span + 3 phase spans (B/E each) + 3 barrier instants.
+        // One kernel span + one pool span + 3 phase spans (B/E each) +
+        // 3 barrier instants.
         let ev = obs.tracer.events();
-        assert_eq!(ev.len(), 2 + 3 * 2 + 3);
+        assert_eq!(ev.len(), 2 + 2 + 3 * 2 + 3);
         assert_eq!(ev[0].name, "phase_probe");
         assert_eq!(ev[0].cat, "kernel");
+        assert_eq!(ev[1].name, "dispatch");
+        assert_eq!(ev[1].cat, "pool");
         assert!(ev.iter().filter(|e| e.ph == 'i').count() == 3);
         let labels = [("kernel", "phase_probe"), ("device", "NVIDIA V100")];
         assert_eq!(obs.metrics.counter("launches", &labels), Some(1));
@@ -513,6 +770,10 @@ mod tests {
             obs.metrics.counter("bytes_written", &labels),
             Some(6 * 8),
             "6 blocks each write one f64"
+        );
+        assert!(
+            obs.metrics.counter("exec_block_steal", &labels).is_some(),
+            "pooled launches must publish the steal counter"
         );
     }
 
@@ -581,6 +842,20 @@ mod tests {
     fn strict_checker_catches_wrong_shift_end_to_end() {
         let buf: GlobalBuffer<f64> = GlobalBuffer::new(8).with_racecheck_strict();
         let gpu = Gpu::new(DeviceSpec::v100()).with_cpu_threads(1);
+        gpu.launch_lockstep(&Launch::simple(2, 32), &WrongShift { buf: &buf });
+    }
+
+    /// The same violation is caught under pooled (multi-worker) execution:
+    /// the write lands in phase 0 and the read in phase 1, so detection is
+    /// deterministic regardless of which worker runs which block, and the
+    /// panic propagates from the pool thread to the launcher.
+    #[test]
+    #[should_panic(expected = "stale read")]
+    fn strict_checker_fires_under_pooled_execution() {
+        let buf: GlobalBuffer<f64> = GlobalBuffer::new(8).with_racecheck_strict();
+        let gpu = Gpu::new(DeviceSpec::v100())
+            .with_cpu_threads(4)
+            .with_parallel_threshold(0);
         gpu.launch_lockstep(&Launch::simple(2, 32), &WrongShift { buf: &buf });
     }
 

@@ -187,6 +187,18 @@ impl MultiGpu {
         self
     }
 
+    /// Override each device's minimum pooled-launch size (see
+    /// `Gpu::with_parallel_threshold`); `0` forces pooling for every
+    /// multi-block launch.
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.devices = self
+            .devices
+            .drain(..)
+            .map(|g| g.with_parallel_threshold(items))
+            .collect();
+        self
+    }
+
     /// Mirror link traffic into a shared profiler's link section.
     pub fn with_profiler(mut self, p: Arc<Profiler>) -> Self {
         self.profiler = Some(p);

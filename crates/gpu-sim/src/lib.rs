@@ -38,6 +38,7 @@ pub mod exec;
 pub mod interconnect;
 pub mod memory;
 pub mod occupancy;
+pub mod pool;
 pub mod profiler;
 pub mod racecheck;
 pub mod roofline;

@@ -143,9 +143,42 @@ impl<T: Copy> GlobalBuffer<T> {
         self.cells.len() * std::mem::size_of::<T>()
     }
 
-    /// Kernel-path read: counted and race-checked.
+    /// One step of the launch-scoped L2 touch model: `true` iff this access
+    /// is the cell's first touch of the launch (a DRAM transaction).
+    ///
+    /// The cheap relaxed load in front of the swap is a fast path for repeat
+    /// touches (the common case: 8 of 9 gathers of a D2Q9 pull re-touch a
+    /// cell) — a plain load instead of a locked RMW. It cannot change the
+    /// accounting: `launch` is only ever stored during this launch, so a
+    /// load observing it proves some participant already won the swap and
+    /// counted the DRAM byte. When the load sees anything else we fall
+    /// through to the swap, whose return value stays authoritative — exactly
+    /// one participant per (cell, launch) observes a foreign value, so the
+    /// merged totals are schedule-invariant either way.
+    ///
+    /// When the epoch is [`Epoch::exclusive`] (inline dispatch: every block
+    /// of the launch runs on the submitting thread), no other participant
+    /// can touch the cell concurrently, so a plain store replaces the locked
+    /// swap — same state machine, same counts, no bus lock.
+    #[inline(always)]
+    fn touch_is_dram(cell: &AtomicU32, ep: Epoch) -> bool {
+        if cell.load(Ordering::Relaxed) == ep.launch {
+            return false;
+        }
+        if ep.exclusive {
+            cell.store(ep.launch, Ordering::Relaxed);
+            return true;
+        }
+        cell.swap(ep.launch, Ordering::Relaxed) != ep.launch
+    }
+
+    /// Kernel-path read: counted and race-checked. Bounds are validated
+    /// *before* anything is tallied, so an out-of-bounds access panics with
+    /// clean counters (`touch` always covers the whole buffer, so the
+    /// single check suffices for both paths).
     #[inline(always)]
     pub fn read(&self, tally: &mut Tally, epoch: Epoch, i: usize) -> T {
+        assert!(i < self.cells.len(), "global read out of bounds: {i}");
         if let Some(rc) = &self.race {
             rc.on_read(epoch, i);
         }
@@ -154,9 +187,7 @@ impl<T: Copy> GlobalBuffer<T> {
         tally.bytes_read += sz;
         match &self.touch {
             Some(touch) => {
-                assert!(i < touch.len(), "global read out of bounds: {i}");
-                let prev = touch[i].swap(epoch.launch, Ordering::Relaxed);
-                if prev != epoch.launch {
+                if Self::touch_is_dram(&touch[i], epoch) {
                     tally.dram_bytes_read += sz;
                 } else {
                     tally.l2_read_hits += 1;
@@ -164,22 +195,100 @@ impl<T: Copy> GlobalBuffer<T> {
             }
             None => tally.dram_bytes_read += sz,
         }
-        // Safety: in-bounds (indexing panics otherwise is emulated by the
-        // explicit check below); concurrent safety per the type contract.
-        assert!(i < self.cells.len(), "global read out of bounds: {i}");
+        // Safety: bounds-checked above; concurrent safety per the type
+        // contract.
         unsafe { *self.cells[i].get() }
     }
 
-    /// Kernel-path write: counted and race-checked.
+    /// Kernel-path write: counted and race-checked. Bounds validated before
+    /// counting, like [`GlobalBuffer::read`].
     #[inline(always)]
     pub fn write(&self, tally: &mut Tally, epoch: Epoch, i: usize, value: T) {
+        assert!(i < self.cells.len(), "global write out of bounds: {i}");
         if let Some(rc) = &self.race {
             rc.on_write(epoch, i);
         }
         tally.writes += 1;
         tally.bytes_written += std::mem::size_of::<T>() as u64;
-        assert!(i < self.cells.len(), "global write out of bounds: {i}");
         unsafe { *self.cells[i].get() = value };
+    }
+
+    /// Bulk-counted read of `out.len()` consecutive cells starting at
+    /// `start`.
+    ///
+    /// Byte-identical accounting to `out.len()` element-wise [`read`]s:
+    /// bounds are validated once for the whole span, `reads`/`bytes_read`
+    /// are bumped in one addition, race checks and L2 touch swaps still
+    /// happen per element (they are per-cell state machines), and the data
+    /// moves with one `copy_nonoverlapping` over the contiguous cell slab.
+    ///
+    /// [`read`]: GlobalBuffer::read
+    pub fn read_span(&self, tally: &mut Tally, epoch: Epoch, start: usize, out: &mut [T]) {
+        let len = out.len();
+        if len == 0 {
+            return;
+        }
+        assert!(
+            len <= self.cells.len() && start <= self.cells.len() - len,
+            "global read span out of bounds: {start}..{}",
+            start + len
+        );
+        if let Some(rc) = &self.race {
+            for i in start..start + len {
+                rc.on_read(epoch, i);
+            }
+        }
+        let sz = std::mem::size_of::<T>() as u64;
+        tally.reads += len as u64;
+        tally.bytes_read += sz * len as u64;
+        match &self.touch {
+            Some(touch) => {
+                let mut dram = 0u64;
+                for t in &touch[start..start + len] {
+                    if Self::touch_is_dram(t, epoch) {
+                        dram += 1;
+                    }
+                }
+                tally.dram_bytes_read += sz * dram;
+                tally.l2_read_hits += len as u64 - dram;
+            }
+            None => tally.dram_bytes_read += sz * len as u64,
+        }
+        // Safety: span bounds-checked above; `UnsafeCell<T>` is layout-
+        // identical to `T` and the cell slab is dense, so the span is one
+        // contiguous `T` run. Concurrent safety per the type contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.cells[start].get() as *const T,
+                out.as_mut_ptr(),
+                len,
+            );
+        }
+    }
+
+    /// Bulk-counted write of `src.len()` consecutive cells starting at
+    /// `start`. Accounting mirror of [`GlobalBuffer::read_span`].
+    pub fn write_span(&self, tally: &mut Tally, epoch: Epoch, start: usize, src: &[T]) {
+        let len = src.len();
+        if len == 0 {
+            return;
+        }
+        assert!(
+            len <= self.cells.len() && start <= self.cells.len() - len,
+            "global write span out of bounds: {start}..{}",
+            start + len
+        );
+        if let Some(rc) = &self.race {
+            for i in start..start + len {
+                rc.on_write(epoch, i);
+            }
+        }
+        tally.writes += len as u64;
+        tally.bytes_written += std::mem::size_of::<T>() as u64 * len as u64;
+        // Safety: as in `read_span`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.cells[start].get(), len);
+        }
     }
 
     /// Host-path read (uncounted). Only sound between launches.
@@ -209,6 +318,7 @@ mod tests {
             launch: 1,
             phase: 0,
             block,
+            exclusive: false,
         }
     }
 
@@ -294,6 +404,7 @@ mod tests {
                 launch: 2,
                 phase: 0,
                 block: 0,
+                exclusive: false,
             },
             0,
         );
@@ -310,6 +421,98 @@ mod tests {
         b.write(&mut t, ep(0), 2, 1.0);
         assert_eq!(t.dram_bytes_read, 16);
         assert_eq!(t.dram_bytes(), 24);
+    }
+
+    /// The satellite fix: an OOB access panics with *clean* counters — the
+    /// panic path must not inflate reads/bytes.
+    #[test]
+    fn oob_access_does_not_count() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let b: GlobalBuffer<f64> = GlobalBuffer::new(4).with_touch_tracking();
+        let mut t = Tally::default();
+        assert!(catch_unwind(AssertUnwindSafe(|| b.read(&mut t, ep(0), 4))).is_err());
+        assert_eq!(t, Tally::default(), "OOB read inflated the tally");
+        assert!(catch_unwind(AssertUnwindSafe(|| b.write(&mut t, ep(0), 9, 1.0))).is_err());
+        assert_eq!(t, Tally::default(), "OOB write inflated the tally");
+        let mut out = [0.0; 3];
+        assert!(
+            catch_unwind(AssertUnwindSafe(|| b.read_span(&mut t, ep(0), 2, &mut out))).is_err()
+        );
+        assert_eq!(t, Tally::default(), "OOB read span inflated the tally");
+        assert!(
+            catch_unwind(AssertUnwindSafe(|| b.write_span(&mut t, ep(0), 3, &out))).is_err(),
+            "write span 3..6 of len-4 buffer must panic"
+        );
+        assert_eq!(t, Tally::default(), "OOB write span inflated the tally");
+    }
+
+    /// Span ops produce byte-identical tallies to element-wise loops — the
+    /// equivalence argument the kernel ports rest on — including the L2
+    /// touch model under repeated reads.
+    #[test]
+    fn span_tally_matches_element_tally() {
+        let run = |spans: bool| {
+            let b: GlobalBuffer<f64> =
+                GlobalBuffer::from_vec((0..32).map(|i| i as f64).collect()).with_touch_tracking();
+            let mut t = Tally::default();
+            let mut buf = [0.0; 12];
+            if spans {
+                b.read_span(&mut t, ep(0), 4, &mut buf);
+                b.read_span(&mut t, ep(1), 8, &mut buf[..8]); // overlaps: 8..16 repeat
+                let vals: Vec<f64> = (0..6).map(|i| -(i as f64)).collect();
+                b.write_span(&mut t, ep(0), 20, &vals);
+            } else {
+                for (k, v) in buf.iter_mut().enumerate() {
+                    *v = b.read(&mut t, ep(0), 4 + k);
+                }
+                for k in 0..8 {
+                    let _ = b.read(&mut t, ep(1), 8 + k);
+                }
+                for i in 0..6 {
+                    b.write(&mut t, ep(0), 20 + i, -(i as f64));
+                }
+            }
+            (t, b.snapshot())
+        };
+        let (ts, fs) = run(true);
+        let (te, fe) = run(false);
+        assert_eq!(ts, te, "span vs element tallies diverged");
+        assert_eq!(fs, fe, "span vs element values diverged");
+        assert_eq!(ts.reads, 20);
+        assert_eq!(ts.l2_read_hits, 8, "cells 8..16 re-read within the launch");
+        assert_eq!(ts.dram_bytes_read, 12 * 8);
+        assert_eq!(ts.writes, 6);
+    }
+
+    /// Span ops feed the same per-cell race checker as element ops: a
+    /// same-phase cross-block write/read overlap inside a span is caught.
+    #[test]
+    #[should_panic(expected = "race")]
+    fn span_ops_are_race_checked() {
+        let b: GlobalBuffer<f64> = GlobalBuffer::new(16).with_racecheck();
+        let mut t = Tally::default();
+        let vals = [1.0; 8];
+        b.write_span(&mut t, ep(0), 0, &vals);
+        let mut out = [0.0; 4];
+        b.read_span(&mut t, ep(1), 6, &mut out); // overlaps block 0's write
+    }
+
+    #[test]
+    fn span_roundtrip_values() {
+        let b: GlobalBuffer<f64> = GlobalBuffer::from_vec(vec![0.0; 10]);
+        let mut t = Tally::default();
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0];
+        b.write_span(&mut t, ep(0), 2, &vals);
+        let mut out = [0.0; 5];
+        b.read_span(&mut t, ep(0), 2, &mut out);
+        assert_eq!(out, vals);
+        assert_eq!(b.get(0), 0.0);
+        assert_eq!(b.get(7), 0.0);
+        // Zero-length spans are free.
+        b.read_span(&mut t, ep(0), 10, &mut []);
+        b.write_span(&mut t, ep(0), 10, &[]);
+        assert_eq!(t.reads, 5);
+        assert_eq!(t.writes, 5);
     }
 
     #[test]

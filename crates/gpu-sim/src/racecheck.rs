@@ -30,6 +30,10 @@ pub struct Epoch {
     pub launch: u32,
     pub phase: u32,
     pub block: u32,
+    /// `true` when the launch's blocks all run on the submitting thread
+    /// (inline dispatch): no other participant can race on this epoch, so
+    /// the touch model may use plain stores instead of atomic RMWs.
+    pub exclusive: bool,
 }
 
 /// Packed cell state: `[launch:16][phase:16][block:31][occupied:1]`.
@@ -48,6 +52,7 @@ fn unpack(v: u64) -> Option<Epoch> {
         launch: ((v >> 48) & 0xffff) as u32,
         phase: ((v >> 32) & 0xffff) as u32,
         block: ((v >> 1) & 0x7fff_ffff) as u32,
+        exclusive: false,
     })
 }
 
@@ -131,6 +136,7 @@ mod tests {
             launch,
             phase,
             block,
+            exclusive: false,
         }
     }
 

@@ -37,38 +37,82 @@ pub fn equilibrium_i<L: Lattice>(i: usize, rho: f64, u: [f64; 3], usq: f64) -> f
     L::W[i] * rho * (1.0 + cu / cs2 + (cu * cu - cs2 * usq) / (2.0 * cs2 * cs2))
 }
 
+/// Precomputed per-direction contraction table for [`f_from_moments`].
+///
+/// The second-order term `H⁽²⁾:Π*` is a dot product between per-direction
+/// constants `mult · H⁽²⁾_ab(c_i)` and the canonical Π* slots; both factors
+/// of the constant depend only on the velocity set, so the product is built
+/// once per lattice (via [`Lattice::h2map`]) instead of being re-derived for
+/// every node. Each stored coefficient is the exact f64 product the inline
+/// expression would have formed, and the contraction walks the same slot
+/// order the inline loop did, so reconstruction results are bitwise
+/// unchanged.
+pub struct H2Map {
+    /// Canonical [`PAIRS`] slots valid for this dimension, in loop order
+    /// (2D: xx, xy, yy at canonical slots 0, 1, 3).
+    ks: [usize; 6],
+    /// Number of valid slots: `sym_pairs(D)`.
+    nk: usize,
+    /// `coeff[i][j] = mult · H⁽²⁾_ab(c_i)` for `(a, b) = PAIRS[ks[j]]`.
+    coeff: Vec<[f64; 6]>,
+    /// `c_i` as floats, so the hot loop skips the int→float conversion.
+    c: Vec<[f64; 3]>,
+}
+
+impl H2Map {
+    /// Build the table for lattice `L`. Called once per lattice by the
+    /// [`Lattice::h2map`] implementations; hot code should go through that
+    /// cached accessor instead.
+    pub fn build<L: Lattice>() -> H2Map {
+        let mut ks = [0usize; 6];
+        let mut nk = 0;
+        for (k, &(_, b)) in PAIRS.iter().enumerate() {
+            if b < L::D {
+                ks[nk] = k;
+                nk += 1;
+            }
+        }
+        debug_assert_eq!(nk, sym_pairs(L::D));
+        let mut coeff = Vec::with_capacity(L::Q);
+        let mut c = Vec::with_capacity(L::Q);
+        for i in 0..L::Q {
+            let ci = L::cf(i);
+            let mut row = [0.0f64; 6];
+            for (j, &k) in ks[..nk].iter().enumerate() {
+                let (a, b) = PAIRS[k];
+                let mult = if a == b { 1.0 } else { 2.0 };
+                row[j] = mult * hermite::h2::<L>(ci, a, b);
+            }
+            coeff.push(row);
+            c.push(ci);
+        }
+        H2Map { ks, nk, coeff, c }
+    }
+}
+
 /// Reconstruct the distribution from post-collision moments `{ρ, u, Π*}`
 /// (projective regularization, eq. 11):
 ///
 /// `f_i* = ω_i ( ρ + H⁽¹⁾·ρu / c_s² + H⁽²⁾:Π* / 2c_s⁴ )`.
 ///
 /// `pi_star` is in canonical [`PAIRS`] order (6 slots, 2D uses xx/xy/yy).
+/// The `H⁽²⁾` contraction constants come from the lattice's cached
+/// [`H2Map`].
 pub fn f_from_moments<L: Lattice>(rho: f64, u: [f64; 3], pi_star: &[f64; 6], out: &mut [f64]) {
     debug_assert_eq!(out.len(), L::Q);
-    let np = sym_pairs(L::D);
+    let map = L::h2map();
     let cs2 = L::CS2;
     for i in 0..L::Q {
-        let c = L::cf(i);
+        let c = map.c[i];
         let cu = c[0] * u[0] + c[1] * u[1] + c[2] * u[2];
         // Second-order contraction with symmetric multiplicity.
+        let row = &map.coeff[i];
         let mut h2pi = 0.0;
-        for (k, &(a, b)) in PAIRS.iter().enumerate() {
-            if b >= L::D {
-                continue;
-            }
-            let mult = if a == b { 1.0 } else { 2.0 };
-            h2pi += mult * hermite::h2::<L>(c, a, b) * pi_k(pi_star, L::D, k, np);
+        for j in 0..map.nk {
+            h2pi += row[j] * pi_star[map.ks[j]];
         }
         out[i] = L::W[i] * (rho + rho * cu / cs2 + h2pi / (2.0 * cs2 * cs2));
     }
-}
-
-/// Map a canonical-PAIRS slot enumeration to the canonical array: in 2D the
-/// loop over PAIRS skips out-of-plane slots, so the canonical array is read
-/// directly (its 2D entries live at canonical slots 0, 1, 3).
-#[inline(always)]
-fn pi_k(pi: &[f64; 6], _d: usize, k: usize, _np: usize) -> f64 {
-    pi[k]
 }
 
 /// Reconstruct the distribution from post-collision moments including

@@ -104,6 +104,15 @@ pub trait Lattice: Copy + Clone + Default + Send + Sync + 'static {
     fn supports_recursive() -> bool {
         !Self::H3_COMPONENTS.is_empty()
     }
+
+    /// Cached second-order contraction table for
+    /// [`equilibrium::f_from_moments`].
+    ///
+    /// Implementations return a per-lattice `OnceLock` initialized with
+    /// [`equilibrium::H2Map::build`]. This is a required method (rather than
+    /// a default) because a `static` inside a generic or default method body
+    /// would be shared across every lattice.
+    fn h2map() -> &'static equilibrium::H2Map;
 }
 
 /// Ordered symmetric index pairs `(α, β)` with `α ≤ β` for dimension `D`,

@@ -116,6 +116,62 @@ impl MomentLattice {
         }
     }
 
+    /// Bulk kernel read of the full moment state of `count` consecutive
+    /// nodes `idx0..idx0+count` at time `t` into block scratch at
+    /// `scratch_off`, plane-major: `scratch[scratch_off + m·count + j]` is
+    /// moment `m` of node `idx0 + j`.
+    ///
+    /// Consecutive node indices occupy consecutive slots modulo `cap`
+    /// (`slot(idx0 + j, t) = (slot(idx0, t) + j) mod cap`), so each moment
+    /// plane is at most two contiguous spans — split at the circular wrap —
+    /// and is moved through [`BlockCtx::read_span_to_scratch`]. Tallies and
+    /// race checks are byte-identical to `count` element-wise
+    /// [`MomentLattice::read_moments`] calls.
+    pub fn read_row_to_scratch(
+        &self,
+        ctx: &mut BlockCtx,
+        t: u64,
+        idx0: usize,
+        count: usize,
+        scratch_off: usize,
+    ) {
+        debug_assert!(idx0 + count <= self.n);
+        let s0 = self.slot(idx0, t);
+        let first = count.min(self.cap - s0);
+        for m in 0..self.m {
+            let base = m * self.cap;
+            let dst = scratch_off + m * count;
+            ctx.read_span_to_scratch(&self.buf, base + s0, dst, first);
+            if first < count {
+                ctx.read_span_to_scratch(&self.buf, base, dst + first, count - first);
+            }
+        }
+    }
+
+    /// Bulk kernel write mirroring [`MomentLattice::read_row_to_scratch`]:
+    /// the plane-major staged moments of `count` consecutive nodes are
+    /// written to time `t` through [`BlockCtx::write_span_from_scratch`].
+    pub fn write_row_from_scratch(
+        &self,
+        ctx: &mut BlockCtx,
+        t: u64,
+        idx0: usize,
+        count: usize,
+        scratch_off: usize,
+    ) {
+        debug_assert!(idx0 + count <= self.n);
+        let s0 = self.slot(idx0, t);
+        let first = count.min(self.cap - s0);
+        for m in 0..self.m {
+            let base = m * self.cap;
+            let src = scratch_off + m * count;
+            ctx.write_span_from_scratch(&self.buf, base + s0, src, first);
+            if first < count {
+                ctx.write_span_from_scratch(&self.buf, base, src + first, count - first);
+            }
+        }
+    }
+
     /// Host read of a node's moments at time `t` (between launches).
     pub fn get_moments<L: Lattice>(&self, t: u64, idx: usize) -> Moments {
         let mut flat = [0.0f64; 16];
@@ -194,5 +250,79 @@ mod tests {
     #[should_panic(expected = "padding must cover")]
     fn insufficient_padding_rejected() {
         let _ = MomentLattice::new(100, 6, 10, 5);
+    }
+
+    /// Row (span) reads/writes produce bitwise-identical values and
+    /// byte-identical tallies to element-wise moment access, including when
+    /// the row straddles the circular wrap of the slot space.
+    #[test]
+    fn row_ops_match_element_ops_across_wrap() {
+        use gpu_sim::exec::{Kernel, Launch};
+        use gpu_sim::{DeviceSpec, Gpu};
+
+        // n=40, cap=50, shift=8: at t=1 node idx sits in slot (idx+42)%50,
+        // so the row idx0=5, count=10 occupies slots 47..50 ∪ 0..7 — a wrap.
+        const T: u64 = 1;
+        const IDX0: usize = 5;
+        const COUNT: usize = 10;
+        struct RowProbe<'a> {
+            ml: &'a MomentLattice,
+            spans: bool,
+        }
+        impl Kernel for RowProbe<'_> {
+            fn name(&self) -> &str {
+                "row-probe"
+            }
+            fn run_block(&self, ctx: &mut BlockCtx) {
+                if self.spans {
+                    self.ml.read_row_to_scratch(ctx, T, IDX0, COUNT, 0);
+                    for k in 0..COUNT * 6 {
+                        ctx.scratch()[k] += 0.5;
+                    }
+                    self.ml.write_row_from_scratch(ctx, T + 1, IDX0, COUNT, 0);
+                } else {
+                    for j in 0..COUNT {
+                        for m in 0..6 {
+                            let v = self.ml.read(ctx, T, IDX0 + j, m);
+                            self.ml.write(ctx, T + 1, IDX0 + j, m, v + 0.5);
+                        }
+                    }
+                }
+            }
+        }
+        let run = |spans: bool| {
+            let ml = MomentLattice::new(40, 6, 8, 10).with_touch_tracking();
+            for idx in 0..40 {
+                let m = Moments {
+                    rho: 1.0 + idx as f64 * 0.01,
+                    u: [0.001 * idx as f64, -0.002, 0.0],
+                    pi: [0.3, 0.05, 0.0, 0.31, 0.0, 0.0],
+                };
+                ml.set_moments::<D2Q9>(T, idx, &m);
+            }
+            let gpu = Gpu::new(DeviceSpec::v100()).with_cpu_threads(1);
+            let cfg = Launch {
+                blocks: 1,
+                threads_per_block: 32,
+                shared_doubles: 0,
+                scratch_doubles: 6 * COUNT,
+            };
+            let stats = gpu.launch(&cfg, &RowProbe { ml: &ml, spans });
+            let out: Vec<Moments> = (IDX0..IDX0 + COUNT)
+                .map(|idx| ml.get_moments::<D2Q9>(T + 1, idx))
+                .collect();
+            (stats.tally, out)
+        };
+        let (ts, vs) = run(true);
+        let (te, ve) = run(false);
+        assert_eq!(ts, te, "row-span tallies diverged from element tallies");
+        assert_eq!(ts.reads, (COUNT * 6) as u64);
+        assert_eq!(ts.writes, (COUNT * 6) as u64);
+        for (a, b) in vs.iter().zip(&ve) {
+            assert_eq!(a.rho, b.rho);
+            assert_eq!(a.u, b.u);
+            assert_eq!(a.pi, b.pi);
+        }
+        assert!((vs[0].rho - (1.0 + 0.05 + 0.5)).abs() < 1e-15);
     }
 }

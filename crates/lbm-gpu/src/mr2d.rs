@@ -79,72 +79,49 @@ impl<L: Lattice> PhasedKernel for Mr2dKernel<'_, L> {
     }
 
     fn run_phase(&self, k: usize, ctx: &mut BlockCtx) {
-        let (nx, ny) = (self.geom.nx, self.geom.ny);
+        let nx = self.geom.nx;
         let (w, h) = (self.col_w, self.tile_h);
         let win = h + 2;
         let x0 = self.cols[ctx.block_id];
         let y_lo = k * h;
         let y_hi = y_lo + h;
         let periodic_x = self.geom.periodic[0];
-        let mut f_star = [0.0f64; MAX_Q];
 
         // --- Collide tile rows + x halo, stream into shared memory. ---
+        // Per row, maximal segments of consecutive-index fluid nodes stage
+        // their `t`-moments through row spans before the per-node collide +
+        // scatter; segments break at solids, non-periodic domain edges, and
+        // periodic-x wraps (where `idx` jumps).
         for y in y_lo..y_hi {
-            for xi in -1..=(w as i64) {
-                let mut xs = x0 as i64 + xi;
-                if xs < 0 || xs >= nx as i64 {
-                    if periodic_x {
-                        xs = xs.rem_euclid(nx as i64);
+            let mut run: Option<(usize, usize, usize)> = None; // (x_first, idx0, len)
+            for xi in -1..=(w as i64 + 1) {
+                let node = if xi <= w as i64 {
+                    let mut xs = x0 as i64 + xi;
+                    let in_dom = if xs < 0 || xs >= nx as i64 {
+                        periodic_x && {
+                            xs = xs.rem_euclid(nx as i64);
+                            true
+                        }
                     } else {
-                        continue;
-                    }
-                }
-                let x = xs as usize;
-                let idx = self.geom.idx(x, y, 0);
-                if self.geom.node_at(idx).is_solid() {
-                    continue;
-                }
-                let m = self.mom_in.read_moments::<L>(ctx, self.t, idx);
-                self.scheme
-                    .collide_and_map::<L>(&m, self.tau, &mut f_star[..L::Q]);
-
-                let src_in_col = x >= x0 && x < x0 + w;
-                for i in 0..L::Q {
-                    let c = L::C[i];
-                    let mut xd = xs + c[0] as i64;
-                    let yd = y as i64 + c[1] as i64;
-                    if xd < 0 || xd >= nx as i64 {
-                        if periodic_x {
-                            xd = xd.rem_euclid(nx as i64);
-                        } else {
-                            // Leaves the domain through an x face; the
-                            // inlet/outlet kernel rebuilds those nodes.
-                            continue;
+                        true
+                    };
+                    in_dom
+                        .then(|| {
+                            let x = xs as usize;
+                            let idx = self.geom.idx(x, y, 0);
+                            (!self.geom.node_at(idx).is_solid()).then_some((x, idx))
+                        })
+                        .flatten()
+                } else {
+                    None
+                };
+                match (&mut run, node) {
+                    (Some((_, idx0, len)), Some((_, idx))) if idx == *idx0 + *len => *len += 1,
+                    (r, node) => {
+                        if let Some((xf, idx0, len)) = r.take() {
+                            self.collide_segment(ctx, y, x0, xf, idx0, len);
                         }
-                    }
-                    if yd < 0 || yd >= ny as i64 {
-                        continue; // beyond a wall-terminated y face
-                    }
-                    let (xd, yd) = (xd as usize, yd as usize);
-                    let dest = self.geom.node(xd, yd, 0);
-                    if dest.is_solid() {
-                        // Halfway bounce-back: the population returns to its
-                        // source node in the opposite direction (push form).
-                        if src_in_col {
-                            let gain = match dest {
-                                NodeType::MovingWall(uw) => {
-                                    moving_wall_gain::<L>(L::OPP[i], uw, 1.0)
-                                }
-                                _ => 0.0,
-                            };
-                            let slot = ((x - x0) * win + y % win) * L::Q + L::OPP[i];
-                            ctx.shared()[slot] = f_star[i] + gain;
-                        }
-                        continue;
-                    }
-                    if xd >= x0 && xd < x0 + w {
-                        let slot = ((xd - x0) * win + yd % win) * L::Q + i;
-                        ctx.shared()[slot] = f_star[i];
+                        *r = node.map(|(x, idx)| (x, idx, 1));
                     }
                 }
             }
@@ -152,24 +129,115 @@ impl<L: Lattice> PhasedKernel for Mr2dKernel<'_, L> {
 
         // --- Finalize the rows completed by this tile (two-row lag):    ---
         // --- rows [k·h − 1, k·h + h − 2] have received every population. ---
+        // New moments of each maximal fluid run are staged plane-major in
+        // scratch and flushed through row spans.
         let f_lo = (y_lo as i64 - 1).max(0) as usize;
         let f_hi = y_lo + h - 1; // exclusive upper bound
         let mut f_loc = [0.0f64; MAX_Q];
+        let mut flat = [0.0f64; 16];
         for y in f_lo..f_hi {
-            for xl in 0..w {
-                let x = x0 + xl;
-                let idx = self.geom.idx(x, y, 0);
+            let mut xl = 0;
+            while xl < w {
+                let idx = self.geom.idx(x0 + xl, y, 0);
                 if self.geom.node_at(idx).is_solid() {
+                    xl += 1;
                     continue;
                 }
-                {
-                    let sh = ctx.shared();
-                    for (i, f) in f_loc[..L::Q].iter_mut().enumerate() {
-                        *f = sh[(xl * win + y % win) * L::Q + i];
+                let mut len = 1;
+                while xl + len < w && !self.geom.node_at(idx + len).is_solid() {
+                    len += 1;
+                }
+                for j in 0..len {
+                    {
+                        let sh = ctx.shared();
+                        for (i, f) in f_loc[..L::Q].iter_mut().enumerate() {
+                            *f = sh[((xl + j) * win + y % win) * L::Q + i];
+                        }
+                    }
+                    let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
+                    mnew.pack::<L>(&mut flat[..L::M]);
+                    let scratch = ctx.scratch();
+                    for m in 0..L::M {
+                        scratch[m * len + j] = flat[m];
                     }
                 }
-                let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
-                self.mom_out.write_moments::<L>(ctx, self.t + 1, idx, &mnew);
+                self.mom_out
+                    .write_row_from_scratch(ctx, self.t + 1, idx, len, 0);
+                xl += len;
+            }
+        }
+    }
+}
+
+impl<L: Lattice> Mr2dKernel<'_, L> {
+    /// Collide + scatter one maximal segment of consecutive-index fluid
+    /// nodes of row `y`: the segment's `t`-moments are staged through row
+    /// spans, then each node is collided and streamed into the block's
+    /// shared tile exactly as the element-wise path did.
+    fn collide_segment(
+        &self,
+        ctx: &mut BlockCtx,
+        y: usize,
+        x0: usize,
+        x_first: usize,
+        idx0: usize,
+        len: usize,
+    ) {
+        let (nx, ny) = (self.geom.nx, self.geom.ny);
+        let (w, win) = (self.col_w, self.tile_h + 2);
+        let periodic_x = self.geom.periodic[0];
+        self.mom_in.read_row_to_scratch(ctx, self.t, idx0, len, 0);
+        let mut f_star = [0.0f64; MAX_Q];
+        let mut flat = [0.0f64; 16];
+        for j in 0..len {
+            {
+                let scratch = ctx.scratch();
+                for m in 0..L::M {
+                    flat[m] = scratch[m * len + j];
+                }
+            }
+            let m = Moments::unpack::<L>(&flat[..L::M]);
+            self.scheme
+                .collide_and_map::<L>(&m, self.tau, &mut f_star[..L::Q]);
+
+            let x = x_first + j;
+            let xs = x as i64;
+            let src_in_col = x >= x0 && x < x0 + w;
+            for i in 0..L::Q {
+                let c = L::C[i];
+                let mut xd = xs + c[0] as i64;
+                let yd = y as i64 + c[1] as i64;
+                if xd < 0 || xd >= nx as i64 {
+                    if periodic_x {
+                        xd = xd.rem_euclid(nx as i64);
+                    } else {
+                        // Leaves the domain through an x face; the
+                        // inlet/outlet kernel rebuilds those nodes.
+                        continue;
+                    }
+                }
+                if yd < 0 || yd >= ny as i64 {
+                    continue; // beyond a wall-terminated y face
+                }
+                let (xd, yd) = (xd as usize, yd as usize);
+                let dest = self.geom.node(xd, yd, 0);
+                if dest.is_solid() {
+                    // Halfway bounce-back: the population returns to its
+                    // source node in the opposite direction (push form).
+                    if src_in_col {
+                        let gain = match dest {
+                            NodeType::MovingWall(uw) => moving_wall_gain::<L>(L::OPP[i], uw, 1.0),
+                            _ => 0.0,
+                        };
+                        let slot = ((x - x0) * win + y % win) * L::Q + L::OPP[i];
+                        ctx.shared()[slot] = f_star[i] + gain;
+                    }
+                    continue;
+                }
+                if xd >= x0 && xd < x0 + w {
+                    let slot = ((xd - x0) * win + yd % win) * L::Q + i;
+                    ctx.shared()[slot] = f_star[i];
+                }
             }
         }
     }
@@ -204,7 +272,9 @@ pub fn launch_mr2d_columns<L: Lattice>(
             blocks: cols.len(),
             threads_per_block: (col_w + 2) * tile_h,
             shared_doubles: col_w * (tile_h + 2) * L::Q,
-            scratch_doubles: 0,
+            // Row-span staging: one segment of up to col_w + 2 nodes (the
+            // collide loop's halo-extended row), M planes.
+            scratch_doubles: L::M * (col_w + 2),
         },
         &Mr2dKernel::<L> {
             mom_in,
@@ -398,6 +468,14 @@ impl<L: Lattice> MrSim2D<L> {
     /// Limit the CPU worker threads backing the substrate.
     pub fn with_cpu_threads(mut self, n: usize) -> Self {
         self.gpu = self.gpu.with_cpu_threads(n);
+        self
+    }
+
+    /// Override the minimum launch size dispatched to the worker pool
+    /// (see `gpu_sim::Gpu::with_parallel_threshold`); `0` forces pooling
+    /// for every multi-block launch.
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.gpu = self.gpu.with_parallel_threshold(items);
         self
     }
 
@@ -955,5 +1033,47 @@ mod tests {
         mr.run(20);
         let m1 = mass(&mr);
         assert!((m0 - m1).abs() < 1e-9 * m0, "mass drift {}", m1 - m0);
+    }
+
+    /// Executor determinism: identical fields and traffic tally under 1, 3,
+    /// and 8 CPU threads — the pool's dynamic block scheduling must be
+    /// invisible to both physics and accounting.
+    #[test]
+    fn executor_determinism_across_thread_counts() {
+        let init = |x: usize, y: usize, _z: usize| {
+            (
+                1.0 + 0.01 * ((x + 2 * y) as f64 * 0.4).sin(),
+                [
+                    0.02 * (y as f64 * 0.7).sin(),
+                    0.01 * (x as f64 * 0.5).cos(),
+                    0.0,
+                ],
+            )
+        };
+        let run = |threads: usize| {
+            let geom = Geometry::walls_y_periodic_x(48, 8);
+            // col_w 8 → 6 column blocks, enough for real work stealing.
+            let mut sim: MrSim2D<D2Q9> = MrSim2D::with_config(
+                DeviceSpec::v100(),
+                geom,
+                MrScheme::projective(),
+                0.8,
+                8,
+                1,
+                1,
+            )
+            .with_cpu_threads(threads)
+            .with_parallel_threshold(0); // force pooled dispatch at any size
+            sim.init_with(init);
+            sim.run(8);
+            (sim.velocity_field(), sim.density_field(), sim.traffic())
+        };
+        let base = run(1);
+        for threads in [3, 8] {
+            let got = run(threads);
+            assert_eq!(base.0, got.0, "velocity diverges at {threads} threads");
+            assert_eq!(base.1, got.1, "density diverges at {threads} threads");
+            assert_eq!(base.2, got.2, "tally diverges at {threads} threads");
+        }
     }
 }

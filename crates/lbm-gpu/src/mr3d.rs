@@ -66,101 +66,174 @@ impl<L: Lattice> PhasedKernel for Mr3dKernel<'_, L> {
     }
 
     fn run_phase(&self, z: usize, ctx: &mut BlockCtx) {
-        let (nx, ny, nz) = (self.geom.nx, self.geom.ny, self.geom.nz);
+        let (nx, ny) = (self.geom.nx, self.geom.ny);
         let (wx, wy) = (self.wx, self.wy);
         let (x0, y0) = self.cols[ctx.block_id];
         let periodic_x = self.geom.periodic[0];
-        let mut f_star = [0.0f64; MAX_Q];
-        // Shared slot: ((xl·wy + yl)·3 + z mod 3)·Q + dir.
-        let sh =
-            |xl: usize, yl: usize, zz: usize, i: usize| ((xl * wy + yl) * 3 + zz % 3) * L::Q + i;
 
         // --- Collide layer z of the column + full rectangular halo,     ---
         // --- stream into the shared window.                             ---
+        // Per x row of the halo-extended footprint, maximal segments of
+        // consecutive-index fluid nodes stage their `t`-moments through row
+        // spans before the per-node collide + scatter; segments break at
+        // solids, non-periodic edges, and periodic-x wraps (`idx` jumps).
         for yi in -1..=(wy as i64) {
             let ys = y0 as i64 + yi;
             if ys < 0 || ys >= ny as i64 {
                 continue; // wall-terminated y faces
             }
             let y = ys as usize;
-            for xi in -1..=(wx as i64) {
-                let mut xs = x0 as i64 + xi;
-                if xs < 0 || xs >= nx as i64 {
-                    if periodic_x {
-                        xs = xs.rem_euclid(nx as i64);
+            let mut run: Option<(usize, usize, usize)> = None; // (x_first, idx0, len)
+            for xi in -1..=(wx as i64 + 1) {
+                let node = if xi <= wx as i64 {
+                    let mut xs = x0 as i64 + xi;
+                    let in_dom = if xs < 0 || xs >= nx as i64 {
+                        periodic_x && {
+                            xs = xs.rem_euclid(nx as i64);
+                            true
+                        }
                     } else {
-                        continue;
-                    }
-                }
-                let x = xs as usize;
-                let idx = self.geom.idx(x, y, z);
-                if self.geom.node_at(idx).is_solid() {
-                    continue;
-                }
-                let m = self.mom_in.read_moments::<L>(ctx, self.t, idx);
-                self.scheme
-                    .collide_and_map::<L>(&m, self.tau, &mut f_star[..L::Q]);
-
-                let src_in_col = x >= x0 && x < x0 + wx && y >= y0 && y < y0 + wy;
-                for i in 0..L::Q {
-                    let c = L::C[i];
-                    let mut xd = xs + c[0] as i64;
-                    let yd = ys + c[1] as i64;
-                    let zd = z as i64 + c[2] as i64;
-                    if xd < 0 || xd >= nx as i64 {
-                        if periodic_x {
-                            xd = xd.rem_euclid(nx as i64);
-                        } else {
-                            continue; // leaves through an x face (BC kernel)
+                        true
+                    };
+                    in_dom
+                        .then(|| {
+                            let x = xs as usize;
+                            let idx = self.geom.idx(x, y, z);
+                            (!self.geom.node_at(idx).is_solid()).then_some((x, idx))
+                        })
+                        .flatten()
+                } else {
+                    None
+                };
+                match (&mut run, node) {
+                    (Some((_, idx0, len)), Some((_, idx))) if idx == *idx0 + *len => *len += 1,
+                    (r, node) => {
+                        if let Some((xf, idx0, len)) = r.take() {
+                            self.collide_segment(ctx, y, z, x0, y0, xf, idx0, len);
                         }
-                    }
-                    if yd < 0 || yd >= ny as i64 || zd < 0 || zd >= nz as i64 {
-                        continue; // beyond wall-terminated faces
-                    }
-                    let (xd, yd, zd) = (xd as usize, yd as usize, zd as usize);
-                    let dest = self.geom.node(xd, yd, zd);
-                    if dest.is_solid() {
-                        if src_in_col {
-                            let gain = match dest {
-                                NodeType::MovingWall(uw) => {
-                                    moving_wall_gain::<L>(L::OPP[i], uw, 1.0)
-                                }
-                                _ => 0.0,
-                            };
-                            let slot = sh(x - x0, y - y0, z, L::OPP[i]);
-                            ctx.shared()[slot] = f_star[i] + gain;
-                        }
-                        continue;
-                    }
-                    if xd >= x0 && xd < x0 + wx && yd >= y0 && yd < y0 + wy {
-                        let slot = sh(xd - x0, yd - y0, zd, i);
-                        ctx.shared()[slot] = f_star[i];
+                        *r = node.map(|(x, idx)| (x, idx, 1));
                     }
                 }
             }
         }
 
         // --- Finalize layer z − 1 (complete after this layer streamed). ---
+        // New moments of each maximal fluid x-run are staged plane-major in
+        // scratch and flushed through row spans.
         if z == 0 {
             return;
         }
         let zf = z - 1;
         let mut f_loc = [0.0f64; MAX_Q];
+        let mut flat = [0.0f64; 16];
         for yl in 0..wy {
-            for xl in 0..wx {
-                let (x, y) = (x0 + xl, y0 + yl);
-                let idx = self.geom.idx(x, y, zf);
+            let y = y0 + yl;
+            let mut xl = 0;
+            while xl < wx {
+                let idx = self.geom.idx(x0 + xl, y, zf);
                 if self.geom.node_at(idx).is_solid() {
+                    xl += 1;
                     continue;
                 }
-                {
-                    let shm = ctx.shared();
-                    for (i, f) in f_loc[..L::Q].iter_mut().enumerate() {
-                        *f = shm[((xl * wy + yl) * 3 + zf % 3) * L::Q + i];
+                let mut len = 1;
+                while xl + len < wx && !self.geom.node_at(idx + len).is_solid() {
+                    len += 1;
+                }
+                for j in 0..len {
+                    {
+                        let shm = ctx.shared();
+                        for (i, f) in f_loc[..L::Q].iter_mut().enumerate() {
+                            *f = shm[(((xl + j) * wy + yl) * 3 + zf % 3) * L::Q + i];
+                        }
+                    }
+                    let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
+                    mnew.pack::<L>(&mut flat[..L::M]);
+                    let scratch = ctx.scratch();
+                    for m in 0..L::M {
+                        scratch[m * len + j] = flat[m];
                     }
                 }
-                let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
-                self.mom_out.write_moments::<L>(ctx, self.t + 1, idx, &mnew);
+                self.mom_out
+                    .write_row_from_scratch(ctx, self.t + 1, idx, len, 0);
+                xl += len;
+            }
+        }
+    }
+}
+
+impl<L: Lattice> Mr3dKernel<'_, L> {
+    /// Collide + scatter one maximal segment of consecutive-index fluid
+    /// nodes of the x row at `(y, z)`: the segment's `t`-moments are staged
+    /// through row spans, then each node is collided and streamed into the
+    /// block's shared window exactly as the element-wise path did.
+    #[allow(clippy::too_many_arguments)]
+    fn collide_segment(
+        &self,
+        ctx: &mut BlockCtx,
+        y: usize,
+        z: usize,
+        x0: usize,
+        y0: usize,
+        x_first: usize,
+        idx0: usize,
+        len: usize,
+    ) {
+        let (nx, ny, nz) = (self.geom.nx, self.geom.ny, self.geom.nz);
+        let (wx, wy) = (self.wx, self.wy);
+        let periodic_x = self.geom.periodic[0];
+        // Shared slot: ((xl·wy + yl)·3 + z mod 3)·Q + dir.
+        let sh =
+            |xl: usize, yl: usize, zz: usize, i: usize| ((xl * wy + yl) * 3 + zz % 3) * L::Q + i;
+        self.mom_in.read_row_to_scratch(ctx, self.t, idx0, len, 0);
+        let mut f_star = [0.0f64; MAX_Q];
+        let mut flat = [0.0f64; 16];
+        let ys = y as i64;
+        for j in 0..len {
+            {
+                let scratch = ctx.scratch();
+                for m in 0..L::M {
+                    flat[m] = scratch[m * len + j];
+                }
+            }
+            let m = Moments::unpack::<L>(&flat[..L::M]);
+            self.scheme
+                .collide_and_map::<L>(&m, self.tau, &mut f_star[..L::Q]);
+
+            let x = x_first + j;
+            let xs = x as i64;
+            let src_in_col = x >= x0 && x < x0 + wx && y >= y0 && y < y0 + wy;
+            for i in 0..L::Q {
+                let c = L::C[i];
+                let mut xd = xs + c[0] as i64;
+                let yd = ys + c[1] as i64;
+                let zd = z as i64 + c[2] as i64;
+                if xd < 0 || xd >= nx as i64 {
+                    if periodic_x {
+                        xd = xd.rem_euclid(nx as i64);
+                    } else {
+                        continue; // leaves through an x face (BC kernel)
+                    }
+                }
+                if yd < 0 || yd >= ny as i64 || zd < 0 || zd >= nz as i64 {
+                    continue; // beyond wall-terminated faces
+                }
+                let (xd, yd, zd) = (xd as usize, yd as usize, zd as usize);
+                let dest = self.geom.node(xd, yd, zd);
+                if dest.is_solid() {
+                    if src_in_col {
+                        let gain = match dest {
+                            NodeType::MovingWall(uw) => moving_wall_gain::<L>(L::OPP[i], uw, 1.0),
+                            _ => 0.0,
+                        };
+                        let slot = sh(x - x0, y - y0, z, L::OPP[i]);
+                        ctx.shared()[slot] = f_star[i] + gain;
+                    }
+                    continue;
+                }
+                if xd >= x0 && xd < x0 + wx && yd >= y0 && yd < y0 + wy {
+                    let slot = sh(xd - x0, yd - y0, zd, i);
+                    ctx.shared()[slot] = f_star[i];
+                }
             }
         }
     }
@@ -198,7 +271,9 @@ pub fn launch_mr3d_columns<L: Lattice>(
             blocks: cols.len(),
             threads_per_block: (wx + 2) * (wy + 2),
             shared_doubles: wx * wy * 3 * L::Q,
-            scratch_doubles: 0,
+            // Row-span staging: one segment of up to wx + 2 nodes (the
+            // collide loop's halo-extended x row), M planes.
+            scratch_doubles: L::M * (wx + 2),
         },
         &Mr3dKernel::<L> {
             mom_in,
@@ -320,6 +395,14 @@ impl<L: Lattice> MrSim3D<L> {
     /// Limit the CPU worker threads backing the substrate.
     pub fn with_cpu_threads(mut self, n: usize) -> Self {
         self.gpu = self.gpu.with_cpu_threads(n);
+        self
+    }
+
+    /// Override the minimum launch size dispatched to the worker pool
+    /// (see `gpu_sim::Gpu::with_parallel_threshold`); `0` forces pooling
+    /// for every multi-block launch.
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.gpu = self.gpu.with_parallel_threshold(items);
         self
     }
 
@@ -667,5 +750,39 @@ mod tests {
         // Non-periodic but all-fluid: the wall check fires.
         let geom = Geometry::new(8, 8, 8, [true, false, false]);
         let _ = MrSim3D::<D3Q19>::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
+    }
+
+    /// Executor determinism: identical fields and traffic tally under 1, 3,
+    /// and 8 CPU threads — the pool's dynamic block scheduling must be
+    /// invisible to both physics and accounting.
+    #[test]
+    fn executor_determinism_across_thread_counts() {
+        let init = |x: usize, y: usize, z: usize| {
+            (
+                1.0 + 0.005 * ((x + y + z) as f64 * 0.5).sin(),
+                [
+                    0.02 * ((y + z) as f64 * 0.6).sin(),
+                    0.01 * (x as f64 * 0.4).cos(),
+                    0.01 * ((x + y) as f64 * 0.3).sin(),
+                ],
+            )
+        };
+        let run = |threads: usize| {
+            let geom = Geometry::channel_3d(12, 8, 8, 0.03);
+            let mut sim: MrSim3D<D3Q19> =
+                MrSim3D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.7)
+                    .with_cpu_threads(threads)
+                    .with_parallel_threshold(0); // force pooled dispatch at any size
+            sim.init_with(init);
+            sim.run(6);
+            (sim.velocity_field(), sim.density_field(), sim.traffic())
+        };
+        let base = run(1);
+        for threads in [3, 8] {
+            let got = run(threads);
+            assert_eq!(base.0, got.0, "velocity diverges at {threads} threads");
+            assert_eq!(base.1, got.1, "density diverges at {threads} threads");
+            assert_eq!(base.2, got.2, "tally diverges at {threads} threads");
+        }
     }
 }

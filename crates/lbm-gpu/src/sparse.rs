@@ -186,6 +186,14 @@ impl<L: Lattice, C: Collision<L>> StSparseSim<L, C> {
         self
     }
 
+    /// Override the minimum launch size dispatched to the worker pool
+    /// (see `gpu_sim::Gpu::with_parallel_threshold`); `0` forces pooling
+    /// for every multi-block launch.
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.gpu = self.gpu.with_parallel_threshold(items);
+        self
+    }
+
     /// Initialize to the operator-consistent equilibrium of a field.
     pub fn init_with(&mut self, field: impl Fn(usize, usize, usize) -> (f64, [f64; 3])) {
         let nf = self.index.len();

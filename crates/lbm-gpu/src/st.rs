@@ -20,23 +20,21 @@ use std::marker::PhantomData;
 
 const MAX_Q: usize = 48;
 
-/// One pull-scheme node update: streaming by gather (Algorithm 1,
-/// lines 3–10) with halfway bounce-back against solid neighbors, then
-/// collision and a write of all `Q` populations. Shared by the bulk kernel
-/// and the multi-device span kernel so both produce bitwise-identical
-/// per-node arithmetic.
+/// Streaming by gather (Algorithm 1, lines 3–10) with halfway bounce-back
+/// against solid neighbors, then collision (lines 11–26) — everything but
+/// the final `Q` stores. Shared by the bulk kernel and the multi-device
+/// span kernel so both produce bitwise-identical per-node arithmetic.
 #[inline]
-fn pull_update_node<L: Lattice, C: Collision<L>>(
+fn pull_gather_collide<L: Lattice, C: Collision<L>>(
     ctx: &mut BlockCtx,
     src: &GlobalBuffer<f64>,
-    dst: &GlobalBuffer<f64>,
     geom: &Geometry,
     collision: &C,
     idx: usize,
+    f_loc: &mut [f64; MAX_Q],
 ) {
     let n = geom.len();
     let (x, y, z) = geom.coords(idx);
-    let mut f_loc = [0.0f64; MAX_Q];
     for i in 0..L::Q {
         let c = L::C[i];
         f_loc[i] = match geom.neighbor(x, y, z, [-c[0], -c[1], -c[2]]) {
@@ -54,11 +52,90 @@ fn pull_update_node<L: Lattice, C: Collision<L>>(
             None => ctx.read(src, L::OPP[i] * n + idx),
         };
     }
-    // Macroscopics + collision (lines 11–26).
     collision.collide(&mut f_loc[..L::Q]);
+}
+
+/// Element-wise reference node update: gather + collide + `Q` element
+/// stores. The production kernels stage stores in scratch and flush them as
+/// per-direction spans; this path is the oracle the debug-build cross-check
+/// test compares against.
+#[cfg_attr(not(all(test, debug_assertions)), allow(dead_code))]
+#[inline]
+fn pull_update_node<L: Lattice, C: Collision<L>>(
+    ctx: &mut BlockCtx,
+    src: &GlobalBuffer<f64>,
+    dst: &GlobalBuffer<f64>,
+    geom: &Geometry,
+    collision: &C,
+    idx: usize,
+) {
+    let n = geom.len();
+    let mut f_loc = [0.0f64; MAX_Q];
+    pull_gather_collide::<L, C>(ctx, src, geom, collision, idx, &mut f_loc);
     for i in 0..L::Q {
         ctx.write(dst, i * n + idx, f_loc[i]);
     }
+}
+
+/// Enumerate maximal runs of consecutive node indices over a block's thread
+/// slots: `node_of(tid)` yields the node a slot handles (`None` = skip), and
+/// `f(ctx, start_tid, start_idx, len)` fires once per run. Runs break at
+/// skipped slots and at any index discontinuity, so every run is a
+/// contiguous span in both the slot space and the node space.
+#[inline]
+fn for_each_run(
+    ctx: &mut BlockCtx,
+    block_size: usize,
+    node_of: impl Fn(usize) -> Option<usize>,
+    mut f: impl FnMut(&mut BlockCtx, usize, usize, usize),
+) {
+    let mut run: Option<(usize, usize, usize)> = None;
+    for tid in 0..=block_size {
+        let node = if tid < block_size { node_of(tid) } else { None };
+        match (&mut run, node) {
+            (Some((_, sidx, len)), Some(idx)) if idx == *sidx + *len => *len += 1,
+            (r, node) => {
+                if let Some((stid, sidx, len)) = r.take() {
+                    f(ctx, stid, sidx, len);
+                }
+                *r = node.map(|idx| (tid, idx, 1));
+            }
+        }
+    }
+}
+
+/// Pull-update a block's nodes with span-flushed stores: per run of
+/// consecutive fluid nodes, gather + collide each node (reads are
+/// irregular — neighbor gathers and bounce-backs — so they stay
+/// element-wise), stage the post-collision populations direction-major in
+/// scratch, then flush `Q` per-direction [`BlockCtx::write_span_from_scratch`]
+/// spans. Same cells, same values, same per-element race checks as the
+/// element-wise path — only the store loop is batched, so tallies are
+/// byte-identical (see `DESIGN.md`, "Executor").
+#[inline]
+fn pull_update_block<L: Lattice, C: Collision<L>>(
+    ctx: &mut BlockCtx,
+    src: &GlobalBuffer<f64>,
+    dst: &GlobalBuffer<f64>,
+    geom: &Geometry,
+    collision: &C,
+    block_size: usize,
+    node_of: impl Fn(usize) -> Option<usize>,
+) {
+    let n = geom.len();
+    for_each_run(ctx, block_size, node_of, |ctx, stid, sidx, len| {
+        let mut f_loc = [0.0f64; MAX_Q];
+        for k in 0..len {
+            pull_gather_collide::<L, C>(ctx, src, geom, collision, sidx + k, &mut f_loc);
+            let scratch = ctx.scratch();
+            for i in 0..L::Q {
+                scratch[i * block_size + stid + k] = f_loc[i];
+            }
+        }
+        for i in 0..L::Q {
+            ctx.write_span_from_scratch(dst, i * n + sidx, i * block_size + stid, len);
+        }
+    });
 }
 
 /// Bulk update kernel: pull + collide over all fluid nodes.
@@ -79,16 +156,18 @@ impl<L: Lattice, C: Collision<L>> Kernel for StBulkKernel<'_, L, C> {
     fn run_block(&self, ctx: &mut BlockCtx) {
         let n = self.geom.len();
         let base = ctx.block_id * self.block_size;
-        for tid in 0..self.block_size {
-            let idx = base + tid;
-            if idx >= n {
-                break;
-            }
-            if !matches!(self.geom.node_at(idx), NodeType::Fluid) {
-                continue;
-            }
-            pull_update_node::<L, C>(ctx, self.src, self.dst, self.geom, self.collision, idx);
-        }
+        pull_update_block::<L, C>(
+            ctx,
+            self.src,
+            self.dst,
+            self.geom,
+            self.collision,
+            self.block_size,
+            |tid| {
+                let idx = base + tid;
+                (idx < n && matches!(self.geom.node_at(idx), NodeType::Fluid)).then_some(idx)
+            },
+        );
     }
 }
 
@@ -115,20 +194,28 @@ impl<L: Lattice, C: Collision<L>> Kernel for StSpanKernel<'_, L, C> {
         let w = self.x_hi - self.x_lo;
         let span = w * self.geom.ny * self.geom.nz;
         let base = ctx.block_id * self.block_size;
-        for tid in 0..self.block_size {
-            let q = base + tid;
-            if q >= span {
-                break;
-            }
-            let x = self.x_lo + q % w;
-            let y = (q / w) % self.geom.ny;
-            let z = q / (w * self.geom.ny);
-            let idx = self.geom.idx(x, y, z);
-            if !matches!(self.geom.node_at(idx), NodeType::Fluid) {
-                continue;
-            }
-            pull_update_node::<L, C>(ctx, self.src, self.dst, self.geom, self.collision, idx);
-        }
+        // Runs still flush as maximal spans: a row change makes `idx` jump
+        // (the span covers only `[x_lo, x_hi)` of each row), which breaks
+        // the run in `for_each_run`'s consecutive-index check.
+        pull_update_block::<L, C>(
+            ctx,
+            self.src,
+            self.dst,
+            self.geom,
+            self.collision,
+            self.block_size,
+            |tid| {
+                let q = base + tid;
+                if q >= span {
+                    return None;
+                }
+                let x = self.x_lo + q % w;
+                let y = (q / w) % self.geom.ny;
+                let z = q / (w * self.geom.ny);
+                let idx = self.geom.idx(x, y, z);
+                matches!(self.geom.node_at(idx), NodeType::Fluid).then_some(idx)
+            },
+        );
     }
 }
 
@@ -150,7 +237,12 @@ pub fn launch_st_pull_span<L: Lattice, C: Collision<L>>(
     assert!(x_lo < x_hi && x_hi <= geom.nx, "bad span {x_lo}..{x_hi}");
     let span = (x_hi - x_lo) * geom.ny * geom.nz;
     gpu.launch(
-        &Launch::simple(span.div_ceil(block_size), block_size),
+        &Launch {
+            blocks: span.div_ceil(block_size),
+            threads_per_block: block_size,
+            shared_doubles: 0,
+            scratch_doubles: L::Q * block_size,
+        },
         &StSpanKernel::<L, C> {
             src,
             dst,
@@ -221,18 +313,31 @@ impl<L: Lattice, C: Collision<L>> Kernel for StPushKernel<'_, L, C> {
     fn run_block(&self, ctx: &mut BlockCtx) {
         let n = self.geom.len();
         let base = ctx.block_id * self.block_size;
-        let mut f_loc = [0.0f64; MAX_Q];
-        for tid in 0..self.block_size {
+        let bs = self.block_size;
+        let node_of = |tid: usize| {
             let idx = base + tid;
-            if idx >= n {
-                break;
-            }
-            if !matches!(self.geom.node_at(idx), NodeType::Fluid) {
-                continue;
-            }
-            let (x, y, z) = self.geom.coords(idx);
+            (idx < n && matches!(self.geom.node_at(idx), NodeType::Fluid)).then_some(idx)
+        };
+        // Pass 1: the pre-collision loads are the coalesced side of push —
+        // stage each maximal fluid run's `Q` direction rows into scratch as
+        // spans. Each source cell is read at most once per launch, so the
+        // reordering relative to the scatters is accounting-neutral.
+        for_each_run(ctx, bs, node_of, |ctx, stid, sidx, len| {
             for i in 0..L::Q {
-                f_loc[i] = ctx.read(self.src, i * n + idx);
+                ctx.read_span_to_scratch(self.src, i * n + sidx, i * bs + stid, len);
+            }
+        });
+        // Pass 2: collide and scatter element-wise (the scatter targets are
+        // irregular by construction — that is the point of the ablation).
+        let mut f_loc = [0.0f64; MAX_Q];
+        for tid in 0..bs {
+            let Some(idx) = node_of(tid) else {
+                continue;
+            };
+            let (x, y, z) = self.geom.coords(idx);
+            let scratch = ctx.scratch();
+            for i in 0..L::Q {
+                f_loc[i] = scratch[i * bs + tid];
             }
             self.collision.collide(&mut f_loc[..L::Q]);
             // Scatter (streaming by push); solid destinations reflect back
@@ -378,6 +483,14 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
         self
     }
 
+    /// Override the minimum launch size dispatched to the worker pool
+    /// (see `gpu_sim::Gpu::with_parallel_threshold`); `0` forces pooling
+    /// for every multi-block launch.
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.gpu = self.gpu.with_parallel_threshold(items);
+        self
+    }
+
     /// Record every kernel launch into a shared profiler (the substrate's
     /// nvvp/rocprof analog): per-kernel byte counts and B/F.
     pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
@@ -465,9 +578,16 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
         let n = self.geom.len();
         let (src, dst) = (&self.f[self.cur], &self.f[self.cur ^ 1]);
         let blocks = n.div_ceil(self.block_size);
+        // Both bulk kernels stage span traffic direction-major in scratch.
+        let cfg = Launch {
+            blocks,
+            threads_per_block: self.block_size,
+            shared_doubles: 0,
+            scratch_doubles: L::Q * self.block_size,
+        };
         let stats = match self.stream {
             StStream::Pull => self.gpu.launch(
-                &Launch::simple(blocks, self.block_size),
+                &cfg,
                 &StBulkKernel::<L, C> {
                     src,
                     dst,
@@ -478,7 +598,7 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
                 },
             ),
             StStream::Push => self.gpu.launch(
-                &Launch::simple(blocks, self.block_size),
+                &cfg,
                 &StPushKernel::<L, C> {
                     src,
                     dst,
@@ -825,5 +945,127 @@ mod tests {
         let geom = Geometry::periodic_2d(10, 10);
         let sim: StSim<D2Q9, _> = StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8));
         assert_eq!(sim.footprint_bytes(), 2 * 9 * 100 * 8);
+    }
+
+    /// Executor determinism: the same simulation under 1, 3, and 8 CPU
+    /// threads produces bitwise-identical populations and an identical
+    /// traffic tally — block scheduling (including dynamic stealing in the
+    /// persistent pool) must be invisible to both physics and accounting.
+    #[test]
+    fn executor_determinism_across_thread_counts() {
+        let run = |threads: usize| {
+            let geom = Geometry::channel_2d(20, 11, 0.04);
+            let mut sim: StSim<D2Q9, _> = StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8))
+                .with_cpu_threads(threads)
+                .with_parallel_threshold(0) // force pooled dispatch at any size
+                .with_block_size(32); // 7 ragged blocks
+            sim.run(8);
+            let mut f = Vec::new();
+            for idx in 0..sim.geom().len() {
+                let (x, y, z) = sim.geom().coords(idx);
+                f.extend(sim.f_at(x, y, z));
+            }
+            (f, sim.traffic())
+        };
+        let base = run(1);
+        for threads in [3, 8] {
+            let got = run(threads);
+            assert!(
+                base.0.iter().zip(&got.0).all(|(a, b)| a == b),
+                "fields diverge at {threads} threads"
+            );
+            assert_eq!(base.1, got.1, "tally diverges at {threads} threads");
+        }
+    }
+
+    /// The span-staged store path must be bitwise- and tally-transparent
+    /// against the element-wise oracle (`pull_update_node`). Debug builds
+    /// only, matching the oracle's own gating.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn span_store_path_matches_element_oracle() {
+        let geom = Geometry::cavity_2d(13, 0.05);
+        let n = geom.len();
+        let q = <D2Q9 as Lattice>::Q;
+        let vals: Vec<f64> = (0..q * n).map(|i| 1.0 + (i as f64) * 1e-4).collect();
+        let collision = Bgk::new(0.8);
+        let gpu = Gpu::new(DeviceSpec::v100()).with_cpu_threads(3);
+        let (bs, blocks) = (32, n.div_ceil(32));
+
+        struct ElementOracle<'a, C: Collision<D2Q9>> {
+            src: &'a GlobalBuffer<f64>,
+            dst: &'a GlobalBuffer<f64>,
+            geom: &'a Geometry,
+            collision: &'a C,
+            block_size: usize,
+        }
+        impl<C: Collision<D2Q9>> Kernel for ElementOracle<'_, C> {
+            fn name(&self) -> &str {
+                "st-bulk-element"
+            }
+            fn run_block(&self, ctx: &mut BlockCtx) {
+                let n = self.geom.len();
+                let base = ctx.block_id * self.block_size;
+                for tid in 0..self.block_size {
+                    let idx = base + tid;
+                    if idx >= n {
+                        break;
+                    }
+                    if !matches!(self.geom.node_at(idx), NodeType::Fluid) {
+                        continue;
+                    }
+                    pull_update_node::<D2Q9, _>(
+                        ctx,
+                        self.src,
+                        self.dst,
+                        self.geom,
+                        self.collision,
+                        idx,
+                    );
+                }
+            }
+        }
+
+        let src_a = GlobalBuffer::from_vec(vals.clone()).with_touch_tracking();
+        let dst_a: GlobalBuffer<f64> = GlobalBuffer::new(q * n).with_touch_tracking();
+        let span_stats = gpu.launch(
+            &Launch {
+                blocks,
+                threads_per_block: bs,
+                shared_doubles: 0,
+                scratch_doubles: q * bs,
+            },
+            &StBulkKernel::<D2Q9, _> {
+                src: &src_a,
+                dst: &dst_a,
+                geom: &geom,
+                collision: &collision,
+                block_size: bs,
+                _l: PhantomData,
+            },
+        );
+
+        let src_b = GlobalBuffer::from_vec(vals).with_touch_tracking();
+        let dst_b: GlobalBuffer<f64> = GlobalBuffer::new(q * n).with_touch_tracking();
+        let elem_stats = gpu.launch(
+            &Launch::simple(blocks, bs),
+            &ElementOracle {
+                src: &src_b,
+                dst: &dst_b,
+                geom: &geom,
+                collision: &collision,
+                block_size: bs,
+            },
+        );
+
+        assert_eq!(
+            span_stats.tally, elem_stats.tally,
+            "span staging must not change the traffic accounting"
+        );
+        assert_eq!(
+            dst_a.snapshot(),
+            dst_b.snapshot(),
+            "span staging must be bitwise-transparent"
+        );
     }
 }

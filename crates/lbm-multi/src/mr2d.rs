@@ -145,6 +145,14 @@ impl<L: Lattice> MultiMrSim2D<L> {
         self
     }
 
+    /// Override the minimum launch size dispatched to the worker pool
+    /// (see `gpu_sim::Gpu::with_parallel_threshold`); `0` forces pooling
+    /// for every multi-block launch.
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.mg = self.mg.with_parallel_threshold(items);
+        self
+    }
+
     /// Mirror link traffic into a shared profiler.
     pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
         self.mg = self.mg.with_profiler(p);
@@ -540,5 +548,31 @@ mod tests {
         multi.run(20);
         let m1 = mass(&multi);
         assert!((m0 - m1).abs() < 1e-9 * m0, "mass drift {}", m1 - m0);
+    }
+
+    /// Executor determinism across the sharded driver: identical fields and
+    /// halo traffic under 1, 3, and 8 CPU threads per device.
+    #[test]
+    fn executor_determinism_across_thread_counts() {
+        let run = |threads: usize| {
+            let geom = Geometry::walls_y_periodic_x(16, 8);
+            let mut multi: MultiMrSim2D<D2Q9> =
+                MultiMrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8, 4)
+                    .with_cpu_threads(threads)
+                    .with_parallel_threshold(0); // force pooled dispatch at any size
+            multi.init_with(shear_init);
+            multi.run(8);
+            (
+                multi.velocity_field(),
+                multi.density_field(),
+                multi.halo_bytes_per_step(),
+                multi.interconnect().total_link_bytes(),
+            )
+        };
+        let base = run(1);
+        for threads in [3, 8] {
+            let got = run(threads);
+            assert_eq!(base, got, "sharded MR2D diverges at {threads} threads");
+        }
     }
 }

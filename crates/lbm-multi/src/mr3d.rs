@@ -137,6 +137,14 @@ impl<L: Lattice> MultiMrSim3D<L> {
         self
     }
 
+    /// Override the minimum launch size dispatched to the worker pool
+    /// (see `gpu_sim::Gpu::with_parallel_threshold`); `0` forces pooling
+    /// for every multi-block launch.
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.mg = self.mg.with_parallel_threshold(items);
+        self
+    }
+
     /// Mirror link traffic into a shared profiler.
     pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
         self.mg = self.mg.with_profiler(p);
@@ -450,5 +458,31 @@ mod tests {
         let per_step = 4 * 16 * 10 * 8;
         assert_eq!(multi.halo_bytes_per_step(), per_step as u64);
         assert_eq!(multi.interconnect().total_link_bytes(), 3 * per_step as u64);
+    }
+
+    /// Executor determinism across the sharded driver: identical fields and
+    /// halo traffic under 1, 3, and 8 CPU threads per device.
+    #[test]
+    fn executor_determinism_across_thread_counts() {
+        let run = |threads: usize| {
+            let geom = duct(12, 8, 8);
+            let mut multi: MultiMrSim3D<D3Q19> =
+                MultiMrSim3D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8, 3)
+                    .with_cpu_threads(threads)
+                    .with_parallel_threshold(0); // force pooled dispatch at any size
+            multi.init_with(shear_init);
+            multi.run(6);
+            (
+                multi.velocity_field(),
+                multi.density_field(),
+                multi.halo_bytes_per_step(),
+                multi.interconnect().total_link_bytes(),
+            )
+        };
+        let base = run(1);
+        for threads in [3, 8] {
+            let got = run(threads);
+            assert_eq!(base, got, "sharded MR3D diverges at {threads} threads");
+        }
     }
 }

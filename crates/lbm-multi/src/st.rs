@@ -124,6 +124,14 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
         self
     }
 
+    /// Override the minimum launch size dispatched to the worker pool
+    /// (see `gpu_sim::Gpu::with_parallel_threshold`); `0` forces pooling
+    /// for every multi-block launch.
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.mg = self.mg.with_parallel_threshold(items);
+        self
+    }
+
     /// Mirror link traffic into a shared profiler.
     pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
         self.mg = self.mg.with_profiler(p);
@@ -595,5 +603,31 @@ mod tests {
     fn narrow_edge_shards_rejected_for_channels() {
         let geom = Geometry::channel_2d(8, 6, 0.04);
         let _ = MultiStSim::<D2Q9, _>::new(DeviceSpec::v100(), geom, Bgk::new(0.8), 4);
+    }
+
+    /// Executor determinism across the sharded driver: identical fields and
+    /// halo traffic under 1, 3, and 8 CPU threads per device.
+    #[test]
+    fn executor_determinism_across_thread_counts() {
+        let run = |threads: usize| {
+            let geom = Geometry::walls_y_periodic_x(16, 8);
+            let mut multi: MultiStSim<D2Q9, _> =
+                MultiStSim::new(DeviceSpec::v100(), geom, Projective::new(0.8), 4)
+                    .with_cpu_threads(threads)
+                    .with_parallel_threshold(0); // force pooled dispatch at any size
+            multi.init_with(shear_init);
+            multi.run(8);
+            (
+                multi.velocity_field(),
+                multi.density_field(),
+                multi.halo_bytes_per_step(),
+                multi.interconnect().total_link_bytes(),
+            )
+        };
+        let base = run(1);
+        for threads in [3, 8] {
+            let got = run(threads);
+            assert_eq!(base, got, "sharded ST diverges at {threads} threads");
+        }
     }
 }

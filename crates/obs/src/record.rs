@@ -27,6 +27,13 @@ pub struct BenchRow {
     pub halo_bytes_per_step: u64,
     /// Overlap efficiency in [0, 1] (0 for single-device runs).
     pub overlap_efficiency: f64,
+    /// Wall-clock MFLUPS of the software substrate itself (monotonic-clock
+    /// steady-state timing; 0 when the section does not time wall-clock).
+    pub measured_mflups: f64,
+    /// Wall-clock speedup of this pattern relative to the ST run of the
+    /// same (device, lattice) in the same section (0 when not timed; 1 for
+    /// the ST row itself).
+    pub speedup_vs_st: f64,
 }
 
 impl BenchRow {
@@ -42,6 +49,8 @@ impl BenchRow {
             ("l2_hit_rate", Value::num(self.l2_hit_rate)),
             ("halo_bytes_per_step", Value::int(self.halo_bytes_per_step)),
             ("overlap_efficiency", Value::num(self.overlap_efficiency)),
+            ("measured_mflups", Value::num(self.measured_mflups)),
+            ("speedup_vs_st", Value::num(self.speedup_vs_st)),
         ])
     }
 }
@@ -136,6 +145,8 @@ mod tests {
             l2_hit_rate: 0.25,
             halo_bytes_per_step: 0,
             overlap_efficiency: 0.0,
+            measured_mflups: 12.5,
+            speedup_vs_st: 2.1,
         }
     }
 
@@ -154,6 +165,8 @@ mod tests {
             Some(96.0)
         );
         assert_eq!(rows[0].get("pattern").unwrap().as_str(), Some("mr-p"));
+        assert_eq!(rows[0].get("measured_mflups").unwrap().as_f64(), Some(12.5));
+        assert_eq!(rows[0].get("speedup_vs_st").unwrap().as_f64(), Some(2.1));
         // set_extra replaces on collision.
         assert_eq!(v.get("monitor_overhead_frac").unwrap().as_f64(), Some(0.02));
     }
