@@ -36,4 +36,12 @@ echo "== bench wall-clock smoke (pooled executor + span paths, measured MFLUPS)"
 cargo run -p lbm-bench --release --bin reproduce -- --section=bench --steps=small
 test -s BENCH_bench.json
 
+echo "== resilience (fault injection + checkpoint/rollback, bitwise-verified resume)"
+# Injects NaN writes, a launch abort, and transient link failures; asserts
+# every recovered run matches its fault-free FNV checksum and that retried
+# halo exchanges leave byte-identical link tallies.
+cargo run -p lbm-bench --release --bin reproduce -- resilience
+test -s BENCH_resilience.json
+cargo run -p obs --release --bin obs-validate -- BENCH_resilience.json
+
 echo "CI OK"

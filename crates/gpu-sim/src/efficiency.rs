@@ -16,6 +16,17 @@
 //! rather than asserted. See `DESIGN.md` ("Hardware substitution").
 
 use crate::device::{DeviceSpec, Vendor};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Times [`bandwidth_fraction`] was asked for a dimension outside the
+/// calibrated set {2, 3} and fell back to the nearest calibrated one.
+static CALIBRATION_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// How often an uncalibrated dimension was served by the nearest-dim
+/// fallback (diagnostic for callers that want to surface the warning).
+pub fn calibration_fallbacks() -> u64 {
+    CALIBRATION_FALLBACKS.load(Ordering::Relaxed)
+}
 
 /// The three propagation patterns of the paper's evaluation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -54,6 +65,24 @@ impl Pattern {
 /// MR-R drop reflects its extra arithmetic becoming visible at D3Q19 — §4.3.)
 pub fn bandwidth_fraction(dev: &DeviceSpec, pattern: Pattern, dim: usize) -> f64 {
     use Pattern::*;
+    // The paper calibrates dims 2 and 3 only. Anything else (a 1D strip
+    // bench, a hypothetical 4D sweep) clamps to the nearest calibrated dim
+    // instead of panicking, with the substitution recorded so callers can
+    // surface a warning.
+    let dim = if matches!(dim, 2 | 3) {
+        dim
+    } else {
+        CALIBRATION_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "warning: no bandwidth calibration for dim {dim}; using nearest calibrated dim {}",
+            if dim < 2 { 2 } else { 3 }
+        );
+        if dim < 2 {
+            2
+        } else {
+            3
+        }
+    };
     match (dev.vendor, dim, pattern) {
         (Vendor::Nvidia, 2, Standard) => 0.848,
         (Vendor::Nvidia, 2, MomentProjective) => 0.747,
@@ -67,7 +96,7 @@ pub fn bandwidth_fraction(dev: &DeviceSpec, pattern: Pattern, dim: usize) -> f64
         (Vendor::Amd, 3, Standard) => 0.693,
         (Vendor::Amd, 3, MomentProjective) => 0.417,
         (Vendor::Amd, 3, MomentRecursive) => 0.326,
-        _ => panic!("no calibration for dim {dim}"),
+        _ => unreachable!("dim clamped to the calibrated set above"),
     }
 }
 
@@ -206,6 +235,26 @@ mod tests {
         let mr = modeled_bandwidth_gbps(&v100, Pattern::MomentProjective, 2, BIG);
         assert!((st - 763.0).abs() < 15.0, "{st}");
         assert!((mr - 672.0).abs() < 15.0, "{mr}");
+    }
+
+    /// The de-panic satellite: uncalibrated dims fall back to the nearest
+    /// calibrated one (1 → 2, ≥4 → 3) with the substitution counted.
+    #[test]
+    fn uncalibrated_dim_falls_back_to_nearest() {
+        let v100 = DeviceSpec::v100();
+        let before = calibration_fallbacks();
+        assert_eq!(
+            bandwidth_fraction(&v100, Pattern::Standard, 1),
+            bandwidth_fraction(&v100, Pattern::Standard, 2)
+        );
+        assert_eq!(
+            bandwidth_fraction(&v100, Pattern::MomentRecursive, 4),
+            bandwidth_fraction(&v100, Pattern::MomentRecursive, 3)
+        );
+        assert_eq!(calibration_fallbacks() - before, 2);
+        // Calibrated dims never count as fallbacks.
+        let _ = bandwidth_fraction(&v100, Pattern::Standard, 2);
+        assert_eq!(calibration_fallbacks() - before, 2);
     }
 
     #[test]

@@ -261,6 +261,8 @@ pub struct Gpu {
     parallel_threshold: usize,
     launch_counter: AtomicU32,
     obs: Option<Arc<Obs>>,
+    /// Injected-fault script consulted at launch entry (tests/resilience).
+    faults: Option<Arc<crate::fault::FaultPlan>>,
     /// Lazily-spawned persistent pool of `cpu_threads − 1` worker threads
     /// (the launching thread is the remaining participant).
     pool: OnceLock<WorkerPool>,
@@ -288,9 +290,23 @@ impl Gpu {
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             launch_counter: AtomicU32::new(0),
             obs: None,
+            faults: None,
             pool: OnceLock::new(),
             arena: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attach a fault-injection plan: launches consult it and may abort
+    /// (returning a zero tally — the kernel never ran). Apply after any
+    /// `with_cpu_threads`/`with_parallel_threshold` builder calls.
+    pub fn set_fault_plan(&mut self, plan: Arc<crate::fault::FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Builder-style [`Gpu::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: Arc<crate::fault::FaultPlan>) -> Self {
+        self.set_fault_plan(plan);
+        self
     }
 
     /// Override the CPU worker count (builder style). Drops any existing
@@ -376,6 +392,34 @@ impl Gpu {
     pub fn launch_lockstep<K: PhasedKernel>(&self, cfg: &Launch, kernel: &K) -> LaunchStats {
         self.validate(cfg);
         let launch_id = self.launch_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(p) = &self.faults {
+            if p.should_abort() {
+                // The kernel never ran: report a zero tally so accounting
+                // reflects that nothing moved, and make the abort visible.
+                if let Some(o) = &self.obs {
+                    o.tracer.instant(
+                        "fault",
+                        "launch-abort",
+                        &[
+                            ("kernel", kernel.name().to_string()),
+                            ("device", self.device.name.to_string()),
+                        ],
+                    );
+                    o.metrics.counter_add(
+                        "fault_launch_aborts",
+                        &[("kernel", kernel.name()), ("device", self.device.name)],
+                        1,
+                    );
+                }
+                return LaunchStats {
+                    kernel: kernel.name().to_string(),
+                    blocks: cfg.blocks,
+                    threads_per_block: cfg.threads_per_block,
+                    phases: 0,
+                    tally: Tally::default(),
+                };
+            }
+        }
         let use_pool = self.cpu_threads > 1
             && cfg.blocks > 1
             && cfg.blocks * cfg.threads_per_block >= self.parallel_threshold;
@@ -857,6 +901,45 @@ mod tests {
             .with_cpu_threads(4)
             .with_parallel_threshold(0);
         gpu.launch_lockstep(&Launch::simple(2, 32), &WrongShift { buf: &buf });
+    }
+
+    /// An injected launch abort skips exactly the scripted launch, leaves a
+    /// zero tally (the kernel never ran), and is visible in obs.
+    #[test]
+    fn injected_abort_skips_one_launch() {
+        let obs = obs::Obs::shared();
+        let mut plan = crate::fault::FaultPlan::new();
+        plan.abort_launch(1); // let launch 1 through, abort launch 2
+        let plan = Arc::new(plan);
+        let n = 64;
+        let a = GlobalBuffer::from_vec((0..n).map(|i| i as f64).collect());
+        let b = GlobalBuffer::from_vec(vec![1.0; n]);
+        let out: GlobalBuffer<f64> = GlobalBuffer::new(n);
+        let mut gpu = Gpu::new(DeviceSpec::v100())
+            .with_cpu_threads(2)
+            .with_obs(obs.clone());
+        gpu.set_fault_plan(plan.clone());
+        let k = VecAdd {
+            a: &a,
+            b: &b,
+            out: &out,
+            span: 16,
+        };
+        let s1 = gpu.launch(&Launch::simple(4, 16), &k);
+        assert_eq!(s1.tally.writes, n as u64, "first launch must run");
+        let s2 = gpu.launch(&Launch::simple(4, 16), &k);
+        assert_eq!(s2.tally, Tally::default(), "aborted launch must tally zero");
+        assert_eq!(s2.phases, 0);
+        let s3 = gpu.launch(&Launch::simple(4, 16), &k);
+        assert_eq!(s3.tally.writes, n as u64, "abort is one-shot");
+        assert_eq!(plan.aborts_fired(), 1);
+        let labels = [("kernel", "vec_add"), ("device", "NVIDIA V100")];
+        assert_eq!(obs.metrics.counter("fault_launch_aborts", &labels), Some(1));
+        assert!(obs
+            .tracer
+            .events()
+            .iter()
+            .any(|e| e.cat == "fault" && e.name == "launch-abort"));
     }
 
     /// Launch ids increment, so the race checker distinguishes launches.

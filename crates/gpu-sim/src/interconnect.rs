@@ -15,10 +15,48 @@
 
 use crate::device::{DeviceSpec, Vendor};
 use crate::exec::Gpu;
+use crate::fault::FaultPlan;
 use crate::profiler::Profiler;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Typed interconnect failure, surfaced to the decomposition layer so the
+/// recovery machinery can distinguish "retry may help" from "give up".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkError {
+    /// The devices are not neighbors in the topology — a programming error
+    /// in the exchange schedule, never retryable.
+    NoRoute { from: usize, to: usize },
+    /// The joining link refused the transfer (injected or modeled fault).
+    /// Transient failures may succeed on retry; permanent ones never will.
+    Down {
+        from: usize,
+        to: usize,
+        permanent: bool,
+    },
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::NoRoute { from, to } => {
+                write!(f, "no link between devices {from} and {to}")
+            }
+            LinkError::Down {
+                from,
+                to,
+                permanent,
+            } => write!(
+                f,
+                "link {from}->{to} is down ({})",
+                if *permanent { "permanent" } else { "transient" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
 
 /// Bandwidth/latency description of one link class.
 #[derive(Clone, Debug)]
@@ -150,6 +188,7 @@ pub struct MultiGpu {
     link_spec: LinkSpec,
     profiler: Option<Arc<Profiler>>,
     obs: Option<Arc<obs::Obs>>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl MultiGpu {
@@ -174,7 +213,24 @@ impl MultiGpu {
             link_spec,
             profiler: None,
             obs: None,
+            faults: None,
         }
+    }
+
+    /// Attach a fault-injection plan to the link layer *and* every device
+    /// (launch aborts). Apply after the thread/threshold builders, which
+    /// rebuild the devices.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        for g in &mut self.devices {
+            g.set_fault_plan(plan.clone());
+        }
+        self.faults = Some(plan);
+    }
+
+    /// Builder-style [`MultiGpu::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.set_fault_plan(plan);
+        self
     }
 
     /// Limit each device's CPU-thread pool (determinism in tests).
@@ -246,13 +302,37 @@ impl MultiGpu {
         self.links.iter().find(|l| l.joins(x, y))
     }
 
-    /// Record one `from`→`to` transfer of `bytes` over the joining link.
-    /// Panics if the devices are not neighbors — the decomposition layer
-    /// must only exchange across cuts that have links.
-    pub fn record_transfer(&self, from: usize, to: usize, bytes: u64) {
+    /// Record one `from`→`to` transfer of `bytes` over the joining link,
+    /// surfacing failures as typed errors: [`LinkError::NoRoute`] when the
+    /// devices are not neighbors, [`LinkError::Down`] when a fault plan
+    /// fails the transfer. Failed transfers record **nothing** on the link
+    /// counters (the bytes never arrived), so a successful retry tallies
+    /// exactly once — byte-identical to a fault-free run.
+    pub fn try_record_transfer(&self, from: usize, to: usize, bytes: u64) -> Result<(), LinkError> {
         let link = self
             .link_between(from, to)
-            .unwrap_or_else(|| panic!("no link between devices {from} and {to}"));
+            .ok_or(LinkError::NoRoute { from, to })?;
+        if let Some(permanent) = self
+            .faults
+            .as_ref()
+            .and_then(|p| p.link_should_fail(from, to))
+        {
+            if let Some(o) = &self.obs {
+                let name = format!("{}[{from}->{to}]", link.spec.name);
+                let labels = [("link", name.as_str())];
+                o.metrics.counter_add("link_transfer_failures", &labels, 1);
+                o.tracer.instant(
+                    "fault",
+                    "link-failure",
+                    &[("link", name.clone()), ("permanent", permanent.to_string())],
+                );
+            }
+            return Err(LinkError::Down {
+                from,
+                to,
+                permanent,
+            });
+        }
         link.record(from, bytes);
         let name = format!("{}[{from}->{to}]", link.spec.name);
         if let Some(p) = &self.profiler {
@@ -263,6 +343,14 @@ impl MultiGpu {
             o.metrics.counter_add("link_transfer_bytes", &labels, bytes);
             o.metrics.counter_add("link_transfer_count", &labels, 1);
         }
+        Ok(())
+    }
+
+    /// Panicking wrapper of [`MultiGpu::try_record_transfer`] for callers
+    /// that treat any failure as fatal (the single-fault-domain drivers).
+    pub fn record_transfer(&self, from: usize, to: usize, bytes: u64) {
+        self.try_record_transfer(from, to, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Total bytes moved over all links, both directions.
@@ -336,6 +424,61 @@ mod tests {
     fn non_neighbor_transfer_panics() {
         let mg = MultiGpu::ring(DeviceSpec::v100(), 4);
         mg.record_transfer(0, 2, 8);
+    }
+
+    /// The de-panic satellite: a missing route surfaces as a typed error
+    /// from the fallible path instead of tearing the process down.
+    #[test]
+    fn non_neighbor_transfer_returns_typed_error() {
+        let mg = MultiGpu::ring(DeviceSpec::v100(), 4);
+        assert_eq!(
+            mg.try_record_transfer(0, 2, 8),
+            Err(LinkError::NoRoute { from: 0, to: 2 })
+        );
+        assert_eq!(mg.total_link_bytes(), 0, "failed transfer recorded bytes");
+        assert!(mg.try_record_transfer(0, 1, 8).is_ok());
+    }
+
+    /// An injected link fault fails the transfer without recording bytes,
+    /// and a retry after the transient window tallies exactly once.
+    #[test]
+    fn faulted_transfer_records_nothing_until_retry_succeeds() {
+        let obs = obs::Obs::shared();
+        let mut plan = FaultPlan::new();
+        plan.fail_link(0, 1, 1);
+        plan.fail_link_permanently(1, 2);
+        let mg = MultiGpu::ring(DeviceSpec::v100(), 4)
+            .with_obs(obs.clone())
+            .with_fault_plan(Arc::new(plan));
+        assert_eq!(
+            mg.try_record_transfer(0, 1, 100),
+            Err(LinkError::Down {
+                from: 0,
+                to: 1,
+                permanent: false
+            })
+        );
+        assert_eq!(mg.total_link_bytes(), 0);
+        assert!(mg.try_record_transfer(0, 1, 100).is_ok(), "transient fault");
+        assert_eq!(mg.total_link_bytes(), 100, "retry must tally exactly once");
+        assert_eq!(
+            mg.try_record_transfer(1, 2, 8),
+            Err(LinkError::Down {
+                from: 1,
+                to: 2,
+                permanent: true
+            })
+        );
+        let labels = [("link", "NVLink2[0->1]")];
+        assert_eq!(
+            obs.metrics.counter("link_transfer_failures", &labels),
+            Some(1)
+        );
+        assert!(obs
+            .tracer
+            .events()
+            .iter()
+            .any(|e| e.cat == "fault" && e.name == "link-failure"));
     }
 
     #[test]

@@ -29,12 +29,15 @@
 //! * [`profiler`] — per-kernel launch statistics reports.
 //! * [`interconnect`] — N devices joined by byte-counted links (NVLink /
 //!   Infinity Fabric presets), the substrate for multi-device sharding.
+//! * [`fault`] — deterministic fault injection (corrupted writes, launch
+//!   aborts, link failures) consumed by the resilience tests.
 
 #![allow(clippy::needless_range_loop)] // indexed loops are the idiom in stencil kernels
 pub mod coalesce;
 pub mod device;
 pub mod efficiency;
 pub mod exec;
+pub mod fault;
 pub mod interconnect;
 pub mod memory;
 pub mod occupancy;
@@ -45,5 +48,6 @@ pub mod roofline;
 
 pub use device::DeviceSpec;
 pub use exec::{Gpu, Kernel, Launch, LaunchStats, PhasedKernel};
-pub use interconnect::{Link, LinkSpec, MultiGpu};
+pub use fault::FaultPlan;
+pub use interconnect::{Link, LinkError, LinkSpec, MultiGpu};
 pub use memory::GlobalBuffer;

@@ -10,9 +10,11 @@
 //! discipline of the kernels (used by the tests for Algorithm 2's circular
 //! array shifting).
 
+use crate::fault::FaultPlan;
 use crate::racecheck::{Epoch, RaceChecker};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Per-block access counters, aggregated into
 /// [`crate::exec::LaunchStats`] when a launch completes.
@@ -77,6 +79,8 @@ pub struct GlobalBuffer<T = f64> {
     race: Option<RaceChecker>,
     /// Launch id of the last read per cell, for the launch-scoped L2 model.
     touch: Option<Box<[AtomicU32]>>,
+    /// Injected-fault script consulted on counted writes (tests/resilience).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 // Safety: concurrent access is governed by the documented contract above;
@@ -98,7 +102,21 @@ impl<T: Copy> GlobalBuffer<T> {
             cells: v.into_iter().map(UnsafeCell::new).collect(),
             race: None,
             touch: None,
+            faults: None,
         }
+    }
+
+    /// Attach a fault-injection plan: counted kernel writes consult it and
+    /// may have their value corrupted in place. Accounting is unchanged —
+    /// a corrupted write still moved its bytes.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Builder-style [`GlobalBuffer::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.set_fault_plan(plan);
+        self
     }
 
     /// Enable the launch-scoped L2 model: within one launch, only the first
@@ -210,6 +228,10 @@ impl<T: Copy> GlobalBuffer<T> {
         }
         tally.writes += 1;
         tally.bytes_written += std::mem::size_of::<T>() as u64;
+        let mut value = value;
+        if let Some(p) = &self.faults {
+            p.corrupt(i, &mut value);
+        }
         unsafe { *self.cells[i].get() = value };
     }
 
@@ -285,6 +307,16 @@ impl<T: Copy> GlobalBuffer<T> {
         }
         tally.writes += len as u64;
         tally.bytes_written += std::mem::size_of::<T>() as u64 * len as u64;
+        if let Some(p) = &self.faults {
+            // Fault path: store element-wise so each cell's value can be
+            // corrupted independently. Tallied identically to the bulk path.
+            for (k, v) in src.iter().enumerate() {
+                let mut v = *v;
+                p.corrupt(start + k, &mut v);
+                unsafe { *self.cells[start + k].get() = v };
+            }
+            return;
+        }
         // Safety: as in `read_span`.
         unsafe {
             std::ptr::copy_nonoverlapping(src.as_ptr(), self.cells[start].get(), len);
@@ -513,6 +545,43 @@ mod tests {
         b.write_span(&mut t, ep(0), 10, &[]);
         assert_eq!(t.reads, 5);
         assert_eq!(t.writes, 5);
+    }
+
+    /// Fault injection corrupts values on both the element and span write
+    /// paths but never the accounting: tallies with a plan attached are
+    /// byte-identical to tallies without one.
+    #[test]
+    fn fault_injection_is_accounting_neutral() {
+        use crate::fault::FaultPlan;
+        let run = |plan: Option<Arc<FaultPlan>>| {
+            let mut b: GlobalBuffer<f64> = GlobalBuffer::new(16).with_touch_tracking();
+            if let Some(p) = plan {
+                b.set_fault_plan(p);
+            }
+            let mut t = Tally::default();
+            b.write(&mut t, ep(0), 3, 1.5);
+            let vals = [2.0, 3.0, 4.0, 5.0];
+            b.write_span(&mut t, ep(0), 6, &vals);
+            let mut out = [0.0; 4];
+            b.read_span(&mut t, ep(0), 6, &mut out);
+            (t, b.snapshot())
+        };
+
+        let mut plan = FaultPlan::new();
+        plan.inject_nan(3, 0); // element path
+        plan.inject_bitflip(7, 63, 0); // span path: sign flip of cell 7
+        let plan = Arc::new(plan);
+        let (tf, ff) = run(Some(plan.clone()));
+        let (tc, fc) = run(None);
+
+        assert_eq!(tf, tc, "fault plan changed the tally");
+        assert!(ff[3].is_nan(), "element-path NaN fault did not land");
+        assert_eq!(ff[7], -fc[7], "span-path bitflip did not land");
+        let untouched: Vec<usize> = (0..16).filter(|&i| i != 3 && i != 7).collect();
+        for i in untouched {
+            assert_eq!(ff[i], fc[i], "cell {i} corrupted unexpectedly");
+        }
+        assert_eq!(plan.mem_faults_fired(), 2);
     }
 
     #[test]

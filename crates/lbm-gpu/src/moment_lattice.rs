@@ -191,6 +191,42 @@ impl MomentLattice {
             self.buf.set(m * self.cap + s, flat[m]);
         }
     }
+
+    /// Total raw slots in the backing store (`m · cap`), the length of a
+    /// [`MomentLattice::host_snapshot`].
+    pub fn raw_len(&self) -> usize {
+        self.m * self.cap
+    }
+
+    /// Host copy of the raw backing store (all `m · cap` slots, untranslated).
+    ///
+    /// Checkpoints snapshot the buffer verbatim rather than per-node moments:
+    /// restoring the same bytes with the same `t` reproduces the exact slot
+    /// layout, so a resumed run is bitwise-identical to an uninterrupted one.
+    pub fn host_snapshot(&self) -> Vec<f64> {
+        self.buf.snapshot()
+    }
+
+    /// Host restore of a raw backing store taken by
+    /// [`MomentLattice::host_snapshot`] on an identically-shaped lattice.
+    pub fn host_restore(&self, data: &[f64]) {
+        assert_eq!(
+            data.len(),
+            self.m * self.cap,
+            "snapshot shape mismatch: {} slots vs {} in lattice",
+            data.len(),
+            self.m * self.cap
+        );
+        for (i, v) in data.iter().enumerate() {
+            self.buf.set(i, *v);
+        }
+    }
+
+    /// Attach a fault plan to the backing buffer (kernel writes become
+    /// corruptible at the plan's trigger points).
+    pub fn set_fault_plan(&mut self, plan: std::sync::Arc<gpu_sim::FaultPlan>) {
+        self.buf.set_fault_plan(plan);
+    }
 }
 
 fn replace_buffer(

@@ -542,11 +542,88 @@ impl<L: Lattice> MrSim3D<L> {
         }
     }
 
-    /// Advance `steps` timesteps.
+    /// Advance `steps` timesteps, then force a final monitor sample so a
+    /// run that ends off the sampling cadence still has its tail checked.
     pub fn run(&mut self, steps: usize) {
         for _ in 0..steps {
             self.step();
         }
+        self.finish_monitor();
+    }
+
+    /// Force a final monitor sample at the current step (no-op without a
+    /// monitor, or when the last step was already sampled).
+    pub fn finish_monitor(&mut self) {
+        if self.monitor.is_none() {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
+    }
+
+    /// Mutable access to the physics monitor (recovery rollback).
+    pub fn monitor_mut(&mut self) -> Option<&mut obs::PhysicsMonitor> {
+        self.monitor.as_mut()
+    }
+
+    /// Attach a deterministic fault plan to the device and the moment
+    /// storage (see `gpu_sim::FaultPlan`).
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<gpu_sim::FaultPlan>) -> Self {
+        self.gpu.set_fault_plan(plan.clone());
+        self.mom.set_fault_plan(plan);
+        self
+    }
+
+    /// FNV-1a fingerprint of the macroscopic fields (bitwise-sensitive).
+    pub fn field_checksum(&self) -> u64 {
+        let (rho, u) = self.macro_fields();
+        lbm_core::io::field_checksum(&rho, &u)
+    }
+
+    /// Serialize the full solver state (raw moment lattice, step counter,
+    /// traffic accumulator) — see [`MrSim2D::checkpoint`](crate::MrSim2D)
+    /// for the raw-snapshot rationale.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = lbm_core::io::CheckpointWriter::new("mr3d");
+        w.put_u64(self.geom.nx as u64)
+            .put_u64(self.geom.ny as u64)
+            .put_u64(self.geom.nz as u64)
+            .put_u64(L::M as u64)
+            .put_u64(self.t)
+            .put_u64(self.accum.reads)
+            .put_u64(self.accum.writes)
+            .put_u64(self.accum.bytes_read)
+            .put_u64(self.accum.bytes_written)
+            .put_u64(self.accum.dram_bytes_read)
+            .put_u64(self.accum.l2_read_hits)
+            .put_f64s(&self.mom.host_snapshot());
+        w.finish()
+    }
+
+    /// Restore a [`MrSim3D::checkpoint`] snapshot taken on an identically
+    /// configured simulation.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), lbm_core::io::CheckpointError> {
+        use lbm_core::io::CheckpointReader;
+        let mut r = CheckpointReader::open(bytes, "mr3d")?;
+        r.expect_u64(self.geom.nx as u64, "nx")?;
+        r.expect_u64(self.geom.ny as u64, "ny")?;
+        r.expect_u64(self.geom.nz as u64, "nz")?;
+        r.expect_u64(L::M as u64, "M")?;
+        self.t = r.take_u64()?;
+        self.accum = Tally {
+            reads: r.take_u64()?,
+            writes: r.take_u64()?,
+            bytes_read: r.take_u64()?,
+            bytes_written: r.take_u64()?,
+            dram_bytes_read: r.take_u64()?,
+            l2_read_hits: r.take_u64()?,
+        };
+        let raw = r.take_f64s(self.mom.raw_len())?;
+        self.mom.host_restore(&raw);
+        if let Some(m) = self.monitor.as_mut() {
+            m.rollback_to(self.t);
+        }
+        Ok(())
     }
 
     /// Completed timesteps.

@@ -65,12 +65,36 @@ impl FluidIndex {
     }
 }
 
+/// Largest fluid count a `q`-direction lattice can index through the `u32`
+/// neighbor table: every entry `dir · nf + compact_id` with `dir < q` and
+/// `compact_id < nf` must fit, so `q · nf − 1 ≤ u32::MAX`.
+pub fn max_encodable_fluid_nodes(q: usize) -> usize {
+    (u32::MAX as usize + 1) / q
+}
+
+/// Validate that `nf` fluid nodes are encodable for a `q`-direction
+/// lattice. Returns a descriptive error instead of letting the `as u32`
+/// casts in the table build silently truncate — a truncated link makes the
+/// gather read the wrong node with no diagnostic at all.
+pub fn check_table_encoding(q: usize, nf: usize) -> Result<(), String> {
+    let max = max_encodable_fluid_nodes(q);
+    if nf > max {
+        return Err(format!(
+            "sparse neighbor table overflow: {nf} fluid nodes × {q} directions \
+             exceeds the u32 entry range (max {max} nodes for Q={q}); \
+             the encoded links would silently truncate"
+        ));
+    }
+    Ok(())
+}
+
 /// Build the pull neighbor table: entry `(i, n)` is the compact slot whose
 /// direction-`i` population node `n` gathers — either the fluid neighbor at
 /// `n − c_i`, or `n` itself with the opposite direction for bounce-back.
 /// Entries are encoded as `dir · nf + compact_id`, one `u32` per link.
 fn build_neighbor_table<L: Lattice>(geom: &Geometry, index: &FluidIndex) -> Vec<u32> {
     let nf = index.len();
+    check_table_encoding(L::Q, nf).unwrap_or_else(|e| panic!("{e}"));
     let mut table = vec![0u32; L::Q * nf];
     for (cid, &idx) in index.nodes.iter().enumerate() {
         let (x, y, z) = geom.coords(idx);
@@ -379,6 +403,29 @@ mod tests {
         let dense_bytes = 2 * 9 * geom.len() * 8;
         // fluid ≈ half the box; sparse ≈ half the f storage + 25% links.
         assert!(sparse.footprint_bytes() < (dense_bytes as f64 * 0.65) as usize);
+    }
+
+    /// The satellite fix: the u32 table encoding has a hard node-count
+    /// ceiling per lattice, checked at build time with a clear error.
+    /// (Allocating 2³²⁄Q nodes is infeasible in a unit test, so the bound
+    /// check is exercised directly with synthetic counts.)
+    #[test]
+    fn table_encoding_bound_is_exact() {
+        for q in [9usize, 19, 27] {
+            let max = max_encodable_fluid_nodes(q);
+            // Largest encodable entry fits in u32…
+            assert!(q * max - 1 <= u32::MAX as usize);
+            // …and one more node would overflow.
+            assert!(q * (max + 1) - 1 > u32::MAX as usize);
+            assert!(check_table_encoding(q, max).is_ok());
+            let err = check_table_encoding(q, max + 1).unwrap_err();
+            assert!(err.contains("overflow"), "{err}");
+            assert!(err.contains(&format!("Q={q}")), "{err}");
+        }
+        // D3Q19 at the paper's production scales: 226 million fluid nodes
+        // ((2³²)/19) is the ceiling — a 620³ box exceeds it.
+        assert_eq!(max_encodable_fluid_nodes(19), 226_050_910);
+        assert!(check_table_encoding(19, 620 * 620 * 620).is_err());
     }
 
     #[test]

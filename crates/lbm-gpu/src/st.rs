@@ -664,11 +664,38 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
         }
     }
 
-    /// Advance `steps` timesteps.
+    /// Advance `steps` timesteps, then force a final monitor sample so a
+    /// run that ends off the sampling cadence still has its tail checked.
     pub fn run(&mut self, steps: usize) {
         for _ in 0..steps {
             self.step();
         }
+        self.finish_monitor();
+    }
+
+    /// Force a final monitor sample at the current step (no-op without a
+    /// monitor, or when the last step was already sampled).
+    pub fn finish_monitor(&mut self) {
+        if self.monitor.is_none() {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        self.monitor.as_mut().unwrap().finish(self.steps, &rho, &u);
+    }
+
+    /// Mutable access to the physics monitor (recovery rollback).
+    pub fn monitor_mut(&mut self) -> Option<&mut obs::PhysicsMonitor> {
+        self.monitor.as_mut()
+    }
+
+    /// Attach a deterministic fault plan to the device and both lattices
+    /// (see `gpu_sim::FaultPlan`): injected write corruption and launch
+    /// aborts become live, with unchanged traffic accounting.
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<gpu_sim::FaultPlan>) -> Self {
+        self.gpu.set_fault_plan(plan.clone());
+        self.f[0].set_fault_plan(plan.clone());
+        self.f[1].set_fault_plan(plan);
+        self
     }
 
     /// Completed timesteps.
@@ -748,6 +775,64 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
     /// Density field (solid nodes report zero).
     pub fn density_field(&self) -> Vec<f64> {
         self.macro_fields().0
+    }
+
+    /// FNV-1a fingerprint of the macroscopic fields (bitwise-sensitive; two
+    /// runs match iff their fields are identical to the last bit).
+    pub fn field_checksum(&self) -> u64 {
+        let (rho, u) = self.macro_fields();
+        lbm_core::io::field_checksum(&rho, &u)
+    }
+
+    /// Serialize the full solver state (current lattice, step counter,
+    /// traffic accumulator) as a versioned, checksummed snapshot.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let n = self.geom.len();
+        let mut w = lbm_core::io::CheckpointWriter::new("st");
+        w.put_u64(self.geom.nx as u64)
+            .put_u64(self.geom.ny as u64)
+            .put_u64(self.geom.nz as u64)
+            .put_u64(L::Q as u64)
+            .put_u64(self.steps)
+            .put_u64(self.accum.reads)
+            .put_u64(self.accum.writes)
+            .put_u64(self.accum.bytes_read)
+            .put_u64(self.accum.bytes_written)
+            .put_u64(self.accum.dram_bytes_read)
+            .put_u64(self.accum.l2_read_hits)
+            .put_f64s(&self.f[self.cur].snapshot()[..L::Q * n]);
+        w.finish()
+    }
+
+    /// Restore a [`StSim::checkpoint`] snapshot taken on an identically
+    /// configured simulation. Resuming replays the exact uninterrupted
+    /// trajectory (the update is deterministic and the snapshot is bitwise).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), lbm_core::io::CheckpointError> {
+        use lbm_core::io::CheckpointReader;
+        let mut r = CheckpointReader::open(bytes, "st")?;
+        r.expect_u64(self.geom.nx as u64, "nx")?;
+        r.expect_u64(self.geom.ny as u64, "ny")?;
+        r.expect_u64(self.geom.nz as u64, "nz")?;
+        r.expect_u64(L::Q as u64, "Q")?;
+        self.steps = r.take_u64()?;
+        self.accum = Tally {
+            reads: r.take_u64()?,
+            writes: r.take_u64()?,
+            bytes_read: r.take_u64()?,
+            bytes_written: r.take_u64()?,
+            dram_bytes_read: r.take_u64()?,
+            l2_read_hits: r.take_u64()?,
+        };
+        let n = self.geom.len();
+        let f = r.take_f64s(L::Q * n)?;
+        for (i, v) in f.iter().enumerate() {
+            self.f[0].set(i, *v);
+        }
+        self.cur = 0;
+        if let Some(m) = self.monitor.as_mut() {
+            m.rollback_to(self.steps);
+        }
+        Ok(())
     }
 }
 

@@ -18,6 +18,8 @@
 //!   bytes per halo node, per-shard double-buffered shift-0 moment
 //!   lattices (the in-place circular shift of Algorithm 2 is only safe
 //!   when a whole step is one lockstep launch).
+//! * [`recovery`] — checkpoint/rollback recovery loop, bounded halo-retry
+//!   policy, and the [`Recoverable`] trait implemented by all six drivers.
 //! * [`stats`] — the two-phase overlap schedule's timing model
 //!   (`t_step = t_boundary + max(t_interior, t_exchange) + t_bc`) and
 //!   overlap efficiency.
@@ -30,11 +32,15 @@
 pub mod decomp;
 pub mod mr2d;
 pub mod mr3d;
+pub mod recovery;
 pub mod st;
 pub mod stats;
 
 pub use decomp::{Cut, HaloTransfer, Slab, SlabDecomp};
 pub use mr2d::MultiMrSim2D;
 pub use mr3d::MultiMrSim3D;
+pub use recovery::{
+    run_with_recovery, HaloRetryPolicy, Recoverable, RecoveryConfig, RecoveryError, RecoveryStats,
+};
 pub use st::MultiStSim;
 pub use stats::OverlapStats;

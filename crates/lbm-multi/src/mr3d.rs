@@ -8,11 +8,13 @@
 
 use crate::decomp::SlabDecomp;
 use crate::mr2d::MrShard;
+use crate::recovery::{transfer_with_retry, HaloRetryPolicy};
 use crate::st::check_boundary_widths;
 use crate::stats::{device_time_s, exchange_time_s, OverlapStats};
-use gpu_sim::interconnect::MultiGpu;
-use gpu_sim::DeviceSpec;
+use gpu_sim::interconnect::{LinkError, MultiGpu};
+use gpu_sim::{DeviceSpec, FaultPlan};
 use lbm_core::geometry::{Geometry, NodeType};
+use lbm_core::io::{CheckpointError, CheckpointReader, CheckpointWriter};
 use lbm_gpu::boundary::boundary_nodes;
 use lbm_gpu::moment_lattice::MomentLattice;
 use lbm_gpu::mr2d::launch_mr_bc;
@@ -21,6 +23,8 @@ use lbm_gpu::scheme::MrScheme;
 use lbm_lattice::moments::Moments;
 use lbm_lattice::Lattice;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 struct Mr3dShard {
     geom: Geometry,
@@ -45,6 +49,8 @@ pub struct MultiMrSim3D<L: Lattice> {
     t: u64,
     stats: OverlapStats,
     monitor: Option<obs::PhysicsMonitor>,
+    retry: HaloRetryPolicy,
+    halo_retries: AtomicU64,
     _l: PhantomData<L>,
 }
 
@@ -125,6 +131,8 @@ impl<L: Lattice> MultiMrSim3D<L> {
             t: 0,
             stats: OverlapStats::default(),
             monitor: None,
+            retry: HaloRetryPolicy::default(),
+            halo_retries: AtomicU64::new(0),
             _l: PhantomData,
         };
         sim.init_with(|_, _, _| (1.0, [0.0; 3]));
@@ -169,6 +177,33 @@ impl<L: Lattice> MultiMrSim3D<L> {
         self.monitor.as_ref()
     }
 
+    /// Mutable access to the physics monitor, if enabled.
+    pub fn monitor_mut(&mut self) -> Option<&mut obs::PhysicsMonitor> {
+        self.monitor.as_mut()
+    }
+
+    /// Override the halo-transfer retry policy.
+    pub fn with_halo_retry(mut self, policy: HaloRetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Attach a deterministic fault plan to every device, every shard's
+    /// moment lattices, and the interconnect.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.mg.set_fault_plan(plan.clone());
+        for sh in &mut self.shards {
+            sh.mom[0].set_fault_plan(plan.clone());
+            sh.mom[1].set_fault_plan(plan.clone());
+        }
+        self
+    }
+
+    /// Halo-transfer retries performed so far.
+    pub fn halo_retries(&self) -> u64 {
+        self.halo_retries.load(Ordering::Relaxed)
+    }
+
     /// Initialize every node — including ghosts — from a macroscopic field
     /// at **global** coordinates (no initial exchange needed).
     pub fn init_with(&mut self, field: impl Fn(usize, usize, usize) -> (f64, [f64; 3])) {
@@ -194,8 +229,19 @@ impl<L: Lattice> MultiMrSim3D<L> {
         self.stats = OverlapStats::default();
     }
 
-    /// Advance one timestep with the two-phase overlap schedule.
+    /// Advance one timestep with the two-phase overlap schedule. Panics if
+    /// a halo transfer fails beyond the retry budget; use
+    /// [`MultiMrSim3D::try_step`] for typed link errors.
     pub fn step(&mut self) {
+        self.try_step()
+            .unwrap_or_else(|e| panic!("halo exchange failed: {e}"));
+    }
+
+    /// Advance one timestep, surfacing halo-link failures. On `Err` no
+    /// state has advanced (`t` and the buffer parity are unchanged) — the
+    /// completed edge-strip launches are idempotent and a later retry of
+    /// the whole step recomputes them bitwise-identically.
+    pub fn try_step(&mut self) -> Result<(), LinkError> {
         let obs = self.mg.obs().cloned();
         let _step_span = obs.as_ref().map(|o| {
             o.tracer
@@ -225,7 +271,7 @@ impl<L: Lattice> MultiMrSim3D<L> {
         }
 
         let _halo_span = obs.as_ref().map(|o| o.tracer.span("halo", "halo-exchange"));
-        let transfers = self.exchange();
+        let transfers = self.exchange()?;
         drop(_halo_span);
 
         for (r, sh) in self.shards.iter().enumerate() {
@@ -275,15 +321,27 @@ impl<L: Lattice> MultiMrSim3D<L> {
         }
         self.t += 1;
         self.sample_monitor("multi-mr3d");
+        Ok(())
     }
 
-    /// Moment-space halo exchange across every cut.
-    fn exchange(&self) -> Vec<(usize, usize, u64)> {
+    /// Moment-space halo exchange across every cut. The link tally is
+    /// recorded (with bounded retries on transient link faults) *before*
+    /// the copy: a failed transfer moves no data and records no bytes, so
+    /// a successful retry tallies exactly once.
+    fn exchange(&self) -> Result<Vec<(usize, usize, u64)>, LinkError> {
         let mut out = Vec::new();
         for tr in self.decomp.halo_transfers() {
+            let bytes = (self.decomp.column_fluid_count(tr.gx) * L::M * 8) as u64;
+            transfer_with_retry(
+                &self.mg,
+                tr.from,
+                tr.to,
+                bytes,
+                &self.retry,
+                &self.halo_retries,
+            )?;
             let (src, dst) = (&self.shards[tr.from], &self.shards[tr.to]);
             let (sm, dm) = (&src.mom[src.cur ^ 1], &dst.mom[dst.cur ^ 1]);
-            let mut bytes = 0u64;
             for z in 0..src.geom.nz {
                 for y in 0..src.geom.ny {
                     if !src.geom.node(tr.src_lx, y, z).is_fluid_like() {
@@ -293,20 +351,30 @@ impl<L: Lattice> MultiMrSim3D<L> {
                     let di = dst.geom.idx(tr.dst_lx, y, z);
                     let m = sm.get_moments::<L>(self.t + 1, si);
                     dm.set_moments::<L>(self.t + 1, di, &m);
-                    bytes += (L::M * 8) as u64;
                 }
             }
-            self.mg.record_transfer(tr.from, tr.to, bytes);
             out.push((tr.from, tr.to, bytes));
         }
-        out
+        Ok(out)
     }
 
-    /// Advance `steps` timesteps.
+    /// Advance `steps` timesteps, then flush a final monitor sample if the
+    /// last step fell between cadence points.
     pub fn run(&mut self, steps: usize) {
         for _ in 0..steps {
             self.step();
         }
+        self.finish_monitor();
+    }
+
+    /// Force a final monitor sample at the current step (no-op when the
+    /// monitor is absent or already sampled this step).
+    pub fn finish_monitor(&mut self) {
+        if self.monitor.is_none() {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
     }
 
     /// Completed timesteps.
@@ -348,7 +416,7 @@ impl<L: Lattice> MultiMrSim3D<L> {
     }
 
     /// Global density and velocity in one pass (solid nodes report zero).
-    fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
+    pub fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
         let g = self.decomp.global();
         let mut rho = vec![0.0; g.len()];
         let mut u = vec![[0.0; 3]; g.len()];
@@ -384,6 +452,71 @@ impl<L: Lattice> MultiMrSim3D<L> {
     /// Global density field (solid nodes report zero).
     pub fn density_field(&self) -> Vec<f64> {
         self.macro_fields().0
+    }
+
+    /// FNV-1a checksum of the global macroscopic fields (bitwise).
+    pub fn field_checksum(&self) -> u64 {
+        let (rho, u) = self.macro_fields();
+        lbm_core::io::field_checksum(&rho, &u)
+    }
+
+    /// Serialize the full sharded state: dimensions, timestep, overlap
+    /// stats, and every shard's current moment lattice (ghost columns
+    /// included, so no post-restore exchange is needed).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let g = self.decomp.global();
+        let mut w = CheckpointWriter::new("multi-mr3d");
+        w.put_u64(g.nx as u64)
+            .put_u64(g.ny as u64)
+            .put_u64(g.nz as u64)
+            .put_u64(L::M as u64)
+            .put_u64(self.shards.len() as u64)
+            .put_u64(self.t)
+            .put_u64(self.stats.steps)
+            .put_f64(self.stats.boundary_s)
+            .put_f64(self.stats.interior_s)
+            .put_f64(self.stats.exchange_s)
+            .put_f64(self.stats.bc_s)
+            .put_f64(self.stats.hidden_s)
+            .put_f64(self.stats.total_s);
+        for sh in &self.shards {
+            w.put_f64s(&sh.mom[sh.cur].host_snapshot());
+        }
+        w.finish()
+    }
+
+    /// Restore a snapshot taken by [`MultiMrSim3D::checkpoint`] on an
+    /// identically configured simulation. Bitwise: the restored state
+    /// continues exactly as the original would have (shift-0 lattices make
+    /// the slot layout timestep-independent, so the snapshot lands in
+    /// buffer 0 regardless of the saved parity).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let g = self.decomp.global();
+        let mut r = CheckpointReader::open(bytes, "multi-mr3d")?;
+        r.expect_u64(g.nx as u64, "nx")?;
+        r.expect_u64(g.ny as u64, "ny")?;
+        r.expect_u64(g.nz as u64, "nz")?;
+        r.expect_u64(L::M as u64, "M")?;
+        r.expect_u64(self.shards.len() as u64, "shard count")?;
+        self.t = r.take_u64()?;
+        self.stats = OverlapStats {
+            steps: r.take_u64()?,
+            boundary_s: r.take_f64()?,
+            interior_s: r.take_f64()?,
+            exchange_s: r.take_f64()?,
+            bc_s: r.take_f64()?,
+            hidden_s: r.take_f64()?,
+            total_s: r.take_f64()?,
+        };
+        for sh in &mut self.shards {
+            let data = r.take_f64s(sh.mom[0].raw_len())?;
+            sh.mom[0].host_restore(&data);
+            sh.cur = 0;
+        }
+        if let Some(m) = self.monitor.as_mut() {
+            m.rollback_to(self.t);
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,368 @@
+//! Fault-tolerant execution: halo-transfer retry, checkpoint cadence, and
+//! rollback recovery.
+//!
+//! The recovery loop drives any [`Recoverable`] solver toward a target step
+//! count while watching for injected or emergent faults on three channels:
+//!
+//! * **link failures** — transient link faults are absorbed *inside* the
+//!   drivers by [`HaloRetryPolicy`]-bounded retries (failed attempts record
+//!   zero link bytes, so a recovered run's link tallies are byte-identical
+//!   to a fault-free run); permanent failures surface as
+//!   [`RecoveryError::Link`];
+//! * **launch aborts** — a skipped kernel launch can leave *stale but
+//!   finite* fields that conservation checks miss, so the loop watches the
+//!   fault plan's fired counters directly ([`RecoveryConfig::fault_watch`]);
+//! * **state corruption** — NaN/∞ or standing physics-monitor violations,
+//!   probed at every checkpoint boundary.
+//!
+//! On detection the solver is restored from the last healthy checkpoint and
+//! the lost steps are replayed. Because every solver in this workspace is
+//! bitwise-deterministic, the recovered trajectory is *identical* to an
+//! uninterrupted one — the resilience tests assert equality of FNV field
+//! checksums, not tolerances.
+
+use gpu_sim::interconnect::{LinkError, MultiGpu};
+use gpu_sim::FaultPlan;
+use lbm_core::io::CheckpointError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bounded-backoff retry policy for halo transfers over faulty links.
+#[derive(Clone, Copy, Debug)]
+pub struct HaloRetryPolicy {
+    /// Total attempts per transfer, first try included (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry, capped at 64×.
+    pub backoff_base_us: u64,
+}
+
+impl Default for HaloRetryPolicy {
+    fn default() -> Self {
+        HaloRetryPolicy {
+            max_attempts: 3,
+            backoff_base_us: 20,
+        }
+    }
+}
+
+/// Record one halo transfer with bounded retries. Transient link failures
+/// back off (capped exponential) and retry; a permanent failure or missing
+/// route is surfaced immediately. A failed attempt records zero bytes (the
+/// fault check precedes the tally in `MultiGpu::try_record_transfer`), so a
+/// successful retry tallies exactly once.
+pub(crate) fn transfer_with_retry(
+    mg: &MultiGpu,
+    from: usize,
+    to: usize,
+    bytes: u64,
+    policy: &HaloRetryPolicy,
+    retries: &AtomicU64,
+) -> Result<(), LinkError> {
+    assert!(policy.max_attempts >= 1, "at least one attempt is required");
+    let mut failures = 0u32;
+    loop {
+        match mg.try_record_transfer(from, to, bytes) {
+            Ok(()) => return Ok(()),
+            Err(
+                e @ (LinkError::NoRoute { .. }
+                | LinkError::Down {
+                    permanent: true, ..
+                }),
+            ) => {
+                return Err(e);
+            }
+            Err(e) => {
+                failures += 1;
+                if failures >= policy.max_attempts {
+                    return Err(e);
+                }
+                retries.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = mg.obs() {
+                    let link = format!("{from}->{to}");
+                    o.metrics
+                        .counter_add("halo_retries", &[("link", link.as_str())], 1);
+                }
+                let backoff = policy.backoff_base_us << (failures - 1).min(6);
+                std::thread::sleep(std::time::Duration::from_micros(backoff));
+            }
+        }
+    }
+}
+
+/// Recovery-loop configuration.
+#[derive(Clone, Default)]
+pub struct RecoveryConfig {
+    /// Checkpoint (and probe health) every `checkpoint_every` steps; `0`
+    /// means use the default of 16.
+    pub checkpoint_every: u64,
+    /// Give up after this many rollbacks (`0` → default 8).
+    pub max_rollbacks: u64,
+    /// Fault plan whose fired counters are polled after every step —
+    /// catches launch aborts and memory corruption the instant they fire.
+    pub fault_watch: Option<Arc<FaultPlan>>,
+    /// Observability hub for recovery counters and rollback spans.
+    pub obs: Option<Arc<obs::Obs>>,
+}
+
+impl RecoveryConfig {
+    fn cadence(&self) -> u64 {
+        if self.checkpoint_every == 0 {
+            16
+        } else {
+            self.checkpoint_every
+        }
+    }
+
+    fn rollback_budget(&self) -> u64 {
+        if self.max_rollbacks == 0 {
+            8
+        } else {
+            self.max_rollbacks
+        }
+    }
+}
+
+/// What the recovery loop did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Checkpoints taken (including the initial one).
+    pub checkpoints: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Steps discarded by rollbacks and replayed.
+    pub steps_replayed: u64,
+    /// Faults detected (watch-counter deltas plus failed health probes).
+    pub faults_detected: u64,
+    /// Halo-transfer retries performed by the driver during the run.
+    pub halo_retries: u64,
+}
+
+impl RecoveryStats {
+    /// Summary as a JSON value (embedded in bench records).
+    pub fn summary(&self) -> obs::json::Value {
+        use obs::json::Value;
+        Value::obj(vec![
+            ("checkpoints", Value::int(self.checkpoints)),
+            ("rollbacks", Value::int(self.rollbacks)),
+            ("steps_replayed", Value::int(self.steps_replayed)),
+            ("faults_detected", Value::int(self.faults_detected)),
+            ("halo_retries", Value::int(self.halo_retries)),
+        ])
+    }
+}
+
+/// Why the recovery loop gave up.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// A link error the driver-level retry could not absorb (permanent
+    /// failure, missing route, or retry budget exhausted).
+    Link(LinkError),
+    /// The checkpoint refused to restore (corrupt or mismatched snapshot).
+    Restore(CheckpointError),
+    /// The rollback budget was exhausted without reaching the target.
+    GaveUp { rollbacks: u64, step: u64 },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Link(e) => write!(f, "unrecoverable link error: {e}"),
+            RecoveryError::Restore(e) => write!(f, "checkpoint restore failed: {e}"),
+            RecoveryError::GaveUp { rollbacks, step } => {
+                write!(f, "gave up after {rollbacks} rollbacks at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<LinkError> for RecoveryError {
+    fn from(e: LinkError) -> Self {
+        RecoveryError::Link(e)
+    }
+}
+
+impl From<CheckpointError> for RecoveryError {
+    fn from(e: CheckpointError) -> Self {
+        RecoveryError::Restore(e)
+    }
+}
+
+/// A solver the recovery loop can drive: checkpointable, restorable, and
+/// steppable with typed halo errors. Implemented by all six drivers (the
+/// three single-device solvers in `lbm-gpu` and the three sharded ones
+/// here); single-device steps cannot fail on a link.
+pub trait Recoverable {
+    /// Serialize the full solver state (versioned, checksummed).
+    fn checkpoint(&self) -> Vec<u8>;
+    /// Restore a snapshot taken by [`Recoverable::checkpoint`] on an
+    /// identically configured solver; rolls the physics monitor back too.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError>;
+    /// Advance one timestep; `Err` means a halo transfer failed beyond the
+    /// driver's retry budget.
+    fn try_advance(&mut self) -> Result<(), LinkError>;
+    /// Completed timesteps.
+    fn current_step(&self) -> u64;
+    /// Macroscopic fields (the health probe's input).
+    fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>);
+    /// Whether the attached physics monitor (if any) has no violations.
+    fn monitor_ok(&self) -> bool;
+    /// Force a final monitor sample at the current step.
+    fn finish_monitor(&mut self);
+    /// Halo-transfer retries performed so far (0 for single-device).
+    fn halo_retries(&self) -> u64 {
+        0
+    }
+
+    /// Health probe: every sampled field value finite and no standing
+    /// monitor violation.
+    fn is_healthy(&self) -> bool {
+        if !self.monitor_ok() {
+            return false;
+        }
+        let (rho, u) = self.macro_fields();
+        rho.iter().all(|v| v.is_finite()) && u.iter().flatten().all(|v| v.is_finite())
+    }
+}
+
+/// Drive `sim` to `target_steps` with checkpoint/rollback recovery. Takes
+/// an initial checkpoint, advances step by step, checkpoints at the
+/// configured cadence (only when healthy — a corrupt state is never made a
+/// rollback target), and on any detected fault restores the last checkpoint
+/// and replays. Determinism makes the recovered trajectory bitwise equal to
+/// an uninterrupted run.
+pub fn run_with_recovery<S: Recoverable>(
+    sim: &mut S,
+    target_steps: u64,
+    cfg: &RecoveryConfig,
+) -> Result<RecoveryStats, RecoveryError> {
+    let mut stats = RecoveryStats::default();
+    let base_retries = sim.halo_retries();
+    let mut ckpt = sim.checkpoint();
+    let mut ckpt_step = sim.current_step();
+    stats.checkpoints += 1;
+    let mut seen_aborts = cfg.fault_watch.as_ref().map_or(0, |p| p.aborts_fired());
+    let mut seen_mem = cfg.fault_watch.as_ref().map_or(0, |p| p.mem_faults_fired());
+
+    while sim.current_step() < target_steps {
+        sim.try_advance()?;
+        let step = sim.current_step();
+
+        // Detection channel 1: watched fault counters (aborts can leave
+        // stale-but-finite fields no conservation check flags).
+        let mut suspect = false;
+        if let Some(p) = &cfg.fault_watch {
+            let (a, m) = (p.aborts_fired(), p.mem_faults_fired());
+            if a > seen_aborts || m > seen_mem {
+                seen_aborts = a;
+                seen_mem = m;
+                suspect = true;
+            }
+        }
+        // Detection channel 2: health probe at checkpoint boundaries and at
+        // the end of the run (NaN scan + monitor verdict).
+        let at_boundary = step.is_multiple_of(cfg.cadence()) || step >= target_steps;
+        if suspect || (at_boundary && !sim.is_healthy()) {
+            stats.faults_detected += 1;
+            stats.rollbacks += 1;
+            if stats.rollbacks > cfg.rollback_budget() {
+                return Err(RecoveryError::GaveUp {
+                    rollbacks: stats.rollbacks - 1,
+                    step,
+                });
+            }
+            let span = cfg.obs.as_ref().map(|o| {
+                o.metrics.counter_add("recovery_faults_detected", &[], 1);
+                o.metrics.counter_add("recovery_rollbacks_total", &[], 1);
+                o.tracer.span_args(
+                    "recovery",
+                    "rollback",
+                    &[("from", step.to_string()), ("to", ckpt_step.to_string())],
+                )
+            });
+            sim.restore(&ckpt)?;
+            stats.steps_replayed += step - ckpt_step;
+            drop(span);
+            continue;
+        }
+        if at_boundary && step < target_steps {
+            ckpt = sim.checkpoint();
+            ckpt_step = step;
+            stats.checkpoints += 1;
+            if let Some(o) = &cfg.obs {
+                o.metrics.counter_add("recovery_checkpoints_total", &[], 1);
+            }
+        }
+    }
+    sim.finish_monitor();
+    stats.halo_retries = sim.halo_retries() - base_retries;
+    Ok(stats)
+}
+
+mod impls {
+    use super::{CheckpointError, LinkError, Recoverable};
+    use lbm_core::collision::Collision;
+    use lbm_lattice::Lattice;
+
+    /// Shared trait-method bodies: everything forwards to the inherent
+    /// methods (which shadow the trait ones inside the impl).
+    macro_rules! recoverable_common {
+        () => {
+            fn checkpoint(&self) -> Vec<u8> {
+                self.checkpoint()
+            }
+            fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+                self.restore(bytes)
+            }
+            fn current_step(&self) -> u64 {
+                self.steps()
+            }
+            fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
+                Self::macro_fields(self)
+            }
+            fn monitor_ok(&self) -> bool {
+                self.monitor().is_none_or(|m| m.is_ok())
+            }
+            fn finish_monitor(&mut self) {
+                self.finish_monitor()
+            }
+        };
+    }
+
+    /// Single-device drivers: a step cannot fail on a link, and there are
+    /// no halo retries (the trait default of 0 applies).
+    macro_rules! impl_recoverable_single {
+        ($ty:ty, [$($gen:tt)*]) => {
+            impl<$($gen)*> Recoverable for $ty {
+                recoverable_common!();
+                fn try_advance(&mut self) -> Result<(), LinkError> {
+                    self.step();
+                    Ok(())
+                }
+            }
+        };
+    }
+
+    /// Sharded drivers: steps can fail on a link; surface retry counts.
+    macro_rules! impl_recoverable_multi {
+        ($ty:ty, [$($gen:tt)*]) => {
+            impl<$($gen)*> Recoverable for $ty {
+                recoverable_common!();
+                fn try_advance(&mut self) -> Result<(), LinkError> {
+                    self.try_step()
+                }
+                fn halo_retries(&self) -> u64 {
+                    self.halo_retries()
+                }
+            }
+        };
+    }
+
+    impl_recoverable_single!(lbm_gpu::StSim<L, C>, [L: Lattice, C: Collision<L>]);
+    impl_recoverable_single!(lbm_gpu::MrSim2D<L>, [L: Lattice]);
+    impl_recoverable_single!(lbm_gpu::MrSim3D<L>, [L: Lattice]);
+    impl_recoverable_multi!(crate::MultiStSim<L, C>, [L: Lattice, C: Collision<L>]);
+    impl_recoverable_multi!(crate::MultiMrSim2D<L>, [L: Lattice]);
+    impl_recoverable_multi!(crate::MultiMrSim3D<L>, [L: Lattice]);
+}

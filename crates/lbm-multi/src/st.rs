@@ -9,16 +9,20 @@
 //! kernel rebuilds the global `x` edges.
 
 use crate::decomp::SlabDecomp;
+use crate::recovery::{transfer_with_retry, HaloRetryPolicy};
 use crate::stats::{device_time_s, exchange_time_s, OverlapStats};
-use gpu_sim::interconnect::MultiGpu;
-use gpu_sim::{DeviceSpec, GlobalBuffer};
+use gpu_sim::interconnect::{LinkError, MultiGpu};
+use gpu_sim::{DeviceSpec, FaultPlan, GlobalBuffer};
 use lbm_core::collision::Collision;
 use lbm_core::geometry::{Geometry, NodeType};
+use lbm_core::io::{CheckpointError, CheckpointReader, CheckpointWriter};
 use lbm_gpu::boundary::boundary_nodes;
 use lbm_gpu::st::{launch_st_bc, launch_st_pull_span};
 use lbm_lattice::moments::Moments;
 use lbm_lattice::Lattice;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const MAX_Q: usize = 48;
 
@@ -68,6 +72,8 @@ pub struct MultiStSim<L: Lattice, C: Collision<L>> {
     t: u64,
     stats: OverlapStats,
     monitor: Option<obs::PhysicsMonitor>,
+    retry: HaloRetryPolicy,
+    halo_retries: AtomicU64,
     _l: PhantomData<L>,
 }
 
@@ -112,6 +118,8 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
             t: 0,
             stats: OverlapStats::default(),
             monitor: None,
+            retry: HaloRetryPolicy::default(),
+            halo_retries: AtomicU64::new(0),
             _l: PhantomData,
         };
         sim.init_with(|_, _, _| (1.0, [0.0; 3]));
@@ -165,6 +173,33 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
         self.monitor.as_ref()
     }
 
+    /// Mutable access to the physics monitor, if enabled.
+    pub fn monitor_mut(&mut self) -> Option<&mut obs::PhysicsMonitor> {
+        self.monitor.as_mut()
+    }
+
+    /// Override the halo-transfer retry policy.
+    pub fn with_halo_retry(mut self, policy: HaloRetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Attach a deterministic fault plan to every device, every shard's
+    /// distribution buffers, and the interconnect.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.mg.set_fault_plan(plan.clone());
+        for sh in &mut self.shards {
+            sh.f[0].set_fault_plan(plan.clone());
+            sh.f[1].set_fault_plan(plan.clone());
+        }
+        self
+    }
+
+    /// Halo-transfer retries performed so far.
+    pub fn halo_retries(&self) -> u64 {
+        self.halo_retries.load(Ordering::Relaxed)
+    }
+
     /// Cadence-gated monitor sampling over the gathered global fields.
     fn sample_monitor(&mut self, pattern: &str) {
         if !self.monitor.as_ref().is_some_and(|m| m.due(self.t)) {
@@ -211,8 +246,19 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
         self.stats = OverlapStats::default();
     }
 
-    /// Advance one timestep with the two-phase overlap schedule.
+    /// Advance one timestep with the two-phase overlap schedule. Panics if
+    /// a halo transfer fails beyond the retry budget; use
+    /// [`MultiStSim::try_step`] for typed link errors.
     pub fn step(&mut self) {
+        self.try_step()
+            .unwrap_or_else(|e| panic!("halo exchange failed: {e}"));
+    }
+
+    /// Advance one timestep, surfacing halo-link failures. On `Err` no
+    /// state has advanced (`t` and the buffer parity are unchanged) — the
+    /// completed strip launches are idempotent and a later retry of the
+    /// whole step recomputes them bitwise-identically.
+    pub fn try_step(&mut self) -> Result<(), LinkError> {
         let obs = self.mg.obs().cloned();
         let _step_span = obs.as_ref().map(|o| {
             o.tracer
@@ -244,7 +290,7 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
         // Phase 2: halo exchange of the strip results (overlapped with the
         // interior launch in the timing model).
         let _halo_span = obs.as_ref().map(|o| o.tracer.span("halo", "halo-exchange"));
-        let transfers = self.exchange();
+        let transfers = self.exchange()?;
         drop(_halo_span);
 
         // Phase 3: interior.
@@ -293,17 +339,29 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
         }
         self.t += 1;
         self.sample_monitor("multi-st");
+        Ok(())
     }
 
     /// Copy every cut's freshly computed edge columns (in `dst`, time
-    /// `t+1`) into the neighbors' ghost columns, recording link traffic.
-    fn exchange(&self) -> Vec<(usize, usize, u64)> {
+    /// `t+1`) into the neighbors' ghost columns. The link tally is
+    /// recorded (with bounded retries on transient link faults) *before*
+    /// the copy: a failed transfer moves no data and records no bytes, so
+    /// a successful retry tallies exactly once.
+    fn exchange(&self) -> Result<Vec<(usize, usize, u64)>, LinkError> {
         let mut out = Vec::new();
         for tr in self.decomp.halo_transfers() {
+            let bytes = (self.decomp.column_fluid_count(tr.gx) * L::Q * 8) as u64;
+            transfer_with_retry(
+                &self.mg,
+                tr.from,
+                tr.to,
+                bytes,
+                &self.retry,
+                &self.halo_retries,
+            )?;
             let (src, dst) = (&self.shards[tr.from], &self.shards[tr.to]);
             let (sn, dn) = (src.geom.len(), dst.geom.len());
             let (sf, df) = (&src.f[src.cur ^ 1], &dst.f[dst.cur ^ 1]);
-            let mut bytes = 0u64;
             for z in 0..src.geom.nz {
                 for y in 0..src.geom.ny {
                     if !src.geom.node(tr.src_lx, y, z).is_fluid_like() {
@@ -314,20 +372,30 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
                     for i in 0..L::Q {
                         df.set(i * dn + di, sf.get(i * sn + si));
                     }
-                    bytes += (L::Q * 8) as u64;
                 }
             }
-            self.mg.record_transfer(tr.from, tr.to, bytes);
             out.push((tr.from, tr.to, bytes));
         }
-        out
+        Ok(out)
     }
 
-    /// Advance `steps` timesteps.
+    /// Advance `steps` timesteps, then flush a final monitor sample if the
+    /// last step fell between cadence points.
     pub fn run(&mut self, steps: usize) {
         for _ in 0..steps {
             self.step();
         }
+        self.finish_monitor();
+    }
+
+    /// Force a final monitor sample at the current step (no-op when the
+    /// monitor is absent or already sampled this step).
+    pub fn finish_monitor(&mut self) {
+        if self.monitor.is_none() {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
     }
 
     /// Completed timesteps.
@@ -419,6 +487,73 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
     /// Global density field (solid nodes report zero).
     pub fn density_field(&self) -> Vec<f64> {
         self.macro_fields().0
+    }
+
+    /// FNV-1a checksum of the global macroscopic fields (bitwise).
+    pub fn field_checksum(&self) -> u64 {
+        let (rho, u) = self.macro_fields();
+        lbm_core::io::field_checksum(&rho, &u)
+    }
+
+    /// Serialize the full sharded state: dimensions, timestep, overlap
+    /// stats, and every shard's current distribution buffer (ghost
+    /// columns included, so no post-restore exchange is needed).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let g = self.decomp.global();
+        let mut w = CheckpointWriter::new("multi-st");
+        w.put_u64(g.nx as u64)
+            .put_u64(g.ny as u64)
+            .put_u64(g.nz as u64)
+            .put_u64(L::Q as u64)
+            .put_u64(self.shards.len() as u64)
+            .put_u64(self.t)
+            .put_u64(self.stats.steps)
+            .put_f64(self.stats.boundary_s)
+            .put_f64(self.stats.interior_s)
+            .put_f64(self.stats.exchange_s)
+            .put_f64(self.stats.bc_s)
+            .put_f64(self.stats.hidden_s)
+            .put_f64(self.stats.total_s);
+        for sh in &self.shards {
+            w.put_f64s(&sh.f[sh.cur].snapshot());
+        }
+        w.finish()
+    }
+
+    /// Restore a snapshot taken by [`MultiStSim::checkpoint`] on an
+    /// identically configured simulation. Bitwise: the restored state
+    /// continues exactly as the original would have (the snapshot lands in
+    /// buffer 0 regardless of the saved parity).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let g = self.decomp.global();
+        let mut r = CheckpointReader::open(bytes, "multi-st")?;
+        r.expect_u64(g.nx as u64, "nx")?;
+        r.expect_u64(g.ny as u64, "ny")?;
+        r.expect_u64(g.nz as u64, "nz")?;
+        r.expect_u64(L::Q as u64, "Q")?;
+        r.expect_u64(self.shards.len() as u64, "shard count")?;
+        self.t = r.take_u64()?;
+        self.stats = OverlapStats {
+            steps: r.take_u64()?,
+            boundary_s: r.take_f64()?,
+            interior_s: r.take_f64()?,
+            exchange_s: r.take_f64()?,
+            bc_s: r.take_f64()?,
+            hidden_s: r.take_f64()?,
+            total_s: r.take_f64()?,
+        };
+        for sh in &mut self.shards {
+            let n = L::Q * sh.geom.len();
+            let data = r.take_f64s(n)?;
+            for (i, v) in data.iter().enumerate() {
+                sh.f[0].set(i, *v);
+            }
+            sh.cur = 0;
+        }
+        if let Some(m) = self.monitor.as_mut() {
+            m.rollback_to(self.t);
+        }
+        Ok(())
     }
 }
 

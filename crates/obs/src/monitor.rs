@@ -60,6 +60,9 @@ pub struct PhysicsMonitor {
     baseline_mass: Option<f64>,
     samples: Vec<MonitorSample>,
     violations: Vec<String>,
+    /// Step each violation was recorded at, parallel to `violations`
+    /// (lets [`PhysicsMonitor::rollback_to`] truncate both together).
+    violation_steps: Vec<u64>,
 }
 
 impl PhysicsMonitor {
@@ -72,6 +75,7 @@ impl PhysicsMonitor {
             baseline_mass: None,
             samples: Vec::new(),
             violations: Vec::new(),
+            violation_steps: Vec::new(),
         }
     }
 
@@ -118,8 +122,10 @@ impl PhysicsMonitor {
         };
 
         if nonfinite > 0 || !mass.is_finite() {
-            self.violations
-                .push(format!("step {step}: {nonfinite} non-finite field values"));
+            self.violate(
+                step,
+                format!("step {step}: {nonfinite} non-finite field values"),
+            );
         }
         match self.baseline_mass {
             None => self.baseline_mass = Some(mass),
@@ -127,7 +133,7 @@ impl PhysicsMonitor {
                 let drift = ((mass - m0) / m0).abs();
                 // NaN drift must trip too, hence the explicit is_nan arm.
                 if drift > self.cfg.mass_rel_tol || drift.is_nan() {
-                    self.violations.push(format!(
+                    self.violate(step, format!(
                         "step {step}: mass drift {drift:.3e} exceeds {:.1e} (mass {mass} vs baseline {m0})",
                         self.cfg.mass_rel_tol
                     ));
@@ -135,14 +141,55 @@ impl PhysicsMonitor {
             }
         }
         if sample.max_u > self.cfg.max_velocity || sample.max_u.is_nan() {
-            self.violations.push(format!(
-                "step {step}: max |u| = {} exceeds limit {}",
-                sample.max_u, self.cfg.max_velocity
-            ));
+            self.violate(
+                step,
+                format!(
+                    "step {step}: max |u| = {} exceeds limit {}",
+                    sample.max_u, self.cfg.max_velocity
+                ),
+            );
         }
 
         self.samples.push(sample);
         sample
+    }
+
+    fn violate(&mut self, step: u64, msg: String) {
+        self.violations.push(msg);
+        self.violation_steps.push(step);
+    }
+
+    /// Force a final sample at `step`, regardless of the cadence.
+    ///
+    /// Drivers sample only when [`PhysicsMonitor::due`] fires, so a run whose
+    /// last step is not cadence-aligned would otherwise end with its tail
+    /// unchecked — a NaN born after the final cadence-aligned step passed the
+    /// monitor silently. Call this once after the last step. A no-op when the
+    /// latest sample is already at `step` (the run ended on a sampling step).
+    pub fn finish(&mut self, step: u64, rho: &[f64], u: &[[f64; 3]]) -> Option<MonitorSample> {
+        if self.samples.last().map(|s| s.step) == Some(step) {
+            return None;
+        }
+        Some(self.observe(step, rho, u))
+    }
+
+    /// Discard all samples and violations recorded after `step`.
+    ///
+    /// Used when a solver rolls back to a checkpoint taken at `step`: the
+    /// replayed steps will re-observe, and state observed past the rollback
+    /// point (including the fault that triggered it) must not linger. The
+    /// mass baseline (taken at the first sample) is kept — checkpoints are
+    /// only taken when the monitor is healthy, so the baseline predates any
+    /// rollback target.
+    pub fn rollback_to(&mut self, step: u64) {
+        self.samples.retain(|s| s.step <= step);
+        let keep: Vec<bool> = self.violation_steps.iter().map(|&s| s <= step).collect();
+        let mut it = keep.iter();
+        self.violations.retain(|_| *it.next().unwrap());
+        self.violation_steps.retain(|&s| s <= step);
+        if self.samples.is_empty() {
+            self.baseline_mass = None;
+        }
     }
 
     /// All samples so far.
@@ -243,6 +290,66 @@ mod tests {
         m.observe(0, &rho, &u);
         assert!(!m.is_ok());
         assert!(m.violations()[0].contains("max |u|"));
+    }
+
+    #[test]
+    fn finish_catches_nan_born_after_last_cadence_step() {
+        // Cadence 16, 17-step run: the monitor samples at steps 0 and 16,
+        // then a NaN appears at step 17. Without finish() the run looks
+        // healthy; finish(17, ...) must flag it.
+        let mut m = PhysicsMonitor::new(MonitorConfig::default());
+        let (rho, u) = fields(10, 1.0, 0.05);
+        for step in [0, 16] {
+            assert!(m.due(step));
+            m.observe(step, &rho, &u);
+        }
+        assert!(!m.due(17));
+        assert!(m.is_ok());
+        let (mut rho_bad, _) = fields(10, 1.0, 0.05);
+        rho_bad[4] = f64::NAN;
+        let s = m.finish(17, &rho_bad, &u).expect("forced final sample");
+        assert_eq!(s.step, 17);
+        assert_eq!(s.nonfinite, 1);
+        assert!(!m.is_ok());
+        assert_eq!(m.samples().len(), 3);
+    }
+
+    #[test]
+    fn finish_is_a_noop_on_cadence_aligned_ends() {
+        let mut m = PhysicsMonitor::new(MonitorConfig::default());
+        let (rho, u) = fields(10, 1.0, 0.05);
+        m.observe(0, &rho, &u);
+        m.observe(16, &rho, &u);
+        assert!(m.finish(16, &rho, &u).is_none());
+        assert_eq!(m.samples().len(), 2);
+    }
+
+    #[test]
+    fn rollback_truncates_samples_and_violations() {
+        let mut m = PhysicsMonitor::new(MonitorConfig::default());
+        let (rho, u) = fields(10, 1.0, 0.05);
+        m.observe(0, &rho, &u);
+        m.observe(16, &rho, &u);
+        let (mut rho_bad, _) = fields(10, 1.0, 0.05);
+        rho_bad[0] = f64::NAN;
+        m.observe(32, &rho_bad, &u);
+        assert!(!m.is_ok());
+        assert_eq!(m.samples().len(), 3);
+
+        m.rollback_to(16);
+        assert!(m.is_ok(), "{:?}", m.violations());
+        assert_eq!(m.samples().len(), 2);
+        assert_eq!(m.samples().last().unwrap().step, 16);
+
+        // Replay proceeds cleanly from the rollback point.
+        m.observe(32, &rho, &u);
+        assert!(m.is_ok());
+        assert_eq!(m.mass_drift(), 0.0);
+
+        // Rolling back to step 0 keeps only the baseline sample.
+        m.rollback_to(0);
+        assert_eq!(m.samples().len(), 1);
+        assert_eq!(m.samples()[0].step, 0);
     }
 
     #[test]

@@ -1,0 +1,664 @@
+//! Resilience suite: checkpoint/restore round trips for all six drivers,
+//! fault-injected recovery with bitwise-identical resumes, halo-retry
+//! under transient link failures, and typed surfacing of permanent ones.
+//!
+//! Every equality here is `==` on `f64` bits (via FNV field checksums or
+//! direct field comparison): the substrate is deterministic, so recovery
+//! is required to reproduce the uninterrupted trajectory exactly, not
+//! approximately.
+
+use gpu_sim::interconnect::LinkError;
+use gpu_sim::{DeviceSpec, FaultPlan};
+use lbm_core::collision::Projective;
+use lbm_core::geometry::{Geometry, NodeType};
+use lbm_core::io::{field_checksum, CheckpointError};
+use lbm_gpu::scheme::MrScheme;
+use lbm_gpu::{MrSim2D, MrSim3D, StSim};
+use lbm_lattice::{D2Q9, D3Q19};
+use lbm_multi::recovery::{
+    run_with_recovery, HaloRetryPolicy, Recoverable, RecoveryConfig, RecoveryError,
+};
+use lbm_multi::{MultiMrSim2D, MultiMrSim3D, MultiStSim};
+use std::sync::Arc;
+
+fn shear_init(x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
+    (
+        1.0 + 0.01 * ((x + 2 * y + z) as f64 * 0.3).sin(),
+        [
+            0.02 * ((y + z) as f64 * 0.6).sin(),
+            0.01 * (x as f64 * 0.4).cos(),
+            0.0,
+        ],
+    )
+}
+
+/// Periodic-x duct: walls on the four lateral faces (what the 3D MR
+/// drivers require).
+fn duct(nx: usize, ny: usize, nz: usize) -> Geometry {
+    let mut g = Geometry::new(nx, ny, nz, [true, false, false]);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if y == 0 || y == ny - 1 || z == 0 || z == nz - 1 {
+                    g.set(x, y, z, NodeType::Wall);
+                }
+            }
+        }
+    }
+    g
+}
+
+fn checksum_of<S: Recoverable>(s: &S) -> u64 {
+    let (rho, u) = s.macro_fields();
+    field_checksum(&rho, &u)
+}
+
+/// Checkpoint round-trip harness. `cont` runs `n1 + n2` steps
+/// uninterrupted; `inter` checkpoints at `n1` and keeps going (taking a
+/// snapshot must not perturb the run); `fresh` — a newly built identical
+/// sim — restores the snapshot and finishes. All three must agree bitwise.
+fn ckpt_roundtrip<S: Recoverable>(mut cont: S, mut inter: S, mut fresh: S, n1: u64, n2: u64) {
+    for _ in 0..n1 + n2 {
+        cont.try_advance().unwrap();
+    }
+    let want = checksum_of(&cont);
+
+    for _ in 0..n1 {
+        inter.try_advance().unwrap();
+    }
+    let snap = inter.checkpoint();
+    for _ in 0..n2 {
+        inter.try_advance().unwrap();
+    }
+    assert_eq!(checksum_of(&inter), want, "checkpointing perturbed the run");
+
+    fresh.restore(&snap).unwrap();
+    assert_eq!(fresh.current_step(), n1, "restore lost the timestep");
+    for _ in 0..n2 {
+        fresh.try_advance().unwrap();
+    }
+    assert_eq!(fresh.current_step(), n1 + n2);
+    assert_eq!(checksum_of(&fresh), want, "resume from checkpoint diverged");
+}
+
+#[test]
+fn st_checkpoint_roundtrip_bitwise() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8)).with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk(), mk(), mk(), 4, 6);
+}
+
+/// The ST checkpoint carries the accumulated traffic tally, so a restored
+/// run reports the same byte-exact traffic as an uninterrupted one.
+#[test]
+fn st_checkpoint_restores_traffic_tally() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8)).with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut cont = mk();
+    cont.run(10);
+    let mut inter = mk();
+    inter.run(4);
+    let snap = inter.checkpoint();
+    let mut fresh = mk();
+    fresh.restore(&snap).unwrap();
+    fresh.run(6);
+    assert_eq!(fresh.traffic(), cont.traffic(), "traffic tally diverged");
+}
+
+#[test]
+fn mr2d_checkpoint_roundtrip_bitwise() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk(), mk(), mk(), 5, 7);
+}
+
+#[test]
+fn mr3d_checkpoint_roundtrip_bitwise() {
+    let geom = duct(8, 6, 6);
+    let mk = || {
+        let mut s: MrSim3D<D3Q19> = MrSim3D::new(
+            DeviceSpec::mi100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk(), mk(), mk(), 3, 5);
+}
+
+#[test]
+fn multi_st_checkpoint_roundtrip_bitwise() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: MultiStSim<D2Q9, _> =
+            MultiStSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8), 3)
+                .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk(), mk(), mk(), 4, 6);
+}
+
+#[test]
+fn multi_mr2d_checkpoint_roundtrip_bitwise() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: MultiMrSim2D<D2Q9> = MultiMrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+            4,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk(), mk(), mk(), 4, 6);
+}
+
+/// A multi-device checkpoint taken mid-run carries the overlap stats, so
+/// the restored run's schedule accounting continues where it left off.
+#[test]
+fn multi_mr2d_checkpoint_restores_overlap_stats() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: MultiMrSim2D<D2Q9> = MultiMrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+            4,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut cont = mk();
+    cont.run(10);
+    let mut inter = mk();
+    inter.run(4);
+    let snap = inter.checkpoint();
+    let mut fresh = mk();
+    fresh.restore(&snap).unwrap();
+    assert_eq!(fresh.stats().steps, 4, "restored stats lost steps");
+    fresh.run(6);
+    assert_eq!(fresh.stats().steps, cont.stats().steps);
+    assert_eq!(
+        fresh.stats().total_s.to_bits(),
+        cont.stats().total_s.to_bits(),
+        "overlap timing accounting diverged"
+    );
+    assert_eq!(
+        fresh.stats().exchange_s.to_bits(),
+        cont.stats().exchange_s.to_bits()
+    );
+}
+
+#[test]
+fn multi_mr3d_checkpoint_roundtrip_bitwise() {
+    let geom = duct(12, 8, 8);
+    let mk = || {
+        let mut s: MultiMrSim3D<D3Q19> = MultiMrSim3D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+            3,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk(), mk(), mk(), 3, 3);
+}
+
+/// Corrupt, truncated, and wrong-flavor snapshots are rejected with typed
+/// errors instead of silently restoring garbage.
+#[test]
+fn restore_rejects_bad_snapshots() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mut st: StSim<D2Q9, _> =
+        StSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8)).with_cpu_threads(2);
+    st.run(2);
+    let snap = st.checkpoint();
+
+    let mut flipped = snap.clone();
+    *flipped.last_mut().unwrap() ^= 0x01;
+    assert!(matches!(
+        st.restore(&flipped),
+        Err(CheckpointError::ChecksumMismatch)
+    ));
+
+    assert!(matches!(
+        st.restore(&snap[..snap.len() - 9]),
+        Err(CheckpointError::Truncated)
+    ));
+
+    let mut mr: MrSim2D<D2Q9> = MrSim2D::new(
+        DeviceSpec::v100(),
+        geom.clone(),
+        MrScheme::projective(),
+        0.8,
+    );
+    assert!(matches!(
+        mr.restore(&snap),
+        Err(CheckpointError::WrongFlavor { .. })
+    ));
+
+    // The sim still runs after the rejected restores.
+    st.restore(&snap).unwrap();
+    st.run(1);
+}
+
+/// Recovery harness: `clean` runs uninterrupted; `faulted` (identically
+/// built, with `plan` attached) runs under the recovery loop. The fault
+/// must actually fire, trigger at least one rollback, and the recovered
+/// trajectory must end bitwise-identical to the clean one.
+fn assert_recovers<S: Recoverable>(
+    mut clean: S,
+    mut faulted: S,
+    plan: Arc<FaultPlan>,
+    target: u64,
+    every: u64,
+) {
+    while clean.current_step() < target {
+        clean.try_advance().unwrap();
+    }
+    let want = checksum_of(&clean);
+
+    let cfg = RecoveryConfig {
+        checkpoint_every: every,
+        max_rollbacks: 8,
+        fault_watch: Some(plan.clone()),
+        obs: None,
+    };
+    let stats = run_with_recovery(&mut faulted, target, &cfg).unwrap();
+    assert!(plan.total_fired() >= 1, "the fault never fired");
+    assert!(stats.rollbacks >= 1, "fault fired but no rollback happened");
+    assert!(stats.steps_replayed >= 1);
+    assert_eq!(faulted.current_step(), target);
+    assert_eq!(
+        checksum_of(&faulted),
+        want,
+        "recovered run is not bitwise-identical to the fault-free run"
+    );
+}
+
+#[test]
+fn st_recovers_from_nan_fault() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8)).with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    // Node 69 = (x 5, y 4), direction 0: written once per step, so the
+    // fault lands deterministically on the 5th step — after the step-4
+    // checkpoint.
+    plan.inject_nan(69, 4);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 12, 4);
+}
+
+#[test]
+fn mr2d_recovers_from_nan_fault() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    // Raw index 100 = moment plane 0, slot 100; the circular shift walks
+    // that slot through wall rows, so it only takes a counted write on
+    // some steps — skip 2 fires it a couple of steps past the first
+    // checkpoint.
+    plan.inject_nan(100, 2);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 12, 4);
+}
+
+#[test]
+fn mr3d_recovers_from_bitflip_fault() {
+    let geom = duct(8, 6, 6);
+    let mk = || {
+        let mut s: MrSim3D<D3Q19> = MrSim3D::new(
+            DeviceSpec::mi100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    // Flip the sign bit of a mid-lattice moment slot on its 4th write:
+    // finite corruption that only the rollback (not a NaN scan) can undo.
+    plan.inject_bitflip(400, 63, 3);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 9, 3);
+}
+
+#[test]
+fn st_recovers_from_launch_abort() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8)).with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    // One bulk launch per step on this wall-bounded domain: abort the 7th.
+    // The skipped kernel leaves *stale but finite* fields — only the
+    // fault-watch channel can catch it.
+    plan.abort_launch(6);
+    let plan = Arc::new(plan);
+    assert_recovers(
+        mk(),
+        mk().with_fault_plan(plan.clone()),
+        plan.clone(),
+        12,
+        4,
+    );
+    assert_eq!(plan.aborts_fired(), 1);
+}
+
+#[test]
+fn multi_st_recovers_from_nan_fault() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: MultiStSim<D2Q9, _> =
+            MultiStSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8), 3)
+                .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    plan.inject_nan(30, 8);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 12, 4);
+}
+
+#[test]
+fn multi_mr2d_recovers_from_nan_fault() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: MultiMrSim2D<D2Q9> = MultiMrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+            4,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    plan.inject_nan(40, 10);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 12, 4);
+}
+
+#[test]
+fn multi_mr3d_recovers_from_nan_fault() {
+    let geom = duct(12, 8, 8);
+    let mk = || {
+        let mut s: MultiMrSim3D<D3Q19> = MultiMrSim3D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+            3,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    // Shard-local node 110 = (x 2, y 2, z 2): an owned fluid column on
+    // every shard, so the shared skip counter advances once per shard per
+    // step and the fault fires deterministically on step 2.
+    plan.inject_nan(110, 4);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 9, 3);
+}
+
+/// Recovery is visible in the observability layer: rollback counters and
+/// a `rollback` span with from/to steps.
+#[test]
+fn recovery_emits_obs_counters_and_spans() {
+    let hub = obs::Obs::shared();
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mut sim: StSim<D2Q9, _> =
+        StSim::new(DeviceSpec::v100(), geom, Projective::new(0.8)).with_cpu_threads(2);
+    sim.init_with(shear_init);
+    let mut plan = FaultPlan::new();
+    plan.inject_nan(69, 4);
+    let plan = Arc::new(plan);
+    let mut sim = sim.with_fault_plan(plan.clone());
+    let cfg = RecoveryConfig {
+        checkpoint_every: 4,
+        max_rollbacks: 8,
+        fault_watch: Some(plan),
+        obs: Some(hub.clone()),
+    };
+    let stats = run_with_recovery(&mut sim, 12, &cfg).unwrap();
+    assert!(stats.rollbacks >= 1);
+    assert_eq!(
+        hub.metrics.counter("recovery_rollbacks_total", &[]),
+        Some(stats.rollbacks)
+    );
+    assert_eq!(
+        hub.metrics.counter("recovery_faults_detected", &[]),
+        Some(stats.faults_detected)
+    );
+    assert!(hub
+        .metrics
+        .counter("recovery_checkpoints_total", &[])
+        .is_some());
+    let events = hub.tracer.events();
+    assert!(
+        events.iter().any(|e| e.ph == 'B' && e.name == "rollback"),
+        "no rollback span emitted"
+    );
+}
+
+/// A transient link failure in a 4-device ring is absorbed by the
+/// driver's bounded-backoff retry: same fields, byte-identical link
+/// tallies, and the retries are visible in the counters.
+#[test]
+fn transient_link_failure_is_retried_with_identical_tallies() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: MultiMrSim2D<D2Q9> = MultiMrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+            4,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut clean = mk();
+    clean.run(6);
+
+    let hub = obs::Obs::shared();
+    let mut plan = FaultPlan::new();
+    plan.fail_link(0, 1, 2);
+    let plan = Arc::new(plan);
+    let mut faulted = mk()
+        .with_obs(hub.clone())
+        .with_halo_retry(HaloRetryPolicy {
+            max_attempts: 3,
+            backoff_base_us: 1,
+        })
+        .with_fault_plan(plan.clone());
+    faulted.run(6);
+
+    assert_eq!(plan.link_faults_fired(), 2, "both transient faults fired");
+    assert_eq!(faulted.halo_retries(), 2, "each failure retried once");
+    assert_eq!(
+        hub.metrics.counter("halo_retries", &[("link", "0->1")]),
+        Some(2)
+    );
+    // Failed attempts record zero bytes, so the tallies match exactly.
+    assert_eq!(
+        faulted.interconnect().total_link_bytes(),
+        clean.interconnect().total_link_bytes(),
+        "retries double-counted link traffic"
+    );
+    assert_eq!(checksum_of(&faulted), checksum_of(&clean));
+    assert_eq!(faulted.velocity_field(), clean.velocity_field());
+}
+
+/// A permanent link failure cannot be retried away: `try_step` surfaces a
+/// typed error without advancing state, and the recovery loop gives it up
+/// as unrecoverable.
+#[test]
+fn permanent_link_failure_surfaces_typed_error() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mut plan = FaultPlan::new();
+    plan.fail_link_permanently(0, 1);
+    let plan = Arc::new(plan);
+    let mut sim: MultiMrSim2D<D2Q9> =
+        MultiMrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8, 4)
+            .with_cpu_threads(2)
+            .with_fault_plan(plan.clone());
+    sim.init_with(shear_init);
+
+    let err = sim.try_step().unwrap_err();
+    assert!(matches!(
+        err,
+        LinkError::Down {
+            permanent: true,
+            ..
+        }
+    ));
+    assert_eq!(sim.steps(), 0, "failed step must not advance time");
+    assert_eq!(sim.halo_retries(), 0, "permanent failures are not retried");
+
+    let cfg = RecoveryConfig {
+        fault_watch: Some(plan),
+        ..Default::default()
+    };
+    match run_with_recovery(&mut sim, 4, &cfg) {
+        Err(RecoveryError::Link(LinkError::Down {
+            permanent: true, ..
+        })) => {}
+        other => panic!("expected a permanent link error, got {other:?}"),
+    }
+}
+
+/// When the transient-failure burst outlasts the retry budget, the driver
+/// reports the link down instead of spinning forever.
+#[test]
+fn retry_budget_exhaustion_surfaces_transient_error() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mut plan = FaultPlan::new();
+    plan.fail_link(0, 1, 10);
+    let mut sim: MultiMrSim2D<D2Q9> =
+        MultiMrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8, 4)
+            .with_cpu_threads(2)
+            .with_halo_retry(HaloRetryPolicy {
+                max_attempts: 2,
+                backoff_base_us: 1,
+            })
+            .with_fault_plan(Arc::new(plan));
+    sim.init_with(shear_init);
+    let err = sim.try_step().unwrap_err();
+    assert!(matches!(
+        err,
+        LinkError::Down {
+            permanent: false,
+            ..
+        }
+    ));
+    assert_eq!(sim.halo_retries(), 1, "one retry before giving up");
+    assert_eq!(sim.steps(), 0);
+}
+
+/// A fault that re-fires on every replay exhausts the rollback budget and
+/// the loop reports `GaveUp` instead of looping forever.
+#[test]
+fn recovery_gives_up_after_rollback_budget() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mut sim: StSim<D2Q9, _> =
+        StSim::new(DeviceSpec::v100(), geom, Projective::new(0.8)).with_cpu_threads(2);
+    sim.init_with(shear_init);
+    let mut plan = FaultPlan::new();
+    // Six one-shot faults on the same cell, skips 0..=5: every replay of
+    // the first step fires the next one.
+    for skip in 0..6 {
+        plan.inject_nan(69, skip);
+    }
+    let plan = Arc::new(plan);
+    let mut sim = sim.with_fault_plan(plan.clone());
+    let cfg = RecoveryConfig {
+        checkpoint_every: 4,
+        max_rollbacks: 2,
+        fault_watch: Some(plan),
+        obs: None,
+    };
+    match run_with_recovery(&mut sim, 12, &cfg) {
+        Err(RecoveryError::GaveUp { rollbacks, .. }) => assert_eq!(rollbacks, 2),
+        other => panic!("expected GaveUp, got {other:?}"),
+    }
+}
+
+/// Driver-level regression for the monitor final-sample fix: with cadence
+/// 16, a 17-step run must still observe step 17 (pre-fix, a NaN born on
+/// the final step escaped the monitor entirely).
+#[test]
+fn multi_run_flushes_final_monitor_sample() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mut sim: MultiStSim<D2Q9, _> =
+        MultiStSim::new(DeviceSpec::v100(), geom, Projective::new(0.8), 2)
+            .with_cpu_threads(2)
+            .with_monitor(obs::MonitorConfig {
+                cadence: 16,
+                ..Default::default()
+            });
+    sim.init_with(shear_init);
+    sim.run(17);
+    let mon = sim.monitor().unwrap();
+    let steps: Vec<u64> = mon.samples().iter().map(|s| s.step).collect();
+    assert_eq!(steps, vec![16, 17], "final off-cadence step not sampled");
+    assert!(mon.is_ok());
+}
