@@ -44,4 +44,12 @@ cargo run -p lbm-bench --release --bin reproduce -- resilience
 test -s BENCH_resilience.json
 cargo run -p obs --release --bin obs-validate -- BENCH_resilience.json
 
+echo "== serve smoke (multi-tenant fleet: hundreds of jobs, checksum-verified)"
+# Replays a seeded arrival process through the lbm-serve scheduler and
+# fails unless every job completes exactly once (zero lost/duplicated)
+# with a checksum bitwise-equal to a solo run of the same spec.
+cargo run -p lbm-bench --release --bin reproduce -- serve --jobs=400 --seed=7
+test -s BENCH_serve.json
+cargo run -p obs --release --bin obs-validate -- BENCH_serve.json
+
 echo "CI OK"

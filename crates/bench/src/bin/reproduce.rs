@@ -1354,6 +1354,150 @@ fn resilience(hub: &Arc<obs::Obs>, inject: &str, every: u64) {
     println!();
 }
 
+/// Fleet load test: enqueue `jobs` mixed-size simulations from the seeded
+/// deterministic arrival process into the multi-tenant scheduler, then
+/// verify zero lost/duplicated jobs and bitwise agreement with solo runs
+/// while reporting sustained aggregate MFLUPS, queue depth over time, and
+/// p50/p99 job latency per priority class (`BENCH_serve.json`).
+fn serve_load(hub: &Arc<obs::Obs>, jobs: usize, seed: u64) {
+    use lbm_serve::{solo_checksum, ArrivalProcess, JobState, Priority, Serve, ServeConfig};
+    use obs::json::Value;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    println!("=== serve: multi-tenant fleet load test ({jobs} jobs, seed {seed}) ===");
+    let executors = std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).clamp(2, 6))
+        .unwrap_or(2);
+    let fleet = Serve::start(ServeConfig {
+        executors,
+        obs: Some(hub.clone()),
+        ..Default::default()
+    });
+
+    let specs: Vec<lbm_serve::JobSpec> = ArrivalProcess::new(seed, jobs).collect();
+    let t0 = Instant::now();
+    let stop_sampler = AtomicBool::new(false);
+    let mut depth_samples: Vec<(f64, usize)> = Vec::new();
+    let mut peak_depth = 0usize;
+    let mut ids = Vec::with_capacity(jobs);
+
+    std::thread::scope(|s| {
+        // Queue-depth sampler: poll while the fleet works.
+        let sampler = s.spawn(|| {
+            let mut samples = Vec::new();
+            while !stop_sampler.load(Ordering::Relaxed) {
+                samples.push((t0.elapsed().as_secs_f64() * 1e3, fleet.queue_depth()));
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            samples
+        });
+        for spec in &specs {
+            ids.push(fleet.submit(spec.clone()).expect("admitted"));
+        }
+        peak_depth = fleet.queue_depth();
+        fleet.drain();
+        stop_sampler.store(true, Ordering::Relaxed);
+        depth_samples = sampler.join().expect("sampler thread");
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    peak_depth = peak_depth.max(depth_samples.iter().map(|&(_, d)| d).max().unwrap_or(0));
+
+    // Gate 1: zero lost or duplicated jobs.
+    let mut seen = std::collections::HashSet::new();
+    assert!(ids.iter().all(|id| seen.insert(*id)), "duplicate job IDs");
+    assert_eq!(ids.len(), jobs, "lost submissions");
+
+    // Gate 2: every job completed, every checksum bitwise-equal to a solo
+    // run of its spec (memoized per unique physics).
+    let mut oracle: HashMap<_, u64> = HashMap::new();
+    let mut fluid_cache: HashMap<_, usize> = HashMap::new();
+    let mut flups = 0f64;
+    let mut lat_ms: HashMap<Priority, Vec<f64>> = HashMap::new();
+    let mut evictions = 0u64;
+    for (spec, id) in specs.iter().zip(&ids) {
+        let status = fleet.status(*id).expect("known job");
+        assert_eq!(status.state, JobState::Completed, "job {id} not completed");
+        let result = fleet.result(*id).expect("completed job has a result");
+        let want = *oracle
+            .entry(spec.physics_key())
+            .or_insert_with(|| solo_checksum(spec));
+        assert_eq!(result.checksum, want, "checksum diverged for {spec:?}");
+        let fluid = *fluid_cache
+            .entry(spec.scenario)
+            .or_insert_with(|| spec.scenario.geometry().fluid_count());
+        flups += result.steps as f64 * fluid as f64;
+        lat_ms
+            .entry(spec.priority)
+            .or_default()
+            .push(result.latency_ms);
+        evictions += result.evictions;
+    }
+    let mflups = flups / wall / 1e6;
+
+    let pct = |sorted: &[f64], q: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx]
+    };
+    let mut rec = obs::BenchRecord::new("serve");
+    rec.set_extra("jobs", Value::int(jobs as u64));
+    rec.set_extra("seed", Value::int(seed));
+    rec.set_extra("executors", Value::int(executors as u64));
+    rec.set_extra("wall_seconds", Value::num(wall));
+    rec.set_extra("aggregate_mflups", Value::num(mflups));
+    rec.set_extra("peak_queue_depth", Value::int(peak_depth as u64));
+    rec.set_extra("evictions", Value::int(evictions));
+    rec.set_extra("checksums_verified", Value::int(jobs as u64));
+    rec.set_extra("unique_physics", Value::int(oracle.len() as u64));
+    println!(
+        "  {jobs} jobs on {executors} executors in {wall:.2}s: {mflups:.2} aggregate MFLUPS, \
+         peak queue depth {peak_depth}, {evictions} eviction(s)"
+    );
+    for (class, lats) in lat_ms.iter_mut() {
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (p50, p99) = (pct(lats, 0.50), pct(lats, 0.99));
+        println!(
+            "  {:<12} {} jobs: p50 {:.1} ms, p99 {:.1} ms",
+            class.label(),
+            lats.len(),
+            p50,
+            p99
+        );
+        rec.set_extra(
+            &format!("latency_{}", class.label()),
+            Value::obj(vec![
+                ("jobs", Value::int(lats.len() as u64)),
+                ("p50_ms", Value::num(p50)),
+                ("p99_ms", Value::num(p99)),
+            ]),
+        );
+    }
+    // Queue depth over time, downsampled to <= 200 points.
+    let stride = (depth_samples.len() / 200).max(1);
+    rec.set_extra(
+        "queue_depth_over_time",
+        Value::Arr(
+            depth_samples
+                .iter()
+                .step_by(stride)
+                .map(|&(t, d)| {
+                    Value::obj(vec![
+                        ("t_ms", Value::num(t)),
+                        ("depth", Value::int(d as u64)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    let path = rec.write(".").expect("write BENCH_serve.json");
+    println!("serve OK: zero lost/duplicated jobs, all checksums match solo runs; wrote {path}");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -1396,6 +1540,26 @@ fn main() {
         },
         None => 4,
     };
+    let serve_jobs = match args.iter().find_map(|a| a.strip_prefix("--jobs=")) {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--jobs expects a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        None => 1200,
+    };
+    let serve_seed = match args.iter().find_map(|a| a.strip_prefix("--seed=")) {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => n,
+            _ => {
+                eprintln!("--seed expects an integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        None => 2023,
+    };
     let hub = obs::Obs::shared();
     let what = args
         .iter()
@@ -1437,6 +1601,7 @@ fn main() {
         "bench" => bench_wallclock(quick),
         "bench-record" => bench_record(quick, &results, &hub),
         "resilience" => resilience(&hub, &inject, ckpt_every),
+        "serve" => serve_load(&hub, serve_jobs, serve_seed),
         "all" => {
             table1();
             table2(&results);
@@ -1453,12 +1618,13 @@ fn main() {
             bench_wallclock(quick);
             bench_record(quick, &results, &hub);
             resilience(&hub, &inject, ckpt_every);
+            serve_load(&hub, serve_jobs, serve_seed);
             let [v, _] = devices();
             debug_assert!(bandwidth_fraction(&v, Pattern::Standard, 2) > 0.0);
         }
         other => {
             eprintln!("unknown section '{other}'");
-            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|bench|bench-record|resilience|all] [--quick] [--steps=small|full] [--section=<name>] [--bench-wallclock] [--inject=nan|abort|link|all] [--checkpoint-every=<n>] [--trace=<path>] [--metrics=<path>]");
+            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|bench|bench-record|resilience|serve|all] [--quick] [--steps=small|full] [--section=<name>] [--bench-wallclock] [--inject=nan|abort|link|all] [--checkpoint-every=<n>] [--jobs=<n>] [--seed=<n>] [--trace=<path>] [--metrics=<path>]");
             std::process::exit(2);
         }
     }

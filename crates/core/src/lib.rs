@@ -21,6 +21,10 @@
 //!   vortex) used by the validation tests and examples.
 //! * [`diagnostics`] / [`io`] / [`units`] — observables, field output, and
 //!   lattice-unit conversions.
+//! * [`sim`] — the [`Simulation`] trait: the uniform driver surface
+//!   (step/checkpoint/restore/checksum/observe) implemented by all six
+//!   GPU-substrate drivers and consumed by the recovery loop and the
+//!   `lbm-serve` fleet scheduler.
 
 #![allow(clippy::needless_range_loop)] // indexed loops are the idiom in stencil kernels
 pub mod analytic;
@@ -30,12 +34,14 @@ pub mod diagnostics;
 pub mod geometry;
 pub mod io;
 pub mod par;
+pub mod sim;
 pub mod solver;
 pub mod solver2d;
 pub mod solver3d;
 pub mod units;
 
 pub use geometry::{Geometry, NodeType};
+pub use sim::{Simulation, StepError};
 pub use solver::Solver;
 pub use solver2d::Solver2D;
 pub use solver3d::Solver3D;

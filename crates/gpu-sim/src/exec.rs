@@ -332,12 +332,17 @@ impl Gpu {
     /// a kernel span (with per-phase child spans for lockstep kernels) into
     /// the tracer and publishes its traffic into the metrics registry.
     pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
-        self.obs = Some(obs);
+        self.set_obs(obs);
         self
     }
 
-    /// Attach or replace the observability hub after construction.
+    /// Attach or replace the observability hub after construction. Also
+    /// wires the hub into the worker pool (if already spawned) so the
+    /// busy/idle worker gauges are published.
     pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        if let Some(p) = self.pool.get() {
+            p.set_obs(obs.clone());
+        }
         self.obs = Some(obs);
     }
 
@@ -348,8 +353,13 @@ impl Gpu {
 
     /// The persistent worker pool, spawned on first parallel launch.
     fn pool(&self) -> &WorkerPool {
-        self.pool
-            .get_or_init(|| WorkerPool::new(self.cpu_threads.saturating_sub(1)))
+        self.pool.get_or_init(|| {
+            let p = WorkerPool::new(self.cpu_threads.saturating_sub(1));
+            if let Some(o) = &self.obs {
+                p.set_obs(o.clone());
+            }
+            p
+        })
     }
 
     fn validate(&self, cfg: &Launch) {

@@ -265,11 +265,17 @@ impl MultiGpu {
     /// kernel launches on any device trace/publish into it, and each
     /// transfer adds to per-link byte/transfer counters.
     pub fn with_obs(mut self, obs: Arc<obs::Obs>) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// In-place [`MultiGpu::with_obs`] (the `Simulation` trait's
+    /// `set_obs` path reaches devices through this).
+    pub fn set_obs(&mut self, obs: Arc<obs::Obs>) {
         for g in &mut self.devices {
             g.set_obs(obs.clone());
         }
         self.obs = Some(obs);
-        self
     }
 
     /// The attached observability hub, if any.

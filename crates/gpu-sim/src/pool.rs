@@ -79,14 +79,21 @@ struct Shared {
 ///
 /// `run(blocks, task)` publishes the job, participates in the steal loop
 /// itself, and blocks until all `blocks` indices have been executed. Only
-/// one job can be in flight at a time; concurrent submitters serialize on
-/// an internal mutex.
+/// one *pooled* job can be in flight at a time; concurrent submitters
+/// serialize on an internal mutex. Jobs that invite no helpers — every job
+/// on a zero-worker pool, and any single-block job — run inline on the
+/// submitting thread without touching the mutex, so an inert pool is safe
+/// (and contention-free) under arbitrarily many concurrent submitters.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     /// Serializes submitters: the epoch/cursor protocol supports one job at
     /// a time.
     submit: Mutex<()>,
     handles: Vec<JoinHandle<()>>,
+    /// Observability hub for the busy/idle worker gauges. Read only on the
+    /// pooled path (which already serializes on `submit`); the inline path
+    /// stays lock-free.
+    obs: Mutex<Option<Arc<obs::Obs>>>,
 }
 
 impl WorkerPool {
@@ -120,12 +127,26 @@ impl WorkerPool {
             shared,
             submit: Mutex::new(()),
             handles,
+            obs: Mutex::new(None),
         }
     }
 
     /// Number of pool threads (excluding the submitting thread).
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Attach an observability hub. Publishes a `pool_workers` gauge (total
+    /// pool threads) immediately, and from then on every pooled job updates
+    /// a `pool_workers_busy` gauge: set to the number of invited helpers
+    /// while the job's steal loop is live, back to 0 once the pool drains.
+    /// Inline (zero-helper) jobs never touch the gauges — that path is
+    /// lock-free by contract.
+    pub fn set_obs(&self, obs: Arc<obs::Obs>) {
+        obs.metrics
+            .gauge_set("pool_workers", &[], self.handles.len() as f64);
+        obs.metrics.gauge_set("pool_workers_busy", &[], 0.0);
+        *self.obs.lock().unwrap() = Some(obs);
     }
 
     /// Execute `task(b)` for every `b in 0..blocks`, each exactly once,
@@ -141,12 +162,23 @@ impl WorkerPool {
         }
         let helpers = self.handles.len().min(blocks - 1);
         if helpers == 0 {
+            // Inline mode: no submit lock, no shared state. An inert pool
+            // (`workers == 0`) therefore supports any number of concurrent
+            // submitters — each runs its own blocks on its own thread, with
+            // no cross-submitter serialization (the fleet scheduler relies
+            // on this to run many single-threaded sims side by side over
+            // one shared device pool).
             for b in 0..blocks {
                 task(b);
             }
             return 0;
         }
         let _guard = self.submit.lock().unwrap();
+        let obs = self.obs.lock().unwrap().clone();
+        if let Some(o) = &obs {
+            o.metrics
+                .gauge_set("pool_workers_busy", &[], helpers as f64);
+        }
         // Erase the task's lifetime for publication. Sound because this
         // function waits for `active == 0` with the leftover tickets revoked
         // (no pool thread holds, or can still acquire, the job) before
@@ -205,6 +237,9 @@ impl WorkerPool {
                 st.panic = None;
             }
             stolen = self.shared.stolen.load(Ordering::Relaxed);
+        }
+        if let Some(o) = &obs {
+            o.metrics.gauge_set("pool_workers_busy", &[], 0.0);
         }
         drop(_guard);
         if let Some(p) = local_panic {
@@ -408,5 +443,73 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), 5);
         assert_eq!(stolen, 0);
+    }
+
+    /// An inert pool under many concurrent submitters: each submission's
+    /// blocks run exactly once on its own thread, nothing is stolen, and
+    /// the submitters genuinely overlap (no hidden serialization) — proven
+    /// by a rendezvous block that waits until every submitter has arrived.
+    #[test]
+    fn zero_worker_pool_supports_concurrent_submitters() {
+        let pool = WorkerPool::new(0);
+        let submitters = 6;
+        let arrived = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..submitters)
+                .map(|_| {
+                    s.spawn(|| {
+                        let hits: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+                        let stolen = pool.run(16, &|b| {
+                            if b == 0 {
+                                // All submitters must be inside `run` at
+                                // once — impossible if inline mode took the
+                                // submit lock.
+                                arrived.fetch_add(1, Ordering::Relaxed);
+                                while arrived.load(Ordering::Relaxed) < submitters {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                            hits[b].fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!(stolen, 0, "inert pool must not steal");
+                        for (b, h) in hits.iter().enumerate() {
+                            assert_eq!(h.load(Ordering::Relaxed), 1, "block {b}");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(arrived.load(Ordering::Relaxed), submitters);
+    }
+
+    /// The busy-worker gauge tracks pooled jobs: total worker count is
+    /// published at attach, the busy gauge returns to 0 after every drain,
+    /// and inline jobs leave it untouched.
+    #[test]
+    fn busy_gauge_tracks_pooled_jobs() {
+        let pool = WorkerPool::new(3);
+        let obs = obs::Obs::shared();
+        pool.set_obs(obs.clone());
+        assert_eq!(obs.metrics.gauge("pool_workers", &[]), Some(3.0));
+        assert_eq!(obs.metrics.gauge("pool_workers_busy", &[]), Some(0.0));
+
+        // Pooled job: observe the gauge from inside a block while the job
+        // is live (it is set before any block runs).
+        let seen = std::sync::Mutex::new(None);
+        pool.run(64, &|_b| {
+            let mut s = seen.lock().unwrap();
+            if s.is_none() {
+                *s = obs.metrics.gauge("pool_workers_busy", &[]);
+            }
+        });
+        assert_eq!(*seen.lock().unwrap(), Some(3.0));
+        assert_eq!(obs.metrics.gauge("pool_workers_busy", &[]), Some(0.0));
+
+        // Single-block job: inline path, gauge untouched (still 0).
+        pool.run(1, &|_b| {});
+        assert_eq!(obs.metrics.gauge("pool_workers_busy", &[]), Some(0.0));
     }
 }

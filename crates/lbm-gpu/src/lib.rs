@@ -29,6 +29,7 @@ pub mod moment_lattice;
 pub mod mr2d;
 pub mod mr3d;
 pub mod scheme;
+pub mod sim_impls;
 pub mod sparse;
 pub mod st;
 

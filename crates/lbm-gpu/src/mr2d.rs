@@ -490,9 +490,14 @@ impl<L: Lattice> MrSim2D<L> {
     /// timestep and the device nests kernel/phase spans and publishes
     /// launch metrics under it.
     pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// In-place [`MrSim2D::with_obs`] (the `Simulation` trait surface).
+    pub fn set_obs(&mut self, obs: std::sync::Arc<obs::Obs>) {
         self.gpu.set_obs(obs.clone());
         self.obs = Some(obs);
-        self
     }
 
     /// Attach a physics monitor sampling the macroscopic fields every

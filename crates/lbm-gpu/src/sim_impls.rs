@@ -1,0 +1,100 @@
+//! [`Simulation`] implementations for the three single-device drivers.
+//!
+//! Every method forwards to the driver's inherent method of the same name
+//! (the inherent methods shadow the trait ones inside the impl), so the
+//! trait adds a uniform, object-safe surface without changing any driver
+//! behavior. Single-device steps cannot fail on a link, so the trait's
+//! default `try_step` (step + `Ok`) applies.
+
+use crate::{MrSim2D, MrSim3D, StSim};
+use lbm_core::collision::Collision;
+use lbm_core::io::CheckpointError;
+use lbm_core::sim::Simulation;
+use lbm_lattice::Lattice;
+use std::sync::Arc;
+
+macro_rules! impl_simulation_single {
+    ($ty:ty, [$($gen:tt)*]) => {
+        impl<$($gen)*> Simulation for $ty {
+            fn step(&mut self) {
+                self.step()
+            }
+            fn steps(&self) -> u64 {
+                self.steps()
+            }
+            fn checkpoint(&self) -> Vec<u8> {
+                self.checkpoint()
+            }
+            fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+                self.restore(bytes)
+            }
+            fn field_checksum(&self) -> u64 {
+                self.field_checksum()
+            }
+            fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
+                Self::macro_fields(self)
+            }
+            fn set_obs(&mut self, obs: Arc<obs::Obs>) {
+                self.set_obs(obs)
+            }
+            fn monitor_ok(&self) -> bool {
+                self.monitor().is_none_or(|m| m.is_ok())
+            }
+            fn finish_monitor(&mut self) {
+                self.finish_monitor()
+            }
+            fn fluid_nodes(&self) -> usize {
+                self.geom().fluid_count()
+            }
+            fn footprint_bytes(&self) -> usize {
+                self.footprint_bytes()
+            }
+        }
+    };
+}
+
+impl_simulation_single!(StSim<L, C>, [L: Lattice, C: Collision<L>]);
+impl_simulation_single!(MrSim2D<L>, [L: Lattice]);
+impl_simulation_single!(MrSim3D<L>, [L: Lattice]);
+
+#[cfg(test)]
+mod tests {
+    use gpu_sim::DeviceSpec;
+    use lbm_core::collision::Bgk;
+    use lbm_core::sim::Simulation;
+    use lbm_core::Geometry;
+    use lbm_lattice::D2Q9;
+
+    /// The trait surface drives a driver through a `dyn` object and agrees
+    /// with the inherent methods it forwards to.
+    #[test]
+    fn trait_object_drives_st_sim() {
+        let geom = Geometry::walls_y_periodic_x(12, 6);
+        let mk = || {
+            let mut s: crate::StSim<D2Q9, _> =
+                crate::StSim::new(DeviceSpec::v100(), geom.clone(), Bgk::new(0.8))
+                    .with_cpu_threads(1);
+            s.init_with(|x, y, _| (1.0, [0.02 * (y as f64 * 0.7).sin(), 0.01 * x as f64, 0.0]));
+            s
+        };
+        let mut inherent = mk();
+        inherent.run(5);
+
+        let mut boxed: Box<dyn Simulation + Send> = Box::new(mk());
+        for _ in 0..5 {
+            boxed.try_step().unwrap();
+        }
+        assert_eq!(boxed.steps(), 5);
+        assert_eq!(boxed.field_checksum(), inherent.field_checksum());
+        assert_eq!(boxed.fluid_nodes(), geom.fluid_count());
+        assert_eq!(boxed.footprint_bytes(), inherent.footprint_bytes());
+        assert!(boxed.is_healthy());
+
+        // Checkpoint through the trait restores into a fresh boxed sim.
+        let snap = boxed.checkpoint();
+        let mut fresh: Box<dyn Simulation + Send> = Box::new(mk());
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.steps(), 5);
+        assert_eq!(fresh.field_checksum(), inherent.field_checksum());
+    }
+}

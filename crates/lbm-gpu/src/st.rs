@@ -502,9 +502,14 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
     /// timestep and the device nests kernel spans and publishes launch
     /// metrics under it.
     pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// In-place [`StSim::with_obs`] (the `Simulation` trait surface).
+    pub fn set_obs(&mut self, obs: std::sync::Arc<obs::Obs>) {
         self.gpu.set_obs(obs.clone());
         self.obs = Some(obs);
-        self
     }
 
     /// Attach a physics monitor sampling the macroscopic fields every

@@ -18,8 +18,9 @@
 //!   bytes per halo node, per-shard double-buffered shift-0 moment
 //!   lattices (the in-place circular shift of Algorithm 2 is only safe
 //!   when a whole step is one lockstep launch).
-//! * [`recovery`] — checkpoint/rollback recovery loop, bounded halo-retry
-//!   policy, and the [`Recoverable`] trait implemented by all six drivers.
+//! * [`recovery`] — checkpoint/rollback recovery loop and bounded
+//!   halo-retry policy, driving any [`lbm_core::Simulation`] (the shared
+//!   trait implemented by all six drivers — see [`sim_impls`]).
 //! * [`stats`] — the two-phase overlap schedule's timing model
 //!   (`t_step = t_boundary + max(t_interior, t_exchange) + t_bc`) and
 //!   overlap efficiency.
@@ -33,14 +34,16 @@ pub mod decomp;
 pub mod mr2d;
 pub mod mr3d;
 pub mod recovery;
+pub mod sim_impls;
 pub mod st;
 pub mod stats;
 
 pub use decomp::{Cut, HaloTransfer, Slab, SlabDecomp};
+pub use lbm_core::{Simulation, StepError};
 pub use mr2d::MultiMrSim2D;
 pub use mr3d::MultiMrSim3D;
 pub use recovery::{
-    run_with_recovery, HaloRetryPolicy, Recoverable, RecoveryConfig, RecoveryError, RecoveryStats,
+    run_with_recovery, HaloRetryPolicy, RecoveryConfig, RecoveryError, RecoveryStats,
 };
 pub use st::MultiStSim;
 pub use stats::OverlapStats;

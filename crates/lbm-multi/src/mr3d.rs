@@ -162,8 +162,21 @@ impl<L: Lattice> MultiMrSim3D<L> {
     /// Attach an observability hub (tracer + metrics) to every device and
     /// the interconnect.
     pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
-        self.mg = self.mg.with_obs(obs);
+        self.set_obs(obs);
         self
+    }
+
+    /// In-place [`MultiMrSim3D::with_obs`] (the `Simulation` trait surface).
+    pub fn set_obs(&mut self, obs: std::sync::Arc<obs::Obs>) {
+        self.mg.set_obs(obs);
+    }
+
+    /// Device-memory footprint of every shard's resident moment lattices.
+    pub fn footprint_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.mom[0].size_bytes() + s.mom[1].size_bytes())
+            .sum()
     }
 
     /// Enable per-step physics monitoring (mass, momentum, max |u|, NaN guard).

@@ -1,14 +1,14 @@
 //! Fault-tolerant execution: halo-transfer retry, checkpoint cadence, and
 //! rollback recovery.
 //!
-//! The recovery loop drives any [`Recoverable`] solver toward a target step
-//! count while watching for injected or emergent faults on three channels:
+//! The recovery loop drives any [`Simulation`] toward a target step count
+//! while watching for injected or emergent faults on three channels:
 //!
 //! * **link failures** — transient link faults are absorbed *inside* the
 //!   drivers by [`HaloRetryPolicy`]-bounded retries (failed attempts record
 //!   zero link bytes, so a recovered run's link tallies are byte-identical
 //!   to a fault-free run); permanent failures surface as
-//!   [`RecoveryError::Link`];
+//!   [`RecoveryError::Step`];
 //! * **launch aborts** — a skipped kernel launch can leave *stale but
 //!   finite* fields that conservation checks miss, so the loop watches the
 //!   fault plan's fired counters directly ([`RecoveryConfig::fault_watch`]);
@@ -24,6 +24,7 @@
 use gpu_sim::interconnect::{LinkError, MultiGpu};
 use gpu_sim::FaultPlan;
 use lbm_core::io::CheckpointError;
+use lbm_core::{Simulation, StepError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -154,9 +155,9 @@ impl RecoveryStats {
 /// Why the recovery loop gave up.
 #[derive(Debug)]
 pub enum RecoveryError {
-    /// A link error the driver-level retry could not absorb (permanent
-    /// failure, missing route, or retry budget exhausted).
-    Link(LinkError),
+    /// A step error the driver-level retry could not absorb (permanent
+    /// link failure, missing route, or retry budget exhausted).
+    Step(StepError),
     /// The checkpoint refused to restore (corrupt or mismatched snapshot).
     Restore(CheckpointError),
     /// The rollback budget was exhausted without reaching the target.
@@ -166,7 +167,7 @@ pub enum RecoveryError {
 impl std::fmt::Display for RecoveryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RecoveryError::Link(e) => write!(f, "unrecoverable link error: {e}"),
+            RecoveryError::Step(e) => write!(f, "unrecoverable step error: {e}"),
             RecoveryError::Restore(e) => write!(f, "checkpoint restore failed: {e}"),
             RecoveryError::GaveUp { rollbacks, step } => {
                 write!(f, "gave up after {rollbacks} rollbacks at step {step}")
@@ -177,9 +178,9 @@ impl std::fmt::Display for RecoveryError {
 
 impl std::error::Error for RecoveryError {}
 
-impl From<LinkError> for RecoveryError {
-    fn from(e: LinkError) -> Self {
-        RecoveryError::Link(e)
+impl From<StepError> for RecoveryError {
+    fn from(e: StepError) -> Self {
+        RecoveryError::Step(e)
     }
 }
 
@@ -189,50 +190,16 @@ impl From<CheckpointError> for RecoveryError {
     }
 }
 
-/// A solver the recovery loop can drive: checkpointable, restorable, and
-/// steppable with typed halo errors. Implemented by all six drivers (the
-/// three single-device solvers in `lbm-gpu` and the three sharded ones
-/// here); single-device steps cannot fail on a link.
-pub trait Recoverable {
-    /// Serialize the full solver state (versioned, checksummed).
-    fn checkpoint(&self) -> Vec<u8>;
-    /// Restore a snapshot taken by [`Recoverable::checkpoint`] on an
-    /// identically configured solver; rolls the physics monitor back too.
-    fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError>;
-    /// Advance one timestep; `Err` means a halo transfer failed beyond the
-    /// driver's retry budget.
-    fn try_advance(&mut self) -> Result<(), LinkError>;
-    /// Completed timesteps.
-    fn current_step(&self) -> u64;
-    /// Macroscopic fields (the health probe's input).
-    fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>);
-    /// Whether the attached physics monitor (if any) has no violations.
-    fn monitor_ok(&self) -> bool;
-    /// Force a final monitor sample at the current step.
-    fn finish_monitor(&mut self);
-    /// Halo-transfer retries performed so far (0 for single-device).
-    fn halo_retries(&self) -> u64 {
-        0
-    }
-
-    /// Health probe: every sampled field value finite and no standing
-    /// monitor violation.
-    fn is_healthy(&self) -> bool {
-        if !self.monitor_ok() {
-            return false;
-        }
-        let (rho, u) = self.macro_fields();
-        rho.iter().all(|v| v.is_finite()) && u.iter().flatten().all(|v| v.is_finite())
-    }
-}
-
 /// Drive `sim` to `target_steps` with checkpoint/rollback recovery. Takes
 /// an initial checkpoint, advances step by step, checkpoints at the
 /// configured cadence (only when healthy — a corrupt state is never made a
 /// rollback target), and on any detected fault restores the last checkpoint
 /// and replays. Determinism makes the recovered trajectory bitwise equal to
 /// an uninterrupted run.
-pub fn run_with_recovery<S: Recoverable>(
+///
+/// `?Sized` so callers holding a `Box<dyn Simulation + Send>` (the fleet
+/// scheduler in `lbm-serve`) can pass `&mut *boxed`.
+pub fn run_with_recovery<S: Simulation + ?Sized>(
     sim: &mut S,
     target_steps: u64,
     cfg: &RecoveryConfig,
@@ -240,14 +207,14 @@ pub fn run_with_recovery<S: Recoverable>(
     let mut stats = RecoveryStats::default();
     let base_retries = sim.halo_retries();
     let mut ckpt = sim.checkpoint();
-    let mut ckpt_step = sim.current_step();
+    let mut ckpt_step = sim.steps();
     stats.checkpoints += 1;
     let mut seen_aborts = cfg.fault_watch.as_ref().map_or(0, |p| p.aborts_fired());
     let mut seen_mem = cfg.fault_watch.as_ref().map_or(0, |p| p.mem_faults_fired());
 
-    while sim.current_step() < target_steps {
-        sim.try_advance()?;
-        let step = sim.current_step();
+    while sim.steps() < target_steps {
+        sim.try_step()?;
+        let step = sim.steps();
 
         // Detection channel 1: watched fault counters (aborts can leave
         // stale-but-finite fields no conservation check flags).
@@ -298,71 +265,4 @@ pub fn run_with_recovery<S: Recoverable>(
     sim.finish_monitor();
     stats.halo_retries = sim.halo_retries() - base_retries;
     Ok(stats)
-}
-
-mod impls {
-    use super::{CheckpointError, LinkError, Recoverable};
-    use lbm_core::collision::Collision;
-    use lbm_lattice::Lattice;
-
-    /// Shared trait-method bodies: everything forwards to the inherent
-    /// methods (which shadow the trait ones inside the impl).
-    macro_rules! recoverable_common {
-        () => {
-            fn checkpoint(&self) -> Vec<u8> {
-                self.checkpoint()
-            }
-            fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
-                self.restore(bytes)
-            }
-            fn current_step(&self) -> u64 {
-                self.steps()
-            }
-            fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
-                Self::macro_fields(self)
-            }
-            fn monitor_ok(&self) -> bool {
-                self.monitor().is_none_or(|m| m.is_ok())
-            }
-            fn finish_monitor(&mut self) {
-                self.finish_monitor()
-            }
-        };
-    }
-
-    /// Single-device drivers: a step cannot fail on a link, and there are
-    /// no halo retries (the trait default of 0 applies).
-    macro_rules! impl_recoverable_single {
-        ($ty:ty, [$($gen:tt)*]) => {
-            impl<$($gen)*> Recoverable for $ty {
-                recoverable_common!();
-                fn try_advance(&mut self) -> Result<(), LinkError> {
-                    self.step();
-                    Ok(())
-                }
-            }
-        };
-    }
-
-    /// Sharded drivers: steps can fail on a link; surface retry counts.
-    macro_rules! impl_recoverable_multi {
-        ($ty:ty, [$($gen:tt)*]) => {
-            impl<$($gen)*> Recoverable for $ty {
-                recoverable_common!();
-                fn try_advance(&mut self) -> Result<(), LinkError> {
-                    self.try_step()
-                }
-                fn halo_retries(&self) -> u64 {
-                    self.halo_retries()
-                }
-            }
-        };
-    }
-
-    impl_recoverable_single!(lbm_gpu::StSim<L, C>, [L: Lattice, C: Collision<L>]);
-    impl_recoverable_single!(lbm_gpu::MrSim2D<L>, [L: Lattice]);
-    impl_recoverable_single!(lbm_gpu::MrSim3D<L>, [L: Lattice]);
-    impl_recoverable_multi!(crate::MultiStSim<L, C>, [L: Lattice, C: Collision<L>]);
-    impl_recoverable_multi!(crate::MultiMrSim2D<L>, [L: Lattice]);
-    impl_recoverable_multi!(crate::MultiMrSim3D<L>, [L: Lattice]);
 }

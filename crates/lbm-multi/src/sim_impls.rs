@@ -1,0 +1,143 @@
+//! [`Simulation`] implementations for the three slab-sharded drivers.
+//!
+//! The multi-device drivers differ from the single-device ones in two ways
+//! the trait has to surface: a step can fail when an inter-device link goes
+//! down (`try_step`), and halo exchanges may be retried under a
+//! [`gpu_sim::interconnect::HaloRetryPolicy`] (`halo_retries`). Link errors
+//! are mirrored into the substrate-agnostic [`lbm_core::StepError`] so
+//! callers in `lbm-core` / `lbm-serve` never need to name `gpu_sim` types.
+
+use crate::{MultiMrSim2D, MultiMrSim3D, MultiStSim};
+use gpu_sim::interconnect::LinkError;
+use lbm_core::collision::Collision;
+use lbm_core::io::CheckpointError;
+use lbm_core::sim::Simulation;
+use lbm_core::StepError;
+use lbm_lattice::Lattice;
+use std::sync::Arc;
+
+/// Mirror a substrate [`LinkError`] into the core [`StepError`].
+///
+/// A free function rather than `From`: both types live in other crates, so
+/// the orphan rule forbids the impl.
+pub fn step_error_from_link(e: LinkError) -> StepError {
+    match e {
+        LinkError::Down {
+            from,
+            to,
+            permanent,
+        } => StepError::Link {
+            from,
+            to,
+            permanent,
+        },
+        LinkError::NoRoute { from, to } => StepError::NoRoute { from, to },
+    }
+}
+
+macro_rules! impl_simulation_multi {
+    ($ty:ty, [$($gen:tt)*]) => {
+        impl<$($gen)*> Simulation for $ty {
+            fn step(&mut self) {
+                self.step()
+            }
+            fn try_step(&mut self) -> Result<(), StepError> {
+                self.try_step().map_err(step_error_from_link)
+            }
+            fn steps(&self) -> u64 {
+                self.steps()
+            }
+            fn checkpoint(&self) -> Vec<u8> {
+                self.checkpoint()
+            }
+            fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+                self.restore(bytes)
+            }
+            fn field_checksum(&self) -> u64 {
+                self.field_checksum()
+            }
+            fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
+                Self::macro_fields(self)
+            }
+            fn set_obs(&mut self, obs: Arc<obs::Obs>) {
+                self.set_obs(obs)
+            }
+            fn monitor_ok(&self) -> bool {
+                self.monitor().is_none_or(|m| m.is_ok())
+            }
+            fn finish_monitor(&mut self) {
+                self.finish_monitor()
+            }
+            fn halo_retries(&self) -> u64 {
+                self.halo_retries()
+            }
+            fn fluid_nodes(&self) -> usize {
+                self.geom().fluid_count()
+            }
+            fn footprint_bytes(&self) -> usize {
+                self.footprint_bytes()
+            }
+        }
+    };
+}
+
+impl_simulation_multi!(MultiStSim<L, C>, [L: Lattice, C: Collision<L>]);
+impl_simulation_multi!(MultiMrSim2D<L>, [L: Lattice]);
+impl_simulation_multi!(MultiMrSim3D<L>, [L: Lattice]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use lbm_core::sim::Simulation;
+    use lbm_core::Geometry;
+    use lbm_gpu::MrScheme;
+    use lbm_lattice::D2Q9;
+
+    #[test]
+    fn link_error_mirrors_into_step_error() {
+        let e = step_error_from_link(LinkError::Down {
+            from: 0,
+            to: 1,
+            permanent: true,
+        });
+        assert!(matches!(
+            e,
+            StepError::Link {
+                from: 0,
+                to: 1,
+                permanent: true
+            }
+        ));
+        let e = step_error_from_link(LinkError::NoRoute { from: 2, to: 0 });
+        assert!(matches!(e, StepError::NoRoute { from: 2, to: 0 }));
+    }
+
+    /// A sharded MR driver behind `dyn Simulation` matches its inherent run.
+    #[test]
+    fn trait_object_drives_multi_mr2d() {
+        let geom = Geometry::walls_y_periodic_x(16, 8);
+        let mk = || {
+            let mut s: MultiMrSim2D<D2Q9> = MultiMrSim2D::new(
+                DeviceSpec::v100(),
+                geom.clone(),
+                MrScheme::projective(),
+                0.9,
+                2,
+            )
+            .with_cpu_threads(1);
+            s.init_with(|x, y, _| (1.0, [0.03 * (y as f64 * 0.5).sin(), 0.01 * x as f64, 0.0]));
+            s
+        };
+        let mut inherent = mk();
+        inherent.run(4);
+
+        let mut boxed: Box<dyn Simulation + Send> = Box::new(mk());
+        for _ in 0..4 {
+            boxed.try_step().unwrap();
+        }
+        assert_eq!(boxed.steps(), 4);
+        assert_eq!(boxed.field_checksum(), inherent.field_checksum());
+        assert_eq!(boxed.halo_retries(), 0);
+    }
+}

@@ -157,8 +157,21 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
     /// the driver adds `step` and `halo-exchange` spans, the devices nest
     /// kernel spans, and transfers publish link metrics.
     pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
-        self.mg = self.mg.with_obs(obs);
+        self.set_obs(obs);
         self
+    }
+
+    /// In-place [`MultiStSim::with_obs`] (the `Simulation` trait surface).
+    pub fn set_obs(&mut self, obs: std::sync::Arc<obs::Obs>) {
+        self.mg.set_obs(obs);
+    }
+
+    /// Device-memory footprint of every shard's resident lattices.
+    pub fn footprint_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.f[0].size_bytes() + s.f[1].size_bytes())
+            .sum()
     }
 
     /// Attach a physics monitor over the *global* fields every

@@ -1,0 +1,135 @@
+//! Job identity, lifecycle states, and results.
+
+use crate::spec::Priority;
+
+/// Opaque handle for a submitted job, unique within one [`crate::Serve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Where a job is in its lifecycle.
+///
+/// ```text
+/// Queued ──▶ Running ──▶ Completed
+///   ▲           │
+///   │ (resume)  ├──▶ Evicted ──▶ Queued  (checkpoint-backed preemption)
+///   │           ├──▶ Failed               (panic or unrecoverable fault)
+///   └───────────┴──▶ Canceled             (also directly from Queued)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the ready queue (first time or after an eviction).
+    Queued,
+    /// Owned by an executor, inside a lockstep group.
+    Running,
+    /// Preempted: checkpointed, solver dropped, back in the ready queue.
+    /// (Transient — observable between eviction and re-dispatch.)
+    Evicted,
+    Completed,
+    Canceled,
+    Failed,
+}
+
+impl JobState {
+    /// Terminal states never change again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Canceled | JobState::Failed
+        )
+    }
+}
+
+/// Point-in-time view of a job.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    pub id: JobId,
+    pub tenant: String,
+    pub priority: Priority,
+    pub state: JobState,
+    /// Steps completed so far (survives evictions via the checkpoint).
+    pub steps_done: u64,
+    pub steps_target: u64,
+    /// Times this job was preempted.
+    pub evictions: u64,
+    /// Current effective priority (base class + aging credit).
+    pub effective_priority: u64,
+}
+
+/// Final outcome of a completed job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    pub id: JobId,
+    /// FNV-1a checksum of the final macroscopic fields — bitwise-equal to
+    /// a solo run of the same spec by the service's determinism contract.
+    pub checksum: u64,
+    /// Timesteps executed (== the spec's target).
+    pub steps: u64,
+    /// Submit → completion wall-clock latency.
+    pub latency_ms: f64,
+    /// Times the job was evicted and resumed along the way.
+    pub evictions: u64,
+    /// Rollbacks performed by the recovery loop (resilient jobs only).
+    pub rollbacks: u64,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The spec failed validation (reason inside).
+    Invalid(String),
+    /// The tenant is at one of its quota limits.
+    QuotaExceeded { tenant: String, reason: String },
+    /// The service is draining/shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(why) => write!(f, "invalid job spec: {why}"),
+            SubmitError::QuotaExceeded { tenant, reason } => {
+                write!(f, "tenant {tenant} over quota: {reason}")
+            }
+            SubmitError::Shutdown => write!(f, "service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Canceled.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(!JobState::Evicted.is_terminal());
+    }
+
+    #[test]
+    fn submit_error_displays() {
+        let e = SubmitError::QuotaExceeded {
+            tenant: "acme".into(),
+            reason: "3 jobs in flight (limit 3)".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "tenant acme over quota: 3 jobs in flight (limit 3)"
+        );
+        assert_eq!(
+            SubmitError::Invalid("steps must be >= 1".into()).to_string(),
+            "invalid job spec: steps must be >= 1"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! `lbm-serve` — a multi-tenant simulation service over the workspace's
+//! six LBM drivers.
+//!
+//! Tenants submit [`JobSpec`]s; a std-only scheduler (worker threads,
+//! mutexes, condvars — no async runtime) multiplexes the resulting
+//! simulations across a shared pool of simulated devices:
+//!
+//! * [`spec`] — job specifications: scenario, propagation pattern
+//!   (ST / MR-P / MR-R), relaxation time, step target, device count;
+//!   validation; and the solo-run checksum oracle.
+//! * [`job`] — job identity, lifecycle states, results, submit errors.
+//! * [`quota`] — per-tenant admission control (in-flight jobs, resident
+//!   lattice nodes).
+//! * [`scheduler`] — batched lockstep dispatch, checkpoint-backed
+//!   preemption with priority aging, and the public [`Serve`] handle.
+//! * [`load`] — a seeded deterministic arrival process for load tests
+//!   (the `BENCH_serve` driver and the replay tests share it).
+//!
+//! The service's headline contract is inherited from the substrate's
+//! determinism: **every job's final field checksum is bitwise-equal to a
+//! solo run of its spec**, regardless of batching, time-slicing, or how
+//! many times the job was evicted and resumed along the way.
+
+pub mod job;
+pub mod load;
+pub mod quota;
+pub mod scheduler;
+pub mod spec;
+
+pub use job::{JobId, JobResult, JobState, JobStatus, SubmitError};
+pub use load::ArrivalProcess;
+pub use quota::{QuotaLedger, TenantQuota, TenantUsage};
+pub use scheduler::{Serve, ServeConfig};
+pub use spec::{solo_checksum, JobSpec, Pattern, Priority, Scenario};

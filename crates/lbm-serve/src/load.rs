@@ -1,0 +1,188 @@
+//! Deterministic synthetic workload for load tests.
+//!
+//! An LCG-seeded arrival process producing a fixed job mix: mostly small
+//! interactive 2D problems, a tail of medium batch work, and an occasional
+//! multi-device or 3D job. Two generators built with the same seed emit
+//! *identical* spec sequences — the replay tests and the `BENCH_serve`
+//! load driver both rely on that.
+
+use crate::spec::{JobSpec, Pattern, Priority, Scenario};
+
+/// Tenants the generator cycles through.
+pub const TENANTS: [&str; 4] = ["acme", "nova", "zephyr", "orbit"];
+
+/// Deterministic arrival process: an iterator over `n` job specs.
+#[derive(Clone, Debug)]
+pub struct ArrivalProcess {
+    state: u64,
+    remaining: usize,
+    emitted: usize,
+}
+
+impl ArrivalProcess {
+    /// `seed` fixes the whole sequence; `n` bounds its length.
+    pub fn new(seed: u64, n: usize) -> Self {
+        ArrivalProcess {
+            // Avoid the LCG's zero fixed point without changing user seeds.
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            remaining: n,
+            emitted: 0,
+        }
+    }
+
+    /// Next raw LCG draw (Knuth MMIX constants), upper bits.
+    fn draw(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 17
+    }
+
+    /// Uniform draw in `0..m`.
+    fn below(&mut self, m: u64) -> u64 {
+        self.draw() % m
+    }
+}
+
+impl Iterator for ArrivalProcess {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let tenant = TENANTS[self.emitted % TENANTS.len()].to_string();
+        self.emitted += 1;
+
+        let pattern = match self.below(3) {
+            0 => Pattern::St,
+            1 => Pattern::MrP,
+            _ => Pattern::MrR,
+        };
+        let tau = 0.7 + 0.05 * self.below(7) as f64; // 0.70..=1.00
+        let mix = self.below(100);
+        let spec = if mix < 70 {
+            // Small interactive 2D job: low latency is the point.
+            JobSpec {
+                tenant,
+                priority: Priority::Interactive,
+                scenario: Scenario::Shear2D {
+                    nx: 12 + 4 * self.below(4) as usize, // 12..=24
+                    ny: 6 + 2 * self.below(3) as usize,  // 6..=10
+                },
+                pattern,
+                tau,
+                steps: 4 + 2 * self.below(5), // 4..=12
+                devices: 1,
+                resilient: false,
+                fault_plan: None,
+            }
+        } else if mix < 95 {
+            // Medium batch job: bigger lattice, longer horizon.
+            JobSpec {
+                tenant,
+                priority: Priority::Batch,
+                scenario: Scenario::Shear2D {
+                    nx: 32 + 8 * self.below(3) as usize, // 32..=48
+                    ny: 12 + 4 * self.below(3) as usize, // 12..=20
+                },
+                pattern,
+                tau,
+                steps: 24 + 8 * self.below(4), // 24..=48
+                devices: 1,
+                resilient: false,
+                fault_plan: None,
+            }
+        } else if mix < 98 {
+            // Multi-device batch 2D: exercises the sharded drivers.
+            JobSpec {
+                tenant,
+                priority: Priority::Batch,
+                scenario: Scenario::Shear2D { nx: 40, ny: 16 },
+                pattern,
+                tau,
+                steps: 16 + 8 * self.below(3),
+                devices: 2 + self.below(2) as usize, // 2..=3
+                resilient: false,
+                fault_plan: None,
+            }
+        } else {
+            // Small 3D duct: the D3Q19 paths.
+            JobSpec {
+                tenant,
+                priority: Priority::Batch,
+                scenario: Scenario::Shear3D {
+                    nx: 10,
+                    ny: 6,
+                    nz: 6,
+                },
+                pattern,
+                tau,
+                steps: 8 + 4 * self.below(3),
+                devices: 1,
+                resilient: false,
+                fault_plan: None,
+            }
+        };
+        Some(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a: Vec<JobSpec> = ArrivalProcess::new(42, 200).collect();
+        let b: Vec<JobSpec> = ArrivalProcess::new(42, 200).collect();
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.priority, y.priority);
+            assert_eq!(x.scenario, y.scenario);
+            assert_eq!(x.pattern, y.pattern);
+            assert_eq!(x.tau.to_bits(), y.tau.to_bits());
+            assert_eq!(x.steps, y.steps);
+            assert_eq!(x.devices, y.devices);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge_and_all_specs_validate() {
+        let a: Vec<JobSpec> = ArrivalProcess::new(1, 300).collect();
+        let b: Vec<JobSpec> = ArrivalProcess::new(2, 300).collect();
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.scenario != y.scenario || x.steps != y.steps),
+            "seeds 1 and 2 produced identical workloads"
+        );
+        for s in a.iter().chain(&b) {
+            s.validate().expect("generator emitted an invalid spec");
+        }
+    }
+
+    #[test]
+    fn mix_contains_all_classes() {
+        let specs: Vec<JobSpec> = ArrivalProcess::new(7, 500).collect();
+        let interactive = specs
+            .iter()
+            .filter(|s| s.priority == Priority::Interactive)
+            .count();
+        let multi = specs.iter().filter(|s| s.devices > 1).count();
+        let threed = specs
+            .iter()
+            .filter(|s| matches!(s.scenario, Scenario::Shear3D { .. }))
+            .count();
+        assert!(
+            interactive > 250,
+            "interactive share collapsed: {interactive}"
+        );
+        assert!(interactive < 450, "batch share collapsed");
+        assert!(multi > 0, "no multi-device jobs in 500 draws");
+        assert!(threed > 0, "no 3D jobs in 500 draws");
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-tenant admission control.
+//!
+//! Two independent limits, both charged at submit time and released when a
+//! job reaches a terminal state:
+//!
+//! * **in-flight jobs** — everything submitted and not yet
+//!   completed/canceled/failed (queued, running, and evicted jobs all
+//!   count: an evicted job still owns its checkpoint bytes);
+//! * **resident lattice nodes** — the sum of `Scenario::nodes()` over the
+//!   tenant's in-flight jobs, a proxy for the device memory the tenant can
+//!   pin at once.
+//!
+//! Rejection is synchronous ([`SubmitError::QuotaExceeded`]) rather than
+//! queued-but-deprioritized: a tenant at its limit gets immediate
+//! backpressure instead of a silently growing backlog.
+
+use crate::job::SubmitError;
+use std::collections::HashMap;
+
+/// Limits for one tenant. `usize::MAX` (the default) means unlimited.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantQuota {
+    /// Max jobs submitted and not yet terminal.
+    pub max_in_flight: usize,
+    /// Max total lattice nodes across in-flight jobs.
+    pub max_resident_nodes: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_in_flight: usize::MAX,
+            max_resident_nodes: usize::MAX,
+        }
+    }
+}
+
+/// What one tenant currently holds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TenantUsage {
+    pub in_flight: usize,
+    pub resident_nodes: usize,
+}
+
+/// Admission ledger: per-tenant usage checked against per-tenant quotas.
+#[derive(Default)]
+pub struct QuotaLedger {
+    quotas: HashMap<String, TenantQuota>,
+    usage: HashMap<String, TenantUsage>,
+}
+
+impl QuotaLedger {
+    pub fn new(quotas: HashMap<String, TenantQuota>) -> Self {
+        QuotaLedger {
+            quotas,
+            usage: HashMap::new(),
+        }
+    }
+
+    /// Charge a submission, or explain why it cannot be admitted. On `Ok`
+    /// the usage is already recorded.
+    pub fn try_charge(&mut self, tenant: &str, nodes: usize) -> Result<(), SubmitError> {
+        let quota = self.quotas.get(tenant).copied().unwrap_or_default();
+        let usage = self.usage.entry(tenant.to_string()).or_default();
+        if usage.in_flight + 1 > quota.max_in_flight {
+            return Err(SubmitError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                reason: format!(
+                    "{} jobs in flight (limit {})",
+                    usage.in_flight, quota.max_in_flight
+                ),
+            });
+        }
+        if usage.resident_nodes + nodes > quota.max_resident_nodes {
+            return Err(SubmitError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                reason: format!(
+                    "{} + {} resident nodes would exceed limit {}",
+                    usage.resident_nodes, nodes, quota.max_resident_nodes
+                ),
+            });
+        }
+        usage.in_flight += 1;
+        usage.resident_nodes += nodes;
+        Ok(())
+    }
+
+    /// Release a terminal job's charge.
+    pub fn release(&mut self, tenant: &str, nodes: usize) {
+        let usage = self
+            .usage
+            .get_mut(tenant)
+            .expect("release for a tenant that never charged");
+        usage.in_flight -= 1;
+        usage.resident_nodes -= nodes;
+    }
+
+    /// Current usage snapshot for a tenant.
+    pub fn usage(&self, tenant: &str) -> TenantUsage {
+        self.usage.get(tenant).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_by_default() {
+        let mut ledger = QuotaLedger::default();
+        for _ in 0..1000 {
+            ledger.try_charge("anyone", 1 << 20).unwrap();
+        }
+        assert_eq!(ledger.usage("anyone").in_flight, 1000);
+    }
+
+    #[test]
+    fn in_flight_limit_rejects_then_recovers() {
+        let mut quotas = HashMap::new();
+        quotas.insert(
+            "acme".to_string(),
+            TenantQuota {
+                max_in_flight: 2,
+                max_resident_nodes: usize::MAX,
+            },
+        );
+        let mut ledger = QuotaLedger::new(quotas);
+        ledger.try_charge("acme", 10).unwrap();
+        ledger.try_charge("acme", 10).unwrap();
+        assert!(matches!(
+            ledger.try_charge("acme", 10),
+            Err(SubmitError::QuotaExceeded { .. })
+        ));
+        // Another tenant is unaffected.
+        ledger.try_charge("nova", 10).unwrap();
+        // Releasing frees a slot.
+        ledger.release("acme", 10);
+        ledger.try_charge("acme", 10).unwrap();
+    }
+
+    #[test]
+    fn resident_node_limit_counts_lattice_size() {
+        let mut quotas = HashMap::new();
+        quotas.insert(
+            "acme".to_string(),
+            TenantQuota {
+                max_in_flight: usize::MAX,
+                max_resident_nodes: 1000,
+            },
+        );
+        let mut ledger = QuotaLedger::new(quotas);
+        ledger.try_charge("acme", 600).unwrap();
+        assert!(ledger.try_charge("acme", 600).is_err());
+        ledger.try_charge("acme", 400).unwrap();
+        ledger.release("acme", 600);
+        ledger.try_charge("acme", 600).unwrap();
+    }
+}

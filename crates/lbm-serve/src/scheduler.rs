@@ -1,0 +1,663 @@
+//! The fleet scheduler: executor threads multiplexing many simulations
+//! over a shared device pool.
+//!
+//! # Batched lockstep dispatch
+//!
+//! Each executor pulls a *group* of up to `batch_max` compatible jobs
+//! (same scheduling class) from the ready queue and drives them in
+//! time-sliced round-robin: `slice_steps` timesteps of job A, then B, then
+//! C, then back to A. Because every solver in the workspace is
+//! bitwise-deterministic and slicing only changes *when* steps run — never
+//! their arithmetic — a job's final field checksum is identical to a solo
+//! run of the same spec, no matter how it was grouped, sliced, or
+//! preempted.
+//!
+//! # Checkpoint-backed preemption
+//!
+//! When an interactive-priority job is waiting and no executor is idle, an
+//! executor running an evictable batch group checkpoints its unfinished
+//! members (LBCK codec), drops the solvers, and requeues the jobs with
+//! their snapshot attached; the interactive work runs next. On
+//! re-dispatch the spec is rebuilt and the snapshot restored — an exact
+//! continuation, not an approximation.
+//!
+//! # Priority, aging, and the starvation bound
+//!
+//! Interactive jobs start at `interactive_base` effective priority, batch
+//! jobs at 0. Every dispatch round that passes a queued job over adds
+//! `aging` credit. Two consequences:
+//!
+//! * the queue drains highest-effective-priority first, so batch work
+//!   climbs toward the front after at most `interactive_base / aging`
+//!   passed-over rounds;
+//! * a group is evictable only while every member's effective priority is
+//!   *below* `interactive_base` — once a batch job has aged to the
+//!   interactive level it can no longer be preempted, which bounds both
+//!   its waiting time and the number of evictions any job can suffer.
+//!
+//! # Quotas
+//!
+//! Admission is checked synchronously against per-tenant limits
+//! ([`crate::quota`]) — in-flight jobs and resident lattice nodes — and
+//! released when a job reaches a terminal state.
+
+use crate::job::{JobId, JobResult, JobState, JobStatus, SubmitError};
+use crate::quota::{QuotaLedger, TenantQuota, TenantUsage};
+use crate::spec::{JobSpec, Priority};
+use lbm_core::Simulation;
+use lbm_multi::recovery::{run_with_recovery, RecoveryConfig};
+use obs::Obs;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Latency histogram bounds (milliseconds).
+pub const LATENCY_BOUNDS_MS: [f64; 12] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+];
+
+/// Scheduler configuration.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Executor threads (each drives one lockstep group at a time).
+    pub executors: usize,
+    /// Max jobs per lockstep group.
+    pub batch_max: usize,
+    /// Timesteps per round-robin slice.
+    pub slice_steps: u64,
+    /// Effective priority an interactive job starts with (batch starts
+    /// at 0). Also the eviction-immunity threshold.
+    pub interactive_base: u64,
+    /// Priority credit per passed-over dispatch round.
+    pub aging: u64,
+    /// CPU threads each solver may use. The default of 1 keeps every sim
+    /// inline on its executor thread (the substrate's zero-worker pool
+    /// mode), so `executors` is the true parallelism.
+    pub cpu_threads_per_job: usize,
+    /// Per-tenant admission limits (absent tenants are unlimited).
+    pub quotas: HashMap<String, TenantQuota>,
+    /// Observability hub: scheduler decisions become spans, queue/running
+    /// state becomes gauges, outcomes become counters and latency
+    /// histograms.
+    pub obs: Option<Arc<Obs>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            executors: 2,
+            batch_max: 4,
+            slice_steps: 8,
+            interactive_base: 8,
+            aging: 1,
+            cpu_threads_per_job: 1,
+            quotas: HashMap::new(),
+            obs: None,
+        }
+    }
+}
+
+struct JobRec {
+    spec: JobSpec,
+    state: JobState,
+    eff_prio: u64,
+    steps_done: u64,
+    /// LBCK snapshot carried while evicted (freed on resume).
+    snapshot: Option<Vec<u8>>,
+    evictions: u64,
+    rollbacks: u64,
+    cancel: bool,
+    submitted_at: Instant,
+    result: Option<JobResult>,
+}
+
+struct State {
+    /// Ready queue (FIFO among equal effective priorities): job IDs in
+    /// `Queued` or `Evicted` state.
+    queue: Vec<JobId>,
+    jobs: HashMap<JobId, JobRec>,
+    ledger: QuotaLedger,
+    /// Executors parked on `work_cv`.
+    idle: usize,
+    /// Jobs not yet in a terminal state.
+    in_flight: usize,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Wakes executors when work arrives (or shutdown).
+    work_cv: Condvar,
+    /// Wakes `wait`/`drain` when any job reaches a terminal state.
+    done_cv: Condvar,
+    cfg: ServeConfig,
+}
+
+impl Inner {
+    fn obs(&self) -> Option<&Arc<Obs>> {
+        self.cfg.obs.as_ref()
+    }
+
+    fn set_queue_gauges(&self, st: &State) {
+        if let Some(o) = self.obs() {
+            o.metrics
+                .gauge_set("serve_queue_depth", &[], st.queue.len() as f64);
+            o.metrics
+                .gauge_set("serve_in_flight", &[], st.in_flight as f64);
+            o.metrics
+                .gauge_set("serve_idle_executors", &[], st.idle as f64);
+        }
+    }
+}
+
+/// One member of a running lockstep group.
+struct Active {
+    id: JobId,
+    sim: Box<dyn Simulation + Send>,
+    target: u64,
+    done: u64,
+    resilient: bool,
+    fault_plan: Option<Arc<gpu_sim::FaultPlan>>,
+}
+
+/// The multi-tenant simulation service. Submit [`JobSpec`]s, poll
+/// [`JobStatus`], await [`JobResult`]s; executor threads and all in-flight
+/// solvers are owned by this handle and joined on drop.
+pub struct Serve {
+    inner: Arc<Inner>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl Serve {
+    /// Start the service with `cfg.executors` executor threads.
+    pub fn start(cfg: ServeConfig) -> Self {
+        assert!(cfg.executors >= 1, "need at least one executor");
+        assert!(cfg.batch_max >= 1, "need at least one job per group");
+        assert!(cfg.slice_steps >= 1, "slices must advance time");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: Vec::new(),
+                jobs: HashMap::new(),
+                ledger: QuotaLedger::new(cfg.quotas.clone()),
+                idle: 0,
+                in_flight: 0,
+                next_id: 1,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cfg,
+        });
+        let executors = (0..inner.cfg.executors)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("lbm-serve-exec-{i}"))
+                    .spawn(move || executor_loop(&inner))
+                    .expect("spawn executor")
+            })
+            .collect();
+        Serve { inner, executors }
+    }
+
+    /// Validate, admit against quota, and enqueue a job.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        spec.validate()?;
+        let mut st = self.inner.state.lock().unwrap();
+        if st.shutdown {
+            return Err(SubmitError::Shutdown);
+        }
+        st.ledger.try_charge(&spec.tenant, spec.scenario.nodes())?;
+        let id = JobId(st.next_id);
+        st.next_id += 1;
+        let eff_prio = match spec.priority {
+            Priority::Interactive => self.inner.cfg.interactive_base,
+            Priority::Batch => 0,
+        };
+        if let Some(o) = self.inner.obs() {
+            o.metrics.counter_add(
+                "serve_jobs_submitted",
+                &[("tenant", &spec.tenant), ("class", spec.priority.label())],
+                1,
+            );
+        }
+        st.jobs.insert(
+            id,
+            JobRec {
+                spec,
+                state: JobState::Queued,
+                eff_prio,
+                steps_done: 0,
+                snapshot: None,
+                evictions: 0,
+                rollbacks: 0,
+                cancel: false,
+                submitted_at: Instant::now(),
+                result: None,
+            },
+        );
+        st.queue.push(id);
+        st.in_flight += 1;
+        self.inner.set_queue_gauges(&st);
+        self.inner.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Point-in-time status, or `None` for an unknown ID.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(&id).map(|rec| JobStatus {
+            id,
+            tenant: rec.spec.tenant.clone(),
+            priority: rec.spec.priority,
+            state: rec.state,
+            steps_done: rec.steps_done,
+            steps_target: rec.spec.steps,
+            evictions: rec.evictions,
+            effective_priority: rec.eff_prio,
+        })
+    }
+
+    /// The completed job's result, if it has one (`None` while in flight
+    /// or for canceled/failed/unknown jobs).
+    pub fn result(&self, id: JobId) -> Option<JobResult> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(&id).and_then(|rec| rec.result.clone())
+    }
+
+    /// Cancel a job. Queued and evicted jobs are canceled synchronously;
+    /// a running job is flagged and canceled at its next slice boundary.
+    /// Returns `false` if the job is unknown or already terminal.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut st = self.inner.state.lock().unwrap();
+        let Some(rec) = st.jobs.get_mut(&id) else {
+            return false;
+        };
+        match rec.state {
+            JobState::Queued | JobState::Evicted => {
+                rec.cancel = true;
+                st.queue.retain(|&q| q != id);
+                finalize(&self.inner, &mut st, id, JobState::Canceled, None);
+                true
+            }
+            JobState::Running => {
+                rec.cancel = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Block until the job is terminal. `Ok` carries the result of a
+    /// completed job; `Err` carries the terminal state of a canceled or
+    /// failed one. Panics on an unknown ID.
+    pub fn wait(&self, id: JobId) -> Result<JobResult, JobState> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            let rec = st.jobs.get(&id).expect("wait on unknown job");
+            if rec.state.is_terminal() {
+                return match rec.state {
+                    JobState::Completed => {
+                        Ok(rec.result.clone().expect("completed without result"))
+                    }
+                    s => Err(s),
+                };
+            }
+            st = self.inner.done_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Block until every submitted job is terminal.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        while st.in_flight > 0 {
+            st = self.inner.done_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Jobs currently in the ready queue.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// Jobs not yet terminal (queued + running + evicted).
+    pub fn in_flight(&self) -> usize {
+        self.inner.state.lock().unwrap().in_flight
+    }
+
+    /// Current usage the quota ledger holds for `tenant`.
+    pub fn tenant_usage(&self, tenant: &str) -> TenantUsage {
+        self.inner.state.lock().unwrap().ledger.usage(tenant)
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Move a job into a terminal state: record the result (for completions),
+/// release its quota charge, bump outcome counters, wake waiters. Caller
+/// must have already detached the job from queue/group ownership.
+fn finalize(
+    inner: &Inner,
+    st: &mut MutexGuard<'_, State>,
+    id: JobId,
+    terminal: JobState,
+    result: Option<JobResult>,
+) {
+    debug_assert!(terminal.is_terminal());
+    let rec = st.jobs.get_mut(&id).expect("finalize unknown job");
+    debug_assert!(!rec.state.is_terminal(), "double finalize");
+    rec.state = terminal;
+    rec.snapshot = None;
+    rec.result = result;
+    let tenant = rec.spec.tenant.clone();
+    let class = rec.spec.priority.label();
+    let nodes = rec.spec.scenario.nodes();
+    let latency_ms = rec.submitted_at.elapsed().as_secs_f64() * 1e3;
+    st.ledger.release(&tenant, nodes);
+    st.in_flight -= 1;
+    if let Some(o) = inner.obs() {
+        let outcome = match terminal {
+            JobState::Completed => "serve_jobs_completed",
+            JobState::Canceled => "serve_jobs_canceled",
+            _ => "serve_jobs_failed",
+        };
+        o.metrics
+            .counter_add(outcome, &[("tenant", &tenant), ("class", class)], 1);
+        if terminal == JobState::Completed {
+            o.metrics.histogram_observe(
+                "serve_job_latency_ms",
+                &[("class", class)],
+                &LATENCY_BOUNDS_MS,
+                latency_ms,
+            );
+        }
+    }
+    inner.set_queue_gauges(st);
+    inner.done_cv.notify_all();
+}
+
+/// Pick the next lockstep group off the ready queue, or `None` if the
+/// queue is empty. Leader = highest effective priority (FIFO among ties);
+/// the rest of the group is filled with queue-order jobs of the same
+/// class. Passed-over jobs gain `aging` credit.
+fn select_group(inner: &Inner, st: &mut MutexGuard<'_, State>) -> Option<Vec<JobId>> {
+    if st.queue.is_empty() {
+        return None;
+    }
+    let leader_pos = st
+        .queue
+        .iter()
+        .enumerate()
+        .max_by_key(|&(pos, id)| (st.jobs[id].eff_prio, std::cmp::Reverse(pos)))
+        .map(|(pos, _)| pos)
+        .expect("non-empty queue");
+    let leader = st.queue[leader_pos];
+    let class = st.jobs[&leader].spec.priority;
+    let mut group = vec![leader];
+    for &id in st.queue.iter() {
+        if group.len() >= inner.cfg.batch_max {
+            break;
+        }
+        if id != leader && st.jobs[&id].spec.priority == class {
+            group.push(id);
+        }
+    }
+    st.queue.retain(|id| !group.contains(id));
+    for id in st.queue.clone() {
+        let rec = st.jobs.get_mut(&id).expect("queued job exists");
+        rec.eff_prio += inner.cfg.aging;
+    }
+    for &id in &group {
+        st.jobs.get_mut(&id).expect("grouped job exists").state = JobState::Running;
+    }
+    if let Some(o) = inner.obs() {
+        o.tracer.instant(
+            "serve",
+            "dispatch",
+            &[
+                ("group", group.len().to_string()),
+                ("class", class.label().to_string()),
+                ("queued", st.queue.len().to_string()),
+            ],
+        );
+        o.metrics
+            .counter_add("serve_dispatch_groups", &[("class", class.label())], 1);
+    }
+    inner.set_queue_gauges(st);
+    Some(group)
+}
+
+/// Should the executor running `group` hand its device back? Only when
+/// interactive-level work is waiting, nobody is idle to take it, and every
+/// group member is still below the eviction-immunity threshold.
+fn should_evict(inner: &Inner, st: &State, group: &[Active]) -> bool {
+    if st.idle > 0 || group.is_empty() {
+        return false;
+    }
+    let interactive_waiting = st
+        .queue
+        .iter()
+        .any(|id| st.jobs[id].eff_prio >= inner.cfg.interactive_base);
+    interactive_waiting
+        && group
+            .iter()
+            .all(|a| st.jobs[&a.id].eff_prio < inner.cfg.interactive_base)
+}
+
+fn executor_loop(inner: &Arc<Inner>) {
+    loop {
+        let group_ids = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(g) = select_group(inner, &mut st) {
+                    break g;
+                }
+                st.idle += 1;
+                inner.set_queue_gauges(&st);
+                st = inner.work_cv.wait(st).unwrap();
+                st.idle -= 1;
+            }
+        };
+        run_group(inner, group_ids);
+    }
+}
+
+/// Build (or restore) every member of the group, then drive them in
+/// round-robin slices to completion, eviction, or cancellation.
+fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
+    let mut group: Vec<Active> = Vec::with_capacity(group_ids.len());
+    for id in group_ids {
+        let (spec, snapshot, done) = {
+            let st = inner.state.lock().unwrap();
+            let rec = &st.jobs[&id];
+            (rec.spec.clone(), rec.snapshot.clone(), rec.steps_done)
+        };
+        let resume_span = snapshot.as_ref().and_then(|_| {
+            inner.obs().map(|o| {
+                o.tracer.span_args(
+                    "serve",
+                    "resume",
+                    &[("job", id.to_string()), ("from_step", done.to_string())],
+                )
+            })
+        });
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            let mut sim = spec.build(inner.cfg.cpu_threads_per_job);
+            if let Some(bytes) = &snapshot {
+                sim.restore(bytes)?;
+            }
+            Ok::<_, lbm_core::io::CheckpointError>(sim)
+        }));
+        drop(resume_span);
+        match built {
+            Ok(Ok(sim)) => {
+                {
+                    let mut st = inner.state.lock().unwrap();
+                    let rec = st.jobs.get_mut(&id).expect("group job exists");
+                    rec.snapshot = None;
+                    if snapshot.is_some() {
+                        if let Some(o) = inner.obs() {
+                            o.metrics.counter_add(
+                                "serve_resumes",
+                                &[("class", rec.spec.priority.label())],
+                                1,
+                            );
+                        }
+                    }
+                }
+                group.push(Active {
+                    id,
+                    sim,
+                    target: spec.steps,
+                    done,
+                    resilient: spec.resilient,
+                    fault_plan: spec.fault_plan.clone(),
+                });
+            }
+            Ok(Err(_)) | Err(_) => {
+                let mut st = inner.state.lock().unwrap();
+                finalize(inner, &mut st, id, JobState::Failed, None);
+            }
+        }
+    }
+
+    while !group.is_empty() {
+        // One round-robin pass: a slice for every member still running.
+        let mut i = 0;
+        while i < group.len() {
+            let canceled = {
+                let st = inner.state.lock().unwrap();
+                st.jobs[&group[i].id].cancel
+            };
+            if canceled {
+                let a = group.remove(i);
+                let mut st = inner.state.lock().unwrap();
+                finalize(inner, &mut st, a.id, JobState::Canceled, None);
+                continue;
+            }
+            let a = &mut group[i];
+            let slice = inner.cfg.slice_steps.min(a.target - a.done);
+            let _slice_span = inner.obs().map(|o| {
+                o.tracer.span_args(
+                    "serve",
+                    "slice",
+                    &[("job", a.id.to_string()), ("steps", slice.to_string())],
+                )
+            });
+            let stepped = catch_unwind(AssertUnwindSafe(|| {
+                if a.resilient {
+                    let rcfg = RecoveryConfig {
+                        checkpoint_every: inner.cfg.slice_steps,
+                        max_rollbacks: 16,
+                        fault_watch: a.fault_plan.clone(),
+                        obs: inner.cfg.obs.clone(),
+                    };
+                    run_with_recovery(&mut *a.sim, a.done + slice, &rcfg)
+                        .map(|stats| stats.rollbacks)
+                        .map_err(|e| e.to_string())
+                } else {
+                    for _ in 0..slice {
+                        a.sim.step();
+                    }
+                    Ok(0)
+                }
+            }));
+            drop(_slice_span);
+            match stepped {
+                Ok(Ok(rollbacks)) => {
+                    a.done += slice;
+                    let finished = a.done >= a.target;
+                    if finished {
+                        let mut a = group.remove(i);
+                        a.sim.finish_monitor();
+                        let checksum = a.sim.field_checksum();
+                        let steps = a.sim.steps();
+                        let mut st = inner.state.lock().unwrap();
+                        {
+                            let rec = st.jobs.get_mut(&a.id).expect("group job exists");
+                            rec.steps_done = a.done;
+                            rec.rollbacks += rollbacks;
+                        }
+                        let rec = &st.jobs[&a.id];
+                        let result = JobResult {
+                            id: a.id,
+                            checksum,
+                            steps,
+                            latency_ms: rec.submitted_at.elapsed().as_secs_f64() * 1e3,
+                            evictions: rec.evictions,
+                            rollbacks: rec.rollbacks,
+                        };
+                        finalize(inner, &mut st, a.id, JobState::Completed, Some(result));
+                    } else {
+                        let mut st = inner.state.lock().unwrap();
+                        let rec = st.jobs.get_mut(&a.id).expect("group job exists");
+                        rec.steps_done = a.done;
+                        rec.rollbacks += rollbacks;
+                        i += 1;
+                    }
+                }
+                Ok(Err(_)) | Err(_) => {
+                    let a = group.remove(i);
+                    let mut st = inner.state.lock().unwrap();
+                    finalize(inner, &mut st, a.id, JobState::Failed, None);
+                }
+            }
+        }
+
+        // Preemption point: between rounds, hand the device back if
+        // interactive work is starving.
+        let evict_now = {
+            let st = inner.state.lock().unwrap();
+            should_evict(inner, &st, &group)
+        };
+        if evict_now {
+            for a in group.drain(..) {
+                let _evict_span = inner.obs().map(|o| {
+                    o.tracer.span_args(
+                        "serve",
+                        "evict",
+                        &[("job", a.id.to_string()), ("at_step", a.done.to_string())],
+                    )
+                });
+                let snapshot = a.sim.checkpoint();
+                let mut st = inner.state.lock().unwrap();
+                // A cancel that raced the eviction wins: the job is
+                // terminal-bound either way, and canceling here avoids
+                // requeueing work nobody wants.
+                if st.jobs[&a.id].cancel {
+                    finalize(inner, &mut st, a.id, JobState::Canceled, None);
+                    continue;
+                }
+                let rec = st.jobs.get_mut(&a.id).expect("group job exists");
+                rec.snapshot = Some(snapshot);
+                rec.state = JobState::Evicted;
+                rec.evictions += 1;
+                let class = rec.spec.priority.label();
+                st.queue.push(a.id);
+                if let Some(o) = inner.obs() {
+                    o.metrics
+                        .counter_add("serve_evictions", &[("class", class)], 1);
+                }
+                inner.set_queue_gauges(&st);
+                inner.work_cv.notify_one();
+            }
+        }
+    }
+}

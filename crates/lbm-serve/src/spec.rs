@@ -1,0 +1,306 @@
+//! Job specifications: what a tenant asks the fleet to run.
+//!
+//! A [`JobSpec`] pins down a simulation completely — scenario, propagation
+//! pattern, relaxation time, step target, device count — so the scheduler
+//! can (re)build the solver at will: a fresh build plus a checkpoint
+//! restore is *identical* to the evicted instance, and a solo run of the
+//! same spec is the bitwise oracle for whatever the fleet produces.
+
+use crate::job::SubmitError;
+use gpu_sim::{DeviceSpec, FaultPlan};
+use lbm_core::collision::Bgk;
+use lbm_core::geometry::{Geometry, NodeType};
+use lbm_core::Simulation;
+use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim};
+use lbm_lattice::{D2Q9, D3Q19};
+use lbm_multi::{MultiMrSim2D, MultiMrSim3D, MultiStSim};
+use std::sync::Arc;
+
+/// Scheduling class of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive: dispatched ahead of batch work and may preempt
+    /// running batch groups.
+    Interactive,
+    /// Throughput work: runs whenever no interactive job is waiting; ages
+    /// toward interactive priority so it can never starve.
+    Batch,
+}
+
+impl Priority {
+    /// Label value for metrics (`class` label).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// The flow problem a job simulates. Both scenarios are periodic along `x`
+/// with no-slip walls on every lateral face — the geometries every driver
+/// in the workspace accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// 2D shear layer in a wall-bounded channel (D2Q9).
+    Shear2D { nx: usize, ny: usize },
+    /// 3D shear layer in a wall-bounded duct (D3Q19).
+    Shear3D { nx: usize, ny: usize, nz: usize },
+}
+
+impl Scenario {
+    /// Build the geometry (walls on lateral faces, periodic `x`).
+    pub fn geometry(&self) -> Geometry {
+        match *self {
+            Scenario::Shear2D { nx, ny } => Geometry::walls_y_periodic_x(nx, ny),
+            Scenario::Shear3D { nx, ny, nz } => {
+                let mut g = Geometry::new(nx, ny, nz, [true, false, false]);
+                for z in 0..nz {
+                    for y in 0..ny {
+                        for x in 0..nx {
+                            if y == 0 || y == ny - 1 || z == 0 || z == nz - 1 {
+                                g.set(x, y, z, NodeType::Wall);
+                            }
+                        }
+                    }
+                }
+                g
+            }
+        }
+    }
+
+    /// Total lattice nodes (the quota ledger's unit of residency).
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Scenario::Shear2D { nx, ny } => nx * ny,
+            Scenario::Shear3D { nx, ny, nz } => nx * ny * nz,
+        }
+    }
+
+    fn min_extent(&self) -> usize {
+        match *self {
+            Scenario::Shear2D { nx, ny } => nx.min(ny),
+            Scenario::Shear3D { nx, ny, nz } => nx.min(ny).min(nz),
+        }
+    }
+
+    fn nx(&self) -> usize {
+        match *self {
+            Scenario::Shear2D { nx, .. } | Scenario::Shear3D { nx, .. } => nx,
+        }
+    }
+}
+
+/// Propagation pattern (the paper's three kernels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Standard two-lattice distribution representation, BGK collision.
+    St,
+    /// Moment representation, projective regularization (MR-P).
+    MrP,
+    /// Moment representation, recursive regularization (MR-R).
+    MrR,
+}
+
+impl Pattern {
+    /// Label value for metrics and bench rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::St => "st",
+            Pattern::MrP => "mr-p",
+            Pattern::MrR => "mr-r",
+        }
+    }
+}
+
+/// A complete, validated request for one simulation.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Owning tenant (quota accounting key).
+    pub tenant: String,
+    /// Scheduling class.
+    pub priority: Priority,
+    pub scenario: Scenario,
+    pub pattern: Pattern,
+    /// BGK/regularized relaxation time.
+    pub tau: f64,
+    /// Target timesteps.
+    pub steps: u64,
+    /// Devices to shard across (1 → single-device driver).
+    pub devices: usize,
+    /// Run under the checkpoint/rollback recovery loop (absorbs faults
+    /// from `fault_plan`, if any, without perturbing the trajectory).
+    pub resilient: bool,
+    /// Optional injected-fault plan attached to the built solver.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("tenant", &self.tenant)
+            .field("priority", &self.priority)
+            .field("scenario", &self.scenario)
+            .field("pattern", &self.pattern)
+            .field("tau", &self.tau)
+            .field("steps", &self.steps)
+            .field("devices", &self.devices)
+            .field("resilient", &self.resilient)
+            .field("fault_plan", &self.fault_plan.as_ref().map(|_| "<plan>"))
+            .finish()
+    }
+}
+
+impl JobSpec {
+    /// A minimal valid interactive spec (builder starting point for tests
+    /// and examples).
+    pub fn shear_2d(tenant: &str, nx: usize, ny: usize, steps: u64) -> Self {
+        JobSpec {
+            tenant: tenant.to_string(),
+            priority: Priority::Interactive,
+            scenario: Scenario::Shear2D { nx, ny },
+            pattern: Pattern::MrP,
+            tau: 0.8,
+            steps,
+            devices: 1,
+            resilient: false,
+            fault_plan: None,
+        }
+    }
+
+    /// Reject malformed specs before they reach the scheduler.
+    pub fn validate(&self) -> Result<(), SubmitError> {
+        let invalid = |why: String| Err(SubmitError::Invalid(why));
+        if self.tenant.is_empty() {
+            return invalid("tenant must be non-empty".into());
+        }
+        if !(self.tau > 0.5 && self.tau <= 2.0) {
+            return invalid(format!("tau {} outside stable range (0.5, 2.0]", self.tau));
+        }
+        if self.steps == 0 {
+            return invalid("steps must be >= 1".into());
+        }
+        if self.scenario.min_extent() < 4 {
+            return invalid("every lattice extent must be >= 4".into());
+        }
+        if self.devices == 0 {
+            return invalid("devices must be >= 1".into());
+        }
+        if self.devices > 1 && self.scenario.nx() / self.devices < 2 {
+            return invalid(format!(
+                "{} devices leave slabs narrower than 2 columns (nx = {})",
+                self.devices,
+                self.scenario.nx()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Deterministic initial condition: a shear layer that is a pure
+    /// function of global coordinates, so single- and multi-device builds
+    /// start bitwise-identical.
+    pub fn init(x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
+        (
+            1.0 + 0.01 * ((x + 2 * y + z) as f64 * 0.3).sin(),
+            [
+                0.02 * ((y + z) as f64 * 0.6).sin(),
+                0.01 * (x as f64 * 0.4).cos(),
+                0.0,
+            ],
+        )
+    }
+
+    /// Build the solver this spec describes, initialized and ready to
+    /// step. `cpu_threads` is the per-job thread budget (the fleet default
+    /// of 1 keeps each sim on its executor thread — see
+    /// [`crate::scheduler::ServeConfig::cpu_threads_per_job`]). Rebuilding
+    /// a spec and restoring a checkpoint reproduces an evicted instance
+    /// exactly; the fault plan (shared `Arc`) re-attaches so its fired
+    /// counters keep accumulating across evictions.
+    pub fn build(&self, cpu_threads: usize) -> Box<dyn Simulation + Send> {
+        // Shared tail of every arm: thread budget, fault plan, initial
+        // condition, then erase the concrete type.
+        macro_rules! finish {
+            ($sim:expr) => {{
+                let mut s = $sim.with_cpu_threads(cpu_threads);
+                if let Some(plan) = &self.fault_plan {
+                    s = s.with_fault_plan(plan.clone());
+                }
+                s.init_with(JobSpec::init);
+                Box::new(s) as Box<dyn Simulation + Send>
+            }};
+        }
+        let dev = DeviceSpec::v100();
+        let geom = self.scenario.geometry();
+        match (self.scenario, self.pattern, self.devices) {
+            (Scenario::Shear2D { .. }, Pattern::St, 1) => {
+                finish!(StSim::<D2Q9, _>::new(dev, geom, Bgk::new(self.tau)))
+            }
+            (Scenario::Shear2D { .. }, Pattern::St, n) => {
+                finish!(MultiStSim::<D2Q9, _>::new(dev, geom, Bgk::new(self.tau), n))
+            }
+            (Scenario::Shear2D { .. }, pat, n) => {
+                let scheme = match pat {
+                    Pattern::MrP => MrScheme::projective(),
+                    _ => MrScheme::recursive::<D2Q9>(),
+                };
+                if n == 1 {
+                    finish!(MrSim2D::<D2Q9>::new(dev, geom, scheme, self.tau))
+                } else {
+                    finish!(MultiMrSim2D::<D2Q9>::new(dev, geom, scheme, self.tau, n))
+                }
+            }
+            (Scenario::Shear3D { .. }, Pattern::St, 1) => {
+                finish!(StSim::<D3Q19, _>::new(dev, geom, Bgk::new(self.tau)))
+            }
+            (Scenario::Shear3D { .. }, Pattern::St, n) => {
+                finish!(MultiStSim::<D3Q19, _>::new(
+                    dev,
+                    geom,
+                    Bgk::new(self.tau),
+                    n
+                ))
+            }
+            (Scenario::Shear3D { .. }, pat, n) => {
+                let scheme = match pat {
+                    Pattern::MrP => MrScheme::projective(),
+                    _ => MrScheme::recursive::<D3Q19>(),
+                };
+                if n == 1 {
+                    finish!(MrSim3D::<D3Q19>::new(dev, geom, scheme, self.tau))
+                } else {
+                    finish!(MultiMrSim3D::<D3Q19>::new(dev, geom, scheme, self.tau, n))
+                }
+            }
+        }
+    }
+
+    /// Memoization key for the solo-checksum oracle: two specs with equal
+    /// keys provably produce the same final field checksum (tenant,
+    /// priority, and resilience do not touch the physics).
+    pub fn physics_key(&self) -> (Scenario, Pattern, u64, u64, usize) {
+        (
+            self.scenario,
+            self.pattern,
+            self.tau.to_bits(),
+            self.steps,
+            self.devices,
+        )
+    }
+}
+
+/// Run `spec` to completion on a private solver and return the final FNV
+/// field checksum — the bitwise oracle the fleet's result must match. The
+/// oracle runs fault-free (resilient jobs are required to *recover to*
+/// the clean trajectory, so the clean checksum is still the target).
+pub fn solo_checksum(spec: &JobSpec) -> u64 {
+    let clean = JobSpec {
+        fault_plan: None,
+        ..spec.clone()
+    };
+    let mut sim = clean.build(1);
+    for _ in 0..spec.steps {
+        sim.step();
+    }
+    sim.field_checksum()
+}

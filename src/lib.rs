@@ -11,7 +11,10 @@
 //!   ledger, roofline/efficiency models);
 //! * [`kernels`] — the ST and MR propagation patterns on that substrate;
 //! * [`multi`] — multi-device domain decomposition with moment-space
-//!   halo exchange over the simulated interconnect.
+//!   halo exchange over the simulated interconnect;
+//! * [`serve`] — the multi-tenant simulation service: batched scheduling,
+//!   checkpoint-backed preemption, and per-tenant quotas over all six
+//!   drivers.
 //!
 //! ## Quickstart
 //!
@@ -32,6 +35,7 @@ pub use lbm_core as core;
 pub use lbm_gpu as kernels;
 pub use lbm_lattice as lattice;
 pub use lbm_multi as multi;
+pub use lbm_serve as serve;
 pub use obs;
 
 /// Convenient single import for examples and applications.
@@ -41,9 +45,11 @@ pub mod prelude {
     pub use gpu_sim::{occupancy, roofline, DeviceSpec, Gpu};
     pub use lbm_core::collision::{Bgk, Collision, Projective, Recursive};
     pub use lbm_core::{analytic, diagnostics, io, units, Geometry, NodeType, Solver};
+    pub use lbm_core::{Simulation, StepError};
     pub use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim, StSparseSim, StStream};
     pub use lbm_lattice::{Lattice, D2Q9, D3Q15, D3Q19, D3Q27, D3Q39};
     pub use lbm_multi::{MultiMrSim2D, MultiMrSim3D, MultiStSim, OverlapStats, SlabDecomp};
+    pub use lbm_serve::{JobSpec, Serve, ServeConfig, TenantQuota};
     pub use obs::{
         BenchRecord, BenchRow, MetricsRegistry, MonitorConfig, Obs, PhysicsMonitor, Tracer,
     };

@@ -12,12 +12,11 @@ use gpu_sim::{DeviceSpec, FaultPlan};
 use lbm_core::collision::Projective;
 use lbm_core::geometry::{Geometry, NodeType};
 use lbm_core::io::{field_checksum, CheckpointError};
+use lbm_core::{Simulation, StepError};
 use lbm_gpu::scheme::MrScheme;
 use lbm_gpu::{MrSim2D, MrSim3D, StSim};
 use lbm_lattice::{D2Q9, D3Q19};
-use lbm_multi::recovery::{
-    run_with_recovery, HaloRetryPolicy, Recoverable, RecoveryConfig, RecoveryError,
-};
+use lbm_multi::recovery::{run_with_recovery, HaloRetryPolicy, RecoveryConfig, RecoveryError};
 use lbm_multi::{MultiMrSim2D, MultiMrSim3D, MultiStSim};
 use std::sync::Arc;
 
@@ -48,7 +47,7 @@ fn duct(nx: usize, ny: usize, nz: usize) -> Geometry {
     g
 }
 
-fn checksum_of<S: Recoverable>(s: &S) -> u64 {
+fn checksum_of<S: Simulation>(s: &S) -> u64 {
     let (rho, u) = s.macro_fields();
     field_checksum(&rho, &u)
 }
@@ -57,27 +56,27 @@ fn checksum_of<S: Recoverable>(s: &S) -> u64 {
 /// uninterrupted; `inter` checkpoints at `n1` and keeps going (taking a
 /// snapshot must not perturb the run); `fresh` — a newly built identical
 /// sim — restores the snapshot and finishes. All three must agree bitwise.
-fn ckpt_roundtrip<S: Recoverable>(mut cont: S, mut inter: S, mut fresh: S, n1: u64, n2: u64) {
+fn ckpt_roundtrip<S: Simulation>(mut cont: S, mut inter: S, mut fresh: S, n1: u64, n2: u64) {
     for _ in 0..n1 + n2 {
-        cont.try_advance().unwrap();
+        cont.try_step().unwrap();
     }
     let want = checksum_of(&cont);
 
     for _ in 0..n1 {
-        inter.try_advance().unwrap();
+        inter.try_step().unwrap();
     }
     let snap = inter.checkpoint();
     for _ in 0..n2 {
-        inter.try_advance().unwrap();
+        inter.try_step().unwrap();
     }
     assert_eq!(checksum_of(&inter), want, "checkpointing perturbed the run");
 
     fresh.restore(&snap).unwrap();
-    assert_eq!(fresh.current_step(), n1, "restore lost the timestep");
+    assert_eq!(fresh.steps(), n1, "restore lost the timestep");
     for _ in 0..n2 {
-        fresh.try_advance().unwrap();
+        fresh.try_step().unwrap();
     }
-    assert_eq!(fresh.current_step(), n1 + n2);
+    assert_eq!(fresh.steps(), n1 + n2);
     assert_eq!(checksum_of(&fresh), want, "resume from checkpoint diverged");
 }
 
@@ -278,15 +277,15 @@ fn restore_rejects_bad_snapshots() {
 /// built, with `plan` attached) runs under the recovery loop. The fault
 /// must actually fire, trigger at least one rollback, and the recovered
 /// trajectory must end bitwise-identical to the clean one.
-fn assert_recovers<S: Recoverable>(
+fn assert_recovers<S: Simulation>(
     mut clean: S,
     mut faulted: S,
     plan: Arc<FaultPlan>,
     target: u64,
     every: u64,
 ) {
-    while clean.current_step() < target {
-        clean.try_advance().unwrap();
+    while clean.steps() < target {
+        clean.try_step().unwrap();
     }
     let want = checksum_of(&clean);
 
@@ -300,7 +299,7 @@ fn assert_recovers<S: Recoverable>(
     assert!(plan.total_fired() >= 1, "the fault never fired");
     assert!(stats.rollbacks >= 1, "fault fired but no rollback happened");
     assert!(stats.steps_replayed >= 1);
-    assert_eq!(faulted.current_step(), target);
+    assert_eq!(faulted.steps(), target);
     assert_eq!(
         checksum_of(&faulted),
         want,
@@ -579,7 +578,7 @@ fn permanent_link_failure_surfaces_typed_error() {
         ..Default::default()
     };
     match run_with_recovery(&mut sim, 4, &cfg) {
-        Err(RecoveryError::Link(LinkError::Down {
+        Err(RecoveryError::Step(StepError::Link {
             permanent: true, ..
         })) => {}
         other => panic!("expected a permanent link error, got {other:?}"),

@@ -1,0 +1,339 @@
+//! Fleet scheduler suite: the multi-tenant service's determinism contract
+//! (every job checksum bitwise-equal to a solo run), checkpoint-backed
+//! preemption, quotas, cancellation, starvation bounds, and deterministic
+//! replay of the seeded arrival process.
+
+use gpu_sim::FaultPlan;
+use lbm_serve::{
+    solo_checksum, ArrivalProcess, JobId, JobSpec, JobState, Pattern, Priority, Scenario, Serve,
+    ServeConfig, SubmitError, TenantQuota,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn cfg(executors: usize) -> ServeConfig {
+    ServeConfig {
+        executors,
+        ..Default::default()
+    }
+}
+
+/// Poll `status` until the job is in `state` (or panic after 10 s —
+/// generous; these lattices step in microseconds).
+fn wait_for_state(serve: &Serve, id: JobId, state: JobState) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if serve.status(id).expect("known job").state == state {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job never reached {state:?}; status = {:?}",
+            serve.status(id)
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Core contract: a mixed fleet of jobs, every one completed exactly once,
+/// every checksum bitwise-equal to a solo run of the same spec.
+#[test]
+fn fleet_results_match_solo_runs() {
+    let serve = Serve::start(cfg(3));
+    let specs: Vec<JobSpec> = ArrivalProcess::new(11, 48).collect();
+    let ids: Vec<JobId> = specs
+        .iter()
+        .map(|s| serve.submit(s.clone()).expect("admitted"))
+        .collect();
+    // No duplicate IDs (no duplicated jobs).
+    let mut seen = std::collections::HashSet::new();
+    assert!(ids.iter().all(|id| seen.insert(*id)), "duplicate job IDs");
+
+    serve.drain();
+    let mut oracle: HashMap<_, u64> = HashMap::new();
+    for (spec, id) in specs.iter().zip(&ids) {
+        let result = serve.wait(*id).expect("job completed");
+        assert_eq!(result.steps, spec.steps, "job ran the wrong step count");
+        let want = *oracle
+            .entry(spec.physics_key())
+            .or_insert_with(|| solo_checksum(spec));
+        assert_eq!(
+            result.checksum, want,
+            "fleet checksum diverged from solo run for {spec:?}"
+        );
+    }
+}
+
+/// Satellite: evict a running MR-R job mid-flight (checkpoint → drop →
+/// requeue → rebuild → restore) and require the final checksum to be
+/// bitwise-equal to an uninterrupted run.
+#[test]
+fn evicted_mr_r_job_resumes_bitwise_identical() {
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        slice_steps: 4,
+        ..Default::default()
+    });
+    let batch = JobSpec {
+        priority: Priority::Batch,
+        pattern: Pattern::MrR,
+        steps: 160,
+        ..JobSpec::shear_2d("acme", 24, 10, 160)
+    };
+    let batch_id = serve.submit(batch.clone()).unwrap();
+    wait_for_state(&serve, batch_id, JobState::Running);
+
+    // Interactive pressure while the only executor is busy → eviction.
+    let mut fg = JobSpec::shear_2d("nova", 16, 8, 8);
+    fg.priority = Priority::Interactive;
+    let fg_id = serve.submit(fg).unwrap();
+
+    serve.wait(fg_id).expect("interactive job completed");
+    let result = serve.wait(batch_id).expect("batch job completed");
+    assert!(
+        result.evictions >= 1,
+        "the batch job was never preempted (evictions = {})",
+        result.evictions
+    );
+    assert_eq!(
+        result.checksum,
+        solo_checksum(&batch),
+        "resume after eviction diverged from the uninterrupted trajectory"
+    );
+}
+
+/// Quota rejection is synchronous and releases on completion.
+#[test]
+fn quota_rejects_and_recovers() {
+    let mut quotas = HashMap::new();
+    quotas.insert(
+        "acme".to_string(),
+        TenantQuota {
+            max_in_flight: 2,
+            max_resident_nodes: usize::MAX,
+        },
+    );
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        quotas,
+        ..Default::default()
+    });
+    let spec = JobSpec::shear_2d("acme", 16, 8, 12);
+    let a = serve.submit(spec.clone()).unwrap();
+    let b = serve.submit(spec.clone()).unwrap();
+    match serve.submit(spec.clone()) {
+        Err(SubmitError::QuotaExceeded { tenant, .. }) => assert_eq!(tenant, "acme"),
+        other => panic!("expected quota rejection, got {other:?}"),
+    }
+    // Another tenant is unaffected.
+    serve.submit(JobSpec::shear_2d("nova", 16, 8, 12)).unwrap();
+    // Capacity returns once a job completes.
+    serve.wait(a).unwrap();
+    serve.wait(b).unwrap();
+    serve.submit(spec).expect("quota released after completion");
+    serve.drain();
+}
+
+/// Invalid specs are rejected before admission.
+#[test]
+fn invalid_specs_are_rejected() {
+    let serve = Serve::start(cfg(1));
+    let bad_tau = JobSpec {
+        tau: 0.4,
+        ..JobSpec::shear_2d("acme", 16, 8, 4)
+    };
+    assert!(matches!(
+        serve.submit(bad_tau),
+        Err(SubmitError::Invalid(_))
+    ));
+    let bad_slabs = JobSpec {
+        devices: 16,
+        ..JobSpec::shear_2d("acme", 16, 8, 4)
+    };
+    assert!(matches!(
+        serve.submit(bad_slabs),
+        Err(SubmitError::Invalid(_))
+    ));
+    assert!(matches!(
+        serve.submit(JobSpec::shear_2d("acme", 16, 8, 0)),
+        Err(SubmitError::Invalid(_))
+    ));
+}
+
+/// Cancel while queued: synchronous, quota released immediately, waiters
+/// see `Canceled`.
+#[test]
+fn cancel_while_queued_is_synchronous() {
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        slice_steps: 4,
+        ..Default::default()
+    });
+    // Occupy the only executor.
+    let mut blocker = JobSpec::shear_2d("acme", 24, 10, 400);
+    blocker.priority = Priority::Batch;
+    let blocker_id = serve.submit(blocker).unwrap();
+    wait_for_state(&serve, blocker_id, JobState::Running);
+
+    let victim_id = serve.submit(JobSpec::shear_2d("nova", 16, 8, 50)).unwrap();
+    assert_eq!(serve.tenant_usage("nova").in_flight, 1);
+    assert!(serve.cancel(victim_id), "cancel of a queued job succeeds");
+    assert_eq!(
+        serve.status(victim_id).unwrap().state,
+        JobState::Canceled,
+        "queued cancel must be synchronous"
+    );
+    assert_eq!(
+        serve.tenant_usage("nova").in_flight,
+        0,
+        "cancel must release quota"
+    );
+    assert!(!serve.cancel(victim_id), "double cancel reports false");
+    assert!(matches!(serve.wait(victim_id), Err(JobState::Canceled)));
+
+    assert!(serve.cancel(blocker_id));
+    serve.drain();
+}
+
+/// Cancel while running: takes effect at the next slice boundary; the job
+/// never completes and its steps stop short of the target.
+#[test]
+fn cancel_while_running_stops_at_slice_boundary() {
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        slice_steps: 2,
+        ..Default::default()
+    });
+    let long = JobSpec::shear_2d("acme", 24, 10, 100_000);
+    let id = serve.submit(long).unwrap();
+    wait_for_state(&serve, id, JobState::Running);
+    assert!(serve.cancel(id));
+    assert!(matches!(serve.wait(id), Err(JobState::Canceled)));
+    let status = serve.status(id).unwrap();
+    assert!(
+        status.steps_done < status.steps_target,
+        "canceled job ran to completion anyway"
+    );
+    assert!(serve.result(id).is_none(), "canceled jobs have no result");
+}
+
+/// Aging bounds batch wait under sustained interactive load: the batch job
+/// keeps being preempted only until its effective priority ages up to the
+/// interactive base, after which it runs to completion — with the correct
+/// checksum despite all the evictions.
+#[test]
+fn aging_bounds_batch_starvation() {
+    let interactive_base = 8;
+    let aging = 4;
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        slice_steps: 4,
+        interactive_base,
+        aging,
+        ..Default::default()
+    });
+    let batch = JobSpec {
+        priority: Priority::Batch,
+        pattern: Pattern::MrP,
+        ..JobSpec::shear_2d("acme", 20, 8, 120)
+    };
+    let batch_id = serve.submit(batch.clone()).unwrap();
+    wait_for_state(&serve, batch_id, JobState::Running);
+
+    // Sustained interactive pressure: keep one interactive job queued
+    // until the batch job finishes (bounded by a generous cap).
+    let mut fg_ids = Vec::new();
+    for _ in 0..200 {
+        if serve.status(batch_id).unwrap().state == JobState::Completed {
+            break;
+        }
+        fg_ids.push(serve.submit(JobSpec::shear_2d("nova", 12, 6, 4)).unwrap());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let result = serve.wait(batch_id).expect("batch job completed");
+    // Eviction immunity kicks in after ceil(base/aging) passed-over
+    // rounds, so evictions are bounded regardless of how long the
+    // interactive stream continues.
+    let bound = interactive_base.div_ceil(aging) + 1;
+    assert!(
+        result.evictions <= bound,
+        "batch job evicted {} times; aging should cap it near {bound}",
+        result.evictions
+    );
+    assert_eq!(result.checksum, solo_checksum(&batch));
+    for id in fg_ids {
+        serve.wait(id).expect("interactive job completed");
+    }
+}
+
+/// Replay determinism: the same seeded arrival process served twice (on a
+/// concurrent fleet each time) produces identical per-job checksums.
+#[test]
+fn seeded_arrivals_replay_identically() {
+    let run = || -> Vec<u64> {
+        let serve = Serve::start(cfg(2));
+        let ids: Vec<JobId> = ArrivalProcess::new(99, 32)
+            .map(|s| serve.submit(s).expect("admitted"))
+            .collect();
+        ids.iter()
+            .map(|id| serve.wait(*id).expect("completed").checksum)
+            .collect()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "replay of seed 99 diverged");
+}
+
+/// A resilient job with an injected NaN fault recovers *inside the fleet*
+/// and still matches the fault-free solo checksum.
+#[test]
+fn resilient_job_recovers_from_injected_fault() {
+    let serve = Serve::start(cfg(1));
+    let mut plan = FaultPlan::new();
+    plan.inject_nan(40, 6);
+    let spec = JobSpec {
+        resilient: true,
+        fault_plan: Some(Arc::new(plan)),
+        pattern: Pattern::MrP,
+        ..JobSpec::shear_2d("acme", 20, 8, 48)
+    };
+    let id = serve.submit(spec.clone()).unwrap();
+    let result = serve.wait(id).expect("resilient job completed");
+    assert!(
+        result.rollbacks >= 1,
+        "the injected fault never triggered a rollback"
+    );
+    assert_eq!(
+        result.checksum,
+        solo_checksum(&spec),
+        "recovery inside the fleet diverged from the clean trajectory"
+    );
+}
+
+/// Multi-device jobs served by the fleet match their solo oracle too
+/// (the sharded drivers behind the same trait object surface).
+#[test]
+fn multi_device_jobs_match_solo() {
+    let serve = Serve::start(cfg(2));
+    let spec = JobSpec {
+        devices: 3,
+        pattern: Pattern::MrR,
+        priority: Priority::Batch,
+        ..JobSpec::shear_2d("zephyr", 36, 12, 30)
+    };
+    let st3d = JobSpec {
+        scenario: Scenario::Shear3D {
+            nx: 10,
+            ny: 6,
+            nz: 6,
+        },
+        pattern: Pattern::St,
+        devices: 2,
+        ..JobSpec::shear_2d("orbit", 10, 6, 16)
+    };
+    let a = serve.submit(spec.clone()).unwrap();
+    let b = serve.submit(st3d.clone()).unwrap();
+    assert_eq!(serve.wait(a).unwrap().checksum, solo_checksum(&spec));
+    assert_eq!(serve.wait(b).unwrap().checksum, solo_checksum(&st3d));
+}
