@@ -36,6 +36,12 @@ echo "== bench wall-clock smoke (pooled executor + span paths, measured MFLUPS)"
 cargo run -p lbm-bench --release --bin reproduce -- --section=bench --steps=small
 test -s BENCH_bench.json
 
+echo "== perf trend (MR-vs-ST speedups gated against the committed baseline)"
+# Fails if any measured speedup_vs_st falls below 85% of perf_baseline.json;
+# a missing baseline is seeded from the current run instead.
+cargo run -p obs --release --bin obs-validate -- BENCH_bench.json
+cargo run -p lbm-bench --release --bin perf_trend
+
 echo "== resilience (fault injection + checkpoint/rollback, bitwise-verified resume)"
 # Injects NaN writes, a launch abort, and transient link failures; asserts
 # every recovered run matches its fault-free FNV checksum and that retried

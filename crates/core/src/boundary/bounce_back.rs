@@ -23,10 +23,58 @@ pub fn moving_wall_gain<L: Lattice>(i: usize, u_w: [f64; 3], rho_w: f64) -> f64 
     2.0 * L::W[i] * rho_w * cu / L::CS2
 }
 
+/// Per-direction moving-wall constants, hoisted out of the streaming inner
+/// loops (the inline form re-derives `2 ω_i ρ_w` on every solid-neighbor
+/// hit). `coeff[i]` stores the exact f64 product `2.0 · W[i] · ρ_w` the
+/// inline expression forms left-to-right, and [`WallGains::gain`] finishes
+/// with the same `· (c_i·u_w) / c_s²` association and division, so the
+/// result is bitwise-identical to [`moving_wall_gain`].
+#[derive(Clone)]
+pub struct WallGains {
+    coeff: Vec<f64>,
+    c: Vec<[f64; 3]>,
+    cs2: f64,
+}
+
+impl WallGains {
+    /// Build the per-direction table for lattice `L` at wall density
+    /// `rho_w` (the solvers use the low-Mach estimate `ρ_w = 1`).
+    pub fn build<L: Lattice>(rho_w: f64) -> Self {
+        WallGains {
+            coeff: (0..L::Q).map(|i| 2.0 * L::W[i] * rho_w).collect(),
+            c: (0..L::Q).map(L::cf).collect(),
+            cs2: L::CS2,
+        }
+    }
+
+    /// The momentum-correction gain for direction `i` against a wall moving
+    /// at `u_w`; bitwise-equal to [`moving_wall_gain`].
+    #[inline(always)]
+    pub fn gain(&self, i: usize, u_w: [f64; 3]) -> f64 {
+        let c = self.c[i];
+        let cu = c[0] * u_w[0] + c[1] * u_w[1] + c[2] * u_w[2];
+        self.coeff[i] * cu / self.cs2
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lbm_lattice::{D2Q9, D3Q19};
+
+    /// The hoisted per-direction table reproduces the inline expression
+    /// bit-for-bit.
+    #[test]
+    fn hoisted_gains_bitwise_equal() {
+        let uw = [0.1, -0.04, 0.02];
+        let g = WallGains::build::<D3Q19>(1.0);
+        for i in 0..D3Q19::Q {
+            assert_eq!(
+                g.gain(i, uw).to_bits(),
+                moving_wall_gain::<D3Q19>(i, uw, 1.0).to_bits()
+            );
+        }
+    }
 
     /// A stationary wall adds nothing.
     #[test]

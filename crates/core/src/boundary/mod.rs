@@ -15,5 +15,5 @@
 pub mod bounce_back;
 pub mod inlet_outlet;
 
-pub use bounce_back::moving_wall_gain;
+pub use bounce_back::{moving_wall_gain, WallGains};
 pub use inlet_outlet::boundary_node_moments;

@@ -58,6 +58,12 @@ impl<L: Lattice> Collision<L> for Bgk {
         }
     }
 
+    /// Chunk-vectorized BGK over SoA storage; bitwise-identical to the
+    /// per-node `collide` (see `crate::kernels`).
+    fn collide_soa(&self, f: &mut [f64], stride: usize, base: usize, count: usize) {
+        crate::kernels::bgk_collide_soa::<L>(f, stride, base, count, self.inv_tau);
+    }
+
     /// For boundary reconstruction the BGK reference uses the regularized
     /// (projective) rebuild — the standard practice for the Latt
     /// finite-difference boundary condition.

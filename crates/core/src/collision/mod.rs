@@ -53,6 +53,24 @@ pub trait Collision<L: Lattice>: Send + Sync {
 
     /// Post-collision populations from a pre-collision moment state.
     fn reconstruct(&self, m: &Moments, out: &mut [f64]);
+
+    /// In-place collision over `count` nodes stored SoA in
+    /// `f[i*stride + base + j]`. The default gathers each node into a packed
+    /// buffer and applies [`Collision::collide`]; operators with a
+    /// vectorized form (e.g. [`Bgk`]) override it with a bitwise-identical
+    /// chunked kernel from [`crate::kernels`].
+    fn collide_soa(&self, f: &mut [f64], stride: usize, base: usize, count: usize) {
+        let mut node = [0.0f64; crate::kernels::MAX_Q];
+        for j in 0..count {
+            for i in 0..L::Q {
+                node[i] = f[i * stride + base + j];
+            }
+            self.collide(&mut node[..L::Q]);
+            for i in 0..L::Q {
+                f[i * stride + base + j] = node[i];
+            }
+        }
+    }
 }
 
 /// Moment-space collision, eq. (10): `Π* = Π^eq + (1 − 1/τ) Π^neq`,

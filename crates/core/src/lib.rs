@@ -33,6 +33,7 @@ pub mod collision;
 pub mod diagnostics;
 pub mod geometry;
 pub mod io;
+pub mod kernels;
 pub mod par;
 pub mod sim;
 pub mod solver;

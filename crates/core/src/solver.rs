@@ -14,7 +14,7 @@
 //! density and velocity fields to floating-point roundoff when paired with
 //! the same (regularized) collision operator.
 
-use crate::boundary::{boundary_node_moments, moving_wall_gain};
+use crate::boundary::{boundary_node_moments, WallGains};
 use crate::collision::Collision;
 use crate::geometry::{Geometry, NodeType};
 use crate::par::{self, SendPtr};
@@ -125,7 +125,11 @@ impl<L: Lattice, C: Collision<L>> Solver<L, C> {
             }
         };
 
-        // Phase 1: pull + collide on bulk fluid nodes.
+        // Phase 1: pull + collide on bulk fluid nodes. The moving-wall
+        // per-direction constants are hoisted out of the gather loop
+        // (bitwise-equal to the inline form; see `WallGains`).
+        let gains = WallGains::build::<L>(1.0);
+        let gains = &gains;
         let dstp = SendPtr::new(dst);
         par::parallel_ranges(n, self.threads, |range| {
             let mut f_loc = [0.0f64; MAX_Q];
@@ -143,7 +147,7 @@ impl<L: Lattice, C: Collision<L>> Solver<L, C> {
                                 t if t.is_fluid_like() => src[i * n + nidx],
                                 NodeType::Wall => src[L::OPP[i] * n + idx],
                                 NodeType::MovingWall(uw) => {
-                                    src[L::OPP[i] * n + idx] + moving_wall_gain::<L>(i, uw, 1.0)
+                                    src[L::OPP[i] * n + idx] + gains.gain(i, uw)
                                 }
                                 _ => unreachable!("non-solid, non-fluid node"),
                             }
@@ -281,6 +285,7 @@ impl<L: Lattice, C: Collision<L>> Solver<L, C> {
     pub fn force_on(&self, is_target: impl Fn(usize, usize, usize) -> bool) -> [f64; 3] {
         let n = self.geom.len();
         let f = &self.f[self.cur];
+        let gains = WallGains::build::<L>(1.0);
         let mut force = [0.0f64; 3];
         for idx in 0..n {
             if !self.geom.node_at(idx).is_fluid_like() {
@@ -297,9 +302,7 @@ impl<L: Lattice, C: Collision<L>> Solver<L, C> {
                     continue;
                 }
                 let gain = match node {
-                    NodeType::MovingWall(uw) => {
-                        crate::boundary::moving_wall_gain::<L>(L::OPP[i], uw, 1.0)
-                    }
+                    NodeType::MovingWall(uw) => gains.gain(L::OPP[i], uw),
                     _ => 0.0,
                 };
                 let transfer = 2.0 * f[i * n + idx] + gain;

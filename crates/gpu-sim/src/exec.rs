@@ -201,6 +201,54 @@ impl<'a> BlockCtx<'a> {
         )
     }
 
+    /// Bulk-counted strided read: `rows` spans of `len` doubles at
+    /// `start + r·stride` land packed at `scratch_off`. One accounting
+    /// envelope for the whole family; see [`GlobalBuffer::read_spans`].
+    #[inline(always)]
+    pub fn read_spans_to_scratch(
+        &mut self,
+        buf: &GlobalBuffer<f64>,
+        start: usize,
+        stride: usize,
+        rows: usize,
+        len: usize,
+        scratch_off: usize,
+    ) {
+        let ep = self.epoch();
+        buf.read_spans(
+            &mut self.tally,
+            ep,
+            start,
+            stride,
+            rows,
+            len,
+            &mut self.scratch[scratch_off..scratch_off + rows * len],
+        )
+    }
+
+    /// Strided-write mirror of [`BlockCtx::read_spans_to_scratch`].
+    #[inline(always)]
+    pub fn write_spans_from_scratch(
+        &mut self,
+        buf: &GlobalBuffer<f64>,
+        start: usize,
+        stride: usize,
+        rows: usize,
+        len: usize,
+        scratch_off: usize,
+    ) {
+        let ep = self.epoch();
+        buf.write_spans(
+            &mut self.tally,
+            ep,
+            start,
+            stride,
+            rows,
+            len,
+            &self.scratch[scratch_off..scratch_off + rows * len],
+        )
+    }
+
     /// The block's shared-memory slab.
     #[inline(always)]
     pub fn shared(&mut self) -> &mut [f64] {

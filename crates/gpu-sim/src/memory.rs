@@ -323,6 +323,134 @@ impl<T: Copy> GlobalBuffer<T> {
         }
     }
 
+    /// Bulk-counted read of `rows` equal-length spans at a fixed stride:
+    /// span `r` covers cells `start + r·stride .. + len` and lands at
+    /// `out[r·len..]`. Accounting is byte-identical to `rows` separate
+    /// [`GlobalBuffer::read_span`] calls, but the per-call envelope — race
+    /// dispatch, touch-table dispatch, tally field updates — is paid once.
+    /// Short strided rows (an SoA moment lattice reads `M` of them per
+    /// lattice row) are dominated by that envelope, not by the bytes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_spans(
+        &self,
+        tally: &mut Tally,
+        epoch: Epoch,
+        start: usize,
+        stride: usize,
+        rows: usize,
+        len: usize,
+        out: &mut [T],
+    ) {
+        if rows == 0 || len == 0 {
+            return;
+        }
+        debug_assert_eq!(out.len(), rows * len);
+        let n = self.cells.len();
+        let last = start + (rows - 1) * stride;
+        assert!(
+            len <= n && start <= n - len && last <= n - len,
+            "global strided read out of bounds: {rows} rows of {start}..+{len} by {stride}"
+        );
+        if let Some(rc) = &self.race {
+            for r in 0..rows {
+                let s = start + r * stride;
+                for i in s..s + len {
+                    rc.on_read(epoch, i);
+                }
+            }
+        }
+        let sz = std::mem::size_of::<T>() as u64;
+        let total = (rows * len) as u64;
+        tally.reads += total;
+        tally.bytes_read += sz * total;
+        match &self.touch {
+            Some(touch) => {
+                let mut dram = 0u64;
+                for r in 0..rows {
+                    let s = start + r * stride;
+                    for t in &touch[s..s + len] {
+                        if Self::touch_is_dram(t, epoch) {
+                            dram += 1;
+                        }
+                    }
+                }
+                tally.dram_bytes_read += sz * dram;
+                tally.l2_read_hits += total - dram;
+            }
+            None => tally.dram_bytes_read += sz * total,
+        }
+        // Safety: every row span bounds-checked above (monotone starts, the
+        // first and last row checked explicitly cover the rest); same cell
+        // contract as `read_span`.
+        for r in 0..rows {
+            let s = start + r * stride;
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.cells[s].get() as *const T,
+                    out[r * len..].as_mut_ptr(),
+                    len,
+                );
+            }
+        }
+    }
+
+    /// Strided-write mirror of [`GlobalBuffer::read_spans`]: span `r` takes
+    /// `src[r·len..]` into cells `start + r·stride .. + len`. Accounting is
+    /// byte-identical to `rows` separate [`GlobalBuffer::write_span`] calls.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_spans(
+        &self,
+        tally: &mut Tally,
+        epoch: Epoch,
+        start: usize,
+        stride: usize,
+        rows: usize,
+        len: usize,
+        src: &[T],
+    ) {
+        if rows == 0 || len == 0 {
+            return;
+        }
+        debug_assert_eq!(src.len(), rows * len);
+        let n = self.cells.len();
+        let last = start + (rows - 1) * stride;
+        assert!(
+            len <= n && start <= n - len && last <= n - len,
+            "global strided write out of bounds: {rows} rows of {start}..+{len} by {stride}"
+        );
+        if let Some(rc) = &self.race {
+            for r in 0..rows {
+                let s = start + r * stride;
+                for i in s..s + len {
+                    rc.on_write(epoch, i);
+                }
+            }
+        }
+        let sz = std::mem::size_of::<T>() as u64;
+        let total = (rows * len) as u64;
+        tally.writes += total;
+        tally.bytes_written += sz * total;
+        if let Some(p) = &self.faults {
+            // Fault path: element-wise so each cell can corrupt
+            // independently, exactly as `write_span` does.
+            for r in 0..rows {
+                let s = start + r * stride;
+                for (k, v) in src[r * len..][..len].iter().enumerate() {
+                    let mut v = *v;
+                    p.corrupt(s + k, &mut v);
+                    unsafe { *self.cells[s + k].get() = v };
+                }
+            }
+            return;
+        }
+        for r in 0..rows {
+            let s = start + r * stride;
+            unsafe {
+                std::ptr::copy_nonoverlapping(src[r * len..].as_ptr(), self.cells[s].get(), len);
+            }
+        }
+    }
+
     /// Host-path read (uncounted). Only sound between launches.
     #[inline]
     pub fn get(&self, i: usize) -> T {

@@ -32,9 +32,13 @@ pub fn equilibrium<L: Lattice>(rho: f64, u: [f64; 3], out: &mut [f64]) {
 #[inline(always)]
 pub fn equilibrium_i<L: Lattice>(i: usize, rho: f64, u: [f64; 3], usq: f64) -> f64 {
     let cs2 = L::CS2;
+    // Reciprocals of the lattice constants const-fold at monomorphization;
+    // a divide per direction would not.
+    let inv_cs2 = 1.0 / cs2;
+    let inv_2cs4 = 1.0 / (2.0 * cs2 * cs2);
     let c = L::cf(i);
     let cu = c[0] * u[0] + c[1] * u[1] + c[2] * u[2];
-    L::W[i] * rho * (1.0 + cu / cs2 + (cu * cu - cs2 * usq) / (2.0 * cs2 * cs2))
+    L::W[i] * rho * (1.0 + cu * inv_cs2 + (cu * cu - cs2 * usq) * inv_2cs4)
 }
 
 /// Precomputed per-direction contraction table for [`f_from_moments`].
@@ -88,6 +92,31 @@ impl H2Map {
         }
         H2Map { ks, nk, coeff, c }
     }
+
+    /// Number of valid canonical slots (`sym_pairs(D)`).
+    #[inline(always)]
+    pub fn nk(&self) -> usize {
+        self.nk
+    }
+
+    /// Canonical [`PAIRS`] slots valid for this dimension, in loop order.
+    #[inline(always)]
+    pub fn ks(&self) -> &[usize] {
+        &self.ks[..self.nk]
+    }
+
+    /// Contraction coefficients `mult · H⁽²⁾_ab(c_i)` for direction `i`,
+    /// parallel to [`H2Map::ks`].
+    #[inline(always)]
+    pub fn coeff(&self, i: usize) -> &[f64; 6] {
+        &self.coeff[i]
+    }
+
+    /// `c_i` as floats.
+    #[inline(always)]
+    pub fn c(&self, i: usize) -> [f64; 3] {
+        self.c[i]
+    }
 }
 
 /// Reconstruct the distribution from post-collision moments `{ρ, u, Π*}`
@@ -102,6 +131,8 @@ pub fn f_from_moments<L: Lattice>(rho: f64, u: [f64; 3], pi_star: &[f64; 6], out
     debug_assert_eq!(out.len(), L::Q);
     let map = L::h2map();
     let cs2 = L::CS2;
+    let inv_cs2 = 1.0 / cs2;
+    let inv_2cs4 = 1.0 / (2.0 * cs2 * cs2);
     for i in 0..L::Q {
         let c = map.c[i];
         let cu = c[0] * u[0] + c[1] * u[1] + c[2] * u[2];
@@ -111,7 +142,7 @@ pub fn f_from_moments<L: Lattice>(rho: f64, u: [f64; 3], pi_star: &[f64; 6], out
         for j in 0..map.nk {
             h2pi += row[j] * pi_star[map.ks[j]];
         }
-        out[i] = L::W[i] * (rho + rho * cu / cs2 + h2pi / (2.0 * cs2 * cs2));
+        out[i] = L::W[i] * (rho + rho * cu * inv_cs2 + h2pi * inv_2cs4);
     }
 }
 
@@ -142,18 +173,18 @@ pub fn f_from_moments_recursive<L: Lattice>(
     debug_assert_eq!(basis.h4.len(), L::H4_COMPONENTS.len());
     // Base: second-order reconstruction…
     f_from_moments::<L>(rho, u, pi_star, out);
-    // …plus the higher-order Hermite contributions.
-    let cs2 = L::CS2;
-    let (cs6, cs8) = (cs2 * cs2 * cs2, cs2 * cs2 * cs2 * cs2);
-    let c3 = 1.0 / (6.0 * cs6);
-    let c4 = 1.0 / (24.0 * cs8);
+    // …plus the higher-order Hermite contributions, via the precomputed
+    // `(1/n! c_s^2n)·mult·h` contraction tables. The third-order walk skips
+    // the exactly-zero coefficients ([`HigherBasis::nz3`]); the kept terms
+    // accumulate in the same order with the same f64 products.
+    let n4 = L::H4_COMPONENTS.len();
     for i in 0..L::Q {
         let mut extra = 0.0;
-        for (k, &(_, mult)) in L::H3_COMPONENTS.iter().enumerate() {
-            extra += c3 * mult * basis.h3[k][i] * a3_star[k];
+        for &(k, cf) in basis.nz3(i) {
+            extra += cf * a3_star[k as usize];
         }
-        for (k, &(_, mult)) in L::H4_COMPONENTS.iter().enumerate() {
-            extra += c4 * mult * basis.h4[k][i] * a4_star[k];
+        for (k, &cf) in basis.cf4[i * n4..][..n4].iter().enumerate() {
+            extra += cf * a4_star[k];
         }
         out[i] += L::W[i] * extra;
     }

@@ -121,6 +121,32 @@ pub struct HigherBasis {
     pub h3: Vec<Vec<f64>>,
     /// `h4[k][i]` = orthogonalized fourth-order component `k` at direction `i`.
     pub h4: Vec<Vec<f64>>,
+    /// Direction-major contraction coefficients for eq. (14):
+    /// `cf3[i·n3 + k] = (1/(6 c_s⁶)) · mult_k · h3[k][i]` — the exact f64
+    /// the reconstruction loop forms before multiplying by `a⁽³⁾*_k`,
+    /// hoisted so the hot path reads one contiguous row per direction.
+    pub cf3: Vec<f64>,
+    /// Fourth-order analog: `cf4[i·n4 + k] = (1/(24 c_s⁸)) · mult_k · h4[k][i]`.
+    pub cf4: Vec<f64>,
+    /// Nonzero `cf3` entries, direction-major: direction `i`'s pairs
+    /// `(k, cf3[i·n3+k])` with `cf3 ≠ 0` occupy
+    /// `nz3[nz3_off[i]..nz3_off[i+1]]`, `k` ascending. The orthogonalized
+    /// H⁽³⁾ tables are ~half exact zeros on D3Q19, and a `+0.0`-initialized
+    /// accumulator is bit-unchanged by adding the `±0.0` a zero coefficient
+    /// contributes, so every reconstruction path (scalar and lane-vectorized
+    /// alike) walks this list instead of the dense row.
+    pub nz3: Vec<(u32, f64)>,
+    /// `Q + 1` offsets into [`HigherBasis::nz3`].
+    pub nz3_off: Vec<u32>,
+    /// Fused contraction list: direction `i`'s nonzero `cf3` pairs followed
+    /// by its (dense) `cf4` pairs, with fourth-order component indices
+    /// shifted by `n3` so both orders address one concatenated
+    /// `a⁽³⁾* ‖ a⁽⁴⁾*` coefficient array. Entry order matches the separate
+    /// nz3-then-cf4 walk exactly, so accumulating through this list is
+    /// bitwise-identical to the two-loop form.
+    pub nz34: Vec<(u32, f64)>,
+    /// `Q + 1` offsets into [`HigherBasis::nz34`].
+    pub nz34_off: Vec<u32>,
 }
 
 impl HigherBasis {
@@ -153,7 +179,60 @@ impl HigherBasis {
             assert!(n > TOL, "{} H4 {idx:?} is not representable", L::NAME);
             h4.push(v);
         }
-        HigherBasis { h3, h4 }
+        let cs2 = L::CS2;
+        let (cs6, cs8) = (cs2 * cs2 * cs2, cs2 * cs2 * cs2 * cs2);
+        let c3 = 1.0 / (6.0 * cs6);
+        let c4 = 1.0 / (24.0 * cs8);
+        let mut cf3 = Vec::with_capacity(L::Q * h3.len());
+        let mut cf4 = Vec::with_capacity(L::Q * h4.len());
+        let mut nz3 = Vec::new();
+        let mut nz3_off = Vec::with_capacity(L::Q + 1);
+        nz3_off.push(0);
+        let mut nz34 = Vec::new();
+        let mut nz34_off = Vec::with_capacity(L::Q + 1);
+        nz34_off.push(0);
+        let n3 = h3.len() as u32;
+        for i in 0..L::Q {
+            for (k, &(_, mult)) in L::H3_COMPONENTS.iter().enumerate() {
+                let cf = c3 * mult * h3[k][i];
+                cf3.push(cf);
+                if cf != 0.0 {
+                    nz3.push((k as u32, cf));
+                    nz34.push((k as u32, cf));
+                }
+            }
+            nz3_off.push(nz3.len() as u32);
+            for (k, &(_, mult)) in L::H4_COMPONENTS.iter().enumerate() {
+                let cf = c4 * mult * h4[k][i];
+                cf4.push(cf);
+                nz34.push((n3 + k as u32, cf));
+            }
+            nz34_off.push(nz34.len() as u32);
+        }
+        HigherBasis {
+            h3,
+            h4,
+            cf3,
+            cf4,
+            nz3,
+            nz3_off,
+            nz34,
+            nz34_off,
+        }
+    }
+
+    /// Nonzero third-order contraction coefficients for direction `i`
+    /// (pairs of component index and `cf3` value, component-ascending).
+    #[inline(always)]
+    pub fn nz3(&self, i: usize) -> &[(u32, f64)] {
+        &self.nz3[self.nz3_off[i] as usize..self.nz3_off[i + 1] as usize]
+    }
+
+    /// Fused third+fourth-order contraction pairs for direction `i`
+    /// (fourth-order component indices offset by `n3`).
+    #[inline(always)]
+    pub fn nz34(&self, i: usize) -> &[(u32, f64)] {
+        &self.nz34[self.nz34_off[i] as usize..self.nz34_off[i + 1] as usize]
     }
 }
 

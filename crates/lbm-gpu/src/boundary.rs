@@ -74,6 +74,38 @@ pub fn stencil_coords(geom: &Geometry, x: usize, y: usize, z: usize) -> Vec<(usi
     out
 }
 
+/// Mark the nodes eligible for the branchless interior-scatter fast path:
+/// fluid, away from the x faces (so no periodic wrap enters the destination
+/// arithmetic), and with every streaming neighbor in-domain and non-solid.
+/// For such a node the per-direction scatter never bounces, clips, or
+/// wraps — all `Q` destination slots are plain stores at offsets that are
+/// constant along an x run, which the column kernels precompute per
+/// segment.
+pub fn bulk_mask<L: lbm_lattice::Lattice>(geom: &Geometry) -> Vec<bool> {
+    let (nx, ny, nz) = (geom.nx, geom.ny, geom.nz);
+    let mut mask = vec![false; geom.len()];
+    for (idx, m) in mask.iter_mut().enumerate() {
+        let (x, y, z) = geom.coords(idx);
+        if geom.node_at(idx).is_solid() || x == 0 || x + 1 >= nx {
+            continue;
+        }
+        *m = (0..L::Q).all(|i| {
+            let c = L::C[i];
+            let xd = x as i64 + c[0] as i64;
+            let yd = y as i64 + c[1] as i64;
+            let zd = z as i64 + c[2] as i64;
+            xd >= 0
+                && xd < nx as i64
+                && yd >= 0
+                && yd < ny as i64
+                && zd >= 0
+                && zd < nz as i64
+                && !geom.node(xd as usize, yd as usize, zd as usize).is_solid()
+        });
+    }
+    mask
+}
+
 /// Flat indices of all inlet/outlet nodes of a geometry, with coordinates.
 pub fn boundary_nodes(geom: &Geometry) -> Vec<(usize, usize, usize)> {
     let mut out = Vec::new();

@@ -15,6 +15,7 @@
 
 use gpu_sim::exec::BlockCtx;
 use gpu_sim::GlobalBuffer;
+use lbm_core::kernels::MAX_M;
 use lbm_lattice::moments::Moments;
 use lbm_lattice::Lattice;
 
@@ -36,6 +37,10 @@ impl MomentLattice {
     /// per step and padding with `pad ≥ shift` spare slots.
     pub fn new(n: usize, m: usize, shift: usize, pad: usize) -> Self {
         assert!(pad >= shift, "padding must cover the per-step shift");
+        assert!(
+            m <= MAX_M,
+            "moment count {m} exceeds the fixed kernel staging bound MAX_M = {MAX_M}"
+        );
         MomentLattice {
             buf: GlobalBuffer::new(m * (n + pad)),
             n,
@@ -96,7 +101,7 @@ impl MomentLattice {
     #[inline(always)]
     pub fn read_moments<L: Lattice>(&self, ctx: &mut BlockCtx, t: u64, idx: usize) -> Moments {
         debug_assert_eq!(self.m, L::M);
-        let mut flat = [0.0f64; 16];
+        let mut flat = [0.0f64; MAX_M];
         let s = self.slot(idx, t);
         for m in 0..self.m {
             flat[m] = ctx.read(&self.buf, m * self.cap + s);
@@ -108,7 +113,7 @@ impl MomentLattice {
     #[inline(always)]
     pub fn write_moments<L: Lattice>(&self, ctx: &mut BlockCtx, t: u64, idx: usize, mom: &Moments) {
         debug_assert_eq!(self.m, L::M);
-        let mut flat = [0.0f64; 16];
+        let mut flat = [0.0f64; MAX_M];
         mom.pack::<L>(&mut flat[..self.m]);
         let s = self.slot(idx, t);
         for m in 0..self.m {
@@ -138,13 +143,17 @@ impl MomentLattice {
         debug_assert!(idx0 + count <= self.n);
         let s0 = self.slot(idx0, t);
         let first = count.min(self.cap - s0);
+        if first == count {
+            // No circular wrap: all `m` plane rows share one stride, so the
+            // whole family moves in a single accounting envelope.
+            ctx.read_spans_to_scratch(&self.buf, s0, self.cap, self.m, count, scratch_off);
+            return;
+        }
         for m in 0..self.m {
             let base = m * self.cap;
             let dst = scratch_off + m * count;
             ctx.read_span_to_scratch(&self.buf, base + s0, dst, first);
-            if first < count {
-                ctx.read_span_to_scratch(&self.buf, base, dst + first, count - first);
-            }
+            ctx.read_span_to_scratch(&self.buf, base, dst + first, count - first);
         }
     }
 
@@ -162,19 +171,21 @@ impl MomentLattice {
         debug_assert!(idx0 + count <= self.n);
         let s0 = self.slot(idx0, t);
         let first = count.min(self.cap - s0);
+        if first == count {
+            ctx.write_spans_from_scratch(&self.buf, s0, self.cap, self.m, count, scratch_off);
+            return;
+        }
         for m in 0..self.m {
             let base = m * self.cap;
             let src = scratch_off + m * count;
             ctx.write_span_from_scratch(&self.buf, base + s0, src, first);
-            if first < count {
-                ctx.write_span_from_scratch(&self.buf, base, src + first, count - first);
-            }
+            ctx.write_span_from_scratch(&self.buf, base, src + first, count - first);
         }
     }
 
     /// Host read of a node's moments at time `t` (between launches).
     pub fn get_moments<L: Lattice>(&self, t: u64, idx: usize) -> Moments {
-        let mut flat = [0.0f64; 16];
+        let mut flat = [0.0f64; MAX_M];
         let s = self.slot(idx, t);
         for m in 0..self.m {
             flat[m] = self.buf.get(m * self.cap + s);
@@ -184,7 +195,7 @@ impl MomentLattice {
 
     /// Host write of a node's moments at time `t` (initialization).
     pub fn set_moments<L: Lattice>(&self, t: u64, idx: usize, mom: &Moments) {
-        let mut flat = [0.0f64; 16];
+        let mut flat = [0.0f64; MAX_M];
         mom.pack::<L>(&mut flat[..self.m]);
         let s = self.slot(idx, t);
         for m in 0..self.m {

@@ -28,13 +28,12 @@ use crate::scheme::MrScheme;
 use gpu_sim::exec::{BlockCtx, Kernel, Launch, LaunchStats, PhasedKernel};
 use gpu_sim::memory::Tally;
 use gpu_sim::{DeviceSpec, Gpu};
-use lbm_core::boundary::{boundary_node_moments, moving_wall_gain};
+use lbm_core::boundary::boundary_node_moments;
 use lbm_core::geometry::{Geometry, NodeType};
+use lbm_core::kernels::{self, KernelConsts, LaneBlock, LANES, MAX_M, MAX_Q};
 use lbm_lattice::moments::Moments;
 use lbm_lattice::Lattice;
 use std::marker::PhantomData;
-
-const MAX_Q: usize = 48;
 
 /// Pick the largest column width ≤ `max` that divides `nx`.
 pub fn pick_column_width(nx: usize, max: usize) -> usize {
@@ -54,7 +53,13 @@ struct Mr2dKernel<'a, L: Lattice> {
     mom_out: &'a MomentLattice,
     geom: &'a Geometry,
     scheme: &'a MrScheme,
-    tau: f64,
+    consts: &'a KernelConsts,
+    /// Interior fast-scatter eligibility per node (see
+    /// [`crate::boundary::bulk_mask`]).
+    bulk: &'a [bool],
+    /// The full direction set (2D tiles collide no y-halo rows, so no
+    /// segment can mask directions).
+    dirs_all: Vec<usize>,
     t: u64,
     col_w: usize,
     tile_h: usize,
@@ -133,8 +138,6 @@ impl<L: Lattice> PhasedKernel for Mr2dKernel<'_, L> {
         // scratch and flushed through row spans.
         let f_lo = (y_lo as i64 - 1).max(0) as usize;
         let f_hi = y_lo + h - 1; // exclusive upper bound
-        let mut f_loc = [0.0f64; MAX_Q];
-        let mut flat = [0.0f64; 16];
         for y in f_lo..f_hi {
             let mut xl = 0;
             while xl < w {
@@ -147,18 +150,43 @@ impl<L: Lattice> PhasedKernel for Mr2dKernel<'_, L> {
                 while xl + len < w && !self.geom.node_at(idx + len).is_solid() {
                     len += 1;
                 }
-                for j in 0..len {
-                    {
-                        let sh = ctx.shared();
-                        for (i, f) in f_loc[..L::Q].iter_mut().enumerate() {
-                            *f = sh[((xl + j) * win + y % win) * L::Q + i];
+                if self.consts.scalar {
+                    let mut f_loc = [0.0f64; MAX_Q];
+                    let mut flat = [0.0f64; MAX_M];
+                    for j in 0..len {
+                        {
+                            let sh = ctx.shared();
+                            for (i, f) in f_loc[..L::Q].iter_mut().enumerate() {
+                                *f = sh[((xl + j) * win + y % win) * L::Q + i];
+                            }
+                        }
+                        let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
+                        mnew.pack::<L>(&mut flat[..L::M]);
+                        let scratch = ctx.scratch();
+                        for m in 0..L::M {
+                            scratch[m * len + j] = flat[m];
                         }
                     }
-                    let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
-                    mnew.pack::<L>(&mut flat[..L::M]);
-                    let scratch = ctx.scratch();
-                    for m in 0..L::M {
-                        scratch[m * len + j] = flat[m];
+                } else {
+                    // Fused from_f + pack over LANES-node chunks, writing
+                    // the SoA scratch rows directly (tail lanes replicate
+                    // the run's last node).
+                    let mut fl: LaneBlock = [[0.0f64; LANES]; MAX_Q];
+                    let mut j0 = 0;
+                    while j0 < len {
+                        let cnt = LANES.min(len - j0);
+                        {
+                            let sh = ctx.shared();
+                            for l in 0..LANES {
+                                let j = j0 + if l < cnt { l } else { cnt - 1 };
+                                let base = ((xl + j) * win + y % win) * L::Q;
+                                for i in 0..L::Q {
+                                    fl[i][l] = sh[base + i];
+                                }
+                            }
+                        }
+                        kernels::moments_from_f_lanes::<L>(&fl[..L::Q], ctx.scratch(), len, j0);
+                        j0 += LANES;
                     }
                 }
                 self.mom_out
@@ -183,61 +211,139 @@ impl<L: Lattice> Mr2dKernel<'_, L> {
         idx0: usize,
         len: usize,
     ) {
+        self.mom_in.read_row_to_scratch(ctx, self.t, idx0, len, 0);
+        if self.consts.scalar {
+            // Scalar oracle: the original node-at-a-time unpack → collide →
+            // map chain with its strided scratch gather.
+            let mut f_star = [0.0f64; MAX_Q];
+            let mut flat = [0.0f64; MAX_M];
+            for j in 0..len {
+                {
+                    let scratch = ctx.scratch();
+                    for m in 0..L::M {
+                        flat[m] = scratch[m * len + j];
+                    }
+                }
+                let m = Moments::unpack::<L>(&flat[..L::M]);
+                self.scheme
+                    .collide_and_map::<L>(&m, self.consts.tau, &mut f_star[..L::Q]);
+                self.scatter_node(ctx, y, x0, x_first + j, &f_star);
+            }
+            return;
+        }
+        // Vectorized: unpack + collide + map fused into one chunked pass
+        // over the SoA scratch rows (no strided per-node gather). Interior
+        // nodes take the branchless fast scatter: their Q destination
+        // slots are base(x) + off[i] with off[] constant along the row, so
+        // the per-direction geometry lookups, bounds checks, and modulo
+        // all hoist out of the store loop. Slow lanes (column edges,
+        // boundary-adjacent nodes) fall back to the reference scatter,
+        // which writes the same slots.
+        let (w, win) = (self.col_w, self.tile_h + 2);
+        let mut off = [0i64; MAX_Q];
+        for (i, o) in off.iter_mut().enumerate().take(L::Q) {
+            let c = L::C[i];
+            *o = c[0] as i64 * (win * L::Q) as i64
+                + (y as i64 + c[1] as i64).rem_euclid(win as i64) * L::Q as i64
+                + i as i64;
+        }
+        let mut fs: LaneBlock = [[0.0f64; LANES]; MAX_Q];
+        let mut f_star = [0.0f64; MAX_Q];
+        let mut j0 = 0;
+        while j0 < len {
+            {
+                let scratch = ctx.scratch();
+                match self.scheme {
+                    MrScheme::Projective => kernels::mr_p_collide_chunk::<L>(
+                        scratch,
+                        len,
+                        j0,
+                        self.consts.omega,
+                        &self.dirs_all,
+                        &mut fs,
+                    ),
+                    MrScheme::Recursive(basis) => kernels::mr_r_collide_chunk::<L>(
+                        scratch,
+                        len,
+                        j0,
+                        self.consts.omega,
+                        basis,
+                        &self.dirs_all,
+                        &mut fs,
+                    ),
+                }
+            }
+            let cnt = LANES.min(len - j0);
+            for l in 0..cnt {
+                let x = x_first + j0 + l;
+                if x > x0 && x + 1 < x0 + w && self.bulk[idx0 + j0 + l] {
+                    let base = ((x - x0) * win * L::Q) as i64;
+                    let shm = ctx.shared();
+                    for (i, o) in off.iter().enumerate().take(L::Q) {
+                        shm[(base + o) as usize] = fs[i][l];
+                    }
+                } else {
+                    for i in 0..L::Q {
+                        f_star[i] = fs[i][l];
+                    }
+                    self.scatter_node(ctx, y, x0, x, &f_star);
+                }
+            }
+            j0 += LANES;
+        }
+    }
+
+    /// Stream one node's post-collision populations into the block's shared
+    /// tile (push form, halfway bounce-back at solids) — shared verbatim by
+    /// the scalar and vectorized collide paths.
+    #[inline]
+    fn scatter_node(
+        &self,
+        ctx: &mut BlockCtx,
+        y: usize,
+        x0: usize,
+        x: usize,
+        f_star: &[f64; MAX_Q],
+    ) {
         let (nx, ny) = (self.geom.nx, self.geom.ny);
         let (w, win) = (self.col_w, self.tile_h + 2);
         let periodic_x = self.geom.periodic[0];
-        self.mom_in.read_row_to_scratch(ctx, self.t, idx0, len, 0);
-        let mut f_star = [0.0f64; MAX_Q];
-        let mut flat = [0.0f64; 16];
-        for j in 0..len {
-            {
-                let scratch = ctx.scratch();
-                for m in 0..L::M {
-                    flat[m] = scratch[m * len + j];
-                }
-            }
-            let m = Moments::unpack::<L>(&flat[..L::M]);
-            self.scheme
-                .collide_and_map::<L>(&m, self.tau, &mut f_star[..L::Q]);
-
-            let x = x_first + j;
-            let xs = x as i64;
-            let src_in_col = x >= x0 && x < x0 + w;
-            for i in 0..L::Q {
-                let c = L::C[i];
-                let mut xd = xs + c[0] as i64;
-                let yd = y as i64 + c[1] as i64;
-                if xd < 0 || xd >= nx as i64 {
-                    if periodic_x {
-                        xd = xd.rem_euclid(nx as i64);
-                    } else {
-                        // Leaves the domain through an x face; the
-                        // inlet/outlet kernel rebuilds those nodes.
-                        continue;
-                    }
-                }
-                if yd < 0 || yd >= ny as i64 {
-                    continue; // beyond a wall-terminated y face
-                }
-                let (xd, yd) = (xd as usize, yd as usize);
-                let dest = self.geom.node(xd, yd, 0);
-                if dest.is_solid() {
-                    // Halfway bounce-back: the population returns to its
-                    // source node in the opposite direction (push form).
-                    if src_in_col {
-                        let gain = match dest {
-                            NodeType::MovingWall(uw) => moving_wall_gain::<L>(L::OPP[i], uw, 1.0),
-                            _ => 0.0,
-                        };
-                        let slot = ((x - x0) * win + y % win) * L::Q + L::OPP[i];
-                        ctx.shared()[slot] = f_star[i] + gain;
-                    }
+        let xs = x as i64;
+        let src_in_col = x >= x0 && x < x0 + w;
+        for i in 0..L::Q {
+            let c = L::C[i];
+            let mut xd = xs + c[0] as i64;
+            let yd = y as i64 + c[1] as i64;
+            if xd < 0 || xd >= nx as i64 {
+                if periodic_x {
+                    xd = xd.rem_euclid(nx as i64);
+                } else {
+                    // Leaves the domain through an x face; the
+                    // inlet/outlet kernel rebuilds those nodes.
                     continue;
                 }
-                if xd >= x0 && xd < x0 + w {
-                    let slot = ((xd - x0) * win + yd % win) * L::Q + i;
-                    ctx.shared()[slot] = f_star[i];
+            }
+            if yd < 0 || yd >= ny as i64 {
+                continue; // beyond a wall-terminated y face
+            }
+            let (xd, yd) = (xd as usize, yd as usize);
+            let dest = self.geom.node(xd, yd, 0);
+            if dest.is_solid() {
+                // Halfway bounce-back: the population returns to its
+                // source node in the opposite direction (push form).
+                if src_in_col {
+                    let gain = match dest {
+                        NodeType::MovingWall(uw) => self.consts.gains.gain(L::OPP[i], uw),
+                        _ => 0.0,
+                    };
+                    let slot = ((x - x0) * win + y % win) * L::Q + L::OPP[i];
+                    ctx.shared()[slot] = f_star[i] + gain;
                 }
+                continue;
+            }
+            if xd >= x0 && xd < x0 + w {
+                let slot = ((xd - x0) * win + yd % win) * L::Q + i;
+                ctx.shared()[slot] = f_star[i];
             }
         }
     }
@@ -257,13 +363,15 @@ pub fn launch_mr2d_columns<L: Lattice>(
     mom_out: &MomentLattice,
     geom: &Geometry,
     scheme: &MrScheme,
-    tau: f64,
+    consts: &KernelConsts,
+    bulk: &[bool],
     t: u64,
     col_w: usize,
     tile_h: usize,
     cols: &[usize],
 ) -> LaunchStats {
     assert!(!cols.is_empty(), "no columns to launch");
+    assert_eq!(bulk.len(), geom.len(), "bulk mask must cover the domain");
     for &x0 in cols {
         assert!(x0 + col_w <= geom.nx, "column {x0} overruns the domain");
     }
@@ -281,7 +389,9 @@ pub fn launch_mr2d_columns<L: Lattice>(
             mom_out,
             geom,
             scheme,
-            tau,
+            consts,
+            bulk,
+            dirs_all: kernels::dirs_all::<L>(),
             t,
             col_w,
             tile_h,
@@ -378,6 +488,8 @@ pub struct MrSim2D<L: Lattice> {
     cur: usize,
     scheme: MrScheme,
     tau: f64,
+    consts: KernelConsts,
+    bulk: Vec<bool>,
     col_w: usize,
     tile_h: usize,
     boundary: Vec<(usize, usize, usize)>,
@@ -443,6 +555,7 @@ impl<L: Lattice> MrSim2D<L> {
         let n = geom.len();
         let pad = (shift_rows + 1) * geom.nx;
         let mom = MomentLattice::new(n, L::M, shift_rows * geom.nx, pad).with_touch_tracking();
+        let bulk = crate::boundary::bulk_mask::<L>(&geom);
         let mut sim = MrSim2D {
             gpu: Gpu::new(device),
             geom,
@@ -451,6 +564,8 @@ impl<L: Lattice> MrSim2D<L> {
             cur: 0,
             scheme,
             tau,
+            consts: KernelConsts::new::<L>(tau),
+            bulk,
             col_w,
             tile_h,
             boundary,
@@ -468,6 +583,15 @@ impl<L: Lattice> MrSim2D<L> {
     /// Limit the CPU worker threads backing the substrate.
     pub fn with_cpu_threads(mut self, n: usize) -> Self {
         self.gpu = self.gpu.with_cpu_threads(n);
+        self
+    }
+
+    /// Run the original per-node scalar kernels instead of the vectorized
+    /// SoA chunks. The two paths are bitwise-identical (enforced by
+    /// `tests/kernel_equivalence.rs`); the scalar path exists as the
+    /// equivalence oracle.
+    pub fn with_scalar_kernels(mut self) -> Self {
+        self.consts.scalar = true;
         self
     }
 
@@ -598,7 +722,8 @@ impl<L: Lattice> MrSim2D<L> {
             mom_out,
             &self.geom,
             &self.scheme,
-            self.tau,
+            &self.consts,
+            &self.bulk,
             self.t,
             self.col_w,
             self.tile_h,

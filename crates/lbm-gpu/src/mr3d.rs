@@ -17,13 +17,11 @@ use crate::scheme::MrScheme;
 use gpu_sim::exec::{BlockCtx, Launch, LaunchStats, PhasedKernel};
 use gpu_sim::memory::Tally;
 use gpu_sim::{DeviceSpec, Gpu};
-use lbm_core::boundary::moving_wall_gain;
 use lbm_core::geometry::{Geometry, NodeType};
+use lbm_core::kernels::{self, KernelConsts, LaneBlock, LANES, MAX_M, MAX_Q};
 use lbm_lattice::moments::Moments;
 use lbm_lattice::Lattice;
 use std::marker::PhantomData;
-
-const MAX_Q: usize = 48;
 
 /// Pick the largest column footprint edge ≤ `max` dividing `n`.
 pub fn pick_footprint(n: usize, max: usize) -> usize {
@@ -35,6 +33,53 @@ pub fn pick_footprint(n: usize, max: usize) -> usize {
     1
 }
 
+/// Choose the column footprint that minimizes vectorized collide work.
+///
+/// Each halo-extended row of `wx + 2` nodes is processed in `LANES`-node
+/// chunks (tail lanes replicate, so a partial chunk costs as much as a
+/// full one), and a block collides `wy + 2` such rows per layer to own
+/// `wx × wy` nodes. The lane-slot redundancy is therefore
+/// `ceil((wx+2)/LANES)·LANES·(wy+2) / (wx·wy)`, which this searches over
+/// all divisor pairs subject to the device's shared-memory window
+/// (`wx·wy·3·Q` doubles) and thread-block capacity (`(wx+2)(wy+2)`).
+/// Pass `0` for a coordinate to let it float, or a fixed divisor to pin it.
+pub fn pick_column_footprint<L: Lattice>(
+    device: &DeviceSpec,
+    nx: usize,
+    ny: usize,
+    fix_wx: usize,
+    fix_wy: usize,
+) -> (usize, usize) {
+    let divisors = |n: usize, fixed: usize| -> Vec<usize> {
+        if fixed != 0 {
+            vec![fixed]
+        } else {
+            (1..=n).filter(|w| n.is_multiple_of(*w)).collect()
+        }
+    };
+    let mut best = (1usize, 1usize);
+    let mut best_cost = f64::INFINITY;
+    for &wx in &divisors(nx, fix_wx) {
+        let chunks = (wx + 2).div_ceil(LANES);
+        for &wy in &divisors(ny, fix_wy) {
+            if wx * wy * 3 * L::Q * 8 > device.shared_mem_per_sm {
+                continue;
+            }
+            if (wx + 2) * (wy + 2) > device.max_threads_per_block {
+                continue;
+            }
+            let cost = (chunks * LANES * (wy + 2)) as f64 / (wx * wy) as f64;
+            // Tie-break toward larger blocks: fewer columns amortize the
+            // per-block sliding-window setup.
+            if cost < best_cost - 1e-12 || (cost < best_cost + 1e-12 && wx * wy > best.0 * best.1) {
+                best = (wx, wy);
+                best_cost = cost;
+            }
+        }
+    }
+    best
+}
+
 struct Mr3dKernel<'a, L: Lattice> {
     /// Moment lattice read at time `t` (equal to `mom_out` for the in-place
     /// circular-shift variant).
@@ -43,7 +88,15 @@ struct Mr3dKernel<'a, L: Lattice> {
     mom_out: &'a MomentLattice,
     geom: &'a Geometry,
     scheme: &'a MrScheme,
-    tau: f64,
+    consts: &'a KernelConsts,
+    /// Interior fast-scatter eligibility per node (see
+    /// [`crate::boundary::bulk_mask`]).
+    bulk: &'a [bool],
+    /// The full direction set, and the `cy = +1` / `cy = −1` subsets used
+    /// by the y-halo rows (the only directions those rows ever store).
+    dirs_all: Vec<usize>,
+    dirs_up: Vec<usize>,
+    dirs_dn: Vec<usize>,
     t: u64,
     wx: usize,
     wy: usize,
@@ -109,7 +162,16 @@ impl<L: Lattice> PhasedKernel for Mr3dKernel<'_, L> {
                     (Some((_, idx0, len)), Some((_, idx))) if idx == *idx0 + *len => *len += 1,
                     (r, node) => {
                         if let Some((xf, idx0, len)) = r.take() {
-                            self.collide_segment(ctx, y, z, x0, y0, xf, idx0, len);
+                            // Halo rows can only store into the footprint
+                            // through the directions pointing at it.
+                            let dirs = if yi < 0 {
+                                &self.dirs_up
+                            } else if yi >= wy as i64 {
+                                &self.dirs_dn
+                            } else {
+                                &self.dirs_all
+                            };
+                            self.collide_segment(ctx, y, z, x0, y0, xf, idx0, len, dirs);
                         }
                         *r = node.map(|(x, idx)| (x, idx, 1));
                     }
@@ -124,8 +186,6 @@ impl<L: Lattice> PhasedKernel for Mr3dKernel<'_, L> {
             return;
         }
         let zf = z - 1;
-        let mut f_loc = [0.0f64; MAX_Q];
-        let mut flat = [0.0f64; 16];
         for yl in 0..wy {
             let y = y0 + yl;
             let mut xl = 0;
@@ -139,18 +199,47 @@ impl<L: Lattice> PhasedKernel for Mr3dKernel<'_, L> {
                 while xl + len < wx && !self.geom.node_at(idx + len).is_solid() {
                     len += 1;
                 }
-                for j in 0..len {
-                    {
-                        let shm = ctx.shared();
-                        for (i, f) in f_loc[..L::Q].iter_mut().enumerate() {
-                            *f = shm[(((xl + j) * wy + yl) * 3 + zf % 3) * L::Q + i];
+                if self.consts.scalar {
+                    let mut f_loc = [0.0f64; MAX_Q];
+                    let mut flat = [0.0f64; MAX_M];
+                    for j in 0..len {
+                        {
+                            let shm = ctx.shared();
+                            for (i, f) in f_loc[..L::Q].iter_mut().enumerate() {
+                                *f = shm[(((xl + j) * wy + yl) * 3 + zf % 3) * L::Q + i];
+                            }
+                        }
+                        let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
+                        mnew.pack::<L>(&mut flat[..L::M]);
+                        let scratch = ctx.scratch();
+                        for m in 0..L::M {
+                            scratch[m * len + j] = flat[m];
                         }
                     }
-                    let mnew = Moments::from_f::<L>(&f_loc[..L::Q]);
-                    mnew.pack::<L>(&mut flat[..L::M]);
-                    let scratch = ctx.scratch();
-                    for m in 0..L::M {
-                        scratch[m * len + j] = flat[m];
+                } else {
+                    // Fused from_f + pack over LANES-node chunks, writing
+                    // the SoA scratch rows directly (tail lanes replicate
+                    // the run's last node).
+                    let mut fl: LaneBlock = [[0.0f64; LANES]; MAX_Q];
+                    let mut j0 = 0;
+                    while j0 < len {
+                        let cnt = LANES.min(len - j0);
+                        {
+                            let shm = ctx.shared();
+                            for l in 0..LANES {
+                                let j = j0 + if l < cnt { l } else { cnt - 1 };
+                                let base = (((xl + j) * wy + yl) * 3 + zf % 3) * L::Q;
+                                // A node's Q slots are contiguous; the
+                                // fixed-length reslice lets the compiler
+                                // drop the per-direction bounds checks.
+                                let src = &shm[base..base + L::Q];
+                                for (i, &v) in src.iter().enumerate() {
+                                    fl[i][l] = v;
+                                }
+                            }
+                        }
+                        kernels::moments_from_f_lanes::<L>(&fl[..L::Q], ctx.scratch(), len, j0);
+                        j0 += LANES;
                     }
                 }
                 self.mom_out
@@ -177,63 +266,196 @@ impl<L: Lattice> Mr3dKernel<'_, L> {
         x_first: usize,
         idx0: usize,
         len: usize,
+        dirs: &[usize],
+    ) {
+        self.mom_in.read_row_to_scratch(ctx, self.t, idx0, len, 0);
+        let mut f_star = [0.0f64; MAX_Q];
+        if self.consts.scalar {
+            let mut flat = [0.0f64; MAX_M];
+            for j in 0..len {
+                {
+                    let scratch = ctx.scratch();
+                    for m in 0..L::M {
+                        flat[m] = scratch[m * len + j];
+                    }
+                }
+                let m = Moments::unpack::<L>(&flat[..L::M]);
+                self.scheme
+                    .collide_and_map::<L>(&m, self.consts.tau, &mut f_star[..L::Q]);
+                self.scatter_node(ctx, y, z, x0, y0, x_first + j, &f_star, &self.dirs_all);
+            }
+        } else {
+            // Chunked unpack + collide + reconstruct straight off the SoA
+            // scratch rows (no strided per-node gather). Interior nodes
+            // take the branchless fast scatter: their Q destination slots
+            // are base(x) + off[i] with off[] constant along the segment,
+            // so the per-direction geometry lookups, bounds checks, and
+            // modulo all hoist out of the store loop. Slow lanes (halo
+            // rows, column edges, boundary-adjacent nodes) fall back to
+            // the reference scatter, which writes the same slots.
+            let (wx, wy) = (self.wx, self.wy);
+            let row = 3 * L::Q; // shared doubles per (x, y) cell
+            let yl = y as i64 - y0 as i64;
+            // Masked fast-scatter tables. A bulk node has every neighbor
+            // in-domain and fluid (and sits away from the periodic x
+            // faces), so `scatter_node` reduces to "store f*[i] at
+            // base(x) + off[i] iff the destination lies inside the shared
+            // window". Window membership per direction depends only on
+            // the segment's row (y + cy in the owned rows) and the lane's
+            // x-category: left halo / left edge / interior / right edge /
+            // right halo. Precompute one (dir, offset) list per category;
+            // lanes then take branchless masked stores, with a single
+            // range assert standing in for the per-store bounds checks.
+            const XCATS: usize = 5;
+            let mut tab = [[(0usize, 0i64); MAX_Q]; XCATS];
+            let mut tlen = [0usize; XCATS];
+            let mut tmin = [i64::MAX; XCATS];
+            let mut tmax = [i64::MIN; XCATS];
+            if wx >= 3 {
+                for &i in dirs {
+                    let c = L::C[i];
+                    let (cx, cy) = (c[0] as i64, c[1] as i64);
+                    let ydl = yl + cy;
+                    if ydl < 0 || ydl >= wy as i64 {
+                        continue; // dest row outside the window: dropped
+                    }
+                    let off = cx * (wy * row) as i64
+                        + ydl * row as i64
+                        + (z as i64 + c[2] as i64).rem_euclid(3) * L::Q as i64
+                        + i as i64;
+                    let ok = [cx == 1, cx >= 0, true, cx <= 0, cx == -1];
+                    for (cat, &k) in ok.iter().enumerate() {
+                        if k {
+                            tab[cat][tlen[cat]] = (i, off);
+                            tlen[cat] += 1;
+                            tmin[cat] = tmin[cat].min(off);
+                            tmax[cat] = tmax[cat].max(off);
+                        }
+                    }
+                }
+            }
+            let mut fs: [[f64; LANES]; MAX_Q] = [[0.0f64; LANES]; MAX_Q];
+            let mut j0 = 0;
+            while j0 < len {
+                {
+                    let scratch = ctx.scratch();
+                    match self.scheme {
+                        MrScheme::Projective => kernels::mr_p_collide_chunk::<L>(
+                            scratch,
+                            len,
+                            j0,
+                            self.consts.omega,
+                            dirs,
+                            &mut fs,
+                        ),
+                        MrScheme::Recursive(basis) => kernels::mr_r_collide_chunk::<L>(
+                            scratch,
+                            len,
+                            j0,
+                            self.consts.omega,
+                            basis,
+                            dirs,
+                            &mut fs,
+                        ),
+                    }
+                }
+                let cnt = LANES.min(len - j0);
+                for l in 0..cnt {
+                    let x = x_first + j0 + l;
+                    let xl = x as i64 - x0 as i64;
+                    if wx >= 3 && (-1..=wx as i64).contains(&xl) && self.bulk[idx0 + j0 + l] {
+                        let cat = match xl {
+                            -1 => 0,
+                            0 => 1,
+                            v if v == wx as i64 - 1 => 3,
+                            v if v == wx as i64 => 4,
+                            _ => 2,
+                        };
+                        let n = tlen[cat];
+                        if n > 0 {
+                            let base = xl * (wy * row) as i64;
+                            let shm = ctx.shared();
+                            // One range check covers the whole masked
+                            // list: every offset lies in [tmin, tmax].
+                            assert!(
+                                base + tmin[cat] >= 0 && ((base + tmax[cat]) as usize) < shm.len(),
+                                "fast scatter out of the shared window"
+                            );
+                            for &(i, o) in &tab[cat][..n] {
+                                // Safety: tmin ≤ o ≤ tmax, so base + o is
+                                // within the range asserted above.
+                                unsafe {
+                                    *shm.get_unchecked_mut((base + o) as usize) = fs[i][l];
+                                }
+                            }
+                        }
+                    } else {
+                        for &i in dirs {
+                            f_star[i] = fs[i][l];
+                        }
+                        self.scatter_node(ctx, y, z, x0, y0, x, &f_star, dirs);
+                    }
+                }
+                j0 += LANES;
+            }
+        }
+    }
+
+    /// Stream one collided node into the block's shared window (the
+    /// per-direction scatter of the original element-wise path, verbatim;
+    /// shared slot: ((xl·wy + yl)·3 + z mod 3)·Q + dir).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_node(
+        &self,
+        ctx: &mut BlockCtx,
+        y: usize,
+        z: usize,
+        x0: usize,
+        y0: usize,
+        x: usize,
+        f_star: &[f64; MAX_Q],
+        dirs: &[usize],
     ) {
         let (nx, ny, nz) = (self.geom.nx, self.geom.ny, self.geom.nz);
         let (wx, wy) = (self.wx, self.wy);
         let periodic_x = self.geom.periodic[0];
-        // Shared slot: ((xl·wy + yl)·3 + z mod 3)·Q + dir.
         let sh =
             |xl: usize, yl: usize, zz: usize, i: usize| ((xl * wy + yl) * 3 + zz % 3) * L::Q + i;
-        self.mom_in.read_row_to_scratch(ctx, self.t, idx0, len, 0);
-        let mut f_star = [0.0f64; MAX_Q];
-        let mut flat = [0.0f64; 16];
         let ys = y as i64;
-        for j in 0..len {
-            {
-                let scratch = ctx.scratch();
-                for m in 0..L::M {
-                    flat[m] = scratch[m * len + j];
+        let xs = x as i64;
+        let src_in_col = x >= x0 && x < x0 + wx && y >= y0 && y < y0 + wy;
+        for &i in dirs {
+            let c = L::C[i];
+            let mut xd = xs + c[0] as i64;
+            let yd = ys + c[1] as i64;
+            let zd = z as i64 + c[2] as i64;
+            if xd < 0 || xd >= nx as i64 {
+                if periodic_x {
+                    xd = xd.rem_euclid(nx as i64);
+                } else {
+                    continue; // leaves through an x face (BC kernel)
                 }
             }
-            let m = Moments::unpack::<L>(&flat[..L::M]);
-            self.scheme
-                .collide_and_map::<L>(&m, self.tau, &mut f_star[..L::Q]);
-
-            let x = x_first + j;
-            let xs = x as i64;
-            let src_in_col = x >= x0 && x < x0 + wx && y >= y0 && y < y0 + wy;
-            for i in 0..L::Q {
-                let c = L::C[i];
-                let mut xd = xs + c[0] as i64;
-                let yd = ys + c[1] as i64;
-                let zd = z as i64 + c[2] as i64;
-                if xd < 0 || xd >= nx as i64 {
-                    if periodic_x {
-                        xd = xd.rem_euclid(nx as i64);
-                    } else {
-                        continue; // leaves through an x face (BC kernel)
-                    }
+            if yd < 0 || yd >= ny as i64 || zd < 0 || zd >= nz as i64 {
+                continue; // beyond wall-terminated faces
+            }
+            let (xd, yd, zd) = (xd as usize, yd as usize, zd as usize);
+            let dest = self.geom.node(xd, yd, zd);
+            if dest.is_solid() {
+                if src_in_col {
+                    let gain = match dest {
+                        NodeType::MovingWall(uw) => self.consts.gains.gain(L::OPP[i], uw),
+                        _ => 0.0,
+                    };
+                    let slot = sh(x - x0, y - y0, z, L::OPP[i]);
+                    ctx.shared()[slot] = f_star[i] + gain;
                 }
-                if yd < 0 || yd >= ny as i64 || zd < 0 || zd >= nz as i64 {
-                    continue; // beyond wall-terminated faces
-                }
-                let (xd, yd, zd) = (xd as usize, yd as usize, zd as usize);
-                let dest = self.geom.node(xd, yd, zd);
-                if dest.is_solid() {
-                    if src_in_col {
-                        let gain = match dest {
-                            NodeType::MovingWall(uw) => moving_wall_gain::<L>(L::OPP[i], uw, 1.0),
-                            _ => 0.0,
-                        };
-                        let slot = sh(x - x0, y - y0, z, L::OPP[i]);
-                        ctx.shared()[slot] = f_star[i] + gain;
-                    }
-                    continue;
-                }
-                if xd >= x0 && xd < x0 + wx && yd >= y0 && yd < y0 + wy {
-                    let slot = sh(xd - x0, yd - y0, zd, i);
-                    ctx.shared()[slot] = f_star[i];
-                }
+                continue;
+            }
+            if xd >= x0 && xd < x0 + wx && yd >= y0 && yd < y0 + wy {
+                let slot = sh(xd - x0, yd - y0, zd, i);
+                ctx.shared()[slot] = f_star[i];
             }
         }
     }
@@ -253,13 +475,15 @@ pub fn launch_mr3d_columns<L: Lattice>(
     mom_out: &MomentLattice,
     geom: &Geometry,
     scheme: &MrScheme,
-    tau: f64,
+    consts: &KernelConsts,
+    bulk: &[bool],
     t: u64,
     wx: usize,
     wy: usize,
     cols: &[(usize, usize)],
 ) -> LaunchStats {
     assert!(!cols.is_empty(), "no columns to launch");
+    assert_eq!(bulk.len(), geom.len(), "bulk mask must cover the domain");
     for &(x0, y0) in cols {
         assert!(
             x0 + wx <= geom.nx && y0 + wy <= geom.ny,
@@ -280,7 +504,11 @@ pub fn launch_mr3d_columns<L: Lattice>(
             mom_out,
             geom,
             scheme,
-            tau,
+            consts,
+            bulk,
+            dirs_all: kernels::dirs_all::<L>(),
+            dirs_up: kernels::dirs_with_cy::<L>(1),
+            dirs_dn: kernels::dirs_with_cy::<L>(-1),
             t,
             wx,
             wy,
@@ -297,6 +525,8 @@ pub struct MrSim3D<L: Lattice> {
     mom: MomentLattice,
     scheme: MrScheme,
     tau: f64,
+    consts: KernelConsts,
+    bulk: Vec<bool>,
     wx: usize,
     wy: usize,
     boundary: Vec<(usize, usize, usize)>,
@@ -351,16 +581,7 @@ impl<L: Lattice> MrSim3D<L> {
                 );
             }
         }
-        let wx = if col_wx == 0 {
-            pick_footprint(geom.nx, 8)
-        } else {
-            col_wx
-        };
-        let wy = if col_wy == 0 {
-            pick_footprint(geom.ny, 8)
-        } else {
-            col_wy
-        };
+        let (wx, wy) = pick_column_footprint::<L>(&device, geom.nx, geom.ny, col_wx, col_wy);
         assert!(
             geom.nx.is_multiple_of(wx) && geom.ny.is_multiple_of(wy),
             "footprint must tile the plane"
@@ -372,12 +593,15 @@ impl<L: Lattice> MrSim3D<L> {
         let n = geom.len();
         let layer = geom.nx * geom.ny;
         let mom = MomentLattice::new(n, L::M, layer, 2 * layer).with_touch_tracking();
+        let bulk = crate::boundary::bulk_mask::<L>(&geom);
         let mut sim = MrSim3D {
             gpu: Gpu::new(device),
             geom,
             mom,
             scheme,
             tau,
+            consts: KernelConsts::new::<L>(tau),
+            bulk,
             wx,
             wy,
             boundary,
@@ -395,6 +619,13 @@ impl<L: Lattice> MrSim3D<L> {
     /// Limit the CPU worker threads backing the substrate.
     pub fn with_cpu_threads(mut self, n: usize) -> Self {
         self.gpu = self.gpu.with_cpu_threads(n);
+        self
+    }
+
+    /// Force the scalar (per-node) reference kernels instead of the
+    /// chunk-vectorized ones — the equivalence-test oracle.
+    pub fn with_scalar_kernels(mut self) -> Self {
+        self.consts.scalar = true;
         self
     }
 
@@ -486,7 +717,8 @@ impl<L: Lattice> MrSim3D<L> {
             &self.mom,
             &self.geom,
             &self.scheme,
-            self.tau,
+            &self.consts,
+            &self.bulk,
             self.t,
             self.wx,
             self.wy,

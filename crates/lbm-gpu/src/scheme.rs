@@ -9,6 +9,7 @@ use lbm_lattice::Lattice;
 /// Collision scheme of a moment-representation simulation: projective
 /// regularization (the paper's **MR-P**) or recursive regularization
 /// (**MR-R**, carrying the lattice's orthogonalized higher-order basis).
+#[derive(Clone)]
 pub enum MrScheme {
     Projective,
     Recursive(HigherBasis),

@@ -11,25 +11,25 @@ use crate::boundary::{boundary_nodes, stencil_coords, MacroCache};
 use gpu_sim::exec::{BlockCtx, Kernel, Launch, LaunchStats};
 use gpu_sim::memory::Tally;
 use gpu_sim::{DeviceSpec, GlobalBuffer, Gpu};
-use lbm_core::boundary::{boundary_node_moments, moving_wall_gain};
+use lbm_core::boundary::{boundary_node_moments, WallGains};
 use lbm_core::collision::Collision;
 use lbm_core::geometry::{Geometry, NodeType};
+use lbm_core::kernels::{KernelConsts, MAX_Q};
 use lbm_lattice::moments::Moments;
 use lbm_lattice::Lattice;
 use std::marker::PhantomData;
 
-const MAX_Q: usize = 48;
-
 /// Streaming by gather (Algorithm 1, lines 3–10) with halfway bounce-back
-/// against solid neighbors, then collision (lines 11–26) — everything but
-/// the final `Q` stores. Shared by the bulk kernel and the multi-device
-/// span kernel so both produce bitwise-identical per-node arithmetic.
+/// against solid neighbors — everything up to the collision. Shared by the
+/// bulk kernel and the multi-device span kernel so both produce
+/// bitwise-identical per-node values; moving-wall corrections use the
+/// hoisted [`WallGains`] table.
 #[inline]
-fn pull_gather_collide<L: Lattice, C: Collision<L>>(
+fn pull_gather<L: Lattice>(
     ctx: &mut BlockCtx,
     src: &GlobalBuffer<f64>,
     geom: &Geometry,
-    collision: &C,
+    gains: &WallGains,
     idx: usize,
     f_loc: &mut [f64; MAX_Q],
 ) {
@@ -44,7 +44,7 @@ fn pull_gather_collide<L: Lattice, C: Collision<L>>(
                     t if t.is_fluid_like() => ctx.read(src, i * n + nidx),
                     NodeType::Wall => ctx.read(src, L::OPP[i] * n + idx),
                     NodeType::MovingWall(uw) => {
-                        ctx.read(src, L::OPP[i] * n + idx) + moving_wall_gain::<L>(i, uw, 1.0)
+                        ctx.read(src, L::OPP[i] * n + idx) + gains.gain(i, uw)
                     }
                     _ => unreachable!(),
                 }
@@ -52,7 +52,6 @@ fn pull_gather_collide<L: Lattice, C: Collision<L>>(
             None => ctx.read(src, L::OPP[i] * n + idx),
         };
     }
-    collision.collide(&mut f_loc[..L::Q]);
 }
 
 /// Element-wise reference node update: gather + collide + `Q` element
@@ -67,11 +66,13 @@ fn pull_update_node<L: Lattice, C: Collision<L>>(
     dst: &GlobalBuffer<f64>,
     geom: &Geometry,
     collision: &C,
+    gains: &WallGains,
     idx: usize,
 ) {
     let n = geom.len();
     let mut f_loc = [0.0f64; MAX_Q];
-    pull_gather_collide::<L, C>(ctx, src, geom, collision, idx, &mut f_loc);
+    pull_gather::<L>(ctx, src, geom, gains, idx, &mut f_loc);
+    collision.collide(&mut f_loc[..L::Q]);
     for i in 0..L::Q {
         ctx.write(dst, i * n + idx, f_loc[i]);
     }
@@ -105,20 +106,25 @@ fn for_each_run(
 }
 
 /// Pull-update a block's nodes with span-flushed stores: per run of
-/// consecutive fluid nodes, gather + collide each node (reads are
-/// irregular — neighbor gathers and bounce-backs — so they stay
-/// element-wise), stage the post-collision populations direction-major in
-/// scratch, then flush `Q` per-direction [`BlockCtx::write_span_from_scratch`]
-/// spans. Same cells, same values, same per-element race checks as the
-/// element-wise path — only the store loop is batched, so tallies are
-/// byte-identical (see `DESIGN.md`, "Executor").
+/// consecutive fluid nodes, gather each node (reads are irregular —
+/// neighbor gathers and bounce-backs — so they stay element-wise) into
+/// direction-major scratch rows, collide the whole run through the
+/// operator's chunk-vectorized [`Collision::collide_soa`], then flush `Q`
+/// per-direction [`BlockCtx::write_span_from_scratch`] spans. Same cells,
+/// same read order, same values, same per-element race checks as the
+/// element-wise path — only the arithmetic is batched across the run and
+/// the store loop across the span, so tallies are byte-identical (see
+/// `DESIGN.md`, "Executor" and "Vectorized kernels"). `consts.scalar`
+/// selects the original node-at-a-time collide as the equivalence oracle.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn pull_update_block<L: Lattice, C: Collision<L>>(
     ctx: &mut BlockCtx,
     src: &GlobalBuffer<f64>,
     dst: &GlobalBuffer<f64>,
     geom: &Geometry,
     collision: &C,
+    consts: &KernelConsts,
     block_size: usize,
     node_of: impl Fn(usize) -> Option<usize>,
 ) {
@@ -126,11 +132,17 @@ fn pull_update_block<L: Lattice, C: Collision<L>>(
     for_each_run(ctx, block_size, node_of, |ctx, stid, sidx, len| {
         let mut f_loc = [0.0f64; MAX_Q];
         for k in 0..len {
-            pull_gather_collide::<L, C>(ctx, src, geom, collision, sidx + k, &mut f_loc);
+            pull_gather::<L>(ctx, src, geom, &consts.gains, sidx + k, &mut f_loc);
+            if consts.scalar {
+                collision.collide(&mut f_loc[..L::Q]);
+            }
             let scratch = ctx.scratch();
             for i in 0..L::Q {
                 scratch[i * block_size + stid + k] = f_loc[i];
             }
+        }
+        if !consts.scalar {
+            collision.collide_soa(ctx.scratch(), block_size, stid, len);
         }
         for i in 0..L::Q {
             ctx.write_span_from_scratch(dst, i * n + sidx, i * block_size + stid, len);
@@ -144,6 +156,7 @@ struct StBulkKernel<'a, L: Lattice, C: Collision<L>> {
     dst: &'a GlobalBuffer<f64>,
     geom: &'a Geometry,
     collision: &'a C,
+    consts: &'a KernelConsts,
     block_size: usize,
     _l: PhantomData<L>,
 }
@@ -162,6 +175,7 @@ impl<L: Lattice, C: Collision<L>> Kernel for StBulkKernel<'_, L, C> {
             self.dst,
             self.geom,
             self.collision,
+            self.consts,
             self.block_size,
             |tid| {
                 let idx = base + tid;
@@ -179,6 +193,7 @@ struct StSpanKernel<'a, L: Lattice, C: Collision<L>> {
     dst: &'a GlobalBuffer<f64>,
     geom: &'a Geometry,
     collision: &'a C,
+    consts: &'a KernelConsts,
     block_size: usize,
     x_lo: usize,
     x_hi: usize,
@@ -203,6 +218,7 @@ impl<L: Lattice, C: Collision<L>> Kernel for StSpanKernel<'_, L, C> {
             self.dst,
             self.geom,
             self.collision,
+            self.consts,
             self.block_size,
             |tid| {
                 let q = base + tid;
@@ -230,6 +246,7 @@ pub fn launch_st_pull_span<L: Lattice, C: Collision<L>>(
     dst: &GlobalBuffer<f64>,
     geom: &Geometry,
     collision: &C,
+    consts: &KernelConsts,
     block_size: usize,
     x_lo: usize,
     x_hi: usize,
@@ -248,6 +265,7 @@ pub fn launch_st_pull_span<L: Lattice, C: Collision<L>>(
             dst,
             geom,
             collision,
+            consts,
             block_size,
             x_lo,
             x_hi,
@@ -301,6 +319,7 @@ struct StPushKernel<'a, L: Lattice, C: Collision<L>> {
     dst: &'a GlobalBuffer<f64>,
     geom: &'a Geometry,
     collision: &'a C,
+    consts: &'a KernelConsts,
     block_size: usize,
     _l: PhantomData<L>,
 }
@@ -327,8 +346,15 @@ impl<L: Lattice, C: Collision<L>> Kernel for StPushKernel<'_, L, C> {
                 ctx.read_span_to_scratch(self.src, i * n + sidx, i * bs + stid, len);
             }
         });
-        // Pass 2: collide and scatter element-wise (the scatter targets are
-        // irregular by construction — that is the point of the ablation).
+        // Collide the staged runs through the operator's chunk-vectorized
+        // SoA kernel (bitwise-identical to per-node collide).
+        if !self.consts.scalar {
+            for_each_run(ctx, bs, node_of, |ctx, stid, _, len| {
+                self.collision.collide_soa(ctx.scratch(), bs, stid, len);
+            });
+        }
+        // Pass 2: scatter element-wise (the scatter targets are irregular
+        // by construction — that is the point of the ablation).
         let mut f_loc = [0.0f64; MAX_Q];
         for tid in 0..bs {
             let Some(idx) = node_of(tid) else {
@@ -339,7 +365,9 @@ impl<L: Lattice, C: Collision<L>> Kernel for StPushKernel<'_, L, C> {
             for i in 0..L::Q {
                 f_loc[i] = scratch[i * bs + tid];
             }
-            self.collision.collide(&mut f_loc[..L::Q]);
+            if self.consts.scalar {
+                self.collision.collide(&mut f_loc[..L::Q]);
+            }
             // Scatter (streaming by push); solid destinations reflect back
             // into this node's opposite slot.
             for i in 0..L::Q {
@@ -353,7 +381,7 @@ impl<L: Lattice, C: Collision<L>> Kernel for StPushKernel<'_, L, C> {
                             NodeType::MovingWall(uw) => ctx.write(
                                 self.dst,
                                 L::OPP[i] * n + idx,
-                                f_loc[i] + moving_wall_gain::<L>(L::OPP[i], uw, 1.0),
+                                f_loc[i] + self.consts.gains.gain(L::OPP[i], uw),
                             ),
                             _ => unreachable!(),
                         }
@@ -431,6 +459,7 @@ pub struct StSim<L: Lattice, C: Collision<L>> {
     f: [GlobalBuffer<f64>; 2],
     cur: usize,
     collision: C,
+    consts: KernelConsts,
     block_size: usize,
     stream: StStream,
     boundary: Vec<(usize, usize, usize)>,
@@ -454,6 +483,7 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
         if !boundary.is_empty() {
             assert!(geom.nx >= 5, "FD boundaries need nx ≥ 5");
         }
+        let consts = KernelConsts::new::<L>(collision.tau());
         let mut sim = StSim {
             gpu: Gpu::new(device),
             geom,
@@ -463,6 +493,7 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
             ],
             cur: 0,
             collision,
+            consts,
             block_size: 256,
             stream: StStream::Pull,
             boundary,
@@ -528,6 +559,15 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
     pub fn with_block_size(mut self, bs: usize) -> Self {
         assert!(bs >= 1);
         self.block_size = bs;
+        self
+    }
+
+    /// Run the original per-node scalar kernels instead of the vectorized
+    /// SoA chunks. The two paths are bitwise-identical (enforced by
+    /// `tests/kernel_equivalence.rs`); the scalar path exists as the
+    /// equivalence oracle.
+    pub fn with_scalar_kernels(mut self) -> Self {
+        self.consts.scalar = true;
         self
     }
 
@@ -598,6 +638,7 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
                     dst,
                     geom: &self.geom,
                     collision: &self.collision,
+                    consts: &self.consts,
                     block_size: self.block_size,
                     _l: PhantomData,
                 },
@@ -609,6 +650,7 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
                     dst,
                     geom: &self.geom,
                     collision: &self.collision,
+                    consts: &self.consts,
                     block_size: self.block_size,
                     _l: PhantomData,
                 },
@@ -1110,6 +1152,7 @@ mod tests {
                         self.dst,
                         self.geom,
                         self.collision,
+                        &KernelConsts::new::<D2Q9>(self.collision.tau()).gains,
                         idx,
                     );
                 }
@@ -1130,6 +1173,7 @@ mod tests {
                 dst: &dst_a,
                 geom: &geom,
                 collision: &collision,
+                consts: &KernelConsts::new::<D2Q9>(Collision::<D2Q9>::tau(&collision)),
                 block_size: bs,
                 _l: PhantomData,
             },

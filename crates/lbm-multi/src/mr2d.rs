@@ -20,6 +20,7 @@ use gpu_sim::interconnect::{LinkError, MultiGpu};
 use gpu_sim::{DeviceSpec, FaultPlan};
 use lbm_core::geometry::{Geometry, NodeType};
 use lbm_core::io::{CheckpointError, CheckpointReader, CheckpointWriter};
+use lbm_core::kernels::KernelConsts;
 use lbm_gpu::boundary::boundary_nodes;
 use lbm_gpu::moment_lattice::MomentLattice;
 use lbm_gpu::mr2d::{launch_mr2d_columns, launch_mr_bc, pick_column_width};
@@ -32,6 +33,9 @@ use std::sync::Arc;
 
 pub(crate) struct MrShard {
     pub geom: Geometry,
+    /// Interior fast-scatter eligibility over the local geometry (see
+    /// `lbm_gpu::boundary::bulk_mask`).
+    pub bulk: Vec<bool>,
     pub mom: [MomentLattice; 2],
     pub cur: usize,
     pub boundary: Vec<(usize, usize, usize)>,
@@ -71,6 +75,7 @@ pub struct MultiMrSim2D<L: Lattice> {
     shards: Vec<MrShard>,
     scheme: MrScheme,
     tau: f64,
+    consts: KernelConsts,
     tile_h: usize,
     t: u64,
     stats: OverlapStats,
@@ -115,7 +120,9 @@ impl<L: Lattice> MultiMrSim2D<L> {
                 };
                 let ln = g.len();
                 let boundary = boundary_nodes(&g);
+                let bulk = lbm_gpu::boundary::bulk_mask::<L>(&g);
                 MrShard {
+                    bulk,
                     mom: [
                         MomentLattice::new(ln, L::M, 0, 0).with_touch_tracking(),
                         MomentLattice::new(ln, L::M, 0, 0).with_touch_tracking(),
@@ -135,6 +142,7 @@ impl<L: Lattice> MultiMrSim2D<L> {
             shards,
             scheme,
             tau,
+            consts: KernelConsts::new::<L>(tau),
             tile_h: 1,
             t: 0,
             stats: OverlapStats::default(),
@@ -150,6 +158,13 @@ impl<L: Lattice> MultiMrSim2D<L> {
     /// Limit each device's CPU worker threads.
     pub fn with_cpu_threads(mut self, n: usize) -> Self {
         self.mg = self.mg.with_cpu_threads(n);
+        self
+    }
+
+    /// Force the scalar (per-node) reference kernels instead of the
+    /// chunk-vectorized ones — the equivalence-test oracle.
+    pub fn with_scalar_kernels(mut self) -> Self {
+        self.consts.scalar = true;
         self
     }
 
@@ -282,7 +297,8 @@ impl<L: Lattice> MultiMrSim2D<L> {
                     &sh.mom[sh.cur ^ 1],
                     &sh.geom,
                     &self.scheme,
-                    self.tau,
+                    &self.consts,
+                    &sh.bulk,
                     self.t,
                     sh.col_w,
                     self.tile_h,
@@ -306,7 +322,8 @@ impl<L: Lattice> MultiMrSim2D<L> {
                     &sh.mom[sh.cur ^ 1],
                     &sh.geom,
                     &self.scheme,
-                    self.tau,
+                    &self.consts,
+                    &sh.bulk,
                     self.t,
                     sh.col_w,
                     self.tile_h,

@@ -15,10 +15,11 @@ use gpu_sim::interconnect::{LinkError, MultiGpu};
 use gpu_sim::{DeviceSpec, FaultPlan};
 use lbm_core::geometry::{Geometry, NodeType};
 use lbm_core::io::{CheckpointError, CheckpointReader, CheckpointWriter};
+use lbm_core::kernels::KernelConsts;
 use lbm_gpu::boundary::boundary_nodes;
 use lbm_gpu::moment_lattice::MomentLattice;
 use lbm_gpu::mr2d::launch_mr_bc;
-use lbm_gpu::mr3d::{launch_mr3d_columns, pick_footprint};
+use lbm_gpu::mr3d::{launch_mr3d_columns, pick_column_footprint};
 use lbm_gpu::scheme::MrScheme;
 use lbm_lattice::moments::Moments;
 use lbm_lattice::Lattice;
@@ -28,6 +29,9 @@ use std::sync::Arc;
 
 struct Mr3dShard {
     geom: Geometry,
+    /// Interior fast-scatter eligibility over the local geometry (see
+    /// `lbm_gpu::boundary::bulk_mask`).
+    bulk: Vec<bool>,
     mom: [MomentLattice; 2],
     cur: usize,
     boundary: Vec<(usize, usize, usize)>,
@@ -46,6 +50,7 @@ pub struct MultiMrSim3D<L: Lattice> {
     shards: Vec<Mr3dShard>,
     scheme: MrScheme,
     tau: f64,
+    consts: KernelConsts,
     t: u64,
     stats: OverlapStats,
     monitor: Option<obs::PhysicsMonitor>,
@@ -86,13 +91,12 @@ impl<L: Lattice> MultiMrSim3D<L> {
         }
         let decomp = SlabDecomp::new(geom, n);
         check_boundary_widths(&decomp);
-        let mg = MultiGpu::ring(device, n);
+        let mg = MultiGpu::ring(device.clone(), n);
         let shards = (0..n)
             .map(|r| {
                 let g = decomp.local_geometry(r);
                 let s = decomp.slab(r);
-                let wx = pick_footprint(s.width, 8);
-                let wy = pick_footprint(g.ny, 8);
+                let (wx, wy) = pick_column_footprint::<L>(&device, s.width, g.ny, 0, 0);
                 let x_origins: Vec<usize> =
                     (0..s.width / wx).map(|k| s.owned_lo() + k * wx).collect();
                 let (strip_x, interior_x) = if n == 1 {
@@ -107,7 +111,9 @@ impl<L: Lattice> MultiMrSim3D<L> {
                 };
                 let ln = g.len();
                 let boundary = boundary_nodes(&g);
+                let bulk = lbm_gpu::boundary::bulk_mask::<L>(&g);
                 Mr3dShard {
+                    bulk,
                     mom: [
                         MomentLattice::new(ln, L::M, 0, 0).with_touch_tracking(),
                         MomentLattice::new(ln, L::M, 0, 0).with_touch_tracking(),
@@ -128,6 +134,7 @@ impl<L: Lattice> MultiMrSim3D<L> {
             shards,
             scheme,
             tau,
+            consts: KernelConsts::new::<L>(tau),
             t: 0,
             stats: OverlapStats::default(),
             monitor: None,
@@ -142,6 +149,13 @@ impl<L: Lattice> MultiMrSim3D<L> {
     /// Limit each device's CPU worker threads.
     pub fn with_cpu_threads(mut self, n: usize) -> Self {
         self.mg = self.mg.with_cpu_threads(n);
+        self
+    }
+
+    /// Force the scalar (per-node) reference kernels instead of the
+    /// chunk-vectorized ones — the equivalence-test oracle.
+    pub fn with_scalar_kernels(mut self) -> Self {
+        self.consts.scalar = true;
         self
     }
 
@@ -273,7 +287,8 @@ impl<L: Lattice> MultiMrSim3D<L> {
                     &sh.mom[sh.cur ^ 1],
                     &sh.geom,
                     &self.scheme,
-                    self.tau,
+                    &self.consts,
+                    &sh.bulk,
                     self.t,
                     sh.wx,
                     sh.wy,
@@ -295,7 +310,8 @@ impl<L: Lattice> MultiMrSim3D<L> {
                     &sh.mom[sh.cur ^ 1],
                     &sh.geom,
                     &self.scheme,
-                    self.tau,
+                    &self.consts,
+                    &sh.bulk,
                     self.t,
                     sh.wx,
                     sh.wy,

@@ -16,6 +16,7 @@ use gpu_sim::{DeviceSpec, FaultPlan, GlobalBuffer};
 use lbm_core::collision::Collision;
 use lbm_core::geometry::{Geometry, NodeType};
 use lbm_core::io::{CheckpointError, CheckpointReader, CheckpointWriter};
+use lbm_core::kernels::KernelConsts;
 use lbm_gpu::boundary::boundary_nodes;
 use lbm_gpu::st::{launch_st_bc, launch_st_pull_span};
 use lbm_lattice::moments::Moments;
@@ -68,6 +69,7 @@ pub struct MultiStSim<L: Lattice, C: Collision<L>> {
     decomp: SlabDecomp,
     shards: Vec<StShard>,
     collision: C,
+    consts: KernelConsts,
     block_size: usize,
     t: u64,
     stats: OverlapStats,
@@ -113,6 +115,7 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
             mg,
             decomp,
             shards,
+            consts: KernelConsts::new::<L>(collision.tau()),
             collision,
             block_size: 256,
             t: 0,
@@ -129,6 +132,13 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
     /// Limit each device's CPU worker threads.
     pub fn with_cpu_threads(mut self, n: usize) -> Self {
         self.mg = self.mg.with_cpu_threads(n);
+        self
+    }
+
+    /// Force the scalar (per-node) reference kernels instead of the
+    /// chunk-vectorized ones — the equivalence-test oracle.
+    pub fn with_scalar_kernels(mut self) -> Self {
+        self.consts.scalar = true;
         self
     }
 
@@ -292,6 +302,7 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
                     &sh.f[sh.cur ^ 1],
                     &sh.geom,
                     &self.collision,
+                    &self.consts,
                     self.block_size,
                     lo,
                     hi,
@@ -315,6 +326,7 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
                     &sh.f[sh.cur ^ 1],
                     &sh.geom,
                     &self.collision,
+                    &self.consts,
                     self.block_size,
                     lo,
                     hi,

@@ -75,11 +75,13 @@ fn evicted_mr_r_job_resumes_bitwise_identical() {
         slice_steps: 4,
         ..Default::default()
     });
+    // Long enough (500 slices) that the job is still mid-flight when the
+    // interactive pressure lands, even with the vectorized 2D kernels.
     let batch = JobSpec {
         priority: Priority::Batch,
         pattern: Pattern::MrR,
-        steps: 160,
-        ..JobSpec::shear_2d("acme", 24, 10, 160)
+        steps: 2000,
+        ..JobSpec::shear_2d("acme", 24, 10, 2000)
     };
     let batch_id = serve.submit(batch.clone()).unwrap();
     wait_for_state(&serve, batch_id, JobState::Running);
@@ -233,10 +235,12 @@ fn aging_bounds_batch_starvation() {
         aging,
         ..Default::default()
     });
+    // Long enough that the interactive stream below overlaps the run
+    // (the vectorized 2D kernels finish 120 steps before the first poll).
     let batch = JobSpec {
         priority: Priority::Batch,
         pattern: Pattern::MrP,
-        ..JobSpec::shear_2d("acme", 20, 8, 120)
+        ..JobSpec::shear_2d("acme", 20, 8, 2000)
     };
     let batch_id = serve.submit(batch.clone()).unwrap();
     wait_for_state(&serve, batch_id, JobState::Running);
