@@ -58,4 +58,16 @@ cargo run -p lbm-bench --release --bin reproduce -- serve --jobs=400 --seed=7
 test -s BENCH_serve.json
 cargo run -p obs --release --bin obs-validate -- BENCH_serve.json
 
+echo "== slo (observability plane: adaptive feedback controller vs static config)"
+# Runs the same seeded workload through a static and an SLO-tuned fleet in
+# interleaved waves; fails unless the controller beats the static config's
+# pooled interactive p99, every span carries its job/tenant context, the
+# event log replays to the scheduler's exact decision sequence, roofline
+# gauges cover both device models, and all checksums stay solo-bitwise.
+cargo run -p lbm-bench --release --bin reproduce -- slo --jobs=400 --seed=7 \
+  "--events=$OBS_DIR/events.json"
+test -s BENCH_slo.json
+test -s "$OBS_DIR/events.json"
+cargo run -p obs --release --bin obs-validate -- BENCH_slo.json "$OBS_DIR/events.json"
+
 echo "CI OK"

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy
-//!            |profile|futurework|scaling|smoke|bench|bench-record|resilience|all]
-//!           [--quick] [--steps=small|full] [--section=<name>]
+//!            |profile|futurework|scaling|smoke|bench|bench-record|resilience|serve|slo|all]
+//!           [--quick] [--steps=small|full] [--section=<name>] [--slo]
 //!           [--inject=nan|abort|link|all] [--checkpoint-every=<n>]
-//!           [--trace=<path>] [--metrics=<path>]
+//!           [--jobs=<n>] [--seed=<n>]
+//!           [--trace=<path>] [--metrics=<path>] [--events=<path>]
 //! ```
 //!
 //! With `--quick` (alias `--steps=small`) the measurement domains are
@@ -1361,6 +1362,7 @@ fn resilience(hub: &Arc<obs::Obs>, inject: &str, every: u64) {
             max_rollbacks: 8,
             fault_watch: Some(fp.clone()),
             obs: Some(hub.clone()),
+            ctx: None,
         };
         let stats = run_with_recovery(&mut faulted, target, &cfg).expect("recovery failed");
         let got = faulted.field_checksum();
@@ -1594,6 +1596,344 @@ fn serve_load(hub: &Arc<obs::Obs>, jobs: usize, seed: u64) {
     println!();
 }
 
+/// SLO comparison run: the same seeded workload through (a) a statically
+/// mis-configured fleet (wide groups, long slices, no observability) and
+/// (b) the same configuration with the full observability plane and the
+/// AIMD feedback controller enabled. Gates: adaptive interactive p99 beats
+/// static, every checksum still matches the solo oracle, every job's spans
+/// carry its job/tenant trace context, the event log replays cleanly and
+/// agrees with the scheduler's reported results, and roofline-attribution
+/// gauges exist for both device models (`BENCH_slo.json`).
+fn slo_load(jobs: usize, seed: u64, events_path: Option<&str>) {
+    use lbm_serve::{
+        solo_checksum, ArrivalProcess, JobId, JobState, Priority, Serve, ServeConfig, SloPolicy,
+    };
+    use obs::json::Value;
+    use std::collections::HashMap;
+    use std::time::{Duration, Instant};
+
+    println!(
+        "=== slo: adaptive feedback controller vs static config ({jobs} jobs, seed {seed}) ==="
+    );
+    let specs: Vec<lbm_serve::JobSpec> = ArrivalProcess::new(seed, jobs).collect();
+
+    // Deliberately latency-hostile starting point: wide lockstep groups and
+    // long slices keep batch work in front of interactive arrivals.
+    let executors = 2;
+    let hostile = |obs: Option<Arc<obs::Obs>>, slo: Option<SloPolicy>| ServeConfig {
+        executors,
+        batch_max: 6,
+        slice_steps: 64,
+        // Strict priority: keep the aging threshold out of reach so
+        // interactive latency is governed by preemption granularity — the
+        // dimension the controller tunes — not by aged-batch immunity.
+        interactive_base: 1_000_000,
+        trace_jobs: obs.is_some(),
+        obs,
+        slo,
+        ..Default::default()
+    };
+    // Paced submission so interactive jobs arrive while batch groups are
+    // already holding the executors (the scenario the controller fixes).
+    let run = |fleet: &Serve, wave: &[lbm_serve::JobSpec]| -> (Vec<JobId>, f64) {
+        let t0 = Instant::now();
+        let ids = wave
+            .iter()
+            .map(|spec| {
+                let id = fleet.submit(spec.clone()).expect("admitted");
+                std::thread::sleep(Duration::from_micros(300));
+                id
+            })
+            .collect();
+        fleet.drain();
+        (ids, t0.elapsed().as_secs_f64())
+    };
+    let class_lat = |fleet: &Serve,
+                     wave: &[lbm_serve::JobSpec],
+                     ids: &[JobId]|
+     -> HashMap<Priority, Vec<f64>> {
+        let mut m: HashMap<Priority, Vec<f64>> = HashMap::new();
+        for (spec, id) in wave.iter().zip(ids) {
+            let r = fleet.result(*id).expect("completed job has a result");
+            m.entry(spec.priority).or_default().push(r.latency_ms);
+        }
+        m
+    };
+    let pct = |sorted: &[f64], q: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        sorted[((sorted.len() as f64 - 1.0) * q).round() as usize]
+    };
+
+    // Floors keep the controller from collapsing to degenerate knobs:
+    // resilient jobs checkpoint every slice, so the slice floor bounds the
+    // checkpoint overhead the controller is allowed to trade for latency.
+    // Zero cooldown lets the first burst of breaches converge the knobs
+    // within a handful of completions instead of dragging the static
+    // configuration's latencies through the first quarter of the run.
+    let policy = SloPolicy {
+        interactive_p99_target_ms: 5.0,
+        min_slice_steps: 16,
+        min_batch_max: 2,
+        cooldown: 0,
+        ..Default::default()
+    };
+
+    // The workload is split into interleaved waves — (static, adaptive)
+    // back to back — through two long-lived fleets: one with frozen knobs,
+    // one with the controller. The static fleet gets its own (discarded)
+    // hub so span/event overhead is identical across arms — the only delta
+    // is the feedback loop. Pooling latencies over waves keeps one
+    // OS-noise spike in either arm's tail from deciding the comparison,
+    // and the controller's warmup transient is paid once per service
+    // lifetime, not once per wave — exactly how a fleet runs in
+    // production.
+    const ROUNDS: usize = 3;
+    let wave_len = jobs.div_ceil(ROUNDS);
+    let mut pooled_static: Vec<f64> = Vec::new();
+    let mut pooled_adaptive: Vec<f64> = Vec::new();
+    let (mut static_walls, mut adaptive_walls) = (Vec::new(), Vec::new());
+    let static_fleet = Serve::start(hostile(Some(obs::Obs::shared()), None));
+    let hub = obs::Obs::shared();
+    let fleet = Serve::start(hostile(Some(hub.clone()), Some(policy.clone())));
+    let mut ids: Vec<JobId> = Vec::new();
+    for wave in specs.chunks(wave_len) {
+        let (static_ids, static_wall) = run(&static_fleet, wave);
+        let mut lat = class_lat(&static_fleet, wave, &static_ids);
+        pooled_static.extend(lat.remove(&Priority::Interactive).unwrap_or_default());
+        static_walls.push(static_wall);
+
+        let (wave_ids, wall) = run(&fleet, wave);
+        let mut lat = class_lat(&fleet, wave, &wave_ids);
+        pooled_adaptive.extend(lat.remove(&Priority::Interactive).unwrap_or_default());
+        adaptive_walls.push(wall);
+        ids.extend(wave_ids);
+    }
+    drop(static_fleet);
+    pooled_static.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    pooled_adaptive.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let static_p99 = pct(&pooled_static, 0.99);
+    let static_p50 = pct(&pooled_static, 0.50);
+    let p99 = pct(&pooled_adaptive, 0.99);
+    let p50 = pct(&pooled_adaptive, 0.50);
+    let (tuned_slice, tuned_batch) = fleet.tuned();
+    println!(
+        "  static   ({executors} executors, slice 64, batch 6): interactive p50 {static_p50:.1} ms, \
+         p99 {static_p99:.1} ms over {ROUNDS} rounds"
+    );
+    println!(
+        "  adaptive (target p99 {} ms): interactive p50 {p50:.1} ms, p99 {p99:.1} ms over \
+         {ROUNDS} rounds; knobs tuned to slice {tuned_slice}, batch {tuned_batch}",
+        policy.interactive_p99_target_ms
+    );
+
+    // Gate 1: the controller must actually help — same seed, same pacing,
+    // same executors, so the only difference is the feedback loop.
+    assert!(
+        p99 < static_p99,
+        "adaptive interactive p99 {p99:.2} ms not better than static {static_p99:.2} ms"
+    );
+    assert!(
+        (tuned_slice, tuned_batch) != (64, 6),
+        "controller never moved the knobs off the static configuration"
+    );
+
+    // Gate 2: observability is free of side effects — every checksum still
+    // bitwise-equal to a solo run (memoized per unique physics).
+    let mut oracle: HashMap<_, u64> = HashMap::new();
+    let mut evictions_by_job: HashMap<u64, u64> = HashMap::new();
+    for (spec, id) in specs.iter().zip(&ids) {
+        assert_eq!(
+            fleet.status(*id).expect("known job").state,
+            JobState::Completed,
+            "job {id} not completed"
+        );
+        let result = fleet.result(*id).expect("completed job has a result");
+        let want = *oracle
+            .entry(spec.physics_key())
+            .or_insert_with(|| solo_checksum(spec));
+        assert_eq!(result.checksum, want, "checksum diverged for {spec:?}");
+        evictions_by_job.insert(id.0, result.evictions);
+    }
+
+    // Gate 3: trace propagation — every job's spans carry its job id and
+    // tenant all the way down (driver/kernel spans inherit the TraceCtx).
+    let mut span_tenant: HashMap<String, String> = HashMap::new();
+    for e in hub.tracer.events() {
+        if e.ph != 'B' {
+            continue;
+        }
+        let find = |k: &str| {
+            e.args
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        if let (Some(j), Some(t)) = (find("job"), find("tenant")) {
+            span_tenant.insert(j, t);
+        }
+    }
+    for (spec, id) in specs.iter().zip(&ids) {
+        assert_eq!(
+            span_tenant.get(&format!("job-{}", id.0)),
+            Some(&spec.tenant),
+            "job {id} left no span carrying its trace context"
+        );
+    }
+
+    // Gate 4: the event log is a faithful record — zero drops, replays
+    // through the lifecycle state machine, and agrees with the scheduler's
+    // own reported results job by job.
+    assert_eq!(hub.events.dropped(), 0, "event ring overflowed");
+    let events = hub.events.snapshot();
+    let replayed = obs::events::replay(&events).expect("event log replays");
+    assert_eq!(replayed.len(), ids.len(), "replay lost jobs");
+    for (spec, id) in specs.iter().zip(&ids) {
+        let r = &replayed[&id.0];
+        assert_eq!(r.tenant, spec.tenant, "job {id} tenant mismatch in log");
+        assert_eq!(
+            r.terminal,
+            Some(obs::EventKind::Complete),
+            "job {id} terminal mismatch"
+        );
+        assert_eq!(
+            r.evictions, evictions_by_job[&id.0],
+            "job {id} eviction count disagrees with the scheduler"
+        );
+        assert_eq!(r.resumes, r.evictions, "job {id} evict/resume imbalance");
+        assert!(r.slices >= 1, "job {id} completed without a slice event");
+    }
+
+    // Gate 5: roofline attribution for both device models. Fleet jobs run
+    // on the V100 spec; a small solo run on the MI100 spec shares the hub.
+    {
+        use lbm_core::collision::Bgk;
+        use lbm_gpu::StSim;
+        use lbm_lattice::D2Q9;
+        let g = lbm_core::Geometry::walls_y_periodic_x(32, 16);
+        let mut sim: StSim<D2Q9, _> = StSim::new(DeviceSpec::mi100(), g, Bgk::new(0.8))
+            .with_cpu_threads(1)
+            .with_obs(hub.clone());
+        sim.init_with(lbm_serve::JobSpec::init);
+        for _ in 0..8 {
+            sim.step();
+        }
+    }
+    let mut roofline_rows: Vec<Value> = Vec::new();
+    let mut devices_seen = std::collections::BTreeSet::new();
+    for (key, metric) in hub.metrics.snapshot() {
+        if key.name != "roofline_attained_pct" {
+            continue;
+        }
+        let label = |k: &str| {
+            key.labels
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        let (kernel, device) = (label("kernel"), label("device"));
+        let pct_v = match metric {
+            obs::Metric::Gauge(g) => g,
+            other => panic!("roofline_attained_pct is not a gauge: {other:?}"),
+        };
+        let gbps = hub
+            .metrics
+            .gauge("achieved_gbps", &[("kernel", &kernel), ("device", &device)])
+            .expect("achieved_gbps gauge paired with roofline gauge");
+        assert!(
+            pct_v > 0.0 && gbps > 0.0,
+            "empty roofline attribution for {kernel} on {device}"
+        );
+        devices_seen.insert(device.clone());
+        roofline_rows.push(Value::obj(vec![
+            ("kernel", Value::str(&kernel)),
+            ("device", Value::str(&device)),
+            ("achieved_gbps", Value::num(gbps)),
+            ("roofline_pct", Value::num(pct_v)),
+        ]));
+    }
+    for dev in devices() {
+        assert!(
+            devices_seen.contains(dev.name),
+            "no roofline attribution for {}",
+            dev.name
+        );
+    }
+    println!(
+        "  roofline attribution: {} kernel/device gauges across {:?}",
+        roofline_rows.len(),
+        devices_seen
+    );
+
+    let walls = |w: &[f64]| Value::Arr(w.iter().map(|&s| Value::num(s)).collect());
+    let mut rec = obs::BenchRecord::new("slo");
+    rec.set_extra("jobs", Value::int(jobs as u64));
+    rec.set_extra("seed", Value::int(seed));
+    rec.set_extra("executors", Value::int(executors as u64));
+    rec.set_extra("rounds", Value::int(ROUNDS as u64));
+    rec.set_extra(
+        "static",
+        Value::obj(vec![
+            ("slice_steps", Value::int(64)),
+            ("batch_max", Value::int(6)),
+            ("wall_seconds", walls(&static_walls)),
+            ("interactive_p50_ms", Value::num(static_p50)),
+            ("interactive_p99_ms", Value::num(static_p99)),
+        ]),
+    );
+    rec.set_extra(
+        "adaptive",
+        fleet.slo_summary().expect("controller summary present"),
+    );
+    rec.set_extra(
+        "adaptive_pooled",
+        Value::obj(vec![
+            ("wall_seconds", walls(&adaptive_walls)),
+            ("interactive_p50_ms", Value::num(p50)),
+            ("interactive_p99_ms", Value::num(p99)),
+        ]),
+    );
+    rec.set_extra(
+        "interactive_p99_improvement_pct",
+        Value::num(100.0 * (static_p99 - p99) / static_p99),
+    );
+    rec.set_extra(
+        "events",
+        Value::obj(vec![
+            ("total", Value::int(hub.events.total())),
+            ("dropped", Value::int(hub.events.dropped())),
+            (
+                "counts",
+                Value::Obj(
+                    hub.events
+                        .counts()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), Value::int(v)))
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
+    rec.set_extra(
+        "jobs_with_trace_spans",
+        Value::int(span_tenant.len() as u64),
+    );
+    rec.set_extra("roofline", Value::Arr(roofline_rows));
+    let path = rec.write(".").expect("write BENCH_slo.json");
+    if let Some(p) = events_path {
+        hub.events.write_json(p).expect("write events JSON");
+        println!("  wrote fleet event log to {p}");
+    }
+    println!(
+        "slo OK: adaptive p99 {p99:.1} ms beats static {static_p99:.1} ms \
+         ({:.0}% better), event log replays, checksums unchanged; wrote {path}",
+        100.0 * (static_p99 - p99) / static_p99
+    );
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -1613,6 +1953,10 @@ fn main() {
     let metrics_path = args
         .iter()
         .find_map(|a| a.strip_prefix("--metrics="))
+        .map(String::from);
+    let events_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--events="))
         .map(String::from);
     let inject = args
         .iter()
@@ -1667,6 +2011,7 @@ fn main() {
                 .any(|a| a == "--bench-wallclock")
                 .then(|| "bench".to_string())
         })
+        .or_else(|| args.iter().any(|a| a == "--slo").then(|| "slo".to_string()))
         .unwrap_or_else(|| "all".to_string());
 
     let needs_measure = matches!(
@@ -1698,6 +2043,7 @@ fn main() {
         "bench-record" => bench_record(quick, &results, &hub),
         "resilience" => resilience(&hub, &inject, ckpt_every),
         "serve" => serve_load(&hub, serve_jobs, serve_seed),
+        "slo" => slo_load(serve_jobs, serve_seed, events_path.as_deref()),
         "all" => {
             table1();
             table2(&results);
@@ -1715,12 +2061,13 @@ fn main() {
             bench_record(quick, &results, &hub);
             resilience(&hub, &inject, ckpt_every);
             serve_load(&hub, serve_jobs, serve_seed);
+            slo_load(serve_jobs, serve_seed, events_path.as_deref());
             let [v, _] = devices();
             debug_assert!(bandwidth_fraction(&v, Pattern::Standard, 2) > 0.0);
         }
         other => {
             eprintln!("unknown section '{other}'");
-            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|bench|bench-record|resilience|serve|all] [--quick] [--steps=small|full] [--section=<name>] [--bench-wallclock] [--inject=nan|abort|link|all] [--checkpoint-every=<n>] [--jobs=<n>] [--seed=<n>] [--trace=<path>] [--metrics=<path>]");
+            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|bench|bench-record|resilience|serve|slo|all] [--quick] [--steps=small|full] [--section=<name>] [--bench-wallclock] [--slo] [--inject=nan|abort|link|all] [--checkpoint-every=<n>] [--jobs=<n>] [--seed=<n>] [--trace=<path>] [--metrics=<path>] [--events=<path>]");
             std::process::exit(2);
         }
     }
@@ -1732,5 +2079,13 @@ fn main() {
     if let Some(p) = &metrics_path {
         hub.metrics.write_json(p).expect("write metrics JSON");
         eprintln!("wrote metrics to {p}");
+    }
+    // The slo section writes its own (fresh) hub's event log to the path;
+    // every other section logs fleet events on the shared hub.
+    if let Some(p) = &events_path {
+        if !matches!(what.as_str(), "slo" | "all") {
+            hub.events.write_json(p).expect("write events JSON");
+            eprintln!("wrote fleet event log to {p}");
+        }
     }
 }

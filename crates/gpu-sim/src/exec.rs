@@ -309,6 +309,9 @@ pub struct Gpu {
     parallel_threshold: usize,
     launch_counter: AtomicU32,
     obs: Option<Arc<Obs>>,
+    /// Fleet trace context appended to kernel spans (job identity set by
+    /// the serve scheduler, `None` for solo runs).
+    trace_ctx: Option<obs::fleet::TraceCtx>,
     /// Injected-fault script consulted at launch entry (tests/resilience).
     faults: Option<Arc<crate::fault::FaultPlan>>,
     /// Lazily-spawned persistent pool of `cpu_threads − 1` worker threads
@@ -338,6 +341,7 @@ impl Gpu {
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             launch_counter: AtomicU32::new(0),
             obs: None,
+            trace_ctx: None,
             faults: None,
             pool: OnceLock::new(),
             arena: Mutex::new(Vec::new()),
@@ -397,6 +401,19 @@ impl Gpu {
     /// The attached observability hub, if any.
     pub fn obs(&self) -> Option<&Arc<Obs>> {
         self.obs.as_ref()
+    }
+
+    /// Attach (or clear) the fleet trace context. Subsequent kernel spans
+    /// carry the job/tenant/group/slice args, so a Chrome trace filters to
+    /// one job across executors. Pure annotation: tallies, launch results,
+    /// and metrics counters are unaffected.
+    pub fn set_trace_ctx(&mut self, ctx: Option<obs::fleet::TraceCtx>) {
+        self.trace_ctx = ctx;
+    }
+
+    /// The attached fleet trace context, if any.
+    pub fn trace_ctx(&self) -> Option<&obs::fleet::TraceCtx> {
+        self.trace_ctx.as_ref()
     }
 
     /// The persistent worker pool, spawned on first parallel launch.
@@ -512,16 +529,16 @@ impl Gpu {
 
         let phases = kernel.phases();
         let _kernel_span = self.obs.as_ref().map(|o| {
-            o.tracer.span_args(
-                "kernel",
-                kernel.name(),
-                &[
-                    ("device", self.device.name.to_string()),
-                    ("blocks", cfg.blocks.to_string()),
-                    ("threads_per_block", cfg.threads_per_block.to_string()),
-                    ("phases", phases.to_string()),
-                ],
-            )
+            let mut args = vec![
+                ("device", self.device.name.to_string()),
+                ("blocks", cfg.blocks.to_string()),
+                ("threads_per_block", cfg.threads_per_block.to_string()),
+                ("phases", phases.to_string()),
+            ];
+            if let Some(ctx) = &self.trace_ctx {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("kernel", kernel.name(), &args)
         });
         // Scheduler visibility: one `pool` span per pooled launch, nested
         // inside the kernel span (declared after, so it drops first).
@@ -536,8 +553,14 @@ impl Gpu {
             )),
             _ => None,
         };
+        // Wall-clock per launch (and per phase for multi-phase kernels):
+        // joined with the DRAM byte tally below, this turns the roofline
+        // from an offline model into a live achieved-bandwidth gauge.
+        let launch_start = self.obs.as_ref().map(|_| std::time::Instant::now());
+        let mut phase_us: Vec<u64> = Vec::new();
         let mut stolen = 0u64;
         for phase in 0..phases {
+            let phase_start = launch_start.map(|_| std::time::Instant::now());
             let _phase_span = match (&self.obs, phases > 1) {
                 (Some(o), true) => Some(o.tracer.span_args(
                     "phase",
@@ -571,6 +594,9 @@ impl Gpu {
             if let (Some(o), true) = (&self.obs, phases > 1) {
                 o.tracer
                     .instant("exec", "barrier", &[("after_phase", phase.to_string())]);
+            }
+            if let Some(s) = phase_start {
+                phase_us.push(s.elapsed().as_micros() as u64);
             }
         }
 
@@ -609,6 +635,36 @@ impl Gpu {
             m.counter_add("l2_read_hits", &labels, stats.tally.l2_read_hits);
             if use_pool {
                 m.counter_add("exec_block_steal", &labels, stolen);
+            }
+            // Live roofline attribution: cumulative DRAM bytes over
+            // cumulative kernel wall-clock is the achieved bandwidth; its
+            // fraction of the device's peak equals achieved-MFLUPS over
+            // roofline-MFLUPS at the *measured* B/F (eq. 15 divides the
+            // same bandwidth by the same byte count). Counters accumulate
+            // per kernel/device; gauges expose the running attribution.
+            let wall_us = launch_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+            m.counter_add("kernel_time_us", &labels, wall_us);
+            m.counter_add("dram_bytes", &labels, stats.tally.dram_bytes());
+            for (i, us) in phase_us.iter().enumerate() {
+                let phase = i.to_string();
+                let plabels = [
+                    ("kernel", stats.kernel.as_str()),
+                    ("device", self.device.name),
+                    ("phase", phase.as_str()),
+                ];
+                m.counter_add("phase_time_us", &plabels, *us);
+            }
+            let total_us = m.counter("kernel_time_us", &labels).unwrap_or(0);
+            let total_dram = m.counter("dram_bytes", &labels).unwrap_or(0);
+            if total_us > 0 {
+                // bytes/µs = 10⁶ B/s; ÷10³ → GB/s (10⁹ B/s).
+                let gbps = total_dram as f64 / total_us as f64 * 1e-3;
+                m.gauge_set("achieved_gbps", &labels, gbps);
+                m.gauge_set(
+                    "roofline_attained_pct",
+                    &labels,
+                    100.0 * gbps / self.device.bandwidth_gbps,
+                );
             }
         }
         stats

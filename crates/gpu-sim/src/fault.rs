@@ -33,6 +33,10 @@ pub enum MemFaultKind {
     Nan,
     /// Flip one bit of the stored value (modulo the cell width).
     BitFlip(u32),
+    /// Panic mid-store — the deterministic stand-in for a crashed kernel.
+    /// Fires deep inside the launch (spans open, buffers mid-update), the
+    /// exact shape the scheduler's `catch_unwind` isolation must survive.
+    Panic,
 }
 
 struct MemFault {
@@ -93,6 +97,19 @@ impl FaultPlan {
         self.mem.push(MemFault {
             index,
             kind: MemFaultKind::BitFlip(bit),
+            skips: AtomicU64::new(skip_writes),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Panic on the `(skip_writes + 1)`-th write to cell `index` — a
+    /// deterministic in-kernel crash for exercising panic-isolation
+    /// boundaries (the serve scheduler's `catch_unwind`).
+    pub fn inject_panic(&mut self, index: usize, skip_writes: u64) -> &mut Self {
+        self.mem.push(MemFault {
+            index,
+            kind: MemFaultKind::Panic,
             skips: AtomicU64::new(skip_writes),
             fired: AtomicBool::new(false),
         });
@@ -246,6 +263,7 @@ fn apply<T: Copy>(kind: MemFaultKind, value: &mut T) {
             let bit = bit as usize % (8 * size);
             bytes[bit / 8] ^= 1 << (bit % 8);
         }
+        MemFaultKind::Panic => panic!("injected kernel panic"),
     }
 }
 
@@ -293,6 +311,25 @@ mod tests {
         let mut y = 0u32;
         plan.corrupt(0, &mut y);
         assert_eq!(y, 1);
+    }
+
+    #[test]
+    fn injected_panic_fires_on_the_kth_write_only() {
+        let mut plan = FaultPlan::new();
+        plan.inject_panic(1, 1);
+        let mut v = 0.5f64;
+        plan.corrupt(1, &mut v); // skipped write passes through
+        assert_eq!(v, 0.5);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut v = 0.5f64;
+            plan.corrupt(1, &mut v);
+        }));
+        assert!(r.is_err(), "second write must panic");
+        assert_eq!(plan.mem_faults_fired(), 1);
+        // One-shot: later writes pass through again.
+        let mut v = 2.5f64;
+        plan.corrupt(1, &mut v);
+        assert_eq!(v, 2.5);
     }
 
     #[test]

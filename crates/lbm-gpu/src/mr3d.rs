@@ -658,6 +658,13 @@ impl<L: Lattice> MrSim3D<L> {
         self.obs = Some(obs);
     }
 
+    /// Attach (or clear) the fleet trace context — the job identity the
+    /// serve scheduler assigned this simulation. Step and kernel spans
+    /// carry its args from now on; stepping and tallies are unaffected.
+    pub fn set_trace_ctx(&mut self, ctx: Option<obs::TraceCtx>) {
+        self.gpu.set_trace_ctx(ctx);
+    }
+
     /// Attach a physics monitor sampling the macroscopic fields every
     /// `cfg.cadence` steps (mass/momentum/max-|u|/NaN guards).
     pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
@@ -703,8 +710,11 @@ impl<L: Lattice> MrSim3D<L> {
     pub fn step(&mut self) {
         let obs = self.obs.clone();
         let _step_span = obs.as_ref().map(|o| {
-            o.tracer
-                .span_args("driver", "step", &[("t", self.t.to_string())])
+            let mut args = vec![("t", self.t.to_string())];
+            if let Some(ctx) = self.gpu.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("driver", "step", &args)
         });
         let cols_x = self.geom.nx / self.wx;
         let blocks = cols_x * (self.geom.ny / self.wy);
@@ -789,13 +799,23 @@ impl<L: Lattice> MrSim3D<L> {
     }
 
     /// Force a final monitor sample at the current step (no-op without a
-    /// monitor, or when the last step was already sampled).
+    /// monitor, or when the last step was already sampled). The flushed
+    /// sample is published to the hub like any cadence sample, so monitor
+    /// series stay gap-free across run ends *and* fleet evictions.
     pub fn finish_monitor(&mut self) {
         if self.monitor.is_none() {
             return;
         }
         let (rho, u) = self.macro_fields();
-        self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
+        let s = self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
+        if let (Some(s), Some(o)) = (s, &self.obs) {
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", "mr3d")], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", "mr3d")], s.max_u);
+            o.tracer
+                .instant("monitor", "flush", &[("step", s.step.to_string())]);
+        }
     }
 
     /// Mutable access to the physics monitor (recovery rollback).

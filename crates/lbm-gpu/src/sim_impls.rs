@@ -37,6 +37,9 @@ macro_rules! impl_simulation_single {
             fn set_obs(&mut self, obs: Arc<obs::Obs>) {
                 self.set_obs(obs)
             }
+            fn set_trace_ctx(&mut self, ctx: Option<obs::TraceCtx>) {
+                self.set_trace_ctx(ctx)
+            }
             fn monitor_ok(&self) -> bool {
                 self.monitor().is_none_or(|m| m.is_ok())
             }

@@ -543,6 +543,13 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
         self.obs = Some(obs);
     }
 
+    /// Attach (or clear) the fleet trace context — the job identity the
+    /// serve scheduler assigned this simulation. Step and kernel spans
+    /// carry its args from now on; stepping and tallies are unaffected.
+    pub fn set_trace_ctx(&mut self, ctx: Option<obs::TraceCtx>) {
+        self.gpu.set_trace_ctx(ctx);
+    }
+
     /// Attach a physics monitor sampling the macroscopic fields every
     /// `cfg.cadence` steps (mass/momentum/max-|u|/NaN guards).
     pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
@@ -617,8 +624,11 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
     pub fn step(&mut self) {
         let obs = self.obs.clone();
         let _step_span = obs.as_ref().map(|o| {
-            o.tracer
-                .span_args("driver", "step", &[("t", self.steps.to_string())])
+            let mut args = vec![("t", self.steps.to_string())];
+            if let Some(ctx) = self.gpu.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("driver", "step", &args)
         });
         let n = self.geom.len();
         let (src, dst) = (&self.f[self.cur], &self.f[self.cur ^ 1]);
@@ -721,13 +731,23 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
     }
 
     /// Force a final monitor sample at the current step (no-op without a
-    /// monitor, or when the last step was already sampled).
+    /// monitor, or when the last step was already sampled). The flushed
+    /// sample is published to the hub like any cadence sample, so monitor
+    /// series stay gap-free across run ends *and* fleet evictions.
     pub fn finish_monitor(&mut self) {
         if self.monitor.is_none() {
             return;
         }
         let (rho, u) = self.macro_fields();
-        self.monitor.as_mut().unwrap().finish(self.steps, &rho, &u);
+        let s = self.monitor.as_mut().unwrap().finish(self.steps, &rho, &u);
+        if let (Some(s), Some(o)) = (s, &self.obs) {
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", "st")], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", "st")], s.max_u);
+            o.tracer
+                .instant("monitor", "flush", &[("step", s.step.to_string())]);
+        }
     }
 
     /// Mutable access to the physics monitor (recovery rollback).

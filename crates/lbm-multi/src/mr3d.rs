@@ -185,6 +185,12 @@ impl<L: Lattice> MultiMrSim3D<L> {
         self.mg.set_obs(obs);
     }
 
+    /// Tag every device's kernel spans (and this driver's step/halo spans)
+    /// with a fleet trace context, or clear it with `None`.
+    pub fn set_trace_ctx(&mut self, ctx: Option<obs::TraceCtx>) {
+        self.mg.set_trace_ctx(ctx);
+    }
+
     /// Device-memory footprint of every shard's resident moment lattices.
     pub fn footprint_bytes(&self) -> usize {
         self.shards
@@ -271,8 +277,11 @@ impl<L: Lattice> MultiMrSim3D<L> {
     pub fn try_step(&mut self) -> Result<(), LinkError> {
         let obs = self.mg.obs().cloned();
         let _step_span = obs.as_ref().map(|o| {
-            o.tracer
-                .span_args("driver", "step", &[("t", self.t.to_string())])
+            let mut args = vec![("t", self.t.to_string())];
+            if let Some(ctx) = self.mg.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("driver", "step", &args)
         });
         let n_sh = self.shards.len();
         let mut boundary_bytes = vec![0u64; n_sh];
@@ -298,7 +307,13 @@ impl<L: Lattice> MultiMrSim3D<L> {
             }
         }
 
-        let _halo_span = obs.as_ref().map(|o| o.tracer.span("halo", "halo-exchange"));
+        let _halo_span = obs.as_ref().map(|o| {
+            let mut args = Vec::new();
+            if let Some(ctx) = self.mg.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("halo", "halo-exchange", &args)
+        });
         let transfers = self.exchange()?;
         drop(_halo_span);
 
@@ -403,7 +418,14 @@ impl<L: Lattice> MultiMrSim3D<L> {
             return;
         }
         let (rho, u) = self.macro_fields();
-        self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
+        let s = self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
+        if let (Some(s), Some(o)) = (s, self.mg.obs()) {
+            let labels = [("pattern", "multi-mr3d")];
+            o.metrics.gauge_set("monitor_mass", &labels, s.mass);
+            o.metrics.gauge_set("monitor_max_u", &labels, s.max_u);
+            o.tracer
+                .instant("monitor", "flush", &[("step", s.step.to_string())]);
+        }
     }
 
     /// Completed timesteps.

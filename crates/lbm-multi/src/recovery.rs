@@ -82,6 +82,13 @@ pub(crate) fn transfer_with_retry(
                     let link = format!("{from}->{to}");
                     o.metrics
                         .counter_add("halo_retries", &[("link", link.as_str())], 1);
+                    let ctx = mg.trace_ctx();
+                    o.events.record(
+                        obs::EventKind::HaloRetry,
+                        ctx.map(|c| c.job_id),
+                        ctx.map_or("", |c| c.tenant.as_str()),
+                        &[("link", link.clone()), ("attempt", failures.to_string())],
+                    );
                 }
                 let backoff = policy.backoff_base_us << (failures - 1).min(6);
                 std::thread::sleep(std::time::Duration::from_micros(backoff));
@@ -103,6 +110,8 @@ pub struct RecoveryConfig {
     pub fault_watch: Option<Arc<FaultPlan>>,
     /// Observability hub for recovery counters and rollback spans.
     pub obs: Option<Arc<obs::Obs>>,
+    /// Fleet trace context attributed to rollback events (job id / tenant).
+    pub ctx: Option<obs::TraceCtx>,
 }
 
 impl RecoveryConfig {
@@ -242,6 +251,13 @@ pub fn run_with_recovery<S: Simulation + ?Sized>(
             let span = cfg.obs.as_ref().map(|o| {
                 o.metrics.counter_add("recovery_faults_detected", &[], 1);
                 o.metrics.counter_add("recovery_rollbacks_total", &[], 1);
+                let ctx = cfg.ctx.as_ref();
+                o.events.record(
+                    obs::EventKind::Rollback,
+                    ctx.map(|c| c.job_id),
+                    ctx.map_or("", |c| c.tenant.as_str()),
+                    &[("from", step.to_string()), ("to", ckpt_step.to_string())],
+                );
                 o.tracer.span_args(
                     "recovery",
                     "rollback",

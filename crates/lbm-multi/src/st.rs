@@ -176,6 +176,12 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
         self.mg.set_obs(obs);
     }
 
+    /// Tag every device's kernel spans (and this driver's step/halo spans)
+    /// with a fleet trace context, or clear it with `None`.
+    pub fn set_trace_ctx(&mut self, ctx: Option<obs::TraceCtx>) {
+        self.mg.set_trace_ctx(ctx);
+    }
+
     /// Device-memory footprint of every shard's resident lattices.
     pub fn footprint_bytes(&self) -> usize {
         self.shards
@@ -284,8 +290,11 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
     pub fn try_step(&mut self) -> Result<(), LinkError> {
         let obs = self.mg.obs().cloned();
         let _step_span = obs.as_ref().map(|o| {
-            o.tracer
-                .span_args("driver", "step", &[("t", self.t.to_string())])
+            let mut args = vec![("t", self.t.to_string())];
+            if let Some(ctx) = self.mg.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("driver", "step", &args)
         });
         let n_sh = self.shards.len();
         let mut boundary_bytes = vec![0u64; n_sh];
@@ -313,7 +322,13 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
 
         // Phase 2: halo exchange of the strip results (overlapped with the
         // interior launch in the timing model).
-        let _halo_span = obs.as_ref().map(|o| o.tracer.span("halo", "halo-exchange"));
+        let _halo_span = obs.as_ref().map(|o| {
+            let mut args = Vec::new();
+            if let Some(ctx) = self.mg.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("halo", "halo-exchange", &args)
+        });
         let transfers = self.exchange()?;
         drop(_halo_span);
 
@@ -420,7 +435,14 @@ impl<L: Lattice, C: Collision<L>> MultiStSim<L, C> {
             return;
         }
         let (rho, u) = self.macro_fields();
-        self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
+        let s = self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
+        if let (Some(s), Some(o)) = (s, self.mg.obs()) {
+            let labels = [("pattern", "multi-st")];
+            o.metrics.gauge_set("monitor_mass", &labels, s.mass);
+            o.metrics.gauge_set("monitor_max_u", &labels, s.max_u);
+            o.tracer
+                .instant("monitor", "flush", &[("step", s.step.to_string())]);
+        }
     }
 
     /// Completed timesteps.

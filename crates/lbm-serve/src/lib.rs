@@ -13,6 +13,9 @@
 //!   lattice nodes).
 //! * [`scheduler`] — batched lockstep dispatch, checkpoint-backed
 //!   preemption with priority aging, and the public [`Serve`] handle.
+//! * [`slo`] — rolling latency quantiles, burn-rate counters, and the
+//!   deterministic AIMD feedback controller over
+//!   `slice_steps` / `batch_max`.
 //! * [`load`] — a seeded deterministic arrival process for load tests
 //!   (the `BENCH_serve` driver and the replay tests share it).
 //!
@@ -25,10 +28,12 @@ pub mod job;
 pub mod load;
 pub mod quota;
 pub mod scheduler;
+pub mod slo;
 pub mod spec;
 
 pub use job::{JobId, JobResult, JobState, JobStatus, SubmitError};
 pub use load::ArrivalProcess;
 pub use quota::{QuotaLedger, TenantQuota, TenantUsage};
 pub use scheduler::{Serve, ServeConfig};
+pub use slo::{SloController, SloPolicy, TuneDecision};
 pub use spec::{solo_checksum, JobSpec, Pattern, Priority, Scenario};

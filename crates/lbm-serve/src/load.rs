@@ -78,6 +78,7 @@ impl Iterator for ArrivalProcess {
                 devices: 1,
                 resilient: false,
                 fault_plan: None,
+                monitor: None,
             }
         } else if mix < 95 {
             // Medium batch job: bigger lattice, longer horizon.
@@ -94,6 +95,7 @@ impl Iterator for ArrivalProcess {
                 devices: 1,
                 resilient: false,
                 fault_plan: None,
+                monitor: None,
             }
         } else if mix < 98 {
             // Multi-device batch 2D: exercises the sharded drivers.
@@ -107,6 +109,7 @@ impl Iterator for ArrivalProcess {
                 devices: 2 + self.below(2) as usize, // 2..=3
                 resilient: false,
                 fault_plan: None,
+                monitor: None,
             }
         } else {
             // Small 3D duct: the D3Q19 paths.
@@ -124,6 +127,7 @@ impl Iterator for ArrivalProcess {
                 devices: 1,
                 resilient: false,
                 fault_plan: None,
+                monitor: None,
             }
         };
         Some(spec)

@@ -43,17 +43,25 @@
 
 use crate::job::{JobId, JobResult, JobState, JobStatus, SubmitError};
 use crate::quota::{QuotaLedger, TenantQuota, TenantUsage};
+use crate::slo::{SloController, SloPolicy};
 use crate::spec::{JobSpec, Priority};
 use lbm_core::Simulation;
 use lbm_multi::recovery::{run_with_recovery, RecoveryConfig};
-use obs::Obs;
+use obs::{EventKind, Obs, TraceCtx};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Latency histogram bounds (milliseconds).
+/// Latency histogram bucket upper bounds, in **milliseconds** — the unit
+/// `finalize` computes (`Instant::elapsed` seconds × 1e3) and the
+/// `serve_job_latency_ms` metric name advertises. The bounds must be
+/// finite, positive, and strictly ascending; the observation site in
+/// `finalize` debug-asserts both properties so a unit mix-up (seconds or
+/// microseconds fed into a millisecond histogram) fails loudly in tests
+/// instead of silently piling everything into one bucket.
 pub const LATENCY_BOUNDS_MS: [f64; 12] = [
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
 ];
@@ -78,10 +86,20 @@ pub struct ServeConfig {
     pub cpu_threads_per_job: usize,
     /// Per-tenant admission limits (absent tenants are unlimited).
     pub quotas: HashMap<String, TenantQuota>,
-    /// Observability hub: scheduler decisions become spans, queue/running
-    /// state becomes gauges, outcomes become counters and latency
-    /// histograms.
+    /// Observability hub: scheduler decisions become spans and typed
+    /// events, queue/running state becomes gauges, outcomes become
+    /// counters and latency histograms.
     pub obs: Option<Arc<Obs>>,
+    /// Attach the hub and a per-job [`TraceCtx`] to every solver the
+    /// fleet builds, so driver step/halo spans and substrate kernel spans
+    /// carry `job`/`tenant`/`group`/`slice` labels. No effect without
+    /// `obs`; purely observational either way — field checksums are
+    /// bitwise-identical with it on or off.
+    pub trace_jobs: bool,
+    /// SLO feedback policy: when set, every completion latency feeds a
+    /// [`SloController`] that retunes the live `slice_steps`/`batch_max`
+    /// within the policy's bounds.
+    pub slo: Option<SloPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +113,8 @@ impl Default for ServeConfig {
             cpu_threads_per_job: 1,
             quotas: HashMap::new(),
             obs: None,
+            trace_jobs: true,
+            slo: None,
         }
     }
 }
@@ -134,11 +154,35 @@ struct Inner {
     /// Wakes `wait`/`drain` when any job reaches a terminal state.
     done_cv: Condvar,
     cfg: ServeConfig,
+    /// Live round-robin slice length: starts at `cfg.slice_steps`, moved
+    /// only by SLO controller decisions (bounds-clamped).
+    slice_steps: AtomicU64,
+    /// Live group width: starts at `cfg.batch_max`, moved likewise.
+    batch_max: AtomicUsize,
+    /// The feedback controller, when `cfg.slo` is set. Locked only from
+    /// `finalize` (under the state lock) and the summary accessor.
+    slo: Option<Mutex<SloController>>,
+    /// Monotonic lockstep-group IDs (the `group` field of [`TraceCtx`]).
+    group_seq: AtomicU64,
 }
 
 impl Inner {
     fn obs(&self) -> Option<&Arc<Obs>> {
         self.cfg.obs.as_ref()
+    }
+
+    /// Append one typed event to the hub's scheduler event log (no-op
+    /// without a hub).
+    fn record_event(
+        &self,
+        kind: EventKind,
+        job: Option<JobId>,
+        tenant: &str,
+        args: &[(&str, String)],
+    ) {
+        if let Some(o) = self.obs() {
+            o.events.record(kind, job.map(|j| j.0), tenant, args);
+        }
     }
 
     fn set_queue_gauges(&self, st: &State) {
@@ -161,6 +205,11 @@ struct Active {
     done: u64,
     resilient: bool,
     fault_plan: Option<Arc<gpu_sim::FaultPlan>>,
+    tenant: String,
+    /// Fleet trace context pushed into the solver (present only when the
+    /// hub is attached and `trace_jobs` is on); `slice` advances before
+    /// every slice so nested spans carry the current slice number.
+    ctx: Option<TraceCtx>,
 }
 
 /// The multi-tenant simulation service. Submit [`JobSpec`]s, poll
@@ -177,6 +226,13 @@ impl Serve {
         assert!(cfg.executors >= 1, "need at least one executor");
         assert!(cfg.batch_max >= 1, "need at least one job per group");
         assert!(cfg.slice_steps >= 1, "slices must advance time");
+        let slo = cfg
+            .slo
+            .clone()
+            .map(|p| Mutex::new(SloController::new(p, cfg.slice_steps, cfg.batch_max)));
+        let (slice0, batch0) = slo.as_ref().map_or((cfg.slice_steps, cfg.batch_max), |c| {
+            c.lock().unwrap().tuned()
+        });
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: Vec::new(),
@@ -189,6 +245,10 @@ impl Serve {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            slice_steps: AtomicU64::new(slice0),
+            batch_max: AtomicUsize::new(batch0),
+            slo,
+            group_seq: AtomicU64::new(0),
             cfg,
         });
         let executors = (0..inner.cfg.executors)
@@ -224,6 +284,17 @@ impl Serve {
                 1,
             );
         }
+        self.inner.record_event(
+            EventKind::Admit,
+            Some(id),
+            &spec.tenant,
+            &[
+                ("class", spec.priority.label().to_string()),
+                ("steps", spec.steps.to_string()),
+                ("nodes", spec.scenario.nodes().to_string()),
+                ("devices", spec.devices.to_string()),
+            ],
+        );
         st.jobs.insert(
             id,
             JobRec {
@@ -332,6 +403,21 @@ impl Serve {
     pub fn tenant_usage(&self, tenant: &str) -> TenantUsage {
         self.inner.state.lock().unwrap().ledger.usage(tenant)
     }
+
+    /// Live tunables `(slice_steps, batch_max)` — the static config until
+    /// the SLO controller moves them.
+    pub fn tuned(&self) -> (u64, usize) {
+        (
+            self.inner.slice_steps.load(Ordering::Relaxed),
+            self.inner.batch_max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// SLO summary — per-class latency quantiles, burn rates, and the
+    /// controller's tuning state — when a policy is configured.
+    pub fn slo_summary(&self) -> Option<obs::json::Value> {
+        self.inner.slo.as_ref().map(|c| c.lock().unwrap().summary())
+    }
 }
 
 impl Drop for Serve {
@@ -364,8 +450,10 @@ fn finalize(
     rec.snapshot = None;
     rec.result = result;
     let tenant = rec.spec.tenant.clone();
-    let class = rec.spec.priority.label();
+    let priority = rec.spec.priority;
+    let class = priority.label();
     let nodes = rec.spec.scenario.nodes();
+    let evictions = rec.evictions;
     let latency_ms = rec.submitted_at.elapsed().as_secs_f64() * 1e3;
     st.ledger.release(&tenant, nodes);
     st.in_flight -= 1;
@@ -378,12 +466,66 @@ fn finalize(
         o.metrics
             .counter_add(outcome, &[("tenant", &tenant), ("class", class)], 1);
         if terminal == JobState::Completed {
+            // Both the bounds and the observation are milliseconds — see
+            // the `LATENCY_BOUNDS_MS` doc comment.
+            debug_assert!(
+                LATENCY_BOUNDS_MS[0] > 0.0
+                    && LATENCY_BOUNDS_MS
+                        .windows(2)
+                        .all(|w| w[0] < w[1] && w[1].is_finite()),
+                "LATENCY_BOUNDS_MS must be finite, positive, strictly ascending"
+            );
+            debug_assert!(
+                latency_ms.is_finite() && latency_ms >= 0.0,
+                "latency observation must be a finite non-negative millisecond value"
+            );
             o.metrics.histogram_observe(
                 "serve_job_latency_ms",
                 &[("class", class)],
                 &LATENCY_BOUNDS_MS,
                 latency_ms,
             );
+        }
+    }
+    let kind = match terminal {
+        JobState::Completed => EventKind::Complete,
+        JobState::Canceled => EventKind::Cancel,
+        _ => EventKind::Fail,
+    };
+    inner.record_event(
+        kind,
+        Some(id),
+        &tenant,
+        &[
+            ("latency_ms", format!("{latency_ms:.3}")),
+            ("evictions", evictions.to_string()),
+        ],
+    );
+    if terminal == JobState::Completed {
+        if let Some(slo) = &inner.slo {
+            let decision = slo.lock().unwrap().observe(priority, latency_ms);
+            if let Some(d) = decision {
+                inner.slice_steps.store(d.slice_steps, Ordering::Relaxed);
+                inner.batch_max.store(d.batch_max, Ordering::Relaxed);
+                if let Some(o) = inner.obs() {
+                    o.metrics
+                        .counter_add("serve_slo_tunes", &[("reason", d.reason)], 1);
+                    o.metrics
+                        .gauge_set("serve_tuned_slice_steps", &[], d.slice_steps as f64);
+                    o.metrics
+                        .gauge_set("serve_tuned_batch_max", &[], d.batch_max as f64);
+                }
+                inner.record_event(
+                    EventKind::Tune,
+                    None,
+                    "",
+                    &[
+                        ("slice_steps", d.slice_steps.to_string()),
+                        ("batch_max", d.batch_max.to_string()),
+                        ("reason", d.reason.to_string()),
+                    ],
+                );
+            }
         }
     }
     inner.set_queue_gauges(st);
@@ -393,8 +535,10 @@ fn finalize(
 /// Pick the next lockstep group off the ready queue, or `None` if the
 /// queue is empty. Leader = highest effective priority (FIFO among ties);
 /// the rest of the group is filled with queue-order jobs of the same
-/// class. Passed-over jobs gain `aging` credit.
-fn select_group(inner: &Inner, st: &mut MutexGuard<'_, State>) -> Option<Vec<JobId>> {
+/// class, up to the *live* (possibly SLO-tuned) group width. Passed-over
+/// jobs gain `aging` credit. Returns the group's monotonic ID with its
+/// members.
+fn select_group(inner: &Inner, st: &mut MutexGuard<'_, State>) -> Option<(u64, Vec<JobId>)> {
     if st.queue.is_empty() {
         return None;
     }
@@ -407,9 +551,10 @@ fn select_group(inner: &Inner, st: &mut MutexGuard<'_, State>) -> Option<Vec<Job
         .expect("non-empty queue");
     let leader = st.queue[leader_pos];
     let class = st.jobs[&leader].spec.priority;
+    let batch_max = inner.batch_max.load(Ordering::Relaxed);
     let mut group = vec![leader];
     for &id in st.queue.iter() {
-        if group.len() >= inner.cfg.batch_max {
+        if group.len() >= batch_max {
             break;
         }
         if id != leader && st.jobs[&id].spec.priority == class {
@@ -424,12 +569,14 @@ fn select_group(inner: &Inner, st: &mut MutexGuard<'_, State>) -> Option<Vec<Job
     for &id in &group {
         st.jobs.get_mut(&id).expect("grouped job exists").state = JobState::Running;
     }
+    let gid = inner.group_seq.fetch_add(1, Ordering::Relaxed) + 1;
     if let Some(o) = inner.obs() {
         o.tracer.instant(
             "serve",
             "dispatch",
             &[
-                ("group", group.len().to_string()),
+                ("group", gid.to_string()),
+                ("size", group.len().to_string()),
                 ("class", class.label().to_string()),
                 ("queued", st.queue.len().to_string()),
             ],
@@ -437,8 +584,23 @@ fn select_group(inner: &Inner, st: &mut MutexGuard<'_, State>) -> Option<Vec<Job
         o.metrics
             .counter_add("serve_dispatch_groups", &[("class", class.label())], 1);
     }
+    let members = group
+        .iter()
+        .map(|id| id.0.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    inner.record_event(
+        EventKind::GroupForm,
+        None,
+        "",
+        &[
+            ("group", gid.to_string()),
+            ("class", class.label().to_string()),
+            ("members", members),
+        ],
+    );
     inner.set_queue_gauges(st);
-    Some(group)
+    Some((gid, group))
 }
 
 /// Should the executor running `group` hand its device back? Only when
@@ -460,7 +622,7 @@ fn should_evict(inner: &Inner, st: &State, group: &[Active]) -> bool {
 
 fn executor_loop(inner: &Arc<Inner>) {
     loop {
-        let group_ids = {
+        let (gid, group_ids) = {
             let mut st = inner.state.lock().unwrap();
             loop {
                 if st.shutdown {
@@ -475,13 +637,13 @@ fn executor_loop(inner: &Arc<Inner>) {
                 st.idle -= 1;
             }
         };
-        run_group(inner, group_ids);
+        run_group(inner, gid, group_ids);
     }
 }
 
 /// Build (or restore) every member of the group, then drive them in
 /// round-robin slices to completion, eviction, or cancellation.
-fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
+fn run_group(inner: &Arc<Inner>, gid: u64, group_ids: Vec<JobId>) {
     let mut group: Vec<Active> = Vec::with_capacity(group_ids.len());
     for id in group_ids {
         let (spec, snapshot, done) = {
@@ -507,7 +669,21 @@ fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
         }));
         drop(resume_span);
         match built {
-            Ok(Ok(sim)) => {
+            Ok(Ok(mut sim)) => {
+                let mut ctx = None;
+                if let Some(o) = inner.obs() {
+                    if inner.cfg.trace_jobs {
+                        sim.set_obs(o.clone());
+                        let c = TraceCtx {
+                            job_id: id.0,
+                            tenant: spec.tenant.clone(),
+                            group: gid,
+                            slice: 0,
+                        };
+                        sim.set_trace_ctx(Some(c.clone()));
+                        ctx = Some(c);
+                    }
+                }
                 {
                     let mut st = inner.state.lock().unwrap();
                     let rec = st.jobs.get_mut(&id).expect("group job exists");
@@ -520,6 +696,12 @@ fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
                                 1,
                             );
                         }
+                        inner.record_event(
+                            EventKind::Resume,
+                            Some(id),
+                            &spec.tenant,
+                            &[("from_step", done.to_string()), ("group", gid.to_string())],
+                        );
                     }
                 }
                 group.push(Active {
@@ -529,6 +711,8 @@ fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
                     done,
                     resilient: spec.resilient,
                     fault_plan: spec.fault_plan.clone(),
+                    tenant: spec.tenant.clone(),
+                    ctx,
                 });
             }
             Ok(Err(_)) | Err(_) => {
@@ -553,7 +737,22 @@ fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
                 continue;
             }
             let a = &mut group[i];
-            let slice = inner.cfg.slice_steps.min(a.target - a.done);
+            let slice_steps = inner.slice_steps.load(Ordering::Relaxed);
+            let slice = slice_steps.min(a.target - a.done);
+            if let Some(c) = &mut a.ctx {
+                c.slice += 1;
+                a.sim.set_trace_ctx(Some(c.clone()));
+            }
+            inner.record_event(
+                EventKind::Slice,
+                Some(a.id),
+                &a.tenant,
+                &[
+                    ("steps", slice.to_string()),
+                    ("from_step", a.done.to_string()),
+                    ("group", gid.to_string()),
+                ],
+            );
             let _slice_span = inner.obs().map(|o| {
                 o.tracer.span_args(
                     "serve",
@@ -561,13 +760,20 @@ fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
                     &[("job", a.id.to_string()), ("steps", slice.to_string())],
                 )
             });
+            // A panic escaping the solver unwinds past every open driver /
+            // kernel span guard; the balance guard force-closes whatever
+            // leaked so the per-thread span stack stays balanced (the
+            // regression test asserts exact B/E parity after an induced
+            // panic).
+            let mut balance = inner.obs().map(|o| o.tracer.balance_guard());
             let stepped = catch_unwind(AssertUnwindSafe(|| {
                 if a.resilient {
                     let rcfg = RecoveryConfig {
-                        checkpoint_every: inner.cfg.slice_steps,
+                        checkpoint_every: slice_steps,
                         max_rollbacks: 16,
                         fault_watch: a.fault_plan.clone(),
                         obs: inner.cfg.obs.clone(),
+                        ctx: a.ctx.clone(),
                     };
                     run_with_recovery(&mut *a.sim, a.done + slice, &rcfg)
                         .map(|stats| stats.rollbacks)
@@ -579,6 +785,16 @@ fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
                     Ok(0)
                 }
             }));
+            if let Some(g) = balance.as_mut() {
+                let repaired = g.repair();
+                if repaired > 0 {
+                    if let Some(o) = inner.obs() {
+                        o.metrics
+                            .counter_add("serve_span_repairs", &[], repaired as u64);
+                    }
+                }
+            }
+            drop(balance);
             drop(_slice_span);
             match stepped {
                 Ok(Ok(rollbacks)) => {
@@ -628,7 +844,7 @@ fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
             should_evict(inner, &st, &group)
         };
         if evict_now {
-            for a in group.drain(..) {
+            for mut a in group.drain(..) {
                 let _evict_span = inner.obs().map(|o| {
                     o.tracer.span_args(
                         "serve",
@@ -636,6 +852,12 @@ fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
                         &[("job", a.id.to_string()), ("at_step", a.done.to_string())],
                     )
                 });
+                // Flush the physics monitor's final sample before the job
+                // goes cold: an eviction may be the last time this solver
+                // instance exists (a cancel can land while it waits), and
+                // the monitor is observational, so flushing cannot perturb
+                // the checkpointed trajectory.
+                a.sim.finish_monitor();
                 let snapshot = a.sim.checkpoint();
                 let mut st = inner.state.lock().unwrap();
                 // A cancel that raced the eviction wins: the job is
@@ -655,6 +877,12 @@ fn run_group(inner: &Arc<Inner>, group_ids: Vec<JobId>) {
                     o.metrics
                         .counter_add("serve_evictions", &[("class", class)], 1);
                 }
+                inner.record_event(
+                    EventKind::Evict,
+                    Some(a.id),
+                    &a.tenant,
+                    &[("at_step", a.done.to_string()), ("group", gid.to_string())],
+                );
                 inner.set_queue_gauges(&st);
                 inner.work_cv.notify_one();
             }

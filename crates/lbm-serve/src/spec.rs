@@ -133,6 +133,10 @@ pub struct JobSpec {
     pub resilient: bool,
     /// Optional injected-fault plan attached to the built solver.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Optional physics monitor attached to the built solver. Purely
+    /// observational — it never touches the trajectory, so it is excluded
+    /// from [`JobSpec::physics_key`].
+    pub monitor: Option<obs::MonitorConfig>,
 }
 
 impl std::fmt::Debug for JobSpec {
@@ -147,6 +151,7 @@ impl std::fmt::Debug for JobSpec {
             .field("devices", &self.devices)
             .field("resilient", &self.resilient)
             .field("fault_plan", &self.fault_plan.as_ref().map(|_| "<plan>"))
+            .field("monitor", &self.monitor)
             .finish()
     }
 }
@@ -165,6 +170,7 @@ impl JobSpec {
             devices: 1,
             resilient: false,
             fault_plan: None,
+            monitor: None,
         }
     }
 
@@ -225,6 +231,9 @@ impl JobSpec {
                 let mut s = $sim.with_cpu_threads(cpu_threads);
                 if let Some(plan) = &self.fault_plan {
                     s = s.with_fault_plan(plan.clone());
+                }
+                if let Some(cfg) = self.monitor {
+                    s = s.with_monitor(cfg);
                 }
                 s.init_with(JobSpec::init);
                 Box::new(s) as Box<dyn Simulation + Send>

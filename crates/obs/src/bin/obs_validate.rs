@@ -3,11 +3,105 @@
 //! Usage: `obs-validate FILE...` — parses each file with the strict
 //! in-crate JSON parser and, for Chrome traces (a top-level `traceEvents`
 //! array), additionally checks span nesting: on every tid, each `E` must
-//! close an open `B` and none may remain open at the end. Exits non-zero
-//! on the first failure.
+//! close an open `B` and none may remain open at the end. `BENCH_slo.json`
+//! records (`"section": "slo"`) get a full schema check: per-class
+//! quantiles monotone, burn rates in [0, 1], a lossless event log whose
+//! admit count covers every job, trace-span coverage, and roofline
+//! attribution rows for at least two device models. Exits non-zero on the
+//! first failure.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+/// Schema check for the `reproduce slo` bench record.
+fn validate_slo(v: &obs::json::Value) -> Result<String, String> {
+    let num = |path: &[&str]| -> Result<f64, String> {
+        let mut cur = v;
+        for k in path {
+            cur = cur.get(k).ok_or(format!("missing {}", path.join(".")))?;
+        }
+        cur.as_f64()
+            .ok_or(format!("{} is not a number", path.join(".")))
+    };
+    for class in ["interactive", "batch"] {
+        let p50 = num(&["adaptive", class, "p50_ms"])?;
+        let p90 = num(&["adaptive", class, "p90_ms"])?;
+        let p99 = num(&["adaptive", class, "p99_ms"])?;
+        if !(p50 <= p90 && p90 <= p99) {
+            return Err(format!(
+                "adaptive.{class} quantiles not monotone: p50 {p50} p90 {p90} p99 {p99}"
+            ));
+        }
+        let burn = num(&["adaptive", class, "burn_rate"])?;
+        if !(0.0..=1.0).contains(&burn) {
+            return Err(format!("adaptive.{class}.burn_rate {burn} outside [0, 1]"));
+        }
+        num(&["adaptive", class, "count"])?;
+        num(&["adaptive", class, "breaches"])?;
+        num(&["adaptive", class, "mean_ms"])?;
+    }
+    num(&["adaptive", "target_p99_ms"])?;
+    num(&["adaptive", "tunes"])?;
+    num(&["adaptive", "slice_steps"])?;
+    num(&["adaptive", "batch_max"])?;
+    num(&["static", "interactive_p50_ms"])?;
+    num(&["static", "interactive_p99_ms"])?;
+    num(&["adaptive_pooled", "interactive_p99_ms"])?;
+    num(&["interactive_p99_improvement_pct"])?;
+    let jobs = num(&["jobs"])?;
+    let total = num(&["events", "total"])?;
+    let dropped = num(&["events", "dropped"])?;
+    if dropped != 0.0 {
+        return Err(format!("event ring dropped {dropped} events"));
+    }
+    let admits = num(&["events", "counts", "admit"])?;
+    if admits < jobs {
+        return Err(format!("{admits} admit events for {jobs} jobs"));
+    }
+    let spans = num(&["jobs_with_trace_spans"])?;
+    if spans < jobs {
+        return Err(format!("{spans} jobs with trace spans, expected >= {jobs}"));
+    }
+    let rows = v.get("roofline").ok_or("missing roofline")?.items();
+    if rows.is_empty() {
+        return Err("roofline attribution is empty".into());
+    }
+    let mut devices = std::collections::BTreeSet::new();
+    for (i, r) in rows.iter().enumerate() {
+        let dev = r
+            .get("device")
+            .and_then(|d| d.as_str())
+            .ok_or(format!("roofline[{i}] missing device"))?;
+        r.get("kernel")
+            .and_then(|k| k.as_str())
+            .ok_or(format!("roofline[{i}] missing kernel"))?;
+        let gbps = r
+            .get("achieved_gbps")
+            .and_then(|g| g.as_f64())
+            .ok_or(format!("roofline[{i}] missing achieved_gbps"))?;
+        let pct = r
+            .get("roofline_pct")
+            .and_then(|p| p.as_f64())
+            .ok_or(format!("roofline[{i}] missing roofline_pct"))?;
+        if !(gbps > 0.0 && pct > 0.0 && pct <= 100.0) {
+            return Err(format!(
+                "roofline[{i}] out of range: {gbps} GB/s, {pct}% of roofline"
+            ));
+        }
+        devices.insert(dev.to_string());
+    }
+    if devices.len() < 2 {
+        return Err(format!(
+            "roofline covers {} device model(s), expected both",
+            devices.len()
+        ));
+    }
+    Ok(format!(
+        "slo ok ({} roofline gauges on {} devices, {total} events)",
+        rows.len(),
+        devices.len()
+    ))
+}
 
 fn validate(path: &str) -> Result<String, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
@@ -47,6 +141,8 @@ fn validate(path: &str) -> Result<String, String> {
         Ok(format!("trace ok ({} events)", events.items().len()))
     } else if let Some(metrics) = v.get("metrics") {
         Ok(format!("metrics ok ({} entries)", metrics.items().len()))
+    } else if v.get("section").and_then(|s| s.as_str()) == Some("slo") {
+        validate_slo(&v)
     } else {
         Ok("json ok".to_string())
     }

@@ -1,0 +1,83 @@
+//! Fleet trace context: per-job identity carried through every layer.
+//!
+//! A [`TraceCtx`] names the job a span belongs to — `job_id` and `tenant`
+//! from `lbm-serve` admission, plus the lockstep `group` and the running
+//! `slice` index assigned by the scheduler. The scheduler attaches it to a
+//! simulation when the job is (re)dispatched; the driver forwards it to its
+//! device(s); every layer then appends [`TraceCtx::args`] to the spans it
+//! emits (driver `step`/`halo-exchange`, substrate `kernel` launches), so a
+//! Chrome trace reconstructs one job's life across executors, evictions,
+//! and resumes by filtering on the `job` arg.
+//!
+//! Propagation is explicit (a value handed down the ownership chain), not
+//! ambient: the executor threads are shared between jobs, so thread-local
+//! context would leak across group members. The context is plain data —
+//! attaching it never touches byte tallies or field state, keeping the
+//! fleet plane accounting-neutral.
+
+/// Identity of the job a span belongs to, as propagated by the scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The serve-layer job id (rendered as `job-N`, matching `JobId`).
+    pub job_id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Lockstep dispatch-group sequence number (0 before first dispatch).
+    pub group: u64,
+    /// Running slice index within the job (increments across evictions).
+    pub slice: u64,
+}
+
+impl TraceCtx {
+    pub fn new(job_id: u64, tenant: impl Into<String>) -> Self {
+        TraceCtx {
+            job_id,
+            tenant: tenant.into(),
+            group: 0,
+            slice: 0,
+        }
+    }
+
+    /// Span-arg rendering of the context; appended to every span emitted
+    /// under this job.
+    pub fn args(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("job", format!("job-{}", self.job_id)),
+            ("tenant", self.tenant.clone()),
+            ("group", self.group.to_string()),
+            ("slice", self.slice.to_string()),
+        ]
+    }
+
+    /// Append the context args to a span-arg vector under construction.
+    pub fn append_args(&self, args: &mut Vec<(&'static str, String)>) {
+        args.extend(self.args());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_render_job_identity() {
+        let mut ctx = TraceCtx::new(17, "acme");
+        ctx.group = 3;
+        ctx.slice = 12;
+        let args = ctx.args();
+        assert_eq!(args[0], ("job", "job-17".to_string()));
+        assert_eq!(args[1], ("tenant", "acme".to_string()));
+        assert_eq!(args[2], ("group", "3".to_string()));
+        assert_eq!(args[3], ("slice", "12".to_string()));
+    }
+
+    #[test]
+    fn append_extends_existing_args() {
+        let ctx = TraceCtx::new(1, "nova");
+        let mut args = vec![("t", "5".to_string())];
+        ctx.append_args(&mut args);
+        assert_eq!(args.len(), 5);
+        assert_eq!(args[0].0, "t");
+        assert_eq!(args[2], ("tenant", "nova".to_string()));
+    }
+}

@@ -12,8 +12,15 @@
 //!   (total mass, total momentum, max |u|, NaN check) with a sampling
 //!   cadence so hot paths stay hot.
 //!
-//! [`Obs`] bundles the first two behind an `Arc` so one handle threads
-//! through `Gpu`, `MultiGpu`, and the solver drivers. [`BenchRecord`]
+//! The fleet plane adds two more: [`EventLog`] — a bounded ring of typed
+//! scheduler/resilience events with span-linked causality — and
+//! [`TraceCtx`] — per-job identity propagated from `lbm-serve` admission
+//! down into driver and kernel spans. [`StreamingQuantile`] backs the
+//! rolling SLO latency estimators.
+//!
+//! [`Obs`] bundles the tracer, registry, and event log behind an `Arc` so
+//! one handle threads through `Gpu`, `MultiGpu`, the solver drivers, and
+//! the serve scheduler. [`BenchRecord`]
 //! renders machine-readable `BENCH_<section>.json` perf records, and the
 //! in-crate [`json`] module gives the std-only workspace a writer plus a
 //! strict parser (used by tests and the `obs-validate` CI gate).
@@ -21,23 +28,29 @@
 //! This crate is deliberately dependency-free (std only) and sits below
 //! `gpu-sim` in the crate graph.
 
+pub mod events;
+pub mod fleet;
 pub mod json;
 pub mod metrics;
 pub mod monitor;
 pub mod record;
 pub mod trace;
 
-pub use metrics::{Histogram, Metric, MetricKey, MetricsRegistry};
+pub use events::{EventKind, EventLog, FleetEvent};
+pub use fleet::TraceCtx;
+pub use metrics::{Histogram, Metric, MetricKey, MetricsRegistry, StreamingQuantile};
 pub use monitor::{MonitorConfig, MonitorSample, PhysicsMonitor};
 pub use record::{BenchRecord, BenchRow};
-pub use trace::{Span, TraceEvent, Tracer};
+pub use trace::{BalanceGuard, Span, TraceEvent, Tracer};
 
-/// The observability hub: one tracer plus one metrics registry, shared via
-/// `Arc<Obs>` across devices, links, and drivers.
+/// The observability hub: a tracer, a metrics registry, and the fleet
+/// event log, shared via `Arc<Obs>` across devices, links, drivers, and
+/// the serve scheduler.
 #[derive(Default)]
 pub struct Obs {
     pub tracer: Tracer,
     pub metrics: MetricsRegistry,
+    pub events: EventLog,
 }
 
 impl Obs {

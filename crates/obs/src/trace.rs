@@ -63,8 +63,9 @@ impl Default for Tracer {
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
-/// Dense per-thread id, assigned on first use.
-fn current_tid() -> u64 {
+/// Dense per-thread id, assigned on first use. Shared with the fleet
+/// [`crate::events::EventLog`] so events and spans carry the same tid.
+pub(crate) fn current_tid() -> u64 {
     thread_local! {
         static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     }
@@ -214,6 +215,93 @@ impl Tracer {
     pub fn write_chrome_json(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.to_chrome_json())
     }
+
+    /// Number of spans currently open on the calling thread.
+    pub fn open_depth(&self) -> usize {
+        let tid = current_tid();
+        let inner = self.inner.lock().unwrap();
+        inner.open.get(&tid).map_or(0, |s| s.len())
+    }
+
+    /// Total spans currently open across all threads.
+    pub fn open_spans_total(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.open.values().map(|s| s.len()).sum()
+    }
+
+    /// Force-end spans on the calling thread until its open depth is back
+    /// to `depth`; returns how many were repaired. Used by panic-isolation
+    /// boundaries (`catch_unwind`): a panic that escapes a span whose RAII
+    /// guard never ran (or itself panicked mid-`begin`) would otherwise
+    /// leave the thread's span stack unbalanced forever, corrupting the
+    /// nesting of every later span on that executor thread.
+    pub fn repair_to(&self, depth: usize) -> usize {
+        let tid = current_tid();
+        let mut repaired = 0;
+        loop {
+            let mut inner = self.inner.lock().unwrap();
+            let ts_us = self.start.elapsed().as_micros() as u64;
+            let Some(name) = inner
+                .open
+                .get_mut(&tid)
+                .filter(|s| s.len() > depth)
+                .and_then(|s| s.pop())
+            else {
+                return repaired;
+            };
+            inner.events.push(TraceEvent {
+                ph: 'E',
+                name,
+                cat: String::new(),
+                ts_us,
+                tid,
+                args: vec![("repaired".to_string(), "true".to_string())],
+            });
+            repaired += 1;
+        }
+    }
+}
+
+/// RAII balance guard for panic-isolation boundaries: records the calling
+/// thread's open-span depth at construction and force-closes anything
+/// deeper on drop. Create it *before* a `catch_unwind` region; spans the
+/// unwind failed to close are repaired instead of leaking.
+pub struct BalanceGuard<'a> {
+    tracer: &'a Tracer,
+    depth: usize,
+    repaired: usize,
+}
+
+impl Tracer {
+    /// Open a [`BalanceGuard`] at the current thread's span depth.
+    pub fn balance_guard(&self) -> BalanceGuard<'_> {
+        BalanceGuard {
+            depth: self.open_depth(),
+            tracer: self,
+            repaired: 0,
+        }
+    }
+}
+
+impl BalanceGuard<'_> {
+    /// Repair now (idempotent — drop will find nothing left) and report
+    /// how many spans had leaked.
+    pub fn repair(&mut self) -> usize {
+        let n = self.tracer.repair_to(self.depth);
+        self.repaired += n;
+        n
+    }
+
+    /// Spans repaired so far.
+    pub fn repaired(&self) -> usize {
+        self.repaired
+    }
+}
+
+impl Drop for BalanceGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.repair_to(self.depth);
+    }
 }
 
 /// RAII guard returned by [`Tracer::span`]; ends the span on drop.
@@ -289,6 +377,48 @@ mod tests {
     #[should_panic(expected = "no open span")]
     fn unmatched_end_panics() {
         Tracer::new().end();
+    }
+
+    #[test]
+    fn balance_guard_repairs_spans_leaked_by_a_panic() {
+        let t = Tracer::new();
+        let _outer = t.span("serve", "executor");
+        assert_eq!(t.open_depth(), 1);
+        {
+            let mut guard = t.balance_guard();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                t.begin("driver", "step", &[]);
+                t.begin("kernel", "bulk", &[]);
+                // Simulate a panic that escapes before the spans close.
+                panic!("boom");
+            }));
+            assert!(r.is_err());
+            assert_eq!(t.open_depth(), 3, "two spans leaked past the unwind");
+            assert_eq!(guard.repair(), 2);
+            assert_eq!(t.open_depth(), 1, "repaired back to the guard depth");
+        }
+        drop(_outer);
+        assert_eq!(t.open_spans_total(), 0);
+        // The stream still balances: equal B and E counts.
+        let ev = t.events();
+        let b = ev.iter().filter(|e| e.ph == 'B').count();
+        let e = ev.iter().filter(|e| e.ph == 'E').count();
+        assert_eq!(b, e);
+        // Repaired ends are marked so traces show the truncation.
+        assert!(ev
+            .iter()
+            .any(|e| e.ph == 'E' && e.args.iter().any(|(k, _)| k == "repaired")));
+    }
+
+    #[test]
+    fn balance_guard_is_a_noop_on_clean_exits() {
+        let t = Tracer::new();
+        {
+            let _guard = t.balance_guard();
+            let _s = t.span("driver", "step");
+        }
+        assert_eq!(t.open_spans_total(), 0);
+        assert_eq!(t.events().len(), 2, "no spurious repair events");
     }
 
     #[test]

@@ -294,6 +294,7 @@ fn assert_recovers<S: Simulation>(
         max_rollbacks: 8,
         fault_watch: Some(plan.clone()),
         obs: None,
+        ctx: None,
     };
     let stats = run_with_recovery(&mut faulted, target, &cfg).unwrap();
     assert!(plan.total_fired() >= 1, "the fault never fired");
@@ -475,6 +476,7 @@ fn recovery_emits_obs_counters_and_spans() {
         max_rollbacks: 8,
         fault_watch: Some(plan),
         obs: Some(hub.clone()),
+        ctx: None,
     };
     let stats = run_with_recovery(&mut sim, 12, &cfg).unwrap();
     assert!(stats.rollbacks >= 1);
@@ -634,6 +636,7 @@ fn recovery_gives_up_after_rollback_budget() {
         max_rollbacks: 2,
         fault_watch: Some(plan),
         obs: None,
+        ctx: None,
     };
     match run_with_recovery(&mut sim, 12, &cfg) {
         Err(RecoveryError::GaveUp { rollbacks, .. }) => assert_eq!(rollbacks, 2),

@@ -341,3 +341,150 @@ fn multi_device_jobs_match_solo() {
     assert_eq!(serve.wait(a).unwrap().checksum, solo_checksum(&spec));
     assert_eq!(serve.wait(b).unwrap().checksum, solo_checksum(&st3d));
 }
+
+/// Satellite: a panic escaping a solver (injected in-kernel) is isolated
+/// by the slice boundary's `catch_unwind`, and the balance guard leaves
+/// the tracer's per-thread span stacks exactly balanced — the failed job
+/// terminates as `Failed` and the fleet keeps serving.
+#[test]
+fn induced_panic_leaves_span_stacks_balanced() {
+    let hub = obs::Obs::shared();
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        obs: Some(hub.clone()),
+        ..Default::default()
+    });
+    let mut plan = FaultPlan::new();
+    plan.inject_panic(30, 5);
+    let doomed = JobSpec {
+        fault_plan: Some(Arc::new(plan)),
+        pattern: Pattern::MrP,
+        ..JobSpec::shear_2d("acme", 16, 8, 24)
+    };
+    let doomed_id = serve.submit(doomed).unwrap();
+    assert!(
+        matches!(serve.wait(doomed_id), Err(JobState::Failed)),
+        "the injected panic should fail the job, not the fleet"
+    );
+
+    // The executor that absorbed the panic still serves new work.
+    let next = JobSpec::shear_2d("nova", 16, 8, 8);
+    let next_id = serve.submit(next.clone()).unwrap();
+    let result = serve.wait(next_id).expect("fleet survived the panic");
+    assert_eq!(result.checksum, solo_checksum(&next));
+    drop(serve);
+
+    // Span accounting: nothing left open, and every 'B' has its 'E' (the
+    // guard emits repair 'E' events for spans the unwind orphaned).
+    assert_eq!(hub.tracer.open_spans_total(), 0, "leaked open spans");
+    let events = hub.tracer.events();
+    let begins = events.iter().filter(|e| e.ph == 'B').count();
+    let ends = events.iter().filter(|e| e.ph == 'E').count();
+    assert_eq!(begins, ends, "unbalanced span events after induced panic");
+}
+
+/// Satellite: checkpoint-backed eviction flushes the physics monitor's
+/// final sample (a `monitor`/`flush` instant plus `monitor_mass` gauges)
+/// instead of silently dropping the solver — and the flush is purely
+/// observational: the resumed job still matches its solo oracle.
+#[test]
+fn eviction_flushes_monitor_final_sample() {
+    let hub = obs::Obs::shared();
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        slice_steps: 4,
+        obs: Some(hub.clone()),
+        ..Default::default()
+    });
+    let batch = JobSpec {
+        priority: Priority::Batch,
+        pattern: Pattern::MrR,
+        steps: 2000,
+        // Cadence far beyond the horizon: the *only* samples this monitor
+        // ever gets are forced flushes (eviction, completion).
+        monitor: Some(obs::MonitorConfig {
+            cadence: 1_000_000,
+            ..Default::default()
+        }),
+        ..JobSpec::shear_2d("acme", 24, 10, 2000)
+    };
+    let batch_id = serve.submit(batch.clone()).unwrap();
+    wait_for_state(&serve, batch_id, JobState::Running);
+
+    let mut fg = JobSpec::shear_2d("nova", 16, 8, 8);
+    fg.priority = Priority::Interactive;
+    let fg_id = serve.submit(fg).unwrap();
+    serve.wait(fg_id).expect("interactive job completed");
+    let result = serve.wait(batch_id).expect("batch job completed");
+    assert!(result.evictions >= 1, "the batch job was never preempted");
+    assert_eq!(
+        result.checksum,
+        solo_checksum(&batch),
+        "monitor flush at eviction perturbed the trajectory"
+    );
+    drop(serve);
+
+    // One flush per eviction plus one at completion.
+    let flushes = hub
+        .tracer
+        .events()
+        .iter()
+        .filter(|e| e.cat == "monitor" && e.name == "flush")
+        .count();
+    assert!(
+        flushes as u64 > result.evictions,
+        "expected ≥ {} monitor flushes (evictions + completion), saw {flushes}",
+        result.evictions + 1
+    );
+    assert!(
+        hub.metrics
+            .gauge("monitor_mass", &[("pattern", "mr2d")])
+            .is_some(),
+        "eviction flush never published the monitor gauges"
+    );
+}
+
+/// The SLO feedback controller reacts to interactive latency breaches by
+/// shrinking the live slice/batch knobs (within bounds), emitting `tune`
+/// events as it goes.
+#[test]
+fn slo_controller_tunes_live_knobs_on_breaches() {
+    let hub = obs::Obs::shared();
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        slice_steps: 64,
+        batch_max: 8,
+        obs: Some(hub.clone()),
+        slo: Some(lbm_serve::SloPolicy {
+            // Unreachable target: every completion is a breach, and with
+            // zero cooldown every breach tunes — fully deterministic when
+            // jobs are submitted and awaited one at a time.
+            interactive_p99_target_ms: 0.0,
+            cooldown: 0,
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    assert_eq!(serve.tuned(), (64, 8));
+    for _ in 0..5 {
+        let id = serve.submit(JobSpec::shear_2d("acme", 12, 6, 4)).unwrap();
+        serve.wait(id).expect("interactive job completed");
+    }
+    // 64→32→16→8→4→2 and 8→7→6→5→4→3.
+    assert_eq!(serve.tuned(), (2, 3), "AIMD decrease sequence diverged");
+    assert_eq!(
+        hub.metrics
+            .counter("serve_slo_tunes", &[("reason", "breach")]),
+        Some(5)
+    );
+    let tunes = hub
+        .events
+        .snapshot()
+        .iter()
+        .filter(|e| e.kind == obs::EventKind::Tune)
+        .count();
+    assert_eq!(tunes, 5, "each breach should have emitted one tune event");
+    // The event log replays cleanly (admits before slices, lawful
+    // lifecycles) even under live retuning.
+    obs::events::replay(&hub.events.snapshot()).expect("event log replays");
+}
