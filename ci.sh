@@ -30,6 +30,15 @@ test -s BENCH_smoke.json
 cargo run -p obs --release --bin obs-validate -- \
   "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" BENCH_smoke.json
 
+echo "== aa (in-place single-lattice: bitwise vs two-lattice, byte-exact halved residency)"
+# Runs AA-pattern ST and twist-MR against their two-lattice counterparts
+# (bitwise FNV at even steps) and asserts resident bytes per node are
+# exactly Q*8 / M*8 — half the two-lattice 2Q*8 / 2M*8 — published and
+# read back through the metrics registry.
+cargo run -p lbm-bench --release --bin reproduce -- aa
+test -s BENCH_aa.json
+cargo run -p obs --release --bin obs-validate -- BENCH_aa.json
+
 echo "== bench wall-clock smoke (pooled executor + span paths, measured MFLUPS)"
 # Asserts 1-thread vs 8-thread tallies are identical, then times the kernels;
 # emits measured_mflups / speedup_vs_st rows into BENCH_bench.json.

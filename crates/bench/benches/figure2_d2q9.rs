@@ -1,5 +1,6 @@
-//! Figure 2 bench: wall time per timestep of the three propagation
-//! patterns on the D2Q9 lattice, over a range of problem sizes.
+//! Figure 2 bench: wall time per timestep of the propagation patterns
+//! (two-lattice ST/MR-P/MR-R and in-place ST-AA/MR-T) on the D2Q9
+//! lattice, over a range of problem sizes.
 //!
 //! The substrate's wall-clock MFLUPS is CPU-bound and not comparable to the
 //! paper's GPU numbers; the *ratios* between patterns reflect arithmetic
@@ -13,7 +14,7 @@ use gpu_sim::efficiency::Pattern;
 use gpu_sim::DeviceSpec;
 use lbm_bench::{bench_geometry_2d, bench_line, time_iters, TAU};
 use lbm_core::collision::Bgk;
-use lbm_gpu::{MrScheme, MrSim2D, StSim};
+use lbm_gpu::{AaStSim, MrScheme, MrSim2D, StSim};
 use lbm_lattice::D2Q9;
 
 const WARMUP: usize = 2;
@@ -26,6 +27,8 @@ fn main() {
             Pattern::Standard,
             Pattern::MomentProjective,
             Pattern::MomentRecursive,
+            Pattern::StandardAa,
+            Pattern::MomentTwist,
         ] {
             let id = format!("{}/{nx}x{ny}", pattern.label());
             let s = match pattern {
@@ -50,6 +53,21 @@ fn main() {
                         MrScheme::recursive::<D2Q9>(),
                         TAU,
                     );
+                    time_iters(WARMUP, ITERS, || sim.step())
+                }
+                Pattern::StandardAa => {
+                    let mut sim: AaStSim<D2Q9, _> =
+                        AaStSim::new(DeviceSpec::v100(), bench_geometry_2d(nx, ny), Bgk::new(TAU));
+                    time_iters(WARMUP, ITERS, || sim.step())
+                }
+                Pattern::MomentTwist => {
+                    let mut sim: MrSim2D<D2Q9> = MrSim2D::new(
+                        DeviceSpec::v100(),
+                        bench_geometry_2d(nx, ny),
+                        MrScheme::projective(),
+                        TAU,
+                    )
+                    .with_twist();
                     time_iters(WARMUP, ITERS, || sim.step())
                 }
             };

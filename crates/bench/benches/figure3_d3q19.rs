@@ -1,5 +1,6 @@
-//! Figure 3 bench: wall time per timestep of the three propagation
-//! patterns on the D3Q19 lattice. See `figure2_d2q9.rs` for caveats.
+//! Figure 3 bench: wall time per timestep of the propagation patterns
+//! (two-lattice ST/MR-P/MR-R and in-place ST-AA/MR-T) on the D3Q19
+//! lattice. See `figure2_d2q9.rs` for caveats.
 //!
 //! Plain `std::time::Instant` timer (`harness = false`); the workspace is
 //! offline and cannot resolve Criterion.
@@ -8,7 +9,7 @@ use gpu_sim::efficiency::Pattern;
 use gpu_sim::DeviceSpec;
 use lbm_bench::{bench_geometry_3d, bench_line, time_iters, TAU};
 use lbm_core::collision::Bgk;
-use lbm_gpu::{MrScheme, MrSim3D, StSim};
+use lbm_gpu::{AaStSim, MrScheme, MrSim3D, StSim};
 use lbm_lattice::D3Q19;
 
 const WARMUP: usize = 1;
@@ -21,6 +22,8 @@ fn main() {
             Pattern::Standard,
             Pattern::MomentProjective,
             Pattern::MomentRecursive,
+            Pattern::StandardAa,
+            Pattern::MomentTwist,
         ] {
             let id = format!("{}/{nx}x{ny}x{nz}", pattern.label());
             let s = match pattern {
@@ -48,6 +51,24 @@ fn main() {
                         MrScheme::recursive::<D3Q19>(),
                         TAU,
                     );
+                    time_iters(WARMUP, ITERS, || sim.step())
+                }
+                Pattern::StandardAa => {
+                    let mut sim: AaStSim<D3Q19, _> = AaStSim::new(
+                        DeviceSpec::v100(),
+                        bench_geometry_3d(nx, ny, nz),
+                        Bgk::new(TAU),
+                    );
+                    time_iters(WARMUP, ITERS, || sim.step())
+                }
+                Pattern::MomentTwist => {
+                    let mut sim: MrSim3D<D3Q19> = MrSim3D::new(
+                        DeviceSpec::v100(),
+                        bench_geometry_3d(nx, ny, nz),
+                        MrScheme::projective(),
+                        TAU,
+                    )
+                    .with_twist();
                     time_iters(WARMUP, ITERS, || sim.step())
                 }
             };

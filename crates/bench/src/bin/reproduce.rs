@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy
-//!            |profile|futurework|scaling|smoke|bench|bench-record|resilience|serve|slo|all]
+//!            |profile|futurework|scaling|smoke|aa|bench|bench-record|resilience|serve|slo|all]
 //!           [--quick] [--steps=small|full] [--section=<name>] [--slo]
 //!           [--inject=nan|abort|link|all] [--checkpoint-every=<n>]
 //!           [--jobs=<n>] [--seed=<n>]
@@ -14,7 +14,10 @@
 //! numbers next to the reproduced ones; `EXPERIMENTS.md` records a captured
 //! run. The `bench` section measures genuine wall-clock MFLUPS of the
 //! software substrate (pooled executor + span memory paths) and appends
-//! `measured_mflups` / `speedup_vs_st` rows to `BENCH_bench.json`.
+//! `measured_mflups` / `speedup_vs_st` rows to `BENCH_bench.json` —
+//! including the in-place `st-aa` / `mr-t` patterns. The `aa` section is
+//! the in-place smoke: bitwise equivalence to the two-lattice drivers and
+//! byte-exact `Q·8` / `M·8` residency through the metrics registry.
 
 use gpu_sim::efficiency::{bandwidth_fraction, modeled_bandwidth_gbps, Pattern};
 use gpu_sim::roofline::{bytes_per_flup_mr, bytes_per_flup_st, mflups_max_on};
@@ -233,21 +236,33 @@ fn footprint() {
     println!("== §4.1: memory footprint for 15M fluid nodes =======================");
     const GIB: f64 = (1u64 << 30) as f64;
     println!(
-        "{:<8} {:>10} {:>15} {:>16} {:>12} {:>12}",
-        "lattice", "ST (GiB)", "MR paper (GiB)", "MR single (GiB)", "paper red.", "single red."
+        "{:<8} {:>10} {:>15} {:>16} {:>12} {:>12} {:>12} {:>12}",
+        "lattice",
+        "ST (GiB)",
+        "MR paper (GiB)",
+        "MR single (GiB)",
+        "AA-ST (GiB)",
+        "MR-T (GiB)",
+        "single red.",
+        "twist red."
     );
     for r in footprint_table(15_000_000) {
         println!(
-            "{:<8} {:>10.2} {:>15.2} {:>16.2} {:>11.1}% {:>11.1}%",
+            "{:<8} {:>10.2} {:>15.2} {:>16.2} {:>12.2} {:>12.2} {:>11.1}% {:>11.1}%",
             r.lattice,
             r.st_bytes as f64 / GIB,
             r.mr_paper_bytes as f64 / GIB,
             r.mr_single_bytes as f64 / GIB,
-            100.0 * r.paper_reduction(),
+            r.aa_st_bytes as f64 / GIB,
+            r.mr_twist_bytes as f64 / GIB,
             100.0 * r.single_reduction(),
+            100.0 * r.twist_reduction(),
         );
+        assert_eq!(2 * r.aa_st_bytes, r.st_bytes);
+        assert_eq!(2 * r.mr_twist_bytes, r.mr_paper_bytes);
     }
-    println!("(paper: 2 GB vs 1.3 GB (~35% less) in 2D; 4.2 GB vs 2.23 GB (~47% less) in 3D)");
+    println!("(paper: 2 GB vs 1.3 GB (~35% less) in 2D; 4.2 GB vs 2.23 GB (~47% less) in 3D;");
+    println!(" in-place AA-ST/MR-T halve their two-lattice counterparts byte-exactly)");
     println!();
 }
 
@@ -1040,6 +1055,180 @@ fn smoke(hub: &Arc<obs::Obs>) {
     );
 }
 
+/// In-place (single-lattice) smoke: the AA-pattern ST and parity-twist MR
+/// drivers must match their two-lattice counterparts bitwise after any even
+/// number of steps, and their resident footprints must be exact halvings —
+/// `Q·8` vs `2Q·8` and `M·8` vs `2M·8` bytes per node — asserted byte-exact
+/// *through the metrics registry* (published as `resident_bytes` gauges and
+/// read back), so the same plumbing the fleet bills quotas on is what CI
+/// checks.
+fn in_place_pass(hub: &Arc<obs::Obs>, rec: &mut obs::BenchRecord) {
+    use gpu_sim::roofline::{
+        footprint_aa_st, footprint_mr_double, footprint_mr_twist, footprint_st,
+    };
+    use lbm_bench::TAU;
+    use lbm_core::collision::Bgk;
+    use lbm_gpu::{AaStSim, MrScheme, MrSim2D, MrSim3D, StSim};
+    use lbm_lattice::{Lattice, D2Q9, D3Q19};
+
+    let steps = 4; // even: the AA cycle is back in natural slot order
+    let dev = DeviceSpec::v100();
+    let g2 = lbm_core::Geometry::walls_y_periodic_x(16, 8);
+    let g3 = duct_3d(8, 6, 6);
+    let (n2, n3) = (g2.len(), g3.len());
+
+    // 2D: AA-ST vs ST and twist-MR vs shift-MR, bitwise at even steps.
+    let mut st2: StSim<D2Q9, _> = StSim::new(dev.clone(), g2.clone(), Bgk::new(TAU));
+    let mut aa2: AaStSim<D2Q9, _> = AaStSim::new(dev.clone(), g2.clone(), Bgk::new(TAU));
+    let mut mr2: MrSim2D<D2Q9> = MrSim2D::new(dev.clone(), g2.clone(), MrScheme::projective(), TAU);
+    let mut tw2: MrSim2D<D2Q9> =
+        MrSim2D::new(dev.clone(), g2.clone(), MrScheme::projective(), TAU).with_twist();
+    st2.init_with(init_2d);
+    st2.run(steps);
+    aa2.init_with(init_2d);
+    aa2.run(steps);
+    mr2.init_with(init_2d);
+    mr2.run(steps);
+    tw2.init_with(init_2d);
+    tw2.run(steps);
+    assert_eq!(
+        aa2.field_checksum(),
+        st2.field_checksum(),
+        "AA-ST diverged from two-lattice ST at even step {steps} (D2Q9)"
+    );
+    assert_eq!(
+        tw2.field_checksum(),
+        mr2.field_checksum(),
+        "twist-MR diverged from shift-MR at step {steps} (D2Q9)"
+    );
+
+    // 3D: same contract on the walled duct.
+    let mut st3: StSim<D3Q19, _> = StSim::new(dev.clone(), g3.clone(), Bgk::new(TAU));
+    let mut aa3: AaStSim<D3Q19, _> = AaStSim::new(dev.clone(), g3.clone(), Bgk::new(TAU));
+    let mut mr3: MrSim3D<D3Q19> =
+        MrSim3D::new(dev.clone(), g3.clone(), MrScheme::projective(), TAU);
+    let mut tw3: MrSim3D<D3Q19> =
+        MrSim3D::new(dev.clone(), g3.clone(), MrScheme::projective(), TAU).with_twist();
+    st3.init_with(init_3d);
+    st3.run(steps);
+    aa3.init_with(init_3d);
+    aa3.run(steps);
+    mr3.init_with(init_3d);
+    mr3.run(steps);
+    tw3.init_with(init_3d);
+    tw3.run(steps);
+    assert_eq!(
+        aa3.field_checksum(),
+        st3.field_checksum(),
+        "AA-ST diverged from two-lattice ST at even step {steps} (D3Q19)"
+    );
+    assert_eq!(
+        tw3.field_checksum(),
+        mr3.field_checksum(),
+        "twist-MR diverged from shift-MR at step {steps} (D3Q19)"
+    );
+
+    // Residency: publish each driver's actual allocation as a gauge, read
+    // it back through the registry, and assert the byte-exact contract.
+    // (pattern, lattice, actual bytes, in-place ideal, two-lattice model)
+    let cases: [(&str, &str, usize, usize, usize); 4] = [
+        (
+            "st-aa",
+            "D2Q9",
+            aa2.footprint_bytes(),
+            footprint_aa_st(n2, D2Q9::Q),
+            footprint_st(n2, D2Q9::Q),
+        ),
+        (
+            "mr-t",
+            "D2Q9",
+            tw2.footprint_bytes(),
+            footprint_mr_twist(n2, D2Q9::M),
+            footprint_mr_double(n2, D2Q9::M),
+        ),
+        (
+            "st-aa",
+            "D3Q19",
+            aa3.footprint_bytes(),
+            footprint_aa_st(n3, D3Q19::Q),
+            footprint_st(n3, D3Q19::Q),
+        ),
+        (
+            "mr-t",
+            "D3Q19",
+            tw3.footprint_bytes(),
+            footprint_mr_twist(n3, D3Q19::M),
+            footprint_mr_double(n3, D3Q19::M),
+        ),
+    ];
+    let mut resident = Vec::new();
+    for (pattern, lattice, actual, ideal, two_lattice) in cases {
+        let labels = [("pattern", pattern), ("lattice", lattice)];
+        hub.metrics
+            .gauge_set("resident_bytes", &labels, actual as f64);
+        let seen = hub
+            .metrics
+            .gauge("resident_bytes", &labels)
+            .expect("resident_bytes gauge readable") as usize;
+        assert_eq!(seen, actual, "{pattern}/{lattice}: gauge round-trip lossy");
+        assert_eq!(
+            seen, ideal,
+            "{pattern}/{lattice}: resident bytes differ from the single-lattice ideal"
+        );
+        assert_eq!(
+            2 * seen,
+            two_lattice,
+            "{pattern}/{lattice}: residency is not an exact halving of the two-lattice model"
+        );
+        resident.push(obs::json::Value::obj(vec![
+            ("pattern", obs::json::Value::str(pattern)),
+            ("lattice", obs::json::Value::str(lattice)),
+            ("resident_bytes", obs::json::Value::int(seen as u64)),
+            (
+                "two_lattice_bytes",
+                obs::json::Value::int(two_lattice as u64),
+            ),
+        ]));
+    }
+    rec.set_extra("in_place_resident", obs::json::Value::Arr(resident));
+
+    // Bench rows for the new pattern names (measured B/F is Table 2's
+    // two-lattice shape: in-place storage halves residency, not traffic).
+    for (pattern, lattice, bpf, fluid) in [
+        ("st-aa", "D2Q9", aa2.measured_bpf(), g2.fluid_count()),
+        ("mr-t", "D2Q9", tw2.measured_bpf(), g2.fluid_count()),
+        ("st-aa", "D3Q19", aa3.measured_bpf(), g3.fluid_count()),
+        ("mr-t", "D3Q19", tw3.measured_bpf(), g3.fluid_count()),
+    ] {
+        rec.push(obs::BenchRow {
+            device: dev.name.to_string(),
+            lattice: lattice.to_string(),
+            pattern: pattern.to_string(),
+            fluid_nodes: fluid as u64,
+            steps: steps as u64,
+            mflups_modeled: mflups_max_on(&dev, bpf),
+            dram_bytes_per_item: bpf,
+            ..Default::default()
+        });
+    }
+    println!(
+        "in-place OK: AA-ST/twist-MR bitwise-match their two-lattice drivers at step {steps};"
+    );
+    println!(
+        "             resident bytes Q*8 / M*8 per node, exact halvings, via metrics registry"
+    );
+}
+
+/// The `aa` CI section: in-place propagation smoke as its own record.
+fn aa_section(hub: &Arc<obs::Obs>) {
+    println!("== aa: in-place single-lattice propagation smoke ====================");
+    let mut rec = obs::BenchRecord::new("aa");
+    in_place_pass(hub, &mut rec);
+    let path = rec.write(".").expect("write BENCH_aa.json");
+    println!("wrote {path}");
+    println!();
+}
+
 /// Machine-readable perf records: every headline number as a BENCH row —
 /// byte-exact traffic ideals, the measured sweep on both devices, the
 /// multi-device halo/overlap measurements, and the monitor's cost.
@@ -1090,7 +1279,8 @@ fn bench_record(quick: bool, results: &[RunResult], hub: &Arc<obs::Obs>) {
 
 /// Wall-clock bench of the software substrate itself: steady-state step
 /// timing (warmup + min-of-k repetitions on the monotonic clock) for ST,
-/// MR-P, and MR-R on the smoke lattice, reported as *measured* MFLUPS with
+/// MR-P, MR-R, and the in-place ST-AA / MR-T on the smoke lattice,
+/// reported as *measured* MFLUPS with
 /// the per-pattern speedup over ST. Before timing, each pattern is run
 /// under 1 and 8 CPU threads and the two traffic tallies are asserted
 /// byte-identical — the release-build guard that the pooled, span-staged
@@ -1099,7 +1289,7 @@ fn bench_wallclock(quick: bool) {
     use gpu_sim::memory::Tally;
     use lbm_bench::{bench_geometry_2d, bench_geometry_3d, TAU};
     use lbm_core::collision::Bgk;
-    use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim};
+    use lbm_gpu::{AaStSim, MrScheme, MrSim2D, MrSim3D, StSim};
     use lbm_lattice::{D2Q9, D3Q19};
     use std::time::Instant;
 
@@ -1205,6 +1395,34 @@ fn bench_wallclock(quick: bool) {
                         steps_per_rep,
                         fluid,
                     ),
+                    contender(
+                        "st-aa",
+                        |threads| {
+                            AaStSim::<D2Q9, _>::new(dev.clone(), geom.clone(), Bgk::new(TAU))
+                                .with_cpu_threads(threads)
+                        },
+                        |s, k| s.run(k),
+                        |s| s.traffic(),
+                        steps_per_rep,
+                        fluid,
+                    ),
+                    contender(
+                        "mr-t",
+                        |threads| {
+                            MrSim2D::<D2Q9>::new(
+                                dev.clone(),
+                                geom.clone(),
+                                MrScheme::projective(),
+                                TAU,
+                            )
+                            .with_twist()
+                            .with_cpu_threads(threads)
+                        },
+                        |s, k| s.run(k),
+                        |s| s.traffic(),
+                        steps_per_rep,
+                        fluid,
+                    ),
                 ]
             } else {
                 vec![
@@ -1244,6 +1462,34 @@ fn bench_wallclock(quick: bool) {
                                 MrScheme::recursive::<D3Q19>(),
                                 TAU,
                             )
+                            .with_cpu_threads(threads)
+                        },
+                        |s, k| s.run(k),
+                        |s| s.traffic(),
+                        steps_per_rep,
+                        fluid,
+                    ),
+                    contender(
+                        "st-aa",
+                        |threads| {
+                            AaStSim::<D3Q19, _>::new(dev.clone(), geom.clone(), Bgk::new(TAU))
+                                .with_cpu_threads(threads)
+                        },
+                        |s, k| s.run(k),
+                        |s| s.traffic(),
+                        steps_per_rep,
+                        fluid,
+                    ),
+                    contender(
+                        "mr-t",
+                        |threads| {
+                            MrSim3D::<D3Q19>::new(
+                                dev.clone(),
+                                geom.clone(),
+                                MrScheme::projective(),
+                                TAU,
+                            )
+                            .with_twist()
                             .with_cpu_threads(threads)
                         },
                         |s, k| s.run(k),
@@ -2039,6 +2285,7 @@ fn main() {
         "futurework" => future_work(quick),
         "scaling" => scaling(quick),
         "smoke" => smoke(&hub),
+        "aa" => aa_section(&hub),
         "bench" => bench_wallclock(quick),
         "bench-record" => bench_record(quick, &results, &hub),
         "resilience" => resilience(&hub, &inject, ckpt_every),
@@ -2057,6 +2304,7 @@ fn main() {
             profile(quick);
             future_work(quick);
             scaling(quick);
+            aa_section(&hub);
             bench_wallclock(quick);
             bench_record(quick, &results, &hub);
             resilience(&hub, &inject, ckpt_every);
@@ -2067,7 +2315,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown section '{other}'");
-            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|bench|bench-record|resilience|serve|slo|all] [--quick] [--steps=small|full] [--section=<name>] [--bench-wallclock] [--slo] [--inject=nan|abort|link|all] [--checkpoint-every=<n>] [--jobs=<n>] [--seed=<n>] [--trace=<path>] [--metrics=<path>] [--events=<path>]");
+            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|aa|bench|bench-record|resilience|serve|slo|all] [--quick] [--steps=small|full] [--section=<name>] [--bench-wallclock] [--slo] [--inject=nan|abort|link|all] [--checkpoint-every=<n>] [--jobs=<n>] [--seed=<n>] [--trace=<path>] [--metrics=<path>] [--events=<path>]");
             std::process::exit(2);
         }
     }

@@ -15,7 +15,7 @@ use gpu_sim::efficiency::{modeled_mflups, Pattern};
 use gpu_sim::DeviceSpec;
 use lbm_core::collision::Bgk;
 use lbm_core::Geometry;
-use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim};
+use lbm_gpu::{AaStSim, MrScheme, MrSim2D, MrSim3D, StSim};
 use lbm_lattice::{D2Q9, D3Q19, D3Q27, D3Q39};
 use std::time::Instant;
 
@@ -94,6 +94,13 @@ pub fn run_2d(
             sim.run(steps);
             finish(name, pattern, "D2Q9", fluid, steps, sim.measured_bpf(), t0)
         }
+        Pattern::StandardAa => {
+            let mut sim: AaStSim<D2Q9, _> = AaStSim::new(device, geom, Bgk::new(TAU));
+            sim.init_with(shear_init_2d);
+            let t0 = Instant::now();
+            sim.run(steps);
+            finish(name, pattern, "D2Q9", fluid, steps, sim.measured_bpf(), t0)
+        }
         Pattern::MomentProjective | Pattern::MomentRecursive => {
             let scheme = if pattern == Pattern::MomentProjective {
                 MrScheme::projective()
@@ -101,6 +108,14 @@ pub fn run_2d(
                 MrScheme::recursive::<D2Q9>()
             };
             let mut sim: MrSim2D<D2Q9> = MrSim2D::new(device, geom, scheme, TAU);
+            sim.init_with(shear_init_2d);
+            let t0 = Instant::now();
+            sim.run(steps);
+            finish(name, pattern, "D2Q9", fluid, steps, sim.measured_bpf(), t0)
+        }
+        Pattern::MomentTwist => {
+            let mut sim: MrSim2D<D2Q9> =
+                MrSim2D::new(device, geom, MrScheme::projective(), TAU).with_twist();
             sim.init_with(shear_init_2d);
             let t0 = Instant::now();
             sim.run(steps);
@@ -129,6 +144,13 @@ pub fn run_3d(
             sim.run(steps);
             finish(name, pattern, "D3Q19", fluid, steps, sim.measured_bpf(), t0)
         }
+        Pattern::StandardAa => {
+            let mut sim: AaStSim<D3Q19, _> = AaStSim::new(device, geom, Bgk::new(TAU));
+            sim.init_with(shear_init_3d);
+            let t0 = Instant::now();
+            sim.run(steps);
+            finish(name, pattern, "D3Q19", fluid, steps, sim.measured_bpf(), t0)
+        }
         Pattern::MomentProjective | Pattern::MomentRecursive => {
             let scheme = if pattern == Pattern::MomentProjective {
                 MrScheme::projective()
@@ -136,6 +158,14 @@ pub fn run_3d(
                 MrScheme::recursive::<D3Q19>()
             };
             let mut sim: MrSim3D<D3Q19> = MrSim3D::new(device, geom, scheme, TAU);
+            sim.init_with(shear_init_3d);
+            let t0 = Instant::now();
+            sim.run(steps);
+            finish(name, pattern, "D3Q19", fluid, steps, sim.measured_bpf(), t0)
+        }
+        Pattern::MomentTwist => {
+            let mut sim: MrSim3D<D3Q19> =
+                MrSim3D::new(device, geom, MrScheme::projective(), TAU).with_twist();
             sim.init_with(shear_init_3d);
             let t0 = Instant::now();
             sim.run(steps);
@@ -188,6 +218,13 @@ pub fn run_3d_q27(
             sim.run(steps);
             finish(name, pattern, "D3Q27", fluid, steps, sim.measured_bpf(), t0)
         }
+        Pattern::StandardAa => {
+            let mut sim: AaStSim<D3Q27, _> = AaStSim::new(device, geom, Bgk::new(TAU));
+            sim.init_with(shear_init_3d);
+            let t0 = Instant::now();
+            sim.run(steps);
+            finish(name, pattern, "D3Q27", fluid, steps, sim.measured_bpf(), t0)
+        }
         Pattern::MomentProjective | Pattern::MomentRecursive => {
             let scheme = if pattern == Pattern::MomentProjective {
                 MrScheme::projective()
@@ -195,6 +232,14 @@ pub fn run_3d_q27(
                 MrScheme::recursive::<D3Q27>()
             };
             let mut sim: MrSim3D<D3Q27> = MrSim3D::new(device, geom, scheme, TAU);
+            sim.init_with(shear_init_3d);
+            let t0 = Instant::now();
+            sim.run(steps);
+            finish(name, pattern, "D3Q27", fluid, steps, sim.measured_bpf(), t0)
+        }
+        Pattern::MomentTwist => {
+            let mut sim: MrSim3D<D3Q27> =
+                MrSim3D::new(device, geom, MrScheme::projective(), TAU).with_twist();
             sim.init_with(shear_init_3d);
             let t0 = Instant::now();
             sim.run(steps);
@@ -323,6 +368,28 @@ mod tests {
             (mr3.measured_bpf - 160.0).abs() < 4.0,
             "{}",
             mr3.measured_bpf
+        );
+    }
+
+    /// The in-place patterns keep Table 2's bytes-per-update — residency
+    /// halves, traffic does not.
+    #[test]
+    fn aa_and_twist_bpf_match_table2() {
+        let aa = run_2d(DeviceSpec::v100(), Pattern::StandardAa, 48, 24, 2);
+        assert!((aa.measured_bpf - 144.0).abs() < 2.0, "{}", aa.measured_bpf);
+        let tw = run_2d(DeviceSpec::v100(), Pattern::MomentTwist, 48, 24, 2);
+        assert!((tw.measured_bpf - 96.0).abs() < 2.0, "{}", tw.measured_bpf);
+        let aa3 = run_3d(DeviceSpec::mi100(), Pattern::StandardAa, 16, 12, 12, 2);
+        assert!(
+            (aa3.measured_bpf - 304.0).abs() < 3.0,
+            "{}",
+            aa3.measured_bpf
+        );
+        let tw3 = run_3d(DeviceSpec::mi100(), Pattern::MomentTwist, 16, 12, 12, 2);
+        assert!(
+            (tw3.measured_bpf - 160.0).abs() < 4.0,
+            "{}",
+            tw3.measured_bpf
         );
     }
 

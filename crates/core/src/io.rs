@@ -183,6 +183,21 @@ impl CheckpointWriter {
     }
 }
 
+/// Flavor string for a parity-tagged checkpoint: in-place (single-lattice)
+/// drivers suffix their base flavor with the step parity, so a restore can
+/// only land on the matching half of the two-step AA cycle. `"aa-st"` at
+/// step 7 becomes `"aa-st+odd"`.
+pub fn parity_flavor(base: &str, steps: u64) -> String {
+    format!(
+        "{base}+{}",
+        if steps.is_multiple_of(2) {
+            "even"
+        } else {
+            "odd"
+        }
+    )
+}
+
 /// Sequential reader over a validated checkpoint payload.
 #[derive(Debug)]
 pub struct CheckpointReader<'a> {
@@ -222,6 +237,21 @@ impl<'a> CheckpointReader<'a> {
             return Err(CheckpointError::ChecksumMismatch);
         }
         Ok(CheckpointReader { payload, pos: 0 })
+    }
+
+    /// Like [`CheckpointReader::open`], but accept any of several flavor
+    /// strings; returns the reader plus the index of the flavor that
+    /// matched. Parity-tagged drivers use this to discover which half-cycle
+    /// a snapshot was taken at before committing to a restore path.
+    pub fn open_any(bytes: &'a [u8], flavors: &[&str]) -> Result<(Self, usize), CheckpointError> {
+        let mut last = CheckpointError::BadMagic;
+        for (k, flavor) in flavors.iter().enumerate() {
+            match Self::open(bytes, flavor) {
+                Ok(r) => return Ok((r, k)),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 
     pub fn take_u64(&mut self) -> Result<u64, CheckpointError> {
@@ -514,6 +544,29 @@ mod tests {
         assert!(matches!(
             r.expect_u64(10, "nx"),
             Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn parity_flavor_tags_half_cycle() {
+        assert_eq!(parity_flavor("aa-st", 0), "aa-st+even");
+        assert_eq!(parity_flavor("aa-st", 7), "aa-st+odd");
+        assert_eq!(parity_flavor("mr2d-twist", 12), "mr2d-twist+even");
+    }
+
+    #[test]
+    fn open_any_discovers_the_matching_flavor() {
+        let mut w = CheckpointWriter::new("aa-st+odd");
+        w.put_u64(3);
+        let blob = w.finish();
+        let (mut r, which) =
+            CheckpointReader::open_any(&blob, &["aa-st+even", "aa-st+odd"]).unwrap();
+        assert_eq!(which, 1);
+        assert_eq!(r.take_u64().unwrap(), 3);
+        // No flavor matches → the error reports the last candidate tried.
+        assert!(matches!(
+            CheckpointReader::open_any(&blob, &["st", "mr2d"]),
+            Err(CheckpointError::WrongFlavor { .. })
         ));
     }
 

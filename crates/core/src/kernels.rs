@@ -100,6 +100,23 @@ pub fn dirs_all<L: Lattice>() -> Vec<usize> {
     (0..L::Q).collect()
 }
 
+/// Storage slot of direction `i` in a single-lattice AA-pattern buffer at
+/// step parity `parity`. The AA invariant keeps the lattice in *reversed*
+/// slots at even times (each post-collision `f_i` lives in slot `OPP[i]`)
+/// and in *natural* slots at odd times (the push half-step pre-streams the
+/// next step's inputs into place). Every lane path that touches an AA
+/// buffer — gather, flush, field reduction, init — routes its direction
+/// index through this one function so the parity convention cannot drift
+/// between kernels.
+#[inline(always)]
+pub fn aa_slot<L: Lattice>(parity: u64, i: usize) -> usize {
+    if parity.is_multiple_of(2) {
+        L::OPP[i]
+    } else {
+        i
+    }
+}
+
 /// Direction indices whose y velocity component equals `cy`. A column
 /// kernel's y-halo row only ever stores the directions pointing into the
 /// footprint (`cy = +1` below it, `cy = −1` above it): every other

@@ -141,6 +141,16 @@ pub trait Simulation {
     /// Device-memory footprint of the resident lattices, in bytes.
     fn footprint_bytes(&self) -> usize;
 
+    /// Resident device bytes this simulation holds for quota purposes —
+    /// the number the `lbm-serve` ledger charges a tenant. Defaults to
+    /// [`Simulation::footprint_bytes`]; drivers whose footprint includes
+    /// non-lattice scratch can override. Single-lattice (in-place) drivers
+    /// report exactly `Q·8·n` / `M·8·n` here, half of their two-lattice
+    /// counterparts.
+    fn resident_bytes(&self) -> usize {
+        self.footprint_bytes()
+    }
+
     /// Health probe: every sampled field value finite and no standing
     /// monitor violation.
     fn is_healthy(&self) -> bool {

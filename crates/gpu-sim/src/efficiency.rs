@@ -37,15 +37,37 @@ pub enum Pattern {
     MomentProjective,
     /// Moment representation with recursive regularization (MR-R).
     MomentRecursive,
+    /// In-place single-lattice ST: the AA pattern (ST-AA). Same traffic
+    /// shape and B/F as [`Pattern::Standard`], half the resident bytes.
+    StandardAa,
+    /// In-place single-lattice MR: parity-twisted moment storage (MR-T).
+    /// Same traffic shape and B/F as [`Pattern::MomentProjective`], half
+    /// the double-buffered residency and none of the shift padding.
+    MomentTwist,
 }
 
 impl Pattern {
-    /// Short label used in reports ("ST", "MR-P", "MR-R").
+    /// Short label used in reports ("ST", "MR-P", "MR-R", "ST-AA", "MR-T").
     pub fn label(self) -> &'static str {
         match self {
             Pattern::Standard => "ST",
             Pattern::MomentProjective => "MR-P",
             Pattern::MomentRecursive => "MR-R",
+            Pattern::StandardAa => "ST-AA",
+            Pattern::MomentTwist => "MR-T",
+        }
+    }
+
+    /// The two-lattice pattern whose bandwidth calibration this pattern
+    /// inherits. The in-place variants move the same bytes in the same
+    /// access shape as their two-lattice counterparts (reads and writes
+    /// swap roles on alternate steps but stay fully coalesced), so §4.2's
+    /// sustained-fraction calibration carries over unchanged.
+    pub fn calibration_class(self) -> Pattern {
+        match self {
+            Pattern::StandardAa => Pattern::Standard,
+            Pattern::MomentTwist => Pattern::MomentProjective,
+            p => p,
         }
     }
 }
@@ -65,6 +87,7 @@ impl Pattern {
 /// MR-R drop reflects its extra arithmetic becoming visible at D3Q19 — §4.3.)
 pub fn bandwidth_fraction(dev: &DeviceSpec, pattern: Pattern, dim: usize) -> f64 {
     use Pattern::*;
+    let pattern = pattern.calibration_class();
     // The paper calibrates dims 2 and 3 only. Anything else (a 1D strip
     // bench, a hypothetical 4D sweep) clamps to the nearest calibrated dim
     // instead of panicking, with the substitution recorded so callers can

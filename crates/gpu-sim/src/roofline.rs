@@ -74,6 +74,22 @@ pub fn footprint_mr_single(fluid_nodes: usize, m: usize, pad_nodes: usize) -> us
     (fluid_nodes + pad_nodes) * m * 8
 }
 
+/// Device-memory footprint of the in-place AA-pattern ST variant: exactly
+/// one distribution lattice, `Q` doubles per node — half of
+/// [`footprint_st`], byte-exact.
+#[inline]
+pub fn footprint_aa_st(fluid_nodes: usize, q: usize) -> usize {
+    fluid_nodes * q * 8
+}
+
+/// Device-memory footprint of the parity-twist MR variant: exactly one
+/// moment lattice, `M` doubles per node — no second buffer *and* no
+/// circular-shift padding, half of [`footprint_mr_double`], byte-exact.
+#[inline]
+pub fn footprint_mr_twist(fluid_nodes: usize, m: usize) -> usize {
+    fluid_nodes * m * 8
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

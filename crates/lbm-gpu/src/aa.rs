@@ -1,0 +1,1037 @@
+//! In-place AA-pattern propagation for the ST representation — one lattice
+//! instead of two.
+//!
+//! The two-lattice drivers ([`crate::StSim`]) keep src/dst copies so a step
+//! can stream without clobbering unread neighbors: `2Q·8` resident bytes
+//! per node. The AA pattern (Bailey et al.; see the Wittmann et al.
+//! propagation-step survey in PAPERS.md) eliminates the second lattice by
+//! alternating two half-steps over a single buffer `A` of `Q·n` doubles:
+//!
+//! * **stream half-step** (performed when the completed-step counter is
+//!   even): gather the streamed populations exactly like the pull kernel,
+//!   collide, then *push* the post-collision values out — pre-applying the
+//!   **next** step's streaming so they land in natural slots
+//!   `A(x + c_i, i)`.
+//! * **collide half-step** (counter odd): every node's inputs are already
+//!   in its own natural slots; collide node-locally and store the results
+//!   reversed, `A(x, OPP[i]) = f*_i`.
+//!
+//! With steps numbered from 1 this is the classic AA schedule — odd steps
+//! pull-swap-collide-push, even steps collide in place.
+//!
+//! # Parity invariant
+//!
+//! At even completed-step counts the buffer holds the post-collision state
+//! in *reversed* slots: `A_t(x, OPP[i]) = f_i(x, t)`, bitwise equal to what
+//! `StSim` holds in its current lattice. At odd counts it holds the next
+//! step's pre-collision inputs in *natural* slots. Every slot computation
+//! routes through [`lbm_core::kernels::aa_slot`] so the convention cannot
+//! drift between gather, scatter, reduction, and init.
+//!
+//! # Race freedom
+//!
+//! During the stream half-step, cell `A(v, s)` is read only by the gather
+//! of node `v − c_s` (fluid case: `x − c_j = v, OPP[j] = s ⇒ x = v − c_s`)
+//! and written only by the push of the *same* node (`x + c_i = v, i = s ⇒
+//! x = v − c_s`); the bounce-back reads/writes of `A(x, i)` / `A(x,
+//! OPP[i])` are both by node `x` itself, under the same solid-neighbor
+//! condition. Every cell therefore has exclusive single-node ownership,
+//! and each node gathers before it pushes — the update is race-free under
+//! any block schedule, which the strict race checker verifies in the tests
+//! (under the pooled executor; this is exactly what it was built for). The
+//! collide half-step is trivially node-local.
+//!
+//! Traffic per fluid node and step is `Q` reads + `Q` writes in both
+//! half-steps, so the measured B/F stays at Table 2's `2Q·8` (144 / 304)
+//! while resident bytes drop from `2Q·8` to `Q·8` per node.
+
+use crate::boundary::boundary_nodes;
+use crate::st::for_each_run;
+use gpu_sim::exec::{BlockCtx, Kernel, Launch, LaunchStats};
+use gpu_sim::memory::Tally;
+use gpu_sim::{DeviceSpec, GlobalBuffer, Gpu};
+use lbm_core::boundary::WallGains;
+use lbm_core::collision::Collision;
+use lbm_core::geometry::{Geometry, NodeType};
+use lbm_core::kernels::{aa_slot, KernelConsts, MAX_Q};
+use lbm_lattice::moments::Moments;
+use lbm_lattice::Lattice;
+use std::marker::PhantomData;
+
+/// Gather the streamed populations for node `idx` out of the even-state
+/// buffer (post-collision values in reversed slots). Case-for-case the
+/// reads are [`crate::StSim`]'s pull gather with the source slot routed
+/// through the even-parity mapping: a fluid neighbor's `f_i` lives at
+/// `A(x − c_i, OPP[i])`, and the bounce-back read of the node's own
+/// `f_{OPP[i]}` lives at `A(x, i)`.
+#[inline]
+fn aa_gather<L: Lattice>(
+    ctx: &mut BlockCtx,
+    a: &GlobalBuffer<f64>,
+    geom: &Geometry,
+    gains: &WallGains,
+    idx: usize,
+    f_loc: &mut [f64; MAX_Q],
+) {
+    let n = geom.len();
+    let (x, y, z) = geom.coords(idx);
+    for i in 0..L::Q {
+        let c = L::C[i];
+        f_loc[i] = match geom.neighbor(x, y, z, [-c[0], -c[1], -c[2]]) {
+            Some((px, py, pz)) => {
+                let nidx = geom.idx(px, py, pz);
+                match geom.node_at(nidx) {
+                    t if t.is_fluid_like() => ctx.read(a, L::OPP[i] * n + nidx),
+                    NodeType::Wall => ctx.read(a, i * n + idx),
+                    NodeType::MovingWall(uw) => ctx.read(a, i * n + idx) + gains.gain(i, uw),
+                    _ => unreachable!(),
+                }
+            }
+            None => ctx.read(a, i * n + idx),
+        };
+    }
+}
+
+/// Stream half-step kernel over the x-span `[x_lo, x_hi)`: gather (pull
+/// rules over reversed slots), collide, scatter (push rules into natural
+/// slots). The span restriction is the multi-device building block; the
+/// single-device driver launches it over the whole domain.
+struct AaStreamKernel<'a, L: Lattice, C: Collision<L>> {
+    a: &'a GlobalBuffer<f64>,
+    geom: &'a Geometry,
+    collision: &'a C,
+    consts: &'a KernelConsts,
+    block_size: usize,
+    x_lo: usize,
+    x_hi: usize,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> Kernel for AaStreamKernel<'_, L, C> {
+    fn name(&self) -> &str {
+        "aa-stream"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx) {
+        let n = self.geom.len();
+        let bs = self.block_size;
+        let w = self.x_hi - self.x_lo;
+        let span = w * self.geom.ny * self.geom.nz;
+        let base = ctx.block_id * bs;
+        let node_of = |tid: usize| {
+            let q = base + tid;
+            if q >= span {
+                return None;
+            }
+            let x = self.x_lo + q % w;
+            let y = (q / w) % self.geom.ny;
+            let z = q / (w * self.geom.ny);
+            let idx = self.geom.idx(x, y, z);
+            matches!(self.geom.node_at(idx), NodeType::Fluid).then_some(idx)
+        };
+        // Pass 1: gather + collide into scratch, staged per maximal run —
+        // the same arithmetic path (and `collide_soa` chunking) as the
+        // two-lattice pull kernel, so per-node values are bitwise equal.
+        for_each_run(ctx, bs, node_of, |ctx, stid, sidx, len| {
+            let mut f_loc = [0.0f64; MAX_Q];
+            for k in 0..len {
+                aa_gather::<L>(
+                    ctx,
+                    self.a,
+                    self.geom,
+                    &self.consts.gains,
+                    sidx + k,
+                    &mut f_loc,
+                );
+                if self.consts.scalar {
+                    self.collision.collide(&mut f_loc[..L::Q]);
+                }
+                let scratch = ctx.scratch();
+                for i in 0..L::Q {
+                    scratch[i * bs + stid + k] = f_loc[i];
+                }
+            }
+            if !self.consts.scalar {
+                self.collision.collide_soa(ctx.scratch(), bs, stid, len);
+            }
+        });
+        // Pass 2: scatter element-wise with the push rules (pre-applies the
+        // next step's streaming). Each node's gather strictly precedes its
+        // push, and cell ownership is exclusive (module docs), so the
+        // in-place overwrite is race-free.
+        let mut f_loc = [0.0f64; MAX_Q];
+        for tid in 0..bs {
+            let Some(idx) = node_of(tid) else {
+                continue;
+            };
+            let (x, y, z) = self.geom.coords(idx);
+            let scratch = ctx.scratch();
+            for i in 0..L::Q {
+                f_loc[i] = scratch[i * bs + tid];
+            }
+            for i in 0..L::Q {
+                let c = L::C[i];
+                match self.geom.neighbor(x, y, z, c) {
+                    Some((dx, dy, dz)) => {
+                        let didx = self.geom.idx(dx, dy, dz);
+                        match self.geom.node_at(didx) {
+                            t if t.is_fluid_like() => ctx.write(self.a, i * n + didx, f_loc[i]),
+                            NodeType::Wall => ctx.write(self.a, L::OPP[i] * n + idx, f_loc[i]),
+                            NodeType::MovingWall(uw) => ctx.write(
+                                self.a,
+                                L::OPP[i] * n + idx,
+                                f_loc[i] + self.consts.gains.gain(L::OPP[i], uw),
+                            ),
+                            _ => unreachable!(),
+                        }
+                    }
+                    None => ctx.write(self.a, L::OPP[i] * n + idx, f_loc[i]),
+                }
+            }
+        }
+    }
+}
+
+/// Collide half-step kernel over the x-span `[x_lo, x_hi)`: read the `Q`
+/// natural slots (already streamed by the previous half-step's push),
+/// collide, write back reversed. Node-local by construction.
+struct AaCollideKernel<'a, L: Lattice, C: Collision<L>> {
+    a: &'a GlobalBuffer<f64>,
+    geom: &'a Geometry,
+    collision: &'a C,
+    consts: &'a KernelConsts,
+    block_size: usize,
+    x_lo: usize,
+    x_hi: usize,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> Kernel for AaCollideKernel<'_, L, C> {
+    fn name(&self) -> &str {
+        "aa-collide"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx) {
+        let n = self.geom.len();
+        let bs = self.block_size;
+        let w = self.x_hi - self.x_lo;
+        let span = w * self.geom.ny * self.geom.nz;
+        let base = ctx.block_id * bs;
+        let node_of = |tid: usize| {
+            let q = base + tid;
+            if q >= span {
+                return None;
+            }
+            let x = self.x_lo + q % w;
+            let y = (q / w) % self.geom.ny;
+            let z = q / (w * self.geom.ny);
+            let idx = self.geom.idx(x, y, z);
+            matches!(self.geom.node_at(idx), NodeType::Fluid).then_some(idx)
+        };
+        for_each_run(ctx, bs, node_of, |ctx, stid, sidx, len| {
+            if self.consts.scalar {
+                let mut f_loc = [0.0f64; MAX_Q];
+                for k in 0..len {
+                    let idx = sidx + k;
+                    for i in 0..L::Q {
+                        f_loc[i] = ctx.read(self.a, i * n + idx);
+                    }
+                    self.collision.collide(&mut f_loc[..L::Q]);
+                    let scratch = ctx.scratch();
+                    for i in 0..L::Q {
+                        scratch[i * bs + stid + k] = f_loc[i];
+                    }
+                }
+            } else {
+                for i in 0..L::Q {
+                    ctx.read_span_to_scratch(self.a, i * n + sidx, i * bs + stid, len);
+                }
+                self.collision.collide_soa(ctx.scratch(), bs, stid, len);
+            }
+            // All Q rows of the run were read above, so the reversed-slot
+            // flush only overwrites cells this run's own nodes already
+            // consumed.
+            for i in 0..L::Q {
+                ctx.write_span_from_scratch(self.a, L::OPP[i] * n + sidx, i * bs + stid, len);
+            }
+        });
+    }
+}
+
+/// Launch the AA stream half-step (gather + collide + push) restricted to
+/// the x-span `[x_lo, x_hi)`. Per-node arithmetic is identical to the full
+/// launch, so a union of span launches covering the domain is bitwise
+/// equal to one full launch — the multi-device building block.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_aa_stream_span<L: Lattice, C: Collision<L>>(
+    gpu: &Gpu,
+    a: &GlobalBuffer<f64>,
+    geom: &Geometry,
+    collision: &C,
+    consts: &KernelConsts,
+    block_size: usize,
+    x_lo: usize,
+    x_hi: usize,
+) -> LaunchStats {
+    assert!(x_lo < x_hi && x_hi <= geom.nx, "bad span {x_lo}..{x_hi}");
+    let span = (x_hi - x_lo) * geom.ny * geom.nz;
+    gpu.launch(
+        &Launch {
+            blocks: span.div_ceil(block_size),
+            threads_per_block: block_size,
+            shared_doubles: 0,
+            scratch_doubles: L::Q * block_size,
+        },
+        &AaStreamKernel::<L, C> {
+            a,
+            geom,
+            collision,
+            consts,
+            block_size,
+            x_lo,
+            x_hi,
+            _l: PhantomData,
+        },
+    )
+}
+
+/// Launch the AA collide half-step (node-local collide, reversed-slot
+/// store) restricted to the x-span `[x_lo, x_hi)`.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_aa_collide_span<L: Lattice, C: Collision<L>>(
+    gpu: &Gpu,
+    a: &GlobalBuffer<f64>,
+    geom: &Geometry,
+    collision: &C,
+    consts: &KernelConsts,
+    block_size: usize,
+    x_lo: usize,
+    x_hi: usize,
+) -> LaunchStats {
+    assert!(x_lo < x_hi && x_hi <= geom.nx, "bad span {x_lo}..{x_hi}");
+    let span = (x_hi - x_lo) * geom.ny * geom.nz;
+    gpu.launch(
+        &Launch {
+            blocks: span.div_ceil(block_size),
+            threads_per_block: block_size,
+            shared_doubles: 0,
+            scratch_doubles: L::Q * block_size,
+        },
+        &AaCollideKernel::<L, C> {
+            a,
+            geom,
+            collision,
+            consts,
+            block_size,
+            x_lo,
+            x_hi,
+            _l: PhantomData,
+        },
+    )
+}
+
+/// Driver for an in-place AA-pattern ST simulation: one `Q·n` lattice,
+/// bitwise equal to [`crate::StSim`] at every even step count.
+pub struct AaStSim<L: Lattice, C: Collision<L>> {
+    gpu: Gpu,
+    geom: Geometry,
+    a: GlobalBuffer<f64>,
+    collision: C,
+    consts: KernelConsts,
+    block_size: usize,
+    steps: u64,
+    accum: Tally,
+    profiler: Option<std::sync::Arc<gpu_sim::profiler::Profiler>>,
+    obs: Option<std::sync::Arc<obs::Obs>>,
+    monitor: Option<obs::PhysicsMonitor>,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> AaStSim<L, C> {
+    /// Build an AA simulation on `device` over `geom`, initialized to
+    /// equilibrium at rest. Like the push-scheme ablation, the AA scatter
+    /// has no inlet/outlet support — the scheme pre-streams into neighbors
+    /// before the boundary kernel could rebuild them — so geometries with
+    /// inlet/outlet nodes are rejected.
+    pub fn new(device: DeviceSpec, geom: Geometry, collision: C) -> Self {
+        if L::D == 2 {
+            assert_eq!(geom.nz, 1, "2D lattice on a 3D domain");
+        }
+        assert!(
+            boundary_nodes(&geom).is_empty(),
+            "AA-pattern streaming does not support inlet/outlet boundaries"
+        );
+        let n = geom.len();
+        let consts = KernelConsts::new::<L>(collision.tau());
+        let mut sim = AaStSim {
+            gpu: Gpu::new(device),
+            geom,
+            a: GlobalBuffer::new(L::Q * n).with_touch_tracking(),
+            collision,
+            consts,
+            block_size: 256,
+            steps: 0,
+            accum: Tally::default(),
+            profiler: None,
+            obs: None,
+            monitor: None,
+            _l: PhantomData,
+        };
+        sim.init_with(|_, _, _| (1.0, [0.0; 3]));
+        sim
+    }
+
+    /// Limit the CPU worker threads backing the substrate.
+    pub fn with_cpu_threads(mut self, n: usize) -> Self {
+        self.gpu = self.gpu.with_cpu_threads(n);
+        self
+    }
+
+    /// Override the minimum launch size dispatched to the worker pool;
+    /// `0` forces pooling for every multi-block launch.
+    pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+        self.gpu = self.gpu.with_parallel_threshold(items);
+        self
+    }
+
+    /// Record every kernel launch into a shared profiler.
+    pub fn with_profiler(mut self, p: std::sync::Arc<gpu_sim::profiler::Profiler>) -> Self {
+        self.profiler = Some(p);
+        self
+    }
+
+    /// Attach an observability hub (step spans, kernel spans, launch
+    /// metrics).
+    pub fn with_obs(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// In-place [`AaStSim::with_obs`] (the `Simulation` trait surface).
+    pub fn set_obs(&mut self, obs: std::sync::Arc<obs::Obs>) {
+        self.gpu.set_obs(obs.clone());
+        self.obs = Some(obs);
+    }
+
+    /// Attach (or clear) the fleet trace context.
+    pub fn set_trace_ctx(&mut self, ctx: Option<obs::TraceCtx>) {
+        self.gpu.set_trace_ctx(ctx);
+    }
+
+    /// Attach a physics monitor sampling the macroscopic fields every
+    /// `cfg.cadence` steps.
+    pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
+        self.monitor = Some(obs::PhysicsMonitor::new(cfg));
+        self
+    }
+
+    /// The attached physics monitor, if any.
+    pub fn monitor(&self) -> Option<&obs::PhysicsMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Mutable access to the physics monitor (recovery rollback).
+    pub fn monitor_mut(&mut self) -> Option<&mut obs::PhysicsMonitor> {
+        self.monitor.as_mut()
+    }
+
+    /// Set the thread-block size of the half-step kernels.
+    pub fn with_block_size(mut self, bs: usize) -> Self {
+        assert!(bs >= 1);
+        self.block_size = bs;
+        self
+    }
+
+    /// Run the original per-node scalar kernels instead of the vectorized
+    /// SoA chunks (bitwise-identical; the equivalence oracle).
+    pub fn with_scalar_kernels(mut self) -> Self {
+        self.consts.scalar = true;
+        self
+    }
+
+    /// Enable strict race checking on the single lattice: any cross-block
+    /// overlap or stale read inside a launch panics. The in-place update's
+    /// exclusive cell ownership is exactly what this verifies.
+    pub fn with_racecheck_strict(mut self) -> Self {
+        let a = std::mem::replace(&mut self.a, GlobalBuffer::new(1));
+        self.a = a.with_racecheck_strict();
+        self
+    }
+
+    /// Attach a deterministic fault plan to the device and the lattice.
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<gpu_sim::FaultPlan>) -> Self {
+        self.gpu.set_fault_plan(plan.clone());
+        self.a.set_fault_plan(plan);
+        self
+    }
+
+    /// Initialize all nodes to the operator-consistent equilibrium of a
+    /// macroscopic field, stored per the even-parity invariant (reversed
+    /// slots), and reset the step/traffic counters.
+    pub fn init_with(&mut self, field: impl Fn(usize, usize, usize) -> (f64, [f64; 3])) {
+        let n = self.geom.len();
+        let mut feq = [0.0f64; MAX_Q];
+        for idx in 0..n {
+            let (x, y, z) = self.geom.coords(idx);
+            let (rho, u) = field(x, y, z);
+            let m = Moments {
+                rho,
+                u,
+                pi: Moments::pi_eq(rho, u, L::D),
+            };
+            self.collision.reconstruct(&m, &mut feq[..L::Q]);
+            for i in 0..L::Q {
+                self.a.set(aa_slot::<L>(0, i) * n + idx, feq[i]);
+            }
+        }
+        self.steps = 0;
+        self.accum = Tally::default();
+    }
+
+    /// Advance one timestep: the stream half-step at even completed-step
+    /// counts, the in-place collide at odd ones.
+    pub fn step(&mut self) {
+        let obs = self.obs.clone();
+        let _step_span = obs.as_ref().map(|o| {
+            let mut args = vec![("t", self.steps.to_string())];
+            if let Some(ctx) = self.gpu.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("driver", "step", &args)
+        });
+        let stats = if self.steps.is_multiple_of(2) {
+            launch_aa_stream_span::<L, C>(
+                &self.gpu,
+                &self.a,
+                &self.geom,
+                &self.collision,
+                &self.consts,
+                self.block_size,
+                0,
+                self.geom.nx,
+            )
+        } else {
+            launch_aa_collide_span::<L, C>(
+                &self.gpu,
+                &self.a,
+                &self.geom,
+                &self.collision,
+                &self.consts,
+                self.block_size,
+                0,
+                self.geom.nx,
+            )
+        };
+        self.accum.merge(&stats.tally);
+        if let Some(p) = &self.profiler {
+            p.record(&stats, self.geom.fluid_count() as u64);
+        }
+        self.steps += 1;
+        self.sample_monitor();
+    }
+
+    fn sample_monitor(&mut self) {
+        if !self.monitor.as_ref().is_some_and(|m| m.due(self.steps)) {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().observe(self.steps, &rho, &u);
+        if let Some(o) = &self.obs {
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", "aa-st")], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", "aa-st")], s.max_u);
+            if s.nonfinite > 0 {
+                o.tracer.instant(
+                    "monitor",
+                    "nonfinite",
+                    &[
+                        ("step", s.step.to_string()),
+                        ("count", s.nonfinite.to_string()),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Advance `steps` timesteps, then force a final monitor sample.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+        self.finish_monitor();
+    }
+
+    /// Force a final monitor sample at the current step.
+    pub fn finish_monitor(&mut self) {
+        if self.monitor.is_none() {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().finish(self.steps, &rho, &u);
+        if let (Some(s), Some(o)) = (s, &self.obs) {
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", "aa-st")], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", "aa-st")], s.max_u);
+            o.tracer
+                .instant("monitor", "flush", &[("step", s.step.to_string())]);
+        }
+    }
+
+    /// Completed timesteps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Domain geometry.
+    pub fn geom(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// Aggregate traffic over all steps so far.
+    pub fn traffic(&self) -> Tally {
+        self.accum
+    }
+
+    /// Measured DRAM bytes per fluid lattice update (Table 2's B/F).
+    pub fn measured_bpf(&self) -> f64 {
+        let updates = self.geom.fluid_count() as u64 * self.steps;
+        self.accum.dram_bytes() as f64 / updates as f64
+    }
+
+    /// Device-memory footprint: exactly one lattice, `Q·8` bytes per node —
+    /// half of [`crate::StSim`].
+    pub fn footprint_bytes(&self) -> usize {
+        self.a.size_bytes()
+    }
+
+    /// Distribution at a node, un-permuted to natural direction order
+    /// regardless of the current parity.
+    pub fn f_at(&self, x: usize, y: usize, z: usize) -> Vec<f64> {
+        let n = self.geom.len();
+        let idx = self.geom.idx(x, y, z);
+        (0..L::Q)
+            .map(|i| self.a.get(aa_slot::<L>(self.steps, i) * n + idx))
+            .collect()
+    }
+
+    /// Moments at a node.
+    pub fn moments_at(&self, x: usize, y: usize, z: usize) -> Moments {
+        Moments::from_f::<L>(&self.f_at(x, y, z))
+    }
+
+    /// Density and velocity fields in one pass (solid nodes report zero).
+    /// At even parity the slot un-permutation makes the per-node sums
+    /// bitwise identical to [`crate::StSim::macro_fields`]; at odd parity
+    /// the buffer holds the *streamed* inputs of the next step, so the
+    /// fields are the (deterministic, conservative) half-cycle state —
+    /// comparable to the two-lattice driver only at even counts.
+    pub fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
+        let n = self.geom.len();
+        let mut rho_out = vec![0.0; n];
+        let mut u_out = vec![[0.0; 3]; n];
+        for idx in 0..n {
+            if !self.geom.node_at(idx).is_fluid_like() {
+                continue;
+            }
+            let mut rho = 0.0;
+            let mut j = [0.0f64; 3];
+            for i in 0..L::Q {
+                let fi = self.a.get(aa_slot::<L>(self.steps, i) * n + idx);
+                let c = L::cf(i);
+                rho += fi;
+                j[0] += c[0] * fi;
+                j[1] += c[1] * fi;
+                j[2] += c[2] * fi;
+            }
+            let inv_rho = 1.0 / rho;
+            rho_out[idx] = rho;
+            u_out[idx] = [j[0] * inv_rho, j[1] * inv_rho, j[2] * inv_rho];
+        }
+        (rho_out, u_out)
+    }
+
+    /// Velocity field (solid nodes report zero).
+    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+        self.macro_fields().1
+    }
+
+    /// Density field (solid nodes report zero).
+    pub fn density_field(&self) -> Vec<f64> {
+        self.macro_fields().0
+    }
+
+    /// FNV-1a fingerprint of the macroscopic fields (bitwise-sensitive).
+    pub fn field_checksum(&self) -> u64 {
+        let (rho, u) = self.macro_fields();
+        lbm_core::io::field_checksum(&rho, &u)
+    }
+
+    /// Serialize the full solver state. The flavor tag carries the step
+    /// parity (`"aa-st+even"` / `"aa-st+odd"`), so a restore can only land
+    /// on the half of the AA cycle the snapshot was taken at.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let n = self.geom.len();
+        let flavor = lbm_core::io::parity_flavor("aa-st", self.steps);
+        let mut w = lbm_core::io::CheckpointWriter::new(&flavor);
+        w.put_u64(self.geom.nx as u64)
+            .put_u64(self.geom.ny as u64)
+            .put_u64(self.geom.nz as u64)
+            .put_u64(L::Q as u64)
+            .put_u64(self.steps)
+            .put_u64(self.accum.reads)
+            .put_u64(self.accum.writes)
+            .put_u64(self.accum.bytes_read)
+            .put_u64(self.accum.bytes_written)
+            .put_u64(self.accum.dram_bytes_read)
+            .put_u64(self.accum.l2_read_hits)
+            .put_f64s(&self.a.snapshot()[..L::Q * n]);
+        w.finish()
+    }
+
+    /// Restore an [`AaStSim::checkpoint`] snapshot taken on an identically
+    /// configured simulation. The parity baked into the flavor tag is
+    /// cross-checked against the stored step counter, so a snapshot whose
+    /// framing and payload disagree about the half-cycle is rejected.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), lbm_core::io::CheckpointError> {
+        use lbm_core::io::{CheckpointError, CheckpointReader};
+        let (mut r, which) = CheckpointReader::open_any(bytes, &["aa-st+even", "aa-st+odd"])?;
+        r.expect_u64(self.geom.nx as u64, "nx")?;
+        r.expect_u64(self.geom.ny as u64, "ny")?;
+        r.expect_u64(self.geom.nz as u64, "nz")?;
+        r.expect_u64(L::Q as u64, "Q")?;
+        let steps = r.take_u64()?;
+        if steps % 2 != which as u64 {
+            return Err(CheckpointError::Mismatch(format!(
+                "flavor parity ({}) disagrees with stored step counter {steps}",
+                if which == 0 { "even" } else { "odd" }
+            )));
+        }
+        let accum = Tally {
+            reads: r.take_u64()?,
+            writes: r.take_u64()?,
+            bytes_read: r.take_u64()?,
+            bytes_written: r.take_u64()?,
+            dram_bytes_read: r.take_u64()?,
+            l2_read_hits: r.take_u64()?,
+        };
+        let n = self.geom.len();
+        let a = r.take_f64s(L::Q * n)?;
+        for (i, v) in a.iter().enumerate() {
+            self.a.set(i, *v);
+        }
+        self.steps = steps;
+        self.accum = accum;
+        if let Some(m) = self.monitor.as_mut() {
+            m.rollback_to(self.steps);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StSim;
+    use lbm_core::collision::{Bgk, Projective};
+    use lbm_lattice::{D2Q9, D3Q19};
+
+    fn shear_init(x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
+        (
+            1.0 + 0.01 * ((x + 2 * y + z) as f64 * 0.3).sin(),
+            [
+                0.02 * ((y + z) as f64 * 0.6).sin(),
+                0.01 * (x as f64 * 0.4).cos(),
+                0.0,
+            ],
+        )
+    }
+
+    /// A 2D geometry with a moving lid so the AA bounce-back gain paths are
+    /// exercised against the two-lattice driver.
+    fn lid_geom(nx: usize, ny: usize) -> Geometry {
+        let mut g = Geometry::walls_y_periodic_x(nx, ny);
+        for x in 0..nx {
+            g.set(x, ny - 1, 0, NodeType::MovingWall([0.05, 0.0, 0.0]));
+        }
+        g
+    }
+
+    /// The correctness contract: AA is bitwise equal to the two-lattice ST
+    /// driver at *every even* step count, on both device models, including
+    /// moving-wall bounce-back.
+    #[test]
+    fn aa_matches_st_bitwise_at_even_steps_2d() {
+        for dev in [DeviceSpec::v100(), DeviceSpec::mi100()] {
+            let geom = lid_geom(20, 10);
+            let mut aa: AaStSim<D2Q9, _> =
+                AaStSim::new(dev.clone(), geom.clone(), Bgk::new(0.8)).with_cpu_threads(2);
+            aa.init_with(shear_init);
+            let mut st: StSim<D2Q9, _> = StSim::new(dev, geom, Bgk::new(0.8)).with_cpu_threads(2);
+            st.init_with(shear_init);
+            assert_eq!(aa.field_checksum(), st.field_checksum(), "init state");
+            for step in 1..=8u64 {
+                aa.step();
+                st.step();
+                if step % 2 == 0 {
+                    assert_eq!(
+                        aa.field_checksum(),
+                        st.field_checksum(),
+                        "divergence at even step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same contract in 3D (walled duct, periodic x), with the projective
+    /// regularized operator to cover the non-BGK collide path.
+    #[test]
+    fn aa_matches_st_bitwise_at_even_steps_3d() {
+        for dev in [DeviceSpec::v100(), DeviceSpec::mi100()] {
+            let mut geom = Geometry::new(10, 6, 6, [true, false, false]);
+            for z in 0..6 {
+                for y in 0..6 {
+                    for x in 0..10 {
+                        if y == 0 || y == 5 || z == 0 || z == 5 {
+                            geom.set(x, y, z, NodeType::Wall);
+                        }
+                    }
+                }
+            }
+            let mut aa: AaStSim<D3Q19, _> =
+                AaStSim::new(dev.clone(), geom.clone(), Projective::new(0.7)).with_cpu_threads(2);
+            aa.init_with(shear_init);
+            let mut st: StSim<D3Q19, _> =
+                StSim::new(dev, geom, Projective::new(0.7)).with_cpu_threads(2);
+            st.init_with(shear_init);
+            for _ in 0..2 {
+                aa.step();
+                aa.step();
+                st.step();
+                st.step();
+                assert_eq!(aa.field_checksum(), st.field_checksum());
+            }
+        }
+    }
+
+    /// The race checker's reason to exist: the in-place swap must be
+    /// race-free under the pooled executor (forced pooling, small blocks,
+    /// several workers), in strict mode, across both half-steps.
+    #[test]
+    fn aa_strict_racecheck_under_pooled_executor() {
+        let mut sim: AaStSim<D2Q9, _> =
+            AaStSim::new(DeviceSpec::v100(), lid_geom(20, 10), Bgk::new(0.8))
+                .with_racecheck_strict()
+                .with_cpu_threads(3)
+                .with_parallel_threshold(0)
+                .with_block_size(32);
+        sim.init_with(shear_init);
+        sim.run(4);
+        assert!(sim.field_checksum() != 0);
+    }
+
+    /// Strict race check in 3D too (different neighbor topology).
+    #[test]
+    fn aa_strict_racecheck_3d() {
+        let mut sim: AaStSim<D3Q19, _> = AaStSim::new(
+            DeviceSpec::v100(),
+            Geometry::periodic_3d(8, 6, 6),
+            Bgk::new(0.9),
+        )
+        .with_racecheck_strict()
+        .with_cpu_threads(3)
+        .with_parallel_threshold(0)
+        .with_block_size(32);
+        sim.run(4);
+        assert!(sim.field_checksum() != 0);
+    }
+
+    /// Resident bytes are exactly one lattice — `Q·8` per node, half of the
+    /// two-lattice driver, byte-exact.
+    #[test]
+    fn footprint_is_single_lattice() {
+        let geom = Geometry::periodic_2d(10, 10);
+        let aa: AaStSim<D2Q9, _> = AaStSim::new(DeviceSpec::v100(), geom.clone(), Bgk::new(0.8));
+        let st: StSim<D2Q9, _> = StSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8));
+        assert_eq!(aa.footprint_bytes(), 9 * 100 * 8);
+        assert_eq!(2 * aa.footprint_bytes(), st.footprint_bytes());
+    }
+
+    /// Measured B/F stays at Table 2's 2Q·8 on a periodic box — in-place
+    /// storage halves residency, not traffic.
+    #[test]
+    fn measured_bpf_matches_table2_2d() {
+        let mut sim: AaStSim<D2Q9, _> = AaStSim::new(
+            DeviceSpec::v100(),
+            Geometry::periodic_2d(32, 16),
+            Bgk::new(0.9),
+        )
+        .with_cpu_threads(2);
+        sim.run(4);
+        let bpf = sim.measured_bpf();
+        assert!((bpf - 144.0).abs() < 1e-9, "B/F = {bpf}");
+    }
+
+    #[test]
+    fn measured_bpf_matches_table2_3d() {
+        let mut sim: AaStSim<D3Q19, _> = AaStSim::new(
+            DeviceSpec::v100(),
+            Geometry::periodic_3d(12, 8, 8),
+            Bgk::new(0.9),
+        )
+        .with_cpu_threads(2);
+        sim.run(2);
+        let bpf = sim.measured_bpf();
+        assert!((bpf - 304.0).abs() < 1e-9, "B/F = {bpf}");
+    }
+
+    /// Scheduling must be invisible: 1, 3, and 8 worker threads produce
+    /// bitwise-identical fields and identical tallies, at odd and even
+    /// parity alike.
+    #[test]
+    fn executor_determinism_across_thread_counts() {
+        let run = |threads: usize, steps: usize| {
+            let mut sim: AaStSim<D2Q9, _> =
+                AaStSim::new(DeviceSpec::v100(), lid_geom(20, 11), Bgk::new(0.8))
+                    .with_cpu_threads(threads)
+                    .with_parallel_threshold(0)
+                    .with_block_size(32);
+            sim.init_with(shear_init);
+            sim.run(steps);
+            (sim.field_checksum(), sim.traffic())
+        };
+        for steps in [7, 8] {
+            let base = run(1, steps);
+            for threads in [3, 8] {
+                assert_eq!(base, run(threads, steps), "diverges at {threads} threads");
+            }
+        }
+    }
+
+    /// Scalar and vectorized kernels are bitwise-identical on both
+    /// half-steps.
+    #[test]
+    fn scalar_path_matches_vectorized() {
+        for steps in [3usize, 4] {
+            let mk = |scalar: bool| {
+                let mut sim: AaStSim<D2Q9, _> =
+                    AaStSim::new(DeviceSpec::v100(), lid_geom(16, 9), Bgk::new(0.8))
+                        .with_cpu_threads(2);
+                if scalar {
+                    sim = sim.with_scalar_kernels();
+                }
+                sim.init_with(shear_init);
+                sim.run(steps);
+                sim.field_checksum()
+            };
+            assert_eq!(mk(false), mk(true), "scalar/vector divergence at {steps}");
+        }
+    }
+
+    /// Checkpoint/restore round-trips at both parities; the odd-parity
+    /// snapshot carries the `+odd` flavor and restores onto the correct
+    /// half-cycle (resumed trajectory bitwise equal to uninterrupted).
+    #[test]
+    fn checkpoint_round_trips_at_both_parities() {
+        for cut in [3usize, 4] {
+            let mut a: AaStSim<D2Q9, _> =
+                AaStSim::new(DeviceSpec::v100(), lid_geom(16, 9), Bgk::new(0.8))
+                    .with_cpu_threads(2);
+            a.init_with(shear_init);
+            a.run(cut);
+            let blob = a.checkpoint();
+            a.run(8 - cut);
+
+            let mut b: AaStSim<D2Q9, _> =
+                AaStSim::new(DeviceSpec::v100(), lid_geom(16, 9), Bgk::new(0.8))
+                    .with_cpu_threads(2);
+            b.restore(&blob).unwrap();
+            assert_eq!(b.steps(), cut as u64);
+            b.run(8 - cut);
+            assert_eq!(a.field_checksum(), b.field_checksum(), "cut at {cut}");
+        }
+    }
+
+    /// An ST snapshot (or any foreign flavor) is rejected, and a tampered
+    /// parity tag is caught by the flavor/counter cross-check.
+    #[test]
+    fn restore_rejects_foreign_and_parity_mismatched_snapshots() {
+        use lbm_core::io::{CheckpointError, CheckpointWriter};
+        let geom = Geometry::walls_y_periodic_x(16, 9);
+        let mut st: StSim<D2Q9, _> =
+            StSim::new(DeviceSpec::v100(), geom.clone(), Bgk::new(0.8)).with_cpu_threads(1);
+        st.run(2);
+        let mut aa: AaStSim<D2Q9, _> = AaStSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8));
+        assert!(matches!(
+            aa.restore(&st.checkpoint()),
+            Err(CheckpointError::WrongFlavor { .. })
+        ));
+        // Forge an even-flavored blob whose stored counter is odd.
+        let n = aa.geom().len();
+        let mut w = CheckpointWriter::new("aa-st+even");
+        w.put_u64(16).put_u64(9).put_u64(1).put_u64(9).put_u64(3);
+        for _ in 0..6 {
+            w.put_u64(0);
+        }
+        w.put_f64s(&vec![0.1; 9 * n]);
+        assert!(matches!(
+            aa.restore(&w.finish()),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    /// Odd-parity fields are the conservative half-cycle state: global mass
+    /// equals the even-state mass on a periodic box.
+    #[test]
+    fn odd_parity_state_conserves_mass() {
+        let mut sim: AaStSim<D2Q9, _> = AaStSim::new(
+            DeviceSpec::v100(),
+            Geometry::periodic_2d(16, 8),
+            Bgk::new(0.9),
+        )
+        .with_cpu_threads(2);
+        sim.init_with(shear_init);
+        let mass = |s: &AaStSim<D2Q9, Bgk>| s.density_field().iter().sum::<f64>();
+        let m0 = mass(&sim);
+        for _ in 0..5 {
+            sim.step();
+            assert!(
+                (mass(&sim) - m0).abs() < 1e-10,
+                "mass drift at {}",
+                sim.steps()
+            );
+        }
+    }
+
+    /// macro_fields matches the per-node accessors at both parities.
+    #[test]
+    fn macro_fields_matches_per_node_accessors() {
+        let mut sim: AaStSim<D2Q9, _> =
+            AaStSim::new(DeviceSpec::v100(), lid_geom(16, 10), Bgk::new(0.8)).with_cpu_threads(2);
+        sim.init_with(shear_init);
+        for _ in 0..3 {
+            sim.step();
+            let (rho, u) = sim.macro_fields();
+            for idx in 0..sim.geom().len() {
+                let (x, y, z) = sim.geom().coords(idx);
+                if sim.geom().node_at(idx).is_fluid_like() {
+                    let m = sim.moments_at(x, y, z);
+                    assert_eq!(rho[idx], m.rho);
+                    assert_eq!(u[idx], m.u);
+                } else {
+                    assert_eq!(rho[idx], 0.0);
+                }
+            }
+        }
+    }
+
+    /// Inlet/outlet geometries are rejected up front.
+    #[test]
+    #[should_panic(expected = "does not support inlet/outlet")]
+    fn rejects_inlet_outlet_geometries() {
+        let geom = Geometry::channel_2d(16, 8, 0.03);
+        let _ = AaStSim::<D2Q9, _>::new(DeviceSpec::v100(), geom, Bgk::new(0.8));
+    }
+}

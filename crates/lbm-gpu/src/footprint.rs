@@ -8,7 +8,9 @@
 //! stores only `M` doubles plus circular-shift padding and is smaller
 //! still. The harness reports both.
 
-use gpu_sim::roofline::{footprint_mr_double, footprint_mr_single, footprint_st};
+use gpu_sim::roofline::{
+    footprint_aa_st, footprint_mr_double, footprint_mr_single, footprint_mr_twist, footprint_st,
+};
 
 /// One row of the footprint comparison.
 #[derive(Clone, Debug)]
@@ -21,6 +23,10 @@ pub struct FootprintRow {
     pub mr_paper_bytes: usize,
     /// MR as implemented here (single lattice + padding).
     pub mr_single_bytes: usize,
+    /// In-place AA-pattern ST: one lattice, `Q·8` per node exactly.
+    pub aa_st_bytes: usize,
+    /// In-place parity-twist MR: one lattice, `M·8` per node exactly.
+    pub mr_twist_bytes: usize,
 }
 
 impl FootprintRow {
@@ -32,6 +38,12 @@ impl FootprintRow {
     /// Reduction of the single-lattice MR vs ST.
     pub fn single_reduction(&self) -> f64 {
         1.0 - self.mr_single_bytes as f64 / self.st_bytes as f64
+    }
+
+    /// Reduction of the parity-twist MR vs ST — the deepest cut in the
+    /// table: `M/2Q` of the ST bytes remain.
+    pub fn twist_reduction(&self) -> f64 {
+        1.0 - self.mr_twist_bytes as f64 / self.st_bytes as f64
     }
 }
 
@@ -46,6 +58,8 @@ pub fn footprint_table(nodes: usize) -> Vec<FootprintRow> {
             st_bytes: footprint_st(nodes, 9),
             mr_paper_bytes: footprint_mr_double(nodes, 6),
             mr_single_bytes: footprint_mr_single(nodes, 6, pad2),
+            aa_st_bytes: footprint_aa_st(nodes, 9),
+            mr_twist_bytes: footprint_mr_twist(nodes, 6),
         },
         FootprintRow {
             lattice: "D3Q19",
@@ -53,6 +67,8 @@ pub fn footprint_table(nodes: usize) -> Vec<FootprintRow> {
             st_bytes: footprint_st(nodes, 19),
             mr_paper_bytes: footprint_mr_double(nodes, 10),
             mr_single_bytes: footprint_mr_single(nodes, 10, pad3),
+            aa_st_bytes: footprint_aa_st(nodes, 19),
+            mr_twist_bytes: footprint_mr_twist(nodes, 10),
         },
     ]
 }
@@ -70,6 +86,20 @@ mod tests {
         assert!((rows[1].paper_reduction() - 0.474).abs() < 0.01);
         for r in &rows {
             assert!(r.single_reduction() > r.paper_reduction());
+        }
+    }
+
+    /// The in-place patterns are exact halvings: AA-ST is `st/2` and
+    /// twist-MR is `mr_paper/2`, byte-exact, at any node count.
+    #[test]
+    fn in_place_rows_are_exact_halvings() {
+        for nodes in [100usize, 12_345, 15_000_000] {
+            for r in footprint_table(nodes) {
+                assert_eq!(2 * r.aa_st_bytes, r.st_bytes);
+                assert_eq!(2 * r.mr_twist_bytes, r.mr_paper_bytes);
+                assert!(r.mr_twist_bytes < r.mr_single_bytes);
+                assert!(r.twist_reduction() > r.single_reduction());
+            }
         }
     }
 

@@ -23,6 +23,7 @@
 //! state, and the test suite proves it.
 
 #![allow(clippy::needless_range_loop)] // indexed loops are the idiom in stencil kernels
+pub mod aa;
 pub mod boundary;
 pub mod footprint;
 pub mod moment_lattice;
@@ -33,6 +34,7 @@ pub mod sim_impls;
 pub mod sparse;
 pub mod st;
 
+pub use aa::{launch_aa_collide_span, launch_aa_stream_span, AaStSim};
 pub use moment_lattice::MomentLattice;
 pub use mr2d::{launch_mr2d_columns, launch_mr_bc, MrSim2D};
 pub use mr3d::{launch_mr3d_columns, MrSim3D};

@@ -12,6 +12,14 @@
 //!
 //! Layout: moment-major (SoA), `buf[m · cap + slot(idx, t)]` with
 //! `slot(idx, t) = (idx − t·shift) mod cap`, `cap = n + pad`.
+//!
+//! An orthogonal single-lattice mode is the **parity twist**
+//! ([`MomentLattice::with_parity_twist`]): instead of shifting slots within
+//! a plane, the *plane order* alternates with step parity — at odd times
+//! moment `m` lives in plane `M−1−m` (the esoteric-twist idea of Geier &
+//! Schönherr carried to moment space). Zero shift, zero padding, `M·8`
+//! bytes per node exactly; the parity is part of the storage contract, so
+//! checkpoints of twisted lattices must carry it in their flavor tag.
 
 use gpu_sim::exec::BlockCtx;
 use gpu_sim::GlobalBuffer;
@@ -30,6 +38,8 @@ pub struct MomentLattice {
     shift: usize,
     /// Moments per node.
     m: usize,
+    /// Parity twist: at odd `t`, moment `m` is stored in plane `M−1−m`.
+    twist: bool,
 }
 
 impl MomentLattice {
@@ -47,6 +57,38 @@ impl MomentLattice {
             cap: n + pad,
             shift,
             m,
+            twist: false,
+        }
+    }
+
+    /// Enable the parity twist: at odd timesteps moment `m` is stored in
+    /// plane `M−1−m` instead of plane `m`. This is the single-lattice MR
+    /// storage discipline — each step reads every logical moment from the
+    /// current parity's planes and writes the post-collision moments to the
+    /// *other* parity's planes, which are the same physical planes in
+    /// reversed order, so no second lattice (and no slot shift) is needed.
+    /// Mutually exclusive with circular shifting: the twist replaces it.
+    pub fn with_parity_twist(mut self) -> Self {
+        assert_eq!(
+            self.shift, 0,
+            "parity twist replaces circular shifting; construct with shift = 0"
+        );
+        self.twist = true;
+        self
+    }
+
+    /// Whether the parity twist is enabled.
+    pub fn parity_twist(&self) -> bool {
+        self.twist
+    }
+
+    /// Physical plane holding logical moment `m` at timestep `t`.
+    #[inline(always)]
+    fn plane(&self, t: u64, m: usize) -> usize {
+        if self.twist && t % 2 == 1 {
+            self.m - 1 - m
+        } else {
+            m
         }
     }
 
@@ -88,13 +130,17 @@ impl MomentLattice {
     /// Kernel read of moment `m` of node `idx` at time `t`.
     #[inline(always)]
     pub fn read(&self, ctx: &mut BlockCtx, t: u64, idx: usize, m: usize) -> f64 {
-        ctx.read(&self.buf, m * self.cap + self.slot(idx, t))
+        ctx.read(&self.buf, self.plane(t, m) * self.cap + self.slot(idx, t))
     }
 
     /// Kernel write of moment `m` of node `idx` at time `t`.
     #[inline(always)]
     pub fn write(&self, ctx: &mut BlockCtx, t: u64, idx: usize, m: usize, v: f64) {
-        ctx.write(&self.buf, m * self.cap + self.slot(idx, t), v);
+        ctx.write(
+            &self.buf,
+            self.plane(t, m) * self.cap + self.slot(idx, t),
+            v,
+        );
     }
 
     /// Kernel read of a node's full moment state at time `t`.
@@ -104,7 +150,7 @@ impl MomentLattice {
         let mut flat = [0.0f64; MAX_M];
         let s = self.slot(idx, t);
         for m in 0..self.m {
-            flat[m] = ctx.read(&self.buf, m * self.cap + s);
+            flat[m] = ctx.read(&self.buf, self.plane(t, m) * self.cap + s);
         }
         Moments::unpack::<L>(&flat[..self.m])
     }
@@ -117,7 +163,7 @@ impl MomentLattice {
         mom.pack::<L>(&mut flat[..self.m]);
         let s = self.slot(idx, t);
         for m in 0..self.m {
-            ctx.write(&self.buf, m * self.cap + s, flat[m]);
+            ctx.write(&self.buf, self.plane(t, m) * self.cap + s, flat[m]);
         }
     }
 
@@ -143,17 +189,20 @@ impl MomentLattice {
         debug_assert!(idx0 + count <= self.n);
         let s0 = self.slot(idx0, t);
         let first = count.min(self.cap - s0);
-        if first == count {
-            // No circular wrap: all `m` plane rows share one stride, so the
-            // whole family moves in a single accounting envelope.
+        if first == count && self.plane(t, 0) == 0 {
+            // No circular wrap and natural plane order: all `m` plane rows
+            // share one stride, so the whole family moves in a single
+            // accounting envelope.
             ctx.read_spans_to_scratch(&self.buf, s0, self.cap, self.m, count, scratch_off);
             return;
         }
         for m in 0..self.m {
-            let base = m * self.cap;
+            let base = self.plane(t, m) * self.cap;
             let dst = scratch_off + m * count;
             ctx.read_span_to_scratch(&self.buf, base + s0, dst, first);
-            ctx.read_span_to_scratch(&self.buf, base, dst + first, count - first);
+            if first < count {
+                ctx.read_span_to_scratch(&self.buf, base, dst + first, count - first);
+            }
         }
     }
 
@@ -171,15 +220,17 @@ impl MomentLattice {
         debug_assert!(idx0 + count <= self.n);
         let s0 = self.slot(idx0, t);
         let first = count.min(self.cap - s0);
-        if first == count {
+        if first == count && self.plane(t, 0) == 0 {
             ctx.write_spans_from_scratch(&self.buf, s0, self.cap, self.m, count, scratch_off);
             return;
         }
         for m in 0..self.m {
-            let base = m * self.cap;
+            let base = self.plane(t, m) * self.cap;
             let src = scratch_off + m * count;
             ctx.write_span_from_scratch(&self.buf, base + s0, src, first);
-            ctx.write_span_from_scratch(&self.buf, base, src + first, count - first);
+            if first < count {
+                ctx.write_span_from_scratch(&self.buf, base, src + first, count - first);
+            }
         }
     }
 
@@ -188,7 +239,7 @@ impl MomentLattice {
         let mut flat = [0.0f64; MAX_M];
         let s = self.slot(idx, t);
         for m in 0..self.m {
-            flat[m] = self.buf.get(m * self.cap + s);
+            flat[m] = self.buf.get(self.plane(t, m) * self.cap + s);
         }
         Moments::unpack::<L>(&flat[..self.m])
     }
@@ -199,7 +250,7 @@ impl MomentLattice {
         mom.pack::<L>(&mut flat[..self.m]);
         let s = self.slot(idx, t);
         for m in 0..self.m {
-            self.buf.set(m * self.cap + s, flat[m]);
+            self.buf.set(self.plane(t, m) * self.cap + s, flat[m]);
         }
     }
 

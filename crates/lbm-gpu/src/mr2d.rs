@@ -668,6 +668,50 @@ impl<L: Lattice> MrSim2D<L> {
         self
     }
 
+    /// Switch to the single-lattice **moment twist** variant: parity-indexed
+    /// plane storage ([`MomentLattice::with_parity_twist`]) with zero
+    /// circular shift and zero padding — exactly `M·8` resident bytes per
+    /// node, half the double-buffered ablation and below even the
+    /// shift-padded single lattice. Each step's fused moment collide reads
+    /// logical moments from the current parity's plane order and writes the
+    /// post-collision moments through the `t+1` mapping, i.e. into the same
+    /// physical planes in reversed order; the step parity becomes part of
+    /// the storage contract and is carried in the checkpoint flavor tag.
+    /// Requires the 1-row lockstep tiling (the configuration whose
+    /// zero-shift in-place safety the strict race checker proves) and must
+    /// be called before the first step.
+    pub fn with_twist(mut self) -> Self {
+        assert_eq!(self.t, 0, "switch storage before stepping");
+        assert!(
+            self.mom2.is_none(),
+            "the twist replaces the double-buffered ablation, not vice versa"
+        );
+        assert_eq!(
+            self.tile_h, 1,
+            "the zero-shift twist requires 1-row lockstep tiles"
+        );
+        let n = self.geom.len();
+        self.mom = MomentLattice::new(n, L::M, 0, 0)
+            .with_parity_twist()
+            .with_touch_tracking();
+        self.init_with(|_, _, _| (1.0, [0.0; 3]));
+        self
+    }
+
+    /// Whether this driver runs the parity-twist storage variant.
+    pub fn is_twist(&self) -> bool {
+        self.mom.parity_twist()
+    }
+
+    /// Monitor/metric pattern label for this configuration.
+    fn pattern_label(&self) -> &'static str {
+        if self.mom.parity_twist() {
+            "mr2d-twist"
+        } else {
+            "mr2d"
+        }
+    }
+
     #[inline]
     fn lattice_pair(&self) -> (&MomentLattice, &MomentLattice) {
         match &self.mom2 {
@@ -781,10 +825,11 @@ impl<L: Lattice> MrSim2D<L> {
         let (rho, u) = self.macro_fields();
         let s = self.monitor.as_mut().unwrap().observe(self.t, &rho, &u);
         if let Some(o) = &self.obs {
+            let pat = self.pattern_label();
             o.metrics
-                .gauge_set("monitor_mass", &[("pattern", "mr2d")], s.mass);
+                .gauge_set("monitor_mass", &[("pattern", pat)], s.mass);
             o.metrics
-                .gauge_set("monitor_max_u", &[("pattern", "mr2d")], s.max_u);
+                .gauge_set("monitor_max_u", &[("pattern", pat)], s.max_u);
             if s.nonfinite > 0 {
                 o.tracer.instant(
                     "monitor",
@@ -818,10 +863,11 @@ impl<L: Lattice> MrSim2D<L> {
         let (rho, u) = self.macro_fields();
         let s = self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
         if let (Some(s), Some(o)) = (s, &self.obs) {
+            let pat = self.pattern_label();
             o.metrics
-                .gauge_set("monitor_mass", &[("pattern", "mr2d")], s.mass);
+                .gauge_set("monitor_mass", &[("pattern", pat)], s.mass);
             o.metrics
-                .gauge_set("monitor_max_u", &[("pattern", "mr2d")], s.max_u);
+                .gauge_set("monitor_max_u", &[("pattern", pat)], s.max_u);
             o.tracer
                 .instant("monitor", "flush", &[("step", s.step.to_string())]);
         }
@@ -854,8 +900,17 @@ impl<L: Lattice> MrSim2D<L> {
     /// same `t` reproduces the exact circular-shift slot layout, so a
     /// resumed run is bitwise-identical to an uninterrupted one. Covers
     /// both the single-lattice and double-buffered configurations.
+    /// Twist runs tag the flavor with the step parity
+    /// (`"mr2d-twist+even"` / `"mr2d-twist+odd"`): the plane order is part
+    /// of the storage contract, so a restore may only land on the matching
+    /// half-cycle.
     pub fn checkpoint(&self) -> Vec<u8> {
-        let mut w = lbm_core::io::CheckpointWriter::new("mr2d");
+        let flavor = if self.is_twist() {
+            lbm_core::io::parity_flavor("mr2d-twist", self.t)
+        } else {
+            "mr2d".to_string()
+        };
+        let mut w = lbm_core::io::CheckpointWriter::new(&flavor);
         w.put_u64(self.geom.nx as u64)
             .put_u64(self.geom.ny as u64)
             .put_u64(L::M as u64)
@@ -879,12 +934,26 @@ impl<L: Lattice> MrSim2D<L> {
     /// configured simulation.
     pub fn restore(&mut self, bytes: &[u8]) -> Result<(), lbm_core::io::CheckpointError> {
         use lbm_core::io::{CheckpointError, CheckpointReader};
-        let mut r = CheckpointReader::open(bytes, "mr2d")?;
+        let (mut r, twist_parity) = if self.is_twist() {
+            let (r, which) =
+                CheckpointReader::open_any(bytes, &["mr2d-twist+even", "mr2d-twist+odd"])?;
+            (r, Some(which as u64))
+        } else {
+            (CheckpointReader::open(bytes, "mr2d")?, None)
+        };
         r.expect_u64(self.geom.nx as u64, "nx")?;
         r.expect_u64(self.geom.ny as u64, "ny")?;
         r.expect_u64(L::M as u64, "M")?;
         r.expect_u64(self.mom2.is_some() as u64, "double-buffer flag")?;
         let t = r.take_u64()?;
+        if let Some(parity) = twist_parity {
+            if t % 2 != parity {
+                return Err(CheckpointError::Mismatch(format!(
+                    "flavor parity ({}) disagrees with stored step counter {t}",
+                    if parity == 0 { "even" } else { "odd" }
+                )));
+            }
+        }
         let cur = r.take_u64()? as usize;
         if cur > 1 {
             return Err(CheckpointError::Mismatch(format!(
@@ -1323,5 +1392,139 @@ mod tests {
             assert_eq!(base.1, got.1, "density diverges at {threads} threads");
             assert_eq!(base.2, got.2, "tally diverges at {threads} threads");
         }
+    }
+
+    /// The correctness contract of the twist variant: the parity-indexed
+    /// plane storage changes *where* moments live, never their values —
+    /// bitwise equal to the circular-shift driver at every step, odd and
+    /// even alike, on both device models.
+    #[test]
+    fn twist_matches_shift_bitwise_every_step() {
+        let init = |x: usize, y: usize, _z: usize| {
+            (
+                1.0 + 0.01 * ((x + 2 * y) as f64 * 0.4).sin(),
+                [
+                    0.02 * (y as f64 * 0.7).sin(),
+                    0.01 * (x as f64 * 0.5).cos(),
+                    0.0,
+                ],
+            )
+        };
+        for dev in [DeviceSpec::v100(), DeviceSpec::mi100()] {
+            let geom = Geometry::walls_y_periodic_x(16, 8);
+            let mut twist: MrSim2D<D2Q9> =
+                MrSim2D::new(dev.clone(), geom.clone(), MrScheme::projective(), 0.8)
+                    .with_cpu_threads(2)
+                    .with_twist();
+            twist.init_with(init);
+            let mut shift: MrSim2D<D2Q9> =
+                MrSim2D::new(dev, geom, MrScheme::projective(), 0.8).with_cpu_threads(2);
+            shift.init_with(init);
+            for step in 1..=7u64 {
+                twist.step();
+                shift.step();
+                assert_eq!(
+                    twist.field_checksum(),
+                    shift.field_checksum(),
+                    "twist diverges at step {step}"
+                );
+            }
+        }
+    }
+
+    /// Twist with the recursive scheme and inlet/outlet boundaries (the
+    /// boundary kernel routes through the same parity mapping).
+    #[test]
+    fn twist_matches_reference_channel() {
+        let geom = Geometry::channel_2d(16, 8, 0.04);
+        let mut mr: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::recursive::<D2Q9>(),
+            0.75,
+        )
+        .with_cpu_threads(4)
+        .with_twist();
+        let mut st: Solver<D2Q9, _> =
+            Solver::new(geom, Recursive::new::<D2Q9>(0.75)).with_threads(2);
+        mr.run(15);
+        st.run(15);
+        assert_fields_close(
+            &mr.velocity_field(),
+            &st.velocity_field(),
+            &mr.density_field(),
+            &st.density_field(),
+            1e-10,
+            "MR-twist vs REG-R",
+        );
+    }
+
+    /// Twist residency is exactly `M·8` bytes per node — no padding, no
+    /// second buffer; the strict race checker proves the reversed-plane
+    /// in-place update safe under forced pooling.
+    #[test]
+    fn twist_footprint_exact_and_racecheck_clean() {
+        let geom = Geometry::walls_y_periodic_x(16, 8);
+        let mut mr: MrSim2D<D2Q9> =
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8)
+                .with_twist()
+                .with_racecheck_strict()
+                .with_cpu_threads(3)
+                .with_parallel_threshold(0);
+        assert_eq!(mr.footprint_bytes(), 6 * 16 * 8 * 8);
+        mr.init_with(|_, y, _| (1.0, [0.02 * (y as f64).sin(), 0.0, 0.0]));
+        mr.run(5);
+        assert!(mr.velocity_field().iter().all(|u| u[0].is_finite()));
+    }
+
+    /// Twist checkpoints carry the parity in their flavor and round-trip at
+    /// odd cut points; a plain-MR snapshot is rejected.
+    #[test]
+    fn twist_checkpoint_round_trips_at_odd_parity() {
+        use lbm_core::io::CheckpointError;
+        let init =
+            |_x: usize, y: usize, _z: usize| (1.0, [0.02 * (y as f64 * 0.9).sin(), 0.0, 0.0]);
+        let geom = Geometry::walls_y_periodic_x(16, 8);
+        let mut a: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2)
+        .with_twist();
+        a.init_with(init);
+        a.run(3);
+        let blob = a.checkpoint();
+        a.run(5);
+
+        let mut b: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2)
+        .with_twist();
+        b.restore(&blob).unwrap();
+        assert_eq!(b.steps(), 3);
+        b.run(5);
+        assert_eq!(a.field_checksum(), b.field_checksum());
+
+        // A circular-shift snapshot must not restore into a twist driver.
+        let mut plain: MrSim2D<D2Q9> =
+            MrSim2D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8).with_cpu_threads(2);
+        plain.run(2);
+        let mut c: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            Geometry::walls_y_periodic_x(16, 8),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_twist();
+        assert!(matches!(
+            c.restore(&plain.checkpoint()),
+            Err(CheckpointError::WrongFlavor { .. })
+        ));
     }
 }

@@ -60,7 +60,6 @@ pub fn pick_column_footprint<L: Lattice>(
     let mut best = (1usize, 1usize);
     let mut best_cost = f64::INFINITY;
     for &wx in &divisors(nx, fix_wx) {
-        let chunks = (wx + 2).div_ceil(LANES);
         for &wy in &divisors(ny, fix_wy) {
             if wx * wy * 3 * L::Q * 8 > device.shared_mem_per_sm {
                 continue;
@@ -68,7 +67,7 @@ pub fn pick_column_footprint<L: Lattice>(
             if (wx + 2) * (wy + 2) > device.max_threads_per_block {
                 continue;
             }
-            let cost = (chunks * LANES * (wy + 2)) as f64 / (wx * wy) as f64;
+            let cost = lane_redundancy(wx, wy);
             // Tie-break toward larger blocks: fewer columns amortize the
             // per-block sliding-window setup.
             if cost < best_cost - 1e-12 || (cost < best_cost + 1e-12 && wx * wy > best.0 * best.1) {
@@ -78,6 +77,16 @@ pub fn pick_column_footprint<L: Lattice>(
         }
     }
     best
+}
+
+/// Lane-slot redundancy of a `wx × wy` column footprint: vectorized collide
+/// slots spent per owned node. This is the cost [`pick_column_footprint`]
+/// minimizes; the driver gauges the chosen value into obs so bench records
+/// expose when a degenerate domain (e.g. `ny < LANES`) forces a redundant
+/// footprint instead of silently eating the slowdown.
+pub fn lane_redundancy(wx: usize, wy: usize) -> f64 {
+    let chunks = (wx + 2).div_ceil(LANES);
+    (chunks * LANES * (wy + 2)) as f64 / (wx * wy) as f64
 }
 
 struct Mr3dKernel<'a, L: Lattice> {
@@ -653,7 +662,15 @@ impl<L: Lattice> MrSim3D<L> {
     }
 
     /// In-place [`MrSim3D::with_obs`] (the `Simulation` trait surface).
+    /// Publishes the chosen column footprint's lane redundancy as a gauge,
+    /// so bench records expose degenerate-domain fallbacks (e.g.
+    /// `ny < LANES`) instead of hiding them in the picker.
     pub fn set_obs(&mut self, obs: std::sync::Arc<obs::Obs>) {
+        obs.metrics.gauge_set(
+            "mr3d_lane_redundancy",
+            &[("pattern", self.pattern_label())],
+            lane_redundancy(self.wx, self.wy),
+        );
         self.gpu.set_obs(obs.clone());
         self.obs = Some(obs);
     }
@@ -684,6 +701,39 @@ impl<L: Lattice> MrSim3D<L> {
         let old = std::mem::replace(&mut self.mom, dummy);
         self.mom = old.with_racecheck_strict();
         self
+    }
+
+    /// Switch to the single-lattice **moment twist** variant: parity-indexed
+    /// plane storage replaces the one-layer circular shift *and* its
+    /// two-layer padding — exactly `M·8` resident bytes per node. Safety
+    /// rests on the lockstep phase lag alone: every block global-reads layer
+    /// `z` when its window reaches it (phase `z − 1`) and global-writes it
+    /// two phases later (phase `z + 1`), so under the bulk-synchronous
+    /// phases no cell is read after being rewritten, whichever plane the
+    /// parity mapping routes the write to; the strict race checker verifies
+    /// this in the tests. Must be called before the first step.
+    pub fn with_twist(mut self) -> Self {
+        assert_eq!(self.t, 0, "switch storage before stepping");
+        let n = self.geom.len();
+        self.mom = MomentLattice::new(n, L::M, 0, 0)
+            .with_parity_twist()
+            .with_touch_tracking();
+        self.init_with(|_, _, _| (1.0, [0.0; 3]));
+        self
+    }
+
+    /// Whether this driver runs the parity-twist storage variant.
+    pub fn is_twist(&self) -> bool {
+        self.mom.parity_twist()
+    }
+
+    /// Monitor/metric pattern label for this configuration.
+    fn pattern_label(&self) -> &'static str {
+        if self.mom.parity_twist() {
+            "mr3d-twist"
+        } else {
+            "mr3d"
+        }
     }
 
     /// Initialize every node's moments from a macroscopic field.
@@ -772,10 +822,11 @@ impl<L: Lattice> MrSim3D<L> {
         let (rho, u) = self.macro_fields();
         let s = self.monitor.as_mut().unwrap().observe(self.t, &rho, &u);
         if let Some(o) = &self.obs {
+            let pat = self.pattern_label();
             o.metrics
-                .gauge_set("monitor_mass", &[("pattern", "mr3d")], s.mass);
+                .gauge_set("monitor_mass", &[("pattern", pat)], s.mass);
             o.metrics
-                .gauge_set("monitor_max_u", &[("pattern", "mr3d")], s.max_u);
+                .gauge_set("monitor_max_u", &[("pattern", pat)], s.max_u);
             if s.nonfinite > 0 {
                 o.tracer.instant(
                     "monitor",
@@ -809,10 +860,11 @@ impl<L: Lattice> MrSim3D<L> {
         let (rho, u) = self.macro_fields();
         let s = self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
         if let (Some(s), Some(o)) = (s, &self.obs) {
+            let pat = self.pattern_label();
             o.metrics
-                .gauge_set("monitor_mass", &[("pattern", "mr3d")], s.mass);
+                .gauge_set("monitor_mass", &[("pattern", pat)], s.mass);
             o.metrics
-                .gauge_set("monitor_max_u", &[("pattern", "mr3d")], s.max_u);
+                .gauge_set("monitor_max_u", &[("pattern", pat)], s.max_u);
             o.tracer
                 .instant("monitor", "flush", &[("step", s.step.to_string())]);
         }
@@ -840,8 +892,17 @@ impl<L: Lattice> MrSim3D<L> {
     /// Serialize the full solver state (raw moment lattice, step counter,
     /// traffic accumulator) — see [`MrSim2D::checkpoint`](crate::MrSim2D)
     /// for the raw-snapshot rationale.
+    /// Twist runs tag the flavor with the step parity
+    /// (`"mr3d-twist+even"` / `"mr3d-twist+odd"`), mirroring
+    /// [`MrSim2D`](crate::MrSim2D): the plane order is part of the storage
+    /// contract, so a restore may only land on the matching half-cycle.
     pub fn checkpoint(&self) -> Vec<u8> {
-        let mut w = lbm_core::io::CheckpointWriter::new("mr3d");
+        let flavor = if self.is_twist() {
+            lbm_core::io::parity_flavor("mr3d-twist", self.t)
+        } else {
+            "mr3d".to_string()
+        };
+        let mut w = lbm_core::io::CheckpointWriter::new(&flavor);
         w.put_u64(self.geom.nx as u64)
             .put_u64(self.geom.ny as u64)
             .put_u64(self.geom.nz as u64)
@@ -860,13 +921,28 @@ impl<L: Lattice> MrSim3D<L> {
     /// Restore a [`MrSim3D::checkpoint`] snapshot taken on an identically
     /// configured simulation.
     pub fn restore(&mut self, bytes: &[u8]) -> Result<(), lbm_core::io::CheckpointError> {
-        use lbm_core::io::CheckpointReader;
-        let mut r = CheckpointReader::open(bytes, "mr3d")?;
+        use lbm_core::io::{CheckpointError, CheckpointReader};
+        let (mut r, twist_parity) = if self.is_twist() {
+            let (r, which) =
+                CheckpointReader::open_any(bytes, &["mr3d-twist+even", "mr3d-twist+odd"])?;
+            (r, Some(which as u64))
+        } else {
+            (CheckpointReader::open(bytes, "mr3d")?, None)
+        };
         r.expect_u64(self.geom.nx as u64, "nx")?;
         r.expect_u64(self.geom.ny as u64, "ny")?;
         r.expect_u64(self.geom.nz as u64, "nz")?;
         r.expect_u64(L::M as u64, "M")?;
-        self.t = r.take_u64()?;
+        let t = r.take_u64()?;
+        if let Some(parity) = twist_parity {
+            if t % 2 != parity {
+                return Err(CheckpointError::Mismatch(format!(
+                    "flavor parity ({}) disagrees with stored step counter {t}",
+                    if parity == 0 { "even" } else { "odd" }
+                )));
+            }
+        }
+        self.t = t;
         self.accum = Tally {
             reads: r.take_u64()?,
             writes: r.take_u64()?,
@@ -1118,5 +1194,158 @@ mod tests {
             assert_eq!(base.1, got.1, "density diverges at {threads} threads");
             assert_eq!(base.2, got.2, "tally diverges at {threads} threads");
         }
+    }
+
+    /// A walled duct with periodic x — the twist test domain.
+    fn walled_duct(nx: usize, ny: usize, nz: usize) -> Geometry {
+        let mut geom = Geometry::new(nx, ny, nz, [true, false, false]);
+        for z in 0..nz {
+            for x in 0..nx {
+                geom.set(x, 0, z, NodeType::Wall);
+                geom.set(x, ny - 1, z, NodeType::Wall);
+            }
+        }
+        for y in 0..ny {
+            for x in 0..nx {
+                geom.set(x, y, 0, NodeType::Wall);
+                geom.set(x, y, nz - 1, NodeType::Wall);
+            }
+        }
+        geom
+    }
+
+    /// The 3D twist contract: bitwise equal to the circular-shift driver at
+    /// every step on both devices, with the strict race checker proving the
+    /// reversed-plane in-place update safe under the lockstep phase lag.
+    #[test]
+    fn twist_matches_shift_bitwise_every_step() {
+        let init = |x: usize, y: usize, z: usize| {
+            (
+                1.0 + 0.005 * ((x + y + z) as f64 * 0.5).sin(),
+                [
+                    0.02 * ((y + z) as f64 * 0.6).sin(),
+                    0.01 * (x as f64 * 0.4).cos(),
+                    0.01 * ((x + y) as f64 * 0.3).sin(),
+                ],
+            )
+        };
+        for dev in [DeviceSpec::v100(), DeviceSpec::mi100()] {
+            let geom = walled_duct(8, 8, 8);
+            let mut twist: MrSim3D<D3Q19> =
+                MrSim3D::new(dev.clone(), geom.clone(), MrScheme::projective(), 0.8)
+                    .with_twist()
+                    .with_racecheck_strict()
+                    .with_cpu_threads(3)
+                    .with_parallel_threshold(0);
+            twist.init_with(init);
+            let mut shift: MrSim3D<D3Q19> =
+                MrSim3D::new(dev, geom, MrScheme::projective(), 0.8).with_cpu_threads(2);
+            shift.init_with(init);
+            for step in 1..=5u64 {
+                twist.step();
+                shift.step();
+                assert_eq!(
+                    twist.field_checksum(),
+                    shift.field_checksum(),
+                    "3D twist diverges at step {step}"
+                );
+            }
+        }
+    }
+
+    /// 3D twist residency is exactly `M·8` bytes per node — the circular
+    /// shift's two-layer padding is gone too.
+    #[test]
+    fn twist_footprint_exact() {
+        let geom = walled_duct(8, 8, 8);
+        let twist: MrSim3D<D3Q19> = MrSim3D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_twist();
+        assert_eq!(twist.footprint_bytes(), 10 * 8 * 8 * 8 * 8);
+        let shift: MrSim3D<D3Q19> =
+            MrSim3D::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
+        assert!(twist.footprint_bytes() < shift.footprint_bytes());
+    }
+
+    /// 3D twist checkpoints round-trip at odd parity with the parity-tagged
+    /// flavor.
+    #[test]
+    fn twist_checkpoint_round_trips_at_odd_parity() {
+        let init =
+            |_x: usize, y: usize, z: usize| (1.0, [0.02 * ((y + z) as f64 * 0.7).sin(), 0.0, 0.0]);
+        let mk = || {
+            let mut s: MrSim3D<D3Q19> = MrSim3D::new(
+                DeviceSpec::v100(),
+                walled_duct(8, 6, 6),
+                MrScheme::projective(),
+                0.8,
+            )
+            .with_cpu_threads(2)
+            .with_twist();
+            s.init_with(init);
+            s
+        };
+        let mut a = mk();
+        a.run(3);
+        let blob = a.checkpoint();
+        a.run(3);
+        let mut b = mk();
+        b.restore(&blob).unwrap();
+        assert_eq!(b.steps(), 3);
+        b.run(3);
+        assert_eq!(a.field_checksum(), b.field_checksum());
+    }
+
+    /// The footprint picker's degenerate-domain fallback (`ny < LANES`)
+    /// must still return a valid tiling, and its redundancy is the
+    /// documented lane cost — the value the driver gauges into obs.
+    #[test]
+    fn pick_column_footprint_degenerate_ny_regression() {
+        // ny = 4 < LANES = 8: every candidate wy ∈ {1, 2, 4} wastes tail
+        // lanes; the picker must still return divisors and the redundancy
+        // formula must expose the waste rather than hide it.
+        let (wx, wy) = pick_column_footprint::<D3Q19>(&DeviceSpec::v100(), 16, 4, 0, 0);
+        assert!(
+            16 % wx == 0 && 4 % wy == 0,
+            "non-divisor footprint {wx}×{wy}"
+        );
+        let r = lane_redundancy(wx, wy);
+        assert!(
+            (1.0..=16.0).contains(&r),
+            "degenerate redundancy {r} out of band for {wx}×{wy}"
+        );
+        // The picker found the minimum over all admissible pairs.
+        for cand_wx in [1usize, 2, 4, 8, 16] {
+            for cand_wy in [1usize, 2, 4] {
+                if cand_wx * cand_wy * 3 * 19 * 8 > DeviceSpec::v100().shared_mem_per_sm
+                    || (cand_wx + 2) * (cand_wy + 2) > DeviceSpec::v100().max_threads_per_block
+                {
+                    continue;
+                }
+                assert!(
+                    r <= lane_redundancy(cand_wx, cand_wy) + 1e-12,
+                    "picker chose {wx}×{wy} (r={r}) but {cand_wx}×{cand_wy} is cheaper"
+                );
+            }
+        }
+        // And the driver exposes the chosen redundancy as a gauge.
+        let obs = obs::Obs::shared();
+        let mut mr: MrSim3D<D3Q19> = MrSim3D::new(
+            DeviceSpec::v100(),
+            walled_duct(16, 4, 6),
+            MrScheme::projective(),
+            0.8,
+        );
+        mr.set_obs(obs.clone());
+        let g = obs
+            .metrics
+            .gauge("mr3d_lane_redundancy", &[("pattern", "mr3d")])
+            .expect("redundancy gauge missing");
+        let (wx, wy) = mr.config();
+        assert_eq!(g, lane_redundancy(wx, wy));
     }
 }

@@ -6,7 +6,7 @@
 //! behavior. Single-device steps cannot fail on a link, so the trait's
 //! default `try_step` (step + `Ok`) applies.
 
-use crate::{MrSim2D, MrSim3D, StSim};
+use crate::{AaStSim, MrSim2D, MrSim3D, StSim};
 use lbm_core::collision::Collision;
 use lbm_core::io::CheckpointError;
 use lbm_core::sim::Simulation;
@@ -59,6 +59,7 @@ macro_rules! impl_simulation_single {
 impl_simulation_single!(StSim<L, C>, [L: Lattice, C: Collision<L>]);
 impl_simulation_single!(MrSim2D<L>, [L: Lattice]);
 impl_simulation_single!(MrSim3D<L>, [L: Lattice]);
+impl_simulation_single!(AaStSim<L, C>, [L: Lattice, C: Collision<L>]);
 
 #[cfg(test)]
 mod tests {

@@ -84,7 +84,7 @@ fn pull_update_node<L: Lattice, C: Collision<L>>(
 /// skipped slots and at any index discontinuity, so every run is a
 /// contiguous span in both the slot space and the node space.
 #[inline]
-fn for_each_run(
+pub(crate) fn for_each_run(
     ctx: &mut BlockCtx,
     block_size: usize,
     node_of: impl Fn(usize) -> Option<usize>,

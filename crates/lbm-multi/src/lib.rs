@@ -13,6 +13,9 @@
 //!   per-column halo accounting.
 //! * [`st`] — sharded standard representation ([`MultiStSim`]):
 //!   distribution-space exchange, `Q·8` bytes per halo node.
+//! * [`aa`] — sharded in-place AA-pattern ST ([`MultiAaStSim`]): one
+//!   resident lattice per shard and a parity-aware exchange moving only
+//!   the cut-crossing slots, on stream half-steps only.
 //! * [`mr2d`] / [`mr3d`] — sharded moment representation
 //!   ([`MultiMrSim2D`], [`MultiMrSim3D`]): moment-space exchange, `M·8`
 //!   bytes per halo node, per-shard double-buffered shift-0 moment
@@ -30,6 +33,7 @@
 //! arithmetic is decomposition-independent. The test suite asserts
 //! equality with `==`, not a tolerance.
 
+pub mod aa;
 pub mod decomp;
 pub mod mr2d;
 pub mod mr3d;
@@ -38,6 +42,7 @@ pub mod sim_impls;
 pub mod st;
 pub mod stats;
 
+pub use aa::MultiAaStSim;
 pub use decomp::{Cut, HaloTransfer, Slab, SlabDecomp};
 pub use lbm_core::{Simulation, StepError};
 pub use mr2d::MultiMrSim2D;

@@ -6,9 +6,15 @@
 //! * **in-flight jobs** — everything submitted and not yet
 //!   completed/canceled/failed (queued, running, and evicted jobs all
 //!   count: an evicted job still owns its checkpoint bytes);
-//! * **resident lattice nodes** — the sum of `Scenario::nodes()` over the
-//!   tenant's in-flight jobs, a proxy for the device memory the tenant can
-//!   pin at once.
+//! * **resident bytes** — the device memory the tenant's in-flight jobs
+//!   pin. Submission charges the spec's *estimate*
+//!   ([`crate::spec::JobSpec::estimated_resident_bytes`], the roofline
+//!   model's per-pattern footprint); once the solver is built the
+//!   scheduler **trues the charge up** to the driver's actual allocation
+//!   ([`lbm_core::Simulation::resident_bytes`]) via [`QuotaLedger::recharge`],
+//!   so the ledger never drifts from what the lattice buffers really hold
+//!   — in-place AA/twist jobs are charged exactly `Q·8`/`M·8` per node,
+//!   half of their two-lattice counterparts.
 //!
 //! Rejection is synchronous ([`SubmitError::QuotaExceeded`]) rather than
 //! queued-but-deprioritized: a tenant at its limit gets immediate
@@ -22,15 +28,15 @@ use std::collections::HashMap;
 pub struct TenantQuota {
     /// Max jobs submitted and not yet terminal.
     pub max_in_flight: usize,
-    /// Max total lattice nodes across in-flight jobs.
-    pub max_resident_nodes: usize,
+    /// Max total resident lattice bytes across in-flight jobs.
+    pub max_resident_bytes: usize,
 }
 
 impl Default for TenantQuota {
     fn default() -> Self {
         TenantQuota {
             max_in_flight: usize::MAX,
-            max_resident_nodes: usize::MAX,
+            max_resident_bytes: usize::MAX,
         }
     }
 }
@@ -39,7 +45,7 @@ impl Default for TenantQuota {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TenantUsage {
     pub in_flight: usize,
-    pub resident_nodes: usize,
+    pub resident_bytes: usize,
 }
 
 /// Admission ledger: per-tenant usage checked against per-tenant quotas.
@@ -59,7 +65,7 @@ impl QuotaLedger {
 
     /// Charge a submission, or explain why it cannot be admitted. On `Ok`
     /// the usage is already recorded.
-    pub fn try_charge(&mut self, tenant: &str, nodes: usize) -> Result<(), SubmitError> {
+    pub fn try_charge(&mut self, tenant: &str, bytes: usize) -> Result<(), SubmitError> {
         let quota = self.quotas.get(tenant).copied().unwrap_or_default();
         let usage = self.usage.entry(tenant.to_string()).or_default();
         if usage.in_flight + 1 > quota.max_in_flight {
@@ -71,28 +77,40 @@ impl QuotaLedger {
                 ),
             });
         }
-        if usage.resident_nodes + nodes > quota.max_resident_nodes {
+        if usage.resident_bytes + bytes > quota.max_resident_bytes {
             return Err(SubmitError::QuotaExceeded {
                 tenant: tenant.to_string(),
                 reason: format!(
-                    "{} + {} resident nodes would exceed limit {}",
-                    usage.resident_nodes, nodes, quota.max_resident_nodes
+                    "{} + {} resident bytes would exceed limit {}",
+                    usage.resident_bytes, bytes, quota.max_resident_bytes
                 ),
             });
         }
         usage.in_flight += 1;
-        usage.resident_nodes += nodes;
+        usage.resident_bytes += bytes;
         Ok(())
     }
 
+    /// True an admitted job's byte charge up (or down) to the solver's
+    /// actual allocation. Never rejects — admission already happened on
+    /// the estimate; this keeps the ledger honest about what the built
+    /// driver really holds resident.
+    pub fn recharge(&mut self, tenant: &str, old_bytes: usize, new_bytes: usize) {
+        let usage = self
+            .usage
+            .get_mut(tenant)
+            .expect("recharge for a tenant that never charged");
+        usage.resident_bytes = usage.resident_bytes - old_bytes + new_bytes;
+    }
+
     /// Release a terminal job's charge.
-    pub fn release(&mut self, tenant: &str, nodes: usize) {
+    pub fn release(&mut self, tenant: &str, bytes: usize) {
         let usage = self
             .usage
             .get_mut(tenant)
             .expect("release for a tenant that never charged");
         usage.in_flight -= 1;
-        usage.resident_nodes -= nodes;
+        usage.resident_bytes -= bytes;
     }
 
     /// Current usage snapshot for a tenant.
@@ -121,7 +139,7 @@ mod tests {
             "acme".to_string(),
             TenantQuota {
                 max_in_flight: 2,
-                max_resident_nodes: usize::MAX,
+                max_resident_bytes: usize::MAX,
             },
         );
         let mut ledger = QuotaLedger::new(quotas);
@@ -139,13 +157,13 @@ mod tests {
     }
 
     #[test]
-    fn resident_node_limit_counts_lattice_size() {
+    fn resident_byte_limit_counts_lattice_bytes() {
         let mut quotas = HashMap::new();
         quotas.insert(
             "acme".to_string(),
             TenantQuota {
                 max_in_flight: usize::MAX,
-                max_resident_nodes: 1000,
+                max_resident_bytes: 1000,
             },
         );
         let mut ledger = QuotaLedger::new(quotas);
@@ -154,5 +172,22 @@ mod tests {
         ledger.try_charge("acme", 400).unwrap();
         ledger.release("acme", 600);
         ledger.try_charge("acme", 600).unwrap();
+    }
+
+    /// The true-up moves the balance without touching in-flight counts,
+    /// and the release of the trued-up charge zeroes the ledger.
+    #[test]
+    fn recharge_trues_up_to_actual_allocation() {
+        let mut ledger = QuotaLedger::default();
+        ledger.try_charge("acme", 1000).unwrap();
+        ledger.recharge("acme", 1000, 640);
+        let u = ledger.usage("acme");
+        assert_eq!((u.in_flight, u.resident_bytes), (1, 640));
+        // True-up may also grow the charge (multi-device ghost columns).
+        ledger.recharge("acme", 640, 700);
+        assert_eq!(ledger.usage("acme").resident_bytes, 700);
+        ledger.release("acme", 700);
+        let u = ledger.usage("acme");
+        assert_eq!((u.in_flight, u.resident_bytes), (0, 0));
     }
 }

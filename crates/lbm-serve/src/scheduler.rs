@@ -131,6 +131,10 @@ struct JobRec {
     cancel: bool,
     submitted_at: Instant,
     result: Option<JobResult>,
+    /// Resident bytes currently charged to the tenant's quota for this
+    /// job: the spec estimate at admission, trued up to the driver's
+    /// actual allocation once the solver is built.
+    charged_bytes: usize,
 }
 
 struct State {
@@ -270,7 +274,8 @@ impl Serve {
         if st.shutdown {
             return Err(SubmitError::Shutdown);
         }
-        st.ledger.try_charge(&spec.tenant, spec.scenario.nodes())?;
+        let est_bytes = spec.estimated_resident_bytes();
+        st.ledger.try_charge(&spec.tenant, est_bytes)?;
         let id = JobId(st.next_id);
         st.next_id += 1;
         let eff_prio = match spec.priority {
@@ -292,6 +297,7 @@ impl Serve {
                 ("class", spec.priority.label().to_string()),
                 ("steps", spec.steps.to_string()),
                 ("nodes", spec.scenario.nodes().to_string()),
+                ("resident_bytes", est_bytes.to_string()),
                 ("devices", spec.devices.to_string()),
             ],
         );
@@ -308,6 +314,7 @@ impl Serve {
                 cancel: false,
                 submitted_at: Instant::now(),
                 result: None,
+                charged_bytes: est_bytes,
             },
         );
         st.queue.push(id);
@@ -452,10 +459,10 @@ fn finalize(
     let tenant = rec.spec.tenant.clone();
     let priority = rec.spec.priority;
     let class = priority.label();
-    let nodes = rec.spec.scenario.nodes();
+    let charged = rec.charged_bytes;
     let evictions = rec.evictions;
     let latency_ms = rec.submitted_at.elapsed().as_secs_f64() * 1e3;
-    st.ledger.release(&tenant, nodes);
+    st.ledger.release(&tenant, charged);
     st.in_flight -= 1;
     if let Some(o) = inner.obs() {
         let outcome = match terminal {
@@ -688,6 +695,16 @@ fn run_group(inner: &Arc<Inner>, gid: u64, group_ids: Vec<JobId>) {
                     let mut st = inner.state.lock().unwrap();
                     let rec = st.jobs.get_mut(&id).expect("group job exists");
                     rec.snapshot = None;
+                    // True the admission-time estimate up to the driver's
+                    // actual lattice allocation (multi-device builds carry
+                    // ghost columns the spec-side estimate cannot see).
+                    let actual = sim.resident_bytes();
+                    let old = rec.charged_bytes;
+                    if actual != old {
+                        rec.charged_bytes = actual;
+                        st.ledger.recharge(&spec.tenant, old, actual);
+                    }
+                    let rec = st.jobs.get_mut(&id).expect("group job exists");
                     if snapshot.is_some() {
                         if let Some(o) = inner.obs() {
                             o.metrics.counter_add(

@@ -11,9 +11,9 @@ use gpu_sim::{DeviceSpec, FaultPlan};
 use lbm_core::collision::Bgk;
 use lbm_core::geometry::{Geometry, NodeType};
 use lbm_core::Simulation;
-use lbm_gpu::{MrScheme, MrSim2D, MrSim3D, StSim};
-use lbm_lattice::{D2Q9, D3Q19};
-use lbm_multi::{MultiMrSim2D, MultiMrSim3D, MultiStSim};
+use lbm_gpu::{AaStSim, MrScheme, MrSim2D, MrSim3D, StSim};
+use lbm_lattice::{Lattice, D2Q9, D3Q19};
+use lbm_multi::{MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiStSim};
 use std::sync::Arc;
 
 /// Scheduling class of a job.
@@ -69,7 +69,8 @@ impl Scenario {
         }
     }
 
-    /// Total lattice nodes (the quota ledger's unit of residency).
+    /// Total lattice nodes (residency estimates multiply this by the
+    /// pattern's per-node byte cost).
     pub fn nodes(&self) -> usize {
         match *self {
             Scenario::Shear2D { nx, ny } => nx * ny,
@@ -91,7 +92,8 @@ impl Scenario {
     }
 }
 
-/// Propagation pattern (the paper's three kernels).
+/// Propagation pattern (the paper's three kernels plus the in-place
+/// single-lattice variants of each representation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Pattern {
     /// Standard two-lattice distribution representation, BGK collision.
@@ -100,6 +102,12 @@ pub enum Pattern {
     MrP,
     /// Moment representation, recursive regularization (MR-R).
     MrR,
+    /// In-place AA-pattern ST: one resident lattice (`Q·8` bytes/node,
+    /// half of [`Pattern::St`]), BGK collision.
+    AaSt,
+    /// In-place moment-twist MR-P: one parity-indexed moment lattice
+    /// (`M·8` bytes/node, half of [`Pattern::MrP`]). Single-device only.
+    MrTwist,
 }
 
 impl Pattern {
@@ -109,6 +117,8 @@ impl Pattern {
             Pattern::St => "st",
             Pattern::MrP => "mr-p",
             Pattern::MrR => "mr-r",
+            Pattern::AaSt => "aa-st",
+            Pattern::MrTwist => "mr-twist",
         }
     }
 }
@@ -199,7 +209,36 @@ impl JobSpec {
                 self.scenario.nx()
             ));
         }
+        if self.pattern == Pattern::MrTwist && self.devices > 1 {
+            return invalid(format!(
+                "mr-twist is single-device only (requested {} devices): the \
+                 parity-twisted moment lattice has no sharded driver",
+                self.devices
+            ));
+        }
         Ok(())
+    }
+
+    /// Admission-time estimate of the solver's resident lattice bytes —
+    /// the roofline model's per-pattern footprint over the scenario's
+    /// nodes. The scheduler charges this at submit and trues it up to
+    /// [`Simulation::resident_bytes`] once the solver is built (ghost
+    /// columns make multi-device builds slightly larger).
+    pub fn estimated_resident_bytes(&self) -> usize {
+        use gpu_sim::roofline::{
+            footprint_aa_st, footprint_mr_double, footprint_mr_twist, footprint_st,
+        };
+        let n = self.scenario.nodes();
+        let (q, m) = match self.scenario {
+            Scenario::Shear2D { .. } => (D2Q9::Q, D2Q9::M),
+            Scenario::Shear3D { .. } => (D3Q19::Q, D3Q19::M),
+        };
+        match self.pattern {
+            Pattern::St => footprint_st(n, q),
+            Pattern::MrP | Pattern::MrR => footprint_mr_double(n, m),
+            Pattern::AaSt => footprint_aa_st(n, q),
+            Pattern::MrTwist => footprint_mr_twist(n, m),
+        }
     }
 
     /// Deterministic initial condition: a shear layer that is a pure
@@ -248,6 +287,23 @@ impl JobSpec {
             (Scenario::Shear2D { .. }, Pattern::St, n) => {
                 finish!(MultiStSim::<D2Q9, _>::new(dev, geom, Bgk::new(self.tau), n))
             }
+            (Scenario::Shear2D { .. }, Pattern::AaSt, 1) => {
+                finish!(AaStSim::<D2Q9, _>::new(dev, geom, Bgk::new(self.tau)))
+            }
+            (Scenario::Shear2D { .. }, Pattern::AaSt, n) => {
+                finish!(MultiAaStSim::<D2Q9, _>::new(
+                    dev,
+                    geom,
+                    Bgk::new(self.tau),
+                    n
+                ))
+            }
+            (Scenario::Shear2D { .. }, Pattern::MrTwist, _) => {
+                // validate() rejects devices > 1 for the twist pattern.
+                finish!(
+                    MrSim2D::<D2Q9>::new(dev, geom, MrScheme::projective(), self.tau).with_twist()
+                )
+            }
             (Scenario::Shear2D { .. }, pat, n) => {
                 let scheme = match pat {
                     Pattern::MrP => MrScheme::projective(),
@@ -269,6 +325,22 @@ impl JobSpec {
                     Bgk::new(self.tau),
                     n
                 ))
+            }
+            (Scenario::Shear3D { .. }, Pattern::AaSt, 1) => {
+                finish!(AaStSim::<D3Q19, _>::new(dev, geom, Bgk::new(self.tau)))
+            }
+            (Scenario::Shear3D { .. }, Pattern::AaSt, n) => {
+                finish!(MultiAaStSim::<D3Q19, _>::new(
+                    dev,
+                    geom,
+                    Bgk::new(self.tau),
+                    n
+                ))
+            }
+            (Scenario::Shear3D { .. }, Pattern::MrTwist, _) => {
+                finish!(
+                    MrSim3D::<D3Q19>::new(dev, geom, MrScheme::projective(), self.tau).with_twist()
+                )
             }
             (Scenario::Shear3D { .. }, pat, n) => {
                 let scheme = match pat {

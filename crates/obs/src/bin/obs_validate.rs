@@ -7,11 +7,92 @@
 //! records (`"section": "slo"`) get a full schema check: per-class
 //! quantiles monotone, burn rates in [0, 1], a lossless event log whose
 //! admit count covers every job, trace-span coverage, and roofline
-//! attribution rows for at least two device models. Exits non-zero on the
-//! first failure.
+//! attribution rows for at least two device models. Bench-style records
+//! (`smoke` / `aa` / `bench` / `bench-record`) get a row-schema check:
+//! pattern names limited to the known set (`st`, `mr-p`, `mr-r`, and the
+//! in-place `st-aa` / `mr-t`), positive wall-clock measurements with the
+//! in-place patterns present in `bench`, and byte-exact halved residency
+//! in `aa`. Exits non-zero on the first failure.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+/// Every pattern name a BENCH row may carry: the three two-lattice
+/// patterns of the paper plus the in-place single-lattice variants
+/// (AA-pattern ST and parity-twist MR).
+const KNOWN_PATTERNS: [&str; 5] = ["st", "mr-p", "mr-r", "st-aa", "mr-t"];
+
+/// Schema check for any bench record carrying a `rows` array: pattern
+/// names must come from the known set, and wall-clock records
+/// (`"section": "bench"`) must carry positive measured MFLUPS and
+/// speedups for every row — including at least one row for each
+/// in-place pattern, so the single-lattice drivers can't silently drop
+/// out of the perf gate. `aa` records must show the byte-exact halving.
+fn validate_bench(v: &obs::json::Value, section: &str) -> Result<String, String> {
+    let rows = v.get("rows").ok_or("missing rows")?.items();
+    let mut seen = std::collections::BTreeSet::new();
+    for (i, r) in rows.iter().enumerate() {
+        let pat = r
+            .get("pattern")
+            .and_then(|p| p.as_str())
+            .ok_or(format!("rows[{i}] missing pattern"))?;
+        if !KNOWN_PATTERNS.contains(&pat) {
+            return Err(format!(
+                "rows[{i}] has unknown pattern '{pat}' (expected one of {KNOWN_PATTERNS:?})"
+            ));
+        }
+        seen.insert(pat.to_string());
+        if section == "bench" {
+            let num = |k: &str| -> Result<f64, String> {
+                r.get(k)
+                    .and_then(|x| x.as_f64())
+                    .ok_or(format!("rows[{i}] missing {k}"))
+            };
+            let mflups = num("measured_mflups")?;
+            let speedup = num("speedup_vs_st")?;
+            if !(mflups > 0.0 && speedup > 0.0) {
+                return Err(format!(
+                    "rows[{i}] ({pat}): non-positive measurement ({mflups} MFLUPS, {speedup}x)"
+                ));
+            }
+        }
+    }
+    if section == "bench" {
+        for required in ["st", "st-aa", "mr-t"] {
+            if !seen.contains(required) {
+                return Err(format!("bench record has no '{required}' rows"));
+            }
+        }
+    }
+    if section == "aa" {
+        let resident = v
+            .get("in_place_resident")
+            .ok_or("aa record missing in_place_resident")?
+            .items();
+        if resident.is_empty() {
+            return Err("in_place_resident is empty".into());
+        }
+        for (i, r) in resident.iter().enumerate() {
+            let num = |k: &str| -> Result<f64, String> {
+                r.get(k)
+                    .and_then(|x| x.as_f64())
+                    .ok_or(format!("in_place_resident[{i}] missing {k}"))
+            };
+            let one = num("resident_bytes")?;
+            let two = num("two_lattice_bytes")?;
+            if 2.0 * one != two {
+                return Err(format!(
+                    "in_place_resident[{i}]: {one} B resident is not an exact halving of {two} B"
+                ));
+            }
+        }
+    }
+    Ok(format!(
+        "{section} ok ({} rows, patterns {:?})",
+        rows.len(),
+        seen
+    ))
+}
 
 /// Schema check for the `reproduce slo` bench record.
 fn validate_slo(v: &obs::json::Value) -> Result<String, String> {
@@ -143,6 +224,10 @@ fn validate(path: &str) -> Result<String, String> {
         Ok(format!("metrics ok ({} entries)", metrics.items().len()))
     } else if v.get("section").and_then(|s| s.as_str()) == Some("slo") {
         validate_slo(&v)
+    } else if let Some(section @ ("smoke" | "aa" | "bench" | "bench-record")) =
+        v.get("section").and_then(|s| s.as_str())
+    {
+        validate_bench(&v, section)
     } else {
         Ok("json ok".to_string())
     }

@@ -19,7 +19,7 @@ fn main() {
         "acme".to_string(),
         TenantQuota {
             max_in_flight: 4,
-            max_resident_nodes: 1 << 20,
+            max_resident_bytes: 1 << 30,
         },
     );
     let obs = obs::Obs::shared();

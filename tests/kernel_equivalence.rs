@@ -168,6 +168,140 @@ fn multi_mr2d_vectorized_matches_scalar() {
     }
 }
 
+/// PR 9 tentpole contract, swept at the workspace level: the in-place
+/// AA-pattern driver is FNV-bitwise equal to the two-lattice ST driver at
+/// *every even* step count — on both device models, through an odd step
+/// total, and identically under pooled 1-thread and 8-thread executors
+/// (which must also agree with each other at odd steps, where the AA
+/// lattice is mid-cycle and legitimately differs from ST).
+#[test]
+fn aa_matches_two_lattice_fnv_sweep_2d() {
+    for dev in devices() {
+        // Lid-driven cavity: moving-wall gains on the in-place path.
+        let geom = Geometry::cavity_2d(13, 0.08);
+        let mut st: StSim<D2Q9, _> = StSim::new(dev.clone(), geom.clone(), Bgk::new(0.8));
+        let mut aa1: AaStSim<D2Q9, _> =
+            AaStSim::new(dev.clone(), geom.clone(), Bgk::new(0.8)).with_cpu_threads(1);
+        let mut aa8: AaStSim<D2Q9, _> = AaStSim::new(dev, geom, Bgk::new(0.8))
+            .with_cpu_threads(8)
+            .with_parallel_threshold(0);
+        st.init_with(shear_init);
+        aa1.init_with(shear_init);
+        aa8.init_with(shear_init);
+        for step in 1..=7u64 {
+            st.step();
+            aa1.step();
+            aa8.step();
+            assert_eq!(
+                aa1.field_checksum(),
+                aa8.field_checksum(),
+                "pooled AA executors diverged at step {step}"
+            );
+            if step % 2 == 0 {
+                assert_eq!(
+                    aa1.field_checksum(),
+                    st.field_checksum(),
+                    "AA diverged from the two-lattice driver at even step {step}"
+                );
+            }
+        }
+    }
+}
+
+/// Same AA sweep in 3D (walled duct, periodic x — AA rejects
+/// inlet/outlet) with the projective operator for the non-BGK collide
+/// path.
+#[test]
+fn aa_matches_two_lattice_fnv_sweep_3d() {
+    for dev in devices() {
+        let mut geom = Geometry::new(10, 6, 6, [true, false, false]);
+        for z in 0..6 {
+            for y in 0..6 {
+                for x in 0..10 {
+                    if y == 0 || y == 5 || z == 0 || z == 5 {
+                        geom.set(x, y, z, NodeType::Wall);
+                    }
+                }
+            }
+        }
+        let mut st: StSim<D3Q19, _> = StSim::new(dev.clone(), geom.clone(), Projective::new(0.7));
+        let mut aa1: AaStSim<D3Q19, _> =
+            AaStSim::new(dev.clone(), geom.clone(), Projective::new(0.7)).with_cpu_threads(1);
+        let mut aa8: AaStSim<D3Q19, _> = AaStSim::new(dev, geom, Projective::new(0.7))
+            .with_cpu_threads(8)
+            .with_parallel_threshold(0);
+        st.init_with(shear_init);
+        aa1.init_with(shear_init);
+        aa8.init_with(shear_init);
+        for step in 1..=5u64 {
+            st.step();
+            aa1.step();
+            aa8.step();
+            assert_eq!(aa1.field_checksum(), aa8.field_checksum());
+            if step % 2 == 0 {
+                assert_eq!(aa1.field_checksum(), st.field_checksum());
+            }
+        }
+    }
+}
+
+/// The moment-twist contract is stronger: parity-indexed plane storage
+/// changes where moments live, never their values, so the twist driver is
+/// FNV-bitwise equal to the default MR driver at *every* step — 2D and
+/// 3D (with inlet/outlet boundaries), both devices, pooled 1/8-thread.
+#[test]
+fn mr_twist_matches_default_fnv_sweep() {
+    for dev in devices() {
+        let geom2 = Geometry::cavity_2d(13, 0.08);
+        let mut plain2: MrSim2D<D2Q9> =
+            MrSim2D::new(dev.clone(), geom2.clone(), MrScheme::projective(), 0.8);
+        let mut tw1: MrSim2D<D2Q9> =
+            MrSim2D::new(dev.clone(), geom2.clone(), MrScheme::projective(), 0.8)
+                .with_cpu_threads(1)
+                .with_twist();
+        let mut tw8: MrSim2D<D2Q9> = MrSim2D::new(dev.clone(), geom2, MrScheme::projective(), 0.8)
+            .with_cpu_threads(8)
+            .with_twist();
+        plain2.init_with(shear_init);
+        tw1.init_with(shear_init);
+        tw8.init_with(shear_init);
+        for step in 1..=7u64 {
+            plain2.step();
+            tw1.step();
+            tw8.step();
+            assert_eq!(tw1.field_checksum(), tw8.field_checksum());
+            assert_eq!(
+                tw1.field_checksum(),
+                plain2.field_checksum(),
+                "2D twist diverged at step {step}"
+            );
+        }
+
+        let geom3 = Geometry::channel_3d(12, 6, 6, 0.04);
+        let mut plain3: MrSim3D<D3Q19> = MrSim3D::new(
+            dev.clone(),
+            geom3.clone(),
+            MrScheme::recursive::<D3Q19>(),
+            0.8,
+        );
+        let mut tw3: MrSim3D<D3Q19> =
+            MrSim3D::new(dev.clone(), geom3, MrScheme::recursive::<D3Q19>(), 0.8)
+                .with_cpu_threads(8)
+                .with_twist();
+        plain3.init_with(shear_init);
+        tw3.init_with(shear_init);
+        for step in 1..=5u64 {
+            plain3.step();
+            tw3.step();
+            assert_eq!(
+                tw3.field_checksum(),
+                plain3.field_checksum(),
+                "3D twist diverged at step {step}"
+            );
+        }
+    }
+}
+
 /// Sharded 3D MR, both flavors.
 #[test]
 fn multi_mr3d_vectorized_matches_scalar() {

@@ -14,10 +14,10 @@ use lbm_core::geometry::{Geometry, NodeType};
 use lbm_core::io::{field_checksum, CheckpointError};
 use lbm_core::{Simulation, StepError};
 use lbm_gpu::scheme::MrScheme;
-use lbm_gpu::{MrSim2D, MrSim3D, StSim};
+use lbm_gpu::{AaStSim, MrSim2D, MrSim3D, StSim};
 use lbm_lattice::{D2Q9, D3Q19};
 use lbm_multi::recovery::{run_with_recovery, HaloRetryPolicy, RecoveryConfig, RecoveryError};
-use lbm_multi::{MultiMrSim2D, MultiMrSim3D, MultiStSim};
+use lbm_multi::{MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiStSim};
 use std::sync::Arc;
 
 fn shear_init(x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
@@ -233,6 +233,75 @@ fn multi_mr3d_checkpoint_roundtrip_bitwise() {
         s
     };
     ckpt_roundtrip(mk(), mk(), mk(), 3, 3);
+}
+
+/// PR 9 satellite: the in-place AA driver's parity-tagged checkpoint
+/// round-trips at *odd* parity — the snapshot lands mid-AA-cycle (after
+/// the stream half-step, flavor `"aa-st+odd"`), and the restored driver
+/// must resume with the collide half-step, bitwise.
+#[test]
+fn aa_checkpoint_roundtrip_at_odd_parity() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: AaStSim<D2Q9, _> =
+            AaStSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8))
+                .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk(), mk(), mk(), 5, 7);
+}
+
+/// Sharded AA, same odd-parity contract — plus the snapshot must carry
+/// every shard's ghost columns so the pending collide half-step reads the
+/// same halo values the uninterrupted run saw.
+#[test]
+fn multi_aa_checkpoint_roundtrip_at_odd_parity() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk = || {
+        let mut s: MultiAaStSim<D2Q9, _> =
+            MultiAaStSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8), 3)
+                .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk(), mk(), mk(), 5, 7);
+}
+
+/// The moment-twist checkpoints carry the plane parity in their flavor
+/// (`"mr2d-twist+odd"` / `"mr3d-twist+odd"`): restoring at odd parity
+/// must land on reversed plane order and keep stepping bitwise.
+#[test]
+fn mr_twist_checkpoint_roundtrip_at_odd_parity() {
+    let geom = Geometry::walls_y_periodic_x(16, 8);
+    let mk2 = || {
+        let mut s: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2)
+        .with_twist();
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk2(), mk2(), mk2(), 5, 7);
+
+    let geom3 = duct(8, 6, 6);
+    let mk3 = || {
+        let mut s: MrSim3D<D3Q19> = MrSim3D::new(
+            DeviceSpec::mi100(),
+            geom3.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2)
+        .with_twist();
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk3(), mk3(), mk3(), 3, 5);
 }
 
 /// Corrupt, truncated, and wrong-flavor snapshots are rejected with typed

@@ -113,7 +113,7 @@ fn quota_rejects_and_recovers() {
         "acme".to_string(),
         TenantQuota {
             max_in_flight: 2,
-            max_resident_nodes: usize::MAX,
+            max_resident_bytes: usize::MAX,
         },
     );
     let serve = Serve::start(ServeConfig {
@@ -487,4 +487,175 @@ fn slo_controller_tunes_live_knobs_on_breaches() {
     // The event log replays cleanly (admits before slices, lawful
     // lifecycles) even under live retuning.
     obs::events::replay(&hub.events.snapshot()).expect("event log replays");
+}
+
+/// PR 9: the in-place patterns are first-class fleet citizens — `aa-st`
+/// and `mr-twist` jobs (2D and 3D) complete with checksums bitwise-equal
+/// to their solo oracles.
+#[test]
+fn in_place_patterns_match_solo_oracles() {
+    let serve = Serve::start(cfg(2));
+    let shear3d = Scenario::Shear3D {
+        nx: 10,
+        ny: 6,
+        nz: 6,
+    };
+    let specs = [
+        JobSpec {
+            pattern: Pattern::AaSt,
+            ..JobSpec::shear_2d("inplace", 20, 8, 24)
+        },
+        JobSpec {
+            pattern: Pattern::MrTwist,
+            // Odd step count: the twist lattice ends on reversed planes.
+            ..JobSpec::shear_2d("inplace", 20, 8, 23)
+        },
+        JobSpec {
+            scenario: shear3d,
+            pattern: Pattern::AaSt,
+            // Odd step count: restore-at-odd-parity path in play.
+            ..JobSpec::shear_2d("inplace", 10, 6, 15)
+        },
+        JobSpec {
+            scenario: shear3d,
+            pattern: Pattern::MrTwist,
+            ..JobSpec::shear_2d("inplace", 10, 6, 16)
+        },
+        // Sharded AA: the parity-aware halo protocol behind the same
+        // trait object.
+        JobSpec {
+            pattern: Pattern::AaSt,
+            devices: 3,
+            ..JobSpec::shear_2d("inplace", 36, 12, 20)
+        },
+    ];
+    let ids: Vec<JobId> = specs
+        .iter()
+        .map(|s| serve.submit(s.clone()).expect("admitted"))
+        .collect();
+    for (spec, id) in specs.iter().zip(ids) {
+        assert_eq!(
+            serve.wait(id).expect("completed").checksum,
+            solo_checksum(spec),
+            "fleet checksum diverged from solo run for {spec:?}"
+        );
+    }
+    // The twist lattice has no sharded driver: rejected at validation.
+    let twist_multi = JobSpec {
+        pattern: Pattern::MrTwist,
+        devices: 2,
+        ..JobSpec::shear_2d("inplace", 20, 8, 8)
+    };
+    assert!(matches!(
+        serve.submit(twist_multi),
+        Err(SubmitError::Invalid(_))
+    ));
+}
+
+/// PR 9 satellite: the quota ledger is byte-denominated and bills the
+/// in-place patterns exactly half the lattice bytes of their two-lattice
+/// counterparts — `Q·8`/node vs `2Q·8` (ST) and `M·8`/node vs `2M·8`
+/// (MR), byte-exact.
+#[test]
+fn quota_bills_in_place_jobs_half_the_lattice_bytes() {
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        slice_steps: 4,
+        ..Default::default()
+    });
+    // Occupy the only executor so the probe jobs stay queued holding
+    // their admission-time charges.
+    let blocker = JobSpec {
+        priority: Priority::Batch,
+        ..JobSpec::shear_2d("blocker", 24, 10, 100_000)
+    };
+    let blocker_id = serve.submit(blocker).unwrap();
+    wait_for_state(&serve, blocker_id, JobState::Running);
+
+    let nodes = 20 * 8;
+    let probes = [
+        (Pattern::St, "two-lat-st", nodes * 2 * 9 * 8),
+        (Pattern::AaSt, "in-place-st", nodes * 9 * 8),
+        (Pattern::MrP, "two-lat-mr", nodes * 2 * 6 * 8),
+        (Pattern::MrTwist, "in-place-mr", nodes * 6 * 8),
+    ];
+    let mut ids = Vec::new();
+    for (pattern, tenant, want_bytes) in probes {
+        let spec = JobSpec {
+            pattern,
+            priority: Priority::Batch,
+            ..JobSpec::shear_2d(tenant, 20, 8, 4)
+        };
+        assert_eq!(spec.estimated_resident_bytes(), want_bytes);
+        ids.push(serve.submit(spec).unwrap());
+        assert_eq!(
+            serve.tenant_usage(tenant).resident_bytes,
+            want_bytes,
+            "queued {tenant} job holds the wrong byte charge"
+        );
+    }
+    // Halving is exact, not approximate.
+    assert_eq!(
+        2 * serve.tenant_usage("in-place-st").resident_bytes,
+        serve.tenant_usage("two-lat-st").resident_bytes
+    );
+    assert_eq!(
+        2 * serve.tenant_usage("in-place-mr").resident_bytes,
+        serve.tenant_usage("two-lat-mr").resident_bytes
+    );
+
+    serve.cancel(blocker_id);
+    for id in ids {
+        serve.wait(id).expect("probe job completed");
+    }
+    for (_, tenant, _) in probes {
+        let usage = serve.tenant_usage(tenant);
+        assert_eq!(
+            (usage.in_flight, usage.resident_bytes),
+            (0, 0),
+            "completion must release the full byte charge for {tenant}"
+        );
+    }
+}
+
+/// PR 9 satellite: once the solver is built, the charge is trued up from
+/// the spec estimate to the driver's actual allocation
+/// (`Simulation::resident_bytes()`) — multi-device builds carry ghost
+/// columns the estimate cannot see.
+#[test]
+fn multi_device_charge_trues_up_to_actual_allocation() {
+    let serve = Serve::start(ServeConfig {
+        executors: 1,
+        slice_steps: 4,
+        ..Default::default()
+    });
+    let spec = JobSpec {
+        pattern: Pattern::AaSt,
+        devices: 3,
+        priority: Priority::Batch,
+        ..JobSpec::shear_2d("truing", 36, 12, 100_000)
+    };
+    let est = spec.estimated_resident_bytes();
+    let actual = spec.build(1).resident_bytes();
+    assert!(
+        actual > est,
+        "sharded build should exceed the ghost-free estimate ({actual} vs {est})"
+    );
+    let id = serve.submit(spec).unwrap();
+    // steps_done only moves after the solver is built, i.e. after the
+    // true-up has landed on the ledger.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while serve.status(id).expect("known job").steps_done == 0 {
+        assert!(Instant::now() < deadline, "job never started stepping");
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        serve.tenant_usage("truing").resident_bytes,
+        actual,
+        "running job's charge should be the driver's actual allocation"
+    );
+    serve.cancel(id);
+    serve.drain();
+    let usage = serve.tenant_usage("truing");
+    assert_eq!((usage.in_flight, usage.resident_bytes), (0, 0));
 }
