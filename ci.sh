@@ -39,6 +39,17 @@ cargo run -p lbm-bench --release --bin reproduce -- aa
 test -s BENCH_aa.json
 cargo run -p obs --release --bin obs-validate -- BENCH_aa.json
 
+echo "== sparse (fluid-compacted ST + MR: porosity-swept footprints, exact B/F, bitwise vs dense)"
+# Sweeps 25/50/75% rock on the same box and asserts the resident footprint
+# equals the roofline sparse model on the *fluid* count (published and read
+# back through the metrics registry), measured B/F matches the
+# indirect-addressing model (180/132 D2Q9, 380/236 D3Q19), the sparse
+# drivers stay FNV-bitwise equal to the dense ones, and the sharded sparse
+# halo tally is byte-exact.
+cargo run -p lbm-bench --release --bin reproduce -- sparse
+test -s BENCH_sparse.json
+cargo run -p obs --release --bin obs-validate -- BENCH_sparse.json
+
 echo "== bench wall-clock smoke (pooled executor + span paths, measured MFLUPS)"
 # Asserts 1-thread vs 8-thread tallies are identical, then times the kernels;
 # emits measured_mflups / speedup_vs_st rows into BENCH_bench.json.

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy
-//!            |profile|futurework|scaling|smoke|aa|bench|bench-record|resilience|serve|slo|all]
+//!            |profile|futurework|scaling|smoke|aa|sparse|bench|bench-record|resilience|serve|slo|all]
 //!           [--quick] [--steps=small|full] [--section=<name>] [--slo]
 //!           [--inject=nan|abort|link|all] [--checkpoint-every=<n>]
 //!           [--jobs=<n>] [--seed=<n>]
@@ -17,7 +17,10 @@
 //! `measured_mflups` / `speedup_vs_st` rows to `BENCH_bench.json` —
 //! including the in-place `st-aa` / `mr-t` patterns. The `aa` section is
 //! the in-place smoke: bitwise equivalence to the two-lattice drivers and
-//! byte-exact `Q·8` / `M·8` residency through the metrics registry.
+//! byte-exact `Q·8` / `M·8` residency through the metrics registry. The
+//! `sparse` section gates the fluid-compacted drivers: porosity-swept
+//! footprints on the fluid-count model, the indirect-addressing B/F,
+//! bitwise equality with the dense drivers, and exact sparse halo bytes.
 
 use gpu_sim::efficiency::{bandwidth_fraction, modeled_bandwidth_gbps, Pattern};
 use gpu_sim::roofline::{bytes_per_flup_mr, bytes_per_flup_st, mflups_max_on};
@@ -1229,6 +1232,223 @@ fn aa_section(hub: &Arc<obs::Obs>) {
     println!();
 }
 
+/// The `sparse` CI section: the fluid-compacted driver family's gate.
+///
+/// A porosity sweep (25 / 50 / 75 % rock on the same box) asserts the
+/// resident footprint equals the roofline sparse model on the *fluid*
+/// count exactly — published as `resident_bytes` / `bytes_per_flup`
+/// gauges and read back through the metrics registry, the same plumbing
+/// the fleet bills byte quotas on. The measured per-update traffic must
+/// match the indirect-addressing B/F (`2Q·8 + Q·4` = 180 ST, `2M·8 + Q·4`
+/// = 132 MR for D2Q9; 380 / 236 for D3Q19), the sparse drivers must stay
+/// FNV-bitwise equal to the dense drivers on the shared fluid nodes, and
+/// the sharded sparse halo tally must be byte-exact against the analytic
+/// per-step cost.
+fn sparse_section(hub: &Arc<obs::Obs>) {
+    use gpu_sim::roofline::{
+        bytes_per_flup_sparse_mr, bytes_per_flup_sparse_st, footprint_sparse_mr,
+        footprint_sparse_st,
+    };
+    use lbm_bench::TAU;
+    use lbm_core::collision::Bgk;
+    use lbm_gpu::{MrScheme, MrSim2D, SparseMrSim2D, SparseMrSim3D, StSim, StSparseSim};
+    use lbm_lattice::{Lattice, D2Q9, D3Q19};
+    use lbm_multi::MultiSparseMrSim;
+    use lbm_serve::Scenario;
+
+    println!("== sparse: fluid-compacted ST + MR drivers ==========================");
+    let mut rec = obs::BenchRecord::new("sparse");
+    let dev = DeviceSpec::v100();
+    let steps = 4usize;
+
+    // Porosity sweep: same bounding box, three rock fractions.
+    let mut sweep = Vec::new();
+    for solid_pct in [25u8, 50, 75] {
+        let geom = Scenario::Porous2D {
+            nx: 24,
+            ny: 12,
+            solid_pct,
+        }
+        .geometry();
+        let nf = geom.fluid_count();
+        let mut st: StSparseSim<D2Q9, _> =
+            StSparseSim::new(dev.clone(), geom.clone(), Bgk::new(TAU));
+        let mut mr: SparseMrSim2D =
+            SparseMrSim2D::new(dev.clone(), geom, MrScheme::projective(), TAU);
+        st.init_with(init_2d);
+        mr.init_with(init_2d);
+        st.run(steps);
+        mr.run(steps);
+        assert_eq!(
+            st.footprint_bytes(),
+            footprint_sparse_st(nf, D2Q9::Q),
+            "sparse ST footprint off the fluid-count model at {solid_pct}% rock"
+        );
+        assert_eq!(
+            mr.footprint_bytes(),
+            footprint_sparse_mr(nf, D2Q9::M, D2Q9::Q),
+            "sparse MR footprint off the fluid-count model at {solid_pct}% rock"
+        );
+        let pct = solid_pct.to_string();
+        for (pattern, bytes, bpf, model) in [
+            (
+                "sparse-st",
+                st.footprint_bytes(),
+                st.measured_bpf(),
+                bytes_per_flup_sparse_st(D2Q9::Q),
+            ),
+            (
+                "sparse-mr",
+                mr.footprint_bytes(),
+                mr.measured_bpf(),
+                bytes_per_flup_sparse_mr(D2Q9::M, D2Q9::Q),
+            ),
+        ] {
+            let labels = [
+                ("pattern", pattern),
+                ("lattice", "D2Q9"),
+                ("solid_pct", pct.as_str()),
+            ];
+            hub.metrics
+                .gauge_set("resident_bytes", &labels, bytes as f64);
+            let seen = hub
+                .metrics
+                .gauge("resident_bytes", &labels)
+                .expect("resident_bytes gauge readable") as usize;
+            assert_eq!(
+                seen, bytes,
+                "{pattern} @ {solid_pct}%: gauge round-trip lossy"
+            );
+            hub.metrics.gauge_set("bytes_per_flup", &labels, bpf);
+            let seen_bpf = hub
+                .metrics
+                .gauge("bytes_per_flup", &labels)
+                .expect("bytes_per_flup gauge readable");
+            assert!(
+                (seen_bpf - model).abs() < 1.0,
+                "{pattern} @ {solid_pct}%: measured B/F {seen_bpf:.2} off the model {model}"
+            );
+            rec.push(obs::BenchRow {
+                device: dev.name.to_string(),
+                lattice: "D2Q9".to_string(),
+                pattern: pattern.to_string(),
+                fluid_nodes: nf as u64,
+                steps: steps as u64,
+                mflups_modeled: mflups_max_on(&dev, bpf),
+                dram_bytes_per_item: bpf,
+                ..Default::default()
+            });
+        }
+        sweep.push(obs::json::Value::obj(vec![
+            ("solid_pct", obs::json::Value::int(solid_pct as u64)),
+            ("box_nodes", obs::json::Value::int((24 * 12) as u64)),
+            ("fluid_nodes", obs::json::Value::int(nf as u64)),
+            (
+                "sparse_st_bytes",
+                obs::json::Value::int(st.footprint_bytes() as u64),
+            ),
+            (
+                "sparse_mr_bytes",
+                obs::json::Value::int(mr.footprint_bytes() as u64),
+            ),
+        ]));
+    }
+    rec.set_extra("porosity_sweep", obs::json::Value::Arr(sweep));
+
+    // Dense equivalence on the half-rock slab: the dense drivers treat the
+    // rock as interior walls, and the sparse link table must reproduce
+    // their streaming bitwise. The sharded sparse MR build matches too,
+    // with a halo tally byte-exact against the analytic per-step cost.
+    let geom = Scenario::Porous2D {
+        nx: 24,
+        ny: 12,
+        solid_pct: 50,
+    }
+    .geometry();
+    let mut sst: StSparseSim<D2Q9, _> = StSparseSim::new(dev.clone(), geom.clone(), Bgk::new(TAU));
+    let mut dst: StSim<D2Q9, _> = StSim::new(dev.clone(), geom.clone(), Bgk::new(TAU));
+    let mut smr: SparseMrSim2D =
+        SparseMrSim2D::new(dev.clone(), geom.clone(), MrScheme::projective(), TAU);
+    let mut dmr: MrSim2D<D2Q9> =
+        MrSim2D::new(dev.clone(), geom.clone(), MrScheme::projective(), TAU);
+    sst.init_with(init_2d);
+    sst.run(steps);
+    dst.init_with(init_2d);
+    dst.run(steps);
+    smr.init_with(init_2d);
+    smr.run(steps);
+    dmr.init_with(init_2d);
+    dmr.run(steps);
+    assert_eq!(
+        sst.field_checksum(),
+        dst.field_checksum(),
+        "sparse ST diverged from dense ST on the porous slab"
+    );
+    assert_eq!(
+        smr.field_checksum(),
+        dmr.field_checksum(),
+        "sparse MR diverged from dense MR on the porous slab"
+    );
+    let mut multi: MultiSparseMrSim<D2Q9> =
+        MultiSparseMrSim::new(dev.clone(), geom, MrScheme::projective(), TAU, 2);
+    multi.init_with(init_2d);
+    multi.run(steps);
+    assert_eq!(
+        multi.interconnect().total_link_bytes(),
+        steps as u64 * multi.halo_bytes_per_step(),
+        "sharded sparse halo tally not byte-exact"
+    );
+    assert_eq!(
+        multi.field_checksum(),
+        smr.field_checksum(),
+        "sharded sparse MR diverged from the single-device build"
+    );
+
+    // The D3Q19 sparse B/F on the walled duct: 2Q·8 + Q·4 = 380 (ST) and
+    // 2M·8 + Q·4 = 236 (MR).
+    let g3 = duct_3d(8, 6, 6);
+    let nf3 = g3.fluid_count();
+    let mut st3: StSparseSim<D3Q19, _> = StSparseSim::new(dev.clone(), g3.clone(), Bgk::new(TAU));
+    let mut mr3: SparseMrSim3D = SparseMrSim3D::new(dev.clone(), g3, MrScheme::projective(), TAU);
+    st3.init_with(init_3d);
+    mr3.init_with(init_3d);
+    st3.run(steps);
+    mr3.run(steps);
+    for (pattern, bpf, model) in [
+        (
+            "sparse-st",
+            st3.measured_bpf(),
+            bytes_per_flup_sparse_st(D3Q19::Q),
+        ),
+        (
+            "sparse-mr",
+            mr3.measured_bpf(),
+            bytes_per_flup_sparse_mr(D3Q19::M, D3Q19::Q),
+        ),
+    ] {
+        assert!(
+            (bpf - model).abs() < 1.0,
+            "{pattern} D3Q19: measured B/F {bpf:.2} off the model {model}"
+        );
+        rec.push(obs::BenchRow {
+            device: dev.name.to_string(),
+            lattice: "D3Q19".to_string(),
+            pattern: pattern.to_string(),
+            fluid_nodes: nf3 as u64,
+            steps: steps as u64,
+            mflups_modeled: mflups_max_on(&dev, bpf),
+            dram_bytes_per_item: bpf,
+            ..Default::default()
+        });
+    }
+
+    let path = rec.write(".").expect("write BENCH_sparse.json");
+    println!("sparse OK: footprints == fluid-count model at 25/50/75% rock (registry-checked);");
+    println!("           B/F 180/132 (D2Q9) and 380/236 (D3Q19); bitwise vs dense; halo exact");
+    println!("wrote {path}");
+    println!();
+}
+
 /// Machine-readable perf records: every headline number as a BENCH row —
 /// byte-exact traffic ideals, the measured sweep on both devices, the
 /// multi-device halo/overlap measurements, and the monitor's cost.
@@ -2286,6 +2506,7 @@ fn main() {
         "scaling" => scaling(quick),
         "smoke" => smoke(&hub),
         "aa" => aa_section(&hub),
+        "sparse" => sparse_section(&hub),
         "bench" => bench_wallclock(quick),
         "bench-record" => bench_record(quick, &results, &hub),
         "resilience" => resilience(&hub, &inject, ckpt_every),
@@ -2305,6 +2526,7 @@ fn main() {
             future_work(quick);
             scaling(quick);
             aa_section(&hub);
+            sparse_section(&hub);
             bench_wallclock(quick);
             bench_record(quick, &results, &hub);
             resilience(&hub, &inject, ckpt_every);
@@ -2315,7 +2537,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown section '{other}'");
-            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|aa|bench|bench-record|resilience|serve|slo|all] [--quick] [--steps=small|full] [--section=<name>] [--bench-wallclock] [--slo] [--inject=nan|abort|link|all] [--checkpoint-every=<n>] [--jobs=<n>] [--seed=<n>] [--trace=<path>] [--metrics=<path>] [--events=<path>]");
+            eprintln!("usage: reproduce [table1|table2|table3|table4|figure2|figure3|footprint|speedups|occupancy|profile|futurework|scaling|smoke|aa|sparse|bench|bench-record|resilience|serve|slo|all] [--quick] [--steps=small|full] [--section=<name>] [--bench-wallclock] [--slo] [--inject=nan|abort|link|all] [--checkpoint-every=<n>] [--jobs=<n>] [--seed=<n>] [--trace=<path>] [--metrics=<path>] [--events=<path>]");
             std::process::exit(2);
         }
     }

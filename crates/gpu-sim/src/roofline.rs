@@ -18,6 +18,25 @@ pub fn bytes_per_flup_mr(m: usize) -> f64 {
     (2 * m * 8) as f64
 }
 
+/// Bytes per fluid lattice update of the *sparse* (fluid-compacted,
+/// indirect-addressing) ST pattern: the dense `2·Q` doubles plus one `u32`
+/// link-table entry per direction — `2·Q·8 + Q·4` (180 for D2Q9, 380 for
+/// D3Q19). Indirection costs bandwidth per update but the state is stored
+/// per *fluid* node, so the footprint scales with porosity.
+#[inline]
+pub fn bytes_per_flup_sparse_st(q: usize) -> f64 {
+    (2 * q * 8 + q * 4) as f64
+}
+
+/// Bytes per fluid lattice update of the sparse moment representation:
+/// `2·M` doubles of moments plus the `Q`-entry link table — `2·M·8 + Q·4`
+/// (132 for D2Q9, 236 for D3Q19). Still below even *dense* ST (144/304):
+/// the moment compression pays for the indirection.
+#[inline]
+pub fn bytes_per_flup_sparse_mr(m: usize, q: usize) -> f64 {
+    (2 * m * 8 + q * 4) as f64
+}
+
 /// Eq. (15): peak MFLUPS for a propagation pattern moving `bytes_per_flup`
 /// bytes per update on a device with bandwidth `bandwidth_gbps`.
 #[inline]
@@ -90,6 +109,23 @@ pub fn footprint_mr_twist(fluid_nodes: usize, m: usize) -> usize {
     fluid_nodes * m * 8
 }
 
+/// Device-memory footprint of the sparse ST driver: per *fluid* node, two
+/// compacted distribution lattices plus the `u32` link table —
+/// `fluid · (2·Q·8 + Q·4)` bytes. No bytes for solid nodes.
+#[inline]
+pub fn footprint_sparse_st(fluid_nodes: usize, q: usize) -> usize {
+    fluid_nodes * (2 * q * 8 + q * 4)
+}
+
+/// Device-memory footprint of the sparse MR driver: per fluid node, one
+/// in-place moment lattice plus the link table — `fluid · (M·8 + Q·4)`
+/// bytes. At porosity φ this is `φ · (M·8 + Q·4) / (2·Q·8)` of the dense
+/// ST box.
+#[inline]
+pub fn footprint_sparse_mr(fluid_nodes: usize, m: usize, q: usize) -> usize {
+    fluid_nodes * (m * 8 + q * 4)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +137,40 @@ mod tests {
         assert_eq!(bytes_per_flup_st(19), 304.0);
         assert_eq!(bytes_per_flup_mr(6), 96.0);
         assert_eq!(bytes_per_flup_mr(10), 160.0);
+    }
+
+    /// Sparse B/F: dense traffic plus the link table; sparse MR stays below
+    /// dense ST on both lattices.
+    #[test]
+    fn sparse_bytes_per_flup() {
+        assert_eq!(bytes_per_flup_sparse_st(9), 180.0);
+        assert_eq!(bytes_per_flup_sparse_st(19), 380.0);
+        assert_eq!(bytes_per_flup_sparse_mr(6, 9), 132.0);
+        assert_eq!(bytes_per_flup_sparse_mr(10, 19), 236.0);
+        assert!(bytes_per_flup_sparse_mr(6, 9) < bytes_per_flup_st(9));
+        assert!(bytes_per_flup_sparse_mr(10, 19) < bytes_per_flup_st(19));
+    }
+
+    /// Sparse footprints are linear in the fluid count: at porosity φ the
+    /// sparse state is exactly φ × the full-box sparse state.
+    #[test]
+    fn sparse_footprint_scales_with_fluid_count() {
+        let box_nodes = 400_000usize;
+        for (phi_num, phi_den) in [(1usize, 4usize), (1, 2), (3, 4)] {
+            let fluid = box_nodes * phi_num / phi_den;
+            assert_eq!(
+                footprint_sparse_st(fluid, 19),
+                footprint_sparse_st(box_nodes, 19) * phi_num / phi_den
+            );
+            assert_eq!(
+                footprint_sparse_mr(fluid, 10, 19),
+                footprint_sparse_mr(box_nodes, 10, 19) * phi_num / phi_den
+            );
+        }
+        // D2Q9 crossover vs the smallest dense pattern (twist-MR, M·8/node):
+        // sparse MR wins when φ·(M·8 + Q·4) < M·8, i.e. φ < 48/84 ≈ 0.57.
+        let fluid = box_nodes / 4; // φ = 0.25 — well below the crossover
+        assert!(footprint_sparse_mr(fluid, 6, 9) < footprint_mr_twist(box_nodes, 6));
     }
 
     /// Table 3 of the paper: roofline MFLUPS on both devices.

@@ -9,7 +9,8 @@
 //! still. The harness reports both.
 
 use gpu_sim::roofline::{
-    footprint_aa_st, footprint_mr_double, footprint_mr_single, footprint_mr_twist, footprint_st,
+    footprint_aa_st, footprint_mr_double, footprint_mr_single, footprint_mr_twist,
+    footprint_sparse_mr, footprint_sparse_st, footprint_st,
 };
 
 /// One row of the footprint comparison.
@@ -27,6 +28,12 @@ pub struct FootprintRow {
     pub aa_st_bytes: usize,
     /// In-place parity-twist MR: one lattice, `M·8` per node exactly.
     pub mr_twist_bytes: usize,
+    /// Porosity assumed for the sparse rows (fluid / box nodes).
+    pub porosity: f64,
+    /// Sparse (fluid-compacted) ST at `porosity`: `fluid·(2Q·8 + Q·4)`.
+    pub sparse_st_bytes: usize,
+    /// Sparse in-place MR at `porosity`: `fluid·(M·8 + Q·4)`.
+    pub sparse_mr_bytes: usize,
 }
 
 impl FootprintRow {
@@ -45,10 +52,27 @@ impl FootprintRow {
     pub fn twist_reduction(&self) -> f64 {
         1.0 - self.mr_twist_bytes as f64 / self.st_bytes as f64
     }
+
+    /// Reduction of the sparse MR (at this row's porosity) vs the dense ST
+    /// box — the compounded saving of compaction *and* moment compression.
+    pub fn sparse_mr_reduction(&self) -> f64 {
+        1.0 - self.sparse_mr_bytes as f64 / self.st_bytes as f64
+    }
 }
 
-/// Build the §4.1 comparison for a node count.
+/// Build the §4.1 comparison for a node count (sparse rows at porosity 1:
+/// every box node fluid, isolating the pure per-node overhead of the link
+/// table). Use [`footprint_table_at`] for obstacle/porous domains.
 pub fn footprint_table(nodes: usize) -> Vec<FootprintRow> {
+    footprint_table_at(nodes, 1.0)
+}
+
+/// [`footprint_table`] with the sparse rows evaluated at `porosity` —
+/// `fluid = ⌊porosity · nodes⌋` — while the dense rows keep paying for the
+/// whole bounding box.
+pub fn footprint_table_at(nodes: usize, porosity: f64) -> Vec<FootprintRow> {
+    assert!((0.0..=1.0).contains(&porosity), "porosity is a fraction");
+    let fluid = (porosity * nodes as f64).floor() as usize;
     let pad2 = 2 * (nodes as f64).sqrt() as usize; // ~two rows of a square domain
     let pad3 = 2 * (nodes as f64).powf(2.0 / 3.0) as usize; // ~two layers
     vec![
@@ -60,6 +84,9 @@ pub fn footprint_table(nodes: usize) -> Vec<FootprintRow> {
             mr_single_bytes: footprint_mr_single(nodes, 6, pad2),
             aa_st_bytes: footprint_aa_st(nodes, 9),
             mr_twist_bytes: footprint_mr_twist(nodes, 6),
+            porosity,
+            sparse_st_bytes: footprint_sparse_st(fluid, 9),
+            sparse_mr_bytes: footprint_sparse_mr(fluid, 6, 9),
         },
         FootprintRow {
             lattice: "D3Q19",
@@ -69,6 +96,9 @@ pub fn footprint_table(nodes: usize) -> Vec<FootprintRow> {
             mr_single_bytes: footprint_mr_single(nodes, 10, pad3),
             aa_st_bytes: footprint_aa_st(nodes, 19),
             mr_twist_bytes: footprint_mr_twist(nodes, 10),
+            porosity,
+            sparse_st_bytes: footprint_sparse_st(fluid, 19),
+            sparse_mr_bytes: footprint_sparse_mr(fluid, 10, 19),
         },
     ]
 }
@@ -100,6 +130,26 @@ mod tests {
                 assert!(r.mr_twist_bytes < r.mr_single_bytes);
                 assert!(r.twist_reduction() > r.single_reduction());
             }
+        }
+    }
+
+    /// The sparse rows track porosity exactly and the compounded sparse-MR
+    /// saving beats every dense pattern once the domain is mostly solid.
+    #[test]
+    fn sparse_rows_track_porosity() {
+        let nodes = 1_000_000;
+        let full = footprint_table(nodes);
+        for r in footprint_table_at(nodes, 0.25) {
+            let full_r = full.iter().find(|f| f.lattice == r.lattice).unwrap();
+            // Dense rows ignore porosity entirely; sparse state is linear
+            // in fluid count — a quarter the fluid, a quarter the bytes.
+            assert_eq!(r.st_bytes, full_r.st_bytes);
+            assert_eq!(r.mr_twist_bytes, full_r.mr_twist_bytes);
+            assert_eq!(4 * r.sparse_st_bytes, full_r.sparse_st_bytes);
+            assert_eq!(4 * r.sparse_mr_bytes, full_r.sparse_mr_bytes);
+            // At φ = 0.25 sparse MR undercuts even the twist-MR box.
+            assert!(r.sparse_mr_bytes < r.mr_twist_bytes);
+            assert!(r.sparse_mr_reduction() > r.twist_reduction());
         }
     }
 

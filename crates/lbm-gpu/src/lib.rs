@@ -32,6 +32,7 @@ pub mod mr3d;
 pub mod scheme;
 pub mod sim_impls;
 pub mod sparse;
+pub mod sparse_mr;
 pub mod st;
 
 pub use aa::{launch_aa_collide_span, launch_aa_stream_span, AaStSim};
@@ -39,5 +40,6 @@ pub use moment_lattice::MomentLattice;
 pub use mr2d::{launch_mr2d_columns, launch_mr_bc, MrSim2D};
 pub use mr3d::{launch_mr3d_columns, MrSim3D};
 pub use scheme::MrScheme;
-pub use sparse::StSparseSim;
+pub use sparse::{launch_sparse_st, FluidIndex, SparseBuildError, StSparseSim};
+pub use sparse_mr::{launch_sparse_mr, SparseMrSim, SparseMrSim2D, SparseMrSim3D};
 pub use st::{launch_st_bc, launch_st_pull_span, StSim, StStream};

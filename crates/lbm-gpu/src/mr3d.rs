@@ -982,6 +982,9 @@ impl<L: Lattice> MrSim3D<L> {
     /// Measured DRAM bytes per fluid lattice update.
     pub fn measured_bpf(&self) -> f64 {
         let updates = self.geom.fluid_count() as u64 * self.t;
+        if updates == 0 {
+            return 0.0;
+        }
         self.accum.dram_bytes() as f64 / updates as f64
     }
 

@@ -6,7 +6,7 @@
 //! behavior. Single-device steps cannot fail on a link, so the trait's
 //! default `try_step` (step + `Ok`) applies.
 
-use crate::{AaStSim, MrSim2D, MrSim3D, StSim};
+use crate::{AaStSim, MrSim2D, MrSim3D, SparseMrSim, StSim, StSparseSim};
 use lbm_core::collision::Collision;
 use lbm_core::io::CheckpointError;
 use lbm_core::sim::Simulation;
@@ -60,6 +60,8 @@ impl_simulation_single!(StSim<L, C>, [L: Lattice, C: Collision<L>]);
 impl_simulation_single!(MrSim2D<L>, [L: Lattice]);
 impl_simulation_single!(MrSim3D<L>, [L: Lattice]);
 impl_simulation_single!(AaStSim<L, C>, [L: Lattice, C: Collision<L>]);
+impl_simulation_single!(StSparseSim<L, C>, [L: Lattice, C: Collision<L>]);
+impl_simulation_single!(SparseMrSim<L>, [L: Lattice]);
 
 #[cfg(test)]
 mod tests {
@@ -68,6 +70,52 @@ mod tests {
     use lbm_core::sim::Simulation;
     use lbm_core::Geometry;
     use lbm_lattice::D2Q9;
+
+    /// Audit regression: every driver's per-update byte ratio is 0 (not
+    /// NaN) before the first step — `updates` is zero at construction, and
+    /// the 0/0 would otherwise leak into serve quota math and bench JSON.
+    /// (The footprint/roofline tables divide only by static nonzero node
+    /// counts and pattern constants, so drivers are the only 0/0 site.)
+    #[test]
+    fn measured_bpf_is_zero_before_first_step_in_every_driver() {
+        use crate::{MrScheme, MrSim2D, MrSim3D};
+        let geom = Geometry::walls_y_periodic_x(12, 8);
+        let st: crate::StSim<D2Q9, _> =
+            crate::StSim::new(DeviceSpec::v100(), geom.clone(), Bgk::new(0.8));
+        assert_eq!(st.measured_bpf(), 0.0);
+        let aa: crate::AaStSim<D2Q9, _> =
+            crate::AaStSim::new(DeviceSpec::v100(), geom.clone(), Bgk::new(0.8));
+        assert_eq!(aa.measured_bpf(), 0.0);
+        let mr2: MrSim2D<D2Q9> = MrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        );
+        assert_eq!(mr2.measured_bpf(), 0.0);
+        let mut g3 = Geometry::new(8, 6, 6, [true, false, false]);
+        for z in 0..6 {
+            for x in 0..8 {
+                g3.set(x, 0, z, lbm_core::geometry::NodeType::Wall);
+                g3.set(x, 5, z, lbm_core::geometry::NodeType::Wall);
+            }
+        }
+        for y in 0..6 {
+            for x in 0..8 {
+                g3.set(x, y, 0, lbm_core::geometry::NodeType::Wall);
+                g3.set(x, y, 5, lbm_core::geometry::NodeType::Wall);
+            }
+        }
+        let mr3: MrSim3D<lbm_lattice::D3Q19> =
+            MrSim3D::new(DeviceSpec::mi100(), g3, MrScheme::projective(), 0.8);
+        assert_eq!(mr3.measured_bpf(), 0.0);
+        let sp: crate::StSparseSim<D2Q9, _> =
+            crate::StSparseSim::new(DeviceSpec::v100(), geom.clone(), Bgk::new(0.8));
+        assert_eq!(sp.measured_bpf(), 0.0);
+        let smr: crate::SparseMrSim<D2Q9> =
+            crate::SparseMrSim::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8);
+        assert_eq!(smr.measured_bpf(), 0.0);
+    }
 
     /// The trait surface drives a driver through a `dyn` object and agrees
     /// with the inherent methods it forwards to.

@@ -17,9 +17,19 @@
 //! * bounce-back is precompiled into the neighbor table (a link to the
 //!   node's own opposite slot), so the kernel has no geometry branches.
 //!
+//! Compact ids are assigned **tile by tile** (fixed-size spatial tiles,
+//! one GPU block per tile, with a per-tile active list): fluid nodes that
+//! are spatial neighbors land in nearby compact slots, so the link table
+//! and the gather stay cache-coherent instead of striding the whole
+//! domain. The tile decomposition also gives the sharded drivers a
+//! natural per-tile halo-exchange granularity.
+//!
 //! Moving walls are not supported by the precompiled table (the gain term
 //! depends on the wall velocity); domains are restricted to
-//! `Wall`/`Fluid`/periodic, which covers the obstacle benchmarks.
+//! `Wall`/`Fluid`/periodic, which covers the obstacle benchmarks. Build
+//! errors surface as [`SparseBuildError`] through the fallible
+//! constructors (`try_new`), so a service front-end can reject a bad
+//! geometry instead of catching a panic.
 
 use gpu_sim::exec::{BlockCtx, Kernel, Launch};
 use gpu_sim::memory::Tally;
@@ -29,29 +39,133 @@ use lbm_core::geometry::{Geometry, NodeType};
 use lbm_lattice::moments::Moments;
 use lbm_lattice::Lattice;
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 const MAX_Q: usize = 48;
 
-/// Compacted fluid-node indexing for a geometry.
+/// Why a sparse driver could not be built from a geometry. Each variant is
+/// a *user input* problem, not a programming error — the service layer
+/// maps these onto submission rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseBuildError {
+    /// The geometry contains a node type the precompiled bounce-back table
+    /// cannot express (inlet, outlet, or moving wall).
+    UnsupportedNode(String),
+    /// The geometry has no fluid nodes at all — nothing to simulate.
+    NoFluidNodes,
+    /// More fluid nodes than the u32 link encoding can address.
+    TableOverflow(String),
+}
+
+impl std::fmt::Display for SparseBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseBuildError::UnsupportedNode(node) => write!(
+                f,
+                "sparse drivers support only fluid and resting-wall nodes (found {node})"
+            ),
+            SparseBuildError::NoFluidNodes => write!(f, "sparse domain has no fluid nodes"),
+            SparseBuildError::TableOverflow(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseBuildError {}
+
+/// Check that every node of `geom` is expressible by the precompiled
+/// bounce-back table (fluid or resting wall only).
+pub fn validate_sparse_geometry(geom: &Geometry) -> Result<(), SparseBuildError> {
+    for idx in 0..geom.len() {
+        match geom.node_at(idx) {
+            NodeType::Fluid | NodeType::Wall => {}
+            other => return Err(SparseBuildError::UnsupportedNode(format!("{other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+/// One spatial tile of the compaction: compact ids `lo..hi` are stored
+/// contiguously, and `active` lists the ids this tile *updates* (in the
+/// single-device drivers that is all of them; the sharded drivers drop
+/// ghost-column nodes from the active list while keeping their storage).
+#[derive(Clone, Debug)]
+pub struct Tile {
+    /// First compact id stored in this tile.
+    pub lo: u32,
+    /// One past the last compact id stored in this tile.
+    pub hi: u32,
+    /// Compact ids updated by this tile's block.
+    pub active: Vec<u32>,
+}
+
+/// Compacted fluid-node indexing for a geometry, tiled for cache
+/// coherence: ids are assigned tile-by-tile, so a block's gather footprint
+/// is spatially local.
 pub struct FluidIndex {
     /// Flat domain index of each fluid node (compact id → domain).
     pub nodes: Vec<usize>,
     /// Domain index → compact id (usize::MAX for solid).
     pub compact: Vec<usize>,
+    tiles: Vec<Tile>,
+    tile_shape: (usize, usize, usize),
 }
 
 impl FluidIndex {
-    /// Build the compaction for all fluid-like nodes of `geom`.
+    /// Default tile shape: 8×8 squares in 2D, 4×4×4 cubes in 3D.
+    pub fn default_tile_shape(geom: &Geometry) -> (usize, usize, usize) {
+        if geom.nz == 1 {
+            (8, 8, 1)
+        } else {
+            (4, 4, 4)
+        }
+    }
+
+    /// Build the compaction for all fluid-like nodes of `geom` with the
+    /// default tile shape.
     pub fn build(geom: &Geometry) -> Self {
+        Self::build_tiled(geom, Self::default_tile_shape(geom))
+    }
+
+    /// Build the compaction with an explicit tile shape. Tiles are walked
+    /// in z-major grid order and nodes within a tile in domain order, so
+    /// the id assignment is deterministic. Empty tiles (no fluid) are
+    /// dropped — the launch grid covers only populated tiles.
+    pub fn build_tiled(geom: &Geometry, shape: (usize, usize, usize)) -> Self {
+        let (tw, th, td) = shape;
+        assert!(tw > 0 && th > 0 && td > 0, "tile dimensions must be ≥ 1");
         let mut nodes = Vec::new();
         let mut compact = vec![usize::MAX; geom.len()];
-        for idx in 0..geom.len() {
-            if geom.node_at(idx).is_fluid_like() {
-                compact[idx] = nodes.len();
-                nodes.push(idx);
+        let mut tiles = Vec::new();
+        for tz in 0..geom.nz.div_ceil(td) {
+            for ty in 0..geom.ny.div_ceil(th) {
+                for tx in 0..geom.nx.div_ceil(tw) {
+                    let lo = nodes.len() as u32;
+                    let mut active = Vec::new();
+                    for z in tz * td..((tz + 1) * td).min(geom.nz) {
+                        for y in ty * th..((ty + 1) * th).min(geom.ny) {
+                            for x in tx * tw..((tx + 1) * tw).min(geom.nx) {
+                                let idx = geom.idx(x, y, z);
+                                if geom.node_at(idx).is_fluid_like() {
+                                    compact[idx] = nodes.len();
+                                    active.push(nodes.len() as u32);
+                                    nodes.push(idx);
+                                }
+                            }
+                        }
+                    }
+                    let hi = nodes.len() as u32;
+                    if hi > lo {
+                        tiles.push(Tile { lo, hi, active });
+                    }
+                }
             }
         }
-        FluidIndex { nodes, compact }
+        FluidIndex {
+            nodes,
+            compact,
+            tiles,
+            tile_shape: shape,
+        }
     }
 
     /// Number of fluid nodes.
@@ -62,6 +176,41 @@ impl FluidIndex {
     /// Whether the domain has no fluid nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// The populated tiles (one GPU block each).
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// The tile shape this index was built with.
+    pub fn tile_shape(&self) -> (usize, usize, usize) {
+        self.tile_shape
+    }
+
+    /// Largest per-tile storage span — the shared/scratch slab stride of
+    /// the tile kernels.
+    pub fn tile_capacity(&self) -> usize {
+        self.tiles
+            .iter()
+            .map(|t| (t.hi - t.lo) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total nodes on all active lists (= updates per step).
+    pub fn active_len(&self) -> usize {
+        self.tiles.iter().map(|t| t.active.len()).sum()
+    }
+
+    /// Drop nodes from the active lists (they stay stored and gatherable).
+    /// The sharded drivers use this to exclude ghost-column nodes, which
+    /// receive their values by halo exchange instead of local update.
+    pub fn retain_active(&mut self, keep: impl Fn(usize) -> bool) {
+        for tile in &mut self.tiles {
+            tile.active.retain(|&cid| keep(self.nodes[cid as usize]));
+        }
+        self.tiles.retain(|t| !t.active.is_empty());
     }
 }
 
@@ -92,9 +241,12 @@ pub fn check_table_encoding(q: usize, nf: usize) -> Result<(), String> {
 /// direction-`i` population node `n` gathers — either the fluid neighbor at
 /// `n − c_i`, or `n` itself with the opposite direction for bounce-back.
 /// Entries are encoded as `dir · nf + compact_id`, one `u32` per link.
-fn build_neighbor_table<L: Lattice>(geom: &Geometry, index: &FluidIndex) -> Vec<u32> {
+pub fn build_neighbor_table<L: Lattice>(
+    geom: &Geometry,
+    index: &FluidIndex,
+) -> Result<Vec<u32>, SparseBuildError> {
     let nf = index.len();
-    check_table_encoding(L::Q, nf).unwrap_or_else(|e| panic!("{e}"));
+    check_table_encoding(L::Q, nf).map_err(SparseBuildError::TableOverflow)?;
     let mut table = vec![0u32; L::Q * nf];
     for (cid, &idx) in index.nodes.iter().enumerate() {
         let (x, y, z) = geom.coords(idx);
@@ -106,7 +258,9 @@ fn build_neighbor_table<L: Lattice>(geom: &Geometry, index: &FluidIndex) -> Vec<
                     match geom.node_at(nidx) {
                         t if t.is_fluid_like() => (i * nf + index.compact[nidx]) as u32,
                         NodeType::Wall => (L::OPP[i] * nf + cid) as u32,
-                        other => panic!("sparse ST does not support {other:?}"),
+                        other => {
+                            return Err(SparseBuildError::UnsupportedNode(format!("{other:?}")))
+                        }
                     }
                 }
                 None => (L::OPP[i] * nf + cid) as u32,
@@ -114,17 +268,18 @@ fn build_neighbor_table<L: Lattice>(geom: &Geometry, index: &FluidIndex) -> Vec<
             table[i * nf + cid] = entry;
         }
     }
-    table
+    Ok(table)
 }
 
-/// Bulk kernel: pull through the neighbor table, collide, write.
+/// Bulk kernel: pull through the neighbor table, collide, write. One block
+/// per tile; the block walks its tile's active list.
 struct SparseKernel<'a, L: Lattice, C: Collision<L>> {
     src: &'a GlobalBuffer<f64>,
     dst: &'a GlobalBuffer<f64>,
     table: &'a GlobalBuffer<u32>,
+    tiles: &'a [Tile],
     nf: usize,
     collision: &'a C,
-    block_size: usize,
     _l: PhantomData<L>,
 }
 
@@ -134,13 +289,10 @@ impl<L: Lattice, C: Collision<L>> Kernel for SparseKernel<'_, L, C> {
     }
 
     fn run_block(&self, ctx: &mut BlockCtx) {
-        let base = ctx.block_id * self.block_size;
+        let tile = &self.tiles[ctx.block_id];
         let mut f_loc = [0.0f64; MAX_Q];
-        for tid in 0..self.block_size {
-            let cid = base + tid;
-            if cid >= self.nf {
-                break;
-            }
+        for &cid in &tile.active {
+            let cid = cid as usize;
             for i in 0..L::Q {
                 // Indirect gather: one u32 link read + one f64 read.
                 let link = ctx.read(self.table, i * self.nf + cid) as usize;
@@ -154,6 +306,35 @@ impl<L: Lattice, C: Collision<L>> Kernel for SparseKernel<'_, L, C> {
     }
 }
 
+/// Launch the sparse pull-collide kernel over every tile of `index`
+/// (one block per tile). `src` is read through `table`'s links, collided
+/// populations land in `dst`. The sharded drivers call this per shard with
+/// ghost-filtered active lists; [`StSparseSim::step`] calls it with every
+/// node active.
+pub fn launch_sparse_st<L: Lattice, C: Collision<L>>(
+    gpu: &Gpu,
+    src: &GlobalBuffer<f64>,
+    dst: &GlobalBuffer<f64>,
+    table: &GlobalBuffer<u32>,
+    index: &FluidIndex,
+    collision: &C,
+) -> gpu_sim::exec::LaunchStats {
+    let tiles = index.tiles();
+    let threads = index.tile_capacity().max(1);
+    gpu.launch(
+        &Launch::simple(tiles.len(), threads),
+        &SparseKernel::<L, C> {
+            src,
+            dst,
+            table,
+            tiles,
+            nf: index.len(),
+            collision,
+            _l: PhantomData,
+        },
+    )
+}
+
 /// Driver for the indirect-addressing ST simulation.
 pub struct StSparseSim<L: Lattice, C: Collision<L>> {
     gpu: Gpu,
@@ -163,26 +344,35 @@ pub struct StSparseSim<L: Lattice, C: Collision<L>> {
     f: [GlobalBuffer<f64>; 2],
     cur: usize,
     collision: C,
-    block_size: usize,
     steps: u64,
     accum: Tally,
+    obs: Option<Arc<obs::Obs>>,
+    monitor: Option<obs::PhysicsMonitor>,
     _l: PhantomData<L>,
 }
 
 impl<L: Lattice, C: Collision<L>> StSparseSim<L, C> {
+    /// Build a sparse simulation, panicking on an unsupported geometry.
+    /// Use [`StSparseSim::try_new`] where build failures must be handled
+    /// (the service layer rejects them as submission errors).
+    pub fn new(device: DeviceSpec, geom: Geometry, collision: C) -> Self {
+        Self::try_new(device, geom, collision).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Build a sparse simulation. The geometry may contain only
     /// fluid/wall/periodic nodes (no inlet/outlet/moving walls).
-    pub fn new(device: DeviceSpec, geom: Geometry, collision: C) -> Self {
-        for idx in 0..geom.len() {
-            assert!(
-                matches!(geom.node_at(idx), NodeType::Fluid | NodeType::Wall),
-                "sparse ST supports only fluid and resting-wall nodes"
-            );
-        }
+    pub fn try_new(
+        device: DeviceSpec,
+        geom: Geometry,
+        collision: C,
+    ) -> Result<Self, SparseBuildError> {
+        validate_sparse_geometry(&geom)?;
         let index = FluidIndex::build(&geom);
-        assert!(!index.is_empty(), "no fluid nodes");
+        if index.is_empty() {
+            return Err(SparseBuildError::NoFluidNodes);
+        }
         let table =
-            GlobalBuffer::from_vec(build_neighbor_table::<L>(&geom, &index)).with_touch_tracking();
+            GlobalBuffer::from_vec(build_neighbor_table::<L>(&geom, &index)?).with_touch_tracking();
         let nf = index.len();
         let mut sim = StSparseSim {
             gpu: Gpu::new(device),
@@ -195,13 +385,14 @@ impl<L: Lattice, C: Collision<L>> StSparseSim<L, C> {
             ],
             cur: 0,
             collision,
-            block_size: 256,
             steps: 0,
             accum: Tally::default(),
+            obs: None,
+            monitor: None,
             _l: PhantomData,
         };
         sim.init_with(|_, _, _| (1.0, [0.0; 3]));
-        sim
+        Ok(sim)
     }
 
     /// Limit the CPU worker threads backing the substrate.
@@ -216,6 +407,47 @@ impl<L: Lattice, C: Collision<L>> StSparseSim<L, C> {
     pub fn with_parallel_threshold(mut self, items: usize) -> Self {
         self.gpu = self.gpu.with_parallel_threshold(items);
         self
+    }
+
+    /// Route injected faults through the substrate and both lattices.
+    pub fn with_fault_plan(mut self, plan: Arc<gpu_sim::FaultPlan>) -> Self {
+        self.gpu.set_fault_plan(plan.clone());
+        self.f[0].set_fault_plan(plan.clone());
+        self.f[1].set_fault_plan(plan);
+        self
+    }
+
+    /// Attach an observability hub (kernel spans, monitor gauges).
+    pub fn with_obs(mut self, obs: Arc<obs::Obs>) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// Attach an observability hub after construction.
+    pub fn set_obs(&mut self, obs: Arc<obs::Obs>) {
+        self.gpu.set_obs(obs.clone());
+        self.obs = Some(obs);
+    }
+
+    /// Attribute subsequent spans and events to a fleet trace context.
+    pub fn set_trace_ctx(&mut self, ctx: Option<obs::TraceCtx>) {
+        self.gpu.set_trace_ctx(ctx);
+    }
+
+    /// Attach a physics monitor sampling the macroscopic fields.
+    pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
+        self.monitor = Some(obs::PhysicsMonitor::new(cfg));
+        self
+    }
+
+    /// The attached physics monitor, if any.
+    pub fn monitor(&self) -> Option<&obs::PhysicsMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Monitor/metric pattern label for this driver.
+    pub fn pattern_label(&self) -> &'static str {
+        "sparse-st"
     }
 
     /// Initialize to the operator-consistent equilibrium of a field.
@@ -241,37 +473,109 @@ impl<L: Lattice, C: Collision<L>> StSparseSim<L, C> {
 
     /// Advance one timestep.
     pub fn step(&mut self) {
-        let nf = self.index.len();
+        let obs = self.obs.clone();
+        let _step_span = obs.as_ref().map(|o| {
+            let mut args = vec![("t", self.steps.to_string())];
+            if let Some(ctx) = self.gpu.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("driver", "step", &args)
+        });
         let (src, dst) = (&self.f[self.cur], &self.f[self.cur ^ 1]);
-        let blocks = nf.div_ceil(self.block_size);
-        let stats = self.gpu.launch(
-            &Launch::simple(blocks, self.block_size),
-            &SparseKernel::<L, C> {
-                src,
-                dst,
-                table: &self.table,
-                nf,
-                collision: &self.collision,
-                block_size: self.block_size,
-                _l: PhantomData,
-            },
+        let stats = launch_sparse_st::<L, C>(
+            &self.gpu,
+            src,
+            dst,
+            &self.table,
+            &self.index,
+            &self.collision,
         );
         self.accum.merge(&stats.tally);
         self.cur ^= 1;
         self.steps += 1;
+        self.sample_monitor();
     }
 
-    /// Advance `steps` timesteps.
+    /// Cadence-gated monitor sampling.
+    fn sample_monitor(&mut self) {
+        if !self.monitor.as_ref().is_some_and(|m| m.due(self.steps)) {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().observe(self.steps, &rho, &u);
+        if let Some(o) = &self.obs {
+            let pat = self.pattern_label();
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", pat)], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", pat)], s.max_u);
+            if s.nonfinite > 0 {
+                o.tracer.instant(
+                    "monitor",
+                    "nonfinite",
+                    &[
+                        ("step", s.step.to_string()),
+                        ("count", s.nonfinite.to_string()),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Force a final monitor sample at the current step.
+    pub fn finish_monitor(&mut self) {
+        if self.monitor.is_none() {
+            return;
+        }
+        let (rho, u) = self.macro_fields();
+        let s = self.monitor.as_mut().unwrap().finish(self.steps, &rho, &u);
+        if let (Some(s), Some(o)) = (s, &self.obs) {
+            let pat = self.pattern_label();
+            o.metrics
+                .gauge_set("monitor_mass", &[("pattern", pat)], s.mass);
+            o.metrics
+                .gauge_set("monitor_max_u", &[("pattern", pat)], s.max_u);
+            o.tracer
+                .instant("monitor", "flush", &[("step", s.step.to_string())]);
+        }
+    }
+
+    /// Advance `steps` timesteps, then flush the monitor.
     pub fn run(&mut self, steps: usize) {
         for _ in 0..steps {
             self.step();
         }
+        self.finish_monitor();
+    }
+
+    /// Completed timesteps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Domain geometry.
+    pub fn geom(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// The fluid-node compaction.
+    pub fn index(&self) -> &FluidIndex {
+        &self.index
+    }
+
+    /// Aggregate traffic over all steps so far.
+    pub fn traffic(&self) -> Tally {
+        self.accum
     }
 
     /// Measured DRAM bytes per fluid update — `2Q·8 + Q·4` for the link
-    /// reads (the indirect-addressing penalty).
+    /// reads (the indirect-addressing penalty). Zero before the first step
+    /// (no updates have happened, so there is no per-update ratio yet).
     pub fn measured_bpf(&self) -> f64 {
         let updates = self.index.len() as u64 * self.steps;
+        if updates == 0 {
+            return 0.0;
+        }
         self.accum.dram_bytes() as f64 / updates as f64
     }
 
@@ -281,32 +585,89 @@ impl<L: Lattice, C: Collision<L>> StSparseSim<L, C> {
         self.f[0].size_bytes() + self.f[1].size_bytes() + self.table.size_bytes()
     }
 
-    /// Velocity field on the full domain (solid nodes report zero).
-    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+    /// Serialize the full solver state (LBCK flavor `"sparse-st"`): the
+    /// current compacted lattice plus the traffic tally, restorable on an
+    /// identically configured simulation for bitwise-identical resumption.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = lbm_core::io::CheckpointWriter::new("sparse-st");
+        w.put_u64(self.geom.nx as u64)
+            .put_u64(self.geom.ny as u64)
+            .put_u64(self.geom.nz as u64)
+            .put_u64(L::Q as u64)
+            .put_u64(self.index.len() as u64)
+            .put_u64(self.steps)
+            .put_u64(self.accum.reads)
+            .put_u64(self.accum.writes)
+            .put_u64(self.accum.bytes_read)
+            .put_u64(self.accum.bytes_written)
+            .put_u64(self.accum.dram_bytes_read)
+            .put_u64(self.accum.l2_read_hits)
+            .put_f64s(&self.f[self.cur].snapshot());
+        w.finish()
+    }
+
+    /// Restore a [`StSparseSim::checkpoint`] snapshot.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), lbm_core::io::CheckpointError> {
+        use lbm_core::io::CheckpointReader;
+        let mut r = CheckpointReader::open(bytes, "sparse-st")?;
+        r.expect_u64(self.geom.nx as u64, "nx")?;
+        r.expect_u64(self.geom.ny as u64, "ny")?;
+        r.expect_u64(self.geom.nz as u64, "nz")?;
+        r.expect_u64(L::Q as u64, "Q")?;
+        r.expect_u64(self.index.len() as u64, "fluid nodes")?;
+        let t = r.take_u64()?;
+        self.accum = Tally {
+            reads: r.take_u64()?,
+            writes: r.take_u64()?,
+            bytes_read: r.take_u64()?,
+            bytes_written: r.take_u64()?,
+            dram_bytes_read: r.take_u64()?,
+            l2_read_hits: r.take_u64()?,
+        };
+        let raw = r.take_f64s(self.f[0].len())?;
+        for (i, v) in raw.iter().enumerate() {
+            self.f[0].set(i, *v);
+        }
+        self.cur = 0;
+        self.steps = t;
+        if let Some(m) = self.monitor.as_mut() {
+            m.rollback_to(self.steps);
+        }
+        Ok(())
+    }
+
+    /// FNV-1a fingerprint of the macroscopic fields (bitwise-sensitive).
+    pub fn field_checksum(&self) -> u64 {
+        let (rho, u) = self.macro_fields();
+        lbm_core::io::field_checksum(&rho, &u)
+    }
+
+    /// Density and velocity fields on the full domain in one pass (solid
+    /// nodes report zero). This is what the physics monitor samples.
+    pub fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
         let nf = self.index.len();
-        let mut out = vec![[0.0; 3]; self.geom.len()];
+        let mut rho_out = vec![0.0; self.geom.len()];
+        let mut u_out = vec![[0.0; 3]; self.geom.len()];
         let mut f_loc = [0.0f64; MAX_Q];
         for (cid, &idx) in self.index.nodes.iter().enumerate() {
             for i in 0..L::Q {
                 f_loc[i] = self.f[self.cur].get(i * nf + cid);
             }
-            out[idx] = Moments::from_f::<L>(&f_loc[..L::Q]).u;
+            let m = Moments::from_f::<L>(&f_loc[..L::Q]);
+            rho_out[idx] = m.rho;
+            u_out[idx] = m.u;
         }
-        out
+        (rho_out, u_out)
+    }
+
+    /// Velocity field on the full domain (solid nodes report zero).
+    pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+        self.macro_fields().1
     }
 
     /// Density field on the full domain.
     pub fn density_field(&self) -> Vec<f64> {
-        let nf = self.index.len();
-        let mut out = vec![0.0; self.geom.len()];
-        let mut f_loc = [0.0f64; MAX_Q];
-        for (cid, &idx) in self.index.nodes.iter().enumerate() {
-            for i in 0..L::Q {
-                f_loc[i] = self.f[self.cur].get(i * nf + cid);
-            }
-            out[idx] = Moments::from_f::<L>(&f_loc[..L::Q]).rho;
-        }
-        out
+        self.macro_fields().0
     }
 }
 
@@ -326,6 +687,29 @@ mod tests {
         for (cid, &idx) in index.nodes.iter().enumerate() {
             assert_eq!(index.compact[idx], cid);
         }
+    }
+
+    /// The tiled id assignment covers 0..nf exactly once, tiles are
+    /// disjoint contiguous spans, and every node starts active.
+    #[test]
+    fn tiles_partition_the_compaction() {
+        let geom = Geometry::walls_y_periodic_x(20, 14).with_cylinder(9.0, 7.0, 3.0);
+        let index = FluidIndex::build(&geom);
+        let mut next = 0u32;
+        let mut active_total = 0;
+        for tile in index.tiles() {
+            assert_eq!(tile.lo, next, "tiles must be contiguous spans");
+            assert!(tile.hi > tile.lo);
+            for (k, &cid) in tile.active.iter().enumerate() {
+                assert_eq!(cid, tile.lo + k as u32, "all nodes active by default");
+            }
+            active_total += tile.active.len();
+            next = tile.hi;
+        }
+        assert_eq!(next as usize, index.len());
+        assert_eq!(active_total, index.len());
+        assert_eq!(index.active_len(), index.len());
+        assert!(index.tile_capacity() <= 8 * 8);
     }
 
     /// Sparse ST matches the dense reference on an obstacle-laden domain.
@@ -387,6 +771,18 @@ mod tests {
         );
     }
 
+    /// Regression for the 0/0 NaN: before any step there are zero updates,
+    /// so the per-update ratio must report 0, not NaN.
+    #[test]
+    fn measured_bpf_is_zero_before_first_step() {
+        let geom = Geometry::walls_y_periodic_x(12, 8);
+        let s: StSparseSim<D2Q9, _> = StSparseSim::new(DeviceSpec::v100(), geom, Bgk::new(0.8));
+        assert_eq!(s.measured_bpf(), 0.0);
+        assert!(s.measured_bpf().is_finite());
+        // The footprint is well-defined at t = 0 (it is static storage).
+        assert!(s.footprint_bytes() > 0);
+    }
+
     /// Sparse storage beats dense on porous domains: with half the box
     /// solid, the footprint is roughly halved (plus the link table).
     #[test]
@@ -433,5 +829,58 @@ mod tests {
     fn rejects_inlets() {
         let geom = Geometry::channel_2d(12, 8, 0.04);
         let _ = StSparseSim::<D2Q9, _>::new(DeviceSpec::v100(), geom, Bgk::new(0.8));
+    }
+
+    /// The satellite fix: the same rejection is a typed error through the
+    /// fallible constructor — no panic for the service layer to catch.
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        let geom = Geometry::channel_2d(12, 8, 0.04);
+        let err = StSparseSim::<D2Q9, Bgk>::try_new(DeviceSpec::v100(), geom, Bgk::new(0.8))
+            .err()
+            .expect("inlet geometry must be rejected");
+        assert!(
+            matches!(err, SparseBuildError::UnsupportedNode(_)),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("only fluid and resting-wall"));
+
+        let mut all_solid = Geometry::periodic_2d(6, 6);
+        for y in 0..6 {
+            for x in 0..6 {
+                all_solid.set(x, y, 0, NodeType::Wall);
+            }
+        }
+        let err = StSparseSim::<D2Q9, Bgk>::try_new(DeviceSpec::v100(), all_solid, Bgk::new(0.8))
+            .err()
+            .expect("all-solid geometry must be rejected");
+        assert!(matches!(err, SparseBuildError::NoFluidNodes), "{err:?}");
+    }
+
+    /// LBCK round-trip: a restored run continues bitwise-identically.
+    #[test]
+    fn checkpoint_roundtrip_is_bitwise() {
+        let geom = Geometry::walls_y_periodic_x(16, 10).with_cylinder(7.0, 5.0, 2.0);
+        let init =
+            |_x: usize, y: usize, _z: usize| (1.0, [0.02 * (y as f64 * 0.5).sin(), 0.0, 0.0]);
+        let mk = || {
+            let mut s: StSparseSim<D2Q9, _> =
+                StSparseSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8))
+                    .with_cpu_threads(1);
+            s.init_with(init);
+            s
+        };
+        let mut a = mk();
+        a.run(4);
+        let snap = a.checkpoint();
+        a.run(5);
+
+        let mut b = mk();
+        b.restore(&snap).unwrap();
+        assert_eq!(b.steps(), 4);
+        b.run(5);
+        assert_eq!(a.field_checksum(), b.field_checksum());
+        // Mismatched flavor is refused.
+        assert!(b.restore(b"LBCKgarbage").is_err());
     }
 }

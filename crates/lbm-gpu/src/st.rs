@@ -783,6 +783,9 @@ impl<L: Lattice, C: Collision<L>> StSim<L, C> {
     /// Measured DRAM bytes per fluid lattice update (Table 2's B/F).
     pub fn measured_bpf(&self) -> f64 {
         let updates = self.geom.fluid_count() as u64 * self.steps;
+        if updates == 0 {
+            return 0.0;
+        }
         self.accum.dram_bytes() as f64 / updates as f64
     }
 

@@ -21,6 +21,10 @@
 //!   bytes per halo node, per-shard double-buffered shift-0 moment
 //!   lattices (the in-place circular shift of Algorithm 2 is only safe
 //!   when a whole step is one lockstep launch).
+//! * [`sparse`] — sharded fluid-compacted drivers ([`MultiSparseStSim`],
+//!   [`MultiSparseMrSim`]): per-shard tiled compaction and a per-tile halo
+//!   exchange whose wire bytes scale with the cut columns' *fluid* count,
+//!   not the bounding-box cross-section.
 //! * [`recovery`] — checkpoint/rollback recovery loop and bounded
 //!   halo-retry policy, driving any [`lbm_core::Simulation`] (the shared
 //!   trait implemented by all six drivers — see [`sim_impls`]).
@@ -39,6 +43,7 @@ pub mod mr2d;
 pub mod mr3d;
 pub mod recovery;
 pub mod sim_impls;
+pub mod sparse;
 pub mod st;
 pub mod stats;
 
@@ -50,5 +55,6 @@ pub use mr3d::MultiMrSim3D;
 pub use recovery::{
     run_with_recovery, HaloRetryPolicy, RecoveryConfig, RecoveryError, RecoveryStats,
 };
+pub use sparse::{MultiSparseMrSim, MultiSparseStSim};
 pub use st::MultiStSim;
 pub use stats::OverlapStats;

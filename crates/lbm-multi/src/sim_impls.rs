@@ -7,7 +7,9 @@
 //! are mirrored into the substrate-agnostic [`lbm_core::StepError`] so
 //! callers in `lbm-core` / `lbm-serve` never need to name `gpu_sim` types.
 
-use crate::{MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiStSim};
+use crate::{
+    MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiSparseMrSim, MultiSparseStSim, MultiStSim,
+};
 use gpu_sim::interconnect::LinkError;
 use lbm_core::collision::Collision;
 use lbm_core::io::CheckpointError;
@@ -88,6 +90,8 @@ impl_simulation_multi!(MultiStSim<L, C>, [L: Lattice, C: Collision<L>]);
 impl_simulation_multi!(MultiAaStSim<L, C>, [L: Lattice, C: Collision<L>]);
 impl_simulation_multi!(MultiMrSim2D<L>, [L: Lattice]);
 impl_simulation_multi!(MultiMrSim3D<L>, [L: Lattice]);
+impl_simulation_multi!(MultiSparseStSim<L, C>, [L: Lattice, C: Collision<L>]);
+impl_simulation_multi!(MultiSparseMrSim<L>, [L: Lattice]);
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,994 @@
+//! Multi-device sparse (indirect-addressing) drivers: slab-sharded
+//! fluid-compacted ST and MR with **per-tile** halo exchange.
+//!
+//! Each shard builds its own tiled [`FluidIndex`] over the local geometry
+//! (ghost columns included in storage, excluded from the active lists via
+//! [`FluidIndex::retain_active`]) and its own link table, so the per-shard
+//! update is exactly the single-device sparse kernel over the owned nodes.
+//! The halo exchange walks the sender's tiles: every tile holding nodes of
+//! the exchanged column issues its own transfer, sized by *that tile's*
+//! fluid count in the column. Summed over tiles this is the column's fluid
+//! count — the wire bytes scale with the fluid-node population of the cut,
+//! not the bounding-box cross-section, which is the sparse-storage
+//! argument extended to the interconnect:
+//!
+//! ```text
+//!   bytes/cut/step = (fluid nodes in cut column) × Q·8   (sparse ST)
+//!                  = (fluid nodes in cut column) × M·8   (sparse MR)
+//! ```
+//!
+//! The sparse MR shards are double-buffered even though the single-device
+//! driver updates in place: the multi-device step is not one lockstep
+//! launch (update, then exchange), so a failed halo transfer must leave
+//! the time-`t` moments untouched for the step to be retried
+//! bitwise-identically. Ghost values carry exact doubles, so both drivers
+//! are *bitwise* identical to their single-device counterparts.
+
+use crate::decomp::SlabDecomp;
+use crate::recovery::{transfer_with_retry, HaloRetryPolicy};
+use gpu_sim::interconnect::{LinkError, MultiGpu};
+use gpu_sim::{DeviceSpec, FaultPlan, GlobalBuffer};
+use lbm_core::collision::Collision;
+use lbm_core::geometry::Geometry;
+use lbm_core::io::{CheckpointError, CheckpointReader, CheckpointWriter};
+use lbm_gpu::scheme::MrScheme;
+use lbm_gpu::sparse::{
+    build_neighbor_table, launch_sparse_st, validate_sparse_geometry, FluidIndex, SparseBuildError,
+};
+use lbm_gpu::sparse_mr::launch_sparse_mr;
+use lbm_lattice::moments::Moments;
+use lbm_lattice::Lattice;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const MAX_Q: usize = 48;
+const MAX_M: usize = 16;
+
+/// One shard of a sparse decomposition: local geometry, its tiled fluid
+/// compaction (ghost columns stored but inactive), the local link table,
+/// and two compacted state buffers (`Q·nf` doubles for ST, `M·nf` for MR).
+struct SparseShard {
+    geom: Geometry,
+    index: FluidIndex,
+    table: GlobalBuffer<u32>,
+    bufs: [GlobalBuffer<f64>; 2],
+    cur: usize,
+}
+
+/// Build shard `r`: local compaction + link table, ghost columns dropped
+/// from the active lists, `dpn` doubles of state per fluid node.
+fn build_shard<L: Lattice>(
+    decomp: &SlabDecomp,
+    r: usize,
+    dpn: usize,
+) -> Result<SparseShard, SparseBuildError> {
+    let g = decomp.local_geometry(r);
+    let mut index = FluidIndex::build(&g);
+    if index.is_empty() {
+        return Err(SparseBuildError::NoFluidNodes);
+    }
+    let table =
+        GlobalBuffer::from_vec(build_neighbor_table::<L>(&g, &index)?).with_touch_tracking();
+    let s = decomp.slab(r);
+    let (lo, hi) = (s.owned_lo(), s.owned_hi());
+    index.retain_active(|idx| {
+        let (lx, _, _) = g.coords(idx);
+        lx >= lo && lx < hi
+    });
+    let nf = index.len();
+    Ok(SparseShard {
+        geom: g,
+        index,
+        table,
+        bufs: [
+            GlobalBuffer::new(dpn * nf).with_touch_tracking(),
+            GlobalBuffer::new(dpn * nf).with_touch_tracking(),
+        ],
+        cur: 0,
+    })
+}
+
+/// Per-tile halo exchange of the freshly computed (`cur ^ 1`) buffers:
+/// every sender tile with nodes in the exchanged column issues one
+/// transfer of `(tile nodes in column) × dpn·8` bytes, tallied through the
+/// interconnect *before* the copy — a failed transfer moves no data and
+/// records no bytes, so a retried step tallies exactly once.
+fn exchange_tiled(
+    mg: &MultiGpu,
+    decomp: &SlabDecomp,
+    shards: &[SparseShard],
+    dpn: usize,
+    retry: &HaloRetryPolicy,
+    retries: &AtomicU64,
+) -> Result<(), LinkError> {
+    for tr in decomp.halo_transfers() {
+        let (src, dst) = (&shards[tr.from], &shards[tr.to]);
+        let (snf, dnf) = (src.index.len(), dst.index.len());
+        let (sb, db) = (&src.bufs[src.cur ^ 1], &dst.bufs[dst.cur ^ 1]);
+        for tile in src.index.tiles() {
+            let mut pairs = Vec::new();
+            for cid in tile.lo..tile.hi {
+                let idx = src.index.nodes[cid as usize];
+                let (lx, y, z) = src.geom.coords(idx);
+                if lx == tr.src_lx {
+                    let dcid = dst.index.compact[dst.geom.idx(tr.dst_lx, y, z)];
+                    pairs.push((cid as usize, dcid));
+                }
+            }
+            if pairs.is_empty() {
+                continue;
+            }
+            let bytes = (pairs.len() * dpn * 8) as u64;
+            transfer_with_retry(mg, tr.from, tr.to, bytes, retry, retries)?;
+            for (scid, dcid) in &pairs {
+                for m in 0..dpn {
+                    db.set(m * dnf + dcid, sb.get(m * snf + scid));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locate a global fluid node in its owner shard: `(shard, compact id)`.
+fn locate(
+    decomp: &SlabDecomp,
+    shards: &[SparseShard],
+    x: usize,
+    y: usize,
+    z: usize,
+) -> (usize, usize) {
+    let r = decomp.owner_of(x);
+    let sh = &shards[r];
+    let lx = decomp.slab(r).owned_lo() + (x - decomp.slab(r).x0);
+    (r, sh.index.compact[sh.geom.idx(lx, y, z)])
+}
+
+macro_rules! sparse_multi_common {
+    ($name:ident, $pattern:literal, $dpn:expr) => {
+        /// Limit each device's CPU worker threads.
+        pub fn with_cpu_threads(mut self, n: usize) -> Self {
+            self.mg = self.mg.with_cpu_threads(n);
+            self
+        }
+
+        /// Override the minimum launch size dispatched to the worker pool;
+        /// `0` forces pooling for every multi-block launch.
+        pub fn with_parallel_threshold(mut self, items: usize) -> Self {
+            self.mg = self.mg.with_parallel_threshold(items);
+            self
+        }
+
+        /// Mirror link traffic into a shared profiler.
+        pub fn with_profiler(mut self, p: Arc<gpu_sim::profiler::Profiler>) -> Self {
+            self.mg = self.mg.with_profiler(p);
+            self
+        }
+
+        /// Attach one observability hub to every device and the link layer.
+        pub fn with_obs(mut self, obs: Arc<obs::Obs>) -> Self {
+            self.set_obs(obs);
+            self
+        }
+
+        /// In-place [`Self::with_obs`] (the `Simulation` trait surface).
+        pub fn set_obs(&mut self, obs: Arc<obs::Obs>) {
+            self.mg.set_obs(obs);
+        }
+
+        /// Tag every device's kernel spans (and the step/halo spans) with a
+        /// fleet trace context, or clear it with `None`.
+        pub fn set_trace_ctx(&mut self, ctx: Option<obs::TraceCtx>) {
+            self.mg.set_trace_ctx(ctx);
+        }
+
+        /// Attach a physics monitor over the *global* fields.
+        pub fn with_monitor(mut self, cfg: obs::MonitorConfig) -> Self {
+            self.monitor = Some(obs::PhysicsMonitor::new(cfg));
+            self
+        }
+
+        /// The attached physics monitor, if any.
+        pub fn monitor(&self) -> Option<&obs::PhysicsMonitor> {
+            self.monitor.as_ref()
+        }
+
+        /// Mutable access to the physics monitor, if enabled.
+        pub fn monitor_mut(&mut self) -> Option<&mut obs::PhysicsMonitor> {
+            self.monitor.as_mut()
+        }
+
+        /// Override the halo-transfer retry policy.
+        pub fn with_halo_retry(mut self, policy: HaloRetryPolicy) -> Self {
+            self.retry = policy;
+            self
+        }
+
+        /// Attach a deterministic fault plan to every device, every shard's
+        /// state buffers, and the interconnect.
+        pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+            self.mg.set_fault_plan(plan.clone());
+            for sh in &mut self.shards {
+                sh.bufs[0].set_fault_plan(plan.clone());
+                sh.bufs[1].set_fault_plan(plan.clone());
+            }
+            self
+        }
+
+        /// Halo-transfer retries performed so far.
+        pub fn halo_retries(&self) -> u64 {
+            self.halo_retries.load(Ordering::Relaxed)
+        }
+
+        /// Monitor/metric pattern label for this driver.
+        pub fn pattern_label(&self) -> &'static str {
+            $pattern
+        }
+
+        /// Advance one timestep. Panics if a halo transfer fails beyond the
+        /// retry budget; use `try_step` for typed link errors.
+        pub fn step(&mut self) {
+            self.try_step()
+                .unwrap_or_else(|e| panic!("halo exchange failed: {e}"));
+        }
+
+        /// Advance `steps` timesteps, then flush the monitor.
+        pub fn run(&mut self, steps: usize) {
+            for _ in 0..steps {
+                self.step();
+            }
+            self.finish_monitor();
+        }
+
+        /// Force a final monitor sample at the current step.
+        pub fn finish_monitor(&mut self) {
+            if self.monitor.is_none() {
+                return;
+            }
+            let (rho, u) = self.macro_fields();
+            let s = self.monitor.as_mut().unwrap().finish(self.t, &rho, &u);
+            if let (Some(s), Some(o)) = (s, self.mg.obs()) {
+                let labels = [("pattern", self.pattern_label())];
+                o.metrics.gauge_set("monitor_mass", &labels, s.mass);
+                o.metrics.gauge_set("monitor_max_u", &labels, s.max_u);
+                o.tracer
+                    .instant("monitor", "flush", &[("step", s.step.to_string())]);
+            }
+        }
+
+        /// Cadence-gated monitor sampling over the gathered global fields.
+        fn sample_monitor(&mut self) {
+            if !self.monitor.as_ref().is_some_and(|m| m.due(self.t)) {
+                return;
+            }
+            let (rho, u) = self.macro_fields();
+            let s = self.monitor.as_mut().unwrap().observe(self.t, &rho, &u);
+            if let Some(o) = self.mg.obs() {
+                let labels = [("pattern", self.pattern_label())];
+                o.metrics.gauge_set("monitor_mass", &labels, s.mass);
+                o.metrics.gauge_set("monitor_max_u", &labels, s.max_u);
+            }
+        }
+
+        /// Completed timesteps.
+        pub fn steps(&self) -> u64 {
+            self.t
+        }
+
+        /// The global geometry.
+        pub fn geom(&self) -> &Geometry {
+            self.decomp.global()
+        }
+
+        /// Number of devices.
+        pub fn num_devices(&self) -> usize {
+            self.shards.len()
+        }
+
+        /// The interconnect (link byte counters, report).
+        pub fn interconnect(&self) -> &MultiGpu {
+            &self.mg
+        }
+
+        /// Analytic per-step halo traffic: fluid-like cut-column nodes ×
+        /// state payload — proportional to fluid count, not box volume.
+        pub fn halo_bytes_per_step(&self) -> u64 {
+            (self.decomp.halo_nodes_per_step() * $dpn * 8) as u64
+        }
+
+        /// Device-memory footprint of every shard's compacted buffers and
+        /// link tables.
+        pub fn footprint_bytes(&self) -> usize {
+            self.shards
+                .iter()
+                .map(|s| s.bufs[0].size_bytes() + s.bufs[1].size_bytes() + s.table.size_bytes())
+                .sum()
+        }
+
+        /// Global velocity field (solid nodes report zero).
+        pub fn velocity_field(&self) -> Vec<[f64; 3]> {
+            self.macro_fields().1
+        }
+
+        /// Global density field (solid nodes report zero).
+        pub fn density_field(&self) -> Vec<f64> {
+            self.macro_fields().0
+        }
+
+        /// FNV-1a checksum of the global macroscopic fields (bitwise).
+        pub fn field_checksum(&self) -> u64 {
+            let (rho, u) = self.macro_fields();
+            lbm_core::io::field_checksum(&rho, &u)
+        }
+    };
+}
+
+/// Slab-sharded sparse ST simulation across N simulated devices.
+pub struct MultiSparseStSim<L: Lattice, C: Collision<L>> {
+    mg: MultiGpu,
+    decomp: SlabDecomp,
+    shards: Vec<SparseShard>,
+    collision: C,
+    t: u64,
+    monitor: Option<obs::PhysicsMonitor>,
+    retry: HaloRetryPolicy,
+    halo_retries: AtomicU64,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice, C: Collision<L>> MultiSparseStSim<L, C> {
+    /// Shard `geom` across `n` devices, panicking on an unsupported
+    /// geometry. Use [`MultiSparseStSim::try_new`] where build failures
+    /// must be handled.
+    pub fn new(device: DeviceSpec, geom: Geometry, collision: C, n: usize) -> Self {
+        Self::try_new(device, geom, collision, n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Shard `geom` (fluid/wall/periodic only) across `n` devices joined
+    /// ring-wise. Initialized to equilibrium at rest.
+    pub fn try_new(
+        device: DeviceSpec,
+        geom: Geometry,
+        collision: C,
+        n: usize,
+    ) -> Result<Self, SparseBuildError> {
+        if L::D == 2 {
+            assert_eq!(geom.nz, 1, "2D lattice on a 3D domain");
+        }
+        assert_eq!(L::REACH, 1, "slab ghosts are one column wide");
+        validate_sparse_geometry(&geom)?;
+        if geom.fluid_count() == 0 {
+            return Err(SparseBuildError::NoFluidNodes);
+        }
+        let decomp = SlabDecomp::new(geom, n);
+        let shards = (0..n)
+            .map(|r| build_shard::<L>(&decomp, r, L::Q))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut sim = MultiSparseStSim {
+            mg: MultiGpu::ring(device, n),
+            decomp,
+            shards,
+            collision,
+            t: 0,
+            monitor: None,
+            retry: HaloRetryPolicy::default(),
+            halo_retries: AtomicU64::new(0),
+            _l: PhantomData,
+        };
+        sim.init_with(|_, _, _| (1.0, [0.0; 3]));
+        Ok(sim)
+    }
+
+    sparse_multi_common!(MultiSparseStSim, "multi-sparse-st", L::Q);
+
+    /// Initialize every fluid node — *including ghosts* — from a
+    /// macroscopic field at **global** coordinates, so ghost columns start
+    /// consistent with their owners and no initial exchange is needed.
+    pub fn init_with(&mut self, field: impl Fn(usize, usize, usize) -> (f64, [f64; 3])) {
+        let mut feq = [0.0f64; MAX_Q];
+        for (r, sh) in self.shards.iter_mut().enumerate() {
+            sh.cur = 0;
+            let nf = sh.index.len();
+            for (cid, &idx) in sh.index.nodes.iter().enumerate() {
+                let (lx, y, z) = sh.geom.coords(idx);
+                let gx = self.decomp.global_x(r, lx);
+                let (rho, u) = field(gx, y, z);
+                let m = Moments {
+                    rho,
+                    u,
+                    pi: Moments::pi_eq(rho, u, L::D),
+                };
+                self.collision.reconstruct(&m, &mut feq[..L::Q]);
+                for (i, &v) in feq[..L::Q].iter().enumerate() {
+                    sh.bufs[0].set(i * nf + cid, v);
+                }
+            }
+        }
+        self.t = 0;
+    }
+
+    /// Advance one timestep, surfacing halo-link failures. On `Err` no
+    /// state has advanced (`t` and the buffer parity are unchanged) — the
+    /// completed update launches are idempotent and a retried step
+    /// recomputes them bitwise-identically.
+    pub fn try_step(&mut self) -> Result<(), LinkError> {
+        let obs = self.mg.obs().cloned();
+        let _step_span = obs.as_ref().map(|o| {
+            let mut args = vec![("t", self.t.to_string())];
+            if let Some(ctx) = self.mg.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("driver", "step", &args)
+        });
+
+        // Update every shard's owned (active) nodes: read t, write t+1.
+        for (r, sh) in self.shards.iter().enumerate() {
+            launch_sparse_st::<L, C>(
+                self.mg.device(r),
+                &sh.bufs[sh.cur],
+                &sh.bufs[sh.cur ^ 1],
+                &sh.table,
+                &sh.index,
+                &self.collision,
+            );
+        }
+
+        // Per-tile halo exchange of the freshly computed edge columns.
+        let _halo_span = obs.as_ref().map(|o| {
+            let mut args = Vec::new();
+            if let Some(ctx) = self.mg.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("halo", "halo-exchange", &args)
+        });
+        exchange_tiled(
+            &self.mg,
+            &self.decomp,
+            &self.shards,
+            L::Q,
+            &self.retry,
+            &self.halo_retries,
+        )?;
+        drop(_halo_span);
+
+        for sh in &mut self.shards {
+            sh.cur ^= 1;
+        }
+        self.t += 1;
+        self.sample_monitor();
+        Ok(())
+    }
+
+    /// Global density and velocity in one pass over the owning shards
+    /// (solid nodes report zero).
+    pub fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
+        let g = self.decomp.global();
+        let mut rho_out = vec![0.0; g.len()];
+        let mut u_out = vec![[0.0; 3]; g.len()];
+        let mut f_loc = [0.0f64; MAX_Q];
+        for idx in 0..g.len() {
+            if !g.node_at(idx).is_fluid_like() {
+                continue;
+            }
+            let (x, y, z) = g.coords(idx);
+            let (r, cid) = locate(&self.decomp, &self.shards, x, y, z);
+            let sh = &self.shards[r];
+            let nf = sh.index.len();
+            for (i, f) in f_loc.iter_mut().enumerate().take(L::Q) {
+                *f = sh.bufs[sh.cur].get(i * nf + cid);
+            }
+            let m = Moments::from_f::<L>(&f_loc[..L::Q]);
+            rho_out[idx] = m.rho;
+            u_out[idx] = m.u;
+        }
+        (rho_out, u_out)
+    }
+
+    /// Serialize the full sharded state (LBCK flavor `"multi-sparse-st"`):
+    /// dimensions, timestep, and every shard's current compacted lattice
+    /// (ghost nodes included, so no post-restore exchange is needed).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let g = self.decomp.global();
+        let mut w = CheckpointWriter::new("multi-sparse-st");
+        w.put_u64(g.nx as u64)
+            .put_u64(g.ny as u64)
+            .put_u64(g.nz as u64)
+            .put_u64(L::Q as u64)
+            .put_u64(self.shards.len() as u64)
+            .put_u64(self.t);
+        for sh in &self.shards {
+            w.put_f64s(&sh.bufs[sh.cur].snapshot());
+        }
+        w.finish()
+    }
+
+    /// Restore a [`MultiSparseStSim::checkpoint`] snapshot on an
+    /// identically configured simulation (bitwise; the snapshot lands in
+    /// buffer 0 regardless of the saved parity).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let g = self.decomp.global();
+        let mut r = CheckpointReader::open(bytes, "multi-sparse-st")?;
+        r.expect_u64(g.nx as u64, "nx")?;
+        r.expect_u64(g.ny as u64, "ny")?;
+        r.expect_u64(g.nz as u64, "nz")?;
+        r.expect_u64(L::Q as u64, "Q")?;
+        r.expect_u64(self.shards.len() as u64, "shard count")?;
+        self.t = r.take_u64()?;
+        for sh in &mut self.shards {
+            let data = r.take_f64s(sh.bufs[0].len())?;
+            for (i, v) in data.iter().enumerate() {
+                sh.bufs[0].set(i, *v);
+            }
+            sh.cur = 0;
+        }
+        if let Some(m) = self.monitor.as_mut() {
+            m.rollback_to(self.t);
+        }
+        Ok(())
+    }
+}
+
+/// Slab-sharded sparse MR simulation (MR-P or MR-R) across N devices.
+pub struct MultiSparseMrSim<L: Lattice> {
+    mg: MultiGpu,
+    decomp: SlabDecomp,
+    shards: Vec<SparseShard>,
+    scheme: MrScheme,
+    tau: f64,
+    scalar: bool,
+    t: u64,
+    monitor: Option<obs::PhysicsMonitor>,
+    retry: HaloRetryPolicy,
+    halo_retries: AtomicU64,
+    _l: PhantomData<L>,
+}
+
+impl<L: Lattice> MultiSparseMrSim<L> {
+    /// Shard `geom` across `n` devices, panicking on an unsupported
+    /// geometry. Use [`MultiSparseMrSim::try_new`] where build failures
+    /// must be handled.
+    pub fn new(device: DeviceSpec, geom: Geometry, scheme: MrScheme, tau: f64, n: usize) -> Self {
+        Self::try_new(device, geom, scheme, tau, n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Shard `geom` (fluid/wall/periodic only) across `n` devices joined
+    /// ring-wise. Initialized to equilibrium at rest.
+    pub fn try_new(
+        device: DeviceSpec,
+        geom: Geometry,
+        scheme: MrScheme,
+        tau: f64,
+        n: usize,
+    ) -> Result<Self, SparseBuildError> {
+        if L::D == 2 {
+            assert_eq!(geom.nz, 1, "2D lattice on a 3D domain");
+        }
+        assert_eq!(L::REACH, 1, "slab ghosts are one column wide");
+        validate_sparse_geometry(&geom)?;
+        if geom.fluid_count() == 0 {
+            return Err(SparseBuildError::NoFluidNodes);
+        }
+        let decomp = SlabDecomp::new(geom, n);
+        let shards = (0..n)
+            .map(|r| build_shard::<L>(&decomp, r, L::M))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut sim = MultiSparseMrSim {
+            mg: MultiGpu::ring(device, n),
+            decomp,
+            shards,
+            scheme,
+            tau,
+            scalar: false,
+            t: 0,
+            monitor: None,
+            retry: HaloRetryPolicy::default(),
+            halo_retries: AtomicU64::new(0),
+            _l: PhantomData,
+        };
+        sim.init_with(|_, _, _| (1.0, [0.0; 3]));
+        Ok(sim)
+    }
+
+    sparse_multi_common!(MultiSparseMrSim, "multi-sparse-mr", L::M);
+
+    /// Force the original per-node scalar kernels (bitwise-identical to
+    /// the default vectorized lane path; used by the equivalence tests).
+    pub fn with_scalar_kernels(mut self) -> Self {
+        self.scalar = true;
+        self
+    }
+
+    /// Initialize every fluid node's moments — including ghosts — from a
+    /// macroscopic field at **global** coordinates.
+    pub fn init_with(&mut self, field: impl Fn(usize, usize, usize) -> (f64, [f64; 3])) {
+        let mut packed = [0.0f64; MAX_M];
+        for (r, sh) in self.shards.iter_mut().enumerate() {
+            sh.cur = 0;
+            let nf = sh.index.len();
+            for (cid, &idx) in sh.index.nodes.iter().enumerate() {
+                let (lx, y, z) = sh.geom.coords(idx);
+                let gx = self.decomp.global_x(r, lx);
+                let (rho, u) = field(gx, y, z);
+                let m = Moments {
+                    rho,
+                    u,
+                    pi: Moments::pi_eq(rho, u, L::D),
+                };
+                m.pack::<L>(&mut packed[..L::M]);
+                for (mi, &pv) in packed.iter().enumerate().take(L::M) {
+                    sh.bufs[0].set(mi * nf + cid, pv);
+                }
+            }
+        }
+        self.t = 0;
+    }
+
+    /// Advance one timestep, surfacing halo-link failures. On `Err` no
+    /// state has advanced — the time-`t` buffer is never written (the
+    /// sharded update is double-buffered, unlike the in-place single-device
+    /// driver), so a retried step recomputes bitwise-identically.
+    pub fn try_step(&mut self) -> Result<(), LinkError> {
+        let obs = self.mg.obs().cloned();
+        let _step_span = obs.as_ref().map(|o| {
+            let mut args = vec![("t", self.t.to_string())];
+            if let Some(ctx) = self.mg.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("driver", "step", &args)
+        });
+
+        // Update every shard's owned (active) nodes: read t, write t+1.
+        for (r, sh) in self.shards.iter().enumerate() {
+            launch_sparse_mr::<L>(
+                self.mg.device(r),
+                &sh.bufs[sh.cur],
+                &sh.bufs[sh.cur ^ 1],
+                &sh.table,
+                &sh.index,
+                &self.scheme,
+                self.tau,
+                self.scalar,
+            );
+        }
+
+        // Per-tile moment-space halo exchange: M·8 bytes per fluid node.
+        let _halo_span = obs.as_ref().map(|o| {
+            let mut args = Vec::new();
+            if let Some(ctx) = self.mg.trace_ctx() {
+                ctx.append_args(&mut args);
+            }
+            o.tracer.span_args("halo", "halo-exchange", &args)
+        });
+        exchange_tiled(
+            &self.mg,
+            &self.decomp,
+            &self.shards,
+            L::M,
+            &self.retry,
+            &self.halo_retries,
+        )?;
+        drop(_halo_span);
+
+        for sh in &mut self.shards {
+            sh.cur ^= 1;
+        }
+        self.t += 1;
+        self.sample_monitor();
+        Ok(())
+    }
+
+    /// Global density and velocity in one pass over the owning shards
+    /// (solid nodes report zero).
+    pub fn macro_fields(&self) -> (Vec<f64>, Vec<[f64; 3]>) {
+        let g = self.decomp.global();
+        let mut rho_out = vec![0.0; g.len()];
+        let mut u_out = vec![[0.0; 3]; g.len()];
+        for idx in 0..g.len() {
+            if !g.node_at(idx).is_fluid_like() {
+                continue;
+            }
+            let (x, y, z) = g.coords(idx);
+            let (r, cid) = locate(&self.decomp, &self.shards, x, y, z);
+            let sh = &self.shards[r];
+            let nf = sh.index.len();
+            rho_out[idx] = sh.bufs[sh.cur].get(cid);
+            for (a, ua) in u_out[idx].iter_mut().enumerate().take(L::D) {
+                *ua = sh.bufs[sh.cur].get((1 + a) * nf + cid);
+            }
+        }
+        (rho_out, u_out)
+    }
+
+    /// Serialize the full sharded state (LBCK flavor `"multi-sparse-mr"`).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let g = self.decomp.global();
+        let mut w = CheckpointWriter::new("multi-sparse-mr");
+        w.put_u64(g.nx as u64)
+            .put_u64(g.ny as u64)
+            .put_u64(g.nz as u64)
+            .put_u64(L::M as u64)
+            .put_u64(self.shards.len() as u64)
+            .put_u64(self.t);
+        for sh in &self.shards {
+            w.put_f64s(&sh.bufs[sh.cur].snapshot());
+        }
+        w.finish()
+    }
+
+    /// Restore a [`MultiSparseMrSim::checkpoint`] snapshot on an
+    /// identically configured simulation (bitwise).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let g = self.decomp.global();
+        let mut r = CheckpointReader::open(bytes, "multi-sparse-mr")?;
+        r.expect_u64(g.nx as u64, "nx")?;
+        r.expect_u64(g.ny as u64, "ny")?;
+        r.expect_u64(g.nz as u64, "nz")?;
+        r.expect_u64(L::M as u64, "M")?;
+        r.expect_u64(self.shards.len() as u64, "shard count")?;
+        self.t = r.take_u64()?;
+        for sh in &mut self.shards {
+            let data = r.take_f64s(sh.bufs[0].len())?;
+            for (i, v) in data.iter().enumerate() {
+                sh.bufs[0].set(i, *v);
+            }
+            sh.cur = 0;
+        }
+        if let Some(m) = self.monitor.as_mut() {
+            m.rollback_to(self.t);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_core::collision::Projective;
+    use lbm_core::geometry::NodeType;
+    use lbm_gpu::{SparseMrSim2D, StSparseSim};
+    use lbm_lattice::D2Q9;
+
+    fn obstacle_geom() -> Geometry {
+        Geometry::walls_y_periodic_x(24, 12).with_cylinder(10.5, 5.5, 2.6)
+    }
+
+    fn shear_init(x: usize, y: usize, _z: usize) -> (f64, [f64; 3]) {
+        (
+            1.0 + 0.01 * ((x + 2 * y) as f64 * 0.3).sin(),
+            [
+                0.03 * (y as f64 * 0.6).sin(),
+                0.01 * (x as f64 * 0.4).cos(),
+                0.0,
+            ],
+        )
+    }
+
+    /// Sharded sparse ST is bitwise identical to the single-device sparse
+    /// driver on an obstacle domain: ghosts carry exact doubles and the
+    /// per-node pull arithmetic is decomposition-independent.
+    #[test]
+    fn multi_sparse_st_matches_single_bitwise() {
+        let geom = obstacle_geom();
+        let mut single: StSparseSim<D2Q9, _> =
+            StSparseSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8))
+                .with_cpu_threads(2);
+        single.init_with(shear_init);
+        let mut multi: MultiSparseStSim<D2Q9, _> =
+            MultiSparseStSim::new(DeviceSpec::v100(), geom, Projective::new(0.8), 3)
+                .with_cpu_threads(2);
+        multi.init_with(shear_init);
+        single.run(10);
+        multi.run(10);
+        let (us, um) = (single.velocity_field(), multi.velocity_field());
+        for (a, b) in us.iter().zip(&um) {
+            for k in 0..3 {
+                assert_eq!(a[k], b[k], "sharding changed the arithmetic");
+            }
+        }
+        assert_eq!(single.field_checksum(), multi.field_checksum());
+    }
+
+    /// Sharded sparse MR is bitwise identical to the single-device sparse
+    /// MR driver (which is itself bitwise-equal to dense MR), for both
+    /// collision schemes.
+    #[test]
+    fn multi_sparse_mr_matches_single_bitwise() {
+        for scheme in [MrScheme::projective(), MrScheme::recursive::<D2Q9>()] {
+            let geom = obstacle_geom();
+            let mut single: SparseMrSim2D =
+                SparseMrSim2D::new(DeviceSpec::v100(), geom.clone(), scheme.clone(), 0.8)
+                    .with_cpu_threads(2);
+            single.init_with(shear_init);
+            let mut multi: MultiSparseMrSim<D2Q9> =
+                MultiSparseMrSim::new(DeviceSpec::v100(), geom, scheme, 0.8, 4).with_cpu_threads(2);
+            multi.init_with(shear_init);
+            single.run(8);
+            multi.run(8);
+            assert_eq!(single.field_checksum(), multi.field_checksum());
+        }
+    }
+
+    /// The tentpole wire-byte claim: per-tile transfers sum to (cut-column
+    /// fluid nodes) × payload, so interconnect traffic scales with the
+    /// fluid population of the cut columns — not the box cross-section —
+    /// and the MR exchange carries M/Q of the ST bytes.
+    #[test]
+    fn halo_bytes_scale_with_fluid_count_not_box_volume() {
+        // Solid band across the lower half of every column: the cut
+        // columns' fluid population halves, and so must the wire bytes.
+        let mut geom = Geometry::walls_y_periodic_x(16, 18);
+        for y in 1..9 {
+            for x in 0..16 {
+                geom.set(x, y, 0, NodeType::Wall);
+            }
+        }
+        let full = Geometry::walls_y_periodic_x(16, 18);
+        let steps = 5;
+
+        let run_st = |g: Geometry| {
+            let mut m: MultiSparseStSim<D2Q9, _> =
+                MultiSparseStSim::new(DeviceSpec::v100(), g, Projective::new(0.8), 2)
+                    .with_cpu_threads(2);
+            m.run(steps);
+            assert_eq!(
+                m.interconnect().total_link_bytes(),
+                steps as u64 * m.halo_bytes_per_step(),
+                "per-tile transfers must sum to the analytic halo traffic"
+            );
+            m.halo_bytes_per_step()
+        };
+        // 2 shards periodic: 4 transfers/step. Full box: 16 fluid/column.
+        assert_eq!(run_st(full.clone()), 4 * 16 * 9 * 8);
+        // Half-solid box: 8 fluid/column — wire bytes halve with porosity.
+        assert_eq!(run_st(geom.clone()), 4 * 8 * 9 * 8);
+
+        // Sparse MR moves M·8 per halo node instead of Q·8.
+        let mut mr: MultiSparseMrSim<D2Q9> =
+            MultiSparseMrSim::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8, 2)
+                .with_cpu_threads(2);
+        mr.run(steps);
+        assert_eq!(mr.halo_bytes_per_step(), 4 * 8 * 6 * 8);
+        assert_eq!(
+            mr.interconnect().total_link_bytes(),
+            steps as u64 * mr.halo_bytes_per_step()
+        );
+    }
+
+    /// LBCK round-trips for both sharded sparse flavors are bitwise.
+    #[test]
+    fn checkpoint_roundtrips_are_bitwise() {
+        let geom = obstacle_geom();
+        let mk_st = || {
+            let mut s: MultiSparseStSim<D2Q9, _> =
+                MultiSparseStSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8), 2)
+                    .with_cpu_threads(1);
+            s.init_with(shear_init);
+            s
+        };
+        let mut a = mk_st();
+        a.run(4);
+        let snap = a.checkpoint();
+        a.run(3);
+        let mut b = mk_st();
+        b.restore(&snap).unwrap();
+        assert_eq!(b.steps(), 4);
+        b.run(3);
+        assert_eq!(a.field_checksum(), b.field_checksum());
+
+        let mk_mr = || {
+            let mut s: MultiSparseMrSim<D2Q9> = MultiSparseMrSim::new(
+                DeviceSpec::v100(),
+                geom.clone(),
+                MrScheme::projective(),
+                0.8,
+                3,
+            )
+            .with_cpu_threads(1);
+            s.init_with(shear_init);
+            s
+        };
+        let mut a = mk_mr();
+        a.run(4);
+        let snap = a.checkpoint();
+        a.run(3);
+        let mut b = mk_mr();
+        b.restore(&snap).unwrap();
+        b.run(3);
+        assert_eq!(a.field_checksum(), b.field_checksum());
+        // Mismatched flavor is refused.
+        assert!(b.restore(&mk_st().checkpoint()).is_err());
+    }
+
+    /// Typed build errors for the service layer: unsupported node types and
+    /// all-solid domains are rejected without panicking.
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        let geom = Geometry::channel_2d(12, 8, 0.04);
+        let err = MultiSparseStSim::<D2Q9, Projective>::try_new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            Projective::new(0.8),
+            2,
+        )
+        .err()
+        .expect("inlet geometry must be rejected");
+        assert!(
+            matches!(err, SparseBuildError::UnsupportedNode(_)),
+            "{err:?}"
+        );
+        let err = MultiSparseMrSim::<D2Q9>::try_new(
+            DeviceSpec::v100(),
+            geom,
+            MrScheme::projective(),
+            0.8,
+            2,
+        )
+        .err()
+        .expect("inlet geometry must be rejected");
+        assert!(
+            matches!(err, SparseBuildError::UnsupportedNode(_)),
+            "{err:?}"
+        );
+    }
+
+    /// Executor determinism: identical fields and halo traffic under 1 and
+    /// 8 CPU threads per device with forced pooled dispatch.
+    #[test]
+    fn executor_determinism_across_thread_counts() {
+        let run = |threads: usize| {
+            let geom = obstacle_geom();
+            let mut multi: MultiSparseMrSim<D2Q9> =
+                MultiSparseMrSim::new(DeviceSpec::v100(), geom, MrScheme::projective(), 0.8, 3)
+                    .with_cpu_threads(threads)
+                    .with_parallel_threshold(0);
+            multi.init_with(shear_init);
+            multi.run(6);
+            (
+                multi.field_checksum(),
+                multi.interconnect().total_link_bytes(),
+            )
+        };
+        let base = run(1);
+        assert_eq!(base, run(8), "sharded sparse MR diverges at 8 threads");
+    }
+
+    /// Obs integration: step and halo-exchange spans, link metrics, and a
+    /// conserving physics monitor.
+    #[test]
+    fn obs_and_monitor_wire_through() {
+        let hub = obs::Obs::shared();
+        let geom = obstacle_geom();
+        let mut multi: MultiSparseStSim<D2Q9, _> =
+            MultiSparseStSim::new(DeviceSpec::v100(), geom, Projective::new(0.8), 2)
+                .with_cpu_threads(2)
+                .with_obs(hub.clone())
+                .with_monitor(obs::MonitorConfig {
+                    cadence: 2,
+                    ..Default::default()
+                });
+        multi.init_with(shear_init);
+        multi.run(4);
+        let ev = hub.tracer.events();
+        assert_eq!(
+            ev.iter()
+                .filter(|e| e.ph == 'B' && e.name == "step")
+                .count(),
+            4
+        );
+        assert_eq!(
+            ev.iter()
+                .filter(|e| e.ph == 'B' && e.name == "halo-exchange")
+                .count(),
+            4
+        );
+        assert!(hub
+            .metrics
+            .counter("link_transfer_bytes", &[("link", "NVLink2[0->1]")])
+            .is_some_and(|b| b > 0));
+        let m = multi.monitor().unwrap();
+        assert_eq!(m.samples().len(), 2);
+        assert!(m.is_ok(), "{:?}", m.violations());
+        assert!(m.mass_drift() <= 1e-10);
+    }
+}

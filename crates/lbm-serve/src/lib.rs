@@ -33,7 +33,7 @@ pub mod spec;
 
 pub use job::{JobId, JobResult, JobState, JobStatus, SubmitError};
 pub use load::ArrivalProcess;
-pub use quota::{QuotaLedger, TenantQuota, TenantUsage};
+pub use quota::{QuotaBreach, QuotaLedger, TenantQuota, TenantUsage};
 pub use scheduler::{Serve, ServeConfig};
 pub use slo::{SloController, SloPolicy, TuneDecision};
 pub use spec::{solo_checksum, JobSpec, Pattern, Priority, Scenario};

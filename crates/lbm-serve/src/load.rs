@@ -1,8 +1,9 @@
 //! Deterministic synthetic workload for load tests.
 //!
 //! An LCG-seeded arrival process producing a fixed job mix: mostly small
-//! interactive 2D problems, a tail of medium batch work, and an occasional
-//! multi-device or 3D job. Two generators built with the same seed emit
+//! interactive 2D problems (a fifth of them porous slabs on the sparse
+//! drivers), a tail of medium batch work, and an occasional multi-device
+//! or 3D job. Two generators built with the same seed emit
 //! *identical* spec sequences — the replay tests and the `BENCH_serve`
 //! load driver both rely on that.
 
@@ -64,14 +65,31 @@ impl Iterator for ArrivalProcess {
         let tau = 0.7 + 0.05 * self.below(7) as f64; // 0.70..=1.00
         let mix = self.below(100);
         let spec = if mix < 70 {
-            // Small interactive 2D job: low latency is the point.
+            // Small interactive 2D job: low latency is the point. One in
+            // five runs a deterministic porous slab on the fluid-compacted
+            // sparse drivers (porous scenarios require a sparse pattern).
+            let nx = 12 + 4 * self.below(4) as usize; // 12..=24
+            let ny = 6 + 2 * self.below(3) as usize; // 6..=10
+            let (scenario, pattern) = if self.below(5) == 0 {
+                (
+                    Scenario::Porous2D {
+                        nx,
+                        ny,
+                        solid_pct: 20 + 5 * self.below(4) as u8, // 20..=35
+                    },
+                    if self.below(2) == 0 {
+                        Pattern::SparseSt
+                    } else {
+                        Pattern::SparseMr
+                    },
+                )
+            } else {
+                (Scenario::Shear2D { nx, ny }, pattern)
+            };
             JobSpec {
                 tenant,
                 priority: Priority::Interactive,
-                scenario: Scenario::Shear2D {
-                    nx: 12 + 4 * self.below(4) as usize, // 12..=24
-                    ny: 6 + 2 * self.below(3) as usize,  // 6..=10
-                },
+                scenario,
                 pattern,
                 tau,
                 steps: 4 + 2 * self.below(5), // 4..=12
@@ -188,5 +206,14 @@ mod tests {
         assert!(interactive < 450, "batch share collapsed");
         assert!(multi > 0, "no multi-device jobs in 500 draws");
         assert!(threed > 0, "no 3D jobs in 500 draws");
+        let sparse = specs.iter().filter(|s| s.pattern.is_sparse()).count();
+        assert!(sparse > 20, "sparse share collapsed: {sparse}");
+        assert!(
+            specs
+                .iter()
+                .filter(|s| matches!(s.scenario, Scenario::Porous2D { .. }))
+                .all(|s| s.pattern.is_sparse()),
+            "porous jobs must ride the sparse drivers"
+        );
     }
 }

@@ -48,6 +48,23 @@ pub struct TenantUsage {
     pub resident_bytes: usize,
 }
 
+/// A post-admission true-up left the tenant above its resident-byte limit.
+///
+/// Admission was checked against the *estimate*; the built solver turned
+/// out larger (ghost columns, link tables) and pushed the ledger past
+/// `max_resident_bytes`. The job is not killed — its bytes are already
+/// resident — but the breach must be surfaced so the scheduler can count
+/// it and operators can see a tenant running beyond its budget instead of
+/// the ledger silently absorbing the overage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuotaBreach {
+    pub tenant: String,
+    /// The tenant's total resident bytes after the true-up.
+    pub resident_bytes: usize,
+    /// The limit those bytes exceed.
+    pub max_resident_bytes: usize,
+}
+
 /// Admission ledger: per-tenant usage checked against per-tenant quotas.
 #[derive(Default)]
 pub struct QuotaLedger {
@@ -94,13 +111,29 @@ impl QuotaLedger {
     /// True an admitted job's byte charge up (or down) to the solver's
     /// actual allocation. Never rejects — admission already happened on
     /// the estimate; this keeps the ledger honest about what the built
-    /// driver really holds resident.
-    pub fn recharge(&mut self, tenant: &str, old_bytes: usize, new_bytes: usize) {
+    /// driver really holds resident. The new balance is re-checked against
+    /// `max_resident_bytes`: a true-up that lands the tenant over its
+    /// limit returns the [`QuotaBreach`] (previously the overage was
+    /// silently absorbed, so a lowballed estimate bypassed the quota for
+    /// the whole life of the job).
+    #[must_use = "a Some(QuotaBreach) means the tenant is over quota and must be surfaced"]
+    pub fn recharge(
+        &mut self,
+        tenant: &str,
+        old_bytes: usize,
+        new_bytes: usize,
+    ) -> Option<QuotaBreach> {
+        let quota = self.quotas.get(tenant).copied().unwrap_or_default();
         let usage = self
             .usage
             .get_mut(tenant)
             .expect("recharge for a tenant that never charged");
         usage.resident_bytes = usage.resident_bytes - old_bytes + new_bytes;
+        (usage.resident_bytes > quota.max_resident_bytes).then(|| QuotaBreach {
+            tenant: tenant.to_string(),
+            resident_bytes: usage.resident_bytes,
+            max_resident_bytes: quota.max_resident_bytes,
+        })
     }
 
     /// Release a terminal job's charge.
@@ -180,14 +213,52 @@ mod tests {
     fn recharge_trues_up_to_actual_allocation() {
         let mut ledger = QuotaLedger::default();
         ledger.try_charge("acme", 1000).unwrap();
-        ledger.recharge("acme", 1000, 640);
+        assert!(ledger.recharge("acme", 1000, 640).is_none());
         let u = ledger.usage("acme");
         assert_eq!((u.in_flight, u.resident_bytes), (1, 640));
         // True-up may also grow the charge (multi-device ghost columns).
-        ledger.recharge("acme", 640, 700);
+        assert!(ledger.recharge("acme", 640, 700).is_none());
         assert_eq!(ledger.usage("acme").resident_bytes, 700);
         ledger.release("acme", 700);
         let u = ledger.usage("acme");
         assert_eq!((u.in_flight, u.resident_bytes), (0, 0));
+    }
+
+    /// Regression for the quota bypass: a true-up that grows the charge
+    /// past `max_resident_bytes` must report the breach instead of
+    /// silently absorbing it — admission rejected 600+600 above, but
+    /// before the re-check 600-estimated jobs could true up to any size.
+    #[test]
+    fn recharge_past_limit_surfaces_breach() {
+        let mut quotas = HashMap::new();
+        quotas.insert(
+            "acme".to_string(),
+            TenantQuota {
+                max_in_flight: usize::MAX,
+                max_resident_bytes: 1000,
+            },
+        );
+        let mut ledger = QuotaLedger::new(quotas);
+        ledger.try_charge("acme", 600).unwrap();
+        ledger.try_charge("acme", 300).unwrap();
+        // Second job's solver builds bigger than estimated: 300 → 700.
+        let breach = ledger.recharge("acme", 300, 700).expect("over the limit");
+        assert_eq!(
+            breach,
+            QuotaBreach {
+                tenant: "acme".into(),
+                resident_bytes: 1300,
+                max_resident_bytes: 1000,
+            }
+        );
+        // The ledger still records the honest balance; a shrinking true-up
+        // back under the limit clears the condition.
+        assert_eq!(ledger.usage("acme").resident_bytes, 1300);
+        assert!(ledger.recharge("acme", 700, 350).is_none());
+        assert_eq!(ledger.usage("acme").resident_bytes, 950);
+        // Unlimited tenants can never breach.
+        let mut open = QuotaLedger::default();
+        open.try_charge("nova", 10).unwrap();
+        assert!(open.recharge("nova", 10, usize::MAX / 2).is_none());
     }
 }

@@ -697,12 +697,33 @@ fn run_group(inner: &Arc<Inner>, gid: u64, group_ids: Vec<JobId>) {
                     rec.snapshot = None;
                     // True the admission-time estimate up to the driver's
                     // actual lattice allocation (multi-device builds carry
-                    // ghost columns the spec-side estimate cannot see).
+                    // ghost columns the spec-side estimate cannot see). A
+                    // true-up can land the tenant over its resident-byte
+                    // limit; the job keeps running (its bytes are already
+                    // resident) but the breach is counted and logged so
+                    // the quota is never silently bypassed.
                     let actual = sim.resident_bytes();
                     let old = rec.charged_bytes;
                     if actual != old {
                         rec.charged_bytes = actual;
-                        st.ledger.recharge(&spec.tenant, old, actual);
+                        if let Some(breach) = st.ledger.recharge(&spec.tenant, old, actual) {
+                            if let Some(o) = inner.obs() {
+                                o.metrics.counter_add(
+                                    "serve_quota_breaches",
+                                    &[("tenant", &spec.tenant)],
+                                    1,
+                                );
+                            }
+                            inner.record_event(
+                                EventKind::QuotaBreach,
+                                Some(id),
+                                &spec.tenant,
+                                &[
+                                    ("resident_bytes", breach.resident_bytes.to_string()),
+                                    ("max_resident_bytes", breach.max_resident_bytes.to_string()),
+                                ],
+                            );
+                        }
                     }
                     let rec = st.jobs.get_mut(&id).expect("group job exists");
                     if snapshot.is_some() {

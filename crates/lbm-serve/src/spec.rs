@@ -11,9 +11,14 @@ use gpu_sim::{DeviceSpec, FaultPlan};
 use lbm_core::collision::Bgk;
 use lbm_core::geometry::{Geometry, NodeType};
 use lbm_core::Simulation;
-use lbm_gpu::{AaStSim, MrScheme, MrSim2D, MrSim3D, StSim};
+use lbm_gpu::sparse::validate_sparse_geometry;
+use lbm_gpu::{
+    AaStSim, MrScheme, MrSim2D, MrSim3D, SparseMrSim2D, SparseMrSim3D, StSim, StSparseSim,
+};
 use lbm_lattice::{Lattice, D2Q9, D3Q19};
-use lbm_multi::{MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiStSim};
+use lbm_multi::{
+    MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiSparseMrSim, MultiSparseStSim, MultiStSim,
+};
 use std::sync::Arc;
 
 /// Scheduling class of a job.
@@ -37,7 +42,7 @@ impl Priority {
     }
 }
 
-/// The flow problem a job simulates. Both scenarios are periodic along `x`
+/// The flow problem a job simulates. Every scenario is periodic along `x`
 /// with no-slip walls on every lateral face — the geometries every driver
 /// in the workspace accepts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -46,6 +51,27 @@ pub enum Scenario {
     Shear2D { nx: usize, ny: usize },
     /// 3D shear layer in a wall-bounded duct (D3Q19).
     Shear3D { nx: usize, ny: usize, nz: usize },
+    /// 2D flow through a deterministic porous slab (D2Q9): the shear
+    /// channel with `solid_pct`% of interior nodes turned to walls by a
+    /// coordinate hash — same spec, same rock, bitwise. Porous scenarios
+    /// require a sparse pattern: the service refuses to allocate a dense
+    /// bounding box for a domain that is mostly rock.
+    Porous2D { nx: usize, ny: usize, solid_pct: u8 },
+}
+
+/// Deterministic node classifier for [`Scenario::Porous2D`]: FNV-1a over
+/// the coordinates, solid when `hash % 100 < solid_pct`.
+fn porous_solid(x: usize, y: usize, solid_pct: u8) -> bool {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in (x as u64)
+        .to_le_bytes()
+        .into_iter()
+        .chain((y as u64).to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h % 100 < solid_pct as u64
 }
 
 impl Scenario {
@@ -66,28 +92,42 @@ impl Scenario {
                 }
                 g
             }
+            Scenario::Porous2D { nx, ny, solid_pct } => {
+                let mut g = Geometry::walls_y_periodic_x(nx, ny);
+                for y in 1..ny - 1 {
+                    for x in 0..nx {
+                        if porous_solid(x, y, solid_pct) {
+                            g.set(x, y, 0, NodeType::Wall);
+                        }
+                    }
+                }
+                g
+            }
         }
     }
 
     /// Total lattice nodes (residency estimates multiply this by the
-    /// pattern's per-node byte cost).
+    /// pattern's per-node byte cost; sparse patterns use the geometry's
+    /// exact fluid count instead).
     pub fn nodes(&self) -> usize {
         match *self {
-            Scenario::Shear2D { nx, ny } => nx * ny,
+            Scenario::Shear2D { nx, ny } | Scenario::Porous2D { nx, ny, .. } => nx * ny,
             Scenario::Shear3D { nx, ny, nz } => nx * ny * nz,
         }
     }
 
     fn min_extent(&self) -> usize {
         match *self {
-            Scenario::Shear2D { nx, ny } => nx.min(ny),
+            Scenario::Shear2D { nx, ny } | Scenario::Porous2D { nx, ny, .. } => nx.min(ny),
             Scenario::Shear3D { nx, ny, nz } => nx.min(ny).min(nz),
         }
     }
 
     fn nx(&self) -> usize {
         match *self {
-            Scenario::Shear2D { nx, .. } | Scenario::Shear3D { nx, .. } => nx,
+            Scenario::Shear2D { nx, .. }
+            | Scenario::Shear3D { nx, .. }
+            | Scenario::Porous2D { nx, .. } => nx,
         }
     }
 }
@@ -108,6 +148,15 @@ pub enum Pattern {
     /// In-place moment-twist MR-P: one parity-indexed moment lattice
     /// (`M·8` bytes/node, half of [`Pattern::MrP`]). Single-device only.
     MrTwist,
+    /// Sparse (fluid-compacted, indirect-addressing) ST: state and link
+    /// table are stored per *fluid* node, so residency scales with
+    /// porosity instead of the bounding box.
+    SparseSt,
+    /// Sparse moment representation (projective regularization): `M·8`
+    /// doubles of in-place moments plus the `Q·4`-byte link table per
+    /// fluid node — the smallest residency of any pattern on porous
+    /// domains.
+    SparseMr,
 }
 
 impl Pattern {
@@ -119,7 +168,14 @@ impl Pattern {
             Pattern::MrR => "mr-r",
             Pattern::AaSt => "aa-st",
             Pattern::MrTwist => "mr-twist",
+            Pattern::SparseSt => "sparse-st",
+            Pattern::SparseMr => "sparse-mr",
         }
+    }
+
+    /// Whether this pattern uses fluid-compacted (sparse) storage.
+    pub fn is_sparse(self) -> bool {
+        matches!(self, Pattern::SparseSt | Pattern::SparseMr)
     }
 }
 
@@ -216,6 +272,34 @@ impl JobSpec {
                 self.devices
             ));
         }
+        if matches!(self.scenario, Scenario::Porous2D { .. }) && !self.pattern.is_sparse() {
+            return invalid(format!(
+                "porous scenarios require a sparse pattern (got {}): a dense \
+                 bounding box would bill the tenant for rock",
+                self.pattern.label()
+            ));
+        }
+        if self.pattern.is_sparse() {
+            // Run the sparse builders' own geometry checks at submit time,
+            // so a bad spec is a synchronous SubmitError instead of a
+            // poisoned executor: the typed build errors (unsupported node
+            // types, no fluid nodes, link-table overflow) all surface here.
+            let geom = self.scenario.geometry();
+            if let Err(e) = validate_sparse_geometry(&geom) {
+                return invalid(format!("sparse pattern rejected: {e}"));
+            }
+            let fluid = geom.fluid_count();
+            if fluid == 0 {
+                return invalid("sparse pattern rejected: domain has no fluid nodes".into());
+            }
+            let q = match self.scenario {
+                Scenario::Shear3D { .. } => D3Q19::Q,
+                _ => D2Q9::Q,
+            };
+            if let Err(e) = lbm_gpu::sparse::check_table_encoding(q, fluid) {
+                return invalid(format!("sparse pattern rejected: {e}"));
+            }
+        }
         Ok(())
     }
 
@@ -226,11 +310,12 @@ impl JobSpec {
     /// columns make multi-device builds slightly larger).
     pub fn estimated_resident_bytes(&self) -> usize {
         use gpu_sim::roofline::{
-            footprint_aa_st, footprint_mr_double, footprint_mr_twist, footprint_st,
+            footprint_aa_st, footprint_mr_double, footprint_mr_twist, footprint_sparse_mr,
+            footprint_sparse_st, footprint_st,
         };
         let n = self.scenario.nodes();
         let (q, m) = match self.scenario {
-            Scenario::Shear2D { .. } => (D2Q9::Q, D2Q9::M),
+            Scenario::Shear2D { .. } | Scenario::Porous2D { .. } => (D2Q9::Q, D2Q9::M),
             Scenario::Shear3D { .. } => (D3Q19::Q, D3Q19::M),
         };
         match self.pattern {
@@ -238,6 +323,10 @@ impl JobSpec {
             Pattern::MrP | Pattern::MrR => footprint_mr_double(n, m),
             Pattern::AaSt => footprint_aa_st(n, q),
             Pattern::MrTwist => footprint_mr_twist(n, m),
+            // Sparse patterns are billed on the *fluid* count — the whole
+            // point of the compacted storage is that rock is free.
+            Pattern::SparseSt => footprint_sparse_st(self.scenario.geometry().fluid_count(), q),
+            Pattern::SparseMr => footprint_sparse_mr(self.scenario.geometry().fluid_count(), m, q),
         }
     }
 
@@ -304,6 +393,34 @@ impl JobSpec {
                     MrSim2D::<D2Q9>::new(dev, geom, MrScheme::projective(), self.tau).with_twist()
                 )
             }
+            (Scenario::Shear2D { .. } | Scenario::Porous2D { .. }, Pattern::SparseSt, 1) => {
+                finish!(StSparseSim::<D2Q9, _>::new(dev, geom, Bgk::new(self.tau)))
+            }
+            (Scenario::Shear2D { .. } | Scenario::Porous2D { .. }, Pattern::SparseSt, n) => {
+                finish!(MultiSparseStSim::<D2Q9, _>::new(
+                    dev,
+                    geom,
+                    Bgk::new(self.tau),
+                    n
+                ))
+            }
+            (Scenario::Shear2D { .. } | Scenario::Porous2D { .. }, Pattern::SparseMr, 1) => {
+                finish!(SparseMrSim2D::new(
+                    dev,
+                    geom,
+                    MrScheme::projective(),
+                    self.tau
+                ))
+            }
+            (Scenario::Shear2D { .. } | Scenario::Porous2D { .. }, Pattern::SparseMr, n) => {
+                finish!(MultiSparseMrSim::<D2Q9>::new(
+                    dev,
+                    geom,
+                    MrScheme::projective(),
+                    self.tau,
+                    n
+                ))
+            }
             (Scenario::Shear2D { .. }, pat, n) => {
                 let scheme = match pat {
                     Pattern::MrP => MrScheme::projective(),
@@ -314,6 +431,9 @@ impl JobSpec {
                 } else {
                     finish!(MultiMrSim2D::<D2Q9>::new(dev, geom, scheme, self.tau, n))
                 }
+            }
+            (Scenario::Porous2D { .. }, ..) => {
+                unreachable!("validate() rejects dense patterns on porous scenarios")
             }
             (Scenario::Shear3D { .. }, Pattern::St, 1) => {
                 finish!(StSim::<D3Q19, _>::new(dev, geom, Bgk::new(self.tau)))
@@ -341,6 +461,34 @@ impl JobSpec {
                 finish!(
                     MrSim3D::<D3Q19>::new(dev, geom, MrScheme::projective(), self.tau).with_twist()
                 )
+            }
+            (Scenario::Shear3D { .. }, Pattern::SparseSt, 1) => {
+                finish!(StSparseSim::<D3Q19, _>::new(dev, geom, Bgk::new(self.tau)))
+            }
+            (Scenario::Shear3D { .. }, Pattern::SparseSt, n) => {
+                finish!(MultiSparseStSim::<D3Q19, _>::new(
+                    dev,
+                    geom,
+                    Bgk::new(self.tau),
+                    n
+                ))
+            }
+            (Scenario::Shear3D { .. }, Pattern::SparseMr, 1) => {
+                finish!(SparseMrSim3D::new(
+                    dev,
+                    geom,
+                    MrScheme::projective(),
+                    self.tau
+                ))
+            }
+            (Scenario::Shear3D { .. }, Pattern::SparseMr, n) => {
+                finish!(MultiSparseMrSim::<D3Q19>::new(
+                    dev,
+                    geom,
+                    MrScheme::projective(),
+                    self.tau,
+                    n
+                ))
             }
             (Scenario::Shear3D { .. }, pat, n) => {
                 let scheme = match pat {

@@ -8,19 +8,30 @@
 //! quantiles monotone, burn rates in [0, 1], a lossless event log whose
 //! admit count covers every job, trace-span coverage, and roofline
 //! attribution rows for at least two device models. Bench-style records
-//! (`smoke` / `aa` / `bench` / `bench-record`) get a row-schema check:
-//! pattern names limited to the known set (`st`, `mr-p`, `mr-r`, and the
-//! in-place `st-aa` / `mr-t`), positive wall-clock measurements with the
-//! in-place patterns present in `bench`, and byte-exact halved residency
-//! in `aa`. Exits non-zero on the first failure.
+//! (`smoke` / `aa` / `bench` / `bench-record` / `sparse`) get a
+//! row-schema check: pattern names limited to the known set (`st`,
+//! `mr-p`, `mr-r`, the in-place `st-aa` / `mr-t`, and the fluid-compacted
+//! `sparse-st` / `sparse-mr`), positive wall-clock measurements with the
+//! in-place patterns present in `bench`, byte-exact halved residency in
+//! `aa`, and a porosity sweep whose sparse residency shrinks with the
+//! fluid count in `sparse`. Exits non-zero on the first failure.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Every pattern name a BENCH row may carry: the three two-lattice
-/// patterns of the paper plus the in-place single-lattice variants
-/// (AA-pattern ST and parity-twist MR).
-const KNOWN_PATTERNS: [&str; 5] = ["st", "mr-p", "mr-r", "st-aa", "mr-t"];
+/// patterns of the paper, the in-place single-lattice variants
+/// (AA-pattern ST and parity-twist MR), and the fluid-compacted sparse
+/// drivers.
+const KNOWN_PATTERNS: [&str; 7] = [
+    "st",
+    "mr-p",
+    "mr-r",
+    "st-aa",
+    "mr-t",
+    "sparse-st",
+    "sparse-mr",
+];
 
 /// Schema check for any bench record carrying a `rows` array: pattern
 /// names must come from the known set, and wall-clock records
@@ -62,6 +73,45 @@ fn validate_bench(v: &obs::json::Value, section: &str) -> Result<String, String>
             if !seen.contains(required) {
                 return Err(format!("bench record has no '{required}' rows"));
             }
+        }
+    }
+    if section == "sparse" {
+        for required in ["sparse-st", "sparse-mr"] {
+            if !seen.contains(required) {
+                return Err(format!("sparse record has no '{required}' rows"));
+            }
+        }
+        let sweep = v
+            .get("porosity_sweep")
+            .ok_or("sparse record missing porosity_sweep")?
+            .items();
+        if sweep.len() < 2 {
+            return Err("porosity_sweep needs at least two porosities".into());
+        }
+        let mut prev_fluid = f64::INFINITY;
+        let mut prev_st = f64::INFINITY;
+        for (i, r) in sweep.iter().enumerate() {
+            let num = |k: &str| -> Result<f64, String> {
+                r.get(k)
+                    .and_then(|x| x.as_f64())
+                    .ok_or(format!("porosity_sweep[{i}] missing {k}"))
+            };
+            let fluid = num("fluid_nodes")?;
+            let st = num("sparse_st_bytes")?;
+            let mr = num("sparse_mr_bytes")?;
+            if mr >= st {
+                return Err(format!(
+                    "porosity_sweep[{i}]: sparse MR ({mr} B) not below sparse ST ({st} B)"
+                ));
+            }
+            // Rock is free: more solid → fewer fluid nodes → fewer bytes.
+            if fluid >= prev_fluid || st >= prev_st {
+                return Err(format!(
+                    "porosity_sweep[{i}]: residency not shrinking with the fluid count"
+                ));
+            }
+            prev_fluid = fluid;
+            prev_st = st;
         }
     }
     if section == "aa" {
@@ -224,7 +274,7 @@ fn validate(path: &str) -> Result<String, String> {
         Ok(format!("metrics ok ({} entries)", metrics.items().len()))
     } else if v.get("section").and_then(|s| s.as_str()) == Some("slo") {
         validate_slo(&v)
-    } else if let Some(section @ ("smoke" | "aa" | "bench" | "bench-record")) =
+    } else if let Some(section @ ("smoke" | "aa" | "bench" | "bench-record" | "sparse")) =
         v.get("section").and_then(|s| s.as_str())
     {
         validate_bench(&v, section)

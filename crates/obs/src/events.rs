@@ -52,6 +52,9 @@ pub enum EventKind {
     Complete,
     /// The SLO feedback controller adjusted `slice_steps`/`batch_max`.
     Tune,
+    /// A post-build quota true-up pushed a tenant over its resident-byte
+    /// limit (the job stays admitted; the breach is surfaced, not hidden).
+    QuotaBreach,
 }
 
 impl EventKind {
@@ -68,6 +71,7 @@ impl EventKind {
             EventKind::Fail => "fail",
             EventKind::Complete => "complete",
             EventKind::Tune => "tune",
+            EventKind::QuotaBreach => "quota-breach",
         }
     }
 }
@@ -308,7 +312,10 @@ pub fn replay(events: &[FleetEvent]) -> Result<std::collections::BTreeMap<u64, J
                 rec.resumes += 1;
             }
             EventKind::Rollback => rec.rollbacks += 1,
-            EventKind::HaloRetry | EventKind::GroupForm | EventKind::Tune => {}
+            EventKind::HaloRetry
+            | EventKind::GroupForm
+            | EventKind::Tune
+            | EventKind::QuotaBreach => {}
             EventKind::Complete | EventKind::Cancel | EventKind::Fail => {
                 rec.terminal = Some(e.kind);
             }

@@ -14,7 +14,9 @@
 //!   halo exchange over the simulated interconnect;
 //! * [`serve`] — the multi-tenant simulation service: batched scheduling,
 //!   checkpoint-backed preemption, and per-tenant byte-denominated quotas
-//!   over every driver, including the in-place AA/twist patterns.
+//!   over every driver, including the in-place AA/twist patterns and the
+//!   fluid-compacted sparse drivers (porous domains billed on fluid
+//!   nodes, not bounding-box volume).
 //!
 //! ## Quickstart
 //!
@@ -46,10 +48,14 @@ pub mod prelude {
     pub use lbm_core::collision::{Bgk, Collision, Projective, Recursive};
     pub use lbm_core::{analytic, diagnostics, io, units, Geometry, NodeType, Solver};
     pub use lbm_core::{Simulation, StepError};
-    pub use lbm_gpu::{AaStSim, MrScheme, MrSim2D, MrSim3D, StSim, StSparseSim, StStream};
+    pub use lbm_gpu::{
+        AaStSim, MrScheme, MrSim2D, MrSim3D, SparseMrSim2D, SparseMrSim3D, StSim, StSparseSim,
+        StStream,
+    };
     pub use lbm_lattice::{Lattice, D2Q9, D3Q15, D3Q19, D3Q27, D3Q39};
     pub use lbm_multi::{
-        MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiStSim, OverlapStats, SlabDecomp,
+        MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiSparseMrSim, MultiSparseStSim, MultiStSim,
+        OverlapStats, SlabDecomp,
     };
     pub use lbm_serve::{JobSpec, Serve, ServeConfig, TenantQuota};
     pub use obs::{

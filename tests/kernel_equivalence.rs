@@ -319,3 +319,128 @@ fn multi_mr3d_vectorized_matches_scalar() {
         assert_eq!(fast.field_checksum(), slow.field_checksum());
     }
 }
+
+/// PR 10 tentpole contract, swept at the workspace level: the
+/// fluid-compacted sparse ST driver is FNV-bitwise equal to the dense
+/// two-lattice ST driver at *every* step on an obstacle-laden domain —
+/// the pull-form link table reproduces the dense streaming exactly — on
+/// both device models, identically under pooled 1-thread and 8-thread
+/// executors.
+#[test]
+fn sparse_st_matches_dense_fnv_sweep() {
+    for dev in devices() {
+        let geom = Geometry::walls_y_periodic_x(24, 9).with_cylinder(7.5, 4.5, 2.2);
+        let mut dense: StSim<D2Q9, _> = StSim::new(dev.clone(), geom.clone(), Bgk::new(0.8));
+        let mut sp1: StSparseSim<D2Q9, _> =
+            StSparseSim::new(dev.clone(), geom.clone(), Bgk::new(0.8)).with_cpu_threads(1);
+        let mut sp8: StSparseSim<D2Q9, _> = StSparseSim::new(dev, geom, Bgk::new(0.8))
+            .with_cpu_threads(8)
+            .with_parallel_threshold(0);
+        dense.init_with(shear_init);
+        sp1.init_with(shear_init);
+        sp8.init_with(shear_init);
+        for step in 1..=7u64 {
+            dense.step();
+            sp1.step();
+            sp8.step();
+            assert_eq!(
+                sp1.field_checksum(),
+                sp8.field_checksum(),
+                "pooled sparse ST executors diverged at step {step}"
+            );
+            assert_eq!(
+                sp1.field_checksum(),
+                dense.field_checksum(),
+                "sparse ST diverged from the dense driver at step {step}"
+            );
+        }
+    }
+}
+
+/// The same sweep for sparse MR (projective and recursive): `M` resident
+/// moments plus the link table must stay bitwise-equal to the dense MR
+/// driver on the shared fluid nodes at every step.
+#[test]
+fn sparse_mr_matches_dense_mr_fnv_sweep() {
+    for dev in devices() {
+        for scheme in [MrScheme::projective(), MrScheme::recursive::<D2Q9>()] {
+            let geom = Geometry::walls_y_periodic_x(24, 9).with_cylinder(7.5, 4.5, 2.2);
+            let mut dense: MrSim2D<D2Q9> =
+                MrSim2D::new(dev.clone(), geom.clone(), scheme.clone(), 0.8);
+            let mut sp1: SparseMrSim2D =
+                SparseMrSim2D::new(dev.clone(), geom.clone(), scheme.clone(), 0.8)
+                    .with_cpu_threads(1);
+            let mut sp8: SparseMrSim2D = SparseMrSim2D::new(dev.clone(), geom, scheme, 0.8)
+                .with_cpu_threads(8)
+                .with_parallel_threshold(0);
+            dense.init_with(shear_init);
+            sp1.init_with(shear_init);
+            sp8.init_with(shear_init);
+            for step in 1..=7u64 {
+                dense.step();
+                sp1.step();
+                sp8.step();
+                assert_eq!(
+                    sp1.field_checksum(),
+                    sp8.field_checksum(),
+                    "pooled sparse MR executors diverged at step {step}"
+                );
+                assert_eq!(
+                    sp1.field_checksum(),
+                    dense.field_checksum(),
+                    "sparse MR diverged from the dense driver at step {step}"
+                );
+            }
+        }
+    }
+}
+
+/// The 3D sparse paths on a walled duct (the only lateral boundaries the
+/// link table needs): sparse ST vs dense ST and sparse MR vs dense MR,
+/// both devices, FNV-bitwise every step.
+#[test]
+fn sparse_3d_matches_dense_fnv_sweep() {
+    let mut geom = Geometry::new(10, 6, 6, [true, false, false]);
+    for z in 0..6 {
+        for y in 0..6 {
+            for x in 0..10 {
+                if y == 0 || y == 5 || z == 0 || z == 5 {
+                    geom.set(x, y, z, NodeType::Wall);
+                }
+            }
+        }
+    }
+    for dev in devices() {
+        let mut dst: StSim<D3Q19, _> = StSim::new(dev.clone(), geom.clone(), Bgk::new(0.8));
+        let mut sst: StSparseSim<D3Q19, _> =
+            StSparseSim::new(dev.clone(), geom.clone(), Bgk::new(0.8))
+                .with_cpu_threads(8)
+                .with_parallel_threshold(0);
+        let mut dmr: MrSim3D<D3Q19> =
+            MrSim3D::new(dev.clone(), geom.clone(), MrScheme::projective(), 0.8);
+        let mut smr: SparseMrSim3D =
+            SparseMrSim3D::new(dev.clone(), geom.clone(), MrScheme::projective(), 0.8)
+                .with_cpu_threads(8)
+                .with_parallel_threshold(0);
+        dst.init_with(shear_init);
+        sst.init_with(shear_init);
+        dmr.init_with(shear_init);
+        smr.init_with(shear_init);
+        for step in 1..=5u64 {
+            dst.step();
+            sst.step();
+            dmr.step();
+            smr.step();
+            assert_eq!(
+                sst.field_checksum(),
+                dst.field_checksum(),
+                "3D sparse ST diverged at step {step}"
+            );
+            assert_eq!(
+                smr.field_checksum(),
+                dmr.field_checksum(),
+                "3D sparse MR diverged at step {step}"
+            );
+        }
+    }
+}

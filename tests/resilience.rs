@@ -14,10 +14,12 @@ use lbm_core::geometry::{Geometry, NodeType};
 use lbm_core::io::{field_checksum, CheckpointError};
 use lbm_core::{Simulation, StepError};
 use lbm_gpu::scheme::MrScheme;
-use lbm_gpu::{AaStSim, MrSim2D, MrSim3D, StSim};
+use lbm_gpu::{AaStSim, MrSim2D, MrSim3D, SparseMrSim2D, StSim, StSparseSim};
 use lbm_lattice::{D2Q9, D3Q19};
 use lbm_multi::recovery::{run_with_recovery, HaloRetryPolicy, RecoveryConfig, RecoveryError};
-use lbm_multi::{MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiStSim};
+use lbm_multi::{
+    MultiAaStSim, MultiMrSim2D, MultiMrSim3D, MultiSparseMrSim, MultiSparseStSim, MultiStSim,
+};
 use std::sync::Arc;
 
 fn shear_init(x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
@@ -732,4 +734,146 @@ fn multi_run_flushes_final_monitor_sample() {
     let steps: Vec<u64> = mon.samples().iter().map(|s| s.step).collect();
     assert_eq!(steps, vec![16, 17], "final off-cadence step not sampled");
     assert!(mon.is_ok());
+}
+
+/// Obstacle-laden porous-ish 2D slab the sparse drivers compact well.
+fn obstacle_2d() -> Geometry {
+    Geometry::walls_y_periodic_x(20, 10).with_cylinder(8.5, 5.0, 2.4)
+}
+
+/// PR 10: the sparse drivers' parity with the dense family extends to the
+/// checkpoint harness — taking a snapshot never perturbs the run, and a
+/// fresh build restores bitwise (single-device ST and MR on an obstacle
+/// domain, through the `Simulation` trait surface).
+#[test]
+fn sparse_checkpoint_roundtrip_bitwise() {
+    let geom = obstacle_2d();
+    let mk_st = || {
+        let mut s: StSparseSim<D2Q9, _> =
+            StSparseSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8))
+                .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk_st(), mk_st(), mk_st(), 4, 6);
+
+    let mk_mr = || {
+        let mut s: SparseMrSim2D = SparseMrSim2D::new(
+            DeviceSpec::mi100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk_mr(), mk_mr(), mk_mr(), 5, 7);
+}
+
+/// Sharded sparse checkpoints (ghost columns included in every shard's
+/// snapshot) round-trip bitwise too.
+#[test]
+fn multi_sparse_checkpoint_roundtrip_bitwise() {
+    let geom = obstacle_2d();
+    let mk = || {
+        let mut s: MultiSparseMrSim<D2Q9> = MultiSparseMrSim::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+            3,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    ckpt_roundtrip(mk(), mk(), mk(), 4, 6);
+}
+
+/// PR 10 satellite: fault-injected sparse recovery. A NaN landing in the
+/// compacted distribution storage after the step-4 checkpoint triggers a
+/// rollback, and the recovered trajectory is bitwise-identical to the
+/// fault-free run.
+#[test]
+fn sparse_st_recovers_from_nan_fault() {
+    let geom = obstacle_2d();
+    let mk = || {
+        let mut s: StSparseSim<D2Q9, _> =
+            StSparseSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8))
+                .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    // Compact slot 30: a fluid node's direction-0 entry, written exactly
+    // once per step, so the one-shot fault fires deterministically on
+    // step 5 — just past the step-4 checkpoint.
+    plan.inject_nan(30, 4);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 12, 4);
+}
+
+/// Sparse MR under a sign-bit flip: finite corruption in the compacted
+/// moment storage that only the fault-watch rollback (not a NaN scan) can
+/// undo.
+#[test]
+fn sparse_mr_recovers_from_bitflip_fault() {
+    let geom = obstacle_2d();
+    let mk = || {
+        let mut s: SparseMrSim2D = SparseMrSim2D::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    plan.inject_bitflip(50, 63, 5);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 12, 4);
+}
+
+/// Sharded sparse ST: the fault plan rides on every shard's double
+/// buffers; recovery restores all shards (ghosts included) and replays to
+/// the clean checksum.
+#[test]
+fn multi_sparse_st_recovers_from_nan_fault() {
+    let geom = obstacle_2d();
+    let mk = || {
+        let mut s: MultiSparseStSim<D2Q9, _> =
+            MultiSparseStSim::new(DeviceSpec::v100(), geom.clone(), Projective::new(0.8), 3)
+                .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    plan.inject_nan(20, 10);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 12, 4);
+}
+
+/// Sharded sparse MR, same contract.
+#[test]
+fn multi_sparse_mr_recovers_from_nan_fault() {
+    let geom = obstacle_2d();
+    let mk = || {
+        let mut s: MultiSparseMrSim<D2Q9> = MultiSparseMrSim::new(
+            DeviceSpec::v100(),
+            geom.clone(),
+            MrScheme::projective(),
+            0.8,
+            3,
+        )
+        .with_cpu_threads(2);
+        s.init_with(shear_init);
+        s
+    };
+    let mut plan = FaultPlan::new();
+    plan.inject_nan(15, 10);
+    let plan = Arc::new(plan);
+    assert_recovers(mk(), mk().with_fault_plan(plan.clone()), plan, 12, 4);
 }
